@@ -1,0 +1,19 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark module regenerates one paper artifact (a figure's analysis
+or a theorem's claim) and prints a paper-style table; run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the tables alongside the timing statistics.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print helper that also survives pytest's capture (shown with -s)."""
+    from repro.analysis import print_table
+
+    return print_table

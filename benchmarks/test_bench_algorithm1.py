@@ -1,0 +1,66 @@
+"""EXP-T45 -- Theorems 4-5: Algorithm 1 correctness and scaling.
+
+Theorem 5 promises an O(n log n) algorithm.  We time the worklist engine
+against the naive signature engine across growing marked rings and random
+systems; the shape to observe is near-linear growth for the worklist
+engine on rings (whose labelings are maximally fine, the worst case for
+split counts).
+"""
+
+import time
+
+import pytest
+
+from repro.core import InstructionSet, System, algorithm1_signatures, algorithm1_worklist
+from repro.topologies import random_connected_network, ring
+
+
+def marked_ring(n):
+    return System(ring(n), {"p0": 1}, InstructionSet.Q)
+
+
+def scaling_table(sizes):
+    rows = []
+    for n in sizes:
+        system = marked_ring(n)
+        t0 = time.perf_counter()
+        worklist = algorithm1_worklist(system)
+        t1 = time.perf_counter()
+        signatures = algorithm1_signatures(system)
+        t2 = time.perf_counter()
+        assert worklist.labeling.same_partition(signatures.labeling)
+        rows.append(
+            (
+                n,
+                len(worklist.labeling.labels),
+                worklist.stats.splits,
+                f"{(t1 - t0) * 1000:.1f}",
+                f"{(t2 - t1) * 1000:.1f}",
+            )
+        )
+    return rows
+
+
+def test_scaling_on_marked_rings(benchmark, show):
+    rows = benchmark.pedantic(scaling_table, args=([25, 50, 100, 200, 400],), rounds=1, iterations=1)
+    # All nodes unique on a marked ring: classes = 2n.
+    assert all(classes == 2 * n for n, classes, *_ in rows)
+    show(
+        ["ring size n", "classes", "worklist splits", "worklist ms", "signature ms"],
+        rows,
+        title="EXP-T45  Algorithm 1 scaling (marked rings; all 2n nodes unique)",
+    )
+
+
+@pytest.mark.parametrize("n", [50, 200])
+def test_worklist_engine_speed(benchmark, n):
+    system = marked_ring(n)
+    result = benchmark(lambda: algorithm1_worklist(system))
+    assert len(result.labeling.labels) == 2 * n
+
+
+def test_random_system_speed(benchmark):
+    net = random_connected_network(60, 30, names=("a", "b"), seed=3)
+    system = System(net, {"p0": 1}, InstructionSet.Q)
+    result = benchmark(lambda: algorithm1_worklist(system))
+    assert result.stats.classes >= 2

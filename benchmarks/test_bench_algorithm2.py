@@ -1,0 +1,58 @@
+"""EXP-T6 -- Theorem 6: Algorithm 2 converges on connected fair systems.
+
+Measures steps-to-convergence of the distributed labeler as the system
+grows: marked rings (labels must propagate all the way around, so rounds
+grow with n) and paths (information flows from both ends).
+"""
+
+from repro.algorithms import Algorithm2Program, LabelTables
+from repro.core import InstructionSet, System, similarity_labeling
+from repro.runtime import Executor, RoundRobinScheduler
+from repro.topologies import path, ring
+
+
+def converge(system, max_steps=1_000_000):
+    theta = similarity_labeling(system)
+    tables = LabelTables.from_labeled_system(system, theta)
+    executor = Executor(
+        system, Algorithm2Program(tables), RoundRobinScheduler(system.processors)
+    )
+    for i in range(max_steps):
+        executor.step()
+        if all(Algorithm2Program.is_done(executor.local[p]) for p in system.processors):
+            ok = all(
+                Algorithm2Program.learned_label(executor.local[p]) == theta[p]
+                for p in system.processors
+            )
+            return i + 1, ok
+    return None, False
+
+
+def convergence_table():
+    rows = []
+    for n in (3, 5, 8, 12):
+        steps, ok = converge(System(ring(n), {"p0": 1}, InstructionSet.Q))
+        rows.append((f"marked ring {n}", n, steps, ok, round(steps / n, 1)))
+    for n in (3, 5, 8, 12):
+        steps, ok = converge(System(path(n), None, InstructionSet.Q))
+        rows.append((f"path {n}", n, steps, ok, round(steps / n, 1)))
+    return rows
+
+
+def test_algorithm2_convergence_growth(benchmark, show):
+    rows = benchmark.pedantic(convergence_table, rounds=1, iterations=1)
+    assert all(ok for _d, _n, _s, ok, _r in rows)
+    # Steps grow with distance-to-the-mark: monotone in n per topology.
+    ring_steps = [s for d, _n, s, _ok, _r in rows if d.startswith("marked ring")]
+    assert ring_steps == sorted(ring_steps)
+    show(
+        ["system", "n", "steps to all-labeled", "correct", "steps per processor"],
+        rows,
+        title="EXP-T6  Algorithm 2 convergence (round-robin)",
+    )
+
+
+def test_algorithm2_single_run_speed(benchmark):
+    system = System(ring(8), {"p0": 1}, InstructionSet.Q)
+    steps, ok = benchmark(lambda: converge(system))
+    assert ok

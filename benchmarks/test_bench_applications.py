@@ -1,0 +1,85 @@
+"""EXP-APP -- applications beyond selection (Section 1's promise).
+
+"Solutions to many other synchronization problems and to certain types
+of distributed programming problems can be found using similarity in the
+same way": renaming, Rabin-style coordinated choice, and committee
+selection, each decided by the labeling and executed by Algorithm 2.
+"""
+
+from repro.analysis import yesno
+from repro.applications import (
+    committee_possible,
+    coordinated_choice_possible,
+    renaming_possible,
+    run_choice_coordination,
+    run_committee,
+    run_renaming,
+)
+from repro.core import InstructionSet, System
+from repro.topologies import figure2_system, path, ring, star
+
+
+def application_matrix():
+    systems = {
+        "marked ring-5": System(ring(5), {"p0": 1}, InstructionSet.Q),
+        "path-4": System(path(4), None, InstructionSet.Q),
+        "figure-2": figure2_system(),
+        "anonymous ring-4": System(ring(4), None, InstructionSet.Q),
+        "star-3": System(star(3), None, InstructionSet.Q),
+    }
+    rows = []
+    for name, system in systems.items():
+        n = len(system.processors)
+        committee_ks = [k for k in range(n + 1) if committee_possible(system, k)]
+        rows.append(
+            (
+                name,
+                yesno(renaming_possible(system)),
+                yesno(
+                    coordinated_choice_possible(system, list(system.variables)[:2])
+                ),
+                ",".join(map(str, committee_ks)),
+            )
+        )
+    return rows
+
+
+def test_application_decisions(benchmark, show):
+    rows = benchmark(application_matrix)
+    by_name = {r[0]: r[1:] for r in rows}
+    assert by_name["marked ring-5"][0] == "yes"
+    assert by_name["anonymous ring-4"][0] == "no"
+    # Anonymous ring: only the all-or-nothing committees.
+    assert by_name["anonymous ring-4"][2] == "0,4"
+    show(
+        ["system", "renaming", "coordinated choice (first 2 vars)", "possible committee sizes"],
+        rows,
+        title="EXP-APP  similarity decides three more problems",
+    )
+
+
+def run_all_three():
+    marked = System(ring(5), {"p0": 1}, InstructionSet.Q)
+    renaming = run_renaming(marked)
+    choice = run_choice_coordination(figure2_system(), ["v1", "v2"])
+    committee = run_committee(figure2_system(), 2)
+    return renaming, choice, committee
+
+
+def test_applications_end_to_end(benchmark, show):
+    renaming, choice, committee = benchmark(run_all_three)
+    assert renaming.distinct
+    assert choice.agreed
+    assert committee.size_ok
+    show(
+        ["application", "outcome"],
+        [
+            ("renaming (marked ring-5)",
+             f"names {sorted(renaming.names.values())} in {renaming.steps} steps"),
+            ("coordinated choice (figure-2)",
+             f"all marks on {choice.chosen}"),
+            ("committee k=2 (figure-2)",
+             f"members {', '.join(map(str, committee.members))}"),
+        ],
+        title="EXP-APP  runnable applications",
+    )

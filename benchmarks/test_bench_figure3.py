@@ -1,0 +1,61 @@
+"""EXP-F3 -- Figure 3 (a fair system in S).
+
+Paper claims: dissimilar processors cannot necessarily distinguish
+themselves under plain fairness; p mimics q, so no distributed algorithm
+lets p learn its label -- while under bounded fairness (where silence is
+informative) everything is learnable.
+"""
+
+from repro.algorithms import Algorithm2SProgram, LabelTables
+from repro.analysis import yesno
+from repro.core import (
+    EnvironmentModel,
+    ScheduleClass,
+    mimicry_relation,
+    similarity_labeling,
+)
+from repro.runtime import Executor, RoundRobinScheduler
+from repro.topologies import figure3_system
+
+
+def labeler_outcome(bound_k, max_steps=30_000):
+    system = figure3_system(ScheduleClass.BOUNDED_FAIR)
+    theta = similarity_labeling(system, model=EnvironmentModel.SET)
+    tables = LabelTables.from_labeled_system(system, theta, model=EnvironmentModel.SET)
+    program = Algorithm2SProgram(tables, bound_k=bound_k)
+    executor = Executor(system, program, RoundRobinScheduler(system.processors))
+    for _ in range(max_steps):
+        executor.step()
+        if all(Algorithm2SProgram.is_done(executor.local[p]) for p in system.processors):
+            break
+    return {
+        p: Algorithm2SProgram.learned_label(executor.local[p])
+        for p in system.processors
+    }, theta
+
+
+def analyze():
+    system = figure3_system()
+    relation = mimicry_relation(system)
+    bounded, theta = labeler_outcome(bound_k=6)
+    fair, _ = labeler_outcome(bound_k=None)
+    return relation, bounded, fair, theta
+
+
+def test_figure3_mimicry_and_learnability(benchmark, show):
+    relation, bounded, fair, theta = benchmark(analyze)
+    # p mimics q: the fair-S obstruction.
+    assert "q" in relation["p"]
+    # Bounded fairness: everyone learns.
+    assert all(bounded[p] == theta[p] for p in ("p", "q", "z"))
+    # Plain fairness: p stays uncertain, exactly as the paper warns.
+    assert fair["p"] is None
+    assert fair["q"] == theta["q"] and fair["z"] == theta["z"]
+    show(
+        ["processor", "mimics", "learns label (bounded-fair)", "learns label (fair)"],
+        [
+            (p, " ".join(sorted(relation[p])) or "-", yesno(bounded[p] is not None), yesno(fair[p] is not None))
+            for p in ("p", "q", "z")
+        ],
+        title="EXP-F3  Figure 3: mimicry blocks label learning under plain fairness",
+    )

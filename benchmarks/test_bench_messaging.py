@@ -1,0 +1,122 @@
+"""EXP-MP -- Section 6: message-passing models.
+
+Uni- vs bidirectional similarity, the learnability obstruction for
+unidirectional non-strongly-connected systems, and the CSP analogy
+(extended CSP : async bidirectional :: L : Q).
+"""
+
+from repro.analysis import yesno
+from repro.messaging import (
+    bidirectional_ring,
+    decide_selection_extended_csp,
+    decide_selection_plain_csp,
+    labels_learnable,
+    mp_selection_possible,
+    mp_similarity_labeling,
+    run_mp_labeler,
+    unidirectional_chain,
+    unidirectional_ring,
+)
+
+
+def mp_table():
+    systems = {
+        "anonymous uni-ring-5": unidirectional_ring(5),
+        "marked uni-ring-5": unidirectional_ring(5, states={0: 1}),
+        "anonymous bi-ring-4": bidirectional_ring(4),
+        "uni-chain-4": unidirectional_chain(4),
+        "bi-ring-2 (linked pair)": bidirectional_ring(2),
+    }
+    rows = []
+    for name, mp in systems.items():
+        theta = mp_similarity_labeling(mp)
+        rows.append(
+            (
+                name,
+                len(theta.labels),
+                yesno(mp_selection_possible(mp)),
+                yesno(labels_learnable(mp)),
+                yesno(decide_selection_plain_csp(mp)),
+                yesno(decide_selection_extended_csp(mp)),
+            )
+        )
+    return rows
+
+
+def test_message_passing_models(benchmark, show):
+    rows = benchmark(mp_table)
+    by_name = {r[0]: r for r in rows}
+    # Anonymous rings: all similar, no async selection; but the linked
+    # pair is solvable in extended CSP (rendezvous race = lock race).
+    assert by_name["anonymous uni-ring-5"][2] == "no"
+    assert by_name["marked uni-ring-5"][2] == "yes"
+    assert by_name["bi-ring-2 (linked pair)"][5] == "yes"
+    assert by_name["bi-ring-2 (linked pair)"][4] == "no"  # plain CSP cannot
+    # The fair-S-like obstruction: chains are not learnable.
+    assert by_name["uni-chain-4"][3] == "no"
+    assert by_name["anonymous uni-ring-5"][3] == "yes"
+    show(
+        ["system", "classes", "async selection", "labels learnable", "plain CSP", "extended CSP"],
+        rows,
+        title="EXP-MP  Section 6: message-passing and CSP",
+    )
+
+
+def labeler_rows():
+    cases = {
+        "marked uni-ring-6": unidirectional_ring(6, states={0: 1}),
+        "marked bi-ring-5": bidirectional_ring(5, states={0: 1}),
+        "uni-chain-4": unidirectional_chain(4),
+    }
+    rows = []
+    for name, mp in cases.items():
+        out = run_mp_labeler(mp)
+        rows.append(
+            (
+                name,
+                yesno(out.all_correct),
+                ",".join(map(str, out.uncertain)) or "-",
+                out.deliveries,
+            )
+        )
+    return rows
+
+
+def test_mp_distributed_labeler(benchmark, show):
+    """The flood-my-suspects labeler converges exactly where Section 6
+    promises and stalls exactly at the unidirectional obstruction."""
+    rows = benchmark(labeler_rows)
+    by_name = {r[0]: r for r in rows}
+    assert by_name["marked uni-ring-6"][1] == "yes"
+    assert by_name["marked bi-ring-5"][1] == "yes"
+    assert by_name["uni-chain-4"][1] == "no"
+    assert "p0" in by_name["uni-chain-4"][2]
+    show(
+        ["system", "all labels learned", "stuck processors", "deliveries"],
+        rows,
+        title="EXP-MP  distributed label learning over channels",
+    )
+
+
+def race_distribution():
+    from repro.messaging import run_pair_race
+
+    counts = {"p0": 0, "p1": 0}
+    for seed in range(40):
+        winner = run_pair_race(bidirectional_ring(2), seed=seed)[0]
+        counts[winner] += 1
+    return counts
+
+
+def test_extended_csp_rendezvous_race(benchmark, show):
+    """The runnable half of the CSP analogy: one rendezvous commits, its
+    sender leads; either side can win -- extended CSP encapsulates the
+    asymmetry just as a lock does."""
+    counts = benchmark.pedantic(race_distribution, rounds=1, iterations=1)
+    assert counts["p0"] > 0 and counts["p1"] > 0
+    assert counts["p0"] + counts["p1"] == 40
+    show(
+        ["winner", "races won (of 40 seeds)"],
+        sorted(counts.items()),
+        title="EXP-MP  extended-CSP rendezvous race on a linked pair",
+    )

@@ -1,0 +1,99 @@
+"""EXP-RAND -- Section 8: the added power of randomization.
+
+Two head-to-heads:
+
+* dining on the five-ring: the deterministic symmetric program deadlocks
+  (DP), Lehmann-Rabin feeds everyone;
+* leader election on anonymous rings: deterministically impossible
+  (Theorem 2: all processors similar), Itai-Rodeh elects with
+  probability 1, with the expected-phase growth as the id space shrinks.
+"""
+
+from repro.analysis import yesno
+from repro.baselines import LeftFirstDiningProgram, run_dining
+from repro.core import InstructionSet, System, decide_selection
+from repro.randomized import election_statistics, run_lehmann_rabin
+from repro.runtime import RandomFairScheduler, RoundRobinScheduler
+from repro.topologies import adjacent_pairs, dining_system, ring
+
+
+def dining_head_to_head():
+    system = dining_system(5, instruction_set=InstructionSet.L)
+    pairs = adjacent_pairs(system)
+    deterministic = run_dining(
+        system,
+        LeftFirstDiningProgram(),
+        RoundRobinScheduler(system.processors),
+        steps=4_000,
+        adjacent=pairs,
+    )
+    randomized = run_lehmann_rabin(
+        system,
+        RandomFairScheduler(system.processors, seed=1),
+        steps=8_000,
+        adjacent=pairs,
+        seed=7,
+    )
+    return deterministic, randomized
+
+
+def test_dining_deterministic_vs_randomized(benchmark, show):
+    deterministic, randomized = benchmark(dining_head_to_head)
+    assert deterministic.deadlocked and not deterministic.everyone_ate
+    assert randomized.safety_ok and randomized.everyone_ate
+    show(
+        ["program", "safety", "deadlock", "everyone ate", "total meals"],
+        [
+            ("left-first (deterministic, symmetric)", yesno(deterministic.safety_ok),
+             yesno(deterministic.deadlocked), yesno(deterministic.everyone_ate),
+             sum(deterministic.meals.values())),
+            ("Lehmann-Rabin (randomized, symmetric)", yesno(randomized.safety_ok),
+             "no", yesno(randomized.everyone_ate), randomized.total_meals),
+        ],
+        title="EXP-RAND  dining on the 5-ring: determinism vs coins",
+    )
+
+
+def election_table():
+    rows = []
+    for n in (3, 5, 8):
+        deterministic = decide_selection(System(ring(n), None, InstructionSet.Q))
+        stats = election_statistics(n, id_space=2, trials=150, seed=n)
+        rows.append(
+            (
+                n,
+                yesno(deterministic.possible),
+                f"{stats.success_rate:.2f}",
+                f"{stats.mean_phases:.2f}",
+                f"{stats.mean_messages:.0f}",
+            )
+        )
+    return rows
+
+
+def test_anonymous_ring_election(benchmark, show):
+    rows = benchmark.pedantic(election_table, rounds=1, iterations=1)
+    assert all(det == "no" for _n, det, *_x in rows)
+    assert all(rate == "1.00" for _n, _d, rate, *_x in rows)
+    show(
+        ["ring size", "deterministic selection", "IR success rate", "mean phases", "mean messages"],
+        rows,
+        title="EXP-RAND  anonymous-ring election: Itai-Rodeh (id space 2)",
+    )
+
+
+def test_id_space_vs_phases(benchmark, show):
+    def sweep():
+        return [
+            (space, f"{election_statistics(6, id_space=space, trials=200, seed=space).mean_phases:.2f}")
+            for space in (2, 4, 16, 64)
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    phases = [float(p) for _s, p in rows]
+    assert phases == sorted(phases, reverse=True)  # bigger space, fewer ties
+    show(
+        ["id space", "mean phases"],
+        rows,
+        title="EXP-RAND  tie probability vs id space (ring of 6)",
+    )

@@ -1,0 +1,50 @@
+"""EXP-T89 -- Theorems 8-9: selection in L via relabel + Algorithm 4.
+
+Decision table for L systems plus an end-to-end SELECT run wherever
+possible; the relabel family sizes show the versions the ELITE loop
+covers.
+"""
+
+from repro.algorithms import select_program_l
+from repro.analysis import yesno
+from repro.core import InstructionSet, System, decide_selection, relabel_family
+from repro.runtime import verify_selection_program
+from repro.topologies import dining_system, figure1_system, star
+
+
+def l_systems():
+    return {
+        "figure-1 (shared variable)": figure1_system(InstructionSet.L),
+        "star-3 (shared hub)": System(star(3), None, InstructionSet.L),
+        "DP-5 ring": dining_system(5, instruction_set=InstructionSet.L),
+        "DP-6 alternating": dining_system(6, alternating=True, instruction_set=InstructionSet.L),
+    }
+
+
+def analyze_l():
+    rows = []
+    for name, system in l_systems().items():
+        decision = decide_selection(system)
+        versions = len(relabel_family(system).member_labelings())
+        verified = "-"
+        if decision.possible:
+            program = select_program_l(system)
+            verdict = verify_selection_program(system, program, max_steps=200_000)
+            verified = yesno(verdict.all_ok)
+        rows.append((name, versions, yesno(decision.possible), verified))
+    return rows
+
+
+def test_selection_in_l(benchmark, show):
+    rows = benchmark.pedantic(analyze_l, rounds=1, iterations=1)
+    verdicts = {name: possible for name, _v, possible, _ok in rows}
+    assert verdicts["figure-1 (shared variable)"] == "yes"
+    assert verdicts["star-3 (shared hub)"] == "yes"
+    assert verdicts["DP-5 ring"] == "no"
+    assert verdicts["DP-6 alternating"] == "no"
+    assert all(ok == "yes" for _n, _v, p, ok in rows if p == "yes")
+    show(
+        ["system", "relabel versions", "selection possible", "Algorithm 4 verified"],
+        rows,
+        title="EXP-T89  Theorems 8-9: selection for systems in L",
+    )

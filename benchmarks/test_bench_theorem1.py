@@ -1,0 +1,78 @@
+"""EXP-T1 -- Theorem 1: no selection with general schedules (FLP).
+
+For each candidate program in the zoo, the constructive adversary finds a
+violating schedule: either a starvation cycle (a processor looping alone
+never selects) or the proof's epsilon-p-rho double selection.
+"""
+
+from repro.analysis import candidate_zoo, refute_selection
+from repro.core import InstructionSet, ScheduleClass, System
+from repro.topologies import figure1_system, star
+
+
+def refute_zoo():
+    results = []
+    systems = [
+        ("figure-1", figure1_system(InstructionSet.S, ScheduleClass.GENERAL)),
+        ("star-3", System(star(3), None, InstructionSet.S, ScheduleClass.GENERAL)),
+    ]
+    for sys_name, system in systems:
+        name = system.names[0]
+        for prog_name, builder in candidate_zoo(name):
+            refutation = refute_selection(system, builder())
+            results.append(
+                (
+                    sys_name,
+                    prog_name,
+                    refutation.kind if refutation else "NOT REFUTED",
+                    len(refutation.schedule) if refutation else "-",
+                )
+            )
+    return results
+
+
+def crash_experiment():
+    """The FLP reading, run live: a crash is a general schedule, and the
+    fair-schedule algorithm (Algorithm 2) loses its guarantee exactly when
+    the crash lands before the crucial post."""
+    from repro.algorithms import Algorithm2Program, LabelTables
+    from repro.core import similarity_labeling
+    from repro.runtime import RoundRobinScheduler, run_with_crash
+    from repro.topologies import figure2_system
+
+    system = figure2_system()
+    tables = LabelTables.from_labeled_system(system, similarity_labeling(system))
+    rows = []
+    for crash_step, label in ((0, "before first post"), (1_000, "after convergence")):
+        report = run_with_crash(
+            system,
+            Algorithm2Program(tables),
+            RoundRobinScheduler(system.processors),
+            crash_at={"p1": crash_step},
+            steps=20_000,
+            done_predicate=Algorithm2Program.is_done,
+        )
+        rows.append((f"p1 crashes {label}", report.done["p3"]))
+    return rows
+
+
+def test_crash_as_general_schedule(benchmark, show):
+    rows = benchmark.pedantic(crash_experiment, rounds=1, iterations=1)
+    outcomes = dict(rows)
+    assert not outcomes["p1 crashes before first post"]
+    assert outcomes["p1 crashes after convergence"]
+    show(
+        ["scenario", "p3 learns its label"],
+        [(s, "yes" if ok else "no") for s, ok in rows],
+        title="EXP-T1  a crash is a general schedule (FLP reading)",
+    )
+
+
+def test_adversary_defeats_every_candidate(benchmark, show):
+    results = benchmark(refute_zoo)
+    assert all(kind != "NOT REFUTED" for _s, _p, kind, _l in results)
+    show(
+        ["system", "candidate program", "violation found", "schedule length"],
+        results,
+        title="EXP-T1  Theorem 1: the general-schedule adversary",
+    )

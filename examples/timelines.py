@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""ASCII timelines of DP and DP': watch the deadlock freeze.
+
+One lane per philosopher, one character per own step:
+  t = thinking, w = waiting on a fork, E = eating, u = releasing.
+On Figure 4 (five philosophers) every lane degenerates into 'wwwww...';
+on Figure 5 (six, alternating) the meals keep rolling.
+"""
+
+from repro.baselines import LeftFirstDiningProgram
+from repro.runtime import RecordingExecutor, RoundRobinScheduler, census, render_timeline
+from repro.topologies import figure4_system, figure5_system
+
+CHARS = {
+    "think": "t",
+    "wait-left": "w",
+    "wait-right": "W",
+    "eat": "E",
+    "release-right": "u",
+    "release-left": "u",
+}
+
+
+def classify(state):
+    return CHARS.get(getattr(state, "stage", None), "?")
+
+
+def show(title, system, steps=180):
+    executor = RecordingExecutor(
+        system, LeftFirstDiningProgram(), RoundRobinScheduler(system.processors)
+    )
+    executor.run(steps)
+    print(title)
+    print(render_timeline(executor, classify, width=60))
+    c = census(executor)
+    print(f"  actions: {dict(sorted(c.per_action_type.items()))}")
+    print()
+
+
+def main():
+    show("Figure 4 -- five philosophers (watch the Ws take over):",
+         figure4_system())
+    show("Figure 5 -- six philosophers, alternating orientation:",
+         figure5_system())
+    print("legend: t think, w wait-left, W wait-right, E eat, u unlock")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim (setup.cfg carries the metadata).
+
+Packaging deliberately avoids pyproject.toml: its presence forces pip
+into PEP 517 build isolation, which requires downloading setuptools --
+impossible in offline environments.  With setup.py + setup.cfg only, a
+plain ``pip install -e .`` uses the legacy non-isolated path and works
+everywhere, online or off.
+"""
+
+from setuptools import setup
+
+setup()

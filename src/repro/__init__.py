@@ -1,0 +1,55 @@
+"""repro: a reproduction of Johnson & Schneider,
+"Symmetry and Similarity in Distributed Systems" (PODC 1985).
+
+The package is organized as:
+
+* :mod:`repro.core` -- the theory: systems, similarity labelings
+  (Algorithm 1), graph symmetry, mimicry, families, selection decisions
+  (Theorems 1-11).
+* :mod:`repro.runtime` -- a step-level simulator for the paper's
+  execution model (instruction sets S, L, L2, Q; schedules; traces).
+* :mod:`repro.algorithms` -- the distributed algorithms as runnable
+  programs: Algorithms 2-4 and SELECT, with their alibi machinery.
+* :mod:`repro.topologies` -- builders and the paper's Figures 1-5.
+* :mod:`repro.messaging` -- Section 6's message-passing and CSP models.
+* :mod:`repro.randomized` -- Section 8's randomized symmetry breaking.
+* :mod:`repro.baselines` -- comparison algorithms (deterministic DP',
+  Chandy-Misra encapsulated asymmetry, Chang-Roberts with ids).
+* :mod:`repro.analysis` -- the Theorem-1/FLP adversary and reporting.
+
+Quickstart::
+
+    from repro.core import System, InstructionSet, similarity_labeling, decide_selection
+    from repro.topologies import ring
+
+    system = System(ring(5), {"p0": 1}, InstructionSet.Q)
+    theta = similarity_labeling(system)     # Algorithm 1
+    decision = decide_selection(system)     # Theorems 2/3/6
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    algorithms,
+    analysis,
+    applications,
+    baselines,
+    core,
+    messaging,
+    randomized,
+    runtime,
+    topologies,
+)
+
+__all__ = [
+    "algorithms",
+    "analysis",
+    "applications",
+    "baselines",
+    "core",
+    "messaging",
+    "randomized",
+    "runtime",
+    "topologies",
+    "__version__",
+]

@@ -1,0 +1,71 @@
+"""Runnable algorithms: Algorithms 1-4, SELECT, alibis, substrates."""
+
+from .algorithm2 import A2State, Algorithm2Program
+from .algorithm2_s import A2SState, Algorithm2SProgram, SRecord
+from .algorithm3 import (
+    A3State,
+    Algorithm3Program,
+    TwoPassLabeler,
+    family_tables,
+    structural_state,
+)
+from .algorithm4 import (
+    A4State,
+    Algorithm4Program,
+    decode_variable,
+    encode_variable,
+)
+from .alibis import PostRecord, p_alibi, records_of, v_alibi, v_alibi_powerset
+from .q_over_l import LiftedQProgram, LiftedState, lift
+from .exact_cover import exact_covers, exact_one_per_group, find_exact_cover
+from .flows import AssignmentResult, FlowNetwork, feasible_assignment, max_flow
+from .select_program import (
+    SelectionWrapper,
+    select_program,
+    select_program_family,
+    select_program_fair_s,
+    select_program_l,
+    select_program_q,
+    select_program_s,
+)
+from .tables import LabelTables
+
+__all__ = [
+    "A2SState",
+    "A2State",
+    "A3State",
+    "A4State",
+    "Algorithm2Program",
+    "Algorithm2SProgram",
+    "Algorithm3Program",
+    "Algorithm4Program",
+    "AssignmentResult",
+    "FlowNetwork",
+    "LabelTables",
+    "LiftedQProgram",
+    "LiftedState",
+    "lift",
+    "PostRecord",
+    "SRecord",
+    "SelectionWrapper",
+    "TwoPassLabeler",
+    "decode_variable",
+    "encode_variable",
+    "exact_covers",
+    "exact_one_per_group",
+    "family_tables",
+    "feasible_assignment",
+    "find_exact_cover",
+    "max_flow",
+    "p_alibi",
+    "records_of",
+    "select_program",
+    "select_program_family",
+    "select_program_l",
+    "select_program_fair_s",
+    "select_program_q",
+    "select_program_s",
+    "structural_state",
+    "v_alibi",
+    "v_alibi_powerset",
+]

@@ -1,0 +1,200 @@
+"""Algorithm 2: each processor learns its own similarity label (Section 4).
+
+The paper's pseudocode, per processor ``k``::
+
+    PEC := { alpha in PLABELS : state_0(alpha) = state_0(k) }
+    for n in NAMES: VEC[n] := { beta in VLABELS :
+                                state_0(beta) = state_0(n-nbr(k)) }
+    do |PEC| > 1 ->
+        for n in NAMES: peek local[n] from n;
+                        VEC[n] := VEC[n] - v-alibi(local[n])
+        PEC := PEC - p-alibi(VEC, local, PEC);
+        for n in NAMES: post (suspects=PEC, name=n) to n
+    od
+
+Implemented as a :class:`~repro.runtime.program.Program` state machine so
+it runs step-by-step in the simulator under any fair scheduler.  Each
+``peek``/``post`` is one atomic step; the alibi computation is one
+internal step.
+
+Two deliberate, documented refinements of the pseudocode:
+
+* the initial VEC is *all* of VLABELS; the state-matching filter is
+  applied at the first peek (the ``peek`` result carries the variable's
+  base state, which is how a processor observes ``state_0(n-nbr(k))`` in
+  the first place);
+* the loop body runs at least once even if PEC starts as a singleton, so
+  that uniquely-stated processors still post their (singleton) suspect
+  sets -- other processors' kind-2 alibis may need those posts.  A
+  processor whose PEC is a singleton after the posts halts.
+
+Termination (Theorem 6): for connected fair systems -- or unconnected
+systems where processors know their variables' neighbor counts, supplied
+here through the tables -- every PEC shrinks to the true label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Hashable, Optional, Tuple
+
+from ..runtime.actions import Action, Halt, Internal, Peek, Post
+from ..runtime.program import LocalState, Program
+from .alibis import PostRecord, p_alibi, v_alibi
+from .tables import Label, LabelTables
+
+PHASE_PEEK = "peek"
+PHASE_COMPUTE = "compute"
+PHASE_POST = "post"
+PHASE_DONE = "done"
+
+
+@dataclass(frozen=True)
+class A2State:
+    """Local state of a processor running Algorithm 2.
+
+    Attributes:
+        phase: which part of the loop body is executing.
+        idx: index into NAMES for the peek/post sweeps.
+        pec: current suspect set for my own label.
+        vec: per-name suspect sets for my variables' labels.
+        observed: per-name subvalue multisets from this round's peeks.
+
+    The at-least-once loop semantics of the module docstring is
+    structural: the initial phase is PEEK regardless of |PEC|, and the
+    exit check happens only after the POST sweep.
+    """
+
+    phase: str
+    idx: int
+    pec: FrozenSet[Label]
+    vec: Tuple[FrozenSet[Label], ...]
+    observed: Tuple[Optional[Tuple[Hashable, ...]], ...]
+
+
+class Algorithm2Program(Program):
+    """Runnable Algorithm 2, parameterized by label tables.
+
+    Args:
+        tables: the system/family knowledge (Theta-derived).
+        phase_tag: tag for posted records, so that Algorithm 3 can run two
+            passes over the same physical variables.
+        use_base: whether peeked base states feed the v-alibi (pass 1 of
+            Algorithm 3 turns this off to ignore initial states).
+        initial_vec: optional function ``(my_state0, name_index) ->
+            frozenset of vlabels`` overriding the default all-VLABELS
+            start (pass 2 of Algorithm 3 seeds VEC from pass-1 results).
+    """
+
+    def __init__(
+        self,
+        tables: LabelTables,
+        phase_tag: int = 0,
+        use_base: bool = True,
+        use_kind2: bool = True,
+    ) -> None:
+        self.tables = tables
+        self.phase_tag = phase_tag
+        self.use_base = use_base
+        # Ablation knob: disable the counting (kind-2) p-alibi to show it
+        # is load-bearing (Figure 2's p3 never converges without it).
+        self.use_kind2 = use_kind2
+
+    # ------------------------------------------------------------------
+
+    def initial_state(self, state0) -> LocalState:
+        tables = self.tables
+        pec = tables.plabels_with_state(state0)
+        if not pec:
+            # The tables do not know this state: the processor cannot be in
+            # the modeled family at all.  Keep the full label set; alibis
+            # will never shrink it and the defect stays visible.
+            pec = tables.plabels
+        n = len(tables.names)
+        return A2State(
+            phase=PHASE_PEEK,
+            idx=0,
+            pec=frozenset(pec),
+            vec=tuple(frozenset(tables.vlabels) for _ in range(n)),
+            observed=tuple(None for _ in range(n)),
+        )
+
+    def next_action(self, state: A2State) -> Action:
+        names = self.tables.names
+        if state.phase == PHASE_PEEK:
+            return Peek(names[state.idx])
+        if state.phase == PHASE_COMPUTE:
+            return Internal("alg2-compute")
+        if state.phase == PHASE_POST:
+            return Post(
+                names[state.idx],
+                PostRecord(
+                    suspects=state.pec,
+                    name=names[state.idx],
+                    phase=self.phase_tag,
+                ),
+            )
+        return Halt()
+
+    def transition(self, state: A2State, action: Action, result) -> LocalState:
+        names = self.tables.names
+        if state.phase == PHASE_PEEK:
+            base, subvalues = result
+            observed = list(state.observed)
+            observed[state.idx] = subvalues
+            vec = list(state.vec)
+            alibis = v_alibi(
+                subvalues,
+                self.tables,
+                base=base if self.use_base else None,
+                phase=self.phase_tag,
+            )
+            vec[state.idx] = state.vec[state.idx] - frozenset(alibis)
+            nxt = state.idx + 1
+            if nxt == len(names):
+                return replace(
+                    state,
+                    phase=PHASE_COMPUTE,
+                    idx=0,
+                    vec=tuple(vec),
+                    observed=tuple(observed),
+                )
+            return replace(state, idx=nxt, vec=tuple(vec), observed=tuple(observed))
+
+        if state.phase == PHASE_COMPUTE:
+            observed = state.observed if self.use_kind2 else tuple(
+                None for _ in state.observed
+            )
+            alibis = p_alibi(
+                state.vec, observed, state.pec, self.tables, self.phase_tag
+            )
+            pec = state.pec - frozenset(alibis)
+            return replace(state, phase=PHASE_POST, idx=0, pec=pec)
+
+        if state.phase == PHASE_POST:
+            nxt = state.idx + 1
+            if nxt == len(names):
+                if len(state.pec) <= 1:
+                    return replace(state, phase=PHASE_DONE, idx=0)
+                return replace(
+                    state,
+                    phase=PHASE_PEEK,
+                    idx=0,
+                    observed=tuple(None for _ in names),
+                )
+            return replace(state, idx=nxt)
+
+        return state  # PHASE_DONE: halted
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def learned_label(state: A2State) -> Optional[Label]:
+        """The label this processor has learned (None while uncertain)."""
+        if isinstance(state, A2State) and len(state.pec) == 1:
+            return next(iter(state.pec))
+        return None
+
+    @staticmethod
+    def is_done(state: A2State) -> bool:
+        return isinstance(state, A2State) and state.phase == PHASE_DONE

@@ -1,0 +1,450 @@
+"""The S-variant of Algorithm 2 (Section 6, bounded-fair S).
+
+"Computing the similarity labeling for bounded-fair schedules and
+instruction set S is almost the same as for Q...  The distributed
+algorithm for finding similarity labels is nearly the same as the one
+given above for Q, and it too can be used as the basis for a selection
+algorithm."
+
+The differences forced by read/write variables:
+
+* a variable holds a *single* value, so posts could clobber one another;
+  writes are therefore **merging read-modify-writes**: each write is
+  preceded by a fresh read, and the value written is the writer's own
+  record plus every record it has ever observed there.  The single cell
+  then behaves as a grow-only gossip set (a record can only be lost to a
+  write racing within one step), and readers *accumulate* every record
+  observed (monotone-sound: a record seen on my n-variable proves some
+  writer with those suspects touches it);
+* multiplicities are invisible, so ``v-alibi`` weakens to the SET form:
+  variable label ``beta`` is ruled out by an observed record ``(S, n')``
+  when no label in ``S`` names a ``beta`` variable ``n'`` -- matching the
+  SET environment model that defines similarity for S;
+* the counting (kind-2) ``p-alibi`` is dropped -- it cannot be evaluated
+  without multiplicities, and SET-similarity never needs it;
+* the write sweep alternates direction by round parity, so a variable
+  with several writers alternates which record it exposes; under
+  round-robin-style schedules information then flows both ways along
+  chains;
+* write rounds are *staggered* by a digest of the processor's initial
+  state: every third round (offset per state) the write sweep is skipped.
+  Differently-stated processors sharing a variable therefore cannot stay
+  in a rhythm where one forever overwrites the other before any read --
+  the failure mode of Figure 3 under the reverse round-robin schedule;
+* **absence alibis** use the fairness bound ``k``: after enough of my own
+  steps, every co-writer has provably completed full merge-write rounds,
+  so a (name, label) slot whose record never surfaced proves the variable
+  has no such writer.  The rule is gated on a structural precondition
+  (every candidate variable label has at most two writers per name --
+  where the exposure argument is airtight) and evaluated over *all-time*
+  observations, so one exposure ever suffices.  This is precisely where
+  bounded-fair S is stronger
+  than fair S ("silence is informative"): constructing the program with
+  ``bound_k=None`` disables absence alibis and models plain fairness, and
+  the labeler then (correctly!) gets stuck exactly on the processors that
+  *mimic* another (Figure 3's ``p``), while mimicry-free systems such as
+  paths remain learnable under fairness alone.
+
+Completeness under *adversarial* bounded-fair schedules is established in
+[J85], which we do not have; the test suite validates convergence across
+this repository's benchmark systems and schedule battery (absence alibis
+assume the reader eventually observes every name present on its variable,
+which the parity-alternating sweep guarantees for the <=2-writers-per-name
+topologies exercised here).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Hashable, Optional, Set, Tuple
+
+from ..runtime.actions import Action, Halt, Internal, Read, Write
+from ..runtime.program import LocalState, Program
+from .tables import Label, LabelTables
+
+PHASE_READ = "read"
+PHASE_COMPUTE = "compute"
+PHASE_WRITE_READ = "write-read"  # re-read just before writing (merge)
+PHASE_WRITE = "write"
+PHASE_DONE = "done"
+
+
+def _state_digest(state0: Hashable) -> int:
+    """A stable per-initial-state seed for write-round staggering."""
+    return zlib.crc32(repr(state0).encode()) % 1009
+
+
+def _stagger_offset(seed: int, pec: FrozenSet[Label]) -> int:
+    """The staggering offset, mixing the initial-state seed with the
+    current suspect set: processors whose *knowledge* differs drift into
+    different write rhythms, so neither can permanently bury the other's
+    records.  (Processors with equal state and equal PEC write identical
+    records, so their collisions are content-free.)"""
+    pec_key = tuple(sorted(map(repr, pec)))
+    return zlib.crc32(repr((seed, pec_key)).encode()) % 3
+
+
+@dataclass(frozen=True)
+class SRecord:
+    """The value a processor writes into a shared variable."""
+
+    suspects: FrozenSet[Label]
+    name: Hashable
+
+
+@dataclass(frozen=True)
+class A2SState:
+    """Local state of the S-variant labeler.
+
+    ``seen`` accumulates, per name, every :class:`SRecord` ever read from
+    that named variable; ``fresh`` holds only the records of the current
+    epoch (the bounded-fairness slot-coverage rule needs *current* writer
+    records -- stale wide suspect sets would poison it); ``base_seen``
+    remembers the first non-record value observed (the variable's initial
+    state); ``steps`` counts own steps within the epoch and ``epoch``
+    saturates at a cap so the state space stays finite.
+    """
+
+    phase: str
+    idx: int
+    parity: int  # round counter mod 6: sweep direction and write gate
+    offset: int  # staggering seed derived from state_0
+    pec: FrozenSet[Label]
+    vec: Tuple[FrozenSet[Label], ...]
+    seen: Tuple[FrozenSet[SRecord], ...]
+    base_seen: Tuple[Optional[Hashable], ...]
+    steps: int = 0
+    fresh: Tuple[FrozenSet[SRecord], ...] = ()
+    epoch: int = 0
+
+
+def _set_v_alibi(
+    seen: FrozenSet[SRecord],
+    base: Optional[Hashable],
+    tables: LabelTables,
+) -> Set[Label]:
+    """SET-model variable alibis from accumulated observations."""
+    out: Set[Label] = set()
+    for beta in tables.vlabels:
+        if (
+            base is not None
+            and tables.include_state
+            and tables.vstate[beta] != base[1]
+        ):
+            out.add(beta)
+            continue
+        for record in seen:
+            compatible = any(
+                tables.neighborhood_size(record.name, alpha, beta) >= 1
+                for alpha in record.suspects
+                if alpha in tables.plabels
+            )
+            if not compatible:
+                out.add(beta)
+                break
+    return out
+
+
+def _absence_rule_applicable(
+    vec_i: FrozenSet[Label], tables: LabelTables
+) -> bool:
+    """Soundness gate for the absence rule.
+
+    The exposure argument (every co-writer's record reaches me within the
+    threshold window) is guaranteed by merge-writes only when my variable
+    has at most two writers per name.  The true variable label is always
+    among the current candidates, so requiring the bound of *every*
+    candidate guarantees it for the truth.
+    """
+    for beta in vec_i:
+        for name in tables.names:
+            writers = sum(
+                tables.neighborhood_size(name, alpha, beta)
+                for alpha in tables.plabels
+            )
+            if writers > 2:
+                return False
+    return True
+
+
+def _absence_v_alibi(
+    seen: FrozenSet[SRecord],
+    vec_i: FrozenSet[Label],
+    pec: FrozenSet[Label],
+    my_name,
+    tables: LabelTables,
+) -> Set[Label]:
+    """Bounded-fairness slot-coverage alibis ("silence is informative").
+
+    After the threshold, every writer of my variable has completed full
+    write sweeps, and the parity-alternating exposure has shown me each
+    writer's record at least once -- except writers whose records were
+    always identical to my own (same name, suspects equal to my PEC).
+    So the *allowed* (name, writer-label) slots of my variable are
+
+        {(my port name, alpha) : alpha in my PEC}
+        union {(r.name, alpha) : record r seen here, alpha in r.suspects},
+
+    and any candidate variable label requiring a slot outside this set is
+    ruled out.  (Exposure of every writer is guaranteed for variables
+    with at most two same-name writers under the alternating sweep; the
+    general-case protocol is in [J85] -- see the module docstring.)
+    """
+    allowed = {(my_name, alpha) for alpha in pec}
+    for record in seen:
+        for alpha in record.suspects:
+            allowed.add((record.name, alpha))
+    out: Set[Label] = set()
+    for beta in vec_i:
+        for name in tables.names:
+            for alpha in tables.plabels:
+                if (
+                    tables.neighborhood_size(name, alpha, beta) >= 1
+                    and (name, alpha) not in allowed
+                ):
+                    out.add(beta)
+                    break
+            if beta in out:
+                break
+    return out
+
+
+def _set_p_alibi(
+    vec: Tuple[FrozenSet[Label], ...], tables: LabelTables
+) -> Set[Label]:
+    """Kind-1 processor alibis (the only kind available in S)."""
+    out: Set[Label] = set()
+    for alpha in tables.plabels:
+        for i, name in enumerate(tables.names):
+            if tables.n_nbr_label(alpha, name) not in vec[i]:
+                out.add(alpha)
+                break
+    return out
+
+
+class Algorithm2SProgram(Program):
+    """Runnable S-variant labeler, parameterized by SET-model tables.
+
+    ``tables`` must be built with the SET environment model, e.g.::
+
+        theta = similarity_labeling(system, model=EnvironmentModel.SET)
+        tables = LabelTables.from_labeled_system(system, theta)
+
+    (LabelTables only stores counts; the SET semantics lives in the alibi
+    functions here, which only ask "is the count >= 1".)
+    """
+
+    def __init__(
+        self,
+        tables: LabelTables,
+        bound_k: Optional[int] = None,
+        alternate_sweeps: bool = True,
+        stagger: bool = True,
+        merge_writes: bool = True,
+    ) -> None:
+        self.tables = tables
+        self.bound_k = bound_k
+        # Ablation knob: without parity alternation, a variable always
+        # exposes the same (last) writer, and information flows only one
+        # way along chains -- the labeler stalls.
+        self.alternate_sweeps = alternate_sweeps
+        self.stagger = stagger
+        # Ablation knob: without merging, a write carries only the writer's
+        # own record and the cell clobbers -- exposure then depends
+        # entirely on the sweep choreography.
+        self.merge_writes = merge_writes
+        if bound_k is None:
+            self._absence_threshold: Optional[int] = None
+        else:
+            # After bound_k * (steps per round) own steps, at least
+            # bound_k * R global steps have elapsed, within which every
+            # processor completes a full round (see module docstring).
+            steps_per_round = 3 * len(tables.names) + 1
+            # Staggering skips one write round in three: pad the window so
+            # every writer still completes a full (written) sweep inside it.
+            self._absence_threshold = 2 * bound_k * steps_per_round
+        self._max_epochs = 2 * (len(tables.plabels) + len(tables.vlabels)) + 2
+
+    # ------------------------------------------------------------------
+
+    def initial_state(self, state0) -> LocalState:
+        tables = self.tables
+        pec = tables.plabels_with_state(state0)
+        if not pec:
+            pec = tables.plabels
+        n = len(tables.names)
+        return A2SState(
+            phase=PHASE_READ,
+            idx=0,
+            parity=0,
+            offset=_state_digest(state0) if self.stagger else 0,
+            pec=frozenset(pec),
+            vec=tuple(frozenset(tables.vlabels) for _ in range(n)),
+            seen=tuple(frozenset() for _ in range(n)),
+            base_seen=tuple(None for _ in range(n)),
+            steps=0,
+            fresh=tuple(frozenset() for _ in range(n)),
+            epoch=0,
+        )
+
+    def _silent_round(self, state: A2SState) -> bool:
+        """Every third round (per-state offset) the write sweep is skipped,
+        so differently-stated co-writers cannot permanently bury each
+        other's records."""
+        if not self.stagger:
+            return False
+        offset = _stagger_offset(state.offset, state.pec)
+        return (state.parity + offset) % 3 == 0
+
+    def _sweep_name(self, state: A2SState):
+        names = self.tables.names
+        if not self.alternate_sweeps or state.parity % 2 == 0:
+            return names[state.idx], state.idx
+        real = len(names) - 1 - state.idx
+        return names[real], real
+
+    def next_action(self, state: A2SState) -> Action:
+        if state.phase == PHASE_READ:
+            name, _ = self._sweep_name(state)
+            return Read(name)
+        if state.phase == PHASE_COMPUTE:
+            return Internal("alg2s-compute")
+        if state.phase == PHASE_WRITE_READ:
+            if self._silent_round(state):
+                return Internal("alg2s-skip-write-read")
+            name, _ = self._sweep_name(state)
+            return Read(name)
+        if state.phase == PHASE_WRITE:
+            if self._silent_round(state):
+                return Internal("alg2s-skip-write")
+            name, real = self._sweep_name(state)
+            if not self.merge_writes:
+                return Write(name, SRecord(suspects=state.pec, name=name))
+            # Merge-write: my current record plus every record I have ever
+            # observed on this variable.  Clobbering can then never *lose*
+            # a record -- the single cell behaves as a grow-only gossip
+            # set, which is what makes the bounded-fairness absence rule
+            # sound (see the module docstring).
+            payload = frozenset({SRecord(suspects=state.pec, name=name)}) | state.seen[real]
+            return Write(name, payload)
+        return Halt()
+
+    def _bump_steps(self, state: A2SState) -> int:
+        if self._absence_threshold is None:
+            return 0
+        return min(state.steps + 1, self._absence_threshold)
+
+    def _observe(self, state: A2SState, real: int, result) -> A2SState:
+        """Fold one read result into seen/fresh/base_seen."""
+        seen = list(state.seen)
+        base_seen = list(state.base_seen)
+        fresh = list(state.fresh)
+        if isinstance(result, frozenset):
+            records = frozenset(r for r in result if isinstance(r, SRecord))
+            seen[real] = state.seen[real] | records
+            fresh[real] = state.fresh[real] | records
+        elif isinstance(result, SRecord):
+            seen[real] = state.seen[real] | {result}
+            fresh[real] = state.fresh[real] | {result}
+        elif state.base_seen[real] is None:
+            # First non-record value: the variable's still-unwritten
+            # initial state.  (Wrapped so that a None base is also
+            # remembered.)
+            base_seen[real] = ("base", result)
+        return replace(
+            state,
+            seen=tuple(seen),
+            base_seen=tuple(base_seen),
+            fresh=tuple(fresh),
+        )
+
+    def transition(self, state: A2SState, action: Action, result) -> LocalState:
+        names = self.tables.names
+        state = replace(state, steps=self._bump_steps(state))
+        if state.phase == PHASE_READ:
+            _, real = self._sweep_name(state)
+            new = self._observe(state, real, result)
+            nxt = state.idx + 1
+            if nxt == len(names):
+                return replace(new, phase=PHASE_COMPUTE, idx=0)
+            return replace(new, idx=nxt)
+
+        if state.phase == PHASE_WRITE_READ:
+            if not self._silent_round(state):
+                _, real = self._sweep_name(state)
+                state = self._observe(state, real, result)
+            return replace(state, phase=PHASE_WRITE)
+
+        if state.phase == PHASE_COMPUTE:
+            vec = tuple(
+                state.vec[i]
+                - frozenset(
+                    _set_v_alibi(state.seen[i], state.base_seen[i], self.tables)
+                )
+                for i in range(len(names))
+            )
+            rollover = (
+                self._absence_threshold is not None
+                and state.steps >= self._absence_threshold
+            )
+            if rollover:
+                vec = tuple(
+                    vec[i]
+                    - (
+                        frozenset(
+                            _absence_v_alibi(
+                                state.seen[i] | state.fresh[i],
+                                vec[i],
+                                state.pec,
+                                names[i],
+                                self.tables,
+                            )
+                        )
+                        if _absence_rule_applicable(vec[i], self.tables)
+                        else frozenset()
+                    )
+                    for i in range(len(names))
+                )
+            pec = state.pec - frozenset(_set_p_alibi(vec, self.tables))
+            first_phase = PHASE_WRITE_READ if self.merge_writes else PHASE_WRITE
+            new = replace(state, phase=first_phase, idx=0, vec=vec, pec=pec)
+            if rollover:
+                new = replace(
+                    new,
+                    steps=0,
+                    fresh=tuple(frozenset() for _ in names),
+                    epoch=min(state.epoch + 1, self._max_epochs),
+                )
+            return new
+
+        if state.phase == PHASE_WRITE:
+            nxt = state.idx + 1
+            if nxt == len(names):
+                # Converged processors keep cycling: their writes must stay
+                # fresh for neighbors still running the slot-coverage rule
+                # (a silent neighbor would look like a missing writer).
+                return replace(
+                    state, phase=PHASE_READ, idx=0, parity=(state.parity + 1) % 6
+                )
+            return replace(
+                state,
+                idx=nxt,
+                phase=PHASE_WRITE_READ if self.merge_writes else PHASE_WRITE,
+            )
+
+        return state
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def learned_label(state: A2SState) -> Optional[Label]:
+        if isinstance(state, A2SState) and len(state.pec) == 1:
+            return next(iter(state.pec))
+        return None
+
+    @staticmethod
+    def is_done(state: A2SState) -> bool:
+        """Label learned (PEC a singleton); the program itself keeps
+        cycling so its writes stay fresh for others."""
+        return isinstance(state, A2SState) and len(state.pec) == 1

@@ -1,0 +1,196 @@
+"""Algorithm 3: labels for homogeneous families in Q (Section 5).
+
+    Use Algorithm 2 to find the number of neighbors of each variable;
+    change the initial state of each variable to reflect that number;
+    use Algorithm 2 again with the new initial states.
+
+Pass 1 ignores every initial state, so it behaves identically in every
+member of the family and computes the *structural* labeling of the common
+network; in particular each processor then knows the (structural label,
+hence neighbor counts) of each of its variables.  Pass 2 re-runs
+Algorithm 2 with the family's union tables, now keyed by real processor
+states and by the structural variable labels from pass 1.
+
+The pure two-pass logic lives in :class:`TwoPassLabeler` so that it can be
+driven both natively in Q (:class:`Algorithm3Program`) and through the
+lock-based Q-emulation of Algorithm 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Hashable, Optional, Tuple
+
+from ..core.families import Family
+from ..core.refinement import compute_similarity_labeling
+from ..exceptions import FamilyError
+from ..runtime.actions import Action, Halt, Internal, Post
+from ..runtime.program import LocalState, Program
+from .algorithm2 import A2State, Algorithm2Program, PHASE_DONE, PHASE_PEEK
+from .alibis import PostRecord
+from .tables import Label, LabelTables
+
+STRUCT = "struct"
+
+
+def structural_state(label: Label) -> Tuple[str, Label]:
+    """The variable initial state used in pass 2: its structural label."""
+    return (STRUCT, label)
+
+
+def family_tables(family: Family) -> Tuple[LabelTables, LabelTables]:
+    """Build (pass-1, pass-2) tables for a homogeneous family.
+
+    Pass 1: structural tables of the (common) network, states ignored.
+    Pass 2: union tables of the family with each variable's initial state
+    replaced by its structural label, per Algorithm 3.
+    """
+    if not family.is_homogeneous:
+        raise FamilyError("Algorithm 3 requires a homogeneous family")
+    representative = family.members[0]
+    struct_theta = compute_similarity_labeling(
+        representative, include_state=False
+    ).labeling
+    t1 = LabelTables.from_labeled_system(
+        representative, struct_theta, include_state=False
+    )
+    modified_members = [
+        member.with_state(
+            {v: structural_state(struct_theta[v]) for v in member.variables}
+        )
+        for member in family.members
+    ]
+    t2 = LabelTables.from_family(Family(modified_members), include_state=True)
+    return t1, t2
+
+
+@dataclass(frozen=True)
+class A3State:
+    """Two-pass state: which pass is running plus the inner A2 state.
+
+    ``effective_state`` is what pass 2 treats as this processor's initial
+    state; for plain Algorithm 3 it is the node's ``state_0``, while
+    Algorithm 4 substitutes the post-relabel state.
+    """
+
+    pass_no: int
+    inner: A2State
+    effective_state: Hashable
+    l1_label: Optional[Label] = None
+
+
+class TwoPassLabeler:
+    """The pure logic of Algorithm 3 (no runtime coupling)."""
+
+    def __init__(self, t1: LabelTables, t2: LabelTables) -> None:
+        self.t1 = t1
+        self.t2 = t2
+        self._p1 = Algorithm2Program(t1, phase_tag=1, use_base=False)
+        self._p2 = Algorithm2Program(t2, phase_tag=2, use_base=False)
+
+    # ------------------------------------------------------------------
+
+    def initial(self, effective_state: Hashable) -> A3State:
+        inner = self._p1.initial_state(None)  # states ignored in pass 1
+        return A3State(pass_no=1, inner=inner, effective_state=effective_state)
+
+    def _enter_pass2(self, state: A3State) -> A3State:
+        l1 = Algorithm2Program.learned_label(state.inner)
+        if l1 is None:  # pragma: no cover - pass 1 done implies singleton
+            raise FamilyError("pass 1 finished without a learned label")
+        pec = self.t2.plabels_with_state(state.effective_state)
+        if not pec:
+            pec = self.t2.plabels
+        vec = []
+        for name in self.t2.names:
+            expected = structural_state(self.t1.n_nbr_label(l1, name))
+            vec.append(
+                frozenset(
+                    b for b in self.t2.vlabels if self.t2.vstate[b] == expected
+                )
+            )
+        inner = A2State(
+            phase=PHASE_PEEK,
+            idx=0,
+            pec=frozenset(pec),
+            vec=tuple(vec),
+            observed=tuple(None for _ in self.t2.names),
+        )
+        return A3State(
+            pass_no=2, inner=inner, effective_state=state.effective_state, l1_label=l1
+        )
+
+    # ------------------------------------------------------------------
+
+    def next_action(self, state: A3State) -> Action:
+        program = self._p1 if state.pass_no == 1 else self._p2
+        action = program.next_action(state.inner)
+        if isinstance(action, Halt) and state.pass_no == 1:
+            # Bridge into pass 2 with one internal step.
+            return Internal("alg3-pass-switch")
+        if state.pass_no == 2 and isinstance(action, Post):
+            # Bundle the frozen pass-1 singleton with the live pass-2
+            # record: a post overwrites this processor's subvalue, and
+            # pass-1 stragglers still need the pass-1 information.
+            pass1_record = PostRecord(
+                suspects=frozenset({state.l1_label}), name=action.name, phase=1
+            )
+            return Post(action.name, (pass1_record, action.value))
+        return action
+
+    def transition(self, state: A3State, action: Action, result) -> A3State:
+        if state.pass_no == 1 and isinstance(action, Internal) and action.tag == "alg3-pass-switch":
+            return self._enter_pass2(state)
+        program = self._p1 if state.pass_no == 1 else self._p2
+        inner = program.transition(state.inner, action, result)
+        return replace(state, inner=inner)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def learned_label(state: A3State) -> Optional[Label]:
+        """The pass-2 label once both passes finished, else None."""
+        if (
+            isinstance(state, A3State)
+            and state.pass_no == 2
+            and state.inner.phase == PHASE_DONE
+        ):
+            return Algorithm2Program.learned_label(state.inner)
+        return None
+
+    @staticmethod
+    def is_done(state: A3State) -> bool:
+        return (
+            isinstance(state, A3State)
+            and state.pass_no == 2
+            and state.inner.phase == PHASE_DONE
+        )
+
+
+class Algorithm3Program(Program):
+    """Runnable Algorithm 3 for a homogeneous family in Q.
+
+    The same program instance works on every member of the family: a
+    processor only consults its own initial state and its observations.
+    """
+
+    def __init__(self, family: Family) -> None:
+        t1, t2 = family_tables(family)
+        self.logic = TwoPassLabeler(t1, t2)
+
+    def initial_state(self, state0) -> LocalState:
+        return self.logic.initial(state0)
+
+    def next_action(self, state: A3State) -> Action:
+        return self.logic.next_action(state)
+
+    def transition(self, state: A3State, action: Action, result) -> LocalState:
+        return self.logic.transition(state, action, result)
+
+    @staticmethod
+    def learned_label(state: A3State) -> Optional[Label]:
+        return TwoPassLabeler.learned_label(state)
+
+    @staticmethod
+    def is_done(state: A3State) -> bool:
+        return TwoPassLabeler.is_done(state)

@@ -1,0 +1,121 @@
+"""Algorithm 4: selection machinery for systems in L (Section 5).
+
+    relabel(k);
+    use Algorithm 3 as selection algorithm for the family of systems
+    produced by relabel.
+
+Three pieces compose:
+
+1. **relabel** -- each processor locks each named variable in turn, reads
+   its lock count, increments it, and unlocks; the counts become part of
+   the processor's state and identify which member of the homogeneous
+   family ``H`` (:func:`repro.core.families.relabel_family`) was realized.
+2. **the Q-over-L simulation** -- Algorithm 3 speaks ``peek``/``post``;
+   the generic adapter of :mod:`repro.algorithms.q_over_l` implements
+   them with lock-protected slot writes keyed by the relabel counts
+   (distinct per variable, so posters never clobber each other).
+3. **Algorithm 3 over H** -- the two-pass labeler with tables from the
+   relabel family's union; the processor's effective state for pass 2 is
+   its :class:`~repro.core.families.RelabeledState`.
+
+The L2 variant uses the indivisible multi-lock for relabel, constraining
+the reachable count assignments to restrictions of one total processor
+order (:func:`repro.core.families.relabel_family_extended`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from ..core.families import (
+    Family,
+    relabel_family,
+    relabel_family_extended,
+)
+from ..core.system import InstructionSet, System
+from ..runtime.actions import Action
+from ..runtime.program import LocalState, Program
+from .algorithm3 import A3State, TwoPassLabeler, family_tables
+from .q_over_l import (  # re-exported: the codec is part of this module's API
+    LiftedQProgram,
+    LiftedState,
+    decode_variable,
+    encode_variable,
+)
+from .tables import Label
+
+__all__ = [
+    "A4State",
+    "Algorithm4Program",
+    "decode_variable",
+    "encode_variable",
+]
+
+#: Algorithm 4's local state is the lifted adapter's state.
+A4State = LiftedState
+
+
+class _FamilyLabelerProgram(Program):
+    """The two-pass family labeler as a plain (Q) Program.
+
+    Its ``initial_state`` seed is the post-relabel
+    :class:`~repro.core.families.RelabeledState` supplied by the lifting
+    adapter.
+    """
+
+    def __init__(self, logic: TwoPassLabeler) -> None:
+        self.logic = logic
+
+    def initial_state(self, state0) -> LocalState:
+        return self.logic.initial(state0)
+
+    def next_action(self, state: A3State) -> Action:
+        return self.logic.next_action(state)
+
+    def transition(self, state: A3State, action: Action, result) -> LocalState:
+        return self.logic.transition(state, action, result)
+
+
+class Algorithm4Program(LiftedQProgram):
+    """Runnable Algorithm 4: relabel, then the family labeler over H.
+
+    Args:
+        system: the L (or L2) system.  The relabel family and its tables
+            are precomputed -- the "generated automatically from the
+            bipartite graph specification" part.
+        extended: use the L2 multi-lock relabel (default: follow the
+            system's instruction set).
+    """
+
+    def __init__(self, system: System, extended: Optional[bool] = None) -> None:
+        if extended is None:
+            extended = system.instruction_set is InstructionSet.L2
+        self.family: Family = (
+            relabel_family_extended(system) if extended else relabel_family(system)
+        )
+        t1, t2 = family_tables(self.family)
+        self.logic = TwoPassLabeler(t1, t2)
+        super().__init__(
+            inner=_FamilyLabelerProgram(self.logic),
+            names=system.names,
+            extended=extended,
+            inner_initial_from_counts=True,
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def learned_label(state: A4State) -> Optional[Label]:
+        inner = LiftedQProgram.inner_state(state)
+        if inner is None:
+            return None
+        return TwoPassLabeler.learned_label(inner)
+
+    @staticmethod
+    def is_done(state: A4State) -> bool:
+        inner = LiftedQProgram.inner_state(state)
+        return inner is not None and TwoPassLabeler.is_done(inner)
+
+    @staticmethod
+    def relabel_counts(state: A4State) -> Optional[Tuple[Tuple[Hashable, int], ...]]:
+        return LiftedQProgram.relabel_counts(state)

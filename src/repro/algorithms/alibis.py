@@ -1,0 +1,236 @@
+"""Alibi computation for Algorithm 2 (paper, Section 4).
+
+A node has an **alibi** for a label when it can *prove*, from what it has
+observed, that it cannot carry that label.  Algorithm 2 shrinks suspect
+sets by removing labels with alibis; because alibis are sound at any time
+(observations only accumulate), "a node can never find an alibi for its
+own label, so Algorithm 2 never terminates with a wrong answer".
+
+Processor alibis (``p-alibi``), two kinds:
+
+1. my ``n``-neighbor has an alibi for ``n-nbr(alpha)``'s label, so I am
+   not an ``alpha``;
+2. I can see that *all* processors labeled ``alpha`` attached to my
+   ``n``-variable already know they are ``alpha`` (they posted the
+   singleton suspect set), and I do not yet know my own label -- so I am
+   not one of them.
+
+   Note: the paper writes ``neighborhood_size(n, n-nbr(alpha), alpha)``
+   here, which does not type-check against the declared signature
+   (name, processor-label, variable-label); we implement the semantically
+   forced ``neighborhood_size(n, alpha, n-nbr(alpha))``.  See DESIGN.md.
+
+Variable alibis (``v-alibi``): a variable cannot be labeled ``beta`` if
+too many of its posts can only come from some label set ``Lab``:
+
+    exists n, Lab:  #{posts x: x.name = n and x.suspects <= Lab}
+                        >  sum_{alpha in Lab} neighborhood_size(n, alpha, beta).
+
+The paper notes ([J85]) that only linearly many ``Lab`` need checking; we
+go further: by max-flow/min-cut duality the existential condition is
+*equivalent* to the infeasibility of assigning each post to one of its
+suspected labels within ``beta``'s per-label capacities.  We implement
+both the polynomial flow test (:func:`v_alibi`) and the literal powerset
+test (:func:`v_alibi_powerset`, for cross-checking on small systems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain, combinations
+from typing import FrozenSet, Hashable, Iterable, Optional, Sequence, Set, Tuple
+
+from .flows import feasible_assignment
+from .tables import Label, LabelTables
+
+
+@dataclass(frozen=True)
+class PostRecord:
+    """The value a processor posts to a shared variable.
+
+    Mirrors the paper's posted record: ``x.suspects`` (the poster's
+    current PEC) and ``x.name`` (the name under which the poster reaches
+    this variable).  ``phase`` separates the passes of Algorithm 3, which
+    reuses the same physical variables twice.
+    """
+
+    suspects: FrozenSet[Label]
+    name: Hashable
+    phase: int = 0
+
+
+def records_of(
+    subvalues: Iterable[Hashable], phase: Optional[int] = None
+) -> Tuple[PostRecord, ...]:
+    """Filter a peeked subvalue multiset down to (phase-matching) records.
+
+    A subvalue may be a single :class:`PostRecord` or a *bundle* (tuple)
+    of records: Algorithm 3's pass 2 posts both its frozen pass-1 record
+    and its live pass-2 record, because a ``post`` physically overwrites
+    the poster's previous subvalue and stragglers still need the pass-1
+    information.  At most one record per phase is taken from a bundle.
+    """
+    out = []
+    for sv in subvalues:
+        if isinstance(sv, PostRecord):
+            candidates: Tuple[PostRecord, ...] = (sv,)
+        elif isinstance(sv, tuple):
+            candidates = tuple(r for r in sv if isinstance(r, PostRecord))
+        else:
+            continue
+        for r in candidates:
+            if phase is None or r.phase == phase:
+                out.append(r)
+                break
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# v-alibi
+# ----------------------------------------------------------------------
+
+
+def _beta_feasible(
+    records: Sequence[PostRecord], beta: Label, tables: LabelTables
+) -> bool:
+    """Can a ``beta`` variable explain these posts?  (flow feasibility)"""
+    by_name: dict = {}
+    for r in records:
+        by_name.setdefault(r.name, []).append(r)
+    for name, posts in by_name.items():
+        items = [frozenset(p.suspects) & tables.plabels for p in posts]
+        capacities = {
+            alpha: tables.neighborhood_size(name, alpha, beta)
+            for alpha in tables.plabels
+        }
+        if not feasible_assignment(items, capacities).feasible:
+            return False
+    return True
+
+
+def v_alibi(
+    peeked_subvalues: Iterable[Hashable],
+    tables: LabelTables,
+    base: Optional[Hashable] = None,
+    phase: Optional[int] = None,
+) -> Set[Label]:
+    """Variable labels ruled out by the peeked contents.
+
+    Args:
+        peeked_subvalues: the multiset part of a ``peek`` result.
+        tables: label tables of the system/family.
+        base: the observed base state of the variable; when given (and
+            the tables carry states), labels with a different class state
+            are also ruled out.
+        phase: restrict to posts of this Algorithm 3 pass.
+    """
+    records = records_of(peeked_subvalues, phase)
+    out: Set[Label] = set()
+    for beta in tables.vlabels:
+        if (
+            base is not None
+            and tables.include_state
+            and tables.vstate[beta] != base
+        ):
+            out.add(beta)
+            continue
+        if not _beta_feasible(records, beta, tables):
+            out.add(beta)
+    return out
+
+
+def v_alibi_powerset(
+    peeked_subvalues: Iterable[Hashable],
+    tables: LabelTables,
+    base: Optional[Hashable] = None,
+    phase: Optional[int] = None,
+) -> Set[Label]:
+    """The paper's ``v-alibi``, literally: quantify over Lab subsets.
+
+    Exponential in ``|PLABELS|``; used to cross-validate :func:`v_alibi`
+    (they are provably equivalent; the property tests check it anyway).
+    """
+    records = records_of(peeked_subvalues, phase)
+    plabels = sorted(tables.plabels, key=repr)
+    subsets = list(
+        chain.from_iterable(combinations(plabels, k) for k in range(len(plabels) + 1))
+    )
+    out: Set[Label] = set()
+    for beta in tables.vlabels:
+        if (
+            base is not None
+            and tables.include_state
+            and tables.vstate[beta] != base
+        ):
+            out.add(beta)
+            continue
+        found = False
+        for name in tables.names:
+            named = [r for r in records if r.name == name]
+            for lab in subsets:
+                lab_set = frozenset(lab)
+                covered = sum(
+                    1 for r in named if frozenset(r.suspects) & tables.plabels <= lab_set
+                )
+                capacity = sum(
+                    tables.neighborhood_size(name, alpha, beta) for alpha in lab_set
+                )
+                if covered > capacity:
+                    found = True
+                    break
+            if found:
+                break
+        if found:
+            out.add(beta)
+    return out
+
+
+# ----------------------------------------------------------------------
+# p-alibi
+# ----------------------------------------------------------------------
+
+
+def p_alibi(
+    vec: Sequence[FrozenSet[Label]],
+    observed: Sequence[Optional[Iterable[Hashable]]],
+    pec: FrozenSet[Label],
+    tables: LabelTables,
+    phase: Optional[int] = None,
+) -> Set[Label]:
+    """Processor labels ruled out for *me*, given my current knowledge.
+
+    Args:
+        vec: per-name suspect sets for my named variables, aligned with
+            ``tables.names``.
+        observed: per-name peeked subvalue multisets (None if not yet
+            peeked this round).
+        pec: my current suspect set.
+        tables: label tables.
+        phase: Algorithm 3 pass filter for the posted records.
+    """
+    out: Set[Label] = set()
+    for alpha in tables.plabels:
+        ruled_out = False
+        for i, name in enumerate(tables.names):
+            expected_vlabel = tables.n_nbr_label(alpha, name)
+            # Kind 1: my n-variable cannot be labeled like alpha's.
+            if expected_vlabel not in vec[i]:
+                ruled_out = True
+                break
+            # Kind 2: every alpha attached to such a variable already
+            # knows its label, and I do not.
+            if len(pec) > 1 and observed[i] is not None:
+                records = records_of(observed[i], phase)
+                singleton_count = sum(
+                    1
+                    for r in records
+                    if r.name == name and frozenset(r.suspects) == {alpha}
+                )
+                if singleton_count == tables.neighborhood_size(
+                    name, alpha, expected_vlabel
+                ):
+                    ruled_out = True
+                    break
+        if ruled_out:
+            out.add(alpha)
+    return out

@@ -1,0 +1,99 @@
+"""Exact-cover search (Knuth's Algorithm X, set-based).
+
+Substrate for Theorem 7: a family of systems in Q has a selection
+algorithm iff there is a set ELITE of processor labels such that each
+member system contains *exactly one* processor with a label in ELITE.
+After discarding labels that occur twice in any member, this is exactly an
+exact-cover instance: the universe is the set of member systems, each
+candidate label covers the members in which it occurs once, and ELITE must
+partition the universe.
+
+The solver is generic and reused by tests as an independently checkable
+component.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional
+
+
+def exact_covers(
+    universe: Iterable[Hashable],
+    candidates: Mapping[Hashable, Iterable[Hashable]],
+) -> Iterator[FrozenSet[Hashable]]:
+    """Yield every subfamily of ``candidates`` that exactly covers
+    ``universe`` (each universe element in exactly one chosen candidate).
+
+    Candidates with elements outside the universe are rejected up front.
+    Empty candidates can never help and are ignored.  Deterministic order:
+    the element with fewest covering candidates is branched on first
+    (Knuth's S-heuristic), candidates in sorted order.
+    """
+    universe = frozenset(universe)
+    cover_sets: Dict[Hashable, FrozenSet[Hashable]] = {}
+    for name, elems in candidates.items():
+        fs = frozenset(elems)
+        if not fs or not fs <= universe:
+            continue
+        cover_sets[name] = fs
+
+    by_element: Dict[Hashable, List[Hashable]] = {e: [] for e in universe}
+    for name, fs in cover_sets.items():
+        for e in fs:
+            by_element[e].append(name)
+    for e in by_element:
+        by_element[e].sort(key=repr)
+
+    def search(remaining: FrozenSet[Hashable], chosen: List[Hashable]) -> Iterator[FrozenSet[Hashable]]:
+        if not remaining:
+            yield frozenset(chosen)
+            return
+        # branch on the most constrained element
+        element = min(
+            remaining,
+            key=lambda e: (sum(1 for c in by_element[e] if cover_sets[c] <= remaining), repr(e)),
+        )
+        options = [c for c in by_element[element] if cover_sets[c] <= remaining]
+        for cand in options:
+            chosen.append(cand)
+            yield from search(remaining - cover_sets[cand], chosen)
+            chosen.pop()
+
+    yield from search(universe, [])
+
+
+def find_exact_cover(
+    universe: Iterable[Hashable],
+    candidates: Mapping[Hashable, Iterable[Hashable]],
+) -> Optional[FrozenSet[Hashable]]:
+    """First exact cover, or None."""
+    for cover in exact_covers(universe, candidates):
+        return cover
+    return None
+
+
+def exact_one_per_group(
+    groups: Mapping[Hashable, Mapping[Hashable, int]],
+) -> Optional[FrozenSet[Hashable]]:
+    """Theorem 7's specialized form.
+
+    ``groups[member][label]`` is how many processors of family member
+    ``member`` carry ``label``.  Returns a label set ELITE such that every
+    member has exactly one processor with a label in ELITE, or None.
+
+    Reduction: a label appearing >= 2 times in any member can never be in
+    ELITE (it alone would violate "exactly one"); remaining labels cover
+    the members where they appear exactly once; ELITE must exactly cover
+    all members.
+    """
+    labels = set()
+    for counts in groups.values():
+        labels.update(counts)
+    usable: Dict[Hashable, List[Hashable]] = {}
+    for label in labels:
+        if any(counts.get(label, 0) >= 2 for counts in groups.values()):
+            continue
+        covered = [m for m, counts in groups.items() if counts.get(label, 0) == 1]
+        if covered:
+            usable[label] = covered
+    return find_exact_cover(groups.keys(), usable)

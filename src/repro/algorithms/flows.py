@@ -1,0 +1,198 @@
+"""Maximum flow and capacitated bipartite assignment (from scratch).
+
+Substrate for the polynomial ``v-alibi`` (see
+:mod:`repro.algorithms.alibis`).  The paper's ``v-alibi`` condition
+quantifies over subsets ``Lab`` of processor labels; by max-flow/min-cut
+duality (a Hall-type argument) the existential-subset condition is
+*equivalent* to the infeasibility of a capacitated assignment of posted
+records to processor labels.  This module provides the flow machinery:
+
+* :class:`FlowNetwork` -- adjacency-list residual graph;
+* :func:`max_flow` -- Dinic's algorithm (BFS level graph + DFS blocking
+  flow), O(V^2 E) worst case, far better in practice on the small unit-ish
+  capacities that arise here;
+* :func:`feasible_assignment` -- the bipartite demand/capacity check used
+  by the alibi computation, returning either an assignment or a violated
+  cut (the paper's set ``Lab``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+
+INF = float("inf")
+
+
+class FlowNetwork:
+    """A directed graph with residual capacities for max-flow."""
+
+    def __init__(self) -> None:
+        self._index: Dict[Hashable, int] = {}
+        self.adj: List[List[int]] = []  # node -> list of edge ids
+        self.to: List[int] = []  # edge id -> head node
+        self.cap: List[float] = []  # edge id -> residual capacity
+
+    def node(self, key: Hashable) -> int:
+        """Intern ``key`` as a node index (created on first use)."""
+        if key not in self._index:
+            self._index[key] = len(self.adj)
+            self.adj.append([])
+        return self._index[key]
+
+    def add_edge(self, u: Hashable, v: Hashable, capacity: float) -> int:
+        """Add edge u->v with the given capacity; returns its edge id.
+
+        A paired reverse edge with zero capacity is created; ``edge_id ^ 1``
+        is always the reverse edge.
+        """
+        ui, vi = self.node(u), self.node(v)
+        eid = len(self.to)
+        self.to.append(vi)
+        self.cap.append(capacity)
+        self.adj[ui].append(eid)
+        self.to.append(ui)
+        self.cap.append(0.0)
+        self.adj[vi].append(eid + 1)
+        return eid
+
+    def flow_on(self, edge_id: int) -> float:
+        """Flow currently pushed through ``edge_id`` (reverse residual)."""
+        return self.cap[edge_id ^ 1]
+
+
+def max_flow(net: FlowNetwork, source: Hashable, sink: Hashable) -> float:
+    """Dinic's algorithm on ``net`` from ``source`` to ``sink``."""
+    s, t = net.node(source), net.node(sink)
+    total = 0.0
+    n = len(net.adj)
+    while True:
+        # BFS: build level graph
+        level = [-1] * n
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for eid in net.adj[u]:
+                v = net.to[eid]
+                if net.cap[eid] > 0 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        if level[t] < 0:
+            return total
+        # DFS blocking flow with iteration pointers
+        it = [0] * n
+
+        def dfs(u: int, pushed: float) -> float:
+            if u == t:
+                return pushed
+            while it[u] < len(net.adj[u]):
+                eid = net.adj[u][it[u]]
+                v = net.to[eid]
+                if net.cap[eid] > 0 and level[v] == level[u] + 1:
+                    got = dfs(v, min(pushed, net.cap[eid]))
+                    if got > 0:
+                        net.cap[eid] -= got
+                        net.cap[eid ^ 1] += got
+                        return got
+                it[u] += 1
+            return 0.0
+
+        while True:
+            pushed = dfs(s, INF)
+            if pushed <= 0:
+                break
+            total += pushed
+
+
+@dataclass(frozen=True)
+class AssignmentResult:
+    """Outcome of :func:`feasible_assignment`.
+
+    Attributes:
+        feasible: whether every item could be assigned.
+        assignment: item index -> chosen bin (only when feasible).
+        violated_bins: a set of bins witnessing infeasibility via the
+            min-cut (only when infeasible): the items restricted to these
+            bins outnumber the bins' total capacity.  This is exactly the
+            paper's set ``Lab``.
+    """
+
+    feasible: bool
+    assignment: Optional[Dict[int, Hashable]] = None
+    violated_bins: Optional[frozenset] = None
+
+
+def feasible_assignment(
+    items: Sequence[frozenset],
+    capacities: Mapping[Hashable, int],
+) -> AssignmentResult:
+    """Assign each item to one allowed bin without exceeding capacities.
+
+    ``items[i]`` is the set of bins item ``i`` may go to; ``capacities``
+    bounds how many items each bin accepts.  Feasible iff max-flow from a
+    super-source through items to bins to a super-sink saturates all
+    items.  On infeasibility the min-cut yields a *deficient* bin set
+    ``Lab``: the items whose allowed bins all lie in ``Lab`` outnumber
+    ``sum(capacities[b] for b in Lab)`` -- a constructive Hall violation.
+    """
+    net = FlowNetwork()
+    source = ("src",)
+    sink = ("snk",)
+    item_edges = []
+    for i, bins in enumerate(items):
+        eid = net.add_edge(source, ("item", i), 1)
+        item_edges.append(eid)
+        for b in bins:
+            if capacities.get(b, 0) > 0:
+                net.add_edge(("item", i), ("bin", b), 1)
+    for b, c in capacities.items():
+        if c > 0:
+            net.add_edge(("bin", b), sink, c)
+
+    flow = max_flow(net, source, sink)
+    if flow >= len(items) - 1e-9:
+        assignment: Dict[int, Hashable] = {}
+        for i, bins in enumerate(items):
+            # Find the saturated item->bin edge.
+            ui = net.node(("item", i))
+            for eid in net.adj[ui]:
+                if eid % 2 == 0 and net.flow_on(eid) > 0.5:
+                    head = net.to[eid]
+                    for key, idx in net._index.items():  # noqa: SLF001
+                        if idx == head and isinstance(key, tuple) and key[0] == "bin":
+                            assignment[i] = key[1]
+                            break
+                    break
+        return AssignmentResult(True, assignment=assignment)
+
+    # Infeasible: source side of the min cut gives the Hall violator.
+    reachable = _residual_reachable(net, source)
+    lab = set()
+    for b in capacities:
+        key = ("bin", b)
+        if key in net._index and net._index[key] in reachable:  # noqa: SLF001
+            lab.add(b)
+    # Also include allowed bins of unsaturated items that have zero
+    # declared capacity (they never entered the graph).
+    for i, bins in enumerate(items):
+        if net._index[("item", i)] in reachable:  # noqa: SLF001
+            for b in bins:
+                if capacities.get(b, 0) <= 0:
+                    lab.add(b)
+    return AssignmentResult(False, violated_bins=frozenset(lab))
+
+
+def _residual_reachable(net: FlowNetwork, source: Hashable) -> set:
+    """Nodes reachable from ``source`` in the residual graph."""
+    s = net.node(source)
+    seen = {s}
+    stack = [s]
+    while stack:
+        u = stack.pop()
+        for eid in net.adj[u]:
+            if net.cap[eid] > 0 and net.to[eid] not in seen:
+                seen.add(net.to[eid])
+                stack.append(net.to[eid])
+    return seen

@@ -1,0 +1,274 @@
+"""Lifting Q programs onto locking systems (the Q-over-L simulation).
+
+Section 5's Algorithm 4 implicitly contains a general simulation: after
+``relabel`` every edge of a variable owns a distinct lock-order count, so
+a locking system can *implement* Q's subvalue variables -- ``post``
+becomes a lock-protected read-modify-write into the slot keyed by the
+poster's count, and ``peek`` is a single read.  This module packages that
+simulation as a reusable adapter:
+
+* :class:`LiftedQProgram` wraps **any**
+  :class:`~repro.runtime.program.Program` that speaks Q instructions and
+  produces a legal L (or L2) program: a ``relabel`` prologue harvests the
+  slot keys, then every logical Q step is emulated.
+* :func:`lift` is the convenience constructor.
+
+Algorithm 4 (:mod:`repro.algorithms.algorithm4`) is this adapter
+specialized to the two-pass family labeler; the standalone version exists
+so the simulation itself can be exercised and tested independently --
+"L is at least as powerful as Q", run rather than argued.
+
+Emulation costs per logical step: ``peek`` -> 1 read; ``post`` -> lock +
+read + write + unlock (plus lock retries under contention); internal
+steps and halts pass through 1:1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Hashable, Optional, Tuple
+
+from ..core.system import InstructionSet, System
+from ..exceptions import ExecutionError
+from ..runtime.actions import (
+    Action,
+    Lock,
+    MultiLock,
+    Peek,
+    Post,
+    Read,
+    Unlock,
+    Write,
+)
+from ..runtime.program import LocalState, Program
+
+_TAG = "LV"
+
+
+def decode_variable(value: Hashable) -> Tuple[int, Tuple[Tuple[int, Hashable], ...]]:
+    """Decode an L variable's value into (lock count, post records)."""
+    if isinstance(value, tuple) and len(value) == 3 and value[0] == _TAG:
+        return value[1], value[2]
+    return 0, ()
+
+
+def encode_variable(count: int, records: Tuple[Tuple[int, Hashable], ...]) -> Hashable:
+    return (_TAG, count, tuple(sorted(records, key=lambda sr: sr[0])))
+
+
+def with_slot(
+    records: Tuple[Tuple[int, Hashable], ...], slot: int, value: Hashable
+) -> Tuple[Tuple[int, Hashable], ...]:
+    """Replace/insert one slot's record."""
+    return tuple((s, v) for s, v in records if s != slot) + ((slot, value),)
+
+
+STAGE_RELABEL = "relabel"
+STAGE_RUN = "run"
+
+SUB_LOCK = "lock"
+SUB_READ = "read"
+SUB_WRITE = "write"
+SUB_UNLOCK = "unlock"
+
+EMU_IDLE = "idle"
+EMU_POST_READ = "post-read"
+EMU_POST_WRITE = "post-write"
+EMU_POST_UNLOCK = "post-unlock"
+
+
+@dataclass(frozen=True)
+class LiftedState:
+    """Local state of a lifted program.
+
+    The relabel prologue walks the names with a lock/read/write/unlock
+    sub-machine collecting this processor's slot keys; afterwards the
+    inner Q program runs behind the post/peek emulation.
+    """
+
+    stage: str
+    orig_state: Hashable
+    name_idx: int = 0
+    sub: str = SUB_LOCK
+    pending: Optional[Tuple[int, Tuple[Tuple[int, Hashable], ...]]] = None
+    counts: Tuple[Tuple[Hashable, int], ...] = ()
+    inner: LocalState = None
+    emu: str = EMU_IDLE
+    emu_read: Optional[Tuple[int, Tuple[Tuple[int, Hashable], ...]]] = None
+
+
+class LiftedQProgram(Program):
+    """Run a Q program on a locking system.
+
+    Args:
+        inner: the Q program to lift.
+        names: the system's NAMES (the relabel prologue visits each).
+        extended: use one indivisible multi-lock for the prologue
+            (instruction set L2); the per-variable orders are then
+            restrictions of a total processor order.
+        inner_initial_from_counts: when True (default), the inner
+            program's initial state is derived from the *post-relabel*
+            state ``(orig_state, counts)`` -- what Algorithm 4 needs;
+            when False the original initial state is passed through and
+            the counts only key the slots.
+    """
+
+    def __init__(
+        self,
+        inner: Program,
+        names: Tuple[Hashable, ...],
+        extended: bool = False,
+        inner_initial_from_counts: bool = True,
+    ) -> None:
+        self.inner = inner
+        self.names = tuple(names)
+        self.extended = extended
+        self.inner_initial_from_counts = inner_initial_from_counts
+
+    # ------------------------------------------------------------------
+
+    def initial_state(self, state0) -> LocalState:
+        return LiftedState(stage=STAGE_RELABEL, orig_state=state0)
+
+    # -------------------------- relabel prologue ----------------------
+
+    def _relabel_action(self, state: LiftedState) -> Action:
+        name = self.names[state.name_idx]
+        if state.sub == SUB_LOCK:
+            if self.extended:
+                return MultiLock(tuple(self.names))
+            return Lock(name)
+        if state.sub == SUB_READ:
+            return Read(name)
+        if state.sub == SUB_WRITE:
+            count, records = state.pending
+            return Write(name, encode_variable(count + 1, records))
+        return Unlock(name)
+
+    def _enter_run(self, state: LiftedState, counts) -> LiftedState:
+        if self.inner_initial_from_counts:
+            from ..core.families import RelabeledState
+
+            seed = RelabeledState(state.orig_state, counts)
+        else:
+            seed = state.orig_state
+        return LiftedState(
+            stage=STAGE_RUN,
+            orig_state=state.orig_state,
+            counts=counts,
+            inner=self.inner.initial_state(seed),
+        )
+
+    def _relabel_transition(self, state: LiftedState, action: Action, result) -> LiftedState:
+        name = self.names[state.name_idx]
+        if state.sub == SUB_LOCK:
+            if not result:
+                return state  # spin
+            return replace(state, sub=SUB_READ)
+        if state.sub == SUB_READ:
+            return replace(state, sub=SUB_WRITE, pending=decode_variable(result))
+        if state.sub == SUB_WRITE:
+            return replace(state, sub=SUB_UNLOCK)
+        count, _records = state.pending
+        counts = state.counts + ((name, count),)
+        nxt = state.name_idx + 1
+        if nxt < len(self.names):
+            sub = SUB_READ if self.extended else SUB_LOCK
+            return replace(state, name_idx=nxt, sub=sub, pending=None, counts=counts)
+        return self._enter_run(state, tuple(sorted(counts, key=repr)))
+
+    # ----------------------------- run stage --------------------------
+
+    def _count_for(self, state: LiftedState, name) -> int:
+        for n, c in state.counts:
+            if n == name:
+                return c
+        raise ExecutionError(f"no relabel count for name {name!r}")
+
+    def _run_action(self, state: LiftedState) -> Action:
+        logical = self.inner.next_action(state.inner)
+        if state.emu == EMU_IDLE:
+            if isinstance(logical, Peek):
+                return Read(logical.name)
+            if isinstance(logical, Post):
+                return Lock(logical.name)
+            return logical
+        if state.emu == EMU_POST_READ:
+            return Read(logical.name)
+        if state.emu == EMU_POST_WRITE:
+            count, records = state.emu_read
+            slot = self._count_for(state, logical.name)
+            return Write(
+                logical.name,
+                encode_variable(count, with_slot(records, slot, logical.value)),
+            )
+        return Unlock(logical.name)
+
+    def _run_transition(self, state: LiftedState, action: Action, result) -> LiftedState:
+        logical = self.inner.next_action(state.inner)
+        if state.emu == EMU_IDLE:
+            if isinstance(logical, Peek):
+                _count, records = decode_variable(result)
+                subvalues = tuple(v for _slot, v in records)
+                inner = self.inner.transition(state.inner, logical, (None, subvalues))
+                return replace(state, inner=inner)
+            if isinstance(logical, Post):
+                if not result:
+                    return state  # lock denied; retry
+                return replace(state, emu=EMU_POST_READ)
+            inner = self.inner.transition(state.inner, logical, result)
+            return replace(state, inner=inner)
+        if state.emu == EMU_POST_READ:
+            return replace(state, emu=EMU_POST_WRITE, emu_read=decode_variable(result))
+        if state.emu == EMU_POST_WRITE:
+            return replace(state, emu=EMU_POST_UNLOCK)
+        inner = self.inner.transition(state.inner, logical, None)
+        return replace(state, emu=EMU_IDLE, emu_read=None, inner=inner)
+
+    # ------------------------------------------------------------------
+
+    def next_action(self, state: LiftedState) -> Action:
+        if state.stage == STAGE_RELABEL:
+            return self._relabel_action(state)
+        return self._run_action(state)
+
+    def transition(self, state: LiftedState, action: Action, result) -> LocalState:
+        if state.stage == STAGE_RELABEL:
+            return self._relabel_transition(state, action, result)
+        return self._run_transition(state, action, result)
+
+    def is_selected(self, state) -> bool:
+        if isinstance(state, LiftedState) and state.stage == STAGE_RUN:
+            return self.inner.is_selected(state.inner)
+        return False
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def inner_state(state: LiftedState) -> Optional[LocalState]:
+        """The lifted program's inner Q state (None during relabel)."""
+        if isinstance(state, LiftedState) and state.stage == STAGE_RUN:
+            return state.inner
+        return None
+
+    @staticmethod
+    def relabel_counts(state: LiftedState) -> Optional[Tuple[Tuple[Hashable, int], ...]]:
+        if isinstance(state, LiftedState) and state.stage == STAGE_RUN:
+            return state.counts
+        return None
+
+
+def lift(
+    inner: Program,
+    system: System,
+    inner_initial_from_counts: bool = True,
+) -> LiftedQProgram:
+    """Lift a Q program onto ``system`` (which must have locks)."""
+    if not system.instruction_set.has_locks:
+        raise ExecutionError("lifting requires a locking instruction set (L or L2)")
+    return LiftedQProgram(
+        inner,
+        system.names,
+        extended=system.instruction_set is InstructionSet.L2,
+        inner_initial_from_counts=inner_initial_from_counts,
+    )

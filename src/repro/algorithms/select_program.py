@@ -1,0 +1,218 @@
+"""SELECT(Sigma): runnable selection programs (Sections 3-5).
+
+``SELECT(Sigma)`` "uses Algorithm 2 to find the label of each processor
+and then selects the processor with a distinguished, unique label".  The
+same shape works at every level of the paper:
+
+* single system in Q -- Algorithm 2 + a singleton ELITE (Theorem 6);
+* homogeneous family in Q -- Algorithm 3 + an ELITE set hitting each
+  member exactly once (Theorem 7);
+* system in L / L2 -- Algorithm 4 (relabel + Algorithm 3 over the relabel
+  family) + the ELITE set built by Theorem 9's greedy loop.
+
+Each factory returns a :class:`~repro.runtime.program.Program` whose
+``is_selected`` is true exactly for processors that learned an ELITE
+label; Stability holds because the done-state is absorbing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Hashable, Optional
+
+from ..core.families import Family, elite_by_theorem9_greedy
+from ..core.selection import decide_selection
+from ..core.similarity import similarity_labeling
+from ..core.system import System
+from ..exceptions import SelectionError
+from ..runtime.actions import Action
+from ..runtime.program import LocalState, Program
+from .algorithm2 import Algorithm2Program
+from .algorithm3 import Algorithm3Program
+from .algorithm4 import Algorithm4Program
+from .tables import Label, LabelTables
+
+
+class SelectionWrapper(Program):
+    """Adds ELITE-based selection on top of a label-learning program."""
+
+    def __init__(
+        self,
+        inner: Program,
+        learned: Callable[[LocalState], Optional[Label]],
+        elite: FrozenSet[Label],
+    ) -> None:
+        self.inner = inner
+        self.learned = learned
+        self.elite = frozenset(elite)
+
+    def initial_state(self, state0) -> LocalState:
+        return self.inner.initial_state(state0)
+
+    def next_action(self, state) -> Action:
+        return self.inner.next_action(state)
+
+    def transition(self, state, action: Action, result) -> LocalState:
+        return self.inner.transition(state, action, result)
+
+    def is_selected(self, state) -> bool:
+        label = self.learned(state)
+        return label is not None and label in self.elite
+
+
+def select_program_q(system: System) -> SelectionWrapper:
+    """SELECT for a single system in Q (Theorem 6 + Theorem 3).
+
+    Raises:
+        SelectionError: when no processor is uniquely labeled -- by
+            Theorem 3 no selection algorithm exists.
+    """
+    theta = similarity_labeling(system)
+    unique_labels = sorted(
+        (
+            theta[p]
+            for p in system.processors
+            if theta.class_size(theta[p]) == 1
+        ),
+        key=repr,
+    )
+    if not unique_labels:
+        raise SelectionError(
+            "every processor shares its similarity label; no selection "
+            "algorithm exists (Theorem 3)"
+        )
+    elite = frozenset({unique_labels[0]})
+    tables = LabelTables.from_labeled_system(system, theta)
+    inner = Algorithm2Program(tables)
+    return SelectionWrapper(inner, Algorithm2Program.learned_label, elite)
+
+
+def select_program_family(
+    family: Family, elite: Optional[FrozenSet[Hashable]] = None
+) -> SelectionWrapper:
+    """SELECT for a homogeneous family in Q (Theorem 7 + Algorithm 3)."""
+    if elite is None:
+        elite = family.elite()
+        if elite is None:
+            raise SelectionError(
+                "no ELITE set hits each member exactly once; no selection "
+                "algorithm exists for this family (Theorem 7)"
+            )
+    inner = Algorithm3Program(family)
+    return SelectionWrapper(inner, Algorithm3Program.learned_label, frozenset(elite))
+
+
+def select_program_l(system: System) -> SelectionWrapper:
+    """SELECT for a system in L or L2 (Theorem 9 + Algorithm 4).
+
+    Raises:
+        SelectionError: when some relabel version pairs every processor
+            (no selection algorithm exists, Theorems 3/8), or when the
+            greedy ELITE construction fails.
+    """
+    decision = decide_selection(system)
+    if not decision.possible:
+        raise SelectionError(decision.reason)
+    inner = Algorithm4Program(system)
+    versions = inner.family.member_labelings()
+    elite = elite_by_theorem9_greedy(versions, system.processors)
+    return SelectionWrapper(inner, Algorithm4Program.learned_label, elite)
+
+
+def select_program_s(system: System, bound_k: Optional[int] = None) -> SelectionWrapper:
+    """SELECT for a bounded-fair system in S (Section 6).
+
+    Uses the S-variant labeler with absence alibis enabled by the
+    fairness bound (default ``2 * |P|``).
+
+    Raises:
+        SelectionError: when the SET-model similarity labeling leaves
+            every processor paired (Theorem 3).
+    """
+    from ..core.environment import EnvironmentModel
+    from .algorithm2_s import Algorithm2SProgram
+
+    theta = similarity_labeling(system, model=EnvironmentModel.SET)
+    unique_labels = sorted(
+        (
+            theta[p]
+            for p in system.processors
+            if theta.class_size(theta[p]) == 1
+        ),
+        key=repr,
+    )
+    if not unique_labels:
+        raise SelectionError(
+            "every processor shares its SET-model similarity label; no "
+            "selection algorithm exists for bounded-fair S (Theorem 3)"
+        )
+    if bound_k is None:
+        bound_k = 2 * len(system.processors)
+    tables = LabelTables.from_labeled_system(
+        system, theta, model=EnvironmentModel.SET
+    )
+    inner = Algorithm2SProgram(tables, bound_k=bound_k)
+    return SelectionWrapper(
+        inner, Algorithm2SProgram.learned_label, frozenset({unique_labels[0]})
+    )
+
+
+def select_program(system: System) -> SelectionWrapper:
+    """Dispatch SELECT on the system's instruction set and schedule class."""
+    from ..core.system import InstructionSet, ScheduleClass
+
+    if system.schedule_class is ScheduleClass.GENERAL:
+        raise SelectionError(
+            "no selection algorithm exists under general schedules (Theorem 1)"
+        )
+    if system.instruction_set is InstructionSet.Q:
+        return select_program_q(system)
+    if system.instruction_set in (InstructionSet.L, InstructionSet.L2):
+        return select_program_l(system)
+    if system.schedule_class is ScheduleClass.BOUNDED_FAIR:
+        return select_program_s(system)
+    return select_program_fair_s(system)
+
+
+def select_program_fair_s(system: System) -> SelectionWrapper:
+    """SELECT for a *fair* (not bounded-fair) system in S (Section 6).
+
+    Selection under plain fairness is possible iff some processor mimics
+    no other.  Such a processor is immune to the fair-S obstruction: every
+    label it might be confused with would require a subsystem view it can
+    eventually refute, so the bound-free S labeler does narrow its PEC to
+    a singleton (while mimicking processors may stay uncertain forever --
+    harmlessly, since their labels are not in ELITE).
+
+    The designated winner is the non-mimicking processor with the
+    smallest SET-model label.
+
+    Raises:
+        SelectionError: when every processor mimics another (Section 6's
+            impossibility), or when the non-mimicker's label is shared
+            (cannot happen -- mimicry extends similarity -- but checked).
+    """
+    from ..core.environment import EnvironmentModel
+    from ..core.mimicry import processors_mimicking_no_other
+    from .algorithm2_s import Algorithm2SProgram
+
+    winners = processors_mimicking_no_other(system)
+    if not winners:
+        raise SelectionError(
+            "every processor mimics some other processor; no selection "
+            "algorithm exists for this fair system in S (Section 6)"
+        )
+    theta = similarity_labeling(system, model=EnvironmentModel.SET)
+    candidate_labels = sorted((theta[p] for p in winners), key=repr)
+    designated = candidate_labels[0]
+    if theta.class_size(designated) != 1:
+        raise SelectionError(
+            "non-mimicking processor shares its label; inconsistent "
+            "similarity analysis"
+        )
+    tables = LabelTables.from_labeled_system(
+        system, theta, model=EnvironmentModel.SET
+    )
+    inner = Algorithm2SProgram(tables, bound_k=None)  # no bound: plain fairness
+    return SelectionWrapper(
+        inner, Algorithm2SProgram.learned_label, frozenset({designated})
+    )

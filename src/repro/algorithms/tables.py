@@ -1,0 +1,201 @@
+"""Label tables: what Algorithm 2 knows about the system (Section 4).
+
+Algorithm 2 "is specific for the system Sigma, but can be generated
+automatically from the bipartite graph specification of Sigma".  The
+generated part is collected here as :class:`LabelTables`:
+
+* ``PLABELS`` / ``VLABELS`` -- the processor/variable labels of the
+  similarity labeling Theta;
+* the initial state of each label class (condition (1) of environments
+  guarantees this is well-defined);
+* the label-level ``n-nbr`` function (condition (2): all processors with
+  one label have same-labeled n-neighbors);
+* ``neighborhood_size(n, alpha, beta)`` -- the number of n-neighbors
+  labeled ``alpha`` of a variable labeled ``beta`` (condition (3): equal
+  for all variables labeled ``beta``).
+
+Tables can be built from a single system or from a family (via the union
+system), optionally ignoring initial states (Algorithm 3's first pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Mapping, Optional, Tuple
+
+from ..core.environment import EnvironmentModel
+from ..core.labeling import Labeling
+from ..core.names import Name, NodeId, State
+from ..core.refinement import compute_similarity_labeling
+from ..core.system import System
+from ..exceptions import LabelingError
+
+Label = Hashable
+
+
+@dataclass(frozen=True)
+class LabelTables:
+    """The topology-derived knowledge every processor is given."""
+
+    names: Tuple[Name, ...]
+    plabels: FrozenSet[Label]
+    vlabels: FrozenSet[Label]
+    pstate: Mapping[Label, Optional[State]]
+    vstate: Mapping[Label, Optional[State]]
+    nbr_label: Mapping[Tuple[Label, Name], Label]
+    sizes: Mapping[Tuple[Name, Label, Label], int]
+    include_state: bool
+
+    # ------------------------------------------------------------------
+
+    def n_nbr_label(self, plabel: Label, name: Name) -> Label:
+        """The label of the ``name``-neighbor of any ``plabel`` processor."""
+        return self.nbr_label[(plabel, name)]
+
+    def neighborhood_size(self, name: Name, plabel: Label, vlabel: Label) -> int:
+        """Number of ``name``-neighbors labeled ``plabel`` of a ``vlabel``
+        variable (0 if the combination never occurs)."""
+        return self.sizes.get((name, plabel, vlabel), 0)
+
+    def plabels_with_state(self, state: State) -> FrozenSet[Label]:
+        """Initial PEC: labels whose class shares this initial state."""
+        if not self.include_state:
+            return self.plabels
+        return frozenset(a for a in self.plabels if self.pstate[a] == state)
+
+    def vlabels_with_state(self, state: State) -> FrozenSet[Label]:
+        """Initial VEC entry: variable labels matching an observed base."""
+        if not self.include_state:
+            return self.vlabels
+        return frozenset(b for b in self.vlabels if self.vstate[b] == state)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_labeled_system(
+        system: System,
+        theta: Labeling,
+        include_state: bool = True,
+        model: EnvironmentModel = EnvironmentModel.MULTISET,
+    ) -> "LabelTables":
+        """Build tables from a system and its similarity labeling.
+
+        Under the MULTISET model (Q/L) the per-(name, label) neighbor
+        counts must be identical across every variable of a class; under
+        the SET model (bounded-fair S) only *presence* is class-invariant,
+        so counts are aggregated as the per-class maximum (the S-side
+        alibis only ever ask "is it >= 1", and the absence-rule gate uses
+        the counts as a conservative upper bound).
+
+        Raises:
+            LabelingError: if the labeling is not environment-respecting
+                enough for the tables to be well-defined, or if some
+                processor gives one variable several names (Algorithm 2's
+                post/peek bookkeeping cannot disambiguate that case; the
+                paper silently assumes it away).
+        """
+        net = system.network
+        for p in net.processors:
+            nbrs = list(net.neighbors_of_processor(p).values())
+            if len(set(nbrs)) != len(nbrs):
+                raise LabelingError(
+                    f"processor {p!r} names one variable twice; "
+                    f"Algorithm 2 does not support multi-edges"
+                )
+
+        plabels = frozenset(theta[p] for p in net.processors)
+        vlabels = frozenset(theta[v] for v in net.variables)
+        overlap = plabels & vlabels
+        if overlap:
+            raise LabelingError(f"labels used for both kinds: {overlap!r}")
+
+        pstate: Dict[Label, Optional[State]] = {}
+        vstate: Dict[Label, Optional[State]] = {}
+        for node in net.nodes:
+            label = theta[node]
+            store = pstate if net.is_processor(node) else vstate
+            value = system.state0(node) if include_state else None
+            if label in store and store[label] != value:
+                raise LabelingError(
+                    f"label {label!r} spans different initial states; "
+                    f"not a similarity labeling"
+                )
+            store[label] = value
+
+        nbr_label: Dict[Tuple[Label, Name], Label] = {}
+        for p in net.processors:
+            for name in net.names:
+                key = (theta[p], name)
+                value = theta[net.n_nbr(p, name)]
+                if key in nbr_label and nbr_label[key] != value:
+                    raise LabelingError(
+                        f"processors labeled {key[0]!r} have differently "
+                        f"labeled {name!r}-neighbors; not environment-respecting"
+                    )
+                nbr_label[key] = value
+
+        sizes: Dict[Tuple[Name, Label, Label], int] = {}
+        counted: Dict[Label, NodeId] = {}
+        for v in net.variables:
+            beta = theta[v]
+            counts: Dict[Tuple[Name, Label], int] = {}
+            for proc, name in net.neighbors_of_variable(v):
+                key = (name, theta[proc])
+                counts[key] = counts.get(key, 0) + 1
+            if beta in counted:
+                existing = {
+                    (n, a): c for (n, a, b), c in sizes.items() if b == beta
+                }
+                if model is EnvironmentModel.MULTISET:
+                    # Exact counts must be class-invariant.
+                    if existing != counts:
+                        raise LabelingError(
+                            f"variables labeled {beta!r} have different "
+                            f"neighborhood profiles; not environment-respecting"
+                        )
+                else:
+                    # SET model: presence must be class-invariant; counts
+                    # aggregate as the maximum (a sound upper bound).
+                    if set(existing) != set(counts):
+                        raise LabelingError(
+                            f"variables labeled {beta!r} have different "
+                            f"neighbor-label sets; not environment-respecting"
+                        )
+                    for key, c in counts.items():
+                        name, alpha = key
+                        sizes[(name, alpha, beta)] = max(
+                            sizes[(name, alpha, beta)], c
+                        )
+            else:
+                counted[beta] = v
+                for (name, alpha), c in counts.items():
+                    sizes[(name, alpha, beta)] = c
+
+        return LabelTables(
+            names=net.names,
+            plabels=plabels,
+            vlabels=vlabels,
+            pstate=pstate,
+            vstate=vstate,
+            nbr_label=nbr_label,
+            sizes=sizes,
+            include_state=include_state,
+        )
+
+    @staticmethod
+    def from_system(system: System, include_state: bool = True) -> "LabelTables":
+        """Compute Theta (Algorithm 1) and build tables from it."""
+        theta = compute_similarity_labeling(system, include_state=include_state).labeling
+        return LabelTables.from_labeled_system(system, theta, include_state)
+
+    @staticmethod
+    def from_family(family, include_state: bool = True) -> "LabelTables":
+        """Tables of a family: built on the union system (Section 5).
+
+        The union system's labeling gives labels comparable across
+        members, so one table set serves every member -- which is what a
+        family-wide program needs.
+        """
+        union = family.union_system()
+        theta = compute_similarity_labeling(union, include_state=include_state).labeling
+        return LabelTables.from_labeled_system(union, theta, include_state)

@@ -1,0 +1,45 @@
+"""Analysis tools: the Theorem-1 adversary, candidate zoo, reporting."""
+
+from .adversaries import (
+    LockContentionAdversary,
+    StallLearningAdversary,
+    pec_uncertainty,
+)
+from .candidates import (
+    candidate_zoo,
+    grab_flag,
+    polite_grab_flag,
+    select_immediately,
+    sticky_beacon,
+    tournament,
+    wait_then_claim,
+)
+from .flp import Refutation, crash_as_schedule, refute_selection
+from .reporting import format_table, print_table, yesno
+from .system_report import SystemReport, full_report
+from .witness_search import Witness, enumerate_networks, find_witnesses, smallest_witness
+
+__all__ = [
+    "LockContentionAdversary",
+    "Refutation",
+    "StallLearningAdversary",
+    "SystemReport",
+    "Witness",
+    "candidate_zoo",
+    "crash_as_schedule",
+    "enumerate_networks",
+    "find_witnesses",
+    "format_table",
+    "full_report",
+    "grab_flag",
+    "polite_grab_flag",
+    "print_table",
+    "pec_uncertainty",
+    "refute_selection",
+    "smallest_witness",
+    "tournament",
+    "select_immediately",
+    "sticky_beacon",
+    "wait_then_claim",
+    "yesno",
+]

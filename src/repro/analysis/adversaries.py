@@ -1,0 +1,123 @@
+"""Adaptive adversarial schedulers.
+
+Theorem 6 promises Algorithm 2 converges under *every* fair schedule --
+including schedules chosen adaptively by an adversary who inspects the
+whole configuration after each step.  The oblivious batteries elsewhere
+can miss adversarial interleavings; the schedulers here actively try to
+hurt the algorithms while respecting a fairness bound:
+
+* :class:`StallLearningAdversary` -- within a k-bounded-fair envelope,
+  prefer stepping processors whose suspect sets are already singletons
+  (wasted work) and starve the most-uncertain processor as long as the
+  bound allows.
+* :class:`LockContentionAdversary` -- schedule processors about to *fail*
+  a lock acquisition first, maximizing contention in L programs.
+
+Tests run Algorithms 2 and 4 under these adversaries and assert the
+theorems survive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.names import NodeId
+from ..runtime.actions import Lock
+from ..runtime.scheduler import Scheduler
+
+
+class _BoundedAdaptive(Scheduler):
+    """k-bounded fairness envelope around an adaptive preference."""
+
+    def __init__(self, processors, k: Optional[int] = None) -> None:
+        self._procs = tuple(processors)
+        n = len(self._procs)
+        self.k = k if k is not None else 3 * n
+        if self.k < n:
+            raise ValueError(f"k={self.k} below processor count {n}")
+        self._last_run: Dict[NodeId, int] = {p: -1 for p in self._procs}
+
+    def _score(self, processor: NodeId, view) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    def next_processor(self, step_index: int, view) -> NodeId:
+        overdue = [
+            p
+            for p in self._procs
+            if step_index - self._last_run[p] >= self.k - 1
+        ]
+        if overdue:
+            choice = min(overdue, key=lambda p: (self._last_run[p], repr(p)))
+        else:
+            # Highest adversarial score wins; ties broken deterministically.
+            choice = max(
+                self._procs, key=lambda p: (self._score(p, view), repr(p))
+            )
+        self._last_run[choice] = step_index
+        return choice
+
+    def reset(self) -> None:
+        self._last_run = {p: -1 for p in self._procs}
+
+
+class StallLearningAdversary(_BoundedAdaptive):
+    """Starve the most-uncertain processor; burn steps on settled ones.
+
+    Scores a processor by how *little* it has left to learn: settled
+    processors (singleton PEC or halted) are preferred, the processor
+    with the largest suspect set is only stepped when the bound forces
+    it.  ``uncertainty_of`` maps a local state to a number (e.g.
+    ``len(state.pec)``).
+    """
+
+    def __init__(
+        self,
+        processors,
+        uncertainty_of: Callable[[object], float],
+        k: Optional[int] = None,
+    ) -> None:
+        super().__init__(processors, k)
+        self._uncertainty_of = uncertainty_of
+
+    def _score(self, processor: NodeId, view) -> float:
+        if view is None:
+            return 0.0
+        try:
+            uncertainty = self._uncertainty_of(view.local[processor])
+        except Exception:
+            uncertainty = 0.0
+        return -float(uncertainty)
+
+
+def pec_uncertainty(state) -> float:
+    """Uncertainty measure for Algorithm-2-family local states."""
+    pec = getattr(state, "pec", None)
+    if pec is None:
+        inner = getattr(state, "inner", None)
+        if inner is not None:
+            return pec_uncertainty(inner)
+        return 0.0
+    return float(len(pec))
+
+
+class LockContentionAdversary(_BoundedAdaptive):
+    """Prefer stepping processors whose next action is a doomed lock.
+
+    Maximizes failed acquisitions and retry spinning in L programs while
+    staying k-bounded fair.
+    """
+
+    def _score(self, processor: NodeId, view) -> float:
+        if view is None:
+            return 0.0
+        try:
+            state = view.local[processor]
+            action = view.program.next_action(state)
+        except Exception:
+            return 0.0
+        if isinstance(action, Lock):
+            variable = view.vars[view.system.n_nbr(processor, action.name)]
+            if getattr(variable, "locked", False):
+                return 2.0  # a guaranteed-failed lock: pure waste
+            return 1.0  # taking a lock someone else may want
+        return 0.0

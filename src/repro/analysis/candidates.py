@@ -1,0 +1,209 @@
+"""Candidate selection programs for the Theorem 1 adversary.
+
+Theorem 1 quantifies over all programs; a runtime experiment cannot, so
+the benchmark instead feeds the adversary a zoo of plausible attempts --
+the kinds of programs one might naively write to solve selection with
+only reads and writes -- and shows each one falls to a starvation or
+double-selection schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from ..core.names import Name
+from ..runtime.actions import Action, Internal, Read, Write
+from ..runtime.program import FunctionalProgram, Program
+
+
+def select_immediately() -> Program:
+    """Selects itself on its first step.  (Violates Uniqueness trivially.)"""
+
+    def action(state: Action) -> Action:
+        return Internal("select")
+
+    return FunctionalProgram(
+        initial=lambda s0: ("start",),
+        action=lambda st: Internal("select"),
+        step=lambda st, a, r: ("selected",),
+        selected=lambda st: st == ("selected",),
+    )
+
+
+def grab_flag(name: Name) -> Program:
+    """Read the shared variable; if untouched, write a claim and select.
+
+    The classic doomed test-and-set built from separate read and write
+    steps: two processors can both read "untouched" before either
+    writes.
+    """
+
+    def act(st):
+        stage = st[0]
+        if stage == "read":
+            return Read(name)
+        if stage == "claim":
+            return Write(name, "claimed")
+        return Internal("idle")
+
+    def step(st, a, r):
+        stage = st[0]
+        if stage == "read":
+            if r == "claimed":
+                return ("lost",)
+            return ("claim",)
+        if stage == "claim":
+            return ("selected",)
+        return st
+
+    return FunctionalProgram(
+        initial=lambda s0: ("read",),
+        action=act,
+        step=step,
+        selected=lambda st: st == ("selected",),
+    )
+
+
+def polite_grab_flag(name: Name) -> Program:
+    """Write a mark, re-read, select if the mark survived.
+
+    Politeness does not help: with identical anonymous processors the
+    marks are identical, so a survivor check cannot tell *whose* mark
+    survived.
+    """
+
+    def act(st):
+        stage = st[0]
+        if stage == "mark":
+            return Write(name, "mark")
+        if stage == "check":
+            return Read(name)
+        return Internal("idle")
+
+    def step(st, a, r):
+        stage = st[0]
+        if stage == "mark":
+            return ("check",)
+        if stage == "check":
+            if r == "mark":
+                return ("selected",)
+            return ("lost",)
+        return st
+
+    return FunctionalProgram(
+        initial=lambda s0: ("mark",),
+        action=act,
+        step=step,
+        selected=lambda st: st == ("selected",),
+    )
+
+
+def wait_then_claim(name: Name, patience: int) -> Program:
+    """Spin for ``patience`` internal steps, then do grab-flag.
+
+    Waiting cannot help under general schedules: the adversary just
+    starves the waiter (or lets both wait in lockstep).
+    """
+
+    inner = grab_flag(name)
+
+    def act(st):
+        if st[0] == "wait":
+            return Internal("wait")
+        return inner.next_action(st[1])
+
+    def step(st, a, r):
+        if st[0] == "wait":
+            remaining = st[1] - 1
+            if remaining <= 0:
+                return ("go", inner.initial_state(None))
+            return ("wait", remaining)
+        return ("go", inner.transition(st[1], a, r))
+
+    return FunctionalProgram(
+        initial=lambda s0: ("wait", patience),
+        action=act,
+        step=step,
+        selected=lambda st: st[0] == "go" and inner.is_selected(st[1]),
+    )
+
+
+def candidate_zoo(name: Name) -> List[Tuple[str, Callable[[], Program]]]:
+    """All candidate builders, with display names."""
+    return [
+        ("select-immediately", select_immediately),
+        ("grab-flag", lambda: grab_flag(name)),
+        ("polite-grab-flag", lambda: polite_grab_flag(name)),
+        ("wait-then-claim", lambda: wait_then_claim(name, patience=3)),
+        ("tournament-3", lambda: tournament(name, rounds=3)),
+        ("sticky-beacon", lambda: sticky_beacon(name)),
+    ]
+
+
+def tournament(name: Name, rounds: int) -> Program:
+    """Alternate writing a round counter and reading for a collision.
+
+    Each round: write my round number, read back; if the value ever
+    differs from what I wrote, somebody else exists -- defer to them by
+    one round.  After ``rounds`` undisturbed rounds, select.  Under
+    general schedules lockstep twins never disturb each other
+    (identical writes!), so they finish together.
+    """
+
+    def act(st):
+        phase, r = st[0], st[1]
+        if phase == "write":
+            return Write(name, ("round", r))
+        if phase == "read":
+            return Read(name)
+        return Internal("idle")
+
+    def step(st, a, r):
+        phase, rnd = st[0], st[1]
+        if phase == "write":
+            return ("read", rnd)
+        if phase == "read":
+            if r != ("round", rnd):
+                return ("write", max(0, rnd - 1))  # defer
+            if rnd + 1 >= rounds:
+                return ("selected", rnd)
+            return ("write", rnd + 1)
+        return st
+
+    return FunctionalProgram(
+        initial=lambda s0: ("write", 0),
+        action=act,
+        step=step,
+        selected=lambda st: st[0] == "selected",
+    )
+
+
+def sticky_beacon(name: Name) -> Program:
+    """Write a beacon once, then poll; select when the beacon survives
+    two consecutive reads.  Survivable only if nobody else writes -- but
+    identical twins write identical beacons."""
+
+    def act(st):
+        phase = st[0]
+        if phase == "write":
+            return Write(name, "beacon")
+        if phase in ("poll1", "poll2"):
+            return Read(name)
+        return Internal("idle")
+
+    def step(st, a, r):
+        phase = st[0]
+        if phase == "write":
+            return ("poll1",)
+        if phase == "poll1":
+            return ("poll2",) if r == "beacon" else ("write",)
+        if phase == "poll2":
+            return ("selected",) if r == "beacon" else ("write",)
+        return st
+
+    return FunctionalProgram(
+        initial=lambda s0: ("write",),
+        action=act,
+        step=step,
+        selected=lambda st: st == ("selected",),
+    )

@@ -1,0 +1,46 @@
+"""Paper-style text tables for benchmark and experiment output.
+
+Every benchmark prints its findings through these helpers so that
+``pytest benchmarks/ --benchmark-only`` regenerates the qualitative
+content of the paper (the claims of Theorems 1-11 and Figures 1-5) as
+readable tables, which EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a simple aligned text table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> None:
+    print()
+    print(format_table(headers, rows, title))
+
+
+def yesno(value: bool) -> str:
+    return "yes" if value else "no"

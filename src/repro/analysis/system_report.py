@@ -1,0 +1,111 @@
+"""One-call dossiers: everything the library can say about a system.
+
+`full_report(network, state)` runs the whole analysis stack -- similarity
+per model, graph symmetry and its gap, the quotient, selection decisions
+across the hierarchy, and the application decisions -- and renders it as
+one text document.  The CLI exposes it as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..core.hierarchy import POWER_ORDER, selection_across_models
+from ..core.names import NodeId, State
+from ..core.network import Network
+from ..core.quotient import quotient_system
+from ..core.similarity import similarity_labeling
+from ..core.symmetry import is_symmetric_system, symmetry_gap
+from ..core.system import InstructionSet, System
+from .reporting import format_table, yesno
+
+
+@dataclass(frozen=True)
+class SystemReport:
+    """The assembled dossier (also renderable as text)."""
+
+    description: str
+    processor_classes: int
+    variable_classes: int
+    symmetric: bool
+    gap: int
+    decisions: Mapping[str, bool]
+    renaming: bool
+    committee_sizes: tuple
+    text: str
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.text
+
+
+def full_report(
+    network: Network,
+    state: Optional[Mapping[NodeId, State]] = None,
+    description: str = "",
+) -> SystemReport:
+    """Analyze ``network``+``state`` under every model and summarize."""
+    from ..applications import committee_possible, renaming_possible
+
+    q_system = System(network, state, InstructionSet.Q)
+    theta = similarity_labeling(q_system)
+    quotient = quotient_system(q_system, theta)
+    symmetric = is_symmetric_system(q_system)
+    gap_report = symmetry_gap(q_system)
+    model_report = selection_across_models(network, state, description)
+    decisions = {
+        m: model_report.decisions[m].possible for m in POWER_ORDER
+    }
+    renaming = renaming_possible(q_system)
+    n = len(q_system.processors)
+    committee_sizes = tuple(
+        k for k in range(n + 1) if committee_possible(q_system, k)
+    )
+
+    lines = []
+    title = description or repr(network)
+    lines.append(f"=== system dossier: {title} ===")
+    lines.append("")
+    lines.append(
+        f"nodes: {len(q_system.processors)} processors, "
+        f"{len(q_system.variables)} variables, NAMES = {list(network.names)}"
+    )
+    lines.append(
+        f"similarity classes: {quotient.processor_class_count} processor, "
+        f"{quotient.variable_class_count} variable"
+    )
+    blocks = [
+        "{" + ",".join(sorted(map(str, b & set(q_system.processors)))) + "}"
+        for b in theta.blocks
+        if b & set(q_system.processors)
+    ]
+    lines.append(f"processor classes: {' '.join(blocks)}")
+    lines.append(
+        f"graph-symmetric: {yesno(symmetric)}; "
+        f"similar-but-not-symmetric pairs: {len(gap_report.merged_but_not_symmetric)}"
+    )
+    lines.append("")
+    lines.append(
+        format_table(
+            ["model"] + list(POWER_ORDER),
+            [("selection possible",) + tuple(yesno(decisions[m]) for m in POWER_ORDER)],
+        )
+    )
+    lines.append("")
+    lines.append(f"renaming possible (Q): {yesno(renaming)}")
+    lines.append(
+        "committee sizes possible (Q): "
+        + (",".join(map(str, committee_sizes)) or "-")
+    )
+    text = "\n".join(lines)
+    return SystemReport(
+        description=title,
+        processor_classes=quotient.processor_class_count,
+        variable_classes=quotient.variable_class_count,
+        symmetric=symmetric,
+        gap=gap_report.gap,
+        decisions=decisions,
+        renaming=renaming,
+        committee_sizes=committee_sizes,
+        text=text,
+    )

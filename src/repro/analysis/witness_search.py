@@ -1,0 +1,135 @@
+"""Automatic search for model-separation witnesses.
+
+The hierarchy benchmarks use hand-built witnesses; this tool *finds*
+witnesses by exhausting small systems, which both double-checks the
+hand-built ones (they are not flukes) and answers new questions ("is
+there a 2-processor system separating X from Y at all?").
+
+Enumeration: all networks with ``n_processors`` processors, ``n_names``
+names and at most ``n_variables`` variables (every function
+processors x names -> variables), optionally with one marked initial
+state, deduplicated up to isomorphism via canonical forms.  For each
+system the selection decision is computed under both models; systems
+where the weaker model fails and the stronger succeeds are yielded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterator, List, Optional
+
+from ..core.hierarchy import MODEL_AXIS
+from ..core.network import Network
+from ..core.quotient import canonical_form
+from ..core.selection import decide_selection
+from ..core.system import System
+
+_MODEL_BY_NAME = {label: (iset, sched) for label, iset, sched in MODEL_AXIS}
+
+
+def enumerate_networks(
+    n_processors: int, n_names: int, n_variables: int
+) -> Iterator[Network]:
+    """All networks on the given node budget (up to variable renaming).
+
+    Variables are used densely: a network whose edge targets skip
+    ``v1`` while using ``v2`` is isomorphic to a denser one, so we demand
+    the used variable set be a prefix of ``v0..``; full isomorphism
+    dedup happens in the caller via canonical forms.
+    """
+    procs = [f"p{i}" for i in range(n_processors)]
+    names = [f"n{i}" for i in range(n_names)]
+    variables = [f"v{j}" for j in range(n_variables)]
+    slots = [(p, n) for p in procs for n in names]
+    for assignment in product(range(n_variables), repeat=len(slots)):
+        used = sorted(set(assignment))
+        if used != list(range(len(used))):
+            continue  # not a dense prefix; isomorphic duplicate
+        edges: Dict[str, Dict[str, str]] = {p: {} for p in procs}
+        for (p, n), v in zip(slots, assignment):
+            edges[p][n] = variables[v]
+        yield Network(names, edges)
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A found separation witness."""
+
+    system: System
+    weaker: str
+    stronger: str
+
+    def describe(self) -> str:
+        net = self.system.network
+        parts = []
+        for p in net.processors:
+            nbrs = net.neighbors_of_processor(p)
+            parts.append(
+                f"{p}:{{{', '.join(f'{n}->{v}' for n, v in sorted(nbrs.items()))}}}"
+            )
+        marks = [n for n in self.system.nodes if self.system.state0(n) != 0]
+        mark_part = f" marks={marks}" if marks else ""
+        return "; ".join(parts) + mark_part
+
+
+def find_witnesses(
+    weaker: str,
+    stronger: str,
+    max_processors: int = 3,
+    max_names: int = 2,
+    max_variables: int = 3,
+    allow_marks: bool = False,
+    limit: int = 1,
+) -> List[Witness]:
+    """Search small systems where ``weaker`` fails and ``stronger`` works.
+
+    Args:
+        weaker/stronger: model labels from
+            :data:`repro.core.hierarchy.MODEL_AXIS` (e.g. ``"Q"``, ``"L"``).
+        max_*: enumeration bounds (cost grows as
+            ``variables ** (processors * names)``).
+        allow_marks: also try marking one processor's initial state.
+        limit: stop after this many witnesses.
+    """
+    from ..core.quotient import are_isomorphic
+
+    w_iset, w_sched = _MODEL_BY_NAME[weaker]
+    s_iset, s_sched = _MODEL_BY_NAME[stronger]
+    # Dedup up to exact isomorphism: canonical forms bucket the
+    # candidates (they are isomorphism-invariant but not complete --
+    # quotient-identical non-isomorphic systems exist), the matcher
+    # settles collisions.
+    seen: Dict[object, List[System]] = {}
+    out: List[Witness] = []
+    for n_procs in range(1, max_processors + 1):
+        for n_names in range(1, max_names + 1):
+            for net in enumerate_networks(n_procs, n_names, max_variables):
+                markings: List[Optional[str]] = [None]
+                if allow_marks:
+                    markings += list(net.processors)
+                for mark in markings:
+                    state = {mark: 1} if mark is not None else {}
+                    probe = System(net, state, w_iset, w_sched)
+                    form = canonical_form(probe)
+                    bucket = seen.setdefault(form, [])
+                    if any(are_isomorphic(probe, prior) for prior in bucket):
+                        continue
+                    bucket.append(probe)
+                    weak_decision = decide_selection(probe)
+                    if weak_decision.possible:
+                        continue
+                    strong = System(net, state, s_iset, s_sched)
+                    if decide_selection(strong).possible:
+                        out.append(Witness(strong, weaker, stronger))
+                        if len(out) >= limit:
+                            return out
+    return out
+
+
+def smallest_witness(
+    weaker: str, stronger: str, allow_marks: bool = False
+) -> Optional[Witness]:
+    """The first witness in size order, or None within default bounds."""
+    found = find_witnesses(weaker, stronger, allow_marks=allow_marks, limit=1)
+    return found[0] if found else None

@@ -1,0 +1,39 @@
+"""Applications of the similarity machinery beyond plain selection."""
+
+from .choice_coordination import (
+    ChoiceOutcome,
+    ChoiceProgram,
+    coordinated_choice_possible,
+    designated_alternative,
+    run_choice_coordination,
+)
+from .committee import (
+    CommitteeOutcome,
+    committee_labels,
+    committee_possible,
+    committee_program,
+    run_committee,
+)
+from .renaming import (
+    RenamingOutcome,
+    RenamingProgram,
+    renaming_possible,
+    run_renaming,
+)
+
+__all__ = [
+    "ChoiceOutcome",
+    "ChoiceProgram",
+    "CommitteeOutcome",
+    "RenamingOutcome",
+    "RenamingProgram",
+    "committee_labels",
+    "committee_possible",
+    "committee_program",
+    "coordinated_choice_possible",
+    "designated_alternative",
+    "renaming_possible",
+    "run_choice_coordination",
+    "run_committee",
+    "run_renaming",
+]

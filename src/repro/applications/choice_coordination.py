@@ -1,0 +1,183 @@
+"""Rabin's choice coordination problem [R80], via similarity.
+
+The paper calls selection "a generalization of the coordinated choice
+problem": n processors must all mark the *same one* of k alternatives
+(shared variables).  The similarity analysis decides it: a deterministic
+solution exists iff some alternative is **uniquely labeled** among the
+alternatives -- similar alternatives can be kept behaviorally identical
+forever, so no deterministic rule can break the tie (which is exactly
+why Rabin introduced randomization for the symmetric case).
+
+The positive side runs on Algorithm 2: each processor learns its own
+label, derives its variables' labels through the label-level ``n-nbr``
+table, and marks its variable whose label is the designated unique one.
+Because that label names exactly one variable, all marks land together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Sequence, Tuple
+
+from ..algorithms.algorithm2 import A2State, Algorithm2Program
+from ..algorithms.tables import LabelTables
+from ..core.names import NodeId
+from ..core.similarity import similarity_labeling
+from ..core.system import System
+from ..exceptions import SelectionError
+from ..runtime.actions import Action, Halt, Post
+from ..runtime.executor import Executor
+from ..runtime.program import LocalState
+from ..runtime.scheduler import RoundRobinScheduler, Scheduler
+
+MARK = "CHOICE-MARK"
+
+
+def coordinated_choice_possible(
+    system: System, alternatives: Sequence[NodeId]
+) -> bool:
+    """Is there a deterministic choice among the given variables?"""
+    theta = similarity_labeling(system)
+    labels = [theta[v] for v in alternatives]
+    return any(labels.count(l) == 1 for l in labels)
+
+
+def designated_alternative(
+    system: System, alternatives: Sequence[NodeId]
+) -> NodeId:
+    """The canonical choice: the uniquely labeled alternative with the
+    smallest label.
+
+    Raises:
+        SelectionError: if every alternative has a similar twin.
+    """
+    theta = similarity_labeling(system)
+    labels = [theta[v] for v in alternatives]
+    unique = sorted(
+        (l for l in labels if labels.count(l) == 1), key=repr
+    )
+    if not unique:
+        raise SelectionError(
+            "all alternatives are similar to another; no deterministic "
+            "coordinated choice exists (use randomization, per [R80])"
+        )
+    winner_label = unique[0]
+    for v in alternatives:
+        if theta[v] == winner_label:
+            return v
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+class ChoiceProgram(Algorithm2Program):
+    """Learn my label, then mark my alternative if it is the chosen one.
+
+    The extra phase after Algorithm 2 finishes: for each of my names
+    whose label-level neighbor is the designated label, post a MARK.
+    """
+
+    def __init__(self, tables: LabelTables, chosen_vlabel: Hashable) -> None:
+        super().__init__(tables)
+        self.chosen_vlabel = chosen_vlabel
+
+    def _mark_names(self, state: A2State) -> Tuple[Hashable, ...]:
+        label = Algorithm2Program.learned_label(state)
+        if label is None:
+            return ()
+        return tuple(
+            name
+            for name in self.tables.names
+            if self.tables.n_nbr_label(label, name) == self.chosen_vlabel
+        )
+
+    def next_action(self, state) -> Action:
+        if Algorithm2Program.is_done(state):
+            marks = self._mark_names(state)
+            # idx counts marks already posted in the done phase.
+            if state.idx < len(marks):
+                return Post(marks[state.idx], MARK)
+            return Halt()
+        return super().next_action(state)
+
+    def transition(self, state, action: Action, result) -> LocalState:
+        if Algorithm2Program.is_done(state) and isinstance(action, Post):
+            from dataclasses import replace
+
+            return replace(state, idx=state.idx + 1)
+        return super().transition(state, action, result)
+
+
+@dataclass(frozen=True)
+class ChoiceOutcome:
+    """Result of a coordinated-choice run.
+
+    Attributes:
+        marks: alternative -> number of MARK subvalues it holds.
+        chosen: the single marked alternative, or None on violation.
+        agreed: exactly one alternative carries all the marks, and every
+            processor adjacent to it marked it.
+    """
+
+    marks: Dict[NodeId, int]
+    chosen: Optional[NodeId]
+    agreed: bool
+
+
+def run_choice_coordination(
+    system: System,
+    alternatives: Sequence[NodeId],
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 100_000,
+) -> ChoiceOutcome:
+    """Run the deterministic coordinated choice end to end."""
+    theta = similarity_labeling(system)
+    tables = LabelTables.from_labeled_system(system, theta)
+    chosen_var = designated_alternative(system, alternatives)
+    program = ChoiceProgram(tables, theta[chosen_var])
+    executor = Executor(
+        system, program, scheduler or RoundRobinScheduler(system.processors)
+    )
+    for _ in range(max_steps):
+        executor.step()
+        if all(executor.halted.values()):
+            break
+    marks = {}
+    for v in alternatives:
+        _base, subvalues = executor.vars[v].peek()
+        marks[v] = sum(1 for sv in subvalues if sv == MARK)
+    marked = [v for v, c in marks.items() if c > 0]
+    chosen = marked[0] if len(marked) == 1 else None
+    expected = {
+        p
+        for p, _name in system.network.neighbors_of_variable(chosen_var)
+    } if chosen is not None else set()
+    agreed = chosen == chosen_var and marks[chosen_var] == len(expected)
+    return ChoiceOutcome(marks=marks, chosen=chosen, agreed=agreed)
+
+
+def randomized_choice_on_symmetric(
+    n_processors: int,
+    n_alternatives: int = 2,
+    seed: int = 0,
+    id_space: int = 2,
+) -> Tuple[int, int]:
+    """Coordinated choice when every alternative is symmetric ([R80]).
+
+    Deterministically impossible (no alternative is uniquely labeled),
+    but randomization composes a solution the way Section 8 promises:
+    elect a leader with Itai-Rodeh -- itself impossible deterministically
+    on the symmetric processor set -- and let the leader's coin pick the
+    alternative every processor adopts.
+
+    Returns ``(leader_index, chosen_alternative)``; agreement is by
+    construction (everyone adopts the leader's announced choice), and
+    termination holds with probability 1.
+    """
+    import random
+
+    from ..randomized.itai_rodeh import elect
+
+    result = elect(n_processors, id_space=id_space, seed=seed)
+    if result.leader is None:  # pragma: no cover - probability-0 cap
+        raise SelectionError("election did not terminate within the cap")
+    rng = random.Random((seed << 16) ^ result.leader)
+    return result.leader, rng.randrange(n_alternatives)

@@ -1,0 +1,103 @@
+"""Committee selection: choose exactly k processors, not just one.
+
+A natural generalization of the selection problem through the same
+similarity lens.  Because same-labeled processors are indistinguishable
+and decisions must be stable, a deterministic algorithm can only select
+*whole similarity classes*: a committee of size k exists iff some set of
+processor classes has sizes summing to k (a subset-sum over the class
+sizes; k = 1 recovers the paper's selection problem).
+
+The runnable algorithm is Algorithm 2 plus a class-set ELITE: every
+processor that learns a label in the chosen set joins the committee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Hashable, Optional, Tuple
+
+from ..algorithms.algorithm2 import Algorithm2Program
+from ..algorithms.select_program import SelectionWrapper
+from ..algorithms.tables import LabelTables
+from ..core.names import NodeId
+from ..core.similarity import similarity_labeling
+from ..core.system import System
+from ..exceptions import SelectionError
+
+
+def committee_labels(system: System, k: int) -> Optional[FrozenSet[Hashable]]:
+    """A set of processor-class labels with sizes summing to ``k``.
+
+    Deterministic choice among same-sum candidates: prefer fewer classes,
+    then lexicographically smallest labels.
+    """
+    theta = similarity_labeling(system)
+    sizes: Dict[Hashable, int] = {}
+    for p in system.processors:
+        sizes[theta[p]] = sizes.get(theta[p], 0) + 1
+    labels = sorted(sizes, key=repr)
+    for r in range(1, len(labels) + 1):
+        for combo in combinations(labels, r):
+            if sum(sizes[l] for l in combo) == k:
+                return frozenset(combo)
+    return None
+
+
+def committee_possible(system: System, k: int) -> bool:
+    """Is a deterministic, stable committee of exactly ``k`` possible?"""
+    if k == 0:
+        return True
+    return committee_labels(system, k) is not None
+
+
+def committee_program(system: System, k: int) -> SelectionWrapper:
+    """A program whose ``is_selected`` marks exactly the k committee
+    members once labels are learned.
+
+    Raises:
+        SelectionError: if no class subset sums to ``k``.
+    """
+    labels = committee_labels(system, k)
+    if labels is None:
+        raise SelectionError(
+            f"no union of similarity classes has size exactly {k}; "
+            f"a deterministic committee of {k} is impossible"
+        )
+    theta = similarity_labeling(system)
+    tables = LabelTables.from_labeled_system(system, theta)
+    inner = Algorithm2Program(tables)
+    return SelectionWrapper(inner, Algorithm2Program.learned_label, labels)
+
+
+@dataclass(frozen=True)
+class CommitteeOutcome:
+    members: Tuple[NodeId, ...]
+    size_ok: bool
+    steps: Optional[int]
+
+
+def run_committee(
+    system: System,
+    k: int,
+    scheduler=None,
+    max_steps: int = 100_000,
+) -> CommitteeOutcome:
+    """Run committee selection end to end."""
+    from ..runtime.executor import Executor
+    from ..runtime.scheduler import RoundRobinScheduler
+
+    program = committee_program(system, k)
+    executor = Executor(
+        system, program, scheduler or RoundRobinScheduler(system.processors)
+    )
+    steps = None
+    for i in range(max_steps):
+        executor.step()
+        if all(
+            Algorithm2Program.is_done(executor.local[p]) for p in system.processors
+        ):
+            steps = i + 1
+            break
+    members = executor.selected_processors()
+    return CommitteeOutcome(members=members, size_ok=len(members) == k, steps=steps)

@@ -1,0 +1,105 @@
+"""The renaming problem, solved with similarity labelings.
+
+Section 1: "Solutions to many other synchronization problems and to
+certain types of distributed programming problems can be found using
+similarity in the same way."  Renaming is the cleanest instance: every
+processor must end up with a *distinct* name drawn from a small
+namespace.
+
+Similarity gives the exact solvability condition: names must be stable
+under any schedule, and similar processors can be forced into the same
+states forever, so deterministic renaming in Q is possible **iff the
+similarity labeling already gives every processor a unique label** --
+and then Algorithm 2 *is* the renaming algorithm, with the labels
+(canonically numbered) as the new names.  The achieved namespace has
+size exactly |P|: optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..algorithms.algorithm2 import Algorithm2Program
+from ..algorithms.tables import LabelTables
+from ..core.names import NodeId
+from ..core.similarity import similarity_labeling
+from ..core.system import System
+from ..exceptions import SelectionError
+from ..runtime.executor import Executor
+from ..runtime.scheduler import RoundRobinScheduler, Scheduler
+
+
+def renaming_possible(system: System) -> bool:
+    """Deterministic renaming is possible iff Theta is injective on P."""
+    theta = similarity_labeling(system)
+    labels = [theta[p] for p in system.processors]
+    return len(set(labels)) == len(labels)
+
+
+@dataclass(frozen=True)
+class RenamingOutcome:
+    """Result of a distributed renaming run.
+
+    Attributes:
+        names: processor -> acquired name (0..|P|-1).
+        distinct: whether all names are distinct (the spec).
+        steps: steps until every processor had a name.
+    """
+
+    names: Dict[NodeId, Optional[int]]
+    distinct: bool
+    steps: Optional[int]
+
+
+class RenamingProgram(Algorithm2Program):
+    """Algorithm 2, reading the learned label as a small integer name."""
+
+    def __init__(self, tables: LabelTables) -> None:
+        super().__init__(tables)
+        self._name_of = {
+            label: i for i, label in enumerate(sorted(tables.plabels, key=repr))
+        }
+
+    def acquired_name(self, state) -> Optional[int]:
+        label = Algorithm2Program.learned_label(state)
+        if label is None:
+            return None
+        return self._name_of[label]
+
+
+def run_renaming(
+    system: System,
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 100_000,
+) -> RenamingOutcome:
+    """Run distributed renaming; raises if provably impossible.
+
+    Raises:
+        SelectionError: when some processors are similar -- no
+            deterministic algorithm can split their names (Theorem 2's
+            argument, applied to name registers instead of ``selected``).
+    """
+    if not renaming_possible(system):
+        raise SelectionError(
+            "similar processors exist; deterministic renaming is impossible"
+        )
+    theta = similarity_labeling(system)
+    tables = LabelTables.from_labeled_system(system, theta)
+    program = RenamingProgram(tables)
+    executor = Executor(
+        system, program, scheduler or RoundRobinScheduler(system.processors)
+    )
+    steps = None
+    for i in range(max_steps):
+        executor.step()
+        if all(
+            program.acquired_name(executor.local[p]) is not None
+            for p in system.processors
+        ):
+            steps = i + 1
+            break
+    names = {p: program.acquired_name(executor.local[p]) for p in system.processors}
+    assigned = [n for n in names.values() if n is not None]
+    distinct = len(set(assigned)) == len(assigned) and len(assigned) == len(names)
+    return RenamingOutcome(names=names, distinct=distinct, steps=steps)

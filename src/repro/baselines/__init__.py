@@ -1,0 +1,43 @@
+"""Baseline algorithms: deterministic DP', Chandy-Misra, Chang-Roberts."""
+
+from .chandy_misra import (
+    ChandyMisraDiningProgram,
+    CMState,
+    TO_LEFT_USER,
+    TO_RIGHT_USER,
+    oriented_dining_system,
+    orientation_is_acyclic,
+)
+from .chandy_misra_mp import (
+    HygienicDiningProgram,
+    HygienicReport,
+    hygienic_ring,
+    run_hygienic,
+)
+from .chang_roberts import ChangRobertsProgram, ChangRobertsResult, run_chang_roberts
+from .dp_deterministic import (
+    DiningRunReport,
+    DPState,
+    LeftFirstDiningProgram,
+    run_dining,
+)
+
+__all__ = [
+    "CMState",
+    "ChandyMisraDiningProgram",
+    "ChangRobertsProgram",
+    "ChangRobertsResult",
+    "DPState",
+    "DiningRunReport",
+    "HygienicDiningProgram",
+    "HygienicReport",
+    "LeftFirstDiningProgram",
+    "TO_LEFT_USER",
+    "TO_RIGHT_USER",
+    "hygienic_ring",
+    "orientation_is_acyclic",
+    "oriented_dining_system",
+    "run_chang_roberts",
+    "run_dining",
+    "run_hygienic",
+]

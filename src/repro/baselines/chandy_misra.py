@@ -1,0 +1,152 @@
+"""Chandy-Misra-style dining via encapsulated asymmetry [CM84] (Section 8).
+
+"A method is proposed in [CM84] for designing systems by explicitly
+encapsulating the necessary asymmetry.  There, processors all execute the
+same program and have no explicit labels...  the initial state is
+carefully designed...  equivalent to an acyclic directed graph covering
+the system, giving an ordering for any two neighboring processors."
+
+We implement the essence on the dining table: every *fork variable*
+initially points at one of its two users (a priority token).  A
+philosopher eats when both adjacent forks point at it, and after eating
+flips both forks away.  Only the priority holder ever writes a fork, so
+plain reads/writes (instruction set S!) suffice -- the asymmetry lives
+entirely in the initial variable states, exactly the paper's point: the
+program is symmetric and deterministic, and it still solves the
+five-philosopher table that DP proves unsolvable for symmetric *initial
+states*.
+
+The initial orientation must be acyclic (as a priority relation); on a
+ring that means not all tokens point the same way around.  With a cyclic
+orientation the protocol livelocks -- the test suite demonstrates both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.system import InstructionSet, ScheduleClass, System
+from ..exceptions import SystemError_
+from ..runtime.actions import Action, Internal, Read, Write
+from ..runtime.program import LocalState, Program
+from ..topologies.builders import ring
+
+#: Fork token values: which named side currently has priority.  The fork
+#: between two philosophers is the "left" fork of one and the "right"
+#: fork of the other (uniform ring orientation), so pointing "to-left-
+#: user" vs "to-right-user" is expressible without identities.
+TO_LEFT_USER = "to-left-user"
+TO_RIGHT_USER = "to-right-user"
+
+
+def oriented_dining_system(
+    n: int,
+    orientation: Optional[Sequence[str]] = None,
+) -> System:
+    """An ``n``-philosopher table with fork-priority initial states.
+
+    Args:
+        n: number of philosophers (uniform ring, Figure 4 shape).
+        orientation: per-fork initial token (``TO_LEFT_USER`` /
+            ``TO_RIGHT_USER``).  The default gives fork 0 to its
+            *right*-user and every other fork to its *left*-user, the
+            classic acyclic pattern (philosopher 0 has priority on both
+            its forks).
+    """
+    net = ring(n, prefix="phil")
+    if orientation is None:
+        orientation = [TO_RIGHT_USER] + [TO_LEFT_USER] * (n - 1)
+    orientation = list(orientation)
+    if len(orientation) != n:
+        raise SystemError_(f"need {n} fork orientations, got {len(orientation)}")
+    state = {f"v{i}": orientation[i] for i in range(n)}
+    return System(net, state, InstructionSet.S, ScheduleClass.FAIR)
+
+
+def orientation_is_acyclic(orientation: Sequence[str]) -> bool:
+    """Acyclic on a ring = not all tokens point the same way around.
+
+    Fork ``i`` sits between philosopher ``i`` (its left-user... the
+    processor calling it ``left``) and philosopher ``i-1`` (its
+    right-user).  Priority edges all clockwise or all counter-clockwise
+    form the only cycles on a ring.
+    """
+    values = set(orientation)
+    return len(values) > 1
+
+
+THINK = "think"
+CHECK_LEFT = "check-left"
+CHECK_RIGHT = "check-right"
+EAT = "eat"
+FLIP_LEFT = "flip-left"
+FLIP_RIGHT = "flip-right"
+
+
+@dataclass(frozen=True)
+class CMState:
+    stage: str
+    counter: int = 0
+    meals: int = 0
+
+
+class ChandyMisraDiningProgram(Program):
+    """Wait until both forks point at me; eat; flip both away.
+
+    "Point at me" translates per side: my ``left`` fork points at me when
+    it reads ``TO_LEFT_USER`` (I am the one calling it left), my ``right``
+    fork when it reads ``TO_RIGHT_USER``.
+    """
+
+    def __init__(self, think_steps: int = 1, eat_steps: int = 1, meal_cap: int = 1000) -> None:
+        self.think_steps = max(1, think_steps)
+        self.eat_steps = max(1, eat_steps)
+        self.meal_cap = meal_cap
+
+    def initial_state(self, state0) -> LocalState:
+        return CMState(stage=THINK)
+
+    def next_action(self, state: CMState) -> Action:
+        if state.stage == THINK:
+            return Internal("think")
+        if state.stage == CHECK_LEFT:
+            return Read("left")
+        if state.stage == CHECK_RIGHT:
+            return Read("right")
+        if state.stage == EAT:
+            return Internal("eat")
+        if state.stage == FLIP_LEFT:
+            return Write("left", TO_RIGHT_USER)  # give it to my neighbor
+        return Write("right", TO_LEFT_USER)  # FLIP_RIGHT: likewise
+
+    def transition(self, state: CMState, action: Action, result) -> LocalState:
+        if state.stage == THINK:
+            nxt = state.counter + 1
+            if nxt >= self.think_steps:
+                return CMState(CHECK_LEFT, 0, state.meals)
+            return CMState(THINK, nxt, state.meals)
+        if state.stage == CHECK_LEFT:
+            if result == TO_LEFT_USER:
+                return CMState(CHECK_RIGHT, 0, state.meals)
+            return CMState(CHECK_LEFT, 0, state.meals)  # poll again
+        if state.stage == CHECK_RIGHT:
+            if result == TO_RIGHT_USER:
+                return CMState(EAT, 0, state.meals)
+            return CMState(CHECK_LEFT, 0, state.meals)  # re-check from start
+        if state.stage == EAT:
+            nxt = state.counter + 1
+            if nxt >= self.eat_steps:
+                return CMState(FLIP_LEFT, 0, min(state.meals + 1, self.meal_cap))
+            return CMState(EAT, nxt, state.meals)
+        if state.stage == FLIP_LEFT:
+            return CMState(FLIP_RIGHT, 0, state.meals)
+        return CMState(THINK, 0, state.meals)
+
+    @staticmethod
+    def is_eating(state: CMState) -> bool:
+        return isinstance(state, CMState) and state.stage == EAT
+
+    @staticmethod
+    def meals(state: CMState) -> int:
+        return state.meals if isinstance(state, CMState) else 0

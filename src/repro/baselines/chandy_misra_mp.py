@@ -1,0 +1,252 @@
+"""The hygienic dining philosophers of Chandy and Misra [CM84], full
+dynamic version, over asynchronous message passing.
+
+Section 8 cites [CM84] as the method of *encapsulating asymmetry*: all
+processors run one program, and the only asymmetry is the initial
+state -- "equivalent to an acyclic directed graph covering the system,
+giving an ordering for any two neighboring processors".  Here that graph
+is the classic fork/clean/dirty machinery:
+
+* every fork is either held (clean or dirty) by one neighbor or in
+  flight; each edge also carries one *request token*;
+* a hungry philosopher holding the request token for a missing fork
+  sends the token (= requests the fork);
+* a philosopher holding a **dirty** fork must yield it when requested
+  (cleaning it in transit); a **clean** fork is kept until used;
+* eating dirties both forks; deferred requests are then serviced.
+
+Clean-before-use priority keeps the precedence graph acyclic forever if
+it starts acyclic, which gives starvation freedom under *every* fair
+delivery order.  Starting it cyclic (all forks pointing the same way
+around) forfeits the guarantee: because all initial forks are dirty,
+random delivery still usually feeds everyone, but the proof is gone and
+an adversarial delivery order may starve -- the tests pin the guaranteed
+case and the invariant; the static-token variant in
+:mod:`repro.baselines.chandy_misra` shows the cyclic failure observably.
+
+Philosophers here are perpetually hungry (the adversarial case for
+fairness) and eating is instantaneous (one delivery step), so fork
+exclusion reduces to the per-edge invariant "one fork per edge", which
+the runtime's message semantics preserve by construction and the test
+suite checks explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from ..core.names import NodeId
+from ..exceptions import SystemError_
+from ..messaging.mp_runtime import MPExecutor, MPProgram
+from ..messaging.mp_system import MPSystem, bidirectional_ring
+
+#: port names on the bidirectional ring: messages from the left neighbor
+#: arrive on ``ccw``; sends to the left go out on ``ccw``; symmetric for
+#: ``cw``/right (see mp_system.bidirectional_ring's wiring).
+FROM_LEFT = "ccw"
+FROM_RIGHT = "cw"
+TO_LEFT = "ccw"
+TO_RIGHT = "cw"
+
+REQ = "request-token"
+FORK = "fork"
+
+
+@dataclass(frozen=True)
+class Side:
+    """One edge's view: do I hold the fork / is it dirty / do I hold the
+    request token?"""
+
+    fork: bool
+    dirty: bool
+    token: bool
+
+
+@dataclass(frozen=True)
+class CMState:
+    left: Side
+    right: Side
+    meals: int = 0
+
+    def side(self, which: str) -> Side:
+        return self.left if which == "left" else self.right
+
+    def with_side(self, which: str, side: Side) -> "CMState":
+        if which == "left":
+            return replace(self, left=side)
+        return replace(self, right=side)
+
+
+def _out_port(which: str) -> str:
+    return TO_LEFT if which == "left" else TO_RIGHT
+
+
+def _side_of_port(port: str) -> str:
+    return "left" if port == FROM_LEFT else "right"
+
+
+class HygienicDiningProgram(MPProgram):
+    """[CM84]'s protocol; initial fork placement comes from ``state0``.
+
+    ``state0`` must be a pair ``(left_has_fork, right_has_fork)``; the
+    edge's other end holds the request token, and all initial forks are
+    dirty (the paper's initialization, which lets the initial acyclic
+    priority dissolve immediately into fair turn-taking).
+    """
+
+    def on_start(self, state0, out_ports=()):
+        try:
+            left_fork, right_fork = state0
+        except (TypeError, ValueError):
+            raise SystemError_(
+                f"hygienic dining needs (left_has_fork, right_has_fork) "
+                f"initial states, got {state0!r}"
+            ) from None
+        state = CMState(
+            left=Side(fork=left_fork, dirty=left_fork, token=not left_fork),
+            right=Side(fork=right_fork, dirty=right_fork, token=not right_fork),
+        )
+        state, sends = self._request_missing(state)
+        return state, sends
+
+    # ------------------------------------------------------------------
+
+    def _request_missing(self, state: CMState) -> Tuple[CMState, List]:
+        """R1: hungry + token + no fork => send the request token."""
+        sends = []
+        for which in ("left", "right"):
+            side = state.side(which)
+            if side.token and not side.fork:
+                sends.append((_out_port(which), REQ))
+                state = state.with_side(which, replace(side, token=False))
+        return state, sends
+
+    def _maybe_eat(self, state: CMState) -> Tuple[CMState, List]:
+        """Eat when both forks are held; dirty them, service requests."""
+        if not (state.left.fork and state.right.fork):
+            return state, []
+        state = replace(
+            state,
+            left=replace(state.left, dirty=True),
+            right=replace(state.right, dirty=True),
+            meals=state.meals + 1,
+        )
+        sends: List = []
+        # R2: deferred requests are serviced now that the forks are dirty.
+        for which in ("left", "right"):
+            side = state.side(which)
+            if side.token and side.fork and side.dirty:
+                sends.append((_out_port(which), FORK))
+                state = state.with_side(
+                    which, Side(fork=False, dirty=False, token=True)
+                )
+        more_state, more = self._request_missing(state)
+        return more_state, sends + more
+
+    def on_message(self, state: CMState, port, payload):
+        which = _side_of_port(port)
+        side = state.side(which)
+        if payload == REQ:
+            state = state.with_side(which, replace(side, token=True))
+            side = state.side(which)
+            if side.fork and side.dirty:
+                # R2: yield the dirty fork (cleaned in transit)...
+                state = state.with_side(
+                    which, Side(fork=False, dirty=False, token=True)
+                )
+                sends = [(_out_port(which), FORK)]
+                # ...and immediately ask for it back (we are hungry).
+                state, more = self._request_missing(state)
+                return state, sends + more
+            return state, []  # clean fork (or no fork): defer
+        if payload == FORK:
+            state = state.with_side(which, replace(side, fork=True, dirty=False))
+            return self._maybe_eat(state)
+        return state, []
+
+    @staticmethod
+    def meals(state: CMState) -> int:
+        return state.meals if isinstance(state, CMState) else 0
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+
+
+def hygienic_ring(n: int, acyclic: bool = True) -> MPSystem:
+    """A dining ring with [CM84] initial fork placement.
+
+    ``acyclic=True``: every fork starts at its lower-indexed user
+    (philosopher 0 holds both, philosopher n-1 none) -- the acyclic
+    precedence graph.  ``acyclic=False``: every philosopher holds exactly
+    its left fork -- the rotationally symmetric, cyclic initialization
+    the theorem forbids.
+    """
+    if n < 2:
+        raise SystemError_("a dining ring needs >= 2 philosophers")
+    states: Dict[int, Tuple[bool, bool]] = {}
+    for i in range(n):
+        if acyclic:
+            left_fork = i < (i - 1) % n  # I am the lower end of my left edge
+            right_fork = i < (i + 1) % n
+        else:
+            left_fork, right_fork = True, False
+        states[i] = (left_fork, right_fork)
+    return bidirectional_ring(n, states=states)
+
+
+@dataclass(frozen=True)
+class HygienicReport:
+    meals: Dict[NodeId, int]
+    deliveries: int
+    fork_invariant_ok: bool
+
+    @property
+    def everyone_ate(self) -> bool:
+        return all(m > 0 for m in self.meals.values())
+
+    @property
+    def total_meals(self) -> int:
+        return sum(self.meals.values())
+
+
+def run_hygienic(n: int, deliveries: int, acyclic: bool = True, seed: int = 0) -> HygienicReport:
+    """Run the protocol for a delivery budget; check the fork invariant.
+
+    The invariant: on each edge, (forks held by the two ends) + (forks in
+    flight on the edge's two channels) == 1.
+    """
+    mp = hygienic_ring(n, acyclic)
+    program = HygienicDiningProgram()
+    executor = MPExecutor(mp, program, seed=seed)
+    ok = True
+    for _ in range(deliveries):
+        if not executor.deliver_one():
+            break
+        ok = ok and _fork_invariant(executor, n)
+    meals = {p: HygienicDiningProgram.meals(executor.local[p]) for p in mp.processors}
+    return HygienicReport(
+        meals=meals, deliveries=executor.stats.deliveries, fork_invariant_ok=ok
+    )
+
+
+def _fork_invariant(executor: MPExecutor, n: int) -> bool:
+    for i in range(n):
+        right = f"p{(i + 1) % n}"
+        me = f"p{i}"
+        held = 0
+        state_me = executor.local[me]
+        state_right = executor.local[right]
+        if isinstance(state_me, CMState) and state_me.right.fork:
+            held += 1
+        if isinstance(state_right, CMState) and state_right.left.fork:
+            held += 1
+        in_flight = 0
+        for channel, queue in executor.queues.items():
+            if {channel.sender, channel.receiver} == {me, right}:
+                in_flight += sum(1 for m in queue if m == FORK)
+        if held + in_flight != 1:
+            return False
+    return True

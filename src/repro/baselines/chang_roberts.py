@@ -1,0 +1,78 @@
+"""Chang-Roberts leader election on a unidirectional ring (baseline).
+
+The classic deterministic ring election *with unique identifiers*: each
+processor sends its id clockwise; a processor forwards ids larger than
+its own, swallows smaller ones, and becomes the leader when its own id
+returns.
+
+In this paper's vocabulary the ids are simply *asymmetric initial
+states*: the similarity labeling of an id-ring gives every processor a
+unique label, so selection is trivially decidable -- the interest is in
+the concrete algorithm as a baseline.  Contrast with the anonymous ring,
+where every processor is similar (Theorem 2: no deterministic algorithm)
+and only the randomized Itai-Rodeh protocol
+(:mod:`repro.randomized.itai_rodeh`) elects a leader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..exceptions import ExecutionError
+from ..messaging.mp_runtime import MPExecutor, MPProgram
+from ..messaging.mp_system import unidirectional_ring
+
+
+class ChangRobertsProgram(MPProgram):
+    """State: (my_id, leader_flag, done).  Port ``prev`` in, ``next`` out."""
+
+    def on_start(self, state0, out_ports=()):
+        my_id = state0
+        return (my_id, False), [("next", my_id)]
+
+    def on_message(self, state, port, payload):
+        my_id, leader = state
+        if leader:
+            return state, []
+        if payload == my_id:
+            return (my_id, True), []  # my id went all the way around
+        if payload > my_id:
+            return state, [("next", payload)]
+        return state, []  # swallow smaller ids
+
+    def is_selected(self, state) -> bool:
+        return bool(state[1])
+
+
+@dataclass(frozen=True)
+class ChangRobertsResult:
+    leader_id: Hashable
+    leader: Hashable
+    messages: int
+    deliveries: int
+
+
+def run_chang_roberts(ids: Sequence[int], seed: int = 0) -> ChangRobertsResult:
+    """Elect a leader on a ring whose processor ``i`` holds ``ids[i]``.
+
+    Returns the winner (the max id, provably) and message counts --
+    O(n log n) on average over random id placements, O(n^2) worst case,
+    the numbers the message-count benchmark reproduces.
+    """
+    if len(set(ids)) != len(ids):
+        raise ExecutionError("Chang-Roberts requires unique identifiers")
+    mp = unidirectional_ring(len(ids), states=dict(enumerate(ids)))
+    executor = MPExecutor(mp, ChangRobertsProgram(), seed=seed)
+    if not executor.run_to_quiescence():
+        raise ExecutionError("election did not quiesce")
+    winners = executor.selected()
+    if len(winners) != 1:
+        raise ExecutionError(f"expected one leader, got {winners!r}")
+    leader = winners[0]
+    return ChangRobertsResult(
+        leader_id=executor.local[leader][0],
+        leader=leader,
+        messages=executor.stats.sends,
+        deliveries=executor.stats.deliveries,
+    )

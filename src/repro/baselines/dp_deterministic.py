@@ -1,0 +1,170 @@
+"""Deterministic symmetric dining-philosophers programs (Section 7).
+
+The *left-first* program: every philosopher thinks, then spin-locks its
+``left`` fork, then its ``right`` fork, eats, and releases both.  One
+anonymous deterministic program -- maximally symmetric.
+
+* On **Figure 4** (five philosophers, uniform orientation) every fork is
+  one philosopher's ``left`` and another's ``right``: the left-acquisition
+  round is conflict-free, all five philosophers grab a fork, and everyone
+  then waits on a fork held as somebody's *first* fork -- deadlock.  That
+  is DP in action: no symmetric distributed deterministic program can
+  work, and this one visibly does not.
+* On **Figure 5** (six philosophers, alternating orientation) every fork
+  is either a *left fork* (both users call it ``left``) or a *right fork*
+  (both call it ``right``).  Only left forks are acquired first, so every
+  wait chain ends at a philosopher holding both forks, i.e. an eater that
+  will finish and release -- no deadlock.  The alternating *naming*
+  encodes an acquisition order without breaking the symmetry of program
+  or initial state: this is DP'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.names import NodeId
+from ..core.system import System
+from ..runtime.actions import Action, Internal, Lock, Unlock
+from ..runtime.executor import Executor
+from ..runtime.program import LocalState, Program
+from ..runtime.scheduler import Scheduler
+
+THINK = "think"
+WAIT_LEFT = "wait-left"
+WAIT_RIGHT = "wait-right"
+EAT = "eat"
+RELEASE_RIGHT = "release-right"
+RELEASE_LEFT = "release-left"
+
+
+@dataclass(frozen=True)
+class DPState:
+    """A philosopher's local state: a stage and a stage-local counter."""
+
+    stage: str
+    counter: int = 0
+    meals: int = 0  # saturating meal counter (bounded for cycle detection)
+
+
+class LeftFirstDiningProgram(Program):
+    """Think / lock left / lock right / eat / release / repeat.
+
+    Args:
+        think_steps: internal steps spent thinking between meals.
+        eat_steps: internal steps spent eating.
+        meal_cap: meals are counted up to this bound (keeps the local
+            state space finite so executions still cycle).
+    """
+
+    def __init__(self, think_steps: int = 1, eat_steps: int = 1, meal_cap: int = 1000) -> None:
+        self.think_steps = max(1, think_steps)
+        self.eat_steps = max(1, eat_steps)
+        self.meal_cap = meal_cap
+
+    def initial_state(self, state0) -> LocalState:
+        return DPState(stage=THINK, counter=0)
+
+    def next_action(self, state: DPState) -> Action:
+        if state.stage == THINK:
+            return Internal("think")
+        if state.stage == WAIT_LEFT:
+            return Lock("left")
+        if state.stage == WAIT_RIGHT:
+            return Lock("right")
+        if state.stage == EAT:
+            return Internal("eat")
+        if state.stage == RELEASE_RIGHT:
+            return Unlock("right")
+        return Unlock("left")
+
+    def transition(self, state: DPState, action: Action, result) -> LocalState:
+        if state.stage == THINK:
+            nxt = state.counter + 1
+            if nxt >= self.think_steps:
+                return DPState(WAIT_LEFT, 0, state.meals)
+            return DPState(THINK, nxt, state.meals)
+        if state.stage == WAIT_LEFT:
+            if result:
+                return DPState(WAIT_RIGHT, 0, state.meals)
+            return state  # spin
+        if state.stage == WAIT_RIGHT:
+            if result:
+                return DPState(EAT, 0, state.meals)
+            return state  # spin -- hold-and-wait; deadlocks on Figure 4
+        if state.stage == EAT:
+            nxt = state.counter + 1
+            if nxt >= self.eat_steps:
+                meals = min(state.meals + 1, self.meal_cap)
+                return DPState(RELEASE_RIGHT, 0, meals)
+            return DPState(EAT, nxt, state.meals)
+        if state.stage == RELEASE_RIGHT:
+            return DPState(RELEASE_LEFT, 0, state.meals)
+        return DPState(THINK, 0, state.meals)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def is_eating(state: DPState) -> bool:
+        return isinstance(state, DPState) and state.stage == EAT
+
+    @staticmethod
+    def meals(state: DPState) -> int:
+        return state.meals if isinstance(state, DPState) else 0
+
+
+@dataclass(frozen=True)
+class DiningRunReport:
+    """Outcome of a dining run.
+
+    Attributes:
+        steps: steps executed.
+        meals: meals per philosopher at the end.
+        safety_ok: no two adjacent philosophers were ever eating at once.
+        deadlocked: the run reached a configuration where no philosopher
+            can ever eat again (everyone waiting, no lock will be freed).
+    """
+
+    steps: int
+    meals: dict
+    safety_ok: bool
+    deadlocked: bool
+
+    @property
+    def everyone_ate(self) -> bool:
+        return all(m > 0 for m in self.meals.values())
+
+
+def run_dining(
+    system: System,
+    program: Program,
+    scheduler: Scheduler,
+    steps: int,
+    adjacent: Tuple[Tuple[NodeId, NodeId], ...],
+    is_eating=LeftFirstDiningProgram.is_eating,
+    meals_of=LeftFirstDiningProgram.meals,
+) -> DiningRunReport:
+    """Run a dining program, checking the eating-exclusion invariant.
+
+    Deadlock is detected as: every philosopher is in a lock-waiting stage
+    and an entire extra sweep of steps changes no local state.
+    """
+    executor = Executor(system, program, scheduler)
+    safety_ok = True
+    for _ in range(steps):
+        executor.step()
+        for a, b in adjacent:
+            if is_eating(executor.local[a]) and is_eating(executor.local[b]):
+                safety_ok = False
+    # Deadlock probe: run one more full sweep; if no local state changes
+    # and nobody eats, the configuration is stuck.
+    before = dict(executor.local)
+    executor.run(4 * len(system.processors))
+    deadlocked = executor.local == before and not any(
+        is_eating(s) for s in executor.local.values()
+    )
+    meals = {p: meals_of(executor.local[p]) for p in system.processors}
+    return DiningRunReport(
+        steps=steps, meals=meals, safety_ok=safety_ok, deadlocked=deadlocked
+    )

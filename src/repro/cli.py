@@ -1,0 +1,267 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Gives the library's main analyses a shell-friendly surface:
+
+* ``analyze`` -- similarity labeling + selection decision for a built-in
+  topology under a chosen model;
+* ``figures`` -- the Figure 1-5 summary table;
+* ``hierarchy`` -- the model-power decision table with witnesses;
+* ``dining N`` -- run the dining-philosopher programs on an N-table;
+* ``elect`` -- leader election demos (SELECT / Itai-Rodeh).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from .analysis.reporting import format_table, yesno
+from .core import (
+    InstructionSet,
+    ScheduleClass,
+    System,
+    decide_selection,
+    processor_similarity_classes,
+    similarity_labeling,
+)
+from .topologies import (
+    ALL_WITNESSES,
+    alternating_ring,
+    complete_bipartite,
+    dining_system,
+    figure1_system,
+    figure2_system,
+    figure3_system,
+    path,
+    ring,
+    star,
+    torus_grid,
+)
+
+_TOPOLOGIES = {
+    "ring": lambda n: ring(n),
+    "alternating-ring": lambda n: alternating_ring(n),
+    "path": lambda n: path(n),
+    "star": lambda n: star(n),
+    "complete": lambda n: complete_bipartite(n, 2),
+    "grid": lambda n: torus_grid(n, n),
+}
+
+_MODELS = {
+    "S": (InstructionSet.S, ScheduleClass.FAIR),
+    "BFS": (InstructionSet.S, ScheduleClass.BOUNDED_FAIR),
+    "Q": (InstructionSet.Q, ScheduleClass.FAIR),
+    "L": (InstructionSet.L, ScheduleClass.FAIR),
+    "L2": (InstructionSet.L2, ScheduleClass.FAIR),
+}
+
+
+def _build_system(args) -> System:
+    if getattr(args, "file", None):
+        from .io import load
+
+        return load(args.file)
+    try:
+        net = _TOPOLOGIES[args.topology](args.size)
+    except KeyError:
+        raise SystemExit(
+            f"unknown topology {args.topology!r}; pick from {sorted(_TOPOLOGIES)}"
+        )
+    iset, sched = _MODELS[args.model]
+    state: Dict = {}
+    for mark in args.mark or []:
+        state[mark] = 1
+    return System(net, state, iset, sched)
+
+
+def cmd_analyze(args) -> int:
+    if args.topology == "file" and not args.file:
+        raise SystemExit("analyze file requires --file PATH")
+    system = _build_system(args)
+    theta = similarity_labeling(system)
+    classes = processor_similarity_classes(system)
+    decision = decide_selection(system)
+    if args.file:
+        print(f"system: {args.file}, model {system.instruction_set.value}")
+    else:
+        print(f"system: {args.topology}({args.size}), model {args.model}, "
+              f"marks {args.mark or '-'}")
+    print(f"similarity classes (processors): {len(classes)}")
+    for block in classes:
+        members = ",".join(sorted(map(str, block)))
+        print(f"  {{{members}}}")
+    print(f"selection possible: {yesno(decision.possible)}  [{decision.theorem}]")
+    print(f"  {decision.reason}")
+    return 0
+
+
+def cmd_figures(_args) -> int:
+    rows = []
+    for name, system in (
+        ("Figure 1 (Q)", figure1_system()),
+        ("Figure 1 (L)", figure1_system(InstructionSet.L)),
+        ("Figure 2 (Q)", figure2_system()),
+        ("Figure 2 (BF-S)", figure2_system(InstructionSet.S, ScheduleClass.BOUNDED_FAIR)),
+        ("Figure 3 (fair S)", figure3_system()),
+        ("Figure 4 / DP-5 (L)", dining_system(5, instruction_set=InstructionSet.L)),
+        ("Figure 5 / DP-6 (L)", dining_system(6, alternating=True, instruction_set=InstructionSet.L)),
+    ):
+        decision = decide_selection(system)
+        rows.append((name, yesno(decision.possible), decision.theorem))
+    print(format_table(["figure", "selection possible", "decided by"], rows))
+    return 0
+
+
+def cmd_hierarchy(_args) -> int:
+    from .core import POWER_ORDER, selection_across_models
+
+    rows = []
+    for (weaker, stronger), builder in sorted(ALL_WITNESSES.items(), key=repr):
+        net, state, desc = builder()
+        report = selection_across_models(net, state, desc)
+        rows.append(
+            (f"{desc} [{weaker}<{stronger}]",)
+            + tuple(yesno(report.decisions[m].possible) for m in POWER_ORDER)
+        )
+    print(format_table(["witness"] + list(POWER_ORDER), rows))
+    return 0
+
+
+def cmd_dining(args) -> int:
+    from .baselines import LeftFirstDiningProgram, run_dining
+    from .runtime import RoundRobinScheduler
+    from .topologies import adjacent_pairs
+
+    system = dining_system(
+        args.size,
+        alternating=args.alternating,
+        instruction_set=InstructionSet.L,
+    )
+    report = run_dining(
+        system,
+        LeftFirstDiningProgram(),
+        RoundRobinScheduler(system.processors),
+        steps=args.steps,
+        adjacent=adjacent_pairs(system),
+    )
+    shape = "alternating" if args.alternating else "uniform"
+    print(f"dining({args.size}, {shape}), left-first program, {args.steps} steps:")
+    print(f"  exclusion respected: {yesno(report.safety_ok)}")
+    print(f"  deadlocked:          {yesno(report.deadlocked)}")
+    print(f"  everyone ate:        {yesno(report.everyone_ate)}")
+    print(f"  meals: {dict(sorted(report.meals.items()))}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .analysis import full_report
+
+    system = _build_system(args)
+    state = {n: system.state0(n) for n in system.nodes}
+    report = full_report(system.network, state,
+                         description=args.file or f"{args.topology}({args.size})")
+    print(report.text)
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from .core import explain_dissimilarity
+
+    system = _build_system(args)
+    explanation = explain_dissimilarity(system, args.x, args.y)
+    print(explanation.reason)
+    for line in explanation.chain[1:]:
+        print(f"  because: {line}")
+    return 0
+
+
+def cmd_elect(args) -> int:
+    if args.randomized:
+        from .randomized import elect
+
+        result = elect(args.size, id_space=args.id_space, seed=args.seed)
+        print(
+            f"Itai-Rodeh on anonymous ring({args.size}): leader p{result.leader} "
+            f"after {result.phases} phase(s), {result.messages} messages"
+        )
+        return 0
+    from .algorithms import select_program
+    from .runtime import verify_selection_program
+
+    system = System(ring(args.size), {"p0": 1}, InstructionSet.Q)
+    program = select_program(system)
+    verdict = verify_selection_program(system, program, max_steps=200_000)
+    print(
+        f"SELECT on marked ring({args.size}): "
+        f"{'OK' if verdict.all_ok else 'FAILED'}, winners {verdict.winners}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Symmetry and similarity in distributed systems (PODC 1985), executable.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="similarity + selection for a topology")
+    analyze.add_argument("topology", choices=sorted(_TOPOLOGIES) + ["file"],
+                         help='a built-in topology, or "file" with --file')
+    analyze.add_argument("size", type=int, nargs="?", default=0)
+    analyze.add_argument("--file", help="load the system from a JSON file (see repro.io)")
+    analyze.add_argument("--model", choices=sorted(_MODELS), default="Q")
+    analyze.add_argument(
+        "--mark", action="append", metavar="NODE",
+        help="set this node's initial state to 1 (repeatable)",
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    figures = sub.add_parser("figures", help="the paper's Figures 1-5 decisions")
+    figures.set_defaults(func=cmd_figures)
+
+    hierarchy = sub.add_parser("hierarchy", help="model power table with witnesses")
+    hierarchy.set_defaults(func=cmd_hierarchy)
+
+    report = sub.add_parser("report", help="full dossier: every analysis at once")
+    report.add_argument("topology", choices=sorted(_TOPOLOGIES) + ["file"])
+    report.add_argument("size", type=int, nargs="?", default=0)
+    report.add_argument("--file", help="load the system from a JSON file")
+    report.add_argument("--model", choices=sorted(_MODELS), default="Q")
+    report.add_argument("--mark", action="append", metavar="NODE")
+    report.set_defaults(func=cmd_report)
+
+    dining = sub.add_parser("dining", help="run dining philosophers")
+    dining.add_argument("size", type=int)
+    dining.add_argument("--alternating", action="store_true")
+    dining.add_argument("--steps", type=int, default=4000)
+    dining.set_defaults(func=cmd_dining)
+
+    explain = sub.add_parser("explain", help="why are two nodes dissimilar?")
+    explain.add_argument("topology", choices=sorted(_TOPOLOGIES) + ["file"])
+    explain.add_argument("size", type=int, nargs="?", default=0)
+    explain.add_argument("x")
+    explain.add_argument("y")
+    explain.add_argument("--file")
+    explain.add_argument("--model", choices=sorted(_MODELS), default="Q")
+    explain.add_argument("--mark", action="append", metavar="NODE")
+    explain.set_defaults(func=cmd_explain)
+
+    elect = sub.add_parser("elect", help="leader election demos")
+    elect.add_argument("size", type=int)
+    elect.add_argument("--randomized", action="store_true", help="Itai-Rodeh on an anonymous ring")
+    elect.add_argument("--id-space", type=int, default=2)
+    elect.add_argument("--seed", type=int, default=0)
+    elect.set_defaults(func=cmd_elect)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

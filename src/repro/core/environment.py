@@ -1,0 +1,199 @@
+"""Environments under a labeling (paper, Section 4 and Section 6).
+
+Given a labeling ``psi`` of the nodes of a system, two nodes *x* and *y*
+have the **same environment** when
+
+1. ``state_0(x) = state_0(y)``;
+2. if both are processors: for every name ``n``,
+   ``psi(n-nbr(x)) = psi(n-nbr(y))``;
+3. if both are variables: for every name ``n`` and every label ``a``, the
+   *number* of n-neighbors of *x* labeled ``a`` equals the number of
+   n-neighbors of *y* labeled ``a``.
+
+Condition (3) is the **Q**/**L** form.  For bounded-fair systems in **S**
+(Section 6) the multiplicities are invisible -- a processor can never count
+its variable's neighbors -- so condition (3) weakens to: for every name
+``n``, the *set* of labels of n-neighbors of *x* equals that of *y*.
+
+Theorem 4 says a labeling is a supersimilarity labeling (for Q) exactly
+when equal labels imply equal environments.  The refinement algorithms in
+:mod:`repro.core.refinement` work with the *environment signature* -- a
+hashable digest of conditions (1)-(3) -- computed here.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from typing import Hashable
+
+from .labeling import Labeling
+from .names import NodeId
+from .network import Network
+from .system import InstructionSet, System
+
+
+class EnvironmentModel(enum.Enum):
+    """How variable environments are compared.
+
+    * ``MULTISET`` -- per-name label *counts* matter (instruction sets Q
+      and L, and extended locking L2).
+    * ``SET`` -- only the per-name label *sets* matter (bounded-fair
+      systems in S, and the asynchronous message-passing analogue).
+    """
+
+    MULTISET = "multiset"
+    SET = "set"
+
+    @staticmethod
+    def for_instruction_set(instruction_set: InstructionSet) -> "EnvironmentModel":
+        if instruction_set is InstructionSet.S:
+            return EnvironmentModel.SET
+        return EnvironmentModel.MULTISET
+
+
+def processor_signature(
+    system: System, processor: NodeId, labeling: Labeling
+) -> Hashable:
+    """Condition (2) digest: the labels of the processor's named neighbors."""
+    net = system.network
+    return tuple(labeling[net.n_nbr(processor, name)] for name in net.names)
+
+
+def variable_signature(
+    system: System,
+    variable: NodeId,
+    labeling: Labeling,
+    model: EnvironmentModel = EnvironmentModel.MULTISET,
+) -> Hashable:
+    """Condition (3) digest for a variable, per environment model."""
+    net = system.network
+    per_name = []
+    for name in net.names:
+        labels = [labeling[p] for p in net.n_neighbors_of_variable(variable, name)]
+        if model is EnvironmentModel.MULTISET:
+            counts = Counter(labels)
+            per_name.append(tuple(sorted(counts.items(), key=lambda kv: repr(kv[0]))))
+        else:
+            per_name.append(tuple(sorted(set(labels), key=repr)))
+    return tuple(per_name)
+
+
+def environment_signature(
+    system: System,
+    node: NodeId,
+    labeling: Labeling,
+    model: EnvironmentModel = EnvironmentModel.MULTISET,
+    include_state: bool = True,
+) -> Hashable:
+    """The full environment digest of ``node`` under ``labeling``.
+
+    Two nodes of the same kind have the same environment (per the paper's
+    definition) iff their signatures are equal.  Signatures of processors
+    and variables are made structurally distinct so a processor can never
+    collide with a variable.
+
+    ``include_state=False`` drops condition (1); Algorithm 3's first phase
+    uses this to label a homogeneous family while ignoring initial states.
+    """
+    net = system.network
+    state_part = system.state0(node) if include_state else None
+    if net.is_processor(node):
+        return ("P", state_part, processor_signature(system, node, labeling))
+    return ("V", state_part, variable_signature(system, node, labeling, model))
+
+
+def same_environment(
+    system: System,
+    x: NodeId,
+    y: NodeId,
+    labeling: Labeling,
+    model: EnvironmentModel = EnvironmentModel.MULTISET,
+    include_state: bool = True,
+) -> bool:
+    """Do ``x`` and ``y`` have the same environment under ``labeling``?"""
+    return environment_signature(
+        system, x, labeling, model, include_state
+    ) == environment_signature(system, y, labeling, model, include_state)
+
+
+def is_environment_respecting(
+    system: System,
+    labeling: Labeling,
+    model: EnvironmentModel = EnvironmentModel.MULTISET,
+    include_state: bool = True,
+) -> bool:
+    """Theorem 4's condition: equal labels imply equal environments.
+
+    For systems in Q this is sufficient for ``labeling`` to be a
+    supersimilarity labeling.
+    """
+    seen = {}
+    for node in system.nodes:
+        label = labeling[node]
+        sig = environment_signature(system, node, labeling, model, include_state)
+        if label in seen:
+            if seen[label] != sig:
+                return False
+        else:
+            seen[label] = sig
+    return True
+
+
+# ----------------------------------------------------------------------
+# Locking-specific labeling conditions (Theorem 8 and Section 6)
+# ----------------------------------------------------------------------
+
+
+def satisfies_locking_condition(network: Network, labeling: Labeling) -> bool:
+    """Theorem 8's side condition for instruction set L.
+
+    ``psi(p) = psi(q)`` (p != q) must imply that p and q never give the
+    *same name* to the *same variable*; i.e. no variable has two distinct
+    n-neighbors (same n) with equal labels.  Under this condition a
+    Q-supersimilarity labeling is also an L-supersimilarity labeling.
+    """
+    for v in network.variables:
+        for name in network.names:
+            nbrs = network.n_neighbors_of_variable(v, name)
+            labels = [labeling[p] for p in nbrs]
+            if len(labels) != len(set(labels)):
+                return False
+    return True
+
+
+def satisfies_extended_locking_condition(network: Network, labeling: Labeling) -> bool:
+    """Section 6's condition for extended (multi-variable) locking.
+
+    With an indivisible multi-lock, similar processors cannot even be
+    neighbors of the same variable under *different* names: no variable may
+    have two distinct neighbors with equal labels, regardless of names.
+    """
+    for v in network.variables:
+        procs = [p for p, _name in network.neighbors_of_variable(v)]
+        labels = [labeling[p] for p in set(procs)]
+        if len(labels) != len(set(labels)):
+            return False
+    return True
+
+
+def is_supersimilarity_for(
+    system: System, labeling: Labeling
+) -> bool:
+    """Supersimilarity test dispatched on the system's instruction set.
+
+    * Q: Theorem 4 (environment-respecting, multiset model).
+    * L: Theorem 8 (Q condition + locking side condition).
+    * L2: Q condition + extended-locking side condition.
+    * S: environment-respecting under the SET model (bounded-fair S);
+      fair-S subtleties (mimicry) live in :mod:`repro.core.mimicry`.
+    """
+    iset = system.instruction_set
+    model = EnvironmentModel.for_instruction_set(iset)
+    if not is_environment_respecting(system, labeling, model):
+        return False
+    if iset is InstructionSet.L:
+        return satisfies_locking_condition(system.network, labeling)
+    if iset is InstructionSet.L2:
+        return satisfies_extended_locking_condition(system.network, labeling)
+    return True

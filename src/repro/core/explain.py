@@ -1,0 +1,202 @@
+"""Explainable dissimilarity: *why* are two nodes not similar?
+
+`similarity_labeling` answers whether nodes are similar; this module
+answers **why not**, as a chain of reasons grounded in the environment
+conditions -- the same information a processor extracts through alibis in
+Algorithm 2, read off the refinement run instead:
+
+    >>> explain_dissimilarity(figure2_system(), "p1", "p3").reason
+    "split at round 1: their 'n'-neighbors were already distinguished..."
+
+The explanation recurses: if two processors split because their
+n-neighbors split, it explains the neighbors' split too, bottoming out at
+initial-state differences or variables with different per-name writer
+profiles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .environment import EnvironmentModel
+from .labeling import Labeling
+from .names import NodeId
+from .refinement import _initial_labeling  # shared seeding logic
+from .environment import environment_signature
+from .system import System
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Why two nodes are (dis)similar.
+
+    Attributes:
+        similar: True when the nodes share a similarity class (then
+            ``reason`` says so and ``chain`` is empty).
+        split_round: the refinement round at which they separated.
+        reason: one-line summary of the separating evidence.
+        chain: the full recursive reason chain, outermost first.
+    """
+
+    similar: bool
+    split_round: Optional[int]
+    reason: str
+    chain: Tuple[str, ...]
+
+
+def _refinement_rounds(
+    system: System, model: EnvironmentModel, include_state: bool
+) -> List[Labeling]:
+    """Labelings per refinement round, from seed to fixpoint."""
+    labeling = _initial_labeling(system, include_state)
+    rounds = [labeling]
+    while True:
+        combined: Dict[NodeId, object] = {}
+        for node in system.nodes:
+            combined[node] = (
+                labeling[node],
+                environment_signature(system, node, labeling, model, include_state),
+            )
+        intern: Dict[object, int] = {}
+        new_assignment: Dict[NodeId, int] = {}
+        for node in system.nodes:
+            key = combined[node]
+            if key not in intern:
+                intern[key] = len(intern)
+            new_assignment[node] = intern[key]
+        new_labeling = Labeling(new_assignment)
+        if len(new_labeling.labels) == len(labeling.labels):
+            return rounds
+        labeling = new_labeling
+        rounds.append(labeling)
+
+
+def _first_split(rounds: List[Labeling], x: NodeId, y: NodeId) -> Optional[int]:
+    for i, labeling in enumerate(rounds):
+        if labeling[x] != labeling[y]:
+            return i
+    return None
+
+
+def _describe_split(
+    system: System,
+    rounds: List[Labeling],
+    x: NodeId,
+    y: NodeId,
+    split: int,
+    model: EnvironmentModel,
+    chain: List[str],
+    depth: int,
+    seen: set,
+) -> None:
+    net = system.network
+    if split == 0:
+        if net.is_processor(x) != net.is_processor(y):
+            chain.append(f"{x!r} and {y!r} are different kinds of node")
+        else:
+            chain.append(
+                f"{x!r} and {y!r} have different initial states "
+                f"({system.state0(x)!r} vs {system.state0(y)!r})"
+            )
+        return
+    prev = rounds[split - 1]
+    if (x, y) in seen or depth <= 0:
+        chain.append(f"... ({x!r} vs {y!r}: chain truncated)")
+        return
+    seen.add((x, y))
+
+    if net.is_processor(x) and net.is_processor(y):
+        for name in net.names:
+            vx, vy = net.n_nbr(x, name), net.n_nbr(y, name)
+            if prev[vx] != prev[vy]:
+                chain.append(
+                    f"split at round {split}: their {name!r}-neighbors "
+                    f"({vx!r} vs {vy!r}) were already distinguished"
+                )
+                sub_split = _first_split(rounds, vx, vy)
+                if sub_split is not None:
+                    _describe_split(
+                        system, rounds, vx, vy, sub_split, model, chain, depth - 1, seen
+                    )
+                return
+        chain.append(f"split at round {split}: differing environments")
+        return
+
+    # variables: compare per-name writer-label profiles under prev.
+    for name in net.names:
+        labels_x = [prev[p] for p in net.n_neighbors_of_variable(x, name)]
+        labels_y = [prev[p] for p in net.n_neighbors_of_variable(y, name)]
+        if model is EnvironmentModel.MULTISET:
+            differ = Counter(labels_x) != Counter(labels_y)
+            what = "counts"
+        else:
+            differ = set(labels_x) != set(labels_y)
+            what = "set"
+        if differ:
+            writers_x = net.n_neighbors_of_variable(x, name)
+            writers_y = net.n_neighbors_of_variable(y, name)
+            if len(writers_x) != len(writers_y):
+                chain.append(
+                    f"split at round {split}: {x!r} has {len(writers_x)} "
+                    f"{name!r}-writer(s), {y!r} has {len(writers_y)}"
+                    + (
+                        " -- a multiplicity, visible to peek but not to read"
+                        if model is EnvironmentModel.MULTISET
+                        else ""
+                    )
+                )
+                return
+            chain.append(
+                f"split at round {split}: their {name!r}-writers belong to "
+                f"already-distinguished classes"
+            )
+            # Recurse on a concrete witness pair of writers.
+            for wx in writers_x:
+                for wy in writers_y:
+                    if prev[wx] != prev[wy]:
+                        sub_split = _first_split(rounds, wx, wy)
+                        if sub_split is not None:
+                            _describe_split(
+                                system, rounds, wx, wy, sub_split, model,
+                                chain, depth - 1, seen,
+                            )
+                        return
+            return
+    chain.append(f"split at round {split}: differing environments")
+
+
+def explain_dissimilarity(
+    system: System,
+    x: NodeId,
+    y: NodeId,
+    model: Optional[EnvironmentModel] = None,
+    include_state: bool = True,
+    max_depth: int = 6,
+) -> Explanation:
+    """Explain why ``x`` and ``y`` are dissimilar (or report similarity).
+
+    The explanation follows the refinement run: the round at which the
+    two nodes' classes separated, the environment component responsible,
+    and recursively the reason that component had already separated.
+    """
+    if model is None:
+        model = EnvironmentModel.for_instruction_set(system.instruction_set)
+    rounds = _refinement_rounds(system, model, include_state)
+    split = _first_split(rounds, x, y)
+    if split is None:
+        return Explanation(
+            similar=True,
+            split_round=None,
+            reason=f"{x!r} and {y!r} are similar (same class at the fixpoint)",
+            chain=(),
+        )
+    chain: List[str] = []
+    _describe_split(system, rounds, x, y, split, model, chain, max_depth, set())
+    return Explanation(
+        similar=False,
+        split_round=split,
+        reason=chain[0] if chain else f"split at round {split}",
+        chain=tuple(chain),
+    )

@@ -1,0 +1,290 @@
+"""Families of systems and the ELITE construction (paper, Section 5).
+
+A *family* is a set of systems sharing the instruction set, schedule
+types, and NAMES; members differ in topology and initial states.  A
+*homogeneous* family fixes the topology too, so members differ only in
+initial states.  One program runs on every member (processors cannot tell
+which member they inhabit), so a *selection algorithm for a family* must
+select exactly one processor in whichever member it finds itself.
+
+The similarity labeling of a family is the similarity labeling of the
+disjoint **union** of its members; restricting it to a member gives that
+member's *version* labeling, with labels canonically comparable across
+members.  Theorem 7: a family in Q has a selection algorithm iff there is
+a label set ELITE such that each member has exactly one processor labeled
+in ELITE.
+
+This module also enumerates the **relabel family** ``H`` of an L system:
+the homogeneous family of all initial states reachable by executing the
+``relabel`` locking protocol (each variable hands out lock-order counts
+0..deg-1 to its edges), which is how Theorem 9 reduces selection in L to
+family selection in Q.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations, product
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from ..exceptions import FamilyError, SelectionError
+from .labeling import Labeling
+from .names import NodeId
+from .refinement import compute_similarity_labeling
+from .system import InstructionSet, System, union_of_systems
+
+
+class Family:
+    """An immutable family of systems over common NAMES and model."""
+
+    def __init__(self, systems: Sequence[System]) -> None:
+        systems = tuple(systems)
+        if not systems:
+            raise FamilyError("a family needs at least one member")
+        first = systems[0]
+        for s in systems[1:]:
+            if set(s.names) != set(first.names):
+                raise FamilyError("family members must share NAMES")
+            if s.instruction_set is not first.instruction_set:
+                raise FamilyError("family members must share the instruction set")
+            if s.schedule_class is not first.schedule_class:
+                raise FamilyError("family members must share the schedule class")
+        self._systems = systems
+
+    @property
+    def members(self) -> Tuple[System, ...]:
+        return self._systems
+
+    def __len__(self) -> int:
+        return len(self._systems)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Same topology everywhere (members differ only in state_0)."""
+        first_net = self._systems[0].network
+        return all(s.network == first_net for s in self._systems[1:])
+
+    # ------------------------------------------------------------------
+
+    def union_system(self) -> System:
+        """The (unconnected) union system whose labeling defines the
+        family's similarity labeling."""
+        return union_of_systems(self._systems)
+
+    def similarity_labeling(self, include_state: bool = True) -> Labeling:
+        """Similarity labeling of the union system.
+
+        Nodes of member ``i`` appear as ``(i, node)``.
+        """
+        union = self.union_system()
+        return compute_similarity_labeling(union, include_state=include_state).labeling
+
+    def member_labelings(self, include_state: bool = True) -> Tuple[Labeling, ...]:
+        """Each member's *version*: the union labeling restricted to the
+        member and renamed back to the member's own node ids.
+
+        Labels are shared across versions (they come from one union
+        labeling), so ``version[p] in elite`` is meaningful family-wide.
+        """
+        union_labeling = self.similarity_labeling(include_state)
+        versions = []
+        for idx, member in enumerate(self._systems):
+            restricted = union_labeling.restrict(
+                [(idx, node) for node in member.nodes]
+            )
+            versions.append(restricted.relabel_nodes(lambda tagged: tagged[1]))
+        return tuple(versions)
+
+    # ------------------------------------------------------------------
+    # Theorem 7
+    # ------------------------------------------------------------------
+
+    def elite(self) -> Optional[FrozenSet[Hashable]]:
+        """A set ELITE of processor labels with exactly one occurrence per
+        member, or None if none exists (Theorem 7's criterion).
+
+        Solved exactly (exact cover) rather than greedily, so that the
+        decision is complete for arbitrary families -- the greedy loop of
+        Theorem 9 is additionally available as
+        :func:`elite_by_theorem9_greedy` and is guaranteed to work under
+        that theorem's hypothesis.
+        """
+        # Imported lazily: repro.algorithms packages the runnable programs,
+        # which themselves import this module.
+        from ..algorithms.exact_cover import exact_one_per_group
+
+        versions = self.member_labelings()
+        groups: Dict[int, Dict[Hashable, int]] = {}
+        for idx, (member, version) in enumerate(zip(self._systems, versions)):
+            counts: Dict[Hashable, int] = {}
+            for p in member.processors:
+                counts[version[p]] = counts.get(version[p], 0) + 1
+            groups[idx] = counts
+        return exact_one_per_group(groups)
+
+    def has_selection_algorithm(self) -> bool:
+        """Theorem 7: decide family selection for instruction set Q."""
+        return self.elite() is not None
+
+
+def elite_by_theorem9_greedy(
+    versions: Sequence[Labeling],
+    processors: Sequence[NodeId],
+) -> FrozenSet[Hashable]:
+    """The greedy ELITE construction from the proof of Theorem 9.
+
+    ``versions`` are (deduplicated) similarity labelings of the members of
+    a homogeneous family, over the common processor set ``processors``.
+    Repeatedly pick a version none of whose processor labels is in ELITE,
+    pick one of its uniquely labeled processors, and add that label.
+
+    Raises:
+        SelectionError: if some pending version has no uniquely labeled
+            processor -- then (Theorem 3 via Theorem 2) the family has no
+            selection algorithm.
+    """
+    elite: set = set()
+    unique_versions: List[Labeling] = []
+    seen_partitions: List[Labeling] = []
+    for v in versions:
+        if not any(v.same_partition(w) and all(v[p] == w[p] for p in processors)
+                   for w in seen_partitions):
+            seen_partitions.append(v)
+            unique_versions.append(v)
+
+    while True:
+        pending = [
+            v
+            for v in unique_versions
+            if all(v[p] not in elite for p in processors)
+        ]
+        if not pending:
+            break
+        psi = pending[0]
+        uniquely = [
+            p
+            for p in processors
+            if sum(1 for q in processors if psi[q] == psi[p]) == 1
+        ]
+        if not uniquely:
+            raise SelectionError(
+                "a version labels every processor non-uniquely; "
+                "no selection algorithm exists for this family"
+            )
+        p = sorted(uniquely, key=repr)[0]
+        elite.add(psi[p])
+    return frozenset(elite)
+
+
+# ----------------------------------------------------------------------
+# The relabel family H of an L system
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RelabeledState:
+    """Processor state after executing ``relabel`` (Section 5).
+
+    The processor keeps its original initial state plus, for each name, the
+    count it read when it locked that name's variable (its position in the
+    variable's lock order).
+    """
+
+    original: Hashable
+    counts: Tuple[Tuple[Hashable, int], ...]  # sorted (name, count) pairs
+
+    def count_for(self, name: Hashable) -> int:
+        for n, c in self.counts:
+            if n == name:
+                return c
+        raise KeyError(name)
+
+
+def relabel_family(system: System) -> Family:
+    """Enumerate ``H``: every system that could be produced by executing
+    ``relabel`` on ``system``.
+
+    ``relabel`` makes each processor lock each of its named variables,
+    read the lock count, increment it, and unlock.  Per variable, the
+    edges incident to it receive the distinct counts ``0..deg-1`` in lock
+    order; because a processor unlocks each variable before touching the
+    next, *every* combination of per-variable edge orders is reachable
+    under some fair schedule.  ``H`` is therefore the product of the
+    per-variable edge permutations, deduplicated by resulting state.
+
+    Variables end in a common state (their final count ``deg``), so
+    members of ``H`` differ only in processor states: a homogeneous
+    family, as required by Theorem 9.
+    """
+    if not system.instruction_set.has_locks:
+        raise FamilyError("relabel requires a locking instruction set (L or L2)")
+    net = system.network
+    per_variable_orders: List[List[Tuple[Tuple[NodeId, Hashable], ...]]] = []
+    variables = list(net.variables)
+    for v in variables:
+        edges = net.neighbors_of_variable(v)
+        per_variable_orders.append([tuple(p) for p in permutations(edges)])
+
+    members: List[System] = []
+    seen_states: set = set()
+    for combo in product(*per_variable_orders):
+        # combo[i] is the lock order of edges at variables[i]
+        counts: Dict[Tuple[NodeId, Hashable], int] = {}
+        for v_idx, order in enumerate(combo):
+            for position, (proc, name) in enumerate(order):
+                counts[(proc, name)] = position
+        member = _member_from_counts(system, counts)
+        key = tuple(sorted(member.initial_state.items(), key=lambda kv: repr(kv[0])))
+        if key in seen_states:
+            continue
+        seen_states.add(key)
+        members.append(member)
+    return Family(members)
+
+
+def _member_from_counts(
+    system: System, counts: Dict[Tuple[NodeId, Hashable], int]
+) -> System:
+    """Build the post-relabel system for one assignment of edge counts."""
+    net = system.network
+    new_state: Dict[NodeId, Hashable] = {}
+    for p in net.processors:
+        pairs = tuple(
+            sorted(((name, counts[(p, name)]) for name in net.names), key=repr)
+        )
+        new_state[p] = RelabeledState(system.state0(p), pairs)
+    for v in net.variables:
+        new_state[v] = ("relabeled", system.state0(v), net.degree(v))
+    return System(net, new_state, InstructionSet.Q, system.schedule_class)
+
+
+def relabel_family_extended(system: System) -> Family:
+    """The relabel family for *extended locking* (L2, Section 6).
+
+    With an indivisible multi-variable lock, ``relabel`` locks all of a
+    processor's named variables at once, so the per-variable lock orders
+    are all restrictions of one total order of processors.  (A processor
+    giving one variable several names reads consecutive counts, in NAMES
+    order.)  The family is therefore indexed by total orders of the
+    processor set -- much smaller than the free product of L's version.
+    """
+    if system.instruction_set is not InstructionSet.L2:
+        raise FamilyError("extended relabel applies to instruction set L2")
+    net = system.network
+    members: List[System] = []
+    seen_states: set = set()
+    for order in permutations(net.processors):
+        next_count: Dict[NodeId, int] = {v: 0 for v in net.variables}
+        counts: Dict[Tuple[NodeId, Hashable], int] = {}
+        for proc in order:
+            for name in net.names:  # NAMES order within the atomic lock
+                v = net.n_nbr(proc, name)
+                counts[(proc, name)] = next_count[v]
+                next_count[v] += 1
+        member = _member_from_counts(system, counts)
+        key = tuple(sorted(member.initial_state.items(), key=lambda kv: repr(kv[0])))
+        if key in seen_states:
+            continue
+        seen_states.add(key)
+        members.append(member)
+    return Family(members)

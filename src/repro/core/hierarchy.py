@@ -1,0 +1,113 @@
+"""The model-power hierarchy (paper, Sections 6 and 9).
+
+The paper's conclusion orders the models by the selection problems they
+can solve:
+
+    L  is strictly more powerful than  Q,
+    Q  is strictly more powerful than  bounded-fair S,
+    bounded-fair S  is strictly more powerful than  fair S.
+
+The *qualitative* content is in how the similarity rules differ:
+
+* L vs Q -- processors that give the same name to the same variable can
+  tell themselves apart (a lock race has exactly one winner);
+* Q vs bounded-fair S -- processors can eventually learn the number of
+  neighbors of each variable (a ``peek`` returns a sub-value multiset,
+  whereas a ``read`` hides multiplicity);
+* bounded-fair S vs fair S -- with a bound, silence is informative; under
+  plain fairness a processor can never rule out that part of the system
+  has not executed yet (mimicry).
+
+This module evaluates one network+state under every model and reports the
+selection decision per model, which is how the benchmarks regenerate the
+paper's hierarchy table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from .names import NodeId, State
+from .network import Network
+from .selection import SelectionDecision, decide_selection
+from .system import InstructionSet, ScheduleClass, System
+
+#: Model axis used throughout benchmarks: (label, instruction set, schedule).
+MODEL_AXIS: Tuple[Tuple[str, InstructionSet, ScheduleClass], ...] = (
+    ("fair-S", InstructionSet.S, ScheduleClass.FAIR),
+    ("bounded-fair-S", InstructionSet.S, ScheduleClass.BOUNDED_FAIR),
+    ("Q", InstructionSet.Q, ScheduleClass.FAIR),
+    ("L", InstructionSet.L, ScheduleClass.FAIR),
+    ("L2", InstructionSet.L2, ScheduleClass.FAIR),
+)
+
+#: The paper's claimed strict order, weakest first (L2 at least as strong as L).
+POWER_ORDER: Tuple[str, ...] = ("fair-S", "bounded-fair-S", "Q", "L", "L2")
+
+
+@dataclass(frozen=True)
+class ModelReport:
+    """Selection decisions for one network+state across all models."""
+
+    description: str
+    decisions: Mapping[str, SelectionDecision]
+
+    def solvable_models(self) -> Tuple[str, ...]:
+        return tuple(m for m in POWER_ORDER if self.decisions[m].possible)
+
+    def respects_power_order(self) -> bool:
+        """Monotonicity: if a weaker model solves selection, so must every
+        stronger one.  (The hierarchy claims exactly this, plus strictness
+        witnessed by *some* system per adjacent pair.)"""
+        solved_weaker = False
+        for model in POWER_ORDER:
+            possible = self.decisions[model].possible
+            if solved_weaker and not possible:
+                return False
+            solved_weaker = solved_weaker or possible
+        return True
+
+
+def selection_across_models(
+    network: Network,
+    state: Optional[Mapping[NodeId, State]] = None,
+    description: str = "",
+) -> ModelReport:
+    """Decide selection for the same network+state under every model."""
+    decisions: Dict[str, SelectionDecision] = {}
+    for label, iset, sched in MODEL_AXIS:
+        system = System(network, state, iset, sched)
+        decisions[label] = decide_selection(system)
+    return ModelReport(description or repr(network), decisions)
+
+
+@dataclass(frozen=True)
+class SeparationWitness:
+    """A system separating two adjacent models in the hierarchy.
+
+    ``weaker`` cannot solve selection on this system; ``stronger`` can.
+    """
+
+    weaker: str
+    stronger: str
+    report: ModelReport
+
+    @property
+    def valid(self) -> bool:
+        return (
+            not self.report.decisions[self.weaker].possible
+            and self.report.decisions[self.stronger].possible
+        )
+
+
+def verify_separation(
+    weaker: str,
+    stronger: str,
+    network: Network,
+    state: Optional[Mapping[NodeId, State]] = None,
+    description: str = "",
+) -> SeparationWitness:
+    """Package and check a claimed separation witness."""
+    report = selection_across_models(network, state, description)
+    return SeparationWitness(weaker, stronger, report)

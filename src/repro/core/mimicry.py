@@ -1,0 +1,106 @@
+"""Mimicry: the obstruction in fair systems in S (paper, Section 6).
+
+In a fair-but-not-bounded-fair system with only read/write instructions,
+dissimilar processors may still be unable to distinguish themselves,
+because a processor can never rule out that some other part of the system
+simply has not executed yet.  The paper captures this as **mimicry**:
+
+    ``x`` mimics ``y`` if there is a subsystem of the system such that
+    ``x`` is similar to the image of ``y`` in the subsystem.
+
+While the outsiders of that subsystem are frozen (legal under plain
+fairness -- they only need to run *eventually*), ``y`` behaves exactly as
+its image in the subsystem, which is indistinguishable from ``x``; so
+``x`` can never safely conclude its own label.  Selection in a fair system
+in S is possible iff some processor mimics no other.
+
+Cross-system similarity ("x in Sigma similar to y in Sigma-prime") is
+evaluated, exactly as for families in Section 5, on the disjoint union of
+the two systems, with the SET environment model of instruction set S.
+
+Subsystems are induced by processor subsets (processors keep all their
+named edges); the search is exponential in |P| and intended for the
+figure-scale systems the paper analyzes.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Tuple
+
+from .environment import EnvironmentModel
+from .names import NodeId
+from .refinement import compute_similarity_labeling
+from .system import System
+
+
+def _union_similar(
+    system: System,
+    sub: System,
+    x: NodeId,
+    y: NodeId,
+) -> bool:
+    """Is ``x`` (in ``system``) similar to ``y`` (in ``sub``)?
+
+    Computed on the disjoint union with the S (SET) environment model.
+    """
+    union = system.disjoint_union(sub, tags=("full", "sub"))
+    theta = compute_similarity_labeling(union, model=EnvironmentModel.SET).labeling
+    return theta[("full", x)] == theta[("sub", y)]
+
+
+def mimics(system: System, x: NodeId, y: NodeId) -> bool:
+    """Does processor ``x`` mimic processor ``y``?
+
+    True iff some induced subsystem containing ``y`` has its image of
+    ``y`` similar to ``x``.  Taking the subsystem to be the whole system
+    shows that similarity implies mimicry.
+    """
+    processors = list(system.processors)
+    others = [p for p in processors if p != y]
+    for k in range(0, len(others) + 1):
+        for extra in combinations(others, k):
+            subset = (y,) + extra
+            sub = system.induced_subsystem(subset)
+            if _union_similar(system, sub, x, y):
+                return True
+    return False
+
+
+def mimicry_relation(system: System) -> Dict[NodeId, FrozenSet[NodeId]]:
+    """``proc -> set of processors it mimics`` (excluding itself).
+
+    The subsystem enumeration is shared across all pairs: for every
+    induced subsystem we compute one union labeling and read off every
+    (x, y) pair at once, instead of re-searching per pair.
+    """
+    processors = list(system.processors)
+    result: Dict[NodeId, set] = {p: set() for p in processors}
+    for k in range(1, len(processors) + 1):
+        for subset in combinations(processors, k):
+            sub = system.induced_subsystem(subset)
+            union = system.disjoint_union(sub, tags=("full", "sub"))
+            theta = compute_similarity_labeling(
+                union, model=EnvironmentModel.SET
+            ).labeling
+            for y in subset:
+                label_y = theta[("sub", y)]
+                for x in processors:
+                    if x != y and theta[("full", x)] == label_y:
+                        result[x].add(y)
+    return {p: frozenset(s) for p, s in result.items()}
+
+
+def processors_mimicking_no_other(system: System) -> Tuple[NodeId, ...]:
+    """Processors that mimic no other processor.
+
+    Section 6: a fair system in S has a selection algorithm iff this
+    tuple is non-empty.
+    """
+    relation = mimicry_relation(system)
+    return tuple(p for p in system.processors if not relation[p])
+
+
+def fair_s_selection_possible(system: System) -> bool:
+    """Decision for fair (not bounded-fair) systems in S."""
+    return bool(processors_mimicking_no_other(system))

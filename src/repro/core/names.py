@@ -1,0 +1,62 @@
+"""Basic vocabulary of the system model.
+
+The paper's system model (Section 2) speaks of *processors*, *shared
+variables*, and a set ``NAMES`` of local names that processors give to
+variables.  This module fixes the Python representations used throughout
+the library:
+
+* a **node identifier** is any hashable value (usually a string such as
+  ``"p1"`` or ``"v1"``);
+* a **name** (an element of ``NAMES``) is any hashable value (usually a
+  short string such as ``"left"`` or ``"fork_r"``);
+* a **label** produced by a similarity labeling is an opaque hashable
+  value; canonical labelings use :class:`CanonicalLabel`;
+* a **state** of a processor or variable is any hashable value.
+
+Keeping these as plain hashables (rather than wrapper classes) makes
+systems cheap to build in tests and keeps the refinement algorithms fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+#: Type alias for processor / variable identifiers.
+NodeId = Hashable
+
+#: Type alias for elements of NAMES.
+Name = Hashable
+
+#: Type alias for node states.
+State = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class CanonicalLabel:
+    """A label of a canonical similarity labeling.
+
+    Canonical labels are comparable *across systems*: two nodes in two
+    different systems receive equal :class:`CanonicalLabel` values exactly
+    when the refinement history that produced their classes is identical
+    (same initial-state class, same sequence of environment signatures).
+    This is what makes the family constructions of Section 5 work -- the
+    ELITE set of Theorem 9 is a set of canonical labels, and membership
+    tests like ``labeling[p] in elite`` are meaningful for any member of
+    the family.
+
+    Attributes:
+        kind: ``"P"`` for processor labels, ``"V"`` for variable labels.
+        code: an integer identifying the class within its kind.  Codes are
+            assigned deterministically by the refinement algorithms.
+    """
+
+    kind: str
+    code: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}{self.code}"
+
+
+PROCESSOR_KIND = "P"
+VARIABLE_KIND = "V"

@@ -1,0 +1,328 @@
+"""The bipartite network ``N`` of a system (paper, Section 2).
+
+A network is a connected bipartite graph whose nodes are processors ``P``
+and shared variables ``V``.  Every edge connects a processor to a variable
+and carries a *name*: the local name the processor uses for that variable.
+The paper requires that each processor has **exactly one** n-neighbor for
+each ``n`` in ``NAMES``, so the whole network is determined by the map
+
+    ``n_nbr : P x NAMES -> V``.
+
+:class:`Network` stores exactly that map and derives everything else
+(variable neighborhoods, degrees, connectivity, ...).  Networks are
+immutable; all mutating operations return new networks.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
+
+from ..exceptions import NetworkError
+from .names import Name, NodeId
+
+
+def _sorted_nodes(nodes: Iterable[NodeId]) -> Tuple[NodeId, ...]:
+    """Sort node ids deterministically even for mixed types."""
+    return tuple(sorted(nodes, key=lambda x: (str(type(x)), repr(x))))
+
+
+class Network:
+    """A bipartite processor/variable network with named edges.
+
+    Args:
+        names: the set ``NAMES`` of local variable names.  Every processor
+            must define an n-neighbor for every name in this set.
+        edges: mapping ``processor -> {name -> variable}``.  The variable
+            set is inferred as the union of all edge targets unless
+            ``variables`` is given explicitly (which also allows declaring
+            the processor/variable split when identifiers would otherwise
+            be ambiguous).
+        variables: optional explicit variable set; must be a superset of
+            all edge targets.
+
+    Raises:
+        NetworkError: if the specification is malformed (missing names,
+            processor/variable id collision, unreferenced variables not
+            declared, etc.).
+    """
+
+    def __init__(
+        self,
+        names: Iterable[Name],
+        edges: Mapping[NodeId, Mapping[Name, NodeId]],
+        variables: Iterable[NodeId] = (),
+    ) -> None:
+        self._names: Tuple[Name, ...] = tuple(sorted(set(names), key=repr))
+        if not self._names:
+            raise NetworkError("NAMES must be non-empty")
+        self._processors: Tuple[NodeId, ...] = _sorted_nodes(edges.keys())
+        if not self._processors:
+            raise NetworkError("a network needs at least one processor")
+
+        name_set = frozenset(self._names)
+        n_nbr: Dict[Tuple[NodeId, Name], NodeId] = {}
+        seen_vars = set(variables)
+        for proc, nbrs in edges.items():
+            given = frozenset(nbrs.keys())
+            if given != name_set:
+                missing = name_set - given
+                extra = given - name_set
+                raise NetworkError(
+                    f"processor {proc!r} must name exactly NAMES; "
+                    f"missing={sorted(map(repr, missing))} "
+                    f"extra={sorted(map(repr, extra))}"
+                )
+            for name, var in nbrs.items():
+                n_nbr[(proc, name)] = var
+                seen_vars.add(var)
+        self._variables: Tuple[NodeId, ...] = _sorted_nodes(seen_vars)
+        overlap = set(self._processors) & set(self._variables)
+        if overlap:
+            raise NetworkError(
+                f"ids used as both processor and variable: {sorted(map(repr, overlap))}"
+            )
+        self._n_nbr: Dict[Tuple[NodeId, Name], NodeId] = n_nbr
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def names(self) -> Tuple[Name, ...]:
+        """The set NAMES, as a sorted tuple."""
+        return self._names
+
+    @property
+    def processors(self) -> Tuple[NodeId, ...]:
+        """All processors, sorted deterministically."""
+        return self._processors
+
+    @property
+    def variables(self) -> Tuple[NodeId, ...]:
+        """All shared variables, sorted deterministically."""
+        return self._variables
+
+    @cached_property
+    def nodes(self) -> Tuple[NodeId, ...]:
+        """Processors followed by variables."""
+        return self._processors + self._variables
+
+    def is_processor(self, node: NodeId) -> bool:
+        return node in self._processor_set
+
+    def is_variable(self, node: NodeId) -> bool:
+        return node in self._variable_set
+
+    @cached_property
+    def _processor_set(self) -> FrozenSet[NodeId]:
+        return frozenset(self._processors)
+
+    @cached_property
+    def _variable_set(self) -> FrozenSet[NodeId]:
+        return frozenset(self._variables)
+
+    def n_nbr(self, processor: NodeId, name: Name) -> NodeId:
+        """The unique n-neighbor of ``processor`` for ``name``.
+
+        This is the function *n-nbr* of the paper: the variable that
+        ``processor`` refers to by local name ``name``.
+        """
+        try:
+            return self._n_nbr[(processor, name)]
+        except KeyError:
+            raise NetworkError(
+                f"{processor!r} is not a processor of this network or "
+                f"{name!r} not in NAMES"
+            ) from None
+
+    def neighbors_of_processor(self, processor: NodeId) -> Dict[Name, NodeId]:
+        """Mapping ``name -> variable`` for one processor."""
+        if processor not in self._processor_set:
+            raise NetworkError(f"unknown processor {processor!r}")
+        return {name: self._n_nbr[(processor, name)] for name in self._names}
+
+    @cached_property
+    def _var_neighbors(self) -> Dict[NodeId, Tuple[Tuple[NodeId, Name], ...]]:
+        acc: Dict[NodeId, List[Tuple[NodeId, Name]]] = {v: [] for v in self._variables}
+        for (proc, name), var in self._n_nbr.items():
+            acc[var].append((proc, name))
+        return {
+            v: tuple(sorted(pairs, key=lambda pn: (repr(pn[0]), repr(pn[1]))))
+            for v, pairs in acc.items()
+        }
+
+    def neighbors_of_variable(self, variable: NodeId) -> Tuple[Tuple[NodeId, Name], ...]:
+        """All ``(processor, name)`` pairs adjacent to ``variable``.
+
+        A processor appears once per name it uses for the variable (a
+        processor may give one variable several names).
+        """
+        try:
+            return self._var_neighbors[variable]
+        except KeyError:
+            raise NetworkError(f"unknown variable {variable!r}") from None
+
+    def n_neighbors_of_variable(self, variable: NodeId, name: Name) -> Tuple[NodeId, ...]:
+        """Processors that are n-neighbors of ``variable`` under ``name``."""
+        return tuple(p for p, n in self.neighbors_of_variable(variable) if n == name)
+
+    def degree(self, variable: NodeId) -> int:
+        """Number of edges incident to ``variable``."""
+        return len(self.neighbors_of_variable(variable))
+
+    @cached_property
+    def edge_count(self) -> int:
+        return len(self._n_nbr)
+
+    # ------------------------------------------------------------------
+    # structural predicates
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def is_connected(self) -> bool:
+        """True if the bipartite graph is connected.
+
+        The paper generally assumes connectivity; the union systems used
+        for families (Section 5) are the deliberate exception.
+        """
+        if not self._processors:
+            return True
+        adjacency = self._adjacency
+        start = self.nodes[0]
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nbr in adjacency[node]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        return len(seen) == len(self.nodes)
+
+    @cached_property
+    def _adjacency(self) -> Dict[NodeId, Tuple[NodeId, ...]]:
+        adj: Dict[NodeId, List[NodeId]] = {n: [] for n in self.nodes}
+        for (proc, _name), var in self._n_nbr.items():
+            adj[proc].append(var)
+            adj[var].append(proc)
+        return {n: tuple(sorted(set(ns), key=repr)) for n, ns in adj.items()}
+
+    @cached_property
+    def connected_components(self) -> Tuple[FrozenSet[NodeId], ...]:
+        """Connected components as frozensets of nodes."""
+        adjacency = self._adjacency
+        seen: set = set()
+        components: List[FrozenSet[NodeId]] = []
+        for start in self.nodes:
+            if start in seen:
+                continue
+            comp = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for nbr in adjacency[node]:
+                    if nbr not in comp:
+                        comp.add(nbr)
+                        stack.append(nbr)
+            seen |= comp
+            components.append(frozenset(comp))
+        return tuple(components)
+
+    @cached_property
+    def is_distributed(self) -> bool:
+        """True if no single variable is accessed by *all* processors.
+
+        This is the paper's Section 7 notion of a *distributed* system,
+        used in the Dining Philosophers argument (Theorem 11 requires
+        ``k != j`` because the system is distributed).
+        """
+        total = len(self._processors)
+        for v in self._variables:
+            accessors = {p for p, _ in self.neighbors_of_variable(v)}
+            if len(accessors) == total:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # constructions
+    # ------------------------------------------------------------------
+
+    def relabeled(self, rename) -> "Network":
+        """A copy with every node id passed through callable ``rename``."""
+        edges = {
+            rename(p): {n: rename(self._n_nbr[(p, n)]) for n in self._names}
+            for p in self._processors
+        }
+        return Network(self._names, edges, variables=[rename(v) for v in self._variables])
+
+    def disjoint_union(self, other: "Network", tags: Tuple[str, str] = ("A", "B")) -> "Network":
+        """The disjoint union of two networks over the same NAMES.
+
+        Node ids are wrapped as ``(tag, original_id)``.  This is the graph
+        underlying the *union system* that defines the similarity labeling
+        of a family (Section 5).
+        """
+        if set(self._names) != set(other._names):
+            raise NetworkError("disjoint union requires identical NAMES")
+        a = self.relabeled(lambda x: (tags[0], x))
+        b = other.relabeled(lambda x: (tags[1], x))
+        edges: Dict[NodeId, Dict[Name, NodeId]] = {}
+        for net in (a, b):
+            for p in net.processors:
+                edges[p] = dict(net.neighbors_of_processor(p))
+        return Network(self._names, edges, variables=a.variables + b.variables)
+
+    def induced_subnetwork(self, processors: Iterable[NodeId]) -> "Network":
+        """The subsystem induced by a set of processors.
+
+        The subsystem keeps every selected processor with *all* of its
+        named edges (each processor must keep exactly one n-neighbor per
+        name, so processors cannot lose edges) and keeps exactly the
+        variables those edges touch.  This is the notion of *subsystem*
+        used to define mimicry for fair systems in S (Section 6).
+        """
+        procs = _sorted_nodes(processors)
+        unknown = [p for p in procs if p not in self._processor_set]
+        if unknown:
+            raise NetworkError(f"not processors of this network: {unknown!r}")
+        if not procs:
+            raise NetworkError("a subsystem needs at least one processor")
+        edges = {p: dict(self.neighbors_of_processor(p)) for p in procs}
+        return Network(self._names, edges)
+
+    def all_subnetworks(self, min_processors: int = 1) -> Iterable["Network"]:
+        """Yield every induced subsystem with at least ``min_processors``.
+
+        Exponential in ``|P|``; intended for the small systems of the
+        paper's figures (mimicry analysis).
+        """
+        from itertools import combinations
+
+        for k in range(min_processors, len(self._processors) + 1):
+            for subset in combinations(self._processors, k):
+                yield self.induced_subnetwork(subset)
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Network):
+            return NotImplemented
+        return (
+            self._names == other._names
+            and self._processors == other._processors
+            and self._variables == other._variables
+            and self._n_nbr == other._n_nbr
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._names, self._processors, self._variables,
+                     tuple(sorted(self._n_nbr.items(), key=repr))))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Network(|P|={len(self._processors)}, |V|={len(self._variables)}, "
+            f"names={list(self._names)!r})"
+        )

@@ -1,0 +1,243 @@
+"""Quotient systems and canonical forms.
+
+Section 3 states that the similarity labeling "is unique up to
+isomorphism".  This module makes that claim operational:
+
+* :func:`quotient_system` collapses a system along its similarity
+  labeling: one node per class, with multiplicity annotations.  The
+  quotient is the finite syntactic object the labeling *is*; two systems
+  have isomorphic similarity structure iff their quotients are equal
+  after canonical renaming.
+* :func:`canonical_form` produces a hashable canonical description of a
+  system up to isomorphism (class-graph plus a canonicalized concrete
+  graph), so :func:`are_isomorphic` can decide system isomorphism using
+  the automorphism matcher.
+
+The quotient is also a compression device: analyses that only depend on
+Theta (selection decisions, table generation for Algorithm 2) can run on
+the quotient of a large symmetric system instead of the system itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from .automorphism import find_automorphism
+from .labeling import Labeling
+from .names import Name, State
+from .refinement import compute_similarity_labeling
+from .system import System
+
+
+@dataclass(frozen=True)
+class QuotientEdge:
+    """One class-level edge of the quotient.
+
+    ``count`` is the number of ``name``-edges from processors of class
+    ``plabel`` into each single variable of class ``vlabel`` -- i.e.
+    ``neighborhood_size(name, plabel, vlabel)``.
+    """
+
+    plabel: Hashable
+    name: Name
+    vlabel: Hashable
+    count: int
+
+
+@dataclass(frozen=True)
+class QuotientSystem:
+    """A system collapsed along a similarity labeling.
+
+    Attributes:
+        pclasses: processor class labels with their sizes and state.
+        vclasses: variable class labels with their sizes and state.
+        edges: the class-level named edges with multiplicities.
+    """
+
+    pclasses: Tuple[Tuple[Hashable, int, State], ...]
+    vclasses: Tuple[Tuple[Hashable, int, State], ...]
+    edges: Tuple[QuotientEdge, ...]
+
+    @property
+    def processor_class_count(self) -> int:
+        return len(self.pclasses)
+
+    @property
+    def variable_class_count(self) -> int:
+        return len(self.vclasses)
+
+    def class_size(self, label: Hashable) -> int:
+        for lbl, size, _state in self.pclasses + self.vclasses:
+            if lbl == label:
+                return size
+        raise KeyError(label)
+
+    def selection_possible(self) -> bool:
+        """Theorem 3 read off the quotient: some processor class of size 1."""
+        return any(size == 1 for _l, size, _s in self.pclasses)
+
+
+def quotient_system(
+    system: System, theta: Optional[Labeling] = None
+) -> QuotientSystem:
+    """Collapse ``system`` along ``theta`` (default: its Theta)."""
+    if theta is None:
+        theta = compute_similarity_labeling(system).labeling
+    net = system.network
+
+    def classes_of(nodes):
+        acc: Dict[Hashable, Tuple[int, State]] = {}
+        for node in nodes:
+            label = theta[node]
+            size, state = acc.get(label, (0, system.state0(node)))
+            acc[label] = (size + 1, state)
+        return tuple(
+            (label, size, state)
+            for label, (size, state) in sorted(acc.items(), key=lambda kv: repr(kv[0]))
+        )
+
+    pclasses = classes_of(net.processors)
+    vclasses = classes_of(net.variables)
+
+    edge_counts: Dict[Tuple[Hashable, Name, Hashable], int] = {}
+    counted_vars: set = set()
+    for v in net.variables:
+        beta = theta[v]
+        if beta in counted_vars:
+            continue  # environment-respecting: any representative works
+        counted_vars.add(beta)
+        for proc, name in net.neighbors_of_variable(v):
+            key = (theta[proc], name, beta)
+            edge_counts[key] = edge_counts.get(key, 0) + 1
+    edges = tuple(
+        QuotientEdge(plabel, name, vlabel, count)
+        for (plabel, name, vlabel), count in sorted(
+            edge_counts.items(), key=lambda kv: repr(kv[0])
+        )
+    )
+    return QuotientSystem(pclasses, vclasses, edges)
+
+
+def similarity_structures_equal(a: System, b: System) -> bool:
+    """Do two systems have identical similarity structure?
+
+    True iff their quotients coincide (classes with equal sizes, states
+    and class-level edges).  Canonical labels make quotients directly
+    comparable only when class numbering agrees, so we compare via the
+    union system: compute Theta of the disjoint union and check it pairs
+    the two quotients class-for-class.
+    """
+    qa = quotient_system(a)
+    qb = quotient_system(b)
+    if (qa.processor_class_count, qa.variable_class_count) != (
+        qb.processor_class_count,
+        qb.variable_class_count,
+    ):
+        return False
+    union = a.disjoint_union(b, tags=("A", "B"))
+    theta = compute_similarity_labeling(union).labeling
+    # Class-for-class pairing: every union class must contain nodes of
+    # both systems in proportional counts (sizes may differ; structure
+    # classes must coincide).
+    for block in theta.blocks:
+        a_count = sum(1 for tag, _node in block if tag == "A")
+        b_count = len(block) - a_count
+        if a_count != b_count:
+            return False
+    return True
+
+
+def canonical_form(system: System) -> Hashable:
+    """A hashable isomorphism invariant of the system.
+
+    CanonicalLabel codes depend on node identifiers, so the raw quotient
+    is *not* invariant under renaming.  This form renumbers the quotient
+    classes by refinement over invariant data only: start each class from
+    ``(kind, initial state, size)`` and iterate with the multiset of its
+    quotient edges expressed in current class colors.  The result is the
+    multiset of stable class colors plus the edge multiset in those
+    colors -- equal for isomorphic systems, and complete enough to
+    distinguish everything the similarity structure distinguishes.
+
+    Used as the fast filter inside :func:`are_isomorphic`; the exact
+    decision is made by the automorphism matcher.
+    """
+    theta = compute_similarity_labeling(system).labeling
+    q = quotient_system(system, theta)
+
+    color: Dict[Hashable, Hashable] = {}
+    for label, size, state in q.pclasses:
+        color[label] = ("P", state, size)
+    for label, size, state in q.vclasses:
+        color[label] = ("V", state, size)
+
+    while True:
+        new_color: Dict[Hashable, Hashable] = {}
+        for label in color:
+            incident = tuple(
+                sorted(
+                    (
+                        ("out", e.name, repr(color[e.vlabel]), e.count)
+                        for e in q.edges
+                        if e.plabel == label
+                    )
+                )
+                + sorted(
+                    (
+                        ("in", e.name, repr(color[e.plabel]), e.count)
+                        for e in q.edges
+                        if e.vlabel == label
+                    )
+                )
+            )
+            new_color[label] = (color[label], incident)
+        if len(set(map(repr, new_color.values()))) == len(
+            set(map(repr, color.values()))
+        ):
+            break
+        # Intern: canonical small colors, keyed only by invariant content
+        # (sorted by the repr of the combined signature, which contains no
+        # node identifiers).
+        intern: Dict[str, int] = {}
+        for signature in sorted(repr(v) for v in new_color.values()):
+            if signature not in intern:
+                intern[signature] = len(intern)
+        color = {label: ("c", intern[repr(new_color[label])]) for label in color}
+
+    class_multiset = tuple(sorted(repr(c) for c in color.values()))
+    edge_multiset = tuple(
+        sorted(
+            repr((e.name, color[e.plabel], color[e.vlabel], e.count))
+            for e in q.edges
+        )
+    )
+    return (class_multiset, edge_multiset)
+
+
+def are_isomorphic(a: System, b: System) -> bool:
+    """Exact isomorphism of systems (structure, names, initial states).
+
+    Decided with the automorphism matcher on the disjoint union: ``a`` and
+    ``b`` are isomorphic iff the union has an automorphism swapping the
+    two sides, which we find by pinning one processor of ``a`` to each
+    candidate processor of ``b``.
+    """
+    if set(a.names) != set(b.names):
+        return False
+    if len(a.processors) != len(b.processors) or len(a.variables) != len(b.variables):
+        return False
+    if canonical_form(a) != canonical_form(b):
+        return False
+    union = a.disjoint_union(b, tags=("A", "B"))
+    anchor = ("A", a.processors[0])
+    for candidate in b.processors:
+        auto = find_automorphism(union, {anchor: ("B", candidate)})
+        if auto is None:
+            continue
+        # The automorphism must swap the sides wholesale.
+        if all(
+            auto[("A", p)][0] == "B" for p in a.processors
+        ):
+            return True
+    return False

@@ -1,0 +1,390 @@
+"""Algorithm 1: computing the similarity labeling by partition refinement.
+
+The similarity labeling ``Theta`` of a system is the *coarsest* labeling
+that respects environments: equal labels imply equal environments (the
+condition of Theorem 4).  Coarsest-stable-partition problems are solved by
+refinement, and this module offers three interchangeable engines:
+
+* :func:`algorithm1_literal` -- the paper's Algorithm 1, verbatim: start
+  from the trivial subsimilarity labeling and repeatedly split a class
+  containing two nodes with different environments.  Worst-case cubic;
+  kept as executable specification and cross-check.
+* :func:`algorithm1_signatures` -- iterated signature hashing (the
+  1-dimensional Weisfeiler-Leman strategy): each round relabels every node
+  by the pair (old label, environment signature).  O(rounds * (P+V+E)).
+* :func:`algorithm1_worklist` -- a Hopcroft/Paige-Tarjan-style worklist
+  refiner that only re-examines nodes adjacent to freshly split blocks and
+  enqueues all but the largest fragment, the strategy behind Theorem 5's
+  O(n log n) bound ([H71]).
+
+All three return the same partition (tests enforce this); the public entry
+point :func:`compute_similarity_labeling` picks the worklist engine.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from .environment import EnvironmentModel, environment_signature
+from .labeling import Labeling
+from .names import NodeId
+from .system import System
+
+
+@dataclass(frozen=True)
+class RefinementStats:
+    """Instrumentation for a refinement run.
+
+    Attributes:
+        rounds: number of global passes (signature engine) or worklist
+            pops (worklist engine).
+        splits: how many times an existing class was split.
+        classes: number of classes in the final labeling.
+    """
+
+    rounds: int
+    splits: int
+    classes: int
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    """A similarity labeling plus instrumentation."""
+
+    labeling: Labeling
+    stats: RefinementStats
+
+
+# ----------------------------------------------------------------------
+# shared helpers
+# ----------------------------------------------------------------------
+
+
+def _initial_labeling(system: System, include_state: bool) -> Labeling:
+    """The coarsest admissible starting point.
+
+    Nodes are split by kind (processor vs variable) and -- when
+    ``include_state`` -- by initial state; this is forced by environment
+    condition (1), and starting from it merely skips Algorithm 1's first
+    round of splits.
+    """
+    assignment: Dict[NodeId, Hashable] = {}
+    for node in system.nodes:
+        kind = "P" if system.network.is_processor(node) else "V"
+        state = system.state0(node) if include_state else None
+        assignment[node] = (kind, state)
+    return Labeling(assignment)
+
+
+def _finalize(system: System, labeling: Labeling) -> Labeling:
+    """Deterministically rename labels to CanonicalLabel values."""
+    return labeling.canonical(
+        lambda node: "P" if system.network.is_processor(node) else "V"
+    )
+
+
+# ----------------------------------------------------------------------
+# engine 1: the paper's Algorithm 1, literally
+# ----------------------------------------------------------------------
+
+
+def algorithm1_literal(
+    system: System,
+    model: EnvironmentModel = EnvironmentModel.MULTISET,
+    include_state: bool = True,
+) -> RefinementResult:
+    """The paper's Algorithm 1 as written.
+
+    ``Phi := trivial subsimilarity labeling;``
+    ``do`` some x, y share a label but have different environments ``->``
+    pick a new label; give it to every y in x's class whose environment
+    differs from x's ``od``.
+
+    The loop invariant is that ``Phi`` stays a subsimilarity labeling
+    (similar nodes are never separated, because nodes with different
+    environments under a subsimilarity labeling are provably dissimilar);
+    at termination no class contains two environments, so ``Phi`` is also
+    a supersimilarity labeling (Theorem 4) -- hence the similarity
+    labeling.
+    """
+    assignment: Dict[NodeId, Hashable] = {
+        n: l for n, l in _initial_labeling(system, include_state).items()
+    }
+    rounds = 0
+    splits = 0
+    fresh = 0
+    while True:
+        rounds += 1
+        labeling = Labeling(assignment)
+        sig = {
+            node: environment_signature(system, node, labeling, model, include_state)
+            for node in system.nodes
+        }
+        split_performed = False
+        for block in labeling.blocks:
+            members = sorted(block, key=repr)
+            x = members[0]
+            different = [y for y in members[1:] if sig[y] != sig[x]]
+            if different:
+                fresh += 1
+                new_label = ("fresh", fresh)
+                for y in different:
+                    assignment[y] = new_label
+                splits += 1
+                split_performed = True
+                break  # re-evaluate environments under the new labeling
+        if not split_performed:
+            break
+    final = _finalize(system, Labeling(assignment))
+    return RefinementResult(final, RefinementStats(rounds, splits, len(final.labels)))
+
+
+# ----------------------------------------------------------------------
+# engine 2: iterated signature hashing
+# ----------------------------------------------------------------------
+
+
+def algorithm1_signatures(
+    system: System,
+    model: EnvironmentModel = EnvironmentModel.MULTISET,
+    include_state: bool = True,
+) -> RefinementResult:
+    """Global-round refinement: relabel all nodes by (label, signature).
+
+    Because each node's new label embeds its old one, the partition is
+    monotonically refined, so the number of classes is strictly increasing
+    until the fixpoint; at most ``|P| + |V|`` rounds.
+    """
+    labeling = _initial_labeling(system, include_state)
+    rounds = 0
+    splits = 0
+    while True:
+        rounds += 1
+        combined: Dict[NodeId, Hashable] = {}
+        for node in system.nodes:
+            combined[node] = (
+                labeling[node],
+                environment_signature(system, node, labeling, model, include_state),
+            )
+        # Intern the combined signatures as small integers for speed.
+        intern: Dict[Hashable, int] = {}
+        new_assignment: Dict[NodeId, int] = {}
+        for node in system.nodes:
+            key = combined[node]
+            if key not in intern:
+                intern[key] = len(intern)
+            new_assignment[node] = intern[key]
+        new_labeling = Labeling(new_assignment)
+        new_classes = len(new_labeling.labels)
+        old_classes = len(labeling.labels)
+        if new_classes == old_classes:
+            break
+        splits += new_classes - old_classes
+        labeling = new_labeling
+    final = _finalize(system, labeling)
+    return RefinementResult(final, RefinementStats(rounds, splits, len(final.labels)))
+
+
+# ----------------------------------------------------------------------
+# engine 3: worklist (Hopcroft / Paige-Tarjan style)
+# ----------------------------------------------------------------------
+
+
+class _Partition:
+    """Mutable block partition with split support."""
+
+    def __init__(self, nodes: List[NodeId], initial: Dict[NodeId, Hashable]) -> None:
+        by_key: Dict[Hashable, List[NodeId]] = defaultdict(list)
+        for node in nodes:
+            by_key[initial[node]].append(node)
+        self.blocks: List[List[NodeId]] = []
+        self.block_of: Dict[NodeId, int] = {}
+        for key in sorted(by_key, key=repr):
+            idx = len(self.blocks)
+            members = by_key[key]
+            self.blocks.append(members)
+            for node in members:
+                self.block_of[node] = idx
+
+    def split_block(self, idx: int, groups: Dict[Hashable, List[NodeId]]) -> List[int]:
+        """Replace block ``idx`` by the given groups (a partition of it).
+
+        The largest group keeps the old index; the rest get fresh indices.
+        Returns the list of fresh indices (the "smaller halves").
+        """
+        ordered = sorted(groups.items(), key=lambda kv: (-len(kv[1]), repr(kv[0])))
+        keep_key, keep_members = ordered[0]
+        self.blocks[idx] = keep_members
+        fresh: List[int] = []
+        for _key, members in ordered[1:]:
+            new_idx = len(self.blocks)
+            self.blocks.append(members)
+            for node in members:
+                self.block_of[node] = new_idx
+            fresh.append(new_idx)
+        return fresh
+
+
+def algorithm1_worklist(
+    system: System,
+    model: EnvironmentModel = EnvironmentModel.MULTISET,
+    include_state: bool = True,
+) -> RefinementResult:
+    """Worklist refinement in the style of [H71] / Paige-Tarjan.
+
+    A worklist holds block indices whose creation may invalidate the
+    stability of neighboring blocks.  Popping a *variable* block ``W``
+    re-splits only the processor blocks with an edge into ``W`` (by which
+    of their names point into ``W``); popping a *processor* block ``W``
+    re-splits only the variable blocks adjacent to ``W`` (by per-name
+    counts of neighbors in ``W`` for the MULTISET model, by per-name
+    presence for the SET model).  All but the largest fragment of every
+    split are enqueued, which yields the O(n log n) behavior of Theorem 5.
+
+    A final stabilization check (one signature round) guards against the
+    subtle incompleteness of pure smaller-half counting splits; in
+    practice it never fires, and tests assert agreement with the other
+    engines.
+    """
+    net = system.network
+    nodes = list(system.nodes)
+    init = {n: l for n, l in _initial_labeling(system, include_state).items()}
+    part = _Partition(nodes, init)
+
+    rounds = 0
+    splits = 0
+    from collections import deque
+
+    worklist = deque(range(len(part.blocks)))
+    queued = set(worklist)
+
+    def enqueue(idx: int) -> None:
+        if idx not in queued:
+            worklist.append(idx)
+            queued.add(idx)
+
+    while worklist:
+        w_idx = worklist.popleft()
+        queued.discard(w_idx)
+        rounds += 1
+        w_members = list(part.blocks[w_idx])
+        if not w_members:
+            continue
+        w_is_variable = net.is_variable(w_members[0])
+
+        if w_is_variable:
+            # Re-split processor blocks by which names map into W.
+            w_set = set(w_members)
+            touched: Dict[int, List[NodeId]] = defaultdict(list)
+            for v in w_members:
+                for p, _name in net.neighbors_of_variable(v):
+                    touched[part.block_of[p]].append(p)
+            for b_idx, _procs in list(touched.items()):
+                members = part.blocks[b_idx]
+                groups: Dict[Hashable, List[NodeId]] = defaultdict(list)
+                for p in members:
+                    key = tuple(
+                        name for name in net.names if net.n_nbr(p, name) in w_set
+                    )
+                    groups[key].append(p)
+                if len(groups) > 1:
+                    splits += len(groups) - 1
+                    for fresh_idx in part.split_block(b_idx, groups):
+                        enqueue(fresh_idx)
+                    # The kept fragment changed membership; it may need to
+                    # split others again.
+                    enqueue(b_idx)
+        else:
+            # Re-split variable blocks by per-name counts of neighbors in W.
+            w_set = set(w_members)
+            touched_vars: Dict[int, set] = defaultdict(set)
+            for p in w_members:
+                for name in net.names:
+                    v = net.n_nbr(p, name)
+                    touched_vars[part.block_of[v]].add(v)
+            for b_idx in list(touched_vars):
+                members = part.blocks[b_idx]
+                groups = defaultdict(list)
+                for v in members:
+                    per_name = []
+                    for name in net.names:
+                        in_w = [
+                            p
+                            for p in net.n_neighbors_of_variable(v, name)
+                            if p in w_set
+                        ]
+                        if model is EnvironmentModel.MULTISET:
+                            per_name.append(len(in_w))
+                        else:
+                            per_name.append(bool(in_w))
+                    groups[tuple(per_name)].append(v)
+                if len(groups) > 1:
+                    splits += len(groups) - 1
+                    for fresh_idx in part.split_block(b_idx, groups):
+                        enqueue(fresh_idx)
+                    enqueue(b_idx)
+
+    labeling = Labeling({n: part.block_of[n] for n in nodes})
+
+    # Safety net: confirm stability with one signature pass; finish with the
+    # signature engine from this partition if anything still splits.
+    sig_round = {
+        node: (
+            labeling[node],
+            environment_signature(system, node, labeling, model, include_state),
+        )
+        for node in nodes
+    }
+    if len(set(sig_round.values())) != len(labeling.labels):  # pragma: no cover
+        refined = algorithm1_signatures(system, model, include_state)
+        return RefinementResult(
+            refined.labeling,
+            RefinementStats(rounds + refined.stats.rounds,
+                            splits + refined.stats.splits,
+                            refined.stats.classes),
+        )
+
+    final = _finalize(system, labeling)
+    return RefinementResult(final, RefinementStats(rounds, splits, len(final.labels)))
+
+
+# ----------------------------------------------------------------------
+# public entry point
+# ----------------------------------------------------------------------
+
+_ENGINES = {
+    "literal": algorithm1_literal,
+    "signatures": algorithm1_signatures,
+    "worklist": algorithm1_worklist,
+}
+
+
+def compute_similarity_labeling(
+    system: System,
+    model: Optional[EnvironmentModel] = None,
+    include_state: bool = True,
+    engine: str = "worklist",
+) -> RefinementResult:
+    """Compute the similarity labeling ``Theta`` of ``system``.
+
+    Args:
+        system: the system to label.  Its instruction set selects the
+            environment model unless ``model`` overrides it.  Note that
+            for instruction set L this computes the *Q-similarity*
+            labeling of the given initial state; full L analysis goes
+            through the relabel family (see :mod:`repro.core.selection`).
+        model: override the environment model.
+        include_state: drop environment condition (1) when False
+            (Algorithm 3's structural first phase).
+        engine: ``"worklist"`` (default), ``"signatures"`` or
+            ``"literal"``.
+    """
+    if model is None:
+        model = EnvironmentModel.for_instruction_set(system.instruction_set)
+    try:
+        fn = _ENGINES[engine]
+    except KeyError:
+        raise ValueError(f"unknown engine {engine!r}; pick from {sorted(_ENGINES)}")
+    return fn(system, model, include_state)

@@ -1,0 +1,219 @@
+"""The Selection Problem: decision procedures (paper, Sections 3-6).
+
+    *Selection Problem.*  Decide whether there is a selection algorithm
+    for a system ``Sigma`` and, if one exists, produce it.
+
+A selection algorithm always establishes **Uniqueness** (exactly one
+processor sets ``selected``) and maintains **Stability** (once selected,
+always selected), for every schedule in the system's schedule class.
+
+This module implements the *decision* side; the produced algorithms
+themselves (runnable programs) live in :mod:`repro.algorithms`.  The
+decision dispatches on the system's instruction set and schedule class:
+
+==========================  ==========================================
+case                        criterion
+==========================  ==========================================
+general schedules           never (Theorem 1; subsumes FLP)
+Q, fair / bounded-fair      Theta has a uniquely labeled processor
+S, bounded-fair             as Q with SET environments
+S, fair                     some processor mimics no other (Section 6)
+L / L2, fair                every relabel version has a uniquely
+                            labeled processor; ELITE via Theorem 9
+==========================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Optional, Tuple
+
+from ..exceptions import SelectionError
+from .environment import EnvironmentModel
+from .families import (
+    Family,
+    elite_by_theorem9_greedy,
+    relabel_family,
+    relabel_family_extended,
+)
+from .labeling import Labeling
+from .names import NodeId
+from .similarity import similarity_labeling
+from .system import InstructionSet, ScheduleClass, System
+
+
+@dataclass(frozen=True)
+class SelectionDecision:
+    """Outcome of deciding the selection problem for one system.
+
+    Attributes:
+        possible: whether a selection algorithm exists.
+        reason: human-readable justification naming the theorem applied.
+        theorem: the paper theorem the decision rests on.
+        elite: when possible and label-based, the set ELITE of processor
+            labels such that exactly one processor per (reachable) system
+            carries a label in ELITE.  The selected processor is the one
+            that learns a label in this set.
+        theta: the similarity labeling used (for L: the labeling of the
+            relabel family's union, restricted to the first version), if
+            label-based.
+        unique_processors: processors holding a unique label under
+            ``theta`` (candidates for selection), when meaningful.
+    """
+
+    possible: bool
+    reason: str
+    theorem: str
+    elite: Optional[FrozenSet[Hashable]] = None
+    theta: Optional[Labeling] = None
+    unique_processors: Tuple[NodeId, ...] = ()
+
+
+def _decide_by_labeling(system: System, model: EnvironmentModel, theorem: str) -> SelectionDecision:
+    theta = similarity_labeling(system, model=model)
+    unique = tuple(
+        p for p in system.processors if theta.class_size(theta[p]) == 1
+    )
+    if unique:
+        distinguished = min((theta[p] for p in unique), key=repr)
+        return SelectionDecision(
+            possible=True,
+            reason=(
+                f"similarity labeling has uniquely labeled processor(s) "
+                f"{[repr(p) for p in unique]}; SELECT picks label {distinguished!r}"
+            ),
+            theorem=theorem,
+            elite=frozenset({distinguished}),
+            theta=theta,
+            unique_processors=unique,
+        )
+    return SelectionDecision(
+        possible=False,
+        reason=(
+            "every processor shares its similarity label with another "
+            "processor, so some schedule makes each behave similarly to "
+            "another (Theorem 2/3): no selection algorithm"
+        ),
+        theorem="Theorem 3",
+        theta=theta,
+    )
+
+
+def _decide_locking(system: System) -> SelectionDecision:
+    if system.instruction_set is InstructionSet.L2:
+        family = relabel_family_extended(system)
+    else:
+        family = relabel_family(system)
+    versions = family.member_labelings()
+    processors = system.processors
+    # Impossibility: some reachable relabeled version pairs every processor.
+    for version in versions:
+        if version.every_node_is_paired(processors):
+            return SelectionDecision(
+                possible=False,
+                reason=(
+                    "some execution of relabel yields a system whose "
+                    "similarity labeling pairs every processor; that "
+                    "labeling is a supersimilarity labeling of the system "
+                    "in L, so by Theorem 3 no selection algorithm exists"
+                ),
+                theorem="Theorem 3 + Theorem 8",
+                theta=version,
+            )
+    try:
+        elite = elite_by_theorem9_greedy(versions, processors)
+    except SelectionError as exc:  # pragma: no cover - guarded above
+        return SelectionDecision(
+            possible=False,
+            reason=str(exc),
+            theorem="Theorem 9",
+        )
+    return SelectionDecision(
+        possible=True,
+        reason=(
+            f"every relabel version uniquely labels some processor; the "
+            f"Theorem 9 greedy loop built ELITE={sorted(map(repr, elite))} with "
+            f"exactly one ELITE-labeled processor per version; Algorithm 4 "
+            f"(relabel, then Algorithm 3 for the family) selects it"
+        ),
+        theorem="Theorem 9",
+        elite=elite,
+        theta=versions[0],
+        unique_processors=tuple(
+            p for p in processors if versions[0][p] in elite
+        ),
+    )
+
+
+def decide_selection(system: System) -> SelectionDecision:
+    """Decide the selection problem for ``system``.
+
+    Dispatches on the system's schedule class and instruction set as
+    summarized in the module docstring.
+    """
+    if system.schedule_class is ScheduleClass.GENERAL:
+        return SelectionDecision(
+            possible=False,
+            reason=(
+                "with general schedules a selected processor can be "
+                "suspended forever and the rest of the system, whose "
+                "states it never changed, selects another (Theorem 1; "
+                "this is the FLP impossibility in schedule form)"
+            ),
+            theorem="Theorem 1",
+        )
+
+    iset = system.instruction_set
+    if iset is InstructionSet.Q:
+        return _decide_by_labeling(system, EnvironmentModel.MULTISET, "Theorem 6")
+    if iset is InstructionSet.S:
+        if system.schedule_class is ScheduleClass.BOUNDED_FAIR:
+            return _decide_by_labeling(system, EnvironmentModel.SET, "Section 6 (bounded-fair S)")
+        # fair S: mimicry
+        from .mimicry import processors_mimicking_no_other
+
+        winners = processors_mimicking_no_other(system)
+        if winners:
+            return SelectionDecision(
+                possible=True,
+                reason=(
+                    f"processor(s) {[repr(p) for p in winners]} mimic no other "
+                    f"processor, so they can safely learn a unique role"
+                ),
+                theorem="Section 6 (fair S, mimicry)",
+                unique_processors=winners,
+            )
+        return SelectionDecision(
+            possible=False,
+            reason=(
+                "every processor mimics some other processor: whatever it "
+                "observes is consistent with a subsystem in which another "
+                "processor would wrongly select itself"
+            ),
+            theorem="Section 6 (fair S, mimicry)",
+        )
+    # L and L2
+    return _decide_locking(system)
+
+
+def decide_family_selection(family: Family) -> SelectionDecision:
+    """Theorem 7: decide selection for a family of systems in Q."""
+    elite = family.elite()
+    if elite is not None:
+        return SelectionDecision(
+            possible=True,
+            reason=(
+                f"ELITE={sorted(map(repr, elite))} hits exactly one processor "
+                f"label per family member"
+            ),
+            theorem="Theorem 7",
+            elite=elite,
+        )
+    return SelectionDecision(
+        possible=False,
+        reason=(
+            "no label set hits exactly one processor per member; some "
+            "member makes every processor similar to another (Theorem 2)"
+        ),
+        theorem="Theorem 7",
+    )

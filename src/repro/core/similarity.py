@@ -1,0 +1,120 @@
+"""Front door for similarity analysis (paper, Sections 3-6).
+
+*Similarity* is the paper's model-independent characterization of
+symmetry: a schedule causes nodes to behave similarly if it gives them the
+same state at the same time infinitely often, for any program; nodes are
+similar if some schedule causes them to behave similarly.  The similarity
+labeling ``Theta`` groups nodes exactly by similarity.
+
+How ``Theta`` is computed depends on the instruction set:
+
+====================  =====================================================
+instruction set       similarity labeling
+====================  =====================================================
+Q                     coarsest environment-respecting labeling, multiset
+                      variable environments (Theorem 4 + Algorithm 1)
+L (state in R)        identical to the Q labeling of the same state
+                      (discussion after Theorem 8); for arbitrary initial
+                      states L is analyzed through the relabel family --
+                      see :mod:`repro.core.selection`
+S, bounded-fair       as Q but variable environments compare label *sets*
+                      (Section 6)
+S, fair               same ``Theta`` as bounded-fair S, but processors
+                      cannot learn their labels when mimicry occurs --
+                      see :mod:`repro.core.mimicry`
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from .environment import EnvironmentModel
+from .labeling import Labeling
+from .names import NodeId
+from .refinement import RefinementResult, compute_similarity_labeling
+from .system import System
+
+
+def similarity_result(
+    system: System,
+    model: Optional[EnvironmentModel] = None,
+    include_state: bool = True,
+    engine: str = "worklist",
+) -> RefinementResult:
+    """Similarity labeling with refinement instrumentation."""
+    return compute_similarity_labeling(system, model, include_state, engine)
+
+
+def similarity_labeling(
+    system: System,
+    model: Optional[EnvironmentModel] = None,
+    include_state: bool = True,
+    engine: str = "worklist",
+) -> Labeling:
+    """The similarity labeling ``Theta`` of ``system``.
+
+    For instruction set L this returns the Q-similarity labeling of the
+    system *as given*; that equals the true L-similarity labeling whenever
+    the initial state already separates same-name neighbors (the states
+    ``R`` produced by ``relabel``).  Pre-relabel L systems should be
+    analyzed with :func:`repro.core.selection.decide_selection` instead.
+    """
+    return similarity_result(system, model, include_state, engine).labeling
+
+
+def similarity_classes(system: System, **kwargs) -> Tuple[FrozenSet[NodeId], ...]:
+    """The similarity equivalence classes of ``system``'s nodes."""
+    return similarity_labeling(system, **kwargs).blocks
+
+
+def are_similar(system: System, x: NodeId, y: NodeId, **kwargs) -> bool:
+    """Are nodes ``x`` and ``y`` similar in ``system``?"""
+    theta = similarity_labeling(system, **kwargs)
+    return theta[x] == theta[y]
+
+
+def processor_similarity_classes(
+    system: System, **kwargs
+) -> Tuple[FrozenSet[NodeId], ...]:
+    """Similarity classes restricted to processors."""
+    theta = similarity_labeling(system, **kwargs)
+    proc_set = set(system.processors)
+    return tuple(
+        frozenset(b & proc_set) for b in theta.blocks if b & proc_set
+    )
+
+
+def is_supersimilarity_labeling(system: System, labeling: Labeling, **kwargs) -> bool:
+    """Is ``labeling`` a supersimilarity labeling (same label => similar)?
+
+    Equivalent to: ``labeling`` refines ``Theta``.
+    """
+    theta = similarity_labeling(system, **kwargs)
+    return labeling.refines(theta)
+
+
+def is_subsimilarity_labeling(system: System, labeling: Labeling, **kwargs) -> bool:
+    """Is ``labeling`` a subsimilarity labeling (similar => same label)?
+
+    Equivalent to: ``Theta`` refines ``labeling``.
+    """
+    theta = similarity_labeling(system, **kwargs)
+    return theta.refines(labeling)
+
+
+def is_similarity_labeling(system: System, labeling: Labeling, **kwargs) -> bool:
+    """Both super- and subsimilar: the labeling *is* ``Theta`` (up to
+    renaming of labels)."""
+    theta = similarity_labeling(system, **kwargs)
+    return labeling.same_partition(theta)
+
+
+def every_processor_is_paired(system: System, **kwargs) -> bool:
+    """Theorem 2/3 test: does every processor have a similar peer?
+
+    When true, no selection algorithm exists for the system (in the model
+    that ``Theta`` was computed for).
+    """
+    theta = similarity_labeling(system, **kwargs)
+    return theta.every_node_is_paired(system.processors)

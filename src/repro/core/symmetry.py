@@ -1,0 +1,241 @@
+"""Graph-theoretic symmetry and its relation to similarity (Section 7).
+
+The paper contrasts the *graph-theoretic* definition of symmetry (orbits
+of the automorphism group) with *similarity* (the semantic relation).
+Theorem 10: in instruction set Q, symmetric nodes are similar -- Q cannot
+break symmetry.  Theorem 11: in a distributed, symmetric system in L, an
+equivalence class of j symmetric processors with j *prime* consists of
+mutually similar processors -- the key step in proving DP (no symmetric
+distributed deterministic solution to the five Dining Philosophers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from .automorphism import (
+    automorphism_orbits,
+    find_transitive_generator,
+    orbit_labeling,
+    permutation_order,
+)
+from .environment import satisfies_locking_condition
+from .labeling import Labeling
+from .names import NodeId
+from .similarity import similarity_labeling
+from .system import System
+
+
+def is_prime(n: int) -> bool:
+    """Primality by trial division (orbit sizes are tiny)."""
+    if n < 2:
+        return False
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            return False
+        d += 1
+    return True
+
+
+def symmetry_classes(system: System, ignore_state: bool = False) -> Tuple[FrozenSet[NodeId], ...]:
+    """Equivalence classes of nodes under graph-theoretic symmetry."""
+    return automorphism_orbits(system, ignore_state)
+
+
+def processor_symmetry_classes(
+    system: System, ignore_state: bool = False
+) -> Tuple[FrozenSet[NodeId], ...]:
+    proc_set = set(system.processors)
+    return tuple(
+        frozenset(c & proc_set)
+        for c in symmetry_classes(system, ignore_state)
+        if c & proc_set
+    )
+
+
+def is_symmetric_system(system: System, ignore_state: bool = False) -> bool:
+    """Symmetric in the sense of [LR80]/Section 7: for any pair of
+    processors there is an automorphism mapping one to the other."""
+    classes = processor_symmetry_classes(system, ignore_state)
+    return len(classes) == 1
+
+
+def symmetric_implies_similar(system: System) -> bool:
+    """Theorem 10 check for a concrete system in Q.
+
+    Returns True iff the orbit partition refines the similarity labeling,
+    i.e. every pair of symmetric nodes is similar.  Theorem 10 asserts
+    this always holds for systems in Q; the function exists so tests and
+    benchmarks can *verify* it on arbitrary systems.
+    """
+    orbits = orbit_labeling(system)
+    theta = similarity_labeling(system)
+    return orbits.refines(theta)
+
+
+@dataclass(frozen=True)
+class PrimeSymmetryReport:
+    """Outcome of applying Theorem 11 to one symmetric processor class.
+
+    Attributes:
+        orbit: the class C of symmetric processors.
+        size: j = |C|.
+        prime: whether j is prime.
+        applies: True when the theorem's hypotheses hold (distributed
+            system, symmetric class, prime size) -- in that case all
+            processors of C are similar even in L.
+        generator_order: the order of the transitive generator sigma found
+            (equals j when ``applies``); None when not searched/found.
+        processors_similar_in_q: whether C is contained in one similarity
+            class of the Q labeling (must be True when ``applies``).
+    """
+
+    orbit: FrozenSet[NodeId]
+    size: int
+    prime: bool
+    applies: bool
+    generator_order: Optional[int]
+    processors_similar_in_q: bool
+
+
+def analyze_prime_symmetry(system: System, ignore_state: bool = False) -> Tuple[PrimeSymmetryReport, ...]:
+    """Apply Theorem 11's analysis to every symmetric processor class.
+
+    For each class C of symmetric processors: if the system is distributed
+    and |C| is prime, find the transitive generator sigma of order |C|
+    whose cycle classes form the supersimilarity labeling used in the
+    proof, and confirm that C lies inside one Q-similarity class.
+    """
+    theta = similarity_labeling(system)
+    distributed = system.network.is_distributed
+    reports = []
+    for orbit in processor_symmetry_classes(system, ignore_state):
+        j = len(orbit)
+        prime = is_prime(j)
+        members = sorted(orbit, key=repr)
+        similar_in_q = len({theta[p] for p in members}) == 1
+        generator_order: Optional[int] = None
+        applies = False
+        if distributed and prime and j > 1:
+            sigma = find_transitive_generator(system, orbit, ignore_state)
+            if sigma is not None:
+                generator_order = permutation_order(sigma)
+                applies = True
+        reports.append(
+            PrimeSymmetryReport(
+                orbit=frozenset(orbit),
+                size=j,
+                prime=prime,
+                applies=applies,
+                generator_order=generator_order,
+                processors_similar_in_q=similar_in_q,
+            )
+        )
+    return tuple(reports)
+
+
+def cycle_labeling(perm: Dict[NodeId, NodeId]) -> Labeling:
+    """The partition of nodes into cycles of a permutation.
+
+    In Theorem 11's proof the cycles of the generator sigma define a
+    supersimilarity labeling; exposing it lets tests check the proof's
+    intermediate object directly (cycle sizes divide ord(sigma), and for
+    prime order each class has size 1 or j).
+    """
+    seen: set = set()
+    blocks = []
+    for start in sorted(perm, key=repr):
+        if start in seen:
+            continue
+        cycle = [start]
+        seen.add(start)
+        node = perm[start]
+        while node != start:
+            cycle.append(node)
+            seen.add(node)
+            node = perm[node]
+        blocks.append(cycle)
+    return Labeling.from_blocks(blocks)
+
+
+def can_break_symmetry(system: System) -> bool:
+    """Section 8: a system *breaks symmetry* when graph-symmetric nodes
+    are not all similar.
+
+    Systems in Q can never break symmetry (Theorem 10).  Systems in L can:
+    two same-name neighbors of one variable may be symmetric yet
+    dissimilar, because locking distinguishes them.  For the L test we use
+    Theorem 8's criterion: symmetric processors that violate the locking
+    condition are separated by a lock race.
+    """
+    from .system import InstructionSet
+
+    orbits = orbit_labeling(system)
+    if system.instruction_set is InstructionSet.Q:
+        return False  # Theorem 10
+    if system.instruction_set is InstructionSet.S:
+        return False  # S is weaker than Q; it cannot break symmetry either
+    # L / L2: symmetry is broken iff some orbit violates the locking
+    # condition (two symmetric processors sharing a variable name), since
+    # then they are symmetric but provably dissimilar.
+    return not satisfies_locking_condition(system.network, orbits)
+
+
+@dataclass(frozen=True)
+class SymmetryGapReport:
+    """How graph-theoretic symmetry and similarity differ on one system.
+
+    Theorem 10 gives one inclusion (symmetric => similar in Q); the
+    converse fails, and that failure is the paper's motivation: "none
+    [of the graph-theoretic definitions] completely captures the
+    fundamental notion" of behavioral indistinguishability.
+
+    Attributes:
+        orbit_count: node classes under graph symmetry.
+        similarity_count: node classes under Q-similarity.
+        merged_but_not_symmetric: node pairs that are similar yet lie in
+            different orbits -- behaviorally indistinguishable nodes the
+            syntactic definition wrongly separates.
+    """
+
+    orbit_count: int
+    similarity_count: int
+    merged_but_not_symmetric: Tuple[Tuple[NodeId, NodeId], ...]
+
+    @property
+    def gap(self) -> int:
+        return self.orbit_count - self.similarity_count
+
+    @property
+    def converse_of_theorem10_fails(self) -> bool:
+        return bool(self.merged_but_not_symmetric)
+
+
+def symmetry_gap(system: System, ignore_state: bool = False) -> SymmetryGapReport:
+    """Compare orbits with the similarity labeling (both directions).
+
+    The canonical witness for a nonempty gap is the disjoint union of two
+    anonymous rings of different sizes: no automorphism maps a 3-ring
+    processor to a 6-ring processor (the components have different
+    sizes), yet every processor is similar to every other -- no program
+    can count its own ring in Q, so behaviorally they coincide.
+    """
+    from .automorphism import orbit_labeling
+    from .similarity import similarity_labeling
+
+    orbits = orbit_labeling(system, ignore_state)
+    theta = similarity_labeling(system)
+    merged = []
+    for block in theta.blocks:
+        members = sorted(block, key=repr)
+        anchor = members[0]
+        for other in members[1:]:
+            if orbits[anchor] != orbits[other]:
+                merged.append((anchor, other))
+    return SymmetryGapReport(
+        orbit_count=len(orbits.labels),
+        similarity_count=len(theta.labels),
+        merged_but_not_symmetric=tuple(merged),
+    )

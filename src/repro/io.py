@@ -1,0 +1,153 @@
+"""Serialization: systems to and from JSON.
+
+Lets users define systems in files and feed them to the CLI or the
+library without writing Python.  The format mirrors the paper's
+quadruple Σ = (N, state₀, I, SP)::
+
+    {
+      "names": ["left", "right"],
+      "edges": {"p0": {"left": "v0", "right": "v1"},
+                "p1": {"left": "v1", "right": "v0"}},
+      "state": {"p0": 1},
+      "instruction_set": "Q",
+      "schedule_class": "F"
+    }
+
+States must be JSON scalars (numbers, strings, booleans, null); richer
+state spaces are a Python-API feature.  ``loads``/``dumps`` round-trip
+(`tests/test_io.py` keeps them honest).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional
+
+from .core.network import Network
+from .core.system import InstructionSet, ScheduleClass, System
+from .exceptions import ReproError
+
+
+class SerializationError(ReproError):
+    """The JSON document does not describe a valid system."""
+
+
+_ISETS = {i.value: i for i in InstructionSet}
+_SCHEDS = {s.value: s for s in ScheduleClass}
+
+
+def system_to_dict(system: System) -> Dict[str, Any]:
+    """A JSON-ready description of ``system``.
+
+    Raises:
+        SerializationError: if node ids, names, or states are not JSON
+            scalars.
+    """
+    def check_scalar(value, what):
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            raise SerializationError(
+                f"{what} {value!r} is not JSON-serializable as a scalar"
+            )
+        return value
+
+    net = system.network
+    edges = {}
+    for p in net.processors:
+        check_scalar(p, "processor id")
+        edges[str(p)] = {
+            str(check_scalar(name, "name")): str(check_scalar(v, "variable id"))
+            for name, v in net.neighbors_of_processor(p).items()
+        }
+    state = {}
+    for node in system.nodes:
+        value = system.state0(node)
+        if value != 0:  # 0 is the documented default
+            state[str(node)] = check_scalar(value, "state")
+    return {
+        "names": [str(n) for n in net.names],
+        "edges": edges,
+        "state": state,
+        "instruction_set": system.instruction_set.value,
+        "schedule_class": system.schedule_class.value,
+    }
+
+
+def system_from_dict(doc: Mapping[str, Any]) -> System:
+    """Build a system from a parsed JSON document."""
+    try:
+        names = tuple(doc["names"])
+        edges = {
+            proc: dict(nbrs) for proc, nbrs in dict(doc["edges"]).items()
+        }
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"missing or malformed field: {exc}") from exc
+    try:
+        iset = _ISETS[doc.get("instruction_set", "Q")]
+    except KeyError:
+        raise SerializationError(
+            f"unknown instruction_set {doc.get('instruction_set')!r}; "
+            f"pick from {sorted(_ISETS)}"
+        ) from None
+    try:
+        sched = _SCHEDS[doc.get("schedule_class", "F")]
+    except KeyError:
+        raise SerializationError(
+            f"unknown schedule_class {doc.get('schedule_class')!r}; "
+            f"pick from {sorted(_SCHEDS)}"
+        ) from None
+    net = Network(names, edges)
+    state = dict(doc.get("state", {}))
+    return System(net, state, iset, sched)
+
+
+def dumps(system: System, indent: Optional[int] = 2) -> str:
+    """Serialize a system to a JSON string."""
+    return json.dumps(system_to_dict(system), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> System:
+    """Parse a system from a JSON string."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    return system_from_dict(doc)
+
+
+def load(path: str) -> System:
+    """Load a system from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def dump(system: System, path: str, indent: Optional[int] = 2) -> None:
+    """Write a system to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(system, indent))
+        handle.write("\n")
+
+
+def to_dot(system: System, title: str = "system") -> str:
+    """A Graphviz DOT rendering of the system's bipartite graph.
+
+    Processors are boxes, variables are ellipses, edges carry their
+    names; non-default initial states are annotated.  Feed the output to
+    ``dot -Tsvg`` (Graphviz is not a dependency -- this only produces
+    text).
+    """
+    lines = [f'graph "{title}" {{', "  rankdir=LR;"]
+    for p in system.network.processors:
+        state = system.state0(p)
+        label = f"{p}" + (f"\\nstate={state}" if state != 0 else "")
+        lines.append(f'  "{p}" [shape=box, label="{label}"];')
+    for v in system.network.variables:
+        state = system.state0(v)
+        label = f"{v}" + (f"\\nstate={state}" if state != 0 else "")
+        lines.append(f'  "{v}" [shape=ellipse, label="{label}"];')
+    for p in system.network.processors:
+        for name, v in sorted(
+            system.network.neighbors_of_processor(p).items(), key=lambda kv: repr(kv)
+        ):
+            lines.append(f'  "{p}" -- "{v}" [label="{name}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Message-passing models: async systems, similarity, CSP, runtime."""
+
+from .csp import (
+    csp_rendezvous_family,
+    decide_selection_extended_csp,
+    decide_selection_plain_csp,
+    is_supersimilarity_extended_csp,
+    linked_pairs,
+)
+from .csp_runtime import (
+    CSPExecutor,
+    CSPProgram,
+    PairRaceProgram,
+    ReceiveOffer,
+    SendOffer,
+    run_pair_race,
+)
+from .mp_algorithm2 import (
+    MPLabelerProgram,
+    MPLabelingOutcome,
+    MPLabelTables,
+    run_mp_labeler,
+)
+from .mp_runtime import MPExecutor, MPExecutorStats, MPProgram
+from .mp_similarity import (
+    labels_learnable,
+    mp_selection_possible,
+    mp_similarity_labeling,
+)
+from .mp_system import (
+    Channel,
+    MPSystem,
+    bidirectional_ring,
+    unidirectional_chain,
+    unidirectional_ring,
+)
+
+__all__ = [
+    "CSPExecutor",
+    "CSPProgram",
+    "Channel",
+    "PairRaceProgram",
+    "ReceiveOffer",
+    "SendOffer",
+    "MPExecutor",
+    "MPLabelTables",
+    "MPLabelerProgram",
+    "MPLabelingOutcome",
+    "MPExecutorStats",
+    "MPProgram",
+    "MPSystem",
+    "bidirectional_ring",
+    "csp_rendezvous_family",
+    "decide_selection_extended_csp",
+    "decide_selection_plain_csp",
+    "is_supersimilarity_extended_csp",
+    "labels_learnable",
+    "linked_pairs",
+    "mp_selection_possible",
+    "mp_similarity_labeling",
+    "run_mp_labeler",
+    "run_pair_race",
+    "unidirectional_chain",
+    "unidirectional_ring",
+]

@@ -1,0 +1,122 @@
+"""CSP and extended CSP (paper, Section 6).
+
+"A supersimilarity labeling for an asynchronous, bidirectional
+message-passing system is a supersimilarity labeling for that same system
+using the operations of extended CSP if no two neighboring processors
+have the same label.  Thus, systems in extended CSP are to asynchronous
+bidirectional message-passing systems as systems in L are to systems in
+Q."
+
+The analogy is implemented literally:
+
+* :func:`is_supersimilarity_extended_csp` -- the Theorem-8 analogue: an
+  async supersimilarity labeling whose classes contain no two *linked*
+  processors also works for extended CSP (a rendezvous between two
+  same-labeled neighbors would have a unique initiator/acceptor outcome,
+  like a lock race).
+* :func:`csp_rendezvous_family` -- the relabel analogue: every adjacent
+  pair races one rendezvous; each linked pair is independently ordered,
+  so the family is indexed by orientations of the link graph (exactly as
+  L's family is indexed by per-variable lock orders).
+* :func:`decide_selection_extended_csp` -- the Theorem-9 analogue over
+  that family.
+
+Plain CSP (no output guards) inherits async supersimilarity labelings
+too, but -- as the paper concedes -- no general deadlock-free label-
+learning algorithm is known for it; we expose only the labeling-level
+decision for it.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Tuple
+
+from ..core.environment import EnvironmentModel
+from ..core.labeling import Labeling
+from .mp_similarity import mp_similarity_labeling
+from .mp_system import MPSystem
+
+
+def linked_pairs(mp: MPSystem) -> Tuple[Tuple, ...]:
+    """Unordered pairs of processors connected by at least one channel."""
+    pairs = set()
+    for ch in mp.channels:
+        a, b = sorted((ch.sender, ch.receiver), key=repr)
+        if a != b:
+            pairs.add((a, b))
+    return tuple(sorted(pairs, key=repr))
+
+
+def is_supersimilarity_extended_csp(mp: MPSystem, labeling: Labeling) -> bool:
+    """Theorem-8 analogue for extended CSP.
+
+    ``labeling`` must be an (async, multiset-model) environment-respecting
+    labeling AND give distinct labels to every pair of linked processors.
+    """
+    theta = mp_similarity_labeling(mp, EnvironmentModel.MULTISET)
+    if not labeling.refines(theta):
+        return False
+    return all(labeling[a] != labeling[b] for a, b in linked_pairs(mp))
+
+
+def csp_rendezvous_family(mp: MPSystem) -> List[Labeling]:
+    """Similarity labelings of every post-rendezvous-race state.
+
+    Each linked pair holds one rendezvous whose outcome distinguishes the
+    two ends (initiator/acceptor); the reachable states correspond to the
+    2^|links| orientations.  For each orientation we relabel processors by
+    (state0, sorted outcomes per port) and refine -- returning the list of
+    resulting labelings ("VERSIONS").
+    """
+    pairs = linked_pairs(mp)
+    versions: List[Labeling] = []
+    seen: set = set()
+    for orientation in product((0, 1), repeat=len(pairs)):
+        outcome: Dict = {}
+        for (a, b), bit in zip(pairs, orientation):
+            winner, loser = (a, b) if bit == 0 else (b, a)
+            outcome.setdefault(winner, []).append(("win", _ports_between(mp, winner, loser)))
+            outcome.setdefault(loser, []).append(("lose", _ports_between(mp, loser, winner)))
+        states = {
+            p: (mp.state0(p), tuple(sorted(outcome.get(p, []), key=repr)))
+            for p in mp.processors
+        }
+        relabeled = MPSystem(mp.channels, states)
+        theta = mp_similarity_labeling(relabeled, EnvironmentModel.MULTISET)
+        key = tuple(sorted((repr(p), theta[p]) for p in mp.processors))
+        if key not in seen:
+            seen.add(key)
+            versions.append(theta)
+    return versions
+
+
+def _ports_between(mp: MPSystem, p, q) -> Tuple[str, ...]:
+    """The out-ports p uses toward q (how p names the q-link locally)."""
+    return tuple(
+        sorted(c.out_port for c in mp.out_channels(p) if c.receiver == q)
+    )
+
+
+def decide_selection_extended_csp(mp: MPSystem) -> bool:
+    """Theorem-9 analogue: selection possible in extended CSP iff no
+    post-race version leaves every processor paired."""
+    for version in csp_rendezvous_family(mp):
+        counts: Dict = {}
+        for p in mp.processors:
+            counts[version[p]] = counts.get(version[p], 0) + 1
+        if all(counts[version[p]] >= 2 for p in mp.processors):
+            return False
+    return True
+
+
+def decide_selection_plain_csp(mp: MPSystem) -> bool:
+    """Plain CSP (no output guards): labeling-level decision only.
+
+    Any async supersimilarity labeling carries over, so selection is
+    possible exactly when the async labeling has a unique processor; the
+    paper notes that a general deadlock-free distributed labeler is not
+    known for this model.
+    """
+    theta = mp_similarity_labeling(mp, EnvironmentModel.MULTISET)
+    return any(theta.class_size(theta[p]) == 1 for p in mp.processors)

@@ -1,0 +1,208 @@
+"""A synchronous (CSP-style) rendezvous runtime (Section 6).
+
+CSP communication is a *joint* step: a sender's output command and a
+receiver's input command commit together or not at all.  In **extended
+CSP** both input and output commands may appear in guards, so two
+symmetric neighbors can each offer "send to you [] receive from you" and
+the runtime resolves the race -- exactly one direction commits, which is
+why extended CSP relates to asynchronous message passing as L relates to
+Q (the rendezvous race is a lock race).
+
+Model:
+
+* a :class:`CSPProgram` maps a local state to a set of *offers*
+  (:class:`SendOffer` / :class:`ReceiveOffer` on local port names) --
+  using both kinds at once requires ``extended=True`` on the executor,
+  mirroring the paper's distinction;
+* a scheduler step picks one *matching pair* of offers (a send and a
+  receive on the two ends of one channel) and commits it atomically,
+  updating both parties;
+* plain CSP (no output guards): a processor whose offer set mixes sends
+  and receives is rejected -- output commands cannot be guarded, so a
+  state's offers must be receive-only or a single unguarded send.
+
+The executor is seeded-random over enabled pairs, modeling the
+adversary-free fair case; determinize with ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from ..core.names import NodeId, State
+from ..exceptions import ExecutionError
+from .mp_system import Channel, MPSystem
+
+
+@dataclass(frozen=True)
+class SendOffer:
+    """Willingness to send ``payload`` on my out-port ``port``."""
+
+    port: str
+    payload: Hashable
+
+
+@dataclass(frozen=True)
+class ReceiveOffer:
+    """Willingness to receive on my in-port ``port``."""
+
+    port: str
+
+
+Offer = Hashable  # SendOffer | ReceiveOffer
+
+
+class CSPProgram(ABC):
+    """A deterministic anonymous program over rendezvous offers."""
+
+    @abstractmethod
+    def offers(self, state: State) -> Tuple[Offer, ...]:
+        """The guarded commands enabled in ``state`` (pure)."""
+
+    @abstractmethod
+    def on_commit(self, state: State, offer: Offer, payload: Hashable) -> State:
+        """New state after ``offer`` committed.
+
+        For a :class:`SendOffer`, ``payload`` echoes the sent value; for a
+        :class:`ReceiveOffer` it is the received value.
+        """
+
+    def is_selected(self, state: State) -> bool:
+        return False
+
+
+class CSPExecutor:
+    """Commit matching rendezvous pairs until quiescence."""
+
+    def __init__(
+        self,
+        mp: MPSystem,
+        program: CSPProgram,
+        seed: int = 0,
+        extended: bool = True,
+    ) -> None:
+        self.mp = mp
+        self.program = program
+        self.extended = extended
+        self.rng = random.Random(seed)
+        self.local: Dict[NodeId, State] = {
+            p: mp.state0(p) for p in mp.processors
+        }
+        self.commits = 0
+
+    # ------------------------------------------------------------------
+
+    def _validated_offers(self, p: NodeId) -> Tuple[Offer, ...]:
+        offers = self.program.offers(self.local[p])
+        if not self.extended:
+            sends = [o for o in offers if isinstance(o, SendOffer)]
+            receives = [o for o in offers if isinstance(o, ReceiveOffer)]
+            if sends and receives:
+                raise ExecutionError(
+                    "plain CSP forbids output commands in guards: a state "
+                    "may offer sends or receives, not both (use extended=True)"
+                )
+            if len(sends) > 1:
+                raise ExecutionError(
+                    "plain CSP allows at most one unguarded send per state"
+                )
+        return offers
+
+    def enabled_pairs(self) -> List[Tuple[Channel, SendOffer, ReceiveOffer]]:
+        """All channels whose two ends currently offer matching commands."""
+        pairs = []
+        offer_cache = {p: self._validated_offers(p) for p in self.mp.processors}
+        for channel in self.mp.channels:
+            sends = [
+                o
+                for o in offer_cache[channel.sender]
+                if isinstance(o, SendOffer) and o.port == channel.out_port
+            ]
+            receives = [
+                o
+                for o in offer_cache[channel.receiver]
+                if isinstance(o, ReceiveOffer) and o.port == channel.port
+            ]
+            for s in sends:
+                for r in receives:
+                    pairs.append((channel, s, r))
+        return pairs
+
+    def step(self) -> bool:
+        """Commit one enabled rendezvous; False when none is enabled."""
+        pairs = self.enabled_pairs()
+        if not pairs:
+            return False
+        channel, send, receive = self.rng.choice(pairs)
+        self.local[channel.sender] = self.program.on_commit(
+            self.local[channel.sender], send, send.payload
+        )
+        self.local[channel.receiver] = self.program.on_commit(
+            self.local[channel.receiver], receive, send.payload
+        )
+        self.commits += 1
+        return True
+
+    def run_to_quiescence(self, max_commits: int = 100_000) -> bool:
+        for _ in range(max_commits):
+            if not self.step():
+                return True
+        return not self.enabled_pairs()
+
+    def selected(self) -> Tuple[NodeId, ...]:
+        return tuple(
+            p for p in self.mp.processors if self.program.is_selected(self.local[p])
+        )
+
+
+# ----------------------------------------------------------------------
+# the rendezvous-race selection program for a linked pair
+# ----------------------------------------------------------------------
+
+
+class PairRaceProgram(CSPProgram):
+    """Extended-CSP selection on two linked processors.
+
+    Both start identically, each offering "send CLAIM [] receive".
+    Exactly one rendezvous commits; the *sender* of the committed pair
+    becomes the leader.  This is the smallest demonstration that extended
+    CSP encapsulates asymmetry -- structurally the same race Figure 1
+    settles with a lock.
+    """
+
+    CLAIM = "claim"
+
+    def __init__(self, out_ports: Sequence[str], in_ports: Sequence[str]) -> None:
+        self._out_ports = tuple(out_ports)
+        self._in_ports = tuple(in_ports)
+
+    def offers(self, state):
+        if state != 0:
+            return ()
+        out = []
+        for port in self._out_ports:
+            out.append(SendOffer(port, self.CLAIM))
+        for port in self._in_ports:
+            out.append(ReceiveOffer(port))
+        return tuple(out)
+
+    def on_commit(self, state, offer, payload):
+        if isinstance(offer, SendOffer):
+            return "leader"
+        return "follower"
+
+    def is_selected(self, state) -> bool:
+        return state == "leader"
+
+
+def run_pair_race(mp: MPSystem, seed: int = 0) -> Tuple[NodeId, ...]:
+    """Run the extended-CSP race on a linked pair; returns the winners."""
+    ports_out = sorted({c.out_port for c in mp.channels})
+    ports_in = sorted({c.port for c in mp.channels})
+    program = PairRaceProgram(ports_out, ports_in)
+    executor = CSPExecutor(mp, program, seed=seed, extended=True)
+    executor.run_to_quiescence()
+    return executor.selected()

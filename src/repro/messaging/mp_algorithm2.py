@@ -1,0 +1,170 @@
+"""Distributed label learning for message-passing systems (Section 6).
+
+"Similarity labelings and distributed algorithms for finding labels can
+be easily computed for any fair system that uses asynchronous
+message-passing."
+
+The algorithm is Algorithm 2 transposed to channels.  Each processor
+keeps a suspect set PEC for its own label and floods its current PEC on
+every out-port whenever it shrinks.  Because every (receiver, port) pair
+has exactly one sender, and the similarity labeling is
+environment-respecting, each candidate label ``alpha`` determines the
+label ``in_label(alpha, port)`` of the sender on each port; a received
+suspect set ``S`` on port ``X`` therefore rules out every ``alpha`` with
+``in_label(alpha, X)`` not in ``S``.
+
+Alibis are monotone-sound (a processor's PEC always contains its true
+label), and in strongly-connected or bidirectional systems the narrowing
+singleton sets propagate everywhere: each processor converges to its
+exact label.  In a unidirectional, not strongly-connected system the
+upstream processors receive nothing -- the algorithm (correctly!) leaves
+them uncertain forever, which is the Section 6 learnability obstruction
+(`labels_learnable` returns False exactly there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Mapping, Optional, Tuple
+
+from ..core.environment import EnvironmentModel
+from ..core.labeling import Labeling
+from ..exceptions import LabelingError
+from .mp_runtime import MPExecutor, MPProgram
+from .mp_similarity import mp_similarity_labeling
+from .mp_system import MPSystem
+
+Label = Hashable
+
+
+@dataclass(frozen=True)
+class MPLabelTables:
+    """The topology-derived knowledge for the message-passing labeler.
+
+    Attributes:
+        plabels: all processor labels of the similarity labeling.
+        pstate: each label class's initial state.
+        in_label: ``(label, port) -> sender's label`` for every in-port a
+            processor of that label has.
+        ports_of: ``label -> its in-port names`` (consistency checked).
+    """
+
+    plabels: FrozenSet[Label]
+    pstate: Mapping[Label, Hashable]
+    in_label: Mapping[Tuple[Label, str], Label]
+    ports_of: Mapping[Label, Tuple[str, ...]]
+
+    @staticmethod
+    def from_system(mp: MPSystem, theta: Optional[Labeling] = None) -> "MPLabelTables":
+        if theta is None:
+            theta = mp_similarity_labeling(mp, EnvironmentModel.MULTISET)
+        plabels = frozenset(theta[p] for p in mp.processors)
+        pstate: Dict[Label, Hashable] = {}
+        in_label: Dict[Tuple[Label, str], Label] = {}
+        ports_of: Dict[Label, Tuple[str, ...]] = {}
+        for p in mp.processors:
+            label = theta[p]
+            if label in pstate and pstate[label] != mp.state0(p):
+                raise LabelingError(
+                    f"label {label!r} spans different initial states"
+                )
+            pstate[label] = mp.state0(p)
+            ports = tuple(sorted(c.port for c in mp.in_channels(p)))
+            if label in ports_of and ports_of[label] != ports:
+                raise LabelingError(
+                    f"label {label!r} spans processors with different ports; "
+                    f"not environment-respecting"
+                )
+            ports_of[label] = ports
+            for ch in mp.in_channels(p):
+                key = (label, ch.port)
+                sender_label = theta[ch.sender]
+                if key in in_label and in_label[key] != sender_label:
+                    raise LabelingError(
+                        f"label {label!r} has differently-labeled senders "
+                        f"on port {key[1]!r}; not environment-respecting"
+                    )
+                in_label[key] = sender_label
+        return MPLabelTables(
+            plabels=plabels, pstate=pstate, in_label=in_label, ports_of=ports_of
+        )
+
+    def plabels_with_state(self, state: Hashable) -> FrozenSet[Label]:
+        return frozenset(a for a in self.plabels if self.pstate[a] == state)
+
+
+class MPLabelerProgram(MPProgram):
+    """Flood-my-suspects label learning over channels.
+
+    Local state: the current PEC (frozenset of labels).  Messages: the
+    sender's PEC at send time.  A processor re-floods whenever its PEC
+    shrinks, so the protocol quiesces exactly when every PEC is stable.
+    """
+
+    def __init__(self, tables: MPLabelTables) -> None:
+        self.tables = tables
+
+    def on_start(self, state0, out_ports=()):
+        pec = self.tables.plabels_with_state(state0)
+        if not pec:
+            pec = self.tables.plabels
+        sends = [(port, pec) for port in out_ports]
+        return (pec, tuple(out_ports)), sends
+
+    def on_message(self, state, port, payload):
+        pec, out_ports = state
+        if not isinstance(payload, frozenset):
+            return state, []
+        new_pec = frozenset(
+            alpha
+            for alpha in pec
+            if self.tables.in_label.get((alpha, port)) in payload
+        )
+        if not new_pec:
+            # Sound algorithms never empty the PEC; guard anyway.
+            new_pec = pec
+        if new_pec != pec:
+            return (new_pec, out_ports), [(p, new_pec) for p in out_ports]
+        return state, []
+
+    @staticmethod
+    def learned_label(state) -> Optional[Label]:
+        if isinstance(state, tuple) and len(state[0]) == 1:
+            return next(iter(state[0]))
+        return None
+
+
+@dataclass(frozen=True)
+class MPLabelingOutcome:
+    """Result of a distributed MP labeling run."""
+
+    learned: Dict[Hashable, Optional[Label]]
+    truth: Dict[Hashable, Label]
+    deliveries: int
+
+    @property
+    def all_correct(self) -> bool:
+        return self.learned == self.truth
+
+    @property
+    def uncertain(self) -> Tuple[Hashable, ...]:
+        return tuple(sorted((p for p, l in self.learned.items() if l is None), key=repr))
+
+
+def run_mp_labeler(mp: MPSystem, seed: int = 0, max_deliveries: int = 200_000) -> MPLabelingOutcome:
+    """Run the labeler to quiescence and compare against Theta.
+
+    """
+    theta = mp_similarity_labeling(mp, EnvironmentModel.MULTISET)
+    tables = MPLabelTables.from_system(mp, theta)
+    program = MPLabelerProgram(tables)
+    executor = MPExecutor(mp, program, seed=seed)
+    executor.run_to_quiescence(max_deliveries)
+    learned = {
+        p: MPLabelerProgram.learned_label(executor.local[p]) for p in mp.processors
+    }
+    return MPLabelingOutcome(
+        learned=learned,
+        truth={p: theta[p] for p in mp.processors},
+        deliveries=executor.stats.deliveries,
+    )

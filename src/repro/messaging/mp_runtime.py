@@ -1,0 +1,115 @@
+"""A small asynchronous message-passing simulator.
+
+Complements the shared-variable executor for the Section 6 models and the
+message-passing baselines (Chang-Roberts).  Channels are FIFO queues; one
+*step* delivers one message to its receiver (or fires a processor's
+start-up).  A scheduler (here: seeded random or FIFO over channels)
+resolves the nondeterminism; fairness means every sent message is
+eventually delivered.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Hashable, List, Tuple
+
+from ..core.names import NodeId, State
+from ..exceptions import ExecutionError
+from .mp_system import Channel, MPSystem
+
+
+class MPProgram(ABC):
+    """An anonymous deterministic message-passing program.
+
+    ``on_start`` runs once per processor before any delivery, receiving
+    the node's initial state and its *local wiring* (the tuple of its
+    out-port names -- local knowledge, like NAMES in the shared-variable
+    model, not an identity); ``on_message`` handles one delivered
+    message.  Both return the new local state plus a list of
+    ``(out_port, payload)`` sends.
+    """
+
+    @abstractmethod
+    def on_start(
+        self, state0: State, out_ports: Tuple[str, ...] = ()
+    ) -> Tuple[Hashable, List[Tuple[str, Hashable]]]:
+        ...
+
+    @abstractmethod
+    def on_message(
+        self, state: Hashable, port: str, payload: Hashable
+    ) -> Tuple[Hashable, List[Tuple[str, Hashable]]]:
+        ...
+
+    def is_selected(self, state: Hashable) -> bool:
+        return False
+
+
+@dataclass
+class MPExecutorStats:
+    deliveries: int = 0
+    sends: int = 0
+
+
+class MPExecutor:
+    """Run an :class:`MPProgram` on an :class:`MPSystem`."""
+
+    def __init__(self, mp: MPSystem, program: MPProgram, seed: int = 0) -> None:
+        self.mp = mp
+        self.program = program
+        self.rng = random.Random(seed)
+        self.stats = MPExecutorStats()
+        self.local: Dict[NodeId, Hashable] = {}
+        self.queues: Dict[Channel, Deque[Hashable]] = {c: deque() for c in mp.channels}
+        self._out_index: Dict[Tuple[NodeId, str], Channel] = {
+            (c.sender, c.out_port): c for c in mp.channels
+        }
+        for p in mp.processors:
+            out_ports = tuple(sorted(c.out_port for c in mp.out_channels(p)))
+            state, sends = program.on_start(mp.state0(p), out_ports)
+            self.local[p] = state
+            self._send_all(p, sends)
+
+    def _send_all(self, sender: NodeId, sends: List[Tuple[str, Hashable]]) -> None:
+        for out_port, payload in sends:
+            try:
+                channel = self._out_index[(sender, out_port)]
+            except KeyError:
+                raise ExecutionError(
+                    f"{sender!r} has no out-port {out_port!r}"
+                ) from None
+            self.queues[channel].append(payload)
+            self.stats.sends += 1
+
+    def pending_channels(self) -> List[Channel]:
+        return [c for c, q in self.queues.items() if q]
+
+    def deliver_one(self) -> bool:
+        """Deliver one randomly chosen pending message; False if idle."""
+        pending = self.pending_channels()
+        if not pending:
+            return False
+        channel = self.rng.choice(pending)
+        payload = self.queues[channel].popleft()
+        state, sends = self.program.on_message(
+            self.local[channel.receiver], channel.port, payload
+        )
+        self.local[channel.receiver] = state
+        self._send_all(channel.receiver, sends)
+        self.stats.deliveries += 1
+        return True
+
+    def run_to_quiescence(self, max_deliveries: int = 1_000_000) -> bool:
+        """Deliver until no messages remain; False if the cap was hit."""
+        for _ in range(max_deliveries):
+            if not self.deliver_one():
+                return True
+        return not self.pending_channels()
+
+    def selected(self) -> Tuple[NodeId, ...]:
+        return tuple(
+            p for p in self.mp.processors if self.program.is_selected(self.local[p])
+        )

@@ -1,0 +1,83 @@
+"""Similarity labelings for message-passing systems (Section 6).
+
+The refinement mirrors :mod:`repro.core.refinement`, with the directed
+twist: a processor's environment is determined by the processors that can
+*send to* it -- per in-port, the label of the sender on that port.  Out-
+edges do not appear in the environment (what I send never comes back to
+me through that channel); they influence the labeling only indirectly,
+through the receivers they feed.
+
+Two models, exactly parallel to the shared-variable story:
+
+* ``MULTISET``-like: each in-port carries its sender's label (ports are
+  distinguishable, so this is even sharper than multisets) -- the model
+  for asynchronous systems, matching Q;
+* ``SET``: only the *set* of sender labels over all ports is visible --
+  the degraded model for unidirectional, not strongly-connected systems
+  with unknown in-degrees, matching fair S.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from ..core.environment import EnvironmentModel
+from ..core.labeling import Labeling
+from .mp_system import MPSystem
+
+
+def _signature(
+    mp: MPSystem, p, labeling: Dict, model: EnvironmentModel
+) -> Hashable:
+    in_chs = mp.in_channels(p)
+    if model is EnvironmentModel.MULTISET:
+        per_port = tuple(
+            sorted(((c.port, labeling[c.sender]) for c in in_chs), key=repr)
+        )
+        return per_port
+    return tuple(sorted({labeling[c.sender] for c in in_chs}, key=repr))
+
+
+def mp_similarity_labeling(
+    mp: MPSystem,
+    model: EnvironmentModel = EnvironmentModel.MULTISET,
+    include_state: bool = True,
+) -> Labeling:
+    """The coarsest in-neighbor-respecting labeling of ``mp``."""
+    labels: Dict = {
+        p: (mp.state0(p) if include_state else None) for p in mp.processors
+    }
+    while True:
+        combined = {
+            p: (labels[p], _signature(mp, p, labels, model)) for p in mp.processors
+        }
+        intern: Dict[Hashable, int] = {}
+        new_labels: Dict = {}
+        for p in mp.processors:
+            key = combined[p]
+            if key not in intern:
+                intern[key] = len(intern)
+            new_labels[p] = intern[key]
+        if len(set(new_labels.values())) == len(set(labels.values())):
+            return Labeling(new_labels)
+        labels = new_labels
+
+
+def mp_selection_possible(
+    mp: MPSystem, model: EnvironmentModel = EnvironmentModel.MULTISET
+) -> bool:
+    """Theorem 2/3 for message passing: some processor uniquely labeled."""
+    theta = mp_similarity_labeling(mp, model)
+    return any(theta.class_size(theta[p]) == 1 for p in mp.processors)
+
+
+def labels_learnable(mp: MPSystem) -> bool:
+    """Can each processor learn its label with a distributed algorithm?
+
+    Per Section 6: yes for any fair asynchronous system, *except* the
+    unidirectional, not strongly-connected, unknown-in-degree case, which
+    suffers the fair-S obstruction.
+    """
+    if mp.is_strongly_connected or mp.is_bidirectional:
+        return True
+    return False

@@ -1,0 +1,178 @@
+"""Message-passing systems (paper, Section 6).
+
+"Similarity is a useful concept in message-passing systems...  There, the
+environment of a processor depends only on the processors that can send
+messages to it."
+
+An :class:`MPSystem` is a set of processors connected by directed
+*channels*.  Each channel carries a **port** name, local to the receiver:
+the receiver can tell its ports apart but never sees sender identities.
+Bidirectional links are simply a pair of opposite channels.
+
+The model notes of Section 6, all realized here and in
+:mod:`repro.messaging.mp_similarity`:
+
+* asynchronous bidirectional message passing behaves like Q (multiset
+  environments over in-neighbors);
+* a unidirectional, fair, not strongly-connected system where in-degrees
+  are unknown behaves like fair S (the weak SET environments + the same
+  learnability obstruction);
+* CSP-style synchronous communication relates to the asynchronous model
+  as L relates to Q -- see :mod:`repro.messaging.csp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from ..core.names import NodeId, State
+from ..exceptions import NetworkError
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A directed channel: ``sender`` can send to ``receiver``.
+
+    ``port`` is the *receiver's* local name for the channel;
+    ``out_port`` is the *sender's* local name.
+    """
+
+    sender: NodeId
+    receiver: NodeId
+    port: str
+    out_port: str
+
+
+class MPSystem:
+    """An immutable message-passing system."""
+
+    def __init__(
+        self,
+        channels: Iterable[Channel],
+        initial_state: Optional[Mapping[NodeId, State]] = None,
+        processors: Iterable[NodeId] = (),
+    ) -> None:
+        self._channels: Tuple[Channel, ...] = tuple(channels)
+        procs = set(processors)
+        for ch in self._channels:
+            procs.add(ch.sender)
+            procs.add(ch.receiver)
+        if not procs:
+            raise NetworkError("a message-passing system needs processors")
+        self._processors: Tuple[NodeId, ...] = tuple(sorted(procs, key=repr))
+        initial_state = dict(initial_state or {})
+        unknown = set(initial_state) - procs
+        if unknown:
+            raise NetworkError(f"initial_state mentions unknown processors: {unknown!r}")
+        self._state0: Dict[NodeId, State] = {
+            p: initial_state.get(p, 0) for p in self._processors
+        }
+        # Each (receiver, port) pair must identify at most one channel,
+        # and likewise (sender, out_port): ports are unambiguous names.
+        seen_in: set = set()
+        seen_out: set = set()
+        for ch in self._channels:
+            if (ch.receiver, ch.port) in seen_in:
+                raise NetworkError(
+                    f"receiver {ch.receiver!r} has two channels on port {ch.port!r}"
+                )
+            if (ch.sender, ch.out_port) in seen_out:
+                raise NetworkError(
+                    f"sender {ch.sender!r} has two channels on out-port {ch.out_port!r}"
+                )
+            seen_in.add((ch.receiver, ch.port))
+            seen_out.add((ch.sender, ch.out_port))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def processors(self) -> Tuple[NodeId, ...]:
+        return self._processors
+
+    @property
+    def channels(self) -> Tuple[Channel, ...]:
+        return self._channels
+
+    def state0(self, p: NodeId) -> State:
+        return self._state0[p]
+
+    def in_channels(self, p: NodeId) -> Tuple[Channel, ...]:
+        return tuple(c for c in self._channels if c.receiver == p)
+
+    def out_channels(self, p: NodeId) -> Tuple[Channel, ...]:
+        return tuple(c for c in self._channels if c.sender == p)
+
+    def in_neighbors(self, p: NodeId) -> Tuple[NodeId, ...]:
+        return tuple(sorted({c.sender for c in self.in_channels(p)}, key=repr))
+
+    @cached_property
+    def is_strongly_connected(self) -> bool:
+        """Every processor reachable from every other along channels."""
+
+        def reachable(start: NodeId) -> FrozenSet[NodeId]:
+            seen = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for ch in self._channels:
+                    if ch.sender == node and ch.receiver not in seen:
+                        seen.add(ch.receiver)
+                        stack.append(ch.receiver)
+            return frozenset(seen)
+
+        full = frozenset(self._processors)
+        return all(reachable(p) == full for p in self._processors)
+
+    @cached_property
+    def is_bidirectional(self) -> bool:
+        """Every channel has an opposite-direction partner."""
+        pairs = {(c.sender, c.receiver) for c in self._channels}
+        return all((r, s) in pairs for (s, r) in pairs)
+
+    def neighbors_share_link(self, p: NodeId, q: NodeId) -> bool:
+        return any(
+            (c.sender, c.receiver) in ((p, q), (q, p)) for c in self._channels
+        )
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+
+
+def unidirectional_ring(n: int, states: Optional[Mapping[int, State]] = None) -> MPSystem:
+    """An anonymous unidirectional ring: ``p_i`` sends to ``p_{i+1}``."""
+    channels = [
+        Channel(sender=f"p{i}", receiver=f"p{(i + 1) % n}", port="prev", out_port="next")
+        for i in range(n)
+    ]
+    state = {f"p{i}": v for i, v in (states or {}).items()}
+    return MPSystem(channels, state)
+
+
+def bidirectional_ring(n: int, states: Optional[Mapping[int, State]] = None) -> MPSystem:
+    """An anonymous bidirectional ring."""
+    channels = []
+    for i in range(n):
+        nxt = (i + 1) % n
+        channels.append(Channel(f"p{i}", f"p{nxt}", port="ccw", out_port="cw"))
+        channels.append(Channel(f"p{nxt}", f"p{i}", port="cw", out_port="ccw"))
+    state = {f"p{i}": v for i, v in (states or {}).items()}
+    return MPSystem(channels, state)
+
+
+def unidirectional_chain(n: int, states: Optional[Mapping[int, State]] = None) -> MPSystem:
+    """``p_0 -> p_1 -> ... -> p_{n-1}``: fair, not strongly connected.
+
+    The Section 6 example shape: downstream processors cannot know how
+    many processors feed them, so the system "suffers from the same
+    problems as fair systems in S".
+    """
+    channels = [
+        Channel(f"p{i}", f"p{i + 1}", port="prev", out_port="next")
+        for i in range(n - 1)
+    ]
+    state = {f"p{i}": v for i, v in (states or {}).items()}
+    return MPSystem(channels, state, processors=[f"p{i}" for i in range(n)])

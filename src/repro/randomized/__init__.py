@@ -1,0 +1,33 @@
+"""Randomized symmetry breaking (Section 8)."""
+
+from .analysis import (
+    ir_expected_messages,
+    ir_expected_phases,
+    ir_no_tie_probability,
+    lr_all_same_direction_probability,
+)
+from .coin_runtime import CoinExecutor, FlipCoin
+from .itai_rodeh import ElectionResult, ElectionStats, elect, election_statistics
+from .lehmann_rabin import (
+    LehmannRabinProgram,
+    LRReport,
+    LRState,
+    run_lehmann_rabin,
+)
+
+__all__ = [
+    "CoinExecutor",
+    "ElectionResult",
+    "ElectionStats",
+    "FlipCoin",
+    "LRReport",
+    "LRState",
+    "LehmannRabinProgram",
+    "elect",
+    "ir_expected_messages",
+    "ir_expected_phases",
+    "ir_no_tie_probability",
+    "lr_all_same_direction_probability",
+    "election_statistics",
+    "run_lehmann_rabin",
+]

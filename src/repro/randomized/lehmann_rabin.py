@@ -1,0 +1,161 @@
+"""The Lehmann-Rabin free-choice dining philosophers [LR80].
+
+The algorithm DP rules out deterministically: each hungry philosopher
+*flips a coin* to decide which fork to try first, takes it when free,
+then tries the second fork; if the second is busy it **releases the
+first** and re-flips.  No hold-and-wait, no fixed asymmetry -- with
+probability 1 some philosopher eats, on every table size, including the
+prime-sized tables where Theorem 11 dooms every deterministic symmetric
+program.
+
+Running this side by side with
+:class:`~repro.baselines.dp_deterministic.LeftFirstDiningProgram` on
+Figure 4 is the paper's Section 8 punchline: "we can describe the added
+power of randomization".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.names import NodeId
+from ..core.system import System
+from ..runtime.actions import Action, Internal, Lock, Unlock
+from ..runtime.program import LocalState, Program
+from ..runtime.scheduler import Scheduler
+from .coin_runtime import CoinExecutor, FlipCoin
+
+THINK = "think"
+FLIP = "flip"
+WAIT_FIRST = "wait-first"
+TRY_SECOND = "try-second"
+RELEASE_FIRST_RETRY = "release-first-retry"
+EAT = "eat"
+RELEASE_A = "release-a"
+RELEASE_B = "release-b"
+
+_FORKS = ("left", "right")
+
+
+@dataclass(frozen=True)
+class LRState:
+    stage: str
+    first: Optional[str] = None  # which fork was chosen first
+    counter: int = 0
+    meals: int = 0
+
+
+class LehmannRabinProgram(Program):
+    """Randomized dining: flip, take first, try second, back off."""
+
+    def __init__(self, think_steps: int = 1, eat_steps: int = 1, meal_cap: int = 1000) -> None:
+        self.think_steps = max(1, think_steps)
+        self.eat_steps = max(1, eat_steps)
+        self.meal_cap = meal_cap
+
+    def initial_state(self, state0) -> LocalState:
+        return LRState(stage=THINK)
+
+    def next_action(self, state: LRState) -> Action:
+        if state.stage == THINK:
+            return Internal("think")
+        if state.stage == FLIP:
+            return FlipCoin(2)
+        if state.stage == WAIT_FIRST:
+            return Lock(state.first)
+        if state.stage == TRY_SECOND:
+            return Lock(_other(state.first))
+        if state.stage == RELEASE_FIRST_RETRY:
+            return Unlock(state.first)
+        if state.stage == EAT:
+            return Internal("eat")
+        if state.stage == RELEASE_A:
+            return Unlock(_other(state.first))
+        return Unlock(state.first)  # RELEASE_B
+
+    def transition(self, state: LRState, action: Action, result) -> LocalState:
+        if state.stage == THINK:
+            nxt = state.counter + 1
+            if nxt >= self.think_steps:
+                return LRState(FLIP, meals=state.meals)
+            return LRState(THINK, counter=nxt, meals=state.meals)
+        if state.stage == FLIP:
+            return LRState(WAIT_FIRST, first=_FORKS[result], meals=state.meals)
+        if state.stage == WAIT_FIRST:
+            if result:
+                return LRState(TRY_SECOND, first=state.first, meals=state.meals)
+            return state  # wait for the first fork (blocked philosophers
+            # keep re-trying; the coin is only re-flipped after back-off)
+        if state.stage == TRY_SECOND:
+            if result:
+                return LRState(EAT, first=state.first, meals=state.meals)
+            return LRState(RELEASE_FIRST_RETRY, first=state.first, meals=state.meals)
+        if state.stage == RELEASE_FIRST_RETRY:
+            return LRState(FLIP, meals=state.meals)  # back off and re-flip
+        if state.stage == EAT:
+            nxt = state.counter + 1
+            if nxt >= self.eat_steps:
+                return LRState(
+                    RELEASE_A,
+                    first=state.first,
+                    meals=min(state.meals + 1, self.meal_cap),
+                )
+            return LRState(EAT, first=state.first, counter=nxt, meals=state.meals)
+        if state.stage == RELEASE_A:
+            return LRState(RELEASE_B, first=state.first, meals=state.meals)
+        return LRState(THINK, meals=state.meals)
+
+    @staticmethod
+    def is_eating(state: LRState) -> bool:
+        return isinstance(state, LRState) and state.stage == EAT
+
+    @staticmethod
+    def meals(state: LRState) -> int:
+        return state.meals if isinstance(state, LRState) else 0
+
+
+def _other(fork: str) -> str:
+    return "right" if fork == "left" else "left"
+
+
+@dataclass(frozen=True)
+class LRReport:
+    """Outcome of a Lehmann-Rabin run."""
+
+    steps: int
+    meals: dict
+    safety_ok: bool
+
+    @property
+    def everyone_ate(self) -> bool:
+        return all(m > 0 for m in self.meals.values())
+
+    @property
+    def total_meals(self) -> int:
+        return sum(self.meals.values())
+
+
+def run_lehmann_rabin(
+    system: System,
+    scheduler: Scheduler,
+    steps: int,
+    adjacent: Tuple[Tuple[NodeId, NodeId], ...],
+    seed: int = 0,
+    program: Optional[LehmannRabinProgram] = None,
+) -> LRReport:
+    """Run Lehmann-Rabin, checking eating exclusion along the way."""
+    program = program or LehmannRabinProgram()
+    executor = CoinExecutor(system, program, scheduler, seed=seed)
+    safety_ok = True
+    for _ in range(steps):
+        executor.step()
+        for a, b in adjacent:
+            if LehmannRabinProgram.is_eating(
+                executor.local[a]
+            ) and LehmannRabinProgram.is_eating(executor.local[b]):
+                safety_ok = False
+    meals = {
+        p: LehmannRabinProgram.meals(executor.local[p]) for p in system.processors
+    }
+    return LRReport(steps=steps, meals=meals, safety_ok=safety_ok)

@@ -1,0 +1,96 @@
+"""Instruction actions (paper, Section 2).
+
+A *step* of a processor executes one instruction atomically.  Programs
+(see :mod:`repro.runtime.program`) are state machines that, in each local
+state, emit exactly one :class:`Action`; the executor performs it against
+the shared variables and feeds the result back into the program's
+transition function.
+
+The actions mirror the paper's instruction sets:
+
+========  =========  =================================================
+action    sets       semantics
+========  =========  =================================================
+Read      S, L, L2   result = current value of the named variable
+Write     S, L, L2   store a value into the named variable
+Lock      L, L2      try to set the lock bit; result = success bool
+Unlock    L, L2      reset the lock bit
+MultiLock L2         indivisibly lock several names (all or nothing)
+Peek      Q          result = (base state, multiset of subvalues)
+Post      Q          store this processor's subvalue
+Internal  all        local computation only
+Halt      all        the processor is done; further steps are no-ops
+========  =========  =================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+from ..core.names import Name
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class for all actions."""
+
+
+@dataclass(frozen=True)
+class Read(Action):
+    name: Name
+
+
+@dataclass(frozen=True)
+class Write(Action):
+    name: Name
+    value: Hashable
+
+
+@dataclass(frozen=True)
+class Lock(Action):
+    name: Name
+
+
+@dataclass(frozen=True)
+class Unlock(Action):
+    name: Name
+
+
+@dataclass(frozen=True)
+class MultiLock(Action):
+    """Extended locking (Section 6): lock several names indivisibly.
+
+    Succeeds (and acquires all) iff none of the named variables is
+    currently locked; otherwise acquires nothing and reports failure.
+    """
+
+    names: Tuple[Name, ...]
+
+
+@dataclass(frozen=True)
+class Peek(Action):
+    name: Name
+
+
+@dataclass(frozen=True)
+class Post(Action):
+    name: Name
+    value: Hashable
+
+
+@dataclass(frozen=True)
+class Internal(Action):
+    """A step touching no shared variable (arbitrary local instruction)."""
+
+    tag: Hashable = None
+
+
+@dataclass(frozen=True)
+class Halt(Action):
+    """The processor has terminated; scheduled steps become no-ops.
+
+    Halting does not remove the processor from schedules -- fairness is a
+    property of schedules, and a halted processor simply wastes its steps,
+    exactly as in the paper's model.
+    """

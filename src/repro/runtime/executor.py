@@ -1,0 +1,223 @@
+"""The step-level simulator.
+
+An :class:`Executor` runs one anonymous program on every processor of a
+system, following a scheduler.  Each step atomically executes one
+instruction of one processor, exactly as in the paper's execution model.
+
+The executor enforces the system's instruction set: a program that emits a
+``Peek`` in a system declared with instruction set S is broken, and the
+executor raises :class:`~repro.exceptions.ExecutionError` rather than
+silently executing an illegal instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+from ..core.names import NodeId
+from ..core.system import InstructionSet, System
+from ..exceptions import ExecutionError
+from .actions import (
+    Action,
+    Halt,
+    Internal,
+    Lock,
+    MultiLock,
+    Peek,
+    Post,
+    Read,
+    Unlock,
+    Write,
+)
+from .program import LocalState, Program
+from .scheduler import Scheduler
+from .variables import PlainVariable, SubvalueVariable
+
+_ALLOWED = {
+    InstructionSet.S: (Read, Write, Internal, Halt),
+    InstructionSet.L: (Read, Write, Lock, Unlock, Internal, Halt),
+    InstructionSet.L2: (Read, Write, Lock, Unlock, MultiLock, Internal, Halt),
+    InstructionSet.Q: (Peek, Post, Internal, Halt),
+}
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One executed step: who did what and what came back."""
+
+    index: int
+    processor: NodeId
+    action: Action
+    result: Hashable
+
+
+Configuration = Tuple[Tuple[Hashable, ...], Tuple[Hashable, ...]]
+
+
+class Executor:
+    """Runs ``program`` on every processor of ``system`` under ``scheduler``."""
+
+    def __init__(
+        self,
+        system: System,
+        program: Program,
+        scheduler: Scheduler,
+        strict: bool = True,
+    ) -> None:
+        self.system = system
+        self.program = program
+        self.scheduler = scheduler
+        self.strict = strict
+        self.step_count = 0
+        self.local: Dict[NodeId, LocalState] = {
+            p: program.initial_state(system.state0(p)) for p in system.processors
+        }
+        self.halted: Dict[NodeId, bool] = {p: False for p in system.processors}
+        if system.instruction_set.is_multiset:
+            self.vars: Dict[NodeId, SubvalueVariable] = {
+                v: SubvalueVariable(v, system.state0(v)) for v in system.variables
+            }
+        else:
+            self.vars = {
+                v: PlainVariable(v, system.state0(v)) for v in system.variables
+            }
+
+    # ------------------------------------------------------------------
+
+    def _variable_for(self, processor: NodeId, name) -> object:
+        return self.vars[self.system.n_nbr(processor, name)]
+
+    def _execute(self, processor: NodeId, action: Action) -> Hashable:
+        allowed = _ALLOWED[self.system.instruction_set]
+        if not isinstance(action, allowed):
+            raise ExecutionError(
+                f"action {action!r} illegal under instruction set "
+                f"{self.system.instruction_set.value}"
+            )
+        if isinstance(action, Read):
+            return self._variable_for(processor, action.name).read()
+        if isinstance(action, Write):
+            self._variable_for(processor, action.name).write(action.value)
+            return None
+        if isinstance(action, Lock):
+            return self._variable_for(processor, action.name).try_lock(processor)
+        if isinstance(action, Unlock):
+            self._variable_for(processor, action.name).unlock(processor, self.strict)
+            return None
+        if isinstance(action, MultiLock):
+            variables = [self._variable_for(processor, n) for n in action.names]
+            distinct = {v.node for v in variables}
+            targets = [self.vars[node] for node in distinct]
+            if any(v.locked for v in targets):
+                return False
+            for v in targets:
+                v.try_lock(processor)
+            return True
+        if isinstance(action, Peek):
+            return self._variable_for(processor, action.name).peek()
+        if isinstance(action, Post):
+            self._variable_for(processor, action.name).post(processor, action.value)
+            return None
+        if isinstance(action, (Internal, Halt)):
+            return None
+        raise ExecutionError(f"unknown action {action!r}")  # pragma: no cover
+
+    def step(self) -> StepRecord:
+        """Execute the next scheduled step and return its record."""
+        processor = self.scheduler.next_processor(self.step_count, self)
+        return self.step_as(processor)
+
+    def step_as(self, processor: NodeId) -> StepRecord:
+        """Execute one step of a *chosen* processor, bypassing the
+        scheduler.
+
+        The explicit-choice entry point for state-space searches (the
+        Theorem-1 adversary explores all successors of a configuration);
+        everything else about the step is identical to :meth:`step`.
+        """
+        if processor not in self.local:
+            raise ExecutionError(f"scheduler picked unknown processor {processor!r}")
+        if self.halted[processor]:
+            record = StepRecord(self.step_count, processor, Halt(), None)
+            self.step_count += 1
+            return record
+        state = self.local[processor]
+        action = self.program.next_action(state)
+        if isinstance(action, Halt):
+            self.halted[processor] = True
+            result = None
+        else:
+            result = self._execute(processor, action)
+            self.local[processor] = self.program.transition(state, action, result)
+        record = StepRecord(self.step_count, processor, action, result)
+        self.step_count += 1
+        return record
+
+    def run(self, steps: int) -> None:
+        """Execute ``steps`` scheduled steps."""
+        for _ in range(steps):
+            self.step()
+
+    def clone(self) -> "Executor":
+        """An independent copy of the execution state.
+
+        Local states are immutable (shared); variable runtime objects are
+        re-created from their mutable fields.  The program is shared
+        (pure); the scheduler is shared too -- use :meth:`step_as` on
+        clones, since stateful schedulers are not forked.
+        """
+        twin = object.__new__(type(self))
+        twin.system = self.system
+        twin.program = self.program
+        twin.scheduler = self.scheduler
+        twin.strict = self.strict
+        twin.step_count = self.step_count
+        twin.local = dict(self.local)
+        twin.halted = dict(self.halted)
+        twin.vars = {}
+        for node, variable in self.vars.items():
+            if isinstance(variable, SubvalueVariable):
+                fresh = SubvalueVariable(node, variable.base)
+                fresh.subvalues = dict(variable.subvalues)
+            else:
+                fresh = PlainVariable(node, variable.value)
+                fresh.locked = variable.locked
+                fresh.lock_owner = variable.lock_owner
+            twin.vars[node] = fresh
+        # Subclass bookkeeping (RecordingExecutor): fork the logs too.
+        if hasattr(self, "records"):
+            twin.records = list(self.records)
+        if hasattr(self, "histories"):
+            twin.histories = {k: list(v) for k, v in self.histories.items()}
+        return twin
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def configuration(self) -> Configuration:
+        """A hashable snapshot of the entire system state.
+
+        Processor local states in processor order, then variable snapshots
+        in variable order.  Equal configurations imply identical future
+        behavior under the same (oblivious) scheduler state.
+        """
+        proc_part = tuple(self.local[p] for p in self.system.processors)
+        var_part = tuple(self.vars[v].snapshot() for v in self.system.variables)
+        return (proc_part, var_part)
+
+    def node_state(self, node: NodeId) -> Hashable:
+        """The paper-level ``state(x)``: local state for processors, value
+        snapshot for variables."""
+        if node in self.local:
+            return self.local[node]
+        return self.vars[node].snapshot()
+
+    def selected_processors(self) -> Tuple[NodeId, ...]:
+        """Processors whose local state has ``selected = true``."""
+        return tuple(
+            p
+            for p in self.system.processors
+            if self.program.is_selected(self.local[p])
+        )

@@ -1,0 +1,108 @@
+"""Crash faults as schedules (the FLP reading of Theorem 1).
+
+"A halting failure can be viewed as an infinite schedule where a faulty
+processor appears only a finite number of times."  This module makes
+crashes first-class:
+
+* :class:`CrashScheduler` wraps any scheduler and stops scheduling a
+  processor after its crash step -- producing exactly the general
+  schedules of the quote; the result is *not* fair, which is the point.
+* :func:`run_with_crash` executes a program under a crash and reports
+  what happened to the survivors.
+
+The interesting experiments: algorithms proved correct for fair
+schedules (Algorithm 2, SELECT) visibly lose their guarantees when one
+processor crashes at the wrong moment -- the same phenomenon Theorem 1
+turns into an impossibility proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from ..core.names import NodeId
+from ..core.system import System
+from ..exceptions import ScheduleError
+from .executor import Executor
+from .program import Program
+from .scheduler import Scheduler
+
+
+class CrashScheduler(Scheduler):
+    """Schedule via ``base``, but crashed processors stop appearing.
+
+    Args:
+        base: the underlying scheduler.
+        crash_at: mapping ``processor -> step index`` after which that
+            processor is never scheduled again.  (A crash at 0 means the
+            processor never runs at all.)
+
+    When ``base`` picks a crashed processor the wrapper re-rolls by
+    advancing a private round-robin over the survivors, so the returned
+    schedule stays well-formed.
+    """
+
+    def __init__(self, base: Scheduler, crash_at: Mapping[NodeId, int], processors: Iterable[NodeId]) -> None:
+        self.base = base
+        self.crash_at: Dict[NodeId, int] = dict(crash_at)
+        self._procs = tuple(processors)
+        survivors = [p for p in self._procs if p not in self.crash_at or self.crash_at[p] > 0]
+        if not set(self._procs) - set(self.crash_at):
+            # Everyone eventually crashes; ensure somebody remains to run.
+            raise ScheduleError("at least one processor must survive")
+        self._fallback = 0
+
+    def _alive(self, processor: NodeId, step_index: int) -> bool:
+        limit = self.crash_at.get(processor)
+        return limit is None or step_index < limit
+
+    def next_processor(self, step_index: int, view) -> NodeId:
+        choice = self.base.next_processor(step_index, view)
+        if self._alive(choice, step_index):
+            return choice
+        survivors = [p for p in self._procs if self._alive(p, step_index)]
+        pick = survivors[self._fallback % len(survivors)]
+        self._fallback += 1
+        return pick
+
+    def reset(self) -> None:
+        self.base.reset()
+        self._fallback = 0
+
+
+@dataclass(frozen=True)
+class CrashRunReport:
+    """Outcome of a run with crashes.
+
+    Attributes:
+        steps: steps executed.
+        crashed: the processors that crashed, with their crash steps.
+        done: per-processor flags from the caller's predicate.
+        selected: processors whose local state is selected at the end.
+    """
+
+    steps: int
+    crashed: Tuple[Tuple[NodeId, int], ...]
+    done: Dict[NodeId, bool]
+    selected: Tuple[NodeId, ...]
+
+
+def run_with_crash(
+    system: System,
+    program: Program,
+    base_scheduler: Scheduler,
+    crash_at: Mapping[NodeId, int],
+    steps: int,
+    done_predicate=lambda state: False,
+) -> CrashRunReport:
+    """Run ``program`` under ``base_scheduler`` with crashes injected."""
+    scheduler = CrashScheduler(base_scheduler, crash_at, system.processors)
+    executor = Executor(system, program, scheduler)
+    executor.run(steps)
+    return CrashRunReport(
+        steps=steps,
+        crashed=tuple(sorted(crash_at.items(), key=lambda kv: repr(kv[0]))),
+        done={p: done_predicate(executor.local[p]) for p in system.processors},
+        selected=executor.selected_processors(),
+    )

@@ -1,0 +1,243 @@
+"""Deterministic anonymous programs (paper, Section 2).
+
+"We assume all processors in a system execute the same program.  This
+means that processors in the same state execute the same instruction."
+
+A :class:`Program` is therefore a pure state machine over *local states*:
+
+* ``initial_state(state0)`` -- the local state a processor starts in,
+  derived only from the node's initial state (never from its identity);
+* ``next_action(state)`` -- the single instruction the processor executes
+  next, a pure function of its local state (the program counter is part
+  of the state);
+* ``transition(state, action, result)`` -- the new local state after the
+  executor performs the action and returns its result;
+* ``is_selected(state)`` -- the ``selected_p`` flag of the selection
+  problem, read off the local state.
+
+Local states must be hashable: the executor snapshots whole-system
+configurations for cycle detection, and the similarity experiments compare
+local states across processors.
+
+Determinism is enforced dynamically: the executor calls ``next_action``
+once per step and will re-derive identical behavior for identical states,
+and :func:`check_anonymous` can replay a program to verify purity.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from abc import ABC, abstractmethod
+from typing import Callable, Hashable, Optional, Sequence
+
+from ..core.names import State
+from .actions import Action, Internal, Lock, Peek, Post, Read, Unlock, Write
+
+LocalState = Hashable
+
+
+def _stable_digest(value: Hashable) -> int:
+    """A digest stable across interpreter runs (unlike ``hash`` on str)."""
+    return zlib.crc32(repr(value).encode()) % 1009
+
+
+class Program(ABC):
+    """A deterministic anonymous program."""
+
+    @abstractmethod
+    def initial_state(self, state0: State) -> LocalState:
+        """Local state derived from the node's initial state only."""
+
+    @abstractmethod
+    def next_action(self, state: LocalState) -> Action:
+        """The instruction to execute in ``state`` (pure)."""
+
+    @abstractmethod
+    def transition(self, state: LocalState, action: Action, result: Hashable) -> LocalState:
+        """The state after executing ``action`` with ``result`` (pure)."""
+
+    def is_selected(self, state: LocalState) -> bool:
+        """Whether this local state has ``selected = true``."""
+        return False
+
+
+class FunctionalProgram(Program):
+    """Build a program from three plain functions (handy in tests)."""
+
+    def __init__(
+        self,
+        initial: Callable[[State], LocalState],
+        action: Callable[[LocalState], Action],
+        step: Callable[[LocalState, Action, Hashable], LocalState],
+        selected: Optional[Callable[[LocalState], bool]] = None,
+    ) -> None:
+        self._initial = initial
+        self._action = action
+        self._step = step
+        self._selected = selected
+
+    def initial_state(self, state0: State) -> LocalState:
+        return self._initial(state0)
+
+    def next_action(self, state: LocalState) -> Action:
+        return self._action(state)
+
+    def transition(self, state: LocalState, action: Action, result: Hashable) -> LocalState:
+        return self._step(state, action, result)
+
+    def is_selected(self, state: LocalState) -> bool:
+        return bool(self._selected and self._selected(state))
+
+
+class IdleProgram(Program):
+    """Every step is an internal no-op; the local state never changes."""
+
+    def initial_state(self, state0: State) -> LocalState:
+        return ("idle", state0)
+
+    def next_action(self, state: LocalState) -> Action:
+        return Internal("idle")
+
+    def transition(self, state, action, result) -> LocalState:
+        return state
+
+
+class RandomProgramQ(Program):
+    """A pseudo-random (but deterministic!) program over Q instructions.
+
+    Used by the similarity-validation experiments: Theorem 4 promises that
+    the class round-robin schedule keeps same-labeled nodes in equal
+    states *for any program*, so we throw seeded-random-but-deterministic
+    programs at it.  The action in each state is derived by hashing the
+    state with the seed -- a pure function, hence a legal program.
+
+    The program cycles through a bounded state space (a counter mod
+    ``period`` plus the last peeked digest) so executions always reach a
+    configuration cycle.
+    """
+
+    def __init__(self, names: Sequence, seed: int = 0, period: int = 6) -> None:
+        self._names = tuple(names)
+        self._seed = seed
+        self._period = max(2, period)
+
+    def initial_state(self, state0: State) -> LocalState:
+        return (0, ("init", state0))
+
+    def _rng(self, state: LocalState) -> random.Random:
+        return random.Random(f"{self._seed}:{state!r}")
+
+    def next_action(self, state: LocalState) -> Action:
+        rng = self._rng(state)
+        kind = rng.choice(["peek", "post", "internal"])
+        name = rng.choice(self._names)
+        if kind == "peek":
+            return Peek(name)
+        if kind == "post":
+            counter, digest = state
+            return Post(name, ("val", counter, digest))
+        return Internal("spin")
+
+    def transition(self, state: LocalState, action: Action, result) -> LocalState:
+        counter, digest = state
+        new_counter = (counter + 1) % self._period
+        if isinstance(action, Peek):
+            # Keep a bounded digest of what was observed.
+            digest = ("peeked", _stable_digest(result))
+        return (new_counter, digest)
+
+
+class RandomProgramS(Program):
+    """Seeded-random deterministic program over S instructions.
+
+    Same purpose as :class:`RandomProgramQ` but with reads/writes; write
+    values are pure functions of the local state, so same-labeled
+    processors in lockstep write identical values.
+    """
+
+    def __init__(self, names: Sequence, seed: int = 0, period: int = 6) -> None:
+        self._names = tuple(names)
+        self._seed = seed
+        self._period = max(2, period)
+
+    def initial_state(self, state0: State) -> LocalState:
+        return (0, ("init", state0))
+
+    def next_action(self, state: LocalState) -> Action:
+        rng = random.Random(f"{self._seed}:{state!r}")
+        kind = rng.choice(["read", "write", "internal"])
+        name = rng.choice(self._names)
+        if kind == "read":
+            return Read(name)
+        if kind == "write":
+            counter, digest = state
+            return Write(name, ("w", counter, digest))
+        return Internal("spin")
+
+    def transition(self, state: LocalState, action: Action, result) -> LocalState:
+        counter, digest = state
+        new_counter = (counter + 1) % self._period
+        if isinstance(action, Read):
+            digest = ("read", _stable_digest(result))
+        return (new_counter, digest)
+
+
+class RandomProgramL(Program):
+    """Seeded-random deterministic program over L instructions.
+
+    Locks are used in a disciplined try-lock / act / unlock pattern so the
+    program never wedges itself: the state remembers which name it holds.
+    """
+
+    def __init__(self, names: Sequence, seed: int = 0, period: int = 8) -> None:
+        self._names = tuple(names)
+        self._seed = seed
+        self._period = max(3, period)
+
+    def initial_state(self, state0: State) -> LocalState:
+        return (0, ("init", state0), None)  # counter, digest, held name
+
+    def next_action(self, state: LocalState) -> Action:
+        counter, digest, held = state
+        if held is not None:
+            return Unlock(held)
+        rng = random.Random(f"{self._seed}:{state!r}")
+        kind = rng.choice(["read", "write", "lock", "internal"])
+        name = rng.choice(self._names)
+        if kind == "read":
+            return Read(name)
+        if kind == "write":
+            return Write(name, ("w", counter, digest))
+        if kind == "lock":
+            return Lock(name)
+        return Internal("spin")
+
+    def transition(self, state: LocalState, action: Action, result) -> LocalState:
+        counter, digest, held = state
+        new_counter = (counter + 1) % self._period
+        if isinstance(action, Read):
+            digest = ("read", _stable_digest(result))
+        elif isinstance(action, Lock):
+            digest = ("locked", bool(result))
+            if result:
+                held = action.name
+        elif isinstance(action, Unlock):
+            held = None
+        return (new_counter, digest, held)
+
+
+def check_anonymous(program: Program, states: Sequence[State]) -> bool:
+    """Sanity-check purity: identical inputs give identical outputs.
+
+    Replays ``initial_state`` and ``next_action`` twice for each provided
+    initial state and compares.  Catches programs that consult hidden
+    mutable state or real randomness.
+    """
+    for s in states:
+        a, b = program.initial_state(s), program.initial_state(s)
+        if a != b:
+            return False
+        if program.next_action(a) != program.next_action(b):
+            return False
+    return True

@@ -1,0 +1,115 @@
+"""Execution recording and ASCII timelines.
+
+Watching the paper's arguments happen is half the point of an executable
+reproduction.  :class:`RecordingExecutor` keeps every
+:class:`~repro.runtime.executor.StepRecord`; :func:`render_timeline`
+turns a recorded run into a per-processor character timeline, e.g. the
+dining philosophers::
+
+    phil0  ttwWEEr.ttwWEE...
+    phil1  .twwwwwwwtwWEEr..
+
+one column per own-step, letters chosen by a caller-supplied classifier
+of local states.  The examples use it to show DP's deadlock freezing
+every lane and DP''s meals interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.names import NodeId
+from ..core.system import System
+from .executor import Executor, StepRecord
+from .program import LocalState, Program
+from .scheduler import Scheduler
+
+
+class RecordingExecutor(Executor):
+    """An executor that keeps its step records and state history."""
+
+    def __init__(
+        self,
+        system: System,
+        program: Program,
+        scheduler: Scheduler,
+        strict: bool = True,
+    ) -> None:
+        super().__init__(system, program, scheduler, strict)
+        self.records: List[StepRecord] = []
+        #: per-processor local-state history, sampled after each own step
+        self.histories: Dict[NodeId, List[LocalState]] = {
+            p: [self.local[p]] for p in system.processors
+        }
+
+    def step(self) -> StepRecord:
+        record = super().step()
+        self.records.append(record)
+        self.histories[record.processor].append(self.local[record.processor])
+        return record
+
+    def schedule_so_far(self) -> Tuple[NodeId, ...]:
+        return tuple(r.processor for r in self.records)
+
+
+def render_timeline(
+    executor: RecordingExecutor,
+    classify: Callable[[LocalState], str],
+    width: Optional[int] = None,
+) -> str:
+    """One line per processor; one character per own step.
+
+    Args:
+        executor: a recorded run.
+        classify: maps a local state to a single display character.
+        width: truncate each lane to this many characters.
+    """
+    lanes = []
+    name_width = max(len(str(p)) for p in executor.system.processors)
+    for p in executor.system.processors:
+        history = executor.histories[p][1:]  # skip the pre-run state
+        chars = "".join(classify(state) for state in history)
+        if width is not None:
+            chars = chars[:width]
+        lanes.append(f"{str(p).ljust(name_width)}  {chars}")
+    return "\n".join(lanes)
+
+
+def render_activity(
+    executor: RecordingExecutor,
+    active: Callable[[LocalState], bool],
+    width: Optional[int] = None,
+    on: str = "#",
+    off: str = ".",
+) -> str:
+    """A timeline specialized to a boolean predicate (e.g. *is eating*)."""
+    return render_timeline(
+        executor,
+        lambda state: on if active(state) else off,
+        width=width,
+    )
+
+
+@dataclass(frozen=True)
+class StepCensus:
+    """Aggregate statistics of a recorded run."""
+
+    steps: int
+    per_processor: Dict[NodeId, int]
+    per_action_type: Dict[str, int]
+
+
+def census(executor: RecordingExecutor) -> StepCensus:
+    """Count steps per processor and per action type."""
+    per_proc: Dict[NodeId, int] = {}
+    per_action: Dict[str, int] = {}
+    for record in executor.records:
+        per_proc[record.processor] = per_proc.get(record.processor, 0) + 1
+        kind = type(record.action).__name__
+        per_action[kind] = per_action.get(kind, 0) + 1
+    return StepCensus(
+        steps=len(executor.records),
+        per_processor=per_proc,
+        per_action_type=per_action,
+    )

@@ -1,0 +1,215 @@
+"""Schedules and schedulers (paper, Section 2).
+
+A *schedule* is a (possibly infinite) sequence of processor names; each
+occurrence means that processor executes one atomic step.  The paper's
+classes:
+
+* **general** -- unrestricted: processors may be starved forever;
+* **fair** -- every processor occurs infinitely often;
+* **k-bounded fair** -- every processor occurs in every window of k steps.
+
+A :class:`Scheduler` generates a schedule lazily, optionally *adaptively*
+(the next choice may depend on the current configuration -- the adversary
+of Theorem 1 needs that).  Finite prefixes can be validated against a
+schedule class with :func:`is_fair_prefix` / :func:`is_k_bounded_prefix`.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.labeling import Labeling
+from ..core.names import NodeId
+from ..exceptions import ScheduleError
+
+
+class Scheduler(ABC):
+    """Lazily produces the next processor to step."""
+
+    @abstractmethod
+    def next_processor(self, step_index: int, view) -> NodeId:
+        """Pick the processor for step ``step_index``.
+
+        ``view`` is the executor (read-only access to local states and
+        variable snapshots); oblivious schedulers ignore it.
+        """
+
+    def reset(self) -> None:
+        """Return to the initial scheduling state (default: stateless)."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """p0 p1 ... pn-1 p0 p1 ... -- the canonical n-bounded fair schedule."""
+
+    def __init__(self, processors: Sequence[NodeId]) -> None:
+        if not processors:
+            raise ScheduleError("round robin needs at least one processor")
+        self._order: Tuple[NodeId, ...] = tuple(processors)
+
+    def next_processor(self, step_index: int, view) -> NodeId:
+        return self._order[step_index % len(self._order)]
+
+
+class ClassRoundRobinScheduler(Scheduler):
+    """The schedule from the proof of Theorem 4.
+
+    Processors are stepped in rounds; within a round, whole label classes
+    run back-to-back (class order fixed, member order fixed).  Under a
+    supersimilarity labeling this keeps same-labeled processors in
+    lockstep: when one member of a class has taken its k-th step, so have
+    all the others, and they observed label-equivalent results.
+    """
+
+    def __init__(self, processors: Sequence[NodeId], labeling: Labeling) -> None:
+        classes: Dict[object, List[NodeId]] = {}
+        for p in processors:
+            classes.setdefault(labeling[p], []).append(p)
+        order: List[NodeId] = []
+        for label in sorted(classes, key=repr):
+            order.extend(sorted(classes[label], key=repr))
+        self._order = tuple(order)
+
+    def next_processor(self, step_index: int, view) -> NodeId:
+        return self._order[step_index % len(self._order)]
+
+
+class RandomFairScheduler(Scheduler):
+    """Seeded uniform choice; fair with probability 1.
+
+    For *certainly* fair finite runs combine with a bounded-fair validity
+    check, or use :class:`KBoundedFairScheduler`.
+    """
+
+    def __init__(self, processors: Sequence[NodeId], seed: int = 0) -> None:
+        if not processors:
+            raise ScheduleError("need at least one processor")
+        self._procs = tuple(processors)
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def next_processor(self, step_index: int, view) -> NodeId:
+        return self._rng.choice(self._procs)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class KBoundedFairScheduler(Scheduler):
+    """Random schedule that is provably k-bounded fair.
+
+    Keeps a deadline per processor; when a deadline would expire the
+    overdue processor is forced, otherwise the choice is uniform.  With
+    ``k >= 2 * n`` the forcing is rare and the schedule looks adversarially
+    random while every window of ``k`` steps contains every processor.
+    """
+
+    def __init__(self, processors: Sequence[NodeId], k: Optional[int] = None, seed: int = 0) -> None:
+        if not processors:
+            raise ScheduleError("need at least one processor")
+        self._procs = tuple(processors)
+        n = len(self._procs)
+        self._k = k if k is not None else 2 * n
+        if self._k < n:
+            raise ScheduleError(f"k={self._k} < number of processors {n}: impossible")
+        self._seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+        self._last_run: Dict[NodeId, int] = {p: -1 for p in self._procs}
+
+    def next_processor(self, step_index: int, view) -> NodeId:
+        overdue = [
+            p for p in self._procs if step_index - self._last_run[p] >= self._k - 1
+        ]
+        if overdue:
+            choice = min(overdue, key=lambda p: (self._last_run[p], repr(p)))
+        else:
+            choice = self._rng.choice(self._procs)
+        self._last_run[choice] = step_index
+        return choice
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+
+class ReplayScheduler(Scheduler):
+    """Replay an explicit finite schedule, then follow a fallback."""
+
+    def __init__(self, prefix: Sequence[NodeId], then: Optional[Scheduler] = None) -> None:
+        self._prefix = tuple(prefix)
+        self._then = then
+
+    def next_processor(self, step_index: int, view) -> NodeId:
+        if step_index < len(self._prefix):
+            return self._prefix[step_index]
+        if self._then is None:
+            raise ScheduleError("replay schedule exhausted and no fallback given")
+        return self._then.next_processor(step_index - len(self._prefix), view)
+
+    def reset(self) -> None:
+        if self._then is not None:
+            self._then.reset()
+
+
+class StarvationScheduler(Scheduler):
+    """A *general* schedule: the given processors never run.
+
+    This is the adversary of Theorem 1 -- legal only when the system's
+    schedule class is GENERAL.
+    """
+
+    def __init__(self, processors: Sequence[NodeId], starved: Iterable[NodeId]) -> None:
+        starved = frozenset(starved)
+        self._active = tuple(p for p in processors if p not in starved)
+        if not self._active:
+            raise ScheduleError("cannot starve every processor")
+        self._starved = starved
+
+    def next_processor(self, step_index: int, view) -> NodeId:
+        return self._active[step_index % len(self._active)]
+
+    @property
+    def starved(self) -> frozenset:
+        return self._starved
+
+
+class AdaptiveScheduler(Scheduler):
+    """An adversary driven by a callback over the live configuration."""
+
+    def __init__(self, choose: Callable[[int, object], NodeId]) -> None:
+        self._choose = choose
+
+    def next_processor(self, step_index: int, view) -> NodeId:
+        return self._choose(step_index, view)
+
+
+# ----------------------------------------------------------------------
+# schedule-prefix validation
+# ----------------------------------------------------------------------
+
+
+def is_fair_prefix(schedule: Sequence[NodeId], processors: Sequence[NodeId]) -> bool:
+    """Does the finite prefix mention every processor at least once?
+
+    (Fairness proper is a property of infinite schedules; for a finite
+    prefix this is the natural necessary check.)
+    """
+    return set(processors) <= set(schedule)
+
+
+def is_k_bounded_prefix(
+    schedule: Sequence[NodeId], processors: Sequence[NodeId], k: int
+) -> bool:
+    """Every window of ``k`` consecutive steps contains every processor."""
+    procs = set(processors)
+    if k < len(procs):
+        return False
+    for start in range(0, max(1, len(schedule) - k + 1)):
+        window = set(schedule[start : start + k])
+        if len(schedule) - start >= k and not procs <= window:
+            return False
+    return True

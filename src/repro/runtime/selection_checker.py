@@ -1,0 +1,135 @@
+"""Checking Uniqueness and Stability of selection runs (Section 3).
+
+A selection algorithm must, under *every* schedule of the system's class,
+establish **Uniqueness** (exactly one processor ever sets ``selected``)
+and maintain **Stability** (a selected processor stays selected).  This
+module runs a candidate program under a battery of schedules and verifies
+both properties empirically, reporting which processor won under each
+schedule (different schedules may legitimately crown different winners).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.names import NodeId
+from ..core.system import System
+from .executor import Executor
+from .program import Program
+from .scheduler import (
+    KBoundedFairScheduler,
+    RandomFairScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+
+
+@dataclass(frozen=True)
+class SelectionRun:
+    """Outcome of one schedule.
+
+    Attributes:
+        schedule_name: human-readable scheduler description.
+        winner: the selected processor, or None if none selected in time.
+        steps_to_selection: step index at which the winner first appeared.
+        unique: no step ever had two selected processors.
+        stable: no processor ever dropped its selected flag.
+    """
+
+    schedule_name: str
+    winner: Optional[NodeId]
+    steps_to_selection: Optional[int]
+    unique: bool
+    stable: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.winner is not None and self.unique and self.stable
+
+
+@dataclass(frozen=True)
+class SelectionVerdict:
+    """Aggregated outcome over all schedules."""
+
+    runs: Tuple[SelectionRun, ...]
+
+    @property
+    def all_ok(self) -> bool:
+        return all(r.ok for r in self.runs)
+
+    @property
+    def winners(self) -> Tuple[NodeId, ...]:
+        return tuple(sorted({r.winner for r in self.runs if r.winner is not None}, key=repr))
+
+
+def run_selection(
+    system: System,
+    program: Program,
+    scheduler: Scheduler,
+    schedule_name: str,
+    max_steps: int = 100_000,
+) -> SelectionRun:
+    """Run one schedule, tracking Uniqueness/Stability step by step."""
+    executor = Executor(system, program, scheduler)
+    selected_ever: set = set()
+    first_step: Optional[int] = None
+    unique = True
+    stable = True
+    for i in range(max_steps):
+        executor.step()
+        now = set(executor.selected_processors())
+        if len(now) > 1:
+            unique = False
+        if not selected_ever <= now:
+            stable = False
+        if now and first_step is None:
+            first_step = i
+        selected_ever |= now
+        if now and i - (first_step or 0) > 2 * len(system.processors) ** 2:
+            # Give laggards a window to (incorrectly) also select, then stop.
+            break
+    winner = next(iter(selected_ever)) if len(selected_ever) == 1 else None
+    if len(selected_ever) > 1:
+        unique = False
+    return SelectionRun(
+        schedule_name=schedule_name,
+        winner=winner,
+        steps_to_selection=first_step,
+        unique=unique,
+        stable=stable,
+    )
+
+
+def standard_schedules(
+    system: System, seeds: Iterable[int] = (1, 2, 3)
+) -> List[Tuple[str, Scheduler]]:
+    """The default battery: round robin, k-bounded, and random fair."""
+    procs = system.processors
+    battery: List[Tuple[str, Scheduler]] = [
+        ("round-robin", RoundRobinScheduler(procs)),
+        ("reverse-round-robin", RoundRobinScheduler(tuple(reversed(procs)))),
+    ]
+    for seed in seeds:
+        battery.append(
+            (f"k-bounded(seed={seed})", KBoundedFairScheduler(procs, seed=seed))
+        )
+        battery.append(
+            (f"random-fair(seed={seed})", RandomFairScheduler(procs, seed=seed))
+        )
+    return battery
+
+
+def verify_selection_program(
+    system: System,
+    program: Program,
+    schedules: Optional[Sequence[Tuple[str, Scheduler]]] = None,
+    max_steps: int = 100_000,
+) -> SelectionVerdict:
+    """Run the battery and aggregate Uniqueness/Stability verdicts."""
+    battery = list(schedules) if schedules is not None else standard_schedules(system)
+    runs = [
+        run_selection(system, program, sched, name, max_steps)
+        for name, sched in battery
+    ]
+    return SelectionVerdict(tuple(runs))

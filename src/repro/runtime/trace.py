@@ -1,0 +1,132 @@
+"""Execution traces and "infinitely often" detection.
+
+Similarity speaks about infinite executions: a schedule causes nodes to
+behave similarly when they have the same state at the same time
+*infinitely often*.  For finite-state programs under oblivious periodic
+schedulers (round-robin and friends), every execution eventually enters a
+configuration cycle; properties that hold somewhere inside the cycle hold
+infinitely often in the infinite execution.  This module runs executors
+to their cycle and answers such questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.names import NodeId
+from ..exceptions import ExecutionError
+from .executor import Configuration, Executor
+
+
+@dataclass(frozen=True)
+class CycleInfo:
+    """A lasso-shaped execution: ``prefix`` then ``cycle`` forever.
+
+    Attributes:
+        configurations: all distinct configurations visited, in step order
+            (sampled every ``stride`` steps).
+        prefix_length: number of samples before the cycle starts.
+        cycle_length: number of samples in the repeating cycle.
+        stride: steps between samples (the scheduler's period, so that
+            cycling is detected at matching scheduler phase).
+    """
+
+    configurations: Tuple[Configuration, ...]
+    prefix_length: int
+    cycle_length: int
+    stride: int
+
+    @property
+    def cycle(self) -> Tuple[Configuration, ...]:
+        return self.configurations[self.prefix_length :]
+
+
+def run_until_cycle(
+    executor: Executor,
+    stride: Optional[int] = None,
+    max_samples: int = 100_000,
+) -> CycleInfo:
+    """Run ``executor`` until a sampled configuration repeats.
+
+    Samples the configuration every ``stride`` steps (default: one round,
+    i.e. the number of processors) starting with the initial
+    configuration.  Works only with schedulers whose behavior is periodic
+    in the step index (round-robin style); an adaptive scheduler may never
+    cycle, in which case ``max_samples`` aborts the search.
+    """
+    if stride is None:
+        stride = len(executor.system.processors)
+    seen: Dict[Configuration, int] = {}
+    configs: List[Configuration] = []
+    for sample in range(max_samples):
+        config = executor.configuration()
+        if config in seen:
+            start = seen[config]
+            return CycleInfo(
+                configurations=tuple(configs),
+                prefix_length=start,
+                cycle_length=sample - start,
+                stride=stride,
+            )
+        seen[config] = sample
+        configs.append(config)
+        executor.run(stride)
+    raise ExecutionError(
+        f"no configuration cycle within {max_samples} samples "
+        f"(stride {stride}); is the program finite-state?"
+    )
+
+
+def states_equal_infinitely_often(
+    executor_factory,
+    nodes: Sequence[NodeId],
+    stride: Optional[int] = None,
+    max_samples: int = 100_000,
+) -> bool:
+    """Do all of ``nodes`` share one state at some sampled time, infinitely
+    often?
+
+    ``executor_factory`` builds a fresh executor (the run consumes it).
+    True iff some configuration *inside the cycle* gives every node in
+    ``nodes`` the same paper-level state.  Because the cycle repeats
+    forever, one hit inside it means infinitely many hits in the infinite
+    execution.
+    """
+    executor = executor_factory()
+    stride = stride or len(executor.system.processors)
+
+    # Re-run and inspect node states at each sample inside the cycle.
+    info = run_until_cycle(executor, stride=stride, max_samples=max_samples)
+    probe = executor_factory()
+    hits = []
+    for sample in range(info.prefix_length + info.cycle_length):
+        if sample >= info.prefix_length:
+            states = {probe.node_state(n) for n in nodes}
+            hits.append(len(states) == 1)
+        probe.run(stride)
+    return any(hits)
+
+
+def lockstep_holds(
+    executor: Executor,
+    classes: Sequence[Sequence[NodeId]],
+    rounds: int,
+    stride: Optional[int] = None,
+) -> bool:
+    """Check Theorem 4's conclusion over a finite horizon.
+
+    At every sampled round boundary, every class in ``classes`` must be
+    state-uniform (all members share one paper-level state).  This is the
+    *empirical validation* of a supersimilarity labeling: run any program
+    under the class round-robin schedule and watch the classes stay in
+    lockstep at every round.
+    """
+    stride = stride or len(executor.system.processors)
+    for _ in range(rounds):
+        for cls in classes:
+            states = {executor.node_state(n) for n in cls}
+            if len(states) > 1:
+                return False
+        executor.run(stride)
+    return True

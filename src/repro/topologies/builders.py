@@ -1,0 +1,220 @@
+"""Standard network topologies.
+
+Builders for the network shapes used throughout the paper's discussion and
+our benchmarks: rings, stars, paths, complete bipartite networks, torus
+grids and seeded-random systems.  Every builder returns a
+:class:`~repro.core.network.Network`; wrap in a
+:class:`~repro.core.system.System` to choose instruction set, schedule
+class and initial states.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Sequence
+
+from ..core.names import Name, NodeId
+from ..core.network import Network
+from ..exceptions import NetworkError
+
+
+def ring(n: int, prefix: str = "p") -> Network:
+    """A uniformly oriented ring of ``n`` processors.
+
+    Processor ``p_i`` calls variable ``v_i`` its ``left`` and ``v_{i+1}``
+    its ``right`` (indices mod n); thus every variable is the ``right`` of
+    one processor and the ``left`` of another.  This is the Figure 4 shape
+    (all philosophers facing the table) for ``n = 5``.
+    """
+    if n < 1:
+        raise NetworkError("ring size must be >= 1")
+    edges: Dict[NodeId, Dict[Name, NodeId]] = {}
+    for i in range(n):
+        edges[f"{prefix}{i}"] = {
+            "left": f"v{i}",
+            "right": f"v{(i + 1) % n}",
+        }
+    return Network(("left", "right"), edges)
+
+
+def alternating_ring(n: int, prefix: str = "p") -> Network:
+    """A ring of even size with alternating orientation (Figure 5).
+
+    Even-indexed processors face the table (``left -> v_i``,
+    ``right -> v_{i+1}``); odd-indexed processors turn their backs
+    (``left -> v_{i+1}``, ``right -> v_i``).  Consequently each variable is
+    either a "right fork" (named ``right`` by both neighbors) or a "left
+    fork" (named ``left`` by both), which is what makes the six-philosopher
+    problem DP' solvable.
+    """
+    if n < 2 or n % 2 != 0:
+        raise NetworkError("alternating ring needs an even size >= 2")
+    edges: Dict[NodeId, Dict[Name, NodeId]] = {}
+    for i in range(n):
+        lo, hi = f"v{i}", f"v{(i + 1) % n}"
+        if i % 2 == 0:
+            edges[f"{prefix}{i}"] = {"left": lo, "right": hi}
+        else:
+            edges[f"{prefix}{i}"] = {"left": hi, "right": lo}
+    return Network(("left", "right"), edges)
+
+
+def star(leaves: int) -> Network:
+    """``leaves`` processors all sharing one hub variable named ``hub``.
+
+    Everything is symmetric: all leaves are similar in Q (Theorem 10), but
+    locking separates them (they give the hub the same name), so systems
+    in L can select among them.
+    """
+    if leaves < 1:
+        raise NetworkError("a star needs at least one leaf")
+    edges = {f"p{i}": {"hub": "hub_var"} for i in range(leaves)}
+    return Network(("hub",), edges)
+
+
+def shared_variable(n: int) -> Network:
+    """Alias of :func:`star`: ``n`` processors on one variable -- the
+    Figure 1 shape for ``n = 2``."""
+    return star(n)
+
+
+def path(n: int) -> Network:
+    """A path of ``n`` processors with private boundary variables.
+
+    Processor ``p_i`` shares ``v_i`` with its right neighbor and
+    ``v_{i-1}`` with its left neighbor; the two end processors get private
+    boundary variables so that every processor still has exactly one
+    neighbor per name.  The ends are structurally unique, so paths always
+    admit selection in Q.
+    """
+    if n < 1:
+        raise NetworkError("path size must be >= 1")
+    edges: Dict[NodeId, Dict[Name, NodeId]] = {}
+    for i in range(n):
+        left = f"v{i - 1}" if i > 0 else "v_left_end"
+        right = f"v{i}" if i < n - 1 else "v_right_end"
+        edges[f"p{i}"] = {"left": left, "right": right}
+    return Network(("left", "right"), edges)
+
+
+def complete_bipartite(processors: int, variables: int) -> Network:
+    """Every processor adjacent to every variable.
+
+    NAMES is ``slot0..slot{variables-1}`` and processor ``i`` gives
+    ``slotj`` to variable ``j``: all processors agree on variable names, so
+    the whole processor set is one symmetry class.
+    """
+    if processors < 1 or variables < 1:
+        raise NetworkError("complete bipartite needs >= 1 of each")
+    names = tuple(f"slot{j}" for j in range(variables))
+    edges = {
+        f"p{i}": {f"slot{j}": f"v{j}" for j in range(variables)}
+        for i in range(processors)
+    }
+    return Network(names, edges)
+
+
+def torus_grid(rows: int, cols: int) -> Network:
+    """A torus grid: processors at cells, variables on the four sides.
+
+    Processor ``(r, c)`` names its adjacent edge-variables ``north``,
+    ``south``, ``east``, ``west``.  Fully symmetric (vertex-transitive), so
+    anonymous torus grids never admit selection in Q.
+    """
+    if rows < 1 or cols < 1:
+        raise NetworkError("grid needs positive dimensions")
+    edges: Dict[NodeId, Dict[Name, NodeId]] = {}
+    for r in range(rows):
+        for c in range(cols):
+            edges[f"p{r}_{c}"] = {
+                "north": f"h{r}_{c}",
+                "south": f"h{(r + 1) % rows}_{c}",
+                "west": f"w{r}_{c}",
+                "east": f"w{r}_{(c + 1) % cols}",
+            }
+    return Network(("north", "south", "east", "west"), edges)
+
+
+def random_network(
+    n_processors: int,
+    n_variables: int,
+    names: Sequence[Name] = ("a", "b"),
+    seed: int = 0,
+) -> Network:
+    """A seeded-random network: each processor's n-neighbors are drawn
+    uniformly from the variable pool; unused variables are dropped.
+
+    Deterministic for a fixed seed -- property tests and scaling benchmarks
+    rely on that.
+    """
+    if n_processors < 1 or n_variables < 1:
+        raise NetworkError("need at least one processor and variable")
+    rng = random.Random(seed)
+    pool = [f"v{j}" for j in range(n_variables)]
+    edges = {
+        f"p{i}": {name: rng.choice(pool) for name in names}
+        for i in range(n_processors)
+    }
+    return Network(tuple(names), edges)
+
+
+def random_connected_network(
+    n_processors: int,
+    n_variables: int,
+    names: Sequence[Name] = ("a", "b"),
+    seed: int = 0,
+    max_tries: int = 200,
+) -> Network:
+    """Like :func:`random_network` but resamples until connected."""
+    for attempt in range(max_tries):
+        net = random_network(n_processors, n_variables, names, seed + attempt * 7919)
+        if net.is_connected:
+            return net
+    raise NetworkError(
+        f"could not sample a connected network in {max_tries} tries; "
+        f"lower n_variables or add names"
+    )
+
+
+def hypercube(dimension: int) -> Network:
+    """A ``dimension``-cube: processors at vertices, variables on edges.
+
+    Processor ``p_b`` (b a bitstring) names the edge flipping bit ``i``
+    as ``dim{i}``.  Vertex-transitive, hence fully symmetric: anonymous
+    hypercubes never admit selection in Q (every processor is similar).
+    """
+    if dimension < 1:
+        raise NetworkError("hypercube dimension must be >= 1")
+    names = tuple(f"dim{i}" for i in range(dimension))
+    edges: Dict[NodeId, Dict[Name, NodeId]] = {}
+    for v in range(2 ** dimension):
+        bits = format(v, f"0{dimension}b")
+        nbrs = {}
+        for i in range(dimension):
+            w = v ^ (1 << (dimension - 1 - i))
+            lo, hi = min(v, w), max(v, w)
+            nbrs[f"dim{i}"] = f"e{lo}_{hi}"
+        edges[f"p{bits}"] = nbrs
+    return Network(names, edges)
+
+
+def binary_tree(depth: int) -> Network:
+    """A complete binary tree of processors with edge variables.
+
+    The root and every level are structurally distinguishable, so trees
+    always admit selection in Q; leaves of one level are mutually
+    similar.  Each processor keeps all three names (``up``, ``left``,
+    ``right``) with private boundary variables where no neighbor exists.
+    """
+    if depth < 1:
+        raise NetworkError("tree depth must be >= 1")
+    edges: Dict[NodeId, Dict[Name, NodeId]] = {}
+    count = 2 ** depth - 1
+    for i in range(count):
+        up = f"t{(i - 1) // 2}_{i}" if i > 0 else "t_root"
+        left_child = 2 * i + 1
+        right_child = 2 * i + 2
+        left = f"t{i}_{left_child}" if left_child < count else f"t_leaf_l{i}"
+        right = f"t{i}_{right_child}" if right_child < count else f"t_leaf_r{i}"
+        edges[f"n{i}"] = {"up": up, "left": left, "right": right}
+    return Network(("up", "left", "right"), edges)

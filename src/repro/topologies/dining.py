@@ -1,0 +1,76 @@
+"""Dining-philosopher tables (paper, Section 7).
+
+The Dining Philosophers problem [D71]: ``n`` philosophers around a table,
+one fork between every adjacent pair; a philosopher needs both adjacent
+forks to eat, so neighbors never eat simultaneously.
+
+Two interconnections appear in the paper:
+
+* **Figure 4** (``n = 5``, uniform orientation): every philosopher's
+  ``left``/``right`` forks alternate around the table.  The system is
+  distributed and symmetric, and -- because 5 is prime -- Theorem 11 makes
+  all philosophers similar even in L, which proves DP (no symmetric
+  distributed deterministic solution).
+* **Figure 5** (``n = 6``, alternating orientation): alternate
+  philosophers turn their backs to the table so that each fork is the
+  ``right`` (or ``left``) fork of *both* its users.  All philosophers are
+  still graph-symmetric, but a lock race on the shared fork name separates
+  neighbors, so a deterministic symmetric distributed solution exists
+  (DP').
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.names import NodeId
+from ..core.network import Network
+from ..core.system import InstructionSet, ScheduleClass, System
+from ..exceptions import NetworkError
+from .builders import alternating_ring, ring
+
+
+def dining_network(n: int, alternating: bool = False, prefix: str = "phil") -> Network:
+    """The fork-sharing network of an ``n``-philosopher table."""
+    if n < 2:
+        raise NetworkError("a dining table needs at least 2 philosophers")
+    if alternating:
+        return alternating_ring(n, prefix=prefix)
+    return ring(n, prefix=prefix)
+
+
+def dining_system(
+    n: int,
+    alternating: bool = False,
+    instruction_set: InstructionSet = InstructionSet.L,
+    schedule_class: ScheduleClass = ScheduleClass.FAIR,
+    prefix: str = "phil",
+) -> System:
+    """An anonymous dining-philosophers system (all initial states equal)."""
+    return System(
+        dining_network(n, alternating, prefix),
+        None,
+        instruction_set,
+        schedule_class,
+    )
+
+
+def philosophers(system: System) -> Tuple[NodeId, ...]:
+    """The philosopher (processor) nodes of a dining system."""
+    return system.processors
+
+
+def forks(system: System) -> Tuple[NodeId, ...]:
+    """The fork (variable) nodes of a dining system."""
+    return system.variables
+
+
+def adjacent_pairs(system: System) -> Tuple[Tuple[NodeId, NodeId], ...]:
+    """Pairs of philosophers sharing a fork (must never eat together)."""
+    pairs = []
+    for fork in system.variables:
+        users = sorted({p for p, _ in system.network.neighbors_of_variable(fork)}, key=repr)
+        for i in range(len(users)):
+            for j in range(i + 1, len(users)):
+                pairs.append((users[i], users[j]))
+    return tuple(sorted(set(pairs)))

@@ -1,0 +1,124 @@
+"""The example systems of the paper's Figures 1-5.
+
+Figures 4 and 5 (the dining-philosopher tables) live in
+:mod:`repro.topologies.dining`; this module re-exports them so the whole
+set of figures is available from one place.
+
+Figure 3's image is not reproduced in the paper text available to us; the
+system built here is reconstructed from the surrounding narrative ("if z
+has not executed, then processors p and q behave as if they were similar,
+and p cannot tell whether z has executed") and exhibits exactly the
+claimed phenomena, as the figure-3 tests verify.
+"""
+
+from __future__ import annotations
+
+from ..core.network import Network
+from ..core.system import InstructionSet, ScheduleClass, System
+from .dining import dining_network, dining_system  # noqa: F401  (re-export)
+
+
+def figure1_network() -> Network:
+    """Figure 1: processors ``p`` and ``q`` sharing one variable ``v``.
+
+    Both call it by the same name ``n``.  With instruction set S or Q the
+    round-robin schedule makes p and q behave similarly, so neither can be
+    selected; with L the lock race separates them.
+    """
+    return Network(("n",), {"p": {"n": "v"}, "q": {"n": "v"}})
+
+
+def figure1_system(
+    instruction_set: InstructionSet = InstructionSet.Q,
+    schedule_class: ScheduleClass = ScheduleClass.FAIR,
+) -> System:
+    return System(figure1_network(), None, instruction_set, schedule_class)
+
+
+def figure2_network() -> Network:
+    """Figure 2 ("Complicated Alibis").
+
+    Three processors and three variables with NAMES = {n, m}:
+
+    * ``p1``: n -> ``v1``, m -> ``v3``
+    * ``p2``: n -> ``v1``, m -> ``v3``
+    * ``p3``: n -> ``v2``, m -> ``v3``
+
+    ``p1`` and ``p2`` are similar; ``p3`` is not (its n-neighbor ``v2``
+    has one neighbor while ``v1`` has two).  The alibi chain of Section 4
+    plays out exactly as narrated: p1/p2 learn that v1 has two neighbors
+    (alibi for Theta(v2), hence for Theta(p3)); p3 then sees two posts on
+    v3 whose suspect sets are the singleton {Theta(p1)} and concludes it
+    must be the third neighbor.
+    """
+    return Network(
+        ("n", "m"),
+        {
+            "p1": {"n": "v1", "m": "v3"},
+            "p2": {"n": "v1", "m": "v3"},
+            "p3": {"n": "v2", "m": "v3"},
+        },
+    )
+
+
+def figure2_system(
+    instruction_set: InstructionSet = InstructionSet.Q,
+    schedule_class: ScheduleClass = ScheduleClass.FAIR,
+) -> System:
+    return System(figure2_network(), None, instruction_set, schedule_class)
+
+
+def figure3_network() -> Network:
+    """Figure 3 (a system in S) -- reconstruction, see module docstring.
+
+    NAMES = {a}.  ``p`` has a private variable ``v1``; ``q`` and ``z``
+    share ``v2`` under the same name; ``z`` is distinguished by its
+    initial state (see :func:`figure3_system`).
+
+    * While ``z`` is silent, ``v2`` carries only ``q``'s writes, so ``p``
+      and ``q`` behave identically -- and ``p`` never observes ``v2``, so
+      it cannot tell whether ``z`` has executed.
+    * ``Theta`` (bounded-fair S) still separates all three processors.
+    * Hence ``p`` *mimics* ``q`` (witness subsystem: drop ``z``), and no
+      distributed algorithm lets ``p`` learn its label under plain
+      fairness.
+    """
+    return Network(
+        ("a",),
+        {
+            "p": {"a": "v1"},
+            "q": {"a": "v2"},
+            "z": {"a": "v2"},
+        },
+    )
+
+
+def figure3_system(schedule_class: ScheduleClass = ScheduleClass.FAIR) -> System:
+    """Figure 3 with ``z`` marked by initial state 1 (p, q start at 0)."""
+    return System(
+        figure3_network(),
+        {"z": 1},
+        InstructionSet.S,
+        schedule_class,
+    )
+
+
+def figure4_system(
+    instruction_set: InstructionSet = InstructionSet.L,
+    schedule_class: ScheduleClass = ScheduleClass.FAIR,
+) -> System:
+    """Figure 4: the five dining philosophers (uniform orientation)."""
+    return dining_system(5, instruction_set=instruction_set, schedule_class=schedule_class)
+
+
+def figure5_system(
+    instruction_set: InstructionSet = InstructionSet.L,
+    schedule_class: ScheduleClass = ScheduleClass.FAIR,
+) -> System:
+    """Figure 5: six dining philosophers, alternating orientation."""
+    return dining_system(
+        6,
+        alternating=True,
+        instruction_set=instruction_set,
+        schedule_class=schedule_class,
+    )

@@ -1,0 +1,92 @@
+"""Witness systems for the model-power hierarchy (Sections 6 and 9).
+
+The paper's conclusion claims the strict order
+
+    L  >  Q  >  bounded-fair S  >  fair S.
+
+Monotonicity (a stronger model solves whatever a weaker one does) follows
+from the labeling rules; *strictness* needs one witness per adjacent pair:
+a network+state on which the weaker model cannot solve selection while the
+stronger one can.  This module supplies those witnesses; the hierarchy
+benchmark re-derives the full decision table from them.
+
+* **L vs Q** -- Figure 1: two processors sharing one variable under the
+  same name.  Similar in Q (no selection); a lock race separates them in
+  L, and every relabel version uniquely labels both.
+* **Q vs bounded-fair S** -- Figure 2: variable ``v1`` has *two*
+  n-neighbors and ``v2`` one.  ``peek`` exposes the multiplicity, so Q
+  uniquely labels ``p3``; a ``read`` cannot (the SET environments collapse
+  ``v1`` with ``v2``), so in bounded-fair S all three processors are
+  similar.
+* **bounded-fair S vs fair S** -- a two-component system (legal for
+  bounded-fair schedules by the remark after Theorem 6): a lone processor
+  ``p`` with private variables, plus twins ``q1``/``q2`` sharing two
+  variables under *swapped* names.  The swap makes the sharing visible to
+  SET environments (``p`` is uniquely labeled: selection in BF-S), yet
+  under plain fairness ``p`` mimics ``q1`` (drop ``q2`` and ``q1``'s view
+  is exactly ``p``'s) and the twins mimic each other, so *every* processor
+  mimics another and fair S cannot select.
+* **L2 vs L** -- two processors sharing two variables under swapped names:
+  no variable has two same-name neighbors, so L cannot break the symmetry
+  (all relabel versions pair them), but an indivisible two-variable lock
+  has exactly one winner.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+
+from ..core.names import NodeId, State
+from ..core.network import Network
+from .figures import figure1_network, figure2_network
+
+
+def witness_l_vs_q() -> Tuple[Network, Optional[Mapping[NodeId, State]], str]:
+    """Figure 1 separates L from Q."""
+    return figure1_network(), None, "Figure 1: two processors, one shared variable"
+
+
+def witness_q_vs_bounded_s() -> Tuple[Network, Optional[Mapping[NodeId, State]], str]:
+    """Figure 2 separates Q from bounded-fair S."""
+    return (
+        figure2_network(),
+        None,
+        "Figure 2: multiplicity of v1's n-neighbors visible to peek, not read",
+    )
+
+
+def witness_bounded_s_vs_fair_s() -> Tuple[Network, Optional[Mapping[NodeId, State]], str]:
+    """A two-component system separating bounded-fair S from fair S."""
+    net = Network(
+        ("a", "b"),
+        {
+            "p": {"a": "u_p", "b": "w_p"},
+            "q1": {"a": "s", "b": "t"},
+            "q2": {"a": "t", "b": "s"},
+        },
+    )
+    return (
+        net,
+        None,
+        "lone processor vs name-swapped twins (two components)",
+    )
+
+
+def witness_l2_vs_l() -> Tuple[Network, Optional[Mapping[NodeId, State]], str]:
+    """Two processors sharing two variables under swapped names."""
+    net = Network(
+        ("a", "b"),
+        {
+            "p1": {"a": "v", "b": "w"},
+            "p2": {"a": "w", "b": "v"},
+        },
+    )
+    return net, None, "name-swapped pair: multi-lock race is the only separator"
+
+
+ALL_WITNESSES = {
+    ("Q", "L"): witness_l_vs_q,
+    ("bounded-fair-S", "Q"): witness_q_vs_bounded_s,
+    ("fair-S", "bounded-fair-S"): witness_bounded_s_vs_fair_s,
+    ("L", "L2"): witness_l2_vs_l,
+}

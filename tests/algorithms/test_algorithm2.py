@@ -1,0 +1,138 @@
+"""Integration tests: Algorithm 2 converges to Theta on many systems."""
+
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.algorithms import Algorithm2Program, LabelTables
+from repro.core import InstructionSet, System, similarity_labeling
+from repro.runtime import (
+    Executor,
+    KBoundedFairScheduler,
+    RandomFairScheduler,
+    RoundRobinScheduler,
+)
+from repro.topologies import (
+    binary_tree,
+    complete_bipartite,
+    figure2_system,
+    hypercube,
+    path,
+    ring,
+    star,
+    torus_grid,
+)
+
+from ..strategies import systems
+
+
+def run_algorithm2(system, scheduler=None, max_steps=40_000):
+    theta = similarity_labeling(system)
+    tables = LabelTables.from_labeled_system(system, theta)
+    program = Algorithm2Program(tables)
+    executor = Executor(
+        system, program, scheduler or RoundRobinScheduler(system.processors)
+    )
+    steps = None
+    for i in range(max_steps):
+        executor.step()
+        if all(
+            Algorithm2Program.is_done(executor.local[p]) for p in system.processors
+        ):
+            steps = i + 1
+            break
+    learned = {
+        p: Algorithm2Program.learned_label(executor.local[p])
+        for p in system.processors
+    }
+    return learned, {p: theta[p] for p in system.processors}, steps
+
+
+class TestKnownSystems:
+    def test_figure2(self, fig2_q):
+        learned, truth, steps = run_algorithm2(fig2_q)
+        assert learned == truth
+        assert steps is not None
+
+    def test_marked_ring(self, marked_ring5_q):
+        learned, truth, steps = run_algorithm2(marked_ring5_q)
+        assert learned == truth
+
+    def test_path(self, path4_q):
+        learned, truth, steps = run_algorithm2(path4_q)
+        assert learned == truth
+
+    def test_symmetric_star_stays_uncertain(self):
+        """In a fully symmetric system every PEC is a singleton *already*
+        (one label), so everyone trivially learns the shared label."""
+        system = System(star(3), None, InstructionSet.Q)
+        learned, truth, steps = run_algorithm2(system)
+        assert learned == truth
+        assert len(set(learned.values())) == 1
+
+    def test_grid_with_mark(self):
+        system = System(torus_grid(2, 2), {"p0_0": 1}, InstructionSet.Q)
+        learned, truth, steps = run_algorithm2(system)
+        assert learned == truth
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_fair_schedules(self, fig2_q, seed):
+        learned, truth, steps = run_algorithm2(
+            fig2_q, RandomFairScheduler(fig2_q.processors, seed=seed)
+        )
+        assert learned == truth
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_k_bounded_schedules(self, marked_ring5_q, seed):
+        learned, truth, steps = run_algorithm2(
+            marked_ring5_q, KBoundedFairScheduler(marked_ring5_q.processors, seed=seed)
+        )
+        assert learned == truth
+
+
+class TestNeverWrong:
+    """'Algorithm 2 never terminates with a wrong answer': even before
+    convergence, each processor's PEC always contains its true label."""
+
+    def test_pec_always_contains_truth(self, fig2_q):
+        theta = similarity_labeling(fig2_q)
+        tables = LabelTables.from_labeled_system(fig2_q, theta)
+        program = Algorithm2Program(tables)
+        executor = Executor(fig2_q, program, RoundRobinScheduler(fig2_q.processors))
+        for _ in range(2000):
+            executor.step()
+            for p in fig2_q.processors:
+                assert theta[p] in executor.local[p].pec
+
+
+@settings(max_examples=12, deadline=None)
+@given(systems(max_processors=4, max_variables=3))
+def test_algorithm2_on_random_connected_systems(system):
+    """Theorem 6 empirically: connected fair Q systems converge."""
+    assume(system.network.is_connected)
+    # Multi-edges (one variable under two names) are outside Algorithm 2's
+    # bookkeeping; skip those systems.
+    for p in system.processors:
+        nbrs = list(system.network.neighbors_of_processor(p).values())
+        assume(len(set(nbrs)) == len(nbrs))
+    learned, truth, steps = run_algorithm2(system)
+    assert steps is not None, "Algorithm 2 failed to converge"
+    assert learned == truth
+
+
+class TestTopologyMatrix:
+    """Algorithm 2 across structurally diverse marked systems."""
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            pytest.param(lambda: System(torus_grid(2, 3), {"p0_0": 1}, InstructionSet.Q), id="grid-2x3"),
+            pytest.param(lambda: System(hypercube(2), {"p00": 1}, InstructionSet.Q), id="cube-2"),
+            pytest.param(lambda: System(binary_tree(3), None, InstructionSet.Q), id="tree-3"),
+            pytest.param(lambda: System(complete_bipartite(3, 2), {"p0": 1}, InstructionSet.Q), id="complete-3x2"),
+        ],
+    )
+    def test_learns_exact_labels(self, build):
+        system = build()
+        learned, truth, steps = run_algorithm2(system, max_steps=200_000)
+        assert steps is not None
+        assert learned == truth

@@ -1,0 +1,147 @@
+"""Tests for the S-variant labeler (bounded-fair vs fair behavior)."""
+
+import pytest
+
+from repro.algorithms import Algorithm2SProgram, LabelTables
+from repro.core import (
+    EnvironmentModel,
+    InstructionSet,
+    ScheduleClass,
+    System,
+    similarity_labeling,
+)
+from repro.runtime import Executor, KBoundedFairScheduler, RoundRobinScheduler
+from repro.topologies import figure3_system, path, ring
+
+
+def run_s_labeler(system, bound_k, scheduler=None, max_steps=60_000):
+    theta = similarity_labeling(system, model=EnvironmentModel.SET)
+    tables = LabelTables.from_labeled_system(system, theta, model=EnvironmentModel.SET)
+    program = Algorithm2SProgram(tables, bound_k=bound_k)
+    executor = Executor(
+        system, program, scheduler or RoundRobinScheduler(system.processors)
+    )
+    converged = None
+    for i in range(max_steps):
+        executor.step()
+        if all(
+            Algorithm2SProgram.is_done(executor.local[p]) for p in system.processors
+        ):
+            converged = i + 1
+            break
+    learned = {
+        p: Algorithm2SProgram.learned_label(executor.local[p])
+        for p in system.processors
+    }
+    return learned, {p: theta[p] for p in system.processors}, converged
+
+
+class TestBoundedFair:
+    def test_path_converges(self, path4_s_bf):
+        learned, truth, steps = run_s_labeler(path4_s_bf, bound_k=8)
+        assert steps is not None
+        assert learned == truth
+
+    def test_marked_ring_converges(self):
+        system = System(ring(4), {"p0": 1}, InstructionSet.S, ScheduleClass.BOUNDED_FAIR)
+        learned, truth, steps = run_s_labeler(system, bound_k=8)
+        assert learned == truth
+
+    def test_k_bounded_scheduler(self, path4_s_bf):
+        sched = KBoundedFairScheduler(path4_s_bf.processors, k=8, seed=3)
+        learned, truth, steps = run_s_labeler(path4_s_bf, bound_k=8, scheduler=sched)
+        assert learned == truth
+
+    def test_figure3_converges_bounded(self):
+        system = figure3_system(ScheduleClass.BOUNDED_FAIR)
+        learned, truth, steps = run_s_labeler(system, bound_k=6)
+        assert learned == truth
+
+
+class TestFairWithoutBound:
+    def test_figure3_p_stuck_without_bound(self):
+        """Figure 3's point: p mimics q, so under plain fairness p can
+        never learn its label -- only the bound makes silence informative."""
+        system = figure3_system(ScheduleClass.FAIR)
+        learned, truth, steps = run_s_labeler(system, bound_k=None, max_steps=20_000)
+        assert steps is None  # p stays uncertain forever
+        assert learned["p"] is None
+        # ... while z (unique state) and q (sees z's records) do learn.
+        assert learned["z"] == truth["z"]
+        assert learned["q"] == truth["q"]
+
+    def test_figure3_p_learns_with_bound(self):
+        system = figure3_system(ScheduleClass.BOUNDED_FAIR)
+        learned, truth, steps = run_s_labeler(system, bound_k=6)
+        assert steps is not None
+        assert learned == truth
+
+    def test_path_learnable_even_without_bound(self, path4_s_bf):
+        """Paths have no mimicry, so fairness alone suffices: narrowed
+        singleton records eventually rule out the mid-chain labels."""
+        learned, truth, steps = run_s_labeler(path4_s_bf, bound_k=None, max_steps=40_000)
+        assert steps is not None
+        assert learned == truth
+
+    def test_never_wrong_even_when_stuck(self, path4_s_bf):
+        theta = similarity_labeling(path4_s_bf, model=EnvironmentModel.SET)
+        tables = LabelTables.from_labeled_system(path4_s_bf, theta)
+        program = Algorithm2SProgram(tables, bound_k=None)
+        executor = Executor(
+            path4_s_bf, program, RoundRobinScheduler(path4_s_bf.processors)
+        )
+        for _ in range(3000):
+            executor.step()
+        for p in path4_s_bf.processors:
+            assert theta[p] in executor.local[p].pec
+
+
+class TestMergeWrites:
+    """The grow-only gossip cell (see the module docstring)."""
+
+    def test_writes_carry_observed_records(self):
+        from repro.core import Network
+        from repro.runtime import Executor, RoundRobinScheduler
+
+        net = Network(("n0",), {"p0": {"n0": "v0"}, "p1": {"n0": "v0"}})
+        system = System(net, {"p1": 1}, InstructionSet.S, ScheduleClass.BOUNDED_FAIR)
+        theta = similarity_labeling(system, model=EnvironmentModel.SET)
+        tables = LabelTables.from_labeled_system(system, theta, model=EnvironmentModel.SET)
+        program = Algorithm2SProgram(tables, bound_k=4)
+        executor = Executor(system, program, RoundRobinScheduler(system.processors))
+        executor.run(200)
+        # The shared cell ends up carrying records from BOTH writers.
+        value = executor.vars["v0"].read()
+        assert isinstance(value, frozenset)
+        suspects_seen = {frozenset(r.suspects) for r in value}
+        assert len(suspects_seen) >= 2
+
+    def test_soundness_on_the_two_writer_race(self):
+        """The exact shape the hypothesis test falsified before merging:
+        differently-stated twins on one variable, random schedule."""
+        from repro.core import Network
+        from repro.runtime import Executor, RandomFairScheduler
+
+        net = Network(("n0",), {"p0": {"n0": "v0"}, "p1": {"n0": "v0"}})
+        system = System(net, {"p1": 1}, InstructionSet.S, ScheduleClass.BOUNDED_FAIR)
+        theta = similarity_labeling(system, model=EnvironmentModel.SET)
+        tables = LabelTables.from_labeled_system(system, theta, model=EnvironmentModel.SET)
+        for seed in range(6):
+            program = Algorithm2SProgram(tables, bound_k=4)
+            executor = Executor(
+                system, program, RandomFairScheduler(system.processors, seed=seed)
+            )
+            for _ in range(800):
+                executor.step()
+                for p in system.processors:
+                    assert theta[p] in executor.local[p].pec, (seed, p)
+
+    def test_absence_gate_blocks_many_writer_variables(self):
+        from repro.algorithms.algorithm2_s import _absence_rule_applicable
+        from repro.topologies import star
+
+        system = System(star(3), None, InstructionSet.S, ScheduleClass.BOUNDED_FAIR)
+        theta = similarity_labeling(system, model=EnvironmentModel.SET)
+        tables = LabelTables.from_labeled_system(system, theta, model=EnvironmentModel.SET)
+        # The hub has three same-name writers: the gate must refuse.
+        assert not _absence_rule_applicable(frozenset(tables.vlabels), tables)

@@ -1,0 +1,104 @@
+"""Integration tests: Algorithm 3 on homogeneous families."""
+
+import pytest
+
+from repro.algorithms import Algorithm3Program, family_tables
+from repro.core import Family, InstructionSet, System
+from repro.exceptions import FamilyError
+from repro.runtime import Executor, RandomFairScheduler, RoundRobinScheduler
+from repro.topologies import figure1_network, ring
+
+
+def marked_ring_family(n=3):
+    """Homogeneous family: a ring with the mark on different processors.
+
+    All members are isomorphic, so the *family* has no selection
+    algorithm...  but each member's labeling is learnable, which is what
+    Algorithm 3 provides.
+    """
+    net = ring(n)
+    members = [
+        System(net, {f"p{i}": 1}, InstructionSet.Q) for i in range(n)
+    ]
+    return Family(members)
+
+
+def figure1_family():
+    net = figure1_network()
+    return Family(
+        [
+            System(net, {"p": 0, "q": 1}, InstructionSet.Q),
+            System(net, {"p": 1, "q": 0}, InstructionSet.Q),
+        ]
+    )
+
+
+def run_algorithm3(family, member_idx, scheduler=None, max_steps=60_000):
+    member = family.members[member_idx]
+    program = Algorithm3Program(family)
+    executor = Executor(
+        member, program, scheduler or RoundRobinScheduler(member.processors)
+    )
+    for i in range(max_steps):
+        executor.step()
+        if all(
+            Algorithm3Program.is_done(executor.local[p]) for p in member.processors
+        ):
+            break
+    return {
+        p: Algorithm3Program.learned_label(executor.local[p])
+        for p in member.processors
+    }
+
+
+class TestFamilyTables:
+    def test_requires_homogeneous(self):
+        het = Family([System(ring(3)), System(ring(4))])
+        with pytest.raises(FamilyError):
+            family_tables(het)
+
+    def test_pass1_is_stateless(self):
+        t1, t2 = family_tables(figure1_family())
+        assert not t1.include_state
+        assert t2.include_state
+
+
+class TestFigure1Family:
+    @pytest.mark.parametrize("idx", [0, 1])
+    def test_each_member_learns_its_version(self, idx):
+        fam = figure1_family()
+        learned = run_algorithm3(fam, idx)
+        version = fam.member_labelings()[idx]
+        assert learned == {p: version[p] for p in fam.members[idx].processors}
+
+    def test_same_program_instance_works_on_both(self):
+        fam = figure1_family()
+        program = Algorithm3Program(fam)
+        for idx, member in enumerate(fam.members):
+            executor = Executor(member, program, RoundRobinScheduler(member.processors))
+            for _ in range(40_000):
+                executor.step()
+                if all(Algorithm3Program.is_done(executor.local[p]) for p in member.processors):
+                    break
+            version = fam.member_labelings()[idx]
+            for p in member.processors:
+                assert Algorithm3Program.learned_label(executor.local[p]) == version[p]
+
+
+class TestMarkedRingFamily:
+    @pytest.mark.parametrize("idx", [0, 1, 2])
+    def test_members_learn_labels(self, idx):
+        fam = marked_ring_family(3)
+        learned = run_algorithm3(fam, idx)
+        version = fam.member_labelings()[idx]
+        member = fam.members[idx]
+        assert learned == {p: version[p] for p in member.processors}
+
+    def test_random_schedule(self):
+        fam = marked_ring_family(3)
+        member = fam.members[0]
+        learned = run_algorithm3(
+            fam, 0, scheduler=RandomFairScheduler(member.processors, seed=5)
+        )
+        version = fam.member_labelings()[0]
+        assert learned == {p: version[p] for p in member.processors}

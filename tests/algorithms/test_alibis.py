@@ -1,0 +1,116 @@
+"""Unit + property tests for p-alibi / v-alibi (Section 4)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    LabelTables,
+    PostRecord,
+    p_alibi,
+    records_of,
+    v_alibi,
+    v_alibi_powerset,
+)
+from repro.core import similarity_labeling
+from repro.topologies import figure2_system
+
+
+def fig2_tables():
+    system = figure2_system()
+    theta = similarity_labeling(system)
+    return system, theta, LabelTables.from_labeled_system(system, theta)
+
+
+class TestRecordsOf:
+    def test_filters_non_records(self):
+        r = PostRecord(frozenset({1}), "n")
+        assert records_of([r, "junk", 42]) == (r,)
+
+    def test_phase_filter(self):
+        r1 = PostRecord(frozenset({1}), "n", phase=1)
+        r2 = PostRecord(frozenset({1}), "n", phase=2)
+        assert records_of([r1, r2], phase=1) == (r1,)
+
+    def test_bundles_unpacked_one_per_phase(self):
+        r1 = PostRecord(frozenset({1}), "n", phase=1)
+        r2 = PostRecord(frozenset({2}), "n", phase=2)
+        assert records_of([(r1, r2)], phase=2) == (r2,)
+        assert len(records_of([(r1, r2)], phase=None)) == 1  # first match only
+
+
+class TestVAlibiOnFigure2:
+    def test_two_posts_rule_out_v2(self):
+        system, theta, tables = fig2_tables()
+        # v1 sees two n-posts: v2 (single n-neighbor) gets an alibi.
+        posts = [
+            PostRecord(frozenset(tables.plabels), "n"),
+            PostRecord(frozenset(tables.plabels), "n"),
+        ]
+        alibis = v_alibi(posts, tables)
+        assert theta["v2"] in alibis
+        assert theta["v1"] not in alibis
+
+    def test_empty_peek_rules_out_nothing(self):
+        _, _, tables = fig2_tables()
+        assert v_alibi([], tables) == set()
+
+    def test_base_state_alibi(self):
+        system, theta, tables = fig2_tables()
+        # All figure-2 variables start at 0; a base of 1 indicts everyone.
+        assert v_alibi([], tables, base=1) == set(tables.vlabels)
+        assert v_alibi([], tables, base=0) == set()
+
+
+class TestPAlibiOnFigure2:
+    def test_kind1_via_vec(self):
+        system, theta, tables = fig2_tables()
+        # If my n-variable cannot be v1, I cannot be p1 (or p2).
+        n_idx = tables.names.index("n")
+        vec = [frozenset(tables.vlabels)] * 2
+        vec[n_idx] = frozenset({theta["v2"]})
+        observed = [None, None]
+        alibis = p_alibi(vec, observed, frozenset(tables.plabels), tables)
+        assert theta["p1"] in alibis
+        assert theta["p3"] not in alibis
+
+    def test_kind2_counting(self):
+        system, theta, tables = fig2_tables()
+        # p3 sees both p1-labeled processors post singletons on v3 (name m):
+        # neighborhood_size(m, p1label, v3label) == 2 is reached, so p3
+        # rules out p1's label.
+        singleton = PostRecord(frozenset({theta["p1"]}), "m")
+        m_idx = tables.names.index("m")
+        observed = [(), ()]
+        observed[m_idx] = (singleton, singleton)
+        vec = [frozenset(tables.vlabels), frozenset(tables.vlabels)]
+        pec = frozenset({theta["p1"], theta["p3"]})
+        alibis = p_alibi(vec, observed, pec, tables)
+        assert theta["p1"] in alibis
+
+    def test_kind2_needs_uncertainty(self):
+        system, theta, tables = fig2_tables()
+        singleton = PostRecord(frozenset({theta["p1"]}), "m")
+        m_idx = tables.names.index("m")
+        observed = [(), ()]
+        observed[m_idx] = (singleton, singleton)
+        vec = [frozenset(tables.vlabels), frozenset(tables.vlabels)]
+        pec = frozenset({theta["p3"]})  # already certain: |PEC| == 1
+        alibis = p_alibi(vec, observed, pec, tables)
+        assert theta["p1"] not in alibis
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_flow_v_alibi_equals_powerset(data):
+    """The polynomial flow test and the paper's powerset test agree."""
+    system, theta, tables = fig2_tables()
+    plabels = sorted(tables.plabels, key=repr)
+    n_posts = data.draw(st.integers(0, 4))
+    posts = []
+    for _ in range(n_posts):
+        suspects = data.draw(
+            st.frozensets(st.sampled_from(plabels), min_size=1, max_size=len(plabels))
+        )
+        name = data.draw(st.sampled_from(["n", "m"]))
+        posts.append(PostRecord(suspects, name))
+    assert v_alibi(posts, tables) == v_alibi_powerset(posts, tables)

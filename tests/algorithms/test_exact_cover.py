@@ -1,0 +1,82 @@
+"""Unit + property tests for the exact-cover substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import exact_covers, exact_one_per_group, find_exact_cover
+
+
+class TestExactCovers:
+    def test_classic_instance(self):
+        universe = {1, 2, 3, 4, 5, 6, 7}
+        candidates = {
+            "A": {1, 4, 7},
+            "B": {1, 4},
+            "C": {4, 5, 7},
+            "D": {3, 5, 6},
+            "E": {2, 3, 6, 7},
+            "F": {2, 7},
+        }
+        covers = list(exact_covers(universe, candidates))
+        assert frozenset({"B", "D", "F"}) in covers
+
+    def test_no_cover(self):
+        assert find_exact_cover({1, 2}, {"A": {1}}) is None
+
+    def test_empty_universe_has_empty_cover(self):
+        assert find_exact_cover(set(), {"A": {1}}) == frozenset()
+
+    def test_candidates_outside_universe_ignored(self):
+        cover = find_exact_cover({1}, {"A": {1, 99}, "B": {1}})
+        assert cover == frozenset({"B"})
+
+    def test_all_covers_enumerated(self):
+        covers = set(exact_covers({1, 2}, {"A": {1}, "B": {2}, "C": {1, 2}}))
+        assert covers == {frozenset({"A", "B"}), frozenset({"C"})}
+
+
+class TestOnePerGroup:
+    def test_theorem7_shape(self):
+        groups = {
+            "m1": {"x": 1, "y": 2},
+            "m2": {"x": 1},
+        }
+        elite = exact_one_per_group(groups)
+        assert elite == frozenset({"x"})
+
+    def test_label_twice_in_member_excluded(self):
+        groups = {"m1": {"x": 2}}
+        assert exact_one_per_group(groups) is None
+
+    def test_combination_needed(self):
+        groups = {
+            "m1": {"a": 1},
+            "m2": {"a": 1, "c": 1},
+            "m3": {"b": 1, "c": 1},
+        }
+        elite = exact_one_per_group(groups)
+        assert elite == frozenset({"a", "b"})
+
+    def test_odd_cycle_has_no_elite(self):
+        groups = {
+            "m1": {"a": 1, "c": 1},
+            "m2": {"b": 1, "c": 1},
+            "m3": {"a": 1, "b": 1},
+        }
+        assert exact_one_per_group(groups) is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(0, 3),
+        st.dictionaries(st.sampled_from("abcd"), st.integers(1, 2), max_size=4),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_one_per_group_is_sound(groups):
+    elite = exact_one_per_group(groups)
+    if elite is not None:
+        for counts in groups.values():
+            assert sum(counts.get(l, 0) for l in elite) == 1

@@ -1,0 +1,114 @@
+"""Unit + property tests for the max-flow substrate."""
+
+from itertools import chain, combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import FlowNetwork, feasible_assignment, max_flow
+
+
+class TestMaxFlow:
+    def test_single_edge(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 5)
+        assert max_flow(net, "s", "t") == 5
+
+    def test_bottleneck(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 10)
+        net.add_edge("a", "t", 3)
+        assert max_flow(net, "s", "t") == 3
+
+    def test_parallel_paths(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 2)
+        net.add_edge("a", "t", 2)
+        net.add_edge("s", "b", 3)
+        net.add_edge("b", "t", 3)
+        assert max_flow(net, "s", "t") == 5
+
+    def test_disconnected(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 2)
+        net.node("t")
+        assert max_flow(net, "s", "t") == 0
+
+    def test_classic_diamond(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 3)
+        net.add_edge("s", "b", 2)
+        net.add_edge("a", "b", 1)
+        net.add_edge("a", "t", 2)
+        net.add_edge("b", "t", 3)
+        assert max_flow(net, "s", "t") == 5
+
+
+class TestFeasibleAssignment:
+    def test_simple_feasible(self):
+        result = feasible_assignment([frozenset({"x"})], {"x": 1})
+        assert result.feasible
+        assert result.assignment == {0: "x"}
+
+    def test_capacity_respected(self):
+        result = feasible_assignment(
+            [frozenset({"x"}), frozenset({"x"})], {"x": 1}
+        )
+        assert not result.feasible
+        assert result.violated_bins == frozenset({"x"})
+
+    def test_hall_violation_witness(self):
+        items = [frozenset({"a", "b"}), frozenset({"a"}), frozenset({"b"})]
+        caps = {"a": 1, "b": 1}
+        result = feasible_assignment(items, caps)
+        assert not result.feasible
+        lab = result.violated_bins
+        covered = sum(1 for it in items if it <= lab)
+        assert covered > sum(caps.get(b, 0) for b in lab)
+
+    def test_empty_allowed_set_infeasible(self):
+        result = feasible_assignment([frozenset()], {"x": 5})
+        assert not result.feasible
+
+    def test_zero_capacity_bin(self):
+        result = feasible_assignment([frozenset({"x"})], {"x": 0})
+        assert not result.feasible
+        assert "x" in result.violated_bins
+
+
+def brute_force_feasible(items, caps):
+    """Exponential reference: try all assignments."""
+
+    def rec(i, remaining):
+        if i == len(items):
+            return True
+        for b in items[i]:
+            if remaining.get(b, 0) > 0:
+                remaining[b] -= 1
+                if rec(i + 1, remaining):
+                    remaining[b] += 1
+                    return True
+                remaining[b] += 1
+        return False
+
+    return rec(0, dict(caps))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.frozensets(st.sampled_from(["a", "b", "c"]), max_size=3),
+        max_size=5,
+    ),
+    st.fixed_dictionaries(
+        {"a": st.integers(0, 3), "b": st.integers(0, 3), "c": st.integers(0, 3)}
+    ),
+)
+def test_flow_matches_brute_force(items, caps):
+    result = feasible_assignment(items, caps)
+    assert result.feasible == brute_force_feasible(items, caps)
+    if not result.feasible:
+        # The min-cut witness really is a Hall violation.
+        lab = result.violated_bins
+        covered = sum(1 for it in items if it <= lab)
+        assert covered > sum(caps.get(b, 0) for b in lab)

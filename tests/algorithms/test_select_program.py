@@ -1,0 +1,144 @@
+"""End-to-end SELECT tests: Uniqueness and Stability across schedules."""
+
+import pytest
+
+from repro.algorithms import (
+    select_program,
+    select_program_family,
+    select_program_l,
+    select_program_q,
+    select_program_s,
+)
+from repro.core import Family, InstructionSet, ScheduleClass, System
+from repro.exceptions import SelectionError
+from repro.runtime import verify_selection_program
+from repro.topologies import (
+    figure1_network,
+    figure1_system,
+    figure2_system,
+    path,
+    ring,
+    star,
+)
+
+
+class TestSelectQ:
+    def test_figure2_selects_p3_under_all_schedules(self, fig2_q):
+        program = select_program_q(fig2_q)
+        verdict = verify_selection_program(fig2_q, program, max_steps=30_000)
+        assert verdict.all_ok
+        assert verdict.winners == ("p3",)
+
+    def test_marked_ring(self, marked_ring5_q):
+        program = select_program_q(marked_ring5_q)
+        verdict = verify_selection_program(marked_ring5_q, program, max_steps=60_000)
+        assert verdict.all_ok
+        assert len(verdict.winners) == 1
+
+    def test_symmetric_system_rejected(self, fig1_q):
+        with pytest.raises(SelectionError, match="Theorem 3"):
+            select_program_q(fig1_q)
+
+
+class TestSelectL:
+    def test_figure1_l_unique_winner_per_schedule(self, fig1_l):
+        program = select_program_l(fig1_l)
+        verdict = verify_selection_program(fig1_l, program, max_steps=60_000)
+        assert verdict.all_ok
+        # Different schedules may crown different winners -- that is the
+        # point of schedule-dependent selection.
+        assert set(verdict.winners) <= {"p", "q"}
+
+    def test_star_l(self):
+        system = System(star(3), None, InstructionSet.L)
+        program = select_program_l(system)
+        verdict = verify_selection_program(system, program, max_steps=120_000)
+        assert verdict.all_ok
+
+    def test_dp5_rejected(self, dp5_l):
+        with pytest.raises(SelectionError):
+            select_program_l(dp5_l)
+
+
+class TestSelectS:
+    def test_path_bounded_fair(self, path4_s_bf):
+        program = select_program_s(path4_s_bf)
+        verdict = verify_selection_program(path4_s_bf, program, max_steps=60_000)
+        assert verdict.all_ok
+        assert len(verdict.winners) == 1
+
+    def test_symmetric_rejected(self):
+        system = System(ring(4), None, InstructionSet.S, ScheduleClass.BOUNDED_FAIR)
+        with pytest.raises(SelectionError):
+            select_program_s(system)
+
+
+class TestSelectFamily:
+    def test_family_program_covers_both_members(self):
+        net = figure1_network()
+        fam = Family(
+            [
+                System(net, {"p": 0, "q": 1}, InstructionSet.Q),
+                System(net, {"p": 1, "q": 0}, InstructionSet.Q),
+            ]
+        )
+        program = select_program_family(fam)
+        for member in fam.members:
+            verdict = verify_selection_program(member, program, max_steps=30_000)
+            assert verdict.all_ok
+
+    def test_family_without_elite_rejected(self):
+        net = figure1_network()
+        fam = Family([System(net, None, InstructionSet.Q)])
+        with pytest.raises(SelectionError, match="Theorem 7"):
+            select_program_family(fam)
+
+
+class TestDispatch:
+    def test_dispatch_q(self, fig2_q):
+        assert select_program(fig2_q) is not None
+
+    def test_dispatch_l(self, fig1_l):
+        assert select_program(fig1_l) is not None
+
+    def test_dispatch_bounded_s(self, path4_s_bf):
+        assert select_program(path4_s_bf) is not None
+
+    def test_dispatch_general_rejected(self):
+        system = figure2_system().with_schedule_class(ScheduleClass.GENERAL)
+        with pytest.raises(SelectionError, match="Theorem 1"):
+            select_program(system)
+
+    def test_dispatch_fair_s_on_path(self):
+        # Paths have no mimicry, so even plain fairness admits selection.
+        system = System(path(3), None, InstructionSet.S, ScheduleClass.FAIR)
+        program = select_program(system)
+        verdict = verify_selection_program(system, program, max_steps=60_000)
+        assert verdict.all_ok
+
+
+class TestSelectFairS:
+    def test_figure3_selects_a_non_mimicker(self, fig3_s):
+        from repro.algorithms import select_program_fair_s
+
+        program = select_program_fair_s(fig3_s)
+        verdict = verify_selection_program(fig3_s, program, max_steps=40_000)
+        assert verdict.all_ok
+        assert set(verdict.winners) <= {"q", "z"}
+
+    def test_all_mimicking_rejected(self):
+        from repro.algorithms import select_program_fair_s
+        from repro.topologies import witness_bounded_s_vs_fair_s
+
+        net, state, _desc = witness_bounded_s_vs_fair_s()
+        system = System(net, state, InstructionSet.S, ScheduleClass.FAIR)
+        with pytest.raises(SelectionError, match="mimics"):
+            select_program_fair_s(system)
+
+    def test_dispatch_fair_s_now_works(self, fig3_s):
+        assert select_program(fig3_s) is not None
+
+    def test_dispatch_fair_s_rejects_symmetric(self):
+        system = System(ring(3), None, InstructionSet.S, ScheduleClass.FAIR)
+        with pytest.raises(SelectionError):
+            select_program(system)

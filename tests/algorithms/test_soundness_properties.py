@@ -1,0 +1,85 @@
+"""Soundness under fire: 'never terminates with a wrong answer'.
+
+The paper's alibi soundness claim, property-tested: across random
+systems, random schedules, and adversarial schedules, a labeler's
+suspect set *always* contains the truth -- convergence may fail (fair S,
+crashes), correctness may not.
+"""
+
+from hypothesis import assume, given, settings
+
+from repro.algorithms import (
+    Algorithm2Program,
+    Algorithm2SProgram,
+    LabelTables,
+)
+from repro.core import (
+    EnvironmentModel,
+    InstructionSet,
+    ScheduleClass,
+    compute_similarity_labeling,
+)
+from repro.runtime import Executor, KBoundedFairScheduler, RandomFairScheduler
+
+from ..strategies import systems
+
+SETTINGS = settings(max_examples=15, deadline=None)
+
+
+def _no_multi_edges(system):
+    for p in system.processors:
+        nbrs = list(system.network.neighbors_of_processor(p).values())
+        if len(set(nbrs)) != len(nbrs):
+            return False
+    return True
+
+
+@SETTINGS
+@given(systems(instruction_set=InstructionSet.Q, max_processors=4, max_variables=3))
+def test_algorithm2_pec_always_contains_truth(system):
+    assume(_no_multi_edges(system))
+    theta = compute_similarity_labeling(system).labeling
+    tables = LabelTables.from_labeled_system(system, theta)
+    for scheduler in (
+        RandomFairScheduler(system.processors, seed=1),
+        KBoundedFairScheduler(system.processors, seed=2),
+    ):
+        executor = Executor(system, Algorithm2Program(tables), scheduler)
+        for _ in range(600):
+            executor.step()
+            for p in system.processors:
+                state = executor.local[p]
+                assert theta[p] in state.pec
+                # VEC soundness too: each named variable's true label stays.
+                for i, name in enumerate(tables.names):
+                    v = system.n_nbr(p, name)
+                    assert theta[v] in state.vec[i]
+
+
+@SETTINGS
+@given(
+    systems(
+        instruction_set=InstructionSet.S,
+        schedule_class=ScheduleClass.BOUNDED_FAIR,
+        max_processors=4,
+        max_variables=3,
+    )
+)
+def test_s_labeler_pec_always_contains_truth(system):
+    assume(_no_multi_edges(system))
+    theta = compute_similarity_labeling(system, EnvironmentModel.SET).labeling
+    tables = LabelTables.from_labeled_system(
+        system, theta, model=EnvironmentModel.SET
+    )
+    program = Algorithm2SProgram(tables, bound_k=2 * len(system.processors))
+    executor = Executor(
+        system, program, RandomFairScheduler(system.processors, seed=3)
+    )
+    for _ in range(800):
+        executor.step()
+        for p in system.processors:
+            state = executor.local[p]
+            assert theta[p] in state.pec
+            for i, name in enumerate(tables.names):
+                v = system.n_nbr(p, name)
+                assert theta[v] in state.vec[i]

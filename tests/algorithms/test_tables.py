@@ -1,0 +1,71 @@
+"""Unit tests for LabelTables."""
+
+import pytest
+
+from repro.algorithms import LabelTables
+from repro.core import (
+    Family,
+    InstructionSet,
+    Labeling,
+    Network,
+    System,
+    similarity_labeling,
+)
+from repro.exceptions import LabelingError
+from repro.topologies import figure2_system
+
+
+class TestFromSystem:
+    def test_figure2_tables(self, fig2_q):
+        tables = LabelTables.from_system(fig2_q)
+        theta = similarity_labeling(fig2_q)
+        assert theta["p1"] in tables.plabels
+        assert theta["v3"] in tables.vlabels
+        # v3 has two m-neighbors labeled like p1 and one like p3.
+        assert tables.neighborhood_size("m", theta["p1"], theta["v3"]) == 2
+        assert tables.neighborhood_size("m", theta["p3"], theta["v3"]) == 1
+        assert tables.neighborhood_size("n", theta["p3"], theta["v3"]) == 0
+
+    def test_n_nbr_label(self, fig2_q):
+        tables = LabelTables.from_system(fig2_q)
+        theta = similarity_labeling(fig2_q)
+        assert tables.n_nbr_label(theta["p1"], "n") == theta["v1"]
+        assert tables.n_nbr_label(theta["p3"], "n") == theta["v2"]
+
+    def test_state_filters(self):
+        from repro.topologies import ring
+
+        system = System(ring(4), {"p0": 1}, InstructionSet.Q)
+        tables = LabelTables.from_system(system)
+        marked = tables.plabels_with_state(1)
+        assert len(marked) == 1
+
+    def test_multi_edge_rejected(self):
+        net = Network(("a", "b"), {"p": {"a": "v", "b": "v"}})
+        with pytest.raises(LabelingError, match="names one variable twice"):
+            LabelTables.from_system(System(net))
+
+    def test_non_respecting_labeling_rejected(self, fig2_q):
+        bogus = Labeling.trivial_subsimilarity(fig2_q.nodes)
+        with pytest.raises(LabelingError):
+            LabelTables.from_labeled_system(fig2_q, bogus)
+
+    def test_include_state_false(self, fig2_q):
+        tables = LabelTables.from_system(fig2_q, include_state=False)
+        assert tables.plabels_with_state("anything") == tables.plabels
+
+
+class TestFromFamily:
+    def test_union_tables(self):
+        from repro.topologies import figure1_network
+
+        net = figure1_network()
+        fam = Family(
+            [
+                System(net, {"p": 0, "q": 1}, InstructionSet.Q),
+                System(net, {"p": 1, "q": 0}, InstructionSet.Q),
+            ]
+        )
+        tables = LabelTables.from_family(fam)
+        assert len(tables.plabels) == 2  # marked / unmarked
+        assert len(tables.vlabels) == 1

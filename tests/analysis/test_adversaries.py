@@ -1,0 +1,97 @@
+"""Theorems survive adaptive adversaries (not just oblivious schedules)."""
+
+import pytest
+
+from repro.algorithms import (
+    Algorithm2Program,
+    Algorithm4Program,
+    LabelTables,
+    select_program_l,
+)
+from repro.analysis import (
+    LockContentionAdversary,
+    StallLearningAdversary,
+    pec_uncertainty,
+)
+from repro.core import InstructionSet, System, similarity_labeling
+from repro.runtime import Executor, run_selection
+from repro.topologies import figure1_system, figure2_system, ring
+
+
+class TestStallLearningAdversary:
+    def _converge(self, system, k=None, max_steps=120_000):
+        theta = similarity_labeling(system)
+        tables = LabelTables.from_labeled_system(system, theta)
+        program = Algorithm2Program(tables)
+        adversary = StallLearningAdversary(
+            system.processors, pec_uncertainty, k=k
+        )
+        executor = Executor(system, program, adversary)
+        for i in range(max_steps):
+            executor.step()
+            if all(
+                Algorithm2Program.is_done(executor.local[p])
+                for p in system.processors
+            ):
+                return i + 1, {
+                    p: Algorithm2Program.learned_label(executor.local[p])
+                    for p in system.processors
+                }, theta
+        return None, {}, theta
+
+    def test_figure2_converges_despite_stalling(self):
+        steps, learned, theta = self._converge(figure2_system())
+        assert steps is not None
+        assert learned == {p: theta[p] for p in figure2_system().processors}
+
+    def test_marked_ring_converges(self):
+        system = System(ring(5), {"p0": 1}, InstructionSet.Q)
+        steps, learned, theta = self._converge(system)
+        assert steps is not None
+        assert learned == {p: theta[p] for p in system.processors}
+
+    def test_adversary_is_actually_slower_than_round_robin(self):
+        from repro.runtime import RoundRobinScheduler
+
+        system = figure2_system()
+        theta = similarity_labeling(system)
+        tables = LabelTables.from_labeled_system(system, theta)
+
+        def steps_under(scheduler):
+            executor = Executor(system, Algorithm2Program(tables), scheduler)
+            for i in range(120_000):
+                executor.step()
+                if all(
+                    Algorithm2Program.is_done(executor.local[p])
+                    for p in system.processors
+                ):
+                    return i + 1
+            return None
+
+        fair = steps_under(RoundRobinScheduler(system.processors))
+        hostile = steps_under(
+            StallLearningAdversary(system.processors, pec_uncertainty)
+        )
+        assert fair is not None and hostile is not None
+        assert hostile >= fair  # the adversary cannot help, only hurt
+
+    def test_k_below_n_rejected(self):
+        with pytest.raises(ValueError):
+            StallLearningAdversary(("a", "b", "c"), pec_uncertainty, k=2)
+
+
+class TestLockContentionAdversary:
+    def test_algorithm4_still_selects_uniquely(self, fig1_l):
+        program = select_program_l(fig1_l)
+        adversary = LockContentionAdversary(fig1_l.processors)
+        run = run_selection(fig1_l, program, adversary, "lock-contention", max_steps=200_000)
+        assert run.ok
+
+    def test_star_under_contention(self):
+        from repro.topologies import star
+
+        system = System(star(3), None, InstructionSet.L)
+        program = select_program_l(system)
+        adversary = LockContentionAdversary(system.processors)
+        run = run_selection(system, program, adversary, "lock-contention", max_steps=400_000)
+        assert run.ok

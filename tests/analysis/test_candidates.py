@@ -1,0 +1,60 @@
+"""The candidate programs behave as advertised (before the adversary)."""
+
+import pytest
+
+from repro.analysis import candidate_zoo, refute_selection, sticky_beacon, tournament
+from repro.core import InstructionSet, ScheduleClass, System
+from repro.runtime import Executor, ReplayScheduler, RoundRobinScheduler
+from repro.topologies import figure1_network, figure1_system
+
+
+def solo_system():
+    """One processor alone: every candidate should happily select."""
+    from repro.core import Network
+
+    net = Network(("n",), {"p": {"n": "v"}})
+    return System(net, None, InstructionSet.S, ScheduleClass.GENERAL)
+
+
+class TestCandidatesSucceedAlone:
+    @pytest.mark.parametrize("name_builder", candidate_zoo("n"), ids=lambda nb: nb[0])
+    def test_single_processor_selects_itself(self, name_builder):
+        name, builder = name_builder
+        system = solo_system()
+        executor = Executor(system, builder(), RoundRobinScheduler(system.processors))
+        executor.run(50)
+        assert executor.selected_processors() == ("p",)
+
+
+class TestCandidatesFallTogether:
+    @pytest.mark.parametrize("name_builder", candidate_zoo("n"), ids=lambda nb: nb[0])
+    def test_all_refuted_on_the_pair(self, name_builder):
+        _name, builder = name_builder
+        system = figure1_system(InstructionSet.S, ScheduleClass.GENERAL)
+        refutation = refute_selection(system, builder())
+        assert refutation is not None
+
+
+class TestTournamentMechanics:
+    def test_collision_defers(self):
+        system = figure1_system(InstructionSet.S, ScheduleClass.GENERAL)
+        program = tournament("n", rounds=3)
+        # p writes round 0, q writes round 0 (same value!), p reads ->
+        # sees its own value -> no collision detected: the blindness the
+        # adversary exploits.
+        executor = Executor(
+            system, program, ReplayScheduler(("p", "q", "p"), RoundRobinScheduler(system.processors))
+        )
+        executor.run(3)
+        assert executor.local["p"][0] == "write"  # advanced, undisturbed
+
+    def test_beacon_survives_twin_writes(self):
+        system = figure1_system(InstructionSet.S, ScheduleClass.GENERAL)
+        program = sticky_beacon("n")
+        executor = Executor(
+            system, program,
+            ReplayScheduler(("p", "q", "p", "q", "p", "q"), RoundRobinScheduler(system.processors)),
+        )
+        executor.run(6)
+        # Both see the (identical) beacon surviving: both select.
+        assert len(executor.selected_processors()) == 2

@@ -1,0 +1,66 @@
+"""The Theorem 1 adversary defeats every candidate program."""
+
+import pytest
+
+from repro.core import InstructionSet, ScheduleClass, System
+from repro.analysis import candidate_zoo, crash_as_schedule, refute_selection
+from repro.runtime import Executor, ReplayScheduler, RoundRobinScheduler
+from repro.topologies import figure1_system, figure1_network
+
+
+@pytest.fixture
+def general_system():
+    return figure1_system(InstructionSet.S, ScheduleClass.GENERAL)
+
+
+class TestAdversary:
+    @pytest.mark.parametrize("name_builder", candidate_zoo("n"), ids=lambda nb: nb[0])
+    def test_every_candidate_falls(self, general_system, name_builder):
+        _name, builder = name_builder
+        refutation = refute_selection(general_system, builder())
+        assert refutation is not None
+
+    def test_double_selection_witness_verifies(self, general_system):
+        from repro.analysis import grab_flag
+
+        refutation = refute_selection(general_system, grab_flag("n"))
+        assert refutation.kind == "double-selection"
+        program = grab_flag("n")
+        executor = Executor(
+            general_system,
+            program,
+            ReplayScheduler(refutation.schedule, RoundRobinScheduler(general_system.processors)),
+        )
+        executor.run(len(refutation.schedule))
+        assert len(executor.selected_processors()) >= 2
+
+    def test_starvation_witness_on_waiting_program(self, general_system):
+        from repro.analysis import select_immediately
+        from repro.runtime import FunctionalProgram, Internal
+
+        never = FunctionalProgram(
+            initial=lambda s0: 0,
+            action=lambda st: Internal("spin"),
+            step=lambda st, a, r: st,
+        )
+        refutation = refute_selection(general_system, never)
+        assert refutation is not None
+        assert refutation.kind == "starvation"
+        assert refutation.selected == ()
+
+    def test_larger_system(self):
+        from repro.analysis import grab_flag
+        from repro.topologies import star
+
+        system = System(star(3), None, InstructionSet.S, ScheduleClass.GENERAL)
+        refutation = refute_selection(system, grab_flag("hub"))
+        assert refutation is not None
+
+
+class TestCrashSchedules:
+    def test_crash_prefix_counts_steps(self, general_system):
+        prefix = crash_as_schedule(general_system, "p", steps_before_crash=2)
+        assert prefix.count("p") == 2
+
+    def test_immediate_crash_is_empty_prefix(self, general_system):
+        assert crash_as_schedule(general_system, "p", 0) == []

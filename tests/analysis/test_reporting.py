@@ -1,0 +1,20 @@
+"""Tests for the table formatter."""
+
+from repro.analysis import format_table, yesno
+
+
+def test_alignment():
+    out = format_table(["col", "x"], [["a", 1], ["longer", 22]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert all(len(l) == len(lines[0]) for l in (lines[0], lines[2]))
+
+
+def test_title():
+    out = format_table(["h"], [["v"]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_yesno():
+    assert yesno(True) == "yes"
+    assert yesno(False) == "no"

@@ -1,0 +1,37 @@
+"""Tests for the one-call system dossier."""
+
+from repro.analysis import full_report
+from repro.core import POWER_ORDER
+from repro.topologies import figure1_network, figure2_network, ring
+
+
+class TestFullReport:
+    def test_figure1_dossier(self):
+        report = full_report(figure1_network(), None, "figure 1")
+        assert report.processor_classes == 1
+        assert report.symmetric
+        assert not report.decisions["Q"]
+        assert report.decisions["L"]
+        assert not report.renaming
+        assert report.committee_sizes == (0, 2)
+
+    def test_figure2_dossier(self):
+        report = full_report(figure2_network())
+        assert report.processor_classes == 2
+        assert not report.symmetric
+        assert report.decisions["Q"]
+        assert not report.decisions["bounded-fair-S"]
+
+    def test_marked_ring_dossier(self):
+        report = full_report(ring(4), {"p0": 1})
+        assert report.processor_classes == 4
+        assert report.renaming
+        assert report.committee_sizes == (0, 1, 2, 3, 4)
+
+    def test_text_rendering(self):
+        report = full_report(figure1_network(), None, "pair")
+        text = report.text
+        assert "system dossier: pair" in text
+        for model in POWER_ORDER:
+            assert model in text
+        assert str(report) == text

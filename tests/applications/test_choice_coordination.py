@@ -1,0 +1,85 @@
+"""Tests for Rabin-style coordinated choice."""
+
+import pytest
+
+from repro.applications import (
+    coordinated_choice_possible,
+    designated_alternative,
+    run_choice_coordination,
+)
+from repro.core import InstructionSet, Network, System
+from repro.exceptions import SelectionError
+from repro.topologies import figure2_system
+
+
+def symmetric_two_choices():
+    """Two processors, two perfectly symmetric alternatives."""
+    net = Network(
+        ("a", "b"),
+        {"p": {"a": "u", "b": "w"}, "q": {"a": "w", "b": "u"}},
+    )
+    return System(net, None, InstructionSet.Q)
+
+
+class TestDecision:
+    def test_figure2_choice_possible(self, fig2_q):
+        assert coordinated_choice_possible(fig2_q, ["v1", "v2"])
+
+    def test_symmetric_alternatives_impossible(self):
+        system = symmetric_two_choices()
+        assert not coordinated_choice_possible(system, ["u", "w"])
+        with pytest.raises(SelectionError, match="randomization"):
+            designated_alternative(system, ["u", "w"])
+
+    def test_designated_is_deterministic(self, fig2_q):
+        assert designated_alternative(fig2_q, ["v1", "v2"]) == designated_alternative(
+            fig2_q, ["v2", "v1"]
+        )
+
+
+class TestRun:
+    def test_all_marks_on_one_alternative(self, fig2_q):
+        out = run_choice_coordination(fig2_q, ["v1", "v2"])
+        assert out.agreed
+        assert out.chosen is not None
+        marked = [v for v, c in out.marks.items() if c > 0]
+        assert marked == [out.chosen]
+
+    def test_every_adjacent_processor_marked(self, fig2_q):
+        out = run_choice_coordination(fig2_q, ["v1", "v2"])
+        writers = {
+            p for p, _n in fig2_q.network.neighbors_of_variable(out.chosen)
+        }
+        assert out.marks[out.chosen] == len(writers)
+
+    def test_three_alternatives(self, fig2_q):
+        out = run_choice_coordination(fig2_q, ["v1", "v2", "v3"])
+        assert out.agreed
+
+
+class TestRandomizedRescue:
+    """Section 8: randomization solves what symmetry forbids."""
+
+    def test_symmetric_alternatives_need_randomization(self):
+        system = symmetric_two_choices()
+        assert not coordinated_choice_possible(system, ["u", "w"])
+
+    def test_randomized_choice_terminates_and_agrees(self):
+        from repro.applications.choice_coordination import (
+            randomized_choice_on_symmetric,
+        )
+
+        for seed in range(8):
+            leader, choice = randomized_choice_on_symmetric(4, 2, seed=seed)
+            assert 0 <= leader < 4
+            assert choice in (0, 1)
+
+    def test_choice_depends_on_coin(self):
+        from repro.applications.choice_coordination import (
+            randomized_choice_on_symmetric,
+        )
+
+        outcomes = {
+            randomized_choice_on_symmetric(3, 2, seed=s)[1] for s in range(20)
+        }
+        assert outcomes == {0, 1}

@@ -1,0 +1,51 @@
+"""Tests for committee (k-of-n) selection."""
+
+import pytest
+
+from repro.applications import (
+    committee_labels,
+    committee_possible,
+    run_committee,
+)
+from repro.core import InstructionSet, System
+from repro.exceptions import SelectionError
+from repro.topologies import figure2_system, path, ring, star
+
+
+class TestDecision:
+    def test_k_equals_class_size(self, fig2_q):
+        # Figure 2 classes: {p1,p2} and {p3}.
+        assert committee_possible(fig2_q, 1)
+        assert committee_possible(fig2_q, 2)
+        assert committee_possible(fig2_q, 3)
+
+    def test_anonymous_ring_only_all_or_nothing(self):
+        system = System(ring(4), None, InstructionSet.Q)
+        assert committee_possible(system, 0)
+        assert committee_possible(system, 4)
+        for k in (1, 2, 3):
+            assert not committee_possible(system, k)
+
+    def test_path_any_k(self, path4_q):
+        assert all(committee_possible(path4_q, k) for k in range(5))
+
+    def test_labels_sum_correctly(self, fig2_q):
+        labels = committee_labels(fig2_q, 2)
+        assert labels is not None
+
+
+class TestRun:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_exact_committee_size(self, fig2_q, k):
+        out = run_committee(fig2_q, k)
+        assert out.size_ok
+        assert len(out.members) == k
+
+    def test_committee_is_stable_class_union(self, fig2_q):
+        out = run_committee(fig2_q, 2)
+        assert set(out.members) == {"p1", "p2"}
+
+    def test_impossible_k_raises(self):
+        system = System(star(3), None, InstructionSet.Q)
+        with pytest.raises(SelectionError):
+            run_committee(system, 2)

@@ -1,0 +1,50 @@
+"""Tests for the renaming application."""
+
+import pytest
+
+from repro.applications import renaming_possible, run_renaming
+from repro.core import InstructionSet, System
+from repro.exceptions import SelectionError
+from repro.runtime import KBoundedFairScheduler
+from repro.topologies import path, ring, star
+
+
+class TestDecision:
+    def test_marked_ring_possible(self, marked_ring5_q):
+        assert renaming_possible(marked_ring5_q)
+
+    def test_path_possible(self, path4_q):
+        assert renaming_possible(path4_q)
+
+    def test_anonymous_ring_impossible(self):
+        assert not renaming_possible(System(ring(4), None, InstructionSet.Q))
+
+    def test_star_impossible(self):
+        assert not renaming_possible(System(star(3), None, InstructionSet.Q))
+
+
+class TestRun:
+    def test_names_distinct_and_dense(self, marked_ring5_q):
+        out = run_renaming(marked_ring5_q)
+        assert out.distinct
+        assert sorted(out.names.values()) == list(range(5))
+
+    def test_path_renaming(self, path4_q):
+        out = run_renaming(path4_q)
+        assert out.distinct
+        assert out.steps is not None
+
+    def test_k_bounded_schedule(self, path4_q):
+        out = run_renaming(
+            path4_q, KBoundedFairScheduler(path4_q.processors, seed=2)
+        )
+        assert out.distinct
+
+    def test_impossible_raises(self):
+        with pytest.raises(SelectionError, match="renaming is impossible"):
+            run_renaming(System(ring(3), None, InstructionSet.Q))
+
+    def test_deterministic_names(self, marked_ring5_q):
+        a = run_renaming(marked_ring5_q)
+        b = run_renaming(marked_ring5_q)
+        assert a.names == b.names

@@ -1,0 +1,57 @@
+"""Tests for the full hygienic dining protocol [CM84]."""
+
+import pytest
+
+from repro.baselines import HygienicDiningProgram, hygienic_ring, run_hygienic
+from repro.exceptions import SystemError_
+
+
+class TestAcyclicGuarantee:
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_everyone_eats(self, n):
+        report = run_hygienic(n, 3_000, acyclic=True, seed=1)
+        assert report.everyone_ate
+        assert report.fork_invariant_ok
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_meals_balanced_across_seeds(self, seed):
+        report = run_hygienic(5, 5_000, acyclic=True, seed=seed)
+        meals = sorted(report.meals.values())
+        assert meals[0] > 0
+        assert meals[-1] <= 2 * meals[0]  # hygiene = fairness
+
+    def test_fork_invariant_always(self):
+        report = run_hygienic(4, 2_000, acyclic=True, seed=7)
+        assert report.fork_invariant_ok
+
+
+class TestInitialization:
+    def test_acyclic_placement(self):
+        mp = hygienic_ring(4, acyclic=True)
+        # philosopher 0 holds both its forks; the last holds none.
+        assert mp.state0("p0") == (True, True)
+        assert mp.state0("p3") == (False, False)
+
+    def test_cyclic_placement(self):
+        mp = hygienic_ring(4, acyclic=False)
+        assert all(mp.state0(f"p{i}") == (True, False) for i in range(4))
+
+    def test_tiny_ring_rejected(self):
+        with pytest.raises(SystemError_):
+            hygienic_ring(1)
+
+    def test_bad_state_rejected(self):
+        program = HygienicDiningProgram()
+        with pytest.raises(SystemError_, match="initial states"):
+            program.on_start("not-a-pair")
+
+
+class TestProtocolDetails:
+    def test_exactly_one_fork_per_edge_even_cyclic(self):
+        report = run_hygienic(5, 2_000, acyclic=False, seed=2)
+        assert report.fork_invariant_ok
+
+    def test_meal_counts_deterministic_per_seed(self):
+        a = run_hygienic(5, 1_500, seed=9)
+        b = run_hygienic(5, 1_500, seed=9)
+        assert a.meals == b.meals

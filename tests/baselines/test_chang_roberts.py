@@ -1,0 +1,34 @@
+"""Chang-Roberts id-ring election baseline."""
+
+import pytest
+
+from repro.exceptions import ExecutionError
+from repro.baselines import run_chang_roberts
+
+
+class TestElection:
+    def test_max_id_wins(self):
+        result = run_chang_roberts([3, 9, 1, 5])
+        assert result.leader_id == 9
+
+    def test_leader_position(self):
+        result = run_chang_roberts([3, 9, 1, 5])
+        assert result.leader == "p1"
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_delivery_order_does_not_matter(self, seed):
+        result = run_chang_roberts([2, 7, 4, 6, 1], seed=seed)
+        assert result.leader_id == 7
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ExecutionError, match="unique identifiers"):
+            run_chang_roberts([1, 1, 2])
+
+    def test_message_bounds(self):
+        # Sorted-descending placement is the O(n^2)-ish worst case;
+        # sorted-ascending is the O(n) best case.
+        n = 8
+        worst = run_chang_roberts(list(range(n, 0, -1)))
+        best = run_chang_roberts(list(range(1, n + 1)))
+        assert best.messages <= worst.messages
+        assert best.messages >= n  # everyone sends its own id

@@ -1,0 +1,85 @@
+"""DP and DP' via the left-first program (Section 7)."""
+
+import pytest
+
+from repro.runtime import RandomFairScheduler, RoundRobinScheduler
+from repro.baselines import LeftFirstDiningProgram, run_dining
+from repro.topologies import adjacent_pairs, dining_system, figure4_system, figure5_system
+
+
+class TestDP:
+    """Figure 4: five philosophers, uniform orientation -- deadlock."""
+
+    @pytest.mark.parametrize("make_sched", [
+        lambda procs: RoundRobinScheduler(procs),
+        lambda procs: RandomFairScheduler(procs, seed=5),
+    ])
+    def test_figure4_deadlocks(self, make_sched):
+        system = figure4_system()
+        report = run_dining(
+            system,
+            LeftFirstDiningProgram(),
+            make_sched(system.processors),
+            steps=3_000,
+            adjacent=adjacent_pairs(system),
+        )
+        assert report.safety_ok
+        assert report.deadlocked
+        assert not report.everyone_ate
+
+    def test_any_prime_table_deadlocks(self):
+        system = dining_system(7)
+        report = run_dining(
+            system,
+            LeftFirstDiningProgram(),
+            RoundRobinScheduler(system.processors),
+            steps=3_000,
+            adjacent=adjacent_pairs(system),
+        )
+        assert report.deadlocked
+
+
+class TestDPPrime:
+    """Figure 5: six philosophers, alternating orientation -- progress."""
+
+    @pytest.mark.parametrize("make_sched", [
+        lambda procs: RoundRobinScheduler(procs),
+        lambda procs: RandomFairScheduler(procs, seed=9),
+    ])
+    def test_figure5_everyone_eats(self, make_sched):
+        system = figure5_system()
+        report = run_dining(
+            system,
+            LeftFirstDiningProgram(),
+            make_sched(system.processors),
+            steps=6_000,
+            adjacent=adjacent_pairs(system),
+        )
+        assert report.safety_ok
+        assert not report.deadlocked
+        assert report.everyone_ate
+
+    def test_larger_even_alternating_table(self):
+        system = dining_system(8, alternating=True)
+        report = run_dining(
+            system,
+            LeftFirstDiningProgram(),
+            RoundRobinScheduler(system.processors),
+            steps=8_000,
+            adjacent=adjacent_pairs(system),
+        )
+        assert report.safety_ok
+        assert report.everyone_ate
+
+
+class TestSafetyAlways:
+    def test_locks_guarantee_exclusion_even_on_figure4(self):
+        system = figure4_system()
+        report = run_dining(
+            system,
+            LeftFirstDiningProgram(eat_steps=3),
+            RandomFairScheduler(system.processors, seed=1),
+            steps=2_000,
+            adjacent=adjacent_pairs(system),
+        )
+        assert report.safety_ok

@@ -1,0 +1,59 @@
+"""Shared fixtures: the paper's figure systems and small helpers."""
+
+import pytest
+
+from repro.core import InstructionSet, ScheduleClass, System
+from repro.topologies import (
+    dining_system,
+    figure1_system,
+    figure2_system,
+    figure3_system,
+    path,
+    ring,
+)
+
+
+@pytest.fixture
+def fig1_q():
+    return figure1_system(InstructionSet.Q)
+
+
+@pytest.fixture
+def fig1_l():
+    return figure1_system(InstructionSet.L)
+
+
+@pytest.fixture
+def fig2_q():
+    return figure2_system(InstructionSet.Q)
+
+
+@pytest.fixture
+def fig3_s():
+    return figure3_system()
+
+
+@pytest.fixture
+def dp5_l():
+    return dining_system(5, instruction_set=InstructionSet.L)
+
+
+@pytest.fixture
+def dp6_l():
+    return dining_system(6, alternating=True, instruction_set=InstructionSet.L)
+
+
+@pytest.fixture
+def marked_ring5_q():
+    """A 5-ring with one state-marked processor: every node unique."""
+    return System(ring(5), {"p0": 1}, InstructionSet.Q)
+
+
+@pytest.fixture
+def path4_q():
+    return System(path(4), None, InstructionSet.Q)
+
+
+@pytest.fixture
+def path4_s_bf():
+    return System(path(4), None, InstructionSet.S, ScheduleClass.BOUNDED_FAIR)

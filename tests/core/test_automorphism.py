@@ -1,0 +1,94 @@
+"""Unit tests for the automorphism matcher."""
+
+import pytest
+
+from repro.core import InstructionSet, Network, System
+from repro.core.automorphism import (
+    are_symmetric,
+    automorphism_orbits,
+    find_automorphism,
+    find_transitive_generator,
+    iter_automorphisms,
+    orbit_labeling,
+    permutation_order,
+    restriction_is_single_cycle,
+)
+from repro.topologies import dining_system, figure2_network, ring, star
+
+
+def ring_sys(n, state=None):
+    return System(ring(n), state, InstructionSet.Q)
+
+
+class TestEnumeration:
+    def test_ring_group_order(self):
+        # A uniformly oriented labeled ring has exactly the n rotations
+        # (reflections reverse edge names, so they are not automorphisms).
+        autos = list(iter_automorphisms(ring_sys(5)))
+        assert len(autos) == 5
+
+    def test_identity_always_present(self):
+        autos = list(iter_automorphisms(ring_sys(3)))
+        assert any(all(a[n] == n for n in a) for a in autos)
+
+    def test_star_leaf_permutations(self):
+        system = System(star(3), None, InstructionSet.Q)
+        autos = list(iter_automorphisms(system))
+        assert len(autos) == 6  # 3! leaf permutations
+
+    def test_limit_respected(self):
+        system = System(star(4), None, InstructionSet.Q)
+        assert len(list(iter_automorphisms(system, limit=5))) == 5
+
+    def test_state_marks_break_symmetry(self):
+        autos = list(iter_automorphisms(ring_sys(4, {"p0": 1})))
+        assert len(autos) == 1  # identity only
+
+    def test_ignore_state_restores_symmetry(self):
+        autos = list(iter_automorphisms(ring_sys(4, {"p0": 1}), ignore_state=True))
+        assert len(autos) == 4
+
+
+class TestQueries:
+    def test_are_symmetric_ring(self):
+        system = ring_sys(4)
+        assert are_symmetric(system, "p0", "p2")
+        assert are_symmetric(system, "v0", "v3")
+
+    def test_find_automorphism_respects_partial(self):
+        system = ring_sys(4)
+        auto = find_automorphism(system, {"p0": "p2"})
+        assert auto is not None
+        assert auto["p0"] == "p2"
+        assert auto["v0"] == "v2"  # rotation forced
+
+    def test_figure2_asymmetric_pair(self):
+        system = System(figure2_network(), None, InstructionSet.Q)
+        assert are_symmetric(system, "p1", "p2")
+        assert not are_symmetric(system, "p1", "p3")
+
+    def test_orbits_ring(self):
+        orbits = automorphism_orbits(ring_sys(5))
+        sizes = sorted(len(o) for o in orbits)
+        assert sizes == [5, 5]  # processors and variables
+
+    def test_orbit_labeling_blocks(self):
+        lab = orbit_labeling(ring_sys(3))
+        assert len(lab.labels) == 2
+
+
+class TestPermutationHelpers:
+    def test_permutation_order(self):
+        perm = {"a": "b", "b": "c", "c": "a", "x": "x"}
+        assert permutation_order(perm) == 3
+
+    def test_restriction_is_single_cycle(self):
+        perm = {"a": "b", "b": "a", "c": "c"}
+        assert restriction_is_single_cycle(perm, ["a", "b"])
+        assert not restriction_is_single_cycle(perm, ["a", "b", "c"])
+
+    def test_transitive_generator_on_prime_ring(self):
+        system = dining_system(5).with_instruction_set(InstructionSet.Q)
+        sigma = find_transitive_generator(system, system.processors)
+        assert sigma is not None
+        assert permutation_order(sigma) == 5

@@ -1,0 +1,123 @@
+"""Unit tests for environment signatures per model (conditions (1)-(3))."""
+
+import pytest
+
+from repro.core import (
+    EnvironmentModel,
+    InstructionSet,
+    Labeling,
+    Network,
+    System,
+    environment_signature,
+    is_environment_respecting,
+    is_supersimilarity_for,
+    same_environment,
+    satisfies_extended_locking_condition,
+    satisfies_locking_condition,
+)
+from repro.topologies import figure1_network, figure2_network
+
+
+def counting_net():
+    """u has one a-writer, w has two: MULTISET splits them, SET does not."""
+    return Network(
+        ("a",),
+        {"p1": {"a": "u"}, "p2": {"a": "w"}, "p3": {"a": "w"}},
+    )
+
+
+class TestModelSelection:
+    def test_for_instruction_set(self):
+        assert EnvironmentModel.for_instruction_set(InstructionSet.S) is EnvironmentModel.SET
+        assert EnvironmentModel.for_instruction_set(InstructionSet.Q) is EnvironmentModel.MULTISET
+        assert EnvironmentModel.for_instruction_set(InstructionSet.L) is EnvironmentModel.MULTISET
+
+
+class TestVariableEnvironments:
+    def test_multiset_distinguishes_counts(self):
+        system = System(counting_net())
+        lab = Labeling.trivial_subsimilarity(system.nodes)
+        assert not same_environment(system, "u", "w", lab, EnvironmentModel.MULTISET)
+
+    def test_set_ignores_counts(self):
+        system = System(counting_net())
+        lab = Labeling.trivial_subsimilarity(system.nodes)
+        assert same_environment(system, "u", "w", lab, EnvironmentModel.SET)
+
+    def test_state_condition(self):
+        system = System(counting_net(), {"u": 1})
+        lab = Labeling.trivial_subsimilarity(system.nodes)
+        assert not same_environment(system, "u", "w", lab, EnvironmentModel.SET)
+        assert same_environment(
+            system, "u", "w", lab, EnvironmentModel.SET, include_state=False
+        )
+
+
+class TestProcessorEnvironments:
+    def test_neighbor_labels_matter(self):
+        system = System(counting_net())
+        lab = Labeling({"p1": 0, "p2": 0, "p3": 0, "u": "U", "w": "W"})
+        assert not same_environment(system, "p1", "p2", lab)
+        assert same_environment(system, "p2", "p3", lab)
+
+    def test_kind_never_collides(self):
+        system = System(figure1_network())
+        lab = Labeling.trivial_subsimilarity(system.nodes)
+        sig_p = environment_signature(system, "p", lab)
+        sig_v = environment_signature(system, "v", lab)
+        assert sig_p != sig_v
+
+
+class TestEnvironmentRespecting:
+    def test_trivial_unique_labeling_respects(self):
+        system = System(figure2_network())
+        lab = Labeling.trivial_supersimilarity(system.nodes)
+        assert is_environment_respecting(system, lab)
+
+    def test_all_same_label_does_not_respect_fig2(self):
+        system = System(figure2_network())
+        lab = Labeling.trivial_subsimilarity(system.nodes)
+        assert not is_environment_respecting(system, lab)
+
+    def test_figure1_all_processors_same_respects(self):
+        system = System(figure1_network())
+        lab = Labeling({"p": 0, "q": 0, "v": 1})
+        assert is_environment_respecting(system, lab)
+
+
+class TestLockingConditions:
+    def test_figure1_same_label_violates_locking(self):
+        net = figure1_network()
+        lab = Labeling({"p": 0, "q": 0, "v": 1})
+        assert not satisfies_locking_condition(net, lab)
+
+    def test_figure1_distinct_labels_satisfy_locking(self):
+        net = figure1_network()
+        lab = Labeling({"p": 0, "q": 1, "v": 2})
+        assert satisfies_locking_condition(net, lab)
+
+    def test_different_names_ok_for_locking_but_not_extended(self):
+        net = Network(
+            ("a", "b"),
+            {"p1": {"a": "v", "b": "w"}, "p2": {"a": "w", "b": "v"}},
+        )
+        lab = Labeling({"p1": 0, "p2": 0, "v": 1, "w": 1})
+        assert satisfies_locking_condition(net, lab)
+        assert not satisfies_extended_locking_condition(net, lab)
+
+
+class TestSupersimilarityDispatch:
+    def test_q_dispatch(self):
+        system = System(figure1_network(), None, InstructionSet.Q)
+        lab = Labeling({"p": 0, "q": 0, "v": 1})
+        assert is_supersimilarity_for(system, lab)
+
+    def test_l_dispatch_rejects_shared_name(self):
+        system = System(figure1_network(), None, InstructionSet.L)
+        lab = Labeling({"p": 0, "q": 0, "v": 1})
+        assert not is_supersimilarity_for(system, lab)
+
+    def test_s_dispatch_uses_set_model(self):
+        system = System(counting_net(), None, InstructionSet.S)
+        lab = Labeling({"p1": 0, "p2": 0, "p3": 0, "u": 1, "w": 1})
+        assert is_supersimilarity_for(system, lab)

@@ -1,0 +1,68 @@
+"""Tests for the dissimilarity explainer."""
+
+import pytest
+
+from repro.core import (
+    EnvironmentModel,
+    InstructionSet,
+    System,
+    explain_dissimilarity,
+    similarity_labeling,
+)
+from repro.topologies import figure2_system, path, ring
+
+
+class TestSimilarPairs:
+    def test_similar_nodes_reported_similar(self, fig2_q):
+        e = explain_dissimilarity(fig2_q, "p1", "p2")
+        assert e.similar
+        assert e.split_round is None
+        assert e.chain == ()
+
+
+class TestExplanations:
+    def test_figure2_explains_the_peek_multiplicity(self, fig2_q):
+        e = explain_dissimilarity(fig2_q, "p1", "p3")
+        assert not e.similar
+        assert e.split_round is not None
+        text = " ".join(e.chain)
+        assert "'n'-neighbors" in text
+        assert "2" in text and "1" in text  # the 2-vs-1 writer multiplicity
+
+    def test_initial_state_base_case(self):
+        system = System(ring(3), {"p0": 1}, InstructionSet.Q)
+        e = explain_dissimilarity(system, "p0", "p1")
+        assert "initial states" in e.chain[-1]
+
+    def test_kind_mismatch(self, fig2_q):
+        e = explain_dissimilarity(fig2_q, "p1", "v1")
+        assert "different kinds" in e.reason
+
+    def test_chain_recursion_bottoms_out(self):
+        system = System(path(5), None, InstructionSet.Q)
+        e = explain_dissimilarity(system, "p0", "p4")
+        assert not e.similar
+        assert len(e.chain) >= 2
+        # The last entry must be a base case (counts or states or cap).
+        assert any(
+            key in e.chain[-1]
+            for key in ("writer", "initial states", "truncated", "classes")
+        )
+
+    def test_depth_cap(self):
+        system = System(path(6), None, InstructionSet.Q)
+        e = explain_dissimilarity(system, "p0", "p5", max_depth=1)
+        assert not e.similar  # still decided, chain just shorter
+
+
+class TestConsistencyWithTheta:
+    @pytest.mark.parametrize("pair", [("p1", "p2"), ("p1", "p3"), ("v1", "v2")])
+    def test_matches_similarity_labeling(self, fig2_q, pair):
+        theta = similarity_labeling(fig2_q)
+        e = explain_dissimilarity(fig2_q, *pair)
+        assert e.similar == (theta[pair[0]] == theta[pair[1]])
+
+    def test_set_model_explanations(self, fig2_q):
+        # Under the SET model p1 and p3 are similar: the explainer agrees.
+        e = explain_dissimilarity(fig2_q, "p1", "p3", model=EnvironmentModel.SET)
+        assert e.similar

@@ -1,0 +1,163 @@
+"""Unit tests for families, ELITE, and relabel enumeration (Section 5)."""
+
+import pytest
+
+from repro.core import (
+    Family,
+    InstructionSet,
+    RelabeledState,
+    ScheduleClass,
+    System,
+    elite_by_theorem9_greedy,
+    relabel_family,
+    relabel_family_extended,
+)
+from repro.exceptions import FamilyError, SelectionError
+from repro.topologies import dining_system, figure1_network, figure1_system, ring
+
+
+def two_member_family():
+    net = figure1_network()
+    m1 = System(net, {"p": 0, "q": 1}, InstructionSet.Q)
+    m2 = System(net, {"p": 1, "q": 0}, InstructionSet.Q)
+    return Family([m1, m2])
+
+
+class TestFamilyBasics:
+    def test_empty_family_rejected(self):
+        with pytest.raises(FamilyError):
+            Family([])
+
+    def test_mixed_instruction_sets_rejected(self):
+        net = figure1_network()
+        with pytest.raises(FamilyError):
+            Family([System(net, None, InstructionSet.Q), System(net, None, InstructionSet.L)])
+
+    def test_mixed_names_rejected(self):
+        with pytest.raises(FamilyError):
+            Family([System(figure1_network()), System(ring(3))])
+
+    def test_homogeneous(self):
+        assert two_member_family().is_homogeneous
+        het = Family([System(ring(3)), System(ring(4))])
+        assert not het.is_homogeneous
+
+    def test_union_system_disconnected(self):
+        assert not two_member_family().union_system().network.is_connected
+
+
+class TestVersions:
+    def test_member_labelings_share_labels(self):
+        fam = two_member_family()
+        v1, v2 = fam.member_labelings()
+        # Marked/unmarked processors get cross-comparable labels.
+        assert v1["q"] == v2["p"]  # both state-1
+        assert v1["p"] == v2["q"]  # both state-0
+
+    def test_elite_exists(self):
+        fam = two_member_family()
+        elite = fam.elite()
+        assert elite is not None
+        v1, v2 = fam.member_labelings()
+        for member, version in zip(fam.members, (v1, v2)):
+            hits = [p for p in member.processors if version[p] in elite]
+            assert len(hits) == 1
+
+    def test_no_elite_for_fully_symmetric_family(self):
+        net = figure1_network()
+        fam = Family([System(net, None, InstructionSet.Q)])
+        assert fam.elite() is None
+        assert not fam.has_selection_algorithm()
+
+
+class TestGreedyElite:
+    def test_greedy_matches_paper_invariant(self):
+        fam = two_member_family()
+        versions = fam.member_labelings()
+        elite = elite_by_theorem9_greedy(versions, ["p", "q"])
+        for version in versions:
+            hits = [p for p in ("p", "q") if version[p] in elite]
+            assert len(hits) == 1
+
+    def test_greedy_raises_when_all_paired(self):
+        net = figure1_network()
+        member = System(net, None, InstructionSet.Q)
+        fam = Family([member])
+        versions = fam.member_labelings()
+        with pytest.raises(SelectionError):
+            elite_by_theorem9_greedy(versions, ["p", "q"])
+
+
+class TestRelabelFamily:
+    def test_requires_locks(self):
+        with pytest.raises(FamilyError):
+            relabel_family(figure1_system(InstructionSet.Q))
+
+    def test_figure1_relabel_members(self):
+        fam = relabel_family(figure1_system(InstructionSet.L))
+        # v handed counts 0/1 in two possible orders.
+        assert len(fam) == 2
+        states = {
+            (m.state0("p").count_for("n"), m.state0("q").count_for("n"))
+            for m in fam.members
+        }
+        assert states == {(0, 1), (1, 0)}
+
+    def test_members_are_q_systems(self):
+        fam = relabel_family(figure1_system(InstructionSet.L))
+        assert all(m.instruction_set is InstructionSet.Q for m in fam.members)
+
+    def test_relabeled_state_accessors(self):
+        rs = RelabeledState("orig", (("a", 0), ("b", 1)))
+        assert rs.count_for("a") == 0
+        assert rs.count_for("b") == 1
+        with pytest.raises(KeyError):
+            rs.count_for("zz")
+
+    def test_dp5_family_has_all_similar_version(self):
+        fam = relabel_family(dining_system(5, instruction_set=InstructionSet.L))
+        versions = fam.member_labelings()
+        procs = fam.members[0].processors
+        assert any(len({v[p] for p in procs}) == 1 for v in versions)
+
+    def test_dp6_adjacent_always_dissimilar(self):
+        from repro.topologies import adjacent_pairs
+
+        system = dining_system(6, alternating=True, instruction_set=InstructionSet.L)
+        fam = relabel_family(system)
+        pairs = adjacent_pairs(system)
+        for version in fam.member_labelings():
+            for a, b in pairs:
+                assert version[a] != version[b]
+
+
+class TestExtendedRelabel:
+    def test_requires_l2(self):
+        with pytest.raises(FamilyError):
+            relabel_family_extended(figure1_system(InstructionSet.L))
+
+    def test_swapped_names_pair_separated_in_l2(self):
+        from repro.core import Network
+
+        net = Network(
+            ("a", "b"),
+            {"p1": {"a": "v", "b": "w"}, "p2": {"a": "w", "b": "v"}},
+        )
+        system = System(net, None, InstructionSet.L2)
+        fam = relabel_family_extended(system)
+        for version in fam.member_labelings():
+            assert version["p1"] != version["p2"]
+
+    def test_plain_l_family_pairs_swapped_names(self):
+        from repro.core import Network
+
+        net = Network(
+            ("a", "b"),
+            {"p1": {"a": "v", "b": "w"}, "p2": {"a": "w", "b": "v"}},
+        )
+        system = System(net, None, InstructionSet.L)
+        fam = relabel_family(system)
+        paired = [
+            v for v in fam.member_labelings() if v["p1"] == v["p2"]
+        ]
+        assert paired  # some lock order leaves the pair symmetric

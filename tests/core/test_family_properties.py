@@ -1,0 +1,63 @@
+"""Property tests on families and the relabel construction."""
+
+from hypothesis import assume, given, settings
+
+from repro.core import (
+    Family,
+    InstructionSet,
+    relabel_family,
+)
+
+from ..strategies import systems
+
+SETTINGS = settings(max_examples=15, deadline=None)
+
+
+@SETTINGS
+@given(systems(instruction_set=InstructionSet.L, max_processors=3, max_variables=3))
+def test_relabel_counts_are_per_variable_permutations(system):
+    """Every member assigns each variable's edges distinct counts 0..d-1."""
+    assume(system.network.edge_count <= 6)  # keep the product family small
+    family = relabel_family(system)
+    net = system.network
+    for member in family.members:
+        for v in net.variables:
+            counts = sorted(
+                member.state0(p).count_for(name)
+                for p, name in net.neighbors_of_variable(v)
+            )
+            assert counts == list(range(net.degree(v)))
+
+
+@SETTINGS
+@given(systems(instruction_set=InstructionSet.L, max_processors=3, max_variables=3))
+def test_relabel_family_is_homogeneous(system):
+    assume(system.network.edge_count <= 6)
+    family = relabel_family(system)
+    assert family.is_homogeneous
+    assert all(m.instruction_set is InstructionSet.Q for m in family.members)
+
+
+@SETTINGS
+@given(systems(instruction_set=InstructionSet.Q, max_processors=3, max_variables=3))
+def test_versions_share_label_space(system):
+    """A two-member family's versions use comparable labels: every label
+    of one version appears in the union labeling's range."""
+    other = system.with_uniform_state(1)
+    family = Family([system, other])
+    union_labels = set(family.similarity_labeling().labels)
+    for version in family.member_labelings():
+        assert set(version.labels) <= union_labels
+
+
+@SETTINGS
+@given(systems(instruction_set=InstructionSet.Q, max_processors=3, max_variables=3))
+def test_elite_when_present_hits_once(system):
+    other = system.with_uniform_state(1)
+    family = Family([system, other])
+    elite = family.elite()
+    if elite is None:
+        return
+    for member, version in zip(family.members, family.member_labelings()):
+        hits = [p for p in member.processors if version[p] in elite]
+        assert len(hits) == 1

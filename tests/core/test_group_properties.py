@@ -1,0 +1,74 @@
+"""The automorphism set really is a group (Section 7's premise).
+
+"The set of automorphisms of a graph is a group, so symmetry of nodes is
+an equivalence relation" -- verified concretely: closure, identity,
+inverses, and the equivalence-relation structure of orbits.
+"""
+
+from hypothesis import given, settings
+
+from repro.core import InstructionSet, System
+from repro.core.automorphism import automorphism_orbits, iter_automorphisms
+from repro.topologies import dining_system, figure2_network, ring, star
+
+from ..strategies import systems
+
+
+def compose(f, g):
+    return {x: f[g[x]] for x in g}
+
+
+def invert(f):
+    return {v: k for k, v in f.items()}
+
+
+def group_of(system, limit=200):
+    return [dict(a) for a in iter_automorphisms(system, limit=limit)]
+
+
+class TestGroupAxioms:
+    def test_identity_closure_inverse_on_ring(self):
+        system = System(ring(4), None, InstructionSet.Q)
+        group = group_of(system)
+        as_items = {tuple(sorted(g.items())) for g in group}
+        identity = {n: n for n in system.nodes}
+        assert tuple(sorted(identity.items())) in as_items
+        for f in group:
+            assert tuple(sorted(invert(f).items())) in as_items
+            for g in group:
+                assert tuple(sorted(compose(f, g).items())) in as_items
+
+    def test_group_order_divides_consistently(self):
+        # Ring automorphisms = rotations: cyclic of order n.
+        for n in (3, 5, 6):
+            system = System(ring(n), None, InstructionSet.Q)
+            assert len(group_of(system)) == n
+
+    def test_star_group_is_symmetric_group(self):
+        system = System(star(3), None, InstructionSet.Q)
+        assert len(group_of(system)) == 6
+
+
+class TestOrbitsAreEquivalence:
+    def test_orbits_partition_nodes(self):
+        system = System(figure2_network(), None, InstructionSet.Q)
+        orbits = automorphism_orbits(system)
+        flat = [n for o in orbits for n in o]
+        assert sorted(map(repr, flat)) == sorted(map(repr, system.nodes))
+
+    def test_dp5_orbits(self):
+        system = dining_system(5)
+        orbits = automorphism_orbits(system)
+        assert sorted(len(o) for o in orbits) == [5, 5]
+
+
+@settings(max_examples=10, deadline=None)
+@given(systems(max_processors=3, max_variables=3))
+def test_group_closure_property(system):
+    group = group_of(system, limit=50)
+    if len(group) > 12:
+        return  # keep the quadratic check cheap
+    as_items = {tuple(sorted(g.items())) for g in group}
+    for f in group:
+        for g in group:
+            assert tuple(sorted(compose(f, g).items())) in as_items

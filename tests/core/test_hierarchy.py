@@ -1,0 +1,55 @@
+"""Unit tests for the model-power hierarchy (Sections 6/9)."""
+
+import pytest
+
+from repro.core import (
+    MODEL_AXIS,
+    POWER_ORDER,
+    selection_across_models,
+    verify_separation,
+)
+from repro.topologies import (
+    ALL_WITNESSES,
+    path,
+    ring,
+    witness_bounded_s_vs_fair_s,
+    witness_l2_vs_l,
+    witness_l_vs_q,
+    witness_q_vs_bounded_s,
+)
+
+
+class TestReports:
+    def test_axis_covers_power_order(self):
+        assert set(POWER_ORDER) == {label for label, _, _ in MODEL_AXIS}
+
+    def test_path_solvable_everywhere(self):
+        report = selection_across_models(path(3))
+        assert set(report.solvable_models()) == set(POWER_ORDER)
+        assert report.respects_power_order()
+
+    def test_anonymous_ring_solvable_nowhere(self):
+        report = selection_across_models(ring(4))
+        assert report.solvable_models() == ()
+        assert report.respects_power_order()
+
+
+class TestSeparations:
+    @pytest.mark.parametrize("pair", sorted(ALL_WITNESSES, key=repr))
+    def test_witness_separates(self, pair):
+        weaker, stronger = pair
+        net, state, desc = ALL_WITNESSES[pair]()
+        witness = verify_separation(weaker, stronger, net, state, desc)
+        assert witness.valid, (
+            f"{desc}: expected {weaker} impossible / {stronger} possible, got "
+            f"{[(m, witness.report.decisions[m].possible) for m in POWER_ORDER]}"
+        )
+
+    @pytest.mark.parametrize(
+        "builder",
+        [witness_l_vs_q, witness_q_vs_bounded_s, witness_bounded_s_vs_fair_s, witness_l2_vs_l],
+    )
+    def test_witnesses_respect_monotonicity(self, builder):
+        net, state, desc = builder()
+        report = selection_across_models(net, state, desc)
+        assert report.respects_power_order(), desc

@@ -1,0 +1,137 @@
+"""Unit tests for the Labeling partition algebra."""
+
+import pytest
+
+from repro.core import Labeling
+from repro.exceptions import LabelingError
+
+
+class TestBasics:
+    def test_getitem(self):
+        lab = Labeling({"a": 1, "b": 1, "c": 2})
+        assert lab["a"] == 1
+        assert len(lab) == 3
+        assert lab.labels == {1, 2}
+
+    def test_unknown_node(self):
+        with pytest.raises(LabelingError):
+            Labeling({"a": 1})["zz"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(LabelingError):
+            Labeling({})
+
+    def test_blocks_deterministic(self):
+        lab = Labeling({"a": 1, "b": 1, "c": 2})
+        assert lab.blocks == (frozenset({"a", "b"}), frozenset({"c"}))
+
+    def test_block_of(self):
+        lab = Labeling({"a": 1, "b": 1, "c": 2})
+        assert lab.block_of("a") == {"a", "b"}
+
+    def test_class_size(self):
+        lab = Labeling({"a": 1, "b": 1, "c": 2})
+        assert lab.class_size(1) == 2
+        assert lab.class_size(2) == 1
+
+    def test_uniquely_labeled_nodes(self):
+        lab = Labeling({"a": 1, "b": 1, "c": 2})
+        assert lab.uniquely_labeled_nodes == ("c",)
+
+    def test_every_node_is_paired(self):
+        assert Labeling({"a": 1, "b": 1}).every_node_is_paired()
+        assert not Labeling({"a": 1, "b": 2}).every_node_is_paired()
+        # Restricted to a subset of nodes:
+        lab = Labeling({"a": 1, "b": 1, "c": 2})
+        assert lab.every_node_is_paired(["a", "b"])
+        assert not lab.every_node_is_paired(["a", "c"])
+
+
+class TestComparisons:
+    def test_refines(self):
+        fine = Labeling({"a": 1, "b": 2, "c": 3})
+        coarse = Labeling({"a": "x", "b": "x", "c": "y"})
+        assert fine.refines(coarse)
+        assert not coarse.refines(fine)
+
+    def test_refines_requires_same_nodes(self):
+        with pytest.raises(LabelingError):
+            Labeling({"a": 1}).refines(Labeling({"b": 1}))
+
+    def test_same_partition_ignores_label_names(self):
+        a = Labeling({"a": 1, "b": 1, "c": 2})
+        b = Labeling({"a": "x", "b": "x", "c": "y"})
+        assert a.same_partition(b)
+
+    def test_meet(self):
+        a = Labeling({"a": 1, "b": 1, "c": 1})
+        b = Labeling({"a": "x", "b": "y", "c": "y"})
+        met = a.meet(b)
+        assert met.blocks == (frozenset({"a"}), frozenset({"b", "c"}))
+
+    def test_restrict(self):
+        lab = Labeling({"a": 1, "b": 2})
+        assert set(lab.restrict(["a"])) == {"a"}
+        with pytest.raises(LabelingError):
+            lab.restrict(["zz"])
+
+
+class TestConstruction:
+    def test_trivial_subsimilarity(self):
+        lab = Labeling.trivial_subsimilarity(["a", "b"])
+        assert len(lab.labels) == 1
+
+    def test_trivial_supersimilarity(self):
+        lab = Labeling.trivial_supersimilarity(["a", "b"])
+        assert len(lab.labels) == 2
+
+    def test_from_blocks(self):
+        lab = Labeling.from_blocks([["a", "b"], ["c"]])
+        assert lab["a"] == lab["b"] != lab["c"]
+
+    def test_from_blocks_overlap_rejected(self):
+        with pytest.raises(LabelingError):
+            Labeling.from_blocks([["a"], ["a"]])
+
+    def test_canonical_is_deterministic(self):
+        lab = Labeling({"p1": 99, "p2": 99, "v": "zz"})
+        canon = lab.canonical(lambda n: "P" if n.startswith("p") else "V")
+        assert str(canon["p1"]) == "P0"
+        assert str(canon["v"]) == "V0"
+        assert canon["p1"] == canon["p2"]
+
+    def test_relabel_nodes(self):
+        lab = Labeling({"a": 1}).relabel_nodes(lambda n: n.upper())
+        assert lab["A"] == 1
+
+
+class TestJoin:
+    def test_join_merges_transitively(self):
+        from repro.core.labeling import join
+
+        a = Labeling({"x": 1, "y": 1, "z": 2})
+        b = Labeling({"x": 1, "y": 2, "z": 2})
+        joined = join(a, b)
+        # x~y (via a), y~z (via b) => one block.
+        assert len(joined.labels) == 1
+
+    def test_join_of_identical_is_same_partition(self):
+        from repro.core.labeling import join
+
+        a = Labeling({"x": 1, "y": 2})
+        assert join(a, a).same_partition(a)
+
+    def test_join_is_coarsening_of_both(self):
+        from repro.core.labeling import join
+
+        a = Labeling({"x": 1, "y": 2, "z": 2})
+        b = Labeling({"x": 1, "y": 1, "z": 3})
+        joined = join(a, b)
+        assert a.refines(joined)
+        assert b.refines(joined)
+
+    def test_join_mismatched_nodes_rejected(self):
+        from repro.core.labeling import join
+
+        with pytest.raises(LabelingError):
+            join(Labeling({"x": 1}), Labeling({"y": 1}))

@@ -1,0 +1,62 @@
+"""Unit tests for mimicry (fair S, Section 6)."""
+
+from repro.core import (
+    InstructionSet,
+    ScheduleClass,
+    System,
+    fair_s_selection_possible,
+    mimicry_relation,
+    mimics,
+    processors_mimicking_no_other,
+    similarity_labeling,
+    EnvironmentModel,
+)
+from repro.topologies import figure3_system, witness_bounded_s_vs_fair_s
+
+
+class TestFigure3:
+    def test_theta_separates_everyone(self, fig3_s):
+        theta = similarity_labeling(fig3_s, model=EnvironmentModel.SET)
+        assert len({theta[p] for p in fig3_s.processors}) == 3
+
+    def test_p_mimics_q(self, fig3_s):
+        assert mimics(fig3_s, "p", "q")
+
+    def test_q_does_not_mimic_p(self, fig3_s):
+        # q's variable structurally shows z's presence in the full system.
+        assert not mimics(fig3_s, "q", "p")
+
+    def test_z_mimics_no_other(self, fig3_s):
+        relation = mimicry_relation(fig3_s)
+        assert not relation["z"]
+
+    def test_selection_still_possible(self, fig3_s):
+        # Figure 3 illustrates *label-learnability* failure (p mimics q);
+        # selection is still possible because q and z mimic nobody: q's
+        # variable structurally carries z, and z's unique initial state
+        # can never be impersonated.
+        assert processors_mimicking_no_other(fig3_s) == ("q", "z")
+        assert fair_s_selection_possible(fig3_s)
+
+
+class TestSimilarityImpliesMimicry:
+    def test_similar_processors_mimic_each_other(self):
+        net, state, _desc = witness_bounded_s_vs_fair_s()
+        system = System(net, state, InstructionSet.S, ScheduleClass.FAIR)
+        assert mimics(system, "q1", "q2")
+        assert mimics(system, "q2", "q1")
+
+
+class TestHierarchyWitness:
+    def test_every_processor_mimics_in_witness(self):
+        net, state, _desc = witness_bounded_s_vs_fair_s()
+        system = System(net, state, InstructionSet.S, ScheduleClass.FAIR)
+        relation = mimicry_relation(system)
+        assert all(relation[p] for p in system.processors)
+        assert not fair_s_selection_possible(system)
+
+    def test_witness_solvable_in_bounded_fair(self):
+        net, state, _desc = witness_bounded_s_vs_fair_s()
+        system = System(net, state, InstructionSet.S, ScheduleClass.BOUNDED_FAIR)
+        theta = similarity_labeling(system, model=EnvironmentModel.SET)
+        assert theta.class_size(theta["p"]) == 1

@@ -1,0 +1,138 @@
+"""Unit tests for the bipartite network model."""
+
+import pytest
+
+from repro.core import Network
+from repro.exceptions import NetworkError
+
+
+def simple_net():
+    return Network(
+        ("a", "b"),
+        {"p": {"a": "u", "b": "v"}, "q": {"a": "v", "b": "v"}},
+    )
+
+
+class TestConstruction:
+    def test_basic_accessors(self):
+        net = simple_net()
+        assert net.processors == ("p", "q")
+        assert net.variables == ("u", "v")
+        assert set(net.names) == {"a", "b"}
+        assert net.edge_count == 4
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(NetworkError, match="must name exactly NAMES"):
+            Network(("a", "b"), {"p": {"a": "u"}})
+
+    def test_extra_name_rejected(self):
+        with pytest.raises(NetworkError, match="must name exactly NAMES"):
+            Network(("a",), {"p": {"a": "u", "b": "v"}})
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(NetworkError, match="NAMES must be non-empty"):
+            Network((), {"p": {}})
+
+    def test_no_processors_rejected(self):
+        with pytest.raises(NetworkError, match="at least one processor"):
+            Network(("a",), {})
+
+    def test_id_collision_rejected(self):
+        with pytest.raises(NetworkError, match="both processor and variable"):
+            Network(("a",), {"x": {"a": "x"}})
+
+    def test_explicit_isolated_variable(self):
+        net = Network(("a",), {"p": {"a": "u"}}, variables=["u", "island"])
+        assert "island" in net.variables
+        assert net.neighbors_of_variable("island") == ()
+
+
+class TestNeighborhoods:
+    def test_n_nbr(self):
+        net = simple_net()
+        assert net.n_nbr("p", "a") == "u"
+        assert net.n_nbr("q", "b") == "v"
+
+    def test_n_nbr_unknown(self):
+        with pytest.raises(NetworkError):
+            simple_net().n_nbr("zzz", "a")
+
+    def test_neighbors_of_processor(self):
+        assert simple_net().neighbors_of_processor("q") == {"a": "v", "b": "v"}
+
+    def test_variable_neighbors_include_name_multiplicity(self):
+        net = simple_net()
+        # q names v twice (a and b): two edges.
+        assert net.neighbors_of_variable("v") == (("p", "b"), ("q", "a"), ("q", "b"))
+        assert net.degree("v") == 3
+
+    def test_n_neighbors_of_variable(self):
+        net = simple_net()
+        assert net.n_neighbors_of_variable("v", "b") == ("p", "q")
+        assert net.n_neighbors_of_variable("u", "b") == ()
+
+
+class TestStructure:
+    def test_connected(self):
+        assert simple_net().is_connected
+
+    def test_disconnected(self):
+        net = Network(
+            ("a",), {"p": {"a": "u"}, "q": {"a": "w"}}
+        )
+        assert not net.is_connected
+        assert len(net.connected_components) == 2
+
+    def test_is_distributed(self):
+        # Every processor touches v -> not distributed.
+        net = Network(("a",), {"p": {"a": "v"}, "q": {"a": "v"}})
+        assert not net.is_distributed
+        # Ring of 3 is distributed.
+        from repro.topologies import ring
+
+        assert ring(3).is_distributed
+
+
+class TestConstructions:
+    def test_disjoint_union(self):
+        a, b = simple_net(), simple_net()
+        u = a.disjoint_union(b)
+        assert len(u.processors) == 4
+        assert len(u.variables) == 4
+        assert not u.is_connected
+
+    def test_union_requires_same_names(self):
+        a = simple_net()
+        b = Network(("x",), {"p": {"x": "u"}})
+        with pytest.raises(NetworkError, match="identical NAMES"):
+            a.disjoint_union(b)
+
+    def test_induced_subnetwork_keeps_all_edges(self):
+        net = simple_net()
+        sub = net.induced_subnetwork(["q"])
+        assert sub.processors == ("q",)
+        assert sub.variables == ("v",)
+        assert sub.n_nbr("q", "a") == "v"
+
+    def test_induced_subnetwork_unknown_processor(self):
+        with pytest.raises(NetworkError):
+            simple_net().induced_subnetwork(["nope"])
+
+    def test_all_subnetworks_count(self):
+        # 2 processors -> 3 nonempty subsets.
+        assert len(list(simple_net().all_subnetworks())) == 3
+
+    def test_relabeled(self):
+        net = simple_net().relabeled(lambda x: ("t", x))
+        assert ("t", "p") in net.processors
+        assert net.n_nbr(("t", "p"), "a") == ("t", "u")
+
+
+class TestEquality:
+    def test_equal_networks(self):
+        assert simple_net() == simple_net()
+        assert hash(simple_net()) == hash(simple_net())
+
+    def test_different_networks(self):
+        other = Network(("a", "b"), {"p": {"a": "u", "b": "u"}, "q": {"a": "v", "b": "v"}})
+        assert simple_net() != other

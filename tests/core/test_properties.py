@@ -1,0 +1,154 @@
+"""Property-based tests on the core theory (hypothesis).
+
+These pin down the structural invariants the paper's theory rests on:
+
+* the three Algorithm-1 engines compute the same partition;
+* the similarity labeling is environment-respecting (Theorem 4's
+  condition) and is the *coarsest* such labeling;
+* SET-model similarity coarsens MULTISET-model similarity (S below Q);
+* automorphism orbits refine the similarity labeling (Theorem 10);
+* structural (state-blind) labelings coarsen stateful ones;
+* labeling algebra: refines is a partial order w.r.t. same_partition.
+"""
+
+from hypothesis import given, settings
+
+from repro.core import (
+    EnvironmentModel,
+    Labeling,
+    algorithm1_literal,
+    algorithm1_signatures,
+    algorithm1_worklist,
+    compute_similarity_labeling,
+    is_environment_respecting,
+)
+from repro.core.automorphism import orbit_labeling
+
+from ..strategies import systems
+
+FAST = settings(max_examples=40, deadline=None)
+SLOW = settings(max_examples=15, deadline=None)
+
+
+@FAST
+@given(systems())
+def test_engines_compute_same_partition(system):
+    a = algorithm1_literal(system).labeling
+    b = algorithm1_signatures(system).labeling
+    c = algorithm1_worklist(system).labeling
+    assert a.same_partition(b)
+    assert b.same_partition(c)
+
+
+@FAST
+@given(systems())
+def test_theta_is_environment_respecting(system):
+    for model in (EnvironmentModel.MULTISET, EnvironmentModel.SET):
+        theta = compute_similarity_labeling(system, model).labeling
+        assert is_environment_respecting(system, theta, model)
+
+
+@FAST
+@given(systems())
+def test_theta_is_coarsest_stable(system):
+    """Any environment-respecting labeling refines Theta."""
+    theta = compute_similarity_labeling(system).labeling
+    unique = Labeling.trivial_supersimilarity(system.nodes)
+    assert unique.refines(theta)
+    # And splitting any Theta class must break environment-respect or
+    # equal Theta (coarsest = no strictly coarser stable labeling exists;
+    # we check the dual: merging two Theta classes breaks stability).
+    blocks = theta.blocks
+    if len(blocks) >= 2:
+        merged = {n: theta[n] for n in system.nodes}
+        kinds = {}
+        for block in blocks:
+            witness = next(iter(block))
+            kind = "P" if system.network.is_processor(witness) else "V"
+            kinds.setdefault(kind, []).append(block)
+        for kind, kind_blocks in kinds.items():
+            if len(kind_blocks) >= 2:
+                a, b = kind_blocks[0], kind_blocks[1]
+                label = merged[next(iter(a))]
+                for n in b:
+                    merged[n] = label
+                coarser = Labeling(merged)
+                assert not is_environment_respecting(system, coarser)
+                break
+
+
+@FAST
+@given(systems())
+def test_set_model_coarsens_multiset(system):
+    multiset = compute_similarity_labeling(system, EnvironmentModel.MULTISET).labeling
+    set_model = compute_similarity_labeling(system, EnvironmentModel.SET).labeling
+    assert multiset.refines(set_model)
+
+
+@FAST
+@given(systems())
+def test_stateless_coarsens_stateful(system):
+    stateful = compute_similarity_labeling(system, include_state=True).labeling
+    structural = compute_similarity_labeling(system, include_state=False).labeling
+    assert stateful.refines(structural)
+
+
+@SLOW
+@given(systems(max_processors=4, max_variables=3))
+def test_orbits_refine_theta(system):
+    """Theorem 10: symmetric nodes are similar."""
+    orbits = orbit_labeling(system)
+    theta = compute_similarity_labeling(system).labeling
+    assert orbits.refines(theta)
+
+
+@FAST
+@given(systems())
+def test_refines_antisymmetry(system):
+    theta = compute_similarity_labeling(system).labeling
+    assert theta.refines(theta)
+    assert theta.same_partition(theta)
+
+
+@FAST
+@given(systems())
+def test_canonical_labels_split_by_kind(system):
+    theta = compute_similarity_labeling(system).labeling
+    for node in system.nodes:
+        expected = "P" if system.network.is_processor(node) else "V"
+        assert theta[node].kind == expected
+
+
+@FAST
+@given(systems())
+def test_environment_respecting_closed_under_join(system):
+    """Why Theta exists: Theorem-4 labelings are a join-semilattice.
+
+    The join of the similarity labeling with any coarsening of it that is
+    still environment-respecting must itself be environment-respecting;
+    more strongly, joining Theta with the orbit labeling (both
+    environment-respecting by Theorems 4/10) stays environment-respecting.
+    """
+    from repro.core.automorphism import orbit_labeling
+    from repro.core.labeling import join
+    from repro.core.environment import is_environment_respecting
+
+    theta = compute_similarity_labeling(system).labeling
+    orbits = orbit_labeling(system)
+    joined = join(theta, orbits)
+    assert is_environment_respecting(system, joined)
+    # And since orbits refine theta, the join is theta itself.
+    assert joined.same_partition(theta)
+
+
+@FAST
+@given(systems())
+def test_meet_refines_join(system):
+    from repro.core.labeling import join
+    from repro.core.automorphism import orbit_labeling
+
+    theta = compute_similarity_labeling(system).labeling
+    orbits = orbit_labeling(system)
+    met = theta.meet(orbits)
+    joined = join(theta, orbits)
+    assert met.refines(joined)

@@ -1,0 +1,90 @@
+"""Tests for quotient systems and canonical forms."""
+
+import pytest
+
+from repro.core import (
+    InstructionSet,
+    System,
+    are_isomorphic,
+    canonical_form,
+    quotient_system,
+    similarity_structures_equal,
+)
+from repro.topologies import dining_system, figure1_system, figure2_system, path, ring, star
+
+
+class TestQuotient:
+    def test_figure2_quotient_shape(self, fig2_q):
+        q = quotient_system(fig2_q)
+        assert q.processor_class_count == 2
+        assert q.variable_class_count == 3
+        sizes = sorted(size for _l, size, _s in q.pclasses)
+        assert sizes == [1, 2]
+
+    def test_anonymous_ring_quotient_is_tiny(self):
+        system = System(ring(7), None, InstructionSet.Q)
+        q = quotient_system(system)
+        assert q.processor_class_count == 1
+        assert q.variable_class_count == 1
+        assert q.class_size(q.pclasses[0][0]) == 7
+
+    def test_quotient_edge_counts(self, fig1_q):
+        q = quotient_system(fig1_q)
+        assert len(q.edges) == 1
+        assert q.edges[0].count == 2  # two n-writers per (the) variable
+
+    def test_selection_off_the_quotient(self, fig2_q, fig1_q):
+        assert quotient_system(fig2_q).selection_possible()
+        assert not quotient_system(fig1_q).selection_possible()
+
+    def test_unknown_class_size(self, fig1_q):
+        with pytest.raises(KeyError):
+            quotient_system(fig1_q).class_size("nope")
+
+
+class TestSimilarityStructure:
+    def test_same_system_equal(self, fig2_q):
+        assert similarity_structures_equal(fig2_q, fig2_q)
+
+    def test_different_sizes_not_equal(self):
+        a = System(star(3), None, InstructionSet.Q)
+        b = System(star(4), None, InstructionSet.Q)
+        assert not similarity_structures_equal(a, b)
+
+    def test_relabeled_copy_equal(self):
+        a = System(ring(4), None, InstructionSet.Q)
+        net_b = ring(4, prefix="other")
+        b = System(net_b, None, InstructionSet.Q)
+        assert similarity_structures_equal(a, b)
+
+
+class TestIsomorphism:
+    def test_renamed_ring_isomorphic(self):
+        a = System(ring(5), None, InstructionSet.Q)
+        b = System(ring(5, prefix="q"), None, InstructionSet.Q)
+        assert are_isomorphic(a, b)
+
+    def test_rotated_mark_isomorphic(self):
+        a = System(ring(4), {"p0": 1}, InstructionSet.Q)
+        b = System(ring(4), {"p2": 1}, InstructionSet.Q)
+        assert are_isomorphic(a, b)
+
+    def test_different_marks_not_isomorphic(self):
+        a = System(ring(4), {"p0": 1}, InstructionSet.Q)
+        b = System(ring(4), {"p0": 1, "p1": 1}, InstructionSet.Q)
+        assert not are_isomorphic(a, b)
+
+    def test_ring_vs_path_not_isomorphic(self):
+        a = System(ring(3), None, InstructionSet.Q)
+        b = System(path(3), None, InstructionSet.Q)
+        assert not are_isomorphic(a, b)
+
+    def test_canonical_form_invariance(self):
+        a = System(ring(4), {"p1": 1}, InstructionSet.Q)
+        b = System(ring(4), {"p3": 1}, InstructionSet.Q)
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_dining_orientations_differ(self):
+        a = dining_system(6).with_instruction_set(InstructionSet.Q)
+        b = dining_system(6, alternating=True).with_instruction_set(InstructionSet.Q)
+        assert not are_isomorphic(a, b)

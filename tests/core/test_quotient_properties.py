@@ -1,0 +1,59 @@
+"""Property tests for quotients and canonical forms."""
+
+from hypothesis import given, settings
+
+from repro.core import (
+    canonical_form,
+    compute_similarity_labeling,
+    decide_selection,
+    quotient_system,
+    similarity_structures_equal,
+)
+
+from ..strategies import systems
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+@SETTINGS
+@given(systems())
+def test_quotient_class_counts_match_theta(system):
+    theta = compute_similarity_labeling(system).labeling
+    q = quotient_system(system, theta)
+    assert q.processor_class_count + q.variable_class_count == len(theta.labels)
+
+
+@SETTINGS
+@given(systems())
+def test_quotient_sizes_sum_to_node_counts(system):
+    q = quotient_system(system)
+    assert sum(s for _l, s, _st in q.pclasses) == len(system.processors)
+    assert sum(s for _l, s, _st in q.vclasses) == len(system.variables)
+
+
+@SETTINGS
+@given(systems())
+def test_quotient_selection_matches_full_decision(system):
+    """For Q systems the quotient answers the selection question."""
+    q = quotient_system(system)
+    assert q.selection_possible() == decide_selection(system).possible
+
+
+@SETTINGS
+@given(systems())
+def test_canonical_form_invariant_under_renaming(system):
+    renamed_net = system.network.relabeled(lambda n: ("renamed", n))
+    renamed = type(system)(
+        renamed_net,
+        {("renamed", n): system.state0(n) for n in system.nodes},
+        system.instruction_set,
+        system.schedule_class,
+    )
+    assert canonical_form(system) == canonical_form(renamed)
+    assert similarity_structures_equal(system, renamed)
+
+
+@SETTINGS
+@given(systems())
+def test_self_similarity_structure(system):
+    assert similarity_structures_equal(system, system)

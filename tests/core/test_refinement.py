@@ -1,0 +1,117 @@
+"""Unit tests for Algorithm 1 (three engines)."""
+
+import pytest
+
+from repro.core import (
+    EnvironmentModel,
+    InstructionSet,
+    System,
+    algorithm1_literal,
+    algorithm1_signatures,
+    algorithm1_worklist,
+    compute_similarity_labeling,
+)
+from repro.topologies import (
+    dining_system,
+    figure1_system,
+    figure2_system,
+    path,
+    ring,
+    star,
+    torus_grid,
+)
+
+ENGINES = [algorithm1_literal, algorithm1_signatures, algorithm1_worklist]
+
+
+def classes_of(system, engine, **kw):
+    return engine(system, **kw).labeling
+
+
+class TestKnownSystems:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_figure1_processors_merge(self, engine):
+        theta = classes_of(figure1_system(), engine)
+        assert theta["p"] == theta["q"]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_figure2_p3_split(self, engine):
+        theta = classes_of(figure2_system(), engine)
+        assert theta["p1"] == theta["p2"]
+        assert theta["p1"] != theta["p3"]
+        assert theta["v1"] != theta["v2"]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_anonymous_ring_all_similar(self, engine):
+        theta = classes_of(System(ring(6), None, InstructionSet.Q), engine)
+        procs = [f"p{i}" for i in range(6)]
+        assert len({theta[p] for p in procs}) == 1
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_marked_ring_all_unique(self, engine):
+        theta = classes_of(System(ring(5), {"p0": 1}, InstructionSet.Q), engine)
+        procs = [f"p{i}" for i in range(5)]
+        assert len({theta[p] for p in procs}) == 5
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_path_all_unique(self, engine):
+        theta = classes_of(System(path(5), None, InstructionSet.Q), engine)
+        procs = [f"p{i}" for i in range(5)]
+        assert len({theta[p] for p in procs}) == 5
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_star_leaves_merge(self, engine):
+        theta = classes_of(System(star(4), None, InstructionSet.Q), engine)
+        assert len({theta[f"p{i}"] for i in range(4)}) == 1
+
+
+class TestModels:
+    def test_set_vs_multiset_on_figure2(self):
+        sys_q = figure2_system()
+        multiset = compute_similarity_labeling(sys_q, EnvironmentModel.MULTISET).labeling
+        set_model = compute_similarity_labeling(sys_q, EnvironmentModel.SET).labeling
+        assert multiset["p1"] != multiset["p3"]
+        assert set_model["p1"] == set_model["p3"]
+        # SET is always a coarsening of MULTISET.
+        assert multiset.refines(set_model)
+
+    def test_include_state_false_ignores_marks(self):
+        system = System(ring(4), {"p0": 1}, InstructionSet.Q)
+        structural = compute_similarity_labeling(system, include_state=False).labeling
+        assert len({structural[f"p{i}"] for i in range(4)}) == 1
+
+
+class TestEnginesAgree:
+    @pytest.mark.parametrize(
+        "system",
+        [
+            figure1_system(),
+            figure2_system(),
+            System(ring(7), {"p0": 1, "p3": 1}, InstructionSet.Q),
+            System(torus_grid(2, 3), None, InstructionSet.Q),
+            System(path(6), {"p2": 1}, InstructionSet.Q),
+            dining_system(6, alternating=True).with_instruction_set(InstructionSet.Q),
+        ],
+    )
+    def test_same_partition(self, system):
+        a = algorithm1_literal(system).labeling
+        b = algorithm1_signatures(system).labeling
+        c = algorithm1_worklist(system).labeling
+        assert a.same_partition(b)
+        assert b.same_partition(c)
+
+
+class TestStats:
+    def test_stats_populated(self):
+        result = algorithm1_signatures(figure2_system())
+        assert result.stats.rounds >= 1
+        assert result.stats.classes == len(result.labeling.labels)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            compute_similarity_labeling(figure1_system(), engine="bogus")
+
+    def test_worklist_scales(self):
+        system = System(ring(200), {"p0": 1}, InstructionSet.Q)
+        result = algorithm1_worklist(system)
+        assert len(result.labeling.labels) == 400  # all nodes unique

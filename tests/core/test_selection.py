@@ -1,0 +1,118 @@
+"""Unit tests for decide_selection across all models (Theorems 1-9)."""
+
+import pytest
+
+from repro.core import (
+    Family,
+    InstructionSet,
+    ScheduleClass,
+    System,
+    decide_family_selection,
+    decide_selection,
+)
+from repro.topologies import (
+    dining_system,
+    figure1_network,
+    figure1_system,
+    figure2_system,
+    figure3_system,
+    path,
+    ring,
+    star,
+)
+
+
+class TestTheorem1:
+    def test_general_schedules_always_impossible(self):
+        system = figure2_system().with_schedule_class(ScheduleClass.GENERAL)
+        decision = decide_selection(system)
+        assert not decision.possible
+        assert decision.theorem == "Theorem 1"
+
+
+class TestQ:
+    def test_figure1_impossible(self, fig1_q):
+        decision = decide_selection(fig1_q)
+        assert not decision.possible
+        assert "Theorem 3" in decision.theorem
+
+    def test_figure2_possible_p3(self, fig2_q):
+        decision = decide_selection(fig2_q)
+        assert decision.possible
+        assert decision.unique_processors == ("p3",)
+        assert decision.elite is not None
+
+    def test_marked_ring_possible(self, marked_ring5_q):
+        assert decide_selection(marked_ring5_q).possible
+
+    def test_anonymous_ring_impossible(self):
+        assert not decide_selection(System(ring(4), None, InstructionSet.Q)).possible
+
+
+class TestL:
+    def test_figure1_possible_in_l(self, fig1_l):
+        decision = decide_selection(fig1_l)
+        assert decision.possible
+        assert decision.theorem == "Theorem 9"
+
+    def test_star_possible_in_l(self):
+        assert decide_selection(System(star(3), None, InstructionSet.L)).possible
+
+    def test_dp5_impossible_in_l(self, dp5_l):
+        decision = decide_selection(dp5_l)
+        assert not decision.possible
+        assert "Theorem 8" in decision.theorem
+
+    def test_dp6_leader_election_impossible_in_l(self, dp6_l):
+        # DP' is about neighbor-dissimilarity, not a unique leader: the
+        # rotationally symmetric relabel versions pair every philosopher.
+        assert not decide_selection(dp6_l).possible
+
+
+class TestL2:
+    def test_swapped_pair_possible_only_in_l2(self):
+        from repro.core import Network
+
+        net = Network(
+            ("a", "b"),
+            {"p1": {"a": "v", "b": "w"}, "p2": {"a": "w", "b": "v"}},
+        )
+        in_l = decide_selection(System(net, None, InstructionSet.L))
+        in_l2 = decide_selection(System(net, None, InstructionSet.L2))
+        assert not in_l.possible
+        assert in_l2.possible
+
+
+class TestS:
+    def test_bounded_fair_uses_set_model(self):
+        system = figure2_system(InstructionSet.S, ScheduleClass.BOUNDED_FAIR)
+        assert not decide_selection(system).possible
+
+    def test_bounded_fair_path_possible(self, path4_s_bf):
+        assert decide_selection(path4_s_bf).possible
+
+    def test_fair_s_uses_mimicry(self, fig3_s):
+        decision = decide_selection(fig3_s)
+        assert decision.possible
+        assert decision.unique_processors == ("q", "z")
+        assert "mimicry" in decision.theorem
+
+
+class TestFamilies:
+    def test_family_selection_decision(self):
+        net = figure1_network()
+        fam = Family(
+            [
+                System(net, {"p": 0, "q": 1}, InstructionSet.Q),
+                System(net, {"p": 1, "q": 0}, InstructionSet.Q),
+            ]
+        )
+        decision = decide_family_selection(fam)
+        assert decision.possible
+        assert decision.theorem == "Theorem 7"
+
+    def test_family_without_elite(self):
+        net = figure1_network()
+        fam = Family([System(net, None, InstructionSet.Q)])
+        decision = decide_family_selection(fam)
+        assert not decision.possible

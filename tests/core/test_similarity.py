@@ -1,0 +1,69 @@
+"""Unit tests for the similarity front door (Theorems 2-4 helpers)."""
+
+from repro.core import (
+    InstructionSet,
+    Labeling,
+    System,
+    are_similar,
+    every_processor_is_paired,
+    is_similarity_labeling,
+    is_subsimilarity_labeling,
+    is_supersimilarity_labeling,
+    processor_similarity_classes,
+    similarity_classes,
+    similarity_labeling,
+    similarity_result,
+)
+from repro.topologies import figure1_system, figure2_system, ring
+
+
+class TestQueries:
+    def test_are_similar_figure1(self, fig1_q):
+        assert are_similar(fig1_q, "p", "q")
+
+    def test_are_similar_figure2(self, fig2_q):
+        assert are_similar(fig2_q, "p1", "p2")
+        assert not are_similar(fig2_q, "p1", "p3")
+
+    def test_similarity_classes_cover_nodes(self, fig2_q):
+        blocks = similarity_classes(fig2_q)
+        assert sorted(n for b in blocks for n in b) == sorted(fig2_q.nodes)
+
+    def test_processor_similarity_classes(self, fig2_q):
+        classes = processor_similarity_classes(fig2_q)
+        assert frozenset({"p1", "p2"}) in classes
+        assert frozenset({"p3"}) in classes
+
+
+class TestLabelingPredicates:
+    def test_theta_is_similarity_labeling(self, fig2_q):
+        theta = similarity_labeling(fig2_q)
+        assert is_similarity_labeling(fig2_q, theta)
+        assert is_supersimilarity_labeling(fig2_q, theta)
+        assert is_subsimilarity_labeling(fig2_q, theta)
+
+    def test_trivial_labelings(self, fig2_q):
+        unique = Labeling.trivial_supersimilarity(fig2_q.nodes)
+        allsame = Labeling.trivial_subsimilarity(fig2_q.nodes)
+        assert is_supersimilarity_labeling(fig2_q, unique)
+        assert not is_subsimilarity_labeling(fig2_q, unique)
+        assert is_subsimilarity_labeling(fig2_q, allsame)
+        assert not is_supersimilarity_labeling(fig2_q, allsame)
+
+
+class TestPairing:
+    def test_figure1_every_processor_paired(self, fig1_q):
+        assert every_processor_is_paired(fig1_q)
+
+    def test_figure2_not_every_processor_paired(self, fig2_q):
+        assert not every_processor_is_paired(fig2_q)
+
+    def test_anonymous_ring_paired(self):
+        system = System(ring(4), None, InstructionSet.Q)
+        assert every_processor_is_paired(system)
+
+
+class TestResult:
+    def test_result_contains_stats(self, fig1_q):
+        result = similarity_result(fig1_q)
+        assert result.stats.classes == len(result.labeling.labels)

@@ -1,0 +1,132 @@
+"""Unit tests for Section 7: Theorems 10-11 and symmetry breaking."""
+
+import pytest
+
+from repro.core import (
+    InstructionSet,
+    System,
+    analyze_prime_symmetry,
+    can_break_symmetry,
+    is_prime,
+    is_symmetric_system,
+    processor_symmetry_classes,
+    symmetric_implies_similar,
+)
+from repro.topologies import dining_system, figure2_system, ring, star, torus_grid
+
+
+class TestPrime:
+    @pytest.mark.parametrize("n,expected", [(1, False), (2, True), (3, True), (4, False), (5, True), (6, False), (7, True), (9, False)])
+    def test_is_prime(self, n, expected):
+        assert is_prime(n) is expected
+
+
+class TestSymmetricSystems:
+    def test_dp5_symmetric(self):
+        assert is_symmetric_system(dining_system(5))
+
+    def test_dp6_alternating_symmetric(self):
+        assert is_symmetric_system(dining_system(6, alternating=True))
+
+    def test_figure2_not_symmetric(self):
+        assert not is_symmetric_system(figure2_system())
+
+
+class TestTheorem10:
+    @pytest.mark.parametrize(
+        "system",
+        [
+            dining_system(5).with_instruction_set(InstructionSet.Q),
+            dining_system(6, alternating=True).with_instruction_set(InstructionSet.Q),
+            figure2_system(),
+            System(star(4), None, InstructionSet.Q),
+            System(torus_grid(2, 2), None, InstructionSet.Q),
+        ],
+    )
+    def test_symmetric_implies_similar_in_q(self, system):
+        assert symmetric_implies_similar(system)
+
+
+class TestTheorem11:
+    def test_dp5_prime_class_applies(self):
+        reports = analyze_prime_symmetry(dining_system(5))
+        proc_reports = [r for r in reports if len(r.orbit) == 5]
+        assert proc_reports
+        r = proc_reports[0]
+        assert r.prime and r.applies
+        assert r.generator_order == 5
+        assert r.processors_similar_in_q
+
+    def test_dp6_composite_class_does_not_apply(self):
+        reports = analyze_prime_symmetry(dining_system(6, alternating=True))
+        phil = [r for r in reports if len(r.orbit) == 6]
+        assert phil
+        assert not phil[0].prime
+        assert not phil[0].applies
+
+    def test_dp7_prime_applies(self):
+        reports = analyze_prime_symmetry(dining_system(7))
+        phil = [r for r in reports if len(r.orbit) == 7]
+        assert phil[0].applies
+
+
+class TestSymmetryBreaking:
+    def test_q_never_breaks(self):
+        assert not can_break_symmetry(dining_system(5).with_instruction_set(InstructionSet.Q))
+
+    def test_s_never_breaks(self):
+        assert not can_break_symmetry(dining_system(5).with_instruction_set(InstructionSet.S))
+
+    def test_l_breaks_on_shared_names(self):
+        # Star: all leaves name the hub identically -> lock races break symmetry.
+        assert can_break_symmetry(System(star(3), None, InstructionSet.L))
+
+    def test_l_cannot_break_without_shared_names(self):
+        # Uniform dining ring: every fork has differently-named users.
+        assert not can_break_symmetry(dining_system(5, instruction_set=InstructionSet.L))
+
+    def test_l_breaks_on_alternating_ring(self):
+        assert can_break_symmetry(dining_system(6, alternating=True, instruction_set=InstructionSet.L))
+
+
+class TestSymmetryGap:
+    """The converse of Theorem 10 fails: similar does not imply symmetric."""
+
+    def test_two_rings_of_different_sizes(self):
+        from repro.core import union_of_systems
+        from repro.core.symmetry import symmetry_gap
+        from repro.topologies import ring
+
+        union = union_of_systems(
+            [
+                System(ring(3), None, InstructionSet.Q),
+                System(ring(6), None, InstructionSet.Q),
+            ]
+        )
+        report = symmetry_gap(union)
+        # Similarity merges all 9 processors (no program can count its
+        # ring); automorphisms cannot mix the components.
+        assert report.converse_of_theorem10_fails
+        assert report.gap > 0
+        pairs = report.merged_but_not_symmetric
+        assert any(
+            {a[0], b[0]} == {0, 1} for a, b in pairs
+        )  # a cross-component pair
+
+    def test_no_gap_on_vertex_transitive_systems(self):
+        from repro.core.symmetry import symmetry_gap
+
+        report = symmetry_gap(dining_system(5).with_instruction_set(InstructionSet.Q))
+        assert not report.converse_of_theorem10_fails
+        assert report.gap == 0
+
+    def test_theorem10_direction_never_violated(self):
+        """orbit_count >= similarity_count always (Theorem 10)."""
+        from repro.core.symmetry import symmetry_gap
+
+        for system in (
+            figure2_system(),
+            System(star(4), None, InstructionSet.Q),
+            System(torus_grid(2, 2), None, InstructionSet.Q),
+        ):
+            assert symmetry_gap(system).gap >= 0

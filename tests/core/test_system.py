@@ -1,0 +1,101 @@
+"""Unit tests for System and union_of_systems."""
+
+import pytest
+
+from repro.core import InstructionSet, Network, ScheduleClass, System, union_of_systems
+from repro.exceptions import SystemError_
+from repro.topologies import figure1_network, ring
+
+
+def net2():
+    return figure1_network()
+
+
+class TestSystem:
+    def test_default_states_are_zero(self):
+        s = System(net2())
+        assert all(s.state0(n) == 0 for n in s.nodes)
+
+    def test_explicit_states(self):
+        s = System(net2(), {"p": 7})
+        assert s.state0("p") == 7
+        assert s.state0("q") == 0
+
+    def test_unknown_node_in_state_rejected(self):
+        with pytest.raises(SystemError_, match="unknown nodes"):
+            System(net2(), {"ghost": 1})
+
+    def test_state0_unknown_node(self):
+        with pytest.raises(SystemError_):
+            System(net2()).state0("ghost")
+
+    def test_with_state(self):
+        s = System(net2()).with_state({"p": 3})
+        assert s.state0("p") == 3
+
+    def test_with_uniform_state(self):
+        s = System(net2(), {"p": 5}).with_uniform_state(9)
+        assert {s.state0(n) for n in s.nodes} == {9}
+
+    def test_with_instruction_set(self):
+        s = System(net2()).with_instruction_set(InstructionSet.L)
+        assert s.instruction_set is InstructionSet.L
+
+    def test_induced_subsystem(self):
+        s = System(net2(), {"p": 1})
+        sub = s.induced_subsystem(["p"])
+        assert sub.processors == ("p",)
+        assert sub.state0("p") == 1
+
+    def test_equality_and_hash(self):
+        assert System(net2()) == System(net2())
+        assert hash(System(net2())) == hash(System(net2()))
+        assert System(net2()) != System(net2(), {"p": 1})
+
+
+class TestInstructionSet:
+    def test_has_locks(self):
+        assert InstructionSet.L.has_locks
+        assert InstructionSet.L2.has_locks
+        assert not InstructionSet.S.has_locks
+        assert not InstructionSet.Q.has_locks
+
+    def test_is_multiset(self):
+        assert InstructionSet.Q.is_multiset
+        assert not InstructionSet.S.is_multiset
+
+
+class TestScheduleClass:
+    def test_is_fair(self):
+        assert ScheduleClass.FAIR.is_fair
+        assert ScheduleClass.BOUNDED_FAIR.is_fair
+        assert not ScheduleClass.GENERAL.is_fair
+
+
+class TestUnion:
+    def test_union_tags_nodes(self):
+        a = System(net2(), {"p": 1})
+        b = System(net2(), {"q": 2})
+        u = union_of_systems([a, b])
+        assert u.state0((0, "p")) == 1
+        assert u.state0((1, "q")) == 2
+        assert len(u.processors) == 4
+        assert not u.network.is_connected
+
+    def test_union_requires_matching_instruction_sets(self):
+        a = System(net2(), None, InstructionSet.Q)
+        b = System(net2(), None, InstructionSet.L)
+        with pytest.raises(SystemError_):
+            union_of_systems([a, b])
+
+    def test_union_of_zero_rejected(self):
+        with pytest.raises(SystemError_):
+            union_of_systems([])
+
+    def test_pairwise_disjoint_union_requires_same_names(self):
+        from repro.exceptions import NetworkError
+
+        a = System(net2())
+        b = System(ring(3))
+        with pytest.raises(NetworkError):
+            a.disjoint_union(b)  # different NAMES

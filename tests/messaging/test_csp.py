@@ -1,0 +1,52 @@
+"""Tests for the CSP analogy (Section 6)."""
+
+from repro.core import Labeling
+from repro.messaging import (
+    bidirectional_ring,
+    csp_rendezvous_family,
+    decide_selection_extended_csp,
+    decide_selection_plain_csp,
+    is_supersimilarity_extended_csp,
+    linked_pairs,
+    mp_similarity_labeling,
+)
+
+
+class TestLinkedPairs:
+    def test_ring_pairs(self):
+        assert len(linked_pairs(bidirectional_ring(4))) == 4
+
+
+class TestExtendedCSPSupersimilarity:
+    def test_anonymous_ring_allsame_rejected(self):
+        mp = bidirectional_ring(4)
+        allsame = Labeling({p: 0 for p in mp.processors})
+        # Environment-respecting, but neighbors share the label.
+        assert not is_supersimilarity_extended_csp(mp, allsame)
+
+    def test_two_coloring_accepted(self):
+        mp = bidirectional_ring(4)
+        coloring = Labeling({"p0": 0, "p2": 0, "p1": 1, "p3": 1})
+        theta = mp_similarity_labeling(mp)
+        if coloring.refines(theta):
+            assert is_supersimilarity_extended_csp(mp, coloring)
+        # (On an anonymous ring all nodes are similar, so the 2-coloring
+        # refines theta trivially.)
+        assert coloring.refines(theta)
+
+
+class TestSelectionDecisions:
+    def test_pair_solvable_in_extended_csp(self):
+        assert decide_selection_extended_csp(bidirectional_ring(2))
+
+    def test_anonymous_ring_unsolvable(self):
+        assert not decide_selection_extended_csp(bidirectional_ring(6))
+
+    def test_family_size(self):
+        fam = csp_rendezvous_family(bidirectional_ring(2))
+        assert 1 <= len(fam) <= 2
+
+    def test_plain_csp_inherits_async_decision(self):
+        from repro.messaging import unidirectional_ring
+
+        assert not decide_selection_plain_csp(bidirectional_ring(4))

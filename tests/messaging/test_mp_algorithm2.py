@@ -1,0 +1,78 @@
+"""Tests for the message-passing distributed labeler."""
+
+import pytest
+
+from repro.core import EnvironmentModel
+from repro.exceptions import LabelingError
+from repro.messaging import (
+    Channel,
+    MPLabelTables,
+    MPSystem,
+    bidirectional_ring,
+    mp_similarity_labeling,
+    run_mp_labeler,
+    unidirectional_chain,
+    unidirectional_ring,
+)
+
+
+class TestTables:
+    def test_in_labels(self):
+        mp = unidirectional_ring(4, states={0: 1})
+        theta = mp_similarity_labeling(mp)
+        tables = MPLabelTables.from_system(mp, theta)
+        # p1's prev-sender is p0.
+        assert tables.in_label[(theta["p1"], "prev")] == theta["p0"]
+
+    def test_state_filter(self):
+        mp = unidirectional_ring(4, states={0: 1})
+        tables = MPLabelTables.from_system(mp)
+        assert len(tables.plabels_with_state(1)) == 1
+        assert len(tables.plabels_with_state(0)) == 3
+
+    def test_non_respecting_labeling_rejected(self):
+        from repro.core import Labeling
+
+        mp = unidirectional_ring(3, states={0: 1})
+        bogus = Labeling({p: 0 for p in mp.processors})
+        with pytest.raises(LabelingError):
+            MPLabelTables.from_system(mp, bogus)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_marked_unidirectional_ring(self, n):
+        out = run_mp_labeler(unidirectional_ring(n, states={0: 1}))
+        assert out.all_correct
+
+    def test_marked_bidirectional_ring(self):
+        out = run_mp_labeler(bidirectional_ring(5, states={0: 1}))
+        assert out.all_correct
+
+    def test_anonymous_ring_trivially_labeled(self):
+        # One class: every PEC is a singleton immediately.
+        out = run_mp_labeler(unidirectional_ring(4))
+        assert out.all_correct
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_delivery_order_irrelevant(self, seed):
+        out = run_mp_labeler(unidirectional_ring(6, states={0: 1}), seed=seed)
+        assert out.all_correct
+
+
+class TestObstruction:
+    def test_chain_upstream_stays_uncertain(self):
+        """The Section 6 learnability failure, observed live: processors
+        with unknowable upstream context never converge."""
+        out = run_mp_labeler(unidirectional_chain(4))
+        assert not out.all_correct
+        assert "p0" in out.uncertain
+        # The sink accumulates enough exclusions to learn.
+        assert out.learned["p3"] == out.truth["p3"]
+
+    def test_never_wrong_even_in_chain(self):
+        mp = unidirectional_chain(5)
+        out = run_mp_labeler(mp)
+        for p, learned in out.learned.items():
+            if learned is not None:
+                assert learned == out.truth[p]

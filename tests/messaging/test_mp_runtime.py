@@ -1,0 +1,50 @@
+"""Tests for the async message-passing executor."""
+
+import pytest
+
+from repro.exceptions import ExecutionError
+from repro.messaging import MPExecutor, MPProgram, unidirectional_ring
+
+
+class TokenPasser(MPProgram):
+    """The marked processor emits one token; everyone forwards once."""
+
+    def on_start(self, state0, out_ports=()):
+        if state0 == 1:
+            return ("sent", 0), [("next", "token")]
+        return ("idle", 0), []
+
+    def on_message(self, state, port, payload):
+        kind, hops = state
+        if kind == "sent":
+            return ("got-back", hops), []
+        return ("forwarded", hops + 1), [("next", payload)]
+
+
+class TestExecutor:
+    def test_token_goes_around(self):
+        mp = unidirectional_ring(4, states={0: 1})
+        ex = MPExecutor(mp, TokenPasser(), seed=0)
+        assert ex.run_to_quiescence()
+        assert ex.local["p0"][0] == "got-back"
+        assert ex.stats.deliveries == 4
+
+    def test_bad_out_port_raises(self):
+        class Bad(MPProgram):
+            def on_start(self, state0, out_ports=()):
+                return 0, [("nonexistent", "x")]
+
+            def on_message(self, state, port, payload):
+                return state, []
+
+        mp = unidirectional_ring(3)
+        with pytest.raises(ExecutionError, match="out-port"):
+            MPExecutor(mp, Bad())
+
+    def test_seed_reproducible(self):
+        mp = unidirectional_ring(5, states={0: 1})
+        a = MPExecutor(mp, TokenPasser(), seed=3)
+        b = MPExecutor(mp, TokenPasser(), seed=3)
+        a.run_to_quiescence()
+        b.run_to_quiescence()
+        assert a.local == b.local

@@ -1,0 +1,55 @@
+"""Tests for message-passing similarity (Section 6)."""
+
+from repro.core import EnvironmentModel
+from repro.messaging import (
+    bidirectional_ring,
+    labels_learnable,
+    mp_selection_possible,
+    mp_similarity_labeling,
+    unidirectional_chain,
+    unidirectional_ring,
+)
+
+
+class TestRings:
+    def test_anonymous_ring_all_similar(self):
+        theta = mp_similarity_labeling(unidirectional_ring(5))
+        assert len(theta.labels) == 1
+
+    def test_marked_ring_all_unique(self):
+        theta = mp_similarity_labeling(unidirectional_ring(5, states={0: 1}))
+        assert len(theta.labels) == 5
+
+    def test_selection_decisions(self):
+        assert not mp_selection_possible(unidirectional_ring(4))
+        assert mp_selection_possible(unidirectional_ring(4, states={0: 1}))
+
+    def test_bidirectional_anonymous_all_similar(self):
+        theta = mp_similarity_labeling(bidirectional_ring(4))
+        assert len(theta.labels) == 1
+
+
+class TestChains:
+    def test_chain_positions_unique(self):
+        # p0 has no in-neighbor; position propagates downstream.
+        theta = mp_similarity_labeling(unidirectional_chain(4))
+        assert len(theta.labels) == 4
+
+    def test_set_model_coarsens(self):
+        mp = unidirectional_chain(4)
+        multiset = mp_similarity_labeling(mp, EnvironmentModel.MULTISET)
+        set_model = mp_similarity_labeling(mp, EnvironmentModel.SET)
+        assert multiset.refines(set_model)
+
+
+class TestLearnability:
+    def test_strongly_connected_learnable(self):
+        assert labels_learnable(unidirectional_ring(4))
+
+    def test_bidirectional_learnable(self):
+        assert labels_learnable(bidirectional_ring(3))
+
+    def test_unidirectional_chain_not_learnable(self):
+        """The Section 6 problem case: unidirectional, fair, not strongly
+        connected, unknown in-degrees -- like fair S."""
+        assert not labels_learnable(unidirectional_chain(4))

@@ -1,0 +1,64 @@
+"""Unit tests for the message-passing system model."""
+
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.messaging import (
+    Channel,
+    MPSystem,
+    bidirectional_ring,
+    unidirectional_chain,
+    unidirectional_ring,
+)
+
+
+class TestConstruction:
+    def test_processors_inferred(self):
+        mp = MPSystem([Channel("a", "b", "in", "out")])
+        assert mp.processors == ("a", "b")
+
+    def test_duplicate_in_port_rejected(self):
+        with pytest.raises(NetworkError, match="two channels on port"):
+            MPSystem(
+                [
+                    Channel("a", "c", "in", "out1"),
+                    Channel("b", "c", "in", "out1"),
+                ]
+            )
+
+    def test_duplicate_out_port_rejected(self):
+        with pytest.raises(NetworkError, match="out-port"):
+            MPSystem(
+                [
+                    Channel("a", "b", "in1", "out"),
+                    Channel("a", "c", "in1", "out"),
+                ]
+            )
+
+    def test_isolated_processor_via_processors_arg(self):
+        mp = MPSystem([Channel("a", "b", "in", "out")], processors=["a", "b", "c"])
+        assert "c" in mp.processors
+        assert mp.in_neighbors("c") == ()
+
+
+class TestStructure:
+    def test_unidirectional_ring_strongly_connected(self):
+        assert unidirectional_ring(4).is_strongly_connected
+
+    def test_chain_not_strongly_connected(self):
+        assert not unidirectional_chain(3).is_strongly_connected
+
+    def test_bidirectional_detection(self):
+        assert bidirectional_ring(3).is_bidirectional
+        assert not unidirectional_ring(3).is_bidirectional
+
+    def test_in_channels(self):
+        mp = unidirectional_ring(3)
+        in_chs = mp.in_channels("p1")
+        assert len(in_chs) == 1
+        assert in_chs[0].sender == "p0"
+
+    def test_neighbors_share_link(self):
+        mp = unidirectional_chain(3)
+        assert mp.neighbors_share_link("p0", "p1")
+        assert not mp.neighbors_share_link("p0", "p2")

@@ -1,0 +1,51 @@
+"""Analytic formulas agree with Monte-Carlo measurements."""
+
+import pytest
+
+from repro.randomized import (
+    election_statistics,
+    ir_expected_messages,
+    ir_expected_phases,
+    ir_no_tie_probability,
+    lr_all_same_direction_probability,
+)
+
+
+class TestNoTieProbability:
+    def test_single_candidate(self):
+        assert ir_no_tie_probability(1, 2) == 1.0
+
+    def test_two_candidates_two_ids(self):
+        # Unique max iff the two draws differ: probability 1/2.
+        assert ir_no_tie_probability(2, 2) == pytest.approx(0.5)
+
+    def test_large_id_space_approaches_one(self):
+        assert ir_no_tie_probability(3, 1000) > 0.99
+
+    def test_monotone_in_id_space(self):
+        probs = [ir_no_tie_probability(4, s) for s in (2, 4, 8, 32)]
+        assert probs == sorted(probs)
+
+
+class TestExpectedPhases:
+    def test_two_two_is_two(self):
+        # Geometric with success probability 1/2.
+        assert ir_expected_phases(2, 2) == pytest.approx(2.0)
+
+    def test_matches_monte_carlo(self):
+        for n, s in ((2, 2), (4, 2), (5, 4)):
+            analytic = ir_expected_phases(n, s)
+            measured = election_statistics(n, id_space=s, trials=600, seed=17).mean_phases
+            assert measured == pytest.approx(analytic, rel=0.15)
+
+    def test_messages_match_monte_carlo(self):
+        n, s = 5, 2
+        analytic = ir_expected_messages(n, s)
+        measured = election_statistics(n, id_space=s, trials=600, seed=3).mean_messages
+        assert measured == pytest.approx(analytic, rel=0.15)
+
+
+class TestLehmannRabin:
+    def test_trap_probability_vanishes(self):
+        assert lr_all_same_direction_probability(5) == pytest.approx(1 / 16)
+        assert lr_all_same_direction_probability(10) < 0.01

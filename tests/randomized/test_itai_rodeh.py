@@ -1,0 +1,53 @@
+"""Tests for Itai-Rodeh anonymous-ring election."""
+
+import pytest
+
+from repro.randomized import elect, election_statistics
+
+
+class TestElect:
+    def test_single_processor(self):
+        result = elect(1)
+        assert result.leader == 0
+        assert result.phases == 0
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_always_elects(self, n):
+        for seed in range(10):
+            result = elect(n, seed=seed)
+            assert result.elected
+            assert 0 <= result.leader < n
+
+    def test_deterministic_by_seed(self):
+        assert elect(6, seed=42) == elect(6, seed=42)
+
+    def test_candidates_shrink(self):
+        result = elect(8, id_space=2, seed=1)
+        counts = result.candidates_per_phase
+        assert counts[0] == 8
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            elect(0)
+
+    def test_messages_grow_with_phases(self):
+        result = elect(5, seed=0)
+        assert result.messages >= 5 * 5  # at least one full phase
+
+
+class TestStatistics:
+    def test_success_rate_is_one(self):
+        stats = election_statistics(5, trials=50, seed=9)
+        assert stats.success_rate == 1.0
+
+    def test_larger_id_space_fewer_phases(self):
+        small = election_statistics(6, id_space=2, trials=100, seed=3)
+        large = election_statistics(6, id_space=64, trials=100, seed=3)
+        assert large.mean_phases < small.mean_phases
+
+    def test_mean_phases_reasonable(self):
+        # With id_space=2 and n=2 the per-phase tie probability is 1/2,
+        # so the expectation is near 2 phases.
+        stats = election_statistics(2, id_space=2, trials=400, seed=5)
+        assert 1.5 < stats.mean_phases < 2.6

@@ -1,0 +1,63 @@
+"""Tests for the Lehmann-Rabin randomized dining philosophers."""
+
+import pytest
+
+from repro.core import InstructionSet
+from repro.runtime import RandomFairScheduler, RoundRobinScheduler
+from repro.randomized import LehmannRabinProgram, run_lehmann_rabin
+from repro.topologies import adjacent_pairs, dining_system
+
+
+@pytest.mark.parametrize("n", [3, 5])
+def test_progress_on_prime_tables(n):
+    """Randomization feeds everyone where determinism deadlocks (Sec. 8)."""
+    system = dining_system(n, instruction_set=InstructionSet.L)
+    report = run_lehmann_rabin(
+        system,
+        RandomFairScheduler(system.processors, seed=1),
+        steps=8_000,
+        adjacent=adjacent_pairs(system),
+        seed=7,
+    )
+    assert report.safety_ok
+    assert report.everyone_ate
+
+
+def test_progress_under_round_robin():
+    system = dining_system(5, instruction_set=InstructionSet.L)
+    report = run_lehmann_rabin(
+        system,
+        RoundRobinScheduler(system.processors),
+        steps=8_000,
+        adjacent=adjacent_pairs(system),
+        seed=3,
+    )
+    assert report.safety_ok
+    assert report.everyone_ate
+
+
+def test_seed_reproducible():
+    system = dining_system(5, instruction_set=InstructionSet.L)
+    kwargs = dict(
+        scheduler=RoundRobinScheduler(system.processors),
+        steps=2_000,
+        adjacent=adjacent_pairs(system),
+        seed=11,
+    )
+    a = run_lehmann_rabin(system, kwargs["scheduler"], kwargs["steps"], kwargs["adjacent"], seed=11)
+    b = run_lehmann_rabin(system, RoundRobinScheduler(system.processors), 2_000, adjacent_pairs(system), seed=11)
+    assert a.meals == b.meals
+
+
+def test_meal_counts_roughly_balanced():
+    system = dining_system(5, instruction_set=InstructionSet.L)
+    report = run_lehmann_rabin(
+        system,
+        RandomFairScheduler(system.processors, seed=2),
+        steps=20_000,
+        adjacent=adjacent_pairs(system),
+        seed=2,
+    )
+    meals = sorted(report.meals.values())
+    assert meals[0] > 0
+    assert meals[-1] <= 4 * meals[0]  # no starvation in practice

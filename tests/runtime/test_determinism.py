@@ -1,0 +1,67 @@
+"""Executor determinism and schedule-replay properties."""
+
+from hypothesis import given, settings
+
+from repro.core import InstructionSet
+from repro.runtime import (
+    Executor,
+    RandomProgramL,
+    RandomProgramQ,
+    RandomProgramS,
+    ReplayScheduler,
+    RoundRobinScheduler,
+)
+
+from ..strategies import systems
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+
+def run_twice(system, program_cls, seed):
+    results = []
+    for _ in range(2):
+        program = program_cls(system.names, seed=seed)
+        executor = Executor(system, program, RoundRobinScheduler(system.processors))
+        executor.run(50)
+        results.append(executor.configuration())
+    return results
+
+
+@SETTINGS
+@given(systems(instruction_set=InstructionSet.Q))
+def test_q_runs_are_reproducible(system):
+    a, b = run_twice(system, RandomProgramQ, seed=3)
+    assert a == b
+
+
+@SETTINGS
+@given(systems(instruction_set=InstructionSet.S))
+def test_s_runs_are_reproducible(system):
+    a, b = run_twice(system, RandomProgramS, seed=5)
+    assert a == b
+
+
+@SETTINGS
+@given(systems(instruction_set=InstructionSet.L))
+def test_l_runs_are_reproducible(system):
+    a, b = run_twice(system, RandomProgramL, seed=7)
+    assert a == b
+
+
+@SETTINGS
+@given(systems(instruction_set=InstructionSet.Q))
+def test_replay_prefix_matches_live_run(system):
+    """Replaying the exact schedule of a live run reproduces it."""
+    program = RandomProgramQ(system.names, seed=1)
+    live = Executor(system, program, RoundRobinScheduler(system.processors))
+    schedule = []
+    for _ in range(40):
+        record = live.step()
+        schedule.append(record.processor)
+    replay = Executor(
+        system,
+        RandomProgramQ(system.names, seed=1),
+        ReplayScheduler(schedule, RoundRobinScheduler(system.processors)),
+    )
+    replay.run(len(schedule))
+    assert replay.configuration() == live.configuration()

@@ -1,0 +1,79 @@
+"""Property-based empirical validation of Theorems 4 and 8.
+
+The strongest check in the repository: compute the similarity labeling,
+build the class round-robin schedule from Theorem 4's proof, run
+*arbitrary deterministic programs*, and assert that same-labeled nodes
+carry equal states at every round boundary.  A wrong environment
+definition for any model is caught here (e.g. swapping SET and MULTISET
+breaks the S or Q run).
+"""
+
+from hypothesis import given, settings
+
+from repro.core import (
+    EnvironmentModel,
+    InstructionSet,
+    compute_similarity_labeling,
+    satisfies_locking_condition,
+)
+from repro.runtime import (
+    ClassRoundRobinScheduler,
+    Executor,
+    RandomProgramL,
+    RandomProgramQ,
+    RandomProgramS,
+    lockstep_holds,
+)
+
+from ..strategies import systems
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def classes_of(system, model):
+    theta = compute_similarity_labeling(system, model).labeling
+    return theta, [sorted(b, key=repr) for b in theta.blocks]
+
+
+@SETTINGS
+@given(systems(instruction_set=InstructionSet.Q))
+def test_theorem4_lockstep_q(system):
+    theta, classes = classes_of(system, EnvironmentModel.MULTISET)
+    for seed in (0, 1):
+        ex = Executor(
+            system,
+            RandomProgramQ(system.names, seed=seed),
+            ClassRoundRobinScheduler(system.processors, theta),
+        )
+        assert lockstep_holds(ex, classes, rounds=30)
+
+
+@SETTINGS
+@given(systems(instruction_set=InstructionSet.S))
+def test_theorem4_analog_lockstep_s(system):
+    """SET-model classes stay in lockstep under reads/writes."""
+    theta, classes = classes_of(system, EnvironmentModel.SET)
+    for seed in (0, 1):
+        ex = Executor(
+            system,
+            RandomProgramS(system.names, seed=seed),
+            ClassRoundRobinScheduler(system.processors, theta),
+        )
+        assert lockstep_holds(ex, classes, rounds=30)
+
+
+@SETTINGS
+@given(systems(instruction_set=InstructionSet.L))
+def test_theorem8_lockstep_l(system):
+    """Theorem 8: Q-labelings satisfying the locking condition survive
+    lock instructions."""
+    theta, classes = classes_of(system, EnvironmentModel.MULTISET)
+    if not satisfies_locking_condition(system.network, theta):
+        return  # Theorem 8's hypothesis fails; no lockstep promised
+    for seed in (0, 1):
+        ex = Executor(
+            system,
+            RandomProgramL(system.names, seed=seed),
+            ClassRoundRobinScheduler(system.processors, theta),
+        )
+        assert lockstep_holds(ex, classes, rounds=30)

@@ -1,0 +1,60 @@
+"""Tests for execution recording and timelines."""
+
+from repro.baselines import LeftFirstDiningProgram
+from repro.core import InstructionSet
+from repro.runtime import (
+    RecordingExecutor,
+    RoundRobinScheduler,
+    census,
+    render_activity,
+    render_timeline,
+)
+from repro.topologies import dining_system, figure4_system, figure5_system
+
+
+def record_dining(system, steps):
+    executor = RecordingExecutor(
+        system,
+        LeftFirstDiningProgram(),
+        RoundRobinScheduler(system.processors),
+    )
+    executor.run(steps)
+    return executor
+
+
+class TestRecording:
+    def test_records_every_step(self):
+        ex = record_dining(figure5_system(), 120)
+        assert len(ex.records) == 120
+        assert len(ex.schedule_so_far()) == 120
+
+    def test_histories_grow_per_own_step(self):
+        ex = record_dining(figure5_system(), 120)
+        total = sum(len(h) - 1 for h in ex.histories.values())
+        assert total == 120
+
+    def test_census(self):
+        ex = record_dining(figure5_system(), 120)
+        c = census(ex)
+        assert c.steps == 120
+        assert sum(c.per_processor.values()) == 120
+        assert "Lock" in c.per_action_type
+
+
+class TestTimelines:
+    def test_dp6_shows_eating(self):
+        ex = record_dining(figure5_system(), 600)
+        art = render_activity(ex, LeftFirstDiningProgram.is_eating)
+        assert "#" in art  # somebody ate
+        assert art.count("\n") == 5  # six lanes
+
+    def test_dp5_shows_no_eating(self):
+        ex = record_dining(figure4_system(), 600)
+        art = render_activity(ex, LeftFirstDiningProgram.is_eating)
+        assert "#" not in art  # deadlock: nobody ever eats
+
+    def test_width_truncation(self):
+        ex = record_dining(figure5_system(), 300)
+        art = render_timeline(ex, lambda st: "x", width=10)
+        for lane in art.splitlines():
+            assert len(lane.split()[-1]) <= 10

@@ -1,0 +1,101 @@
+"""Unit tests for schedulers and schedule-prefix validation."""
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.core import Labeling
+from repro.runtime import (
+    ClassRoundRobinScheduler,
+    KBoundedFairScheduler,
+    RandomFairScheduler,
+    ReplayScheduler,
+    RoundRobinScheduler,
+    StarvationScheduler,
+    is_fair_prefix,
+    is_k_bounded_prefix,
+)
+
+PROCS = ("a", "b", "c")
+
+
+def take(scheduler, n):
+    return [scheduler.next_processor(i, None) for i in range(n)]
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        assert take(RoundRobinScheduler(PROCS), 7) == ["a", "b", "c", "a", "b", "c", "a"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ScheduleError):
+            RoundRobinScheduler(())
+
+
+class TestClassRoundRobin:
+    def test_classes_run_back_to_back(self):
+        lab = Labeling({"a": 1, "b": 2, "c": 1})
+        sched = ClassRoundRobinScheduler(PROCS, lab)
+        round_ = take(sched, 3)
+        # a and c (class 1) adjacent, then b.
+        assert round_.index("a") + 1 == round_.index("c") or round_.index("c") + 1 == round_.index("a")
+
+
+class TestKBounded:
+    def test_every_window_contains_everyone(self):
+        sched = KBoundedFairScheduler(PROCS, k=6, seed=1)
+        prefix = take(sched, 120)
+        assert is_k_bounded_prefix(prefix, PROCS, 6)
+
+    def test_k_smaller_than_n_rejected(self):
+        with pytest.raises(ScheduleError):
+            KBoundedFairScheduler(PROCS, k=2)
+
+    def test_reset_reproduces(self):
+        sched = KBoundedFairScheduler(PROCS, seed=4)
+        first = take(sched, 20)
+        sched.reset()
+        assert take(sched, 20) == first
+
+
+class TestRandomFair:
+    def test_seeded_reproducible(self):
+        a = RandomFairScheduler(PROCS, seed=9)
+        b = RandomFairScheduler(PROCS, seed=9)
+        assert take(a, 30) == take(b, 30)
+
+    def test_eventually_fair(self):
+        sched = RandomFairScheduler(PROCS, seed=0)
+        assert is_fair_prefix(take(sched, 200), PROCS)
+
+
+class TestReplay:
+    def test_prefix_then_fallback(self):
+        sched = ReplayScheduler(["c", "c"], RoundRobinScheduler(PROCS))
+        assert take(sched, 5) == ["c", "c", "a", "b", "c"]
+
+    def test_exhausted_without_fallback(self):
+        sched = ReplayScheduler(["a"])
+        sched.next_processor(0, None)
+        with pytest.raises(ScheduleError):
+            sched.next_processor(1, None)
+
+
+class TestStarvation:
+    def test_starved_never_runs(self):
+        sched = StarvationScheduler(PROCS, starved=["b"])
+        assert "b" not in take(sched, 50)
+
+    def test_cannot_starve_all(self):
+        with pytest.raises(ScheduleError):
+            StarvationScheduler(PROCS, starved=PROCS)
+
+
+class TestPrefixValidation:
+    def test_fair_prefix(self):
+        assert is_fair_prefix(["a", "b", "c"], PROCS)
+        assert not is_fair_prefix(["a", "b"], PROCS)
+
+    def test_k_bounded_prefix(self):
+        assert is_k_bounded_prefix(["a", "b", "c", "a", "b", "c"], PROCS, 3)
+        assert not is_k_bounded_prefix(["a", "a", "a", "b", "c"], PROCS, 3)
+        assert not is_k_bounded_prefix(["a"], PROCS, 2)  # k < |P|

@@ -1,0 +1,70 @@
+"""Unit tests for the Uniqueness/Stability checker."""
+
+from repro.core import InstructionSet
+from repro.runtime import (
+    FunctionalProgram,
+    Internal,
+    RoundRobinScheduler,
+    run_selection,
+    standard_schedules,
+    verify_selection_program,
+)
+from repro.topologies import figure1_system
+
+
+def select_self_immediately():
+    return FunctionalProgram(
+        initial=lambda s0: "s",
+        action=lambda st: Internal("go"),
+        step=lambda st, a, r: "sel",
+        selected=lambda st: st == "sel",
+    )
+
+
+def select_never():
+    return FunctionalProgram(
+        initial=lambda s0: "s",
+        action=lambda st: Internal("spin"),
+        step=lambda st, a, r: st,
+    )
+
+
+def flapping_selector():
+    return FunctionalProgram(
+        initial=lambda s0: 0,
+        action=lambda st: Internal("t"),
+        step=lambda st, a, r: (st + 1) % 4,
+        selected=lambda st: st == 1,
+    )
+
+
+class TestRunSelection:
+    def test_everyone_selects_violates_uniqueness(self, fig1_q):
+        run = run_selection(fig1_q, select_self_immediately(),
+                            RoundRobinScheduler(fig1_q.processors), "rr", max_steps=200)
+        assert not run.unique
+        assert not run.ok
+
+    def test_nobody_selects(self, fig1_q):
+        run = run_selection(fig1_q, select_never(),
+                            RoundRobinScheduler(fig1_q.processors), "rr", max_steps=200)
+        assert run.winner is None
+        assert not run.ok
+
+    def test_instability_detected(self, fig1_q):
+        run = run_selection(fig1_q, flapping_selector(),
+                            RoundRobinScheduler(fig1_q.processors), "rr", max_steps=200)
+        assert not run.stable
+
+
+class TestBattery:
+    def test_standard_schedules_cover_classes(self, fig1_q):
+        names = [name for name, _ in standard_schedules(fig1_q)]
+        assert any("round-robin" in n for n in names)
+        assert any("k-bounded" in n for n in names)
+        assert any("random-fair" in n for n in names)
+
+    def test_verdict_aggregation(self, fig1_q):
+        verdict = verify_selection_program(fig1_q, select_never(), max_steps=100)
+        assert not verdict.all_ok
+        assert verdict.winners == ()

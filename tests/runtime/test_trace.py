@@ -1,0 +1,70 @@
+"""Unit tests for cycle detection and infinitely-often checks."""
+
+import pytest
+
+from repro.core import InstructionSet, System, similarity_labeling
+from repro.exceptions import ExecutionError
+from repro.runtime import (
+    ClassRoundRobinScheduler,
+    Executor,
+    IdleProgram,
+    RandomProgramQ,
+    RoundRobinScheduler,
+    lockstep_holds,
+    run_until_cycle,
+    states_equal_infinitely_often,
+)
+from repro.topologies import figure1_system, ring
+
+
+class TestRunUntilCycle:
+    def test_idle_program_cycles_immediately(self, fig1_q):
+        ex = Executor(fig1_q, IdleProgram(), RoundRobinScheduler(fig1_q.processors))
+        info = run_until_cycle(ex)
+        assert info.cycle_length == 1
+        assert info.prefix_length == 0
+
+    def test_random_program_reaches_cycle(self, fig1_q):
+        ex = Executor(fig1_q, RandomProgramQ(fig1_q.names, seed=0), RoundRobinScheduler(fig1_q.processors))
+        info = run_until_cycle(ex)
+        assert info.cycle_length >= 1
+        assert len(info.cycle) == info.cycle_length
+
+    def test_max_samples_guard(self, fig1_q):
+        ex = Executor(fig1_q, RandomProgramQ(fig1_q.names, seed=0), RoundRobinScheduler(fig1_q.processors))
+        with pytest.raises(ExecutionError, match="no configuration cycle"):
+            run_until_cycle(ex, max_samples=1)
+
+
+class TestInfinitelyOften:
+    def test_similar_pair_equal_io(self, fig1_q):
+        factory = lambda: Executor(
+            fig1_q, RandomProgramQ(fig1_q.names, seed=3), RoundRobinScheduler(fig1_q.processors)
+        )
+        assert states_equal_infinitely_often(factory, ["p", "q"])
+
+    def test_marked_pair_not_equal(self):
+        system = System(ring(2), {"p0": 1}, InstructionSet.Q)
+        # p0 marked: with a program that keeps the mark in its state, the
+        # two processors never coincide.
+        factory = lambda: Executor(
+            system, RandomProgramQ(system.names, seed=1), RoundRobinScheduler(system.processors)
+        )
+        assert not states_equal_infinitely_often(factory, ["p0", "p1"])
+
+
+class TestLockstep:
+    def test_theorem4_lockstep_on_ring(self):
+        system = System(ring(6), None, InstructionSet.Q)
+        theta = similarity_labeling(system)
+        classes = [sorted(b, key=repr) for b in theta.blocks]
+        ex = Executor(system, RandomProgramQ(system.names, seed=7),
+                      ClassRoundRobinScheduler(system.processors, theta))
+        assert lockstep_holds(ex, classes, rounds=40)
+
+    def test_lockstep_fails_for_wrong_classes(self):
+        system = System(ring(4), {"p0": 1}, InstructionSet.Q)
+        bogus_classes = [["p0", "p1"]]  # differently-stated pair
+        ex = Executor(system, RandomProgramQ(system.names, seed=2),
+                      RoundRobinScheduler(system.processors))
+        assert not lockstep_holds(ex, bogus_classes, rounds=10)

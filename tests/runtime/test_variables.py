@@ -1,0 +1,70 @@
+"""Unit tests for runtime variable semantics."""
+
+import pytest
+
+from repro.exceptions import ExecutionError
+from repro.runtime import PlainVariable, SubvalueVariable, multiset_key
+
+
+class TestPlainVariable:
+    def test_read_write(self):
+        v = PlainVariable("v", 0)
+        assert v.read() == 0
+        v.write("x")
+        assert v.read() == "x"
+
+    def test_lock_semantics(self):
+        v = PlainVariable("v", 0)
+        assert v.try_lock("p") is True
+        assert v.try_lock("q") is False  # already set
+        v.unlock("p")
+        assert v.try_lock("q") is True
+
+    def test_strict_unlock_by_other(self):
+        v = PlainVariable("v", 0)
+        v.try_lock("p")
+        with pytest.raises(ExecutionError):
+            v.unlock("q", strict=True)
+
+    def test_lenient_unlock(self):
+        v = PlainVariable("v", 0)
+        v.try_lock("p")
+        v.unlock("q", strict=False)  # the paper's unconditional unlock
+        assert not v.locked
+
+    def test_snapshot_includes_lock_bit(self):
+        v = PlainVariable("v", 0)
+        before = v.snapshot()
+        v.try_lock("p")
+        assert v.snapshot() != before
+
+
+class TestSubvalueVariable:
+    def test_initially_empty(self):
+        v = SubvalueVariable("v", "base")
+        assert v.peek() == ("base", ())
+
+    def test_post_creates_subvalue(self):
+        v = SubvalueVariable("v", 0)
+        v.post("p", "a")
+        v.post("q", "b")
+        assert v.peek() == (0, ("'a'", "'b'")) or v.peek()[1] == ("a", "b")
+
+    def test_post_overwrites_own_subvalue(self):
+        v = SubvalueVariable("v", 0)
+        v.post("p", "a")
+        v.post("p", "b")
+        base, values = v.peek()
+        assert values == ("b",)
+
+    def test_anonymity_of_snapshot(self):
+        """Equal multisets from different posters give equal snapshots."""
+        v1 = SubvalueVariable("v1", 0)
+        v2 = SubvalueVariable("v2", 0)
+        v1.post("p", "x")
+        v2.post("q", "x")
+        assert v1.snapshot() == v2.snapshot()
+
+    def test_multiset_key_order_independent(self):
+        assert multiset_key(["b", "a"]) == multiset_key(["a", "b"])
+        assert multiset_key(["a", "a"]) != multiset_key(["a"])

@@ -1,0 +1,55 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+Generates small random systems: a handful of processors, one or two
+names, a small variable pool, binary initial states.  Small sizes keep
+the exponential analyses (mimicry, relabel families, automorphism
+enumeration) fast while still exercising every structural case: multiple
+writers per variable, shared vs private variables, state-marked nodes,
+disconnected systems.
+"""
+
+from hypothesis import strategies as st
+
+from repro.core import InstructionSet, Network, ScheduleClass, System
+
+
+@st.composite
+def networks(draw, max_processors=5, max_variables=4, max_names=2):
+    n_procs = draw(st.integers(min_value=1, max_value=max_processors))
+    n_names = draw(st.integers(min_value=1, max_value=max_names))
+    n_vars = draw(st.integers(min_value=1, max_value=max_variables))
+    names = tuple(f"n{i}" for i in range(n_names))
+    variables = [f"v{j}" for j in range(n_vars)]
+    edges = {}
+    for i in range(n_procs):
+        edges[f"p{i}"] = {
+            name: draw(st.sampled_from(variables)) for name in names
+        }
+    return Network(names, edges)
+
+
+@st.composite
+def systems(
+    draw,
+    instruction_set=InstructionSet.Q,
+    schedule_class=ScheduleClass.FAIR,
+    max_processors=5,
+    max_variables=4,
+    max_names=2,
+    n_states=2,
+):
+    net = draw(networks(max_processors, max_variables, max_names))
+    state = {
+        node: draw(st.integers(min_value=0, max_value=n_states - 1))
+        for node in net.nodes
+    }
+    return System(net, state, instruction_set, schedule_class)
+
+
+@st.composite
+def connected_systems(draw, **kwargs):
+    from hypothesis import assume
+
+    system = draw(systems(**kwargs))
+    assume(system.network.is_connected)
+    return system

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestAnalyze:
+    def test_marked_ring(self, capsys):
+        assert main(["analyze", "ring", "4", "--mark", "p0"]) == 0
+        out = capsys.readouterr().out
+        assert "selection possible: yes" in out
+
+    def test_anonymous_ring(self, capsys):
+        assert main(["analyze", "ring", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "selection possible: no" in out
+
+    def test_star_in_l(self, capsys):
+        assert main(["analyze", "star", "3", "--model", "L"]) == 0
+        out = capsys.readouterr().out
+        assert "selection possible: yes" in out
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "moebius", "4"])
+
+
+class TestOtherCommands:
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "Figure 5" in out
+
+    def test_hierarchy(self, capsys):
+        assert main(["hierarchy"]) == 0
+        out = capsys.readouterr().out
+        assert "fair-S" in out and "L2" in out
+
+    def test_dining_deadlock(self, capsys):
+        assert main(["dining", "5", "--steps", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "deadlocked:          yes" in out
+
+    def test_dining_alternating(self, capsys):
+        assert main(["dining", "6", "--alternating", "--steps", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "everyone ate:        yes" in out
+
+    def test_elect_randomized(self, capsys):
+        assert main(["elect", "5", "--randomized", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Itai-Rodeh" in out and "leader" in out
+
+    def test_elect_deterministic(self, capsys):
+        assert main(["elect", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestAnalyzeFromFile:
+    def test_json_file(self, tmp_path, capsys):
+        from repro.io import dump
+        from repro.topologies import figure2_system
+
+        target = tmp_path / "sys.json"
+        dump(figure2_system(), str(target))
+        assert main(["analyze", "file", "--file", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "selection possible: yes" in out
+
+    def test_file_without_path_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "file"])
+
+
+class TestReport:
+    def test_report_command(self, capsys):
+        assert main(["report", "ring", "5", "--mark", "p0"]) == 0
+        out = capsys.readouterr().out
+        assert "system dossier" in out
+        assert "renaming possible" in out
+
+
+class TestExplain:
+    def test_explain_command(self, capsys):
+        assert main(["explain", "path", "4", "p0", "p3"]) == 0
+        out = capsys.readouterr().out
+        assert "split at round" in out
+
+    def test_explain_similar_pair(self, capsys):
+        assert main(["explain", "ring", "4", "p0", "p2"]) == 0
+        out = capsys.readouterr().out
+        assert "similar" in out

@@ -1,0 +1,122 @@
+"""End-to-end integration: the full pipeline on fresh systems.
+
+Executable documentation: build a system, analyze it, synthesize the
+selection program the analysis promises, run it under the schedule
+battery, and verify the paper-level specification -- in one test per
+model.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    Algorithm2Program,
+    LabelTables,
+    select_program,
+)
+from repro.core import (
+    EnvironmentModel,
+    InstructionSet,
+    Network,
+    ScheduleClass,
+    System,
+    decide_selection,
+    quotient_system,
+    similarity_labeling,
+)
+from repro.runtime import (
+    Executor,
+    RoundRobinScheduler,
+    verify_selection_program,
+)
+
+
+def bespoke_network():
+    """A fresh system not used elsewhere: a 'wheel' of three spokes
+    around a hub variable, with one spoke doubled."""
+    return Network(
+        ("spoke", "rim"),
+        {
+            "a": {"spoke": "hub", "rim": "r_ab"},
+            "b": {"spoke": "hub", "rim": "r_ab"},
+            "c": {"spoke": "hub", "rim": "r_c"},
+        },
+    )
+
+
+class TestFullPipelineQ:
+    def test_analyze_then_select(self):
+        system = System(bespoke_network(), None, InstructionSet.Q)
+        theta = similarity_labeling(system)
+        # a,b share everything -> similar; c's rim variable is private.
+        assert theta["a"] == theta["b"] != theta["c"]
+
+        decision = decide_selection(system)
+        assert decision.possible
+        assert decision.unique_processors == ("c",)
+
+        # The quotient tells the same story in 2+2 classes.
+        q = quotient_system(system, theta)
+        assert q.processor_class_count == 2
+        assert q.selection_possible()
+
+        program = select_program(system)
+        verdict = verify_selection_program(system, program, max_steps=60_000)
+        assert verdict.all_ok
+        assert verdict.winners == ("c",)
+
+    def test_labels_learned_match_analysis(self):
+        system = System(bespoke_network(), None, InstructionSet.Q)
+        theta = similarity_labeling(system)
+        tables = LabelTables.from_labeled_system(system, theta)
+        executor = Executor(
+            system, Algorithm2Program(tables), RoundRobinScheduler(system.processors)
+        )
+        for _ in range(30_000):
+            executor.step()
+            if all(Algorithm2Program.is_done(executor.local[p]) for p in system.processors):
+                break
+        for p in system.processors:
+            assert Algorithm2Program.learned_label(executor.local[p]) == theta[p]
+
+
+class TestFullPipelineL:
+    def test_lock_race_rescues_the_twins(self):
+        system = System(bespoke_network(), None, InstructionSet.L)
+        decision = decide_selection(system)
+        assert decision.possible  # a,b race on hub and r_ab
+
+        program = select_program(system)
+        verdict = verify_selection_program(system, program, max_steps=400_000)
+        assert verdict.all_ok
+
+
+class TestFullPipelineBFS:
+    def test_set_blindness_merges_everything(self):
+        """Counts are invisible to reads: r_ab (two rim-writers) and r_c
+        (one) collapse in the SET model, so even c loses its uniqueness --
+        the wheel is itself a bounded-fair-S < Q separation witness."""
+        system = System(
+            bespoke_network(), None, InstructionSet.S, ScheduleClass.BOUNDED_FAIR
+        )
+        theta = similarity_labeling(system, model=EnvironmentModel.SET)
+        assert theta["a"] == theta["b"] == theta["c"]
+        assert not decide_selection(system).possible
+
+    def test_wheel_is_a_bfs_q_witness(self):
+        from repro.core import verify_separation
+
+        witness = verify_separation(
+            "bounded-fair-S", "Q", bespoke_network(), None, "wheel"
+        )
+        assert witness.valid
+
+    def test_marked_wheel_solvable_in_bfs(self):
+        system = System(
+            bespoke_network(), {"c": 1}, InstructionSet.S, ScheduleClass.BOUNDED_FAIR
+        )
+        decision = decide_selection(system)
+        assert decision.possible
+        program = select_program(system)
+        verdict = verify_selection_program(system, program, max_steps=120_000)
+        assert verdict.all_ok
+        assert verdict.winners == ("c",)

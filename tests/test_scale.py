@@ -1,0 +1,50 @@
+"""Moderate-scale smoke: the analyses stay usable on bigger systems."""
+
+import pytest
+
+from repro.core import (
+    InstructionSet,
+    System,
+    compute_similarity_labeling,
+    decide_selection,
+    quotient_system,
+)
+from repro.topologies import hypercube, ring, torus_grid
+
+
+class TestLargeLabelings:
+    def test_marked_ring_1000(self):
+        system = System(ring(1000), {"p0": 1}, InstructionSet.Q)
+        result = compute_similarity_labeling(system)
+        assert len(result.labeling.labels) == 2000  # all nodes unique
+
+    def test_anonymous_grid_8x8(self):
+        system = System(torus_grid(8, 8), None, InstructionSet.Q)
+        result = compute_similarity_labeling(system)
+        # One processor class; variables split into horizontal vs vertical
+        # edge classes (their writers use different name pairs).
+        assert len(result.labeling.labels) == 3
+
+    def test_hypercube_6(self):
+        system = System(hypercube(6), None, InstructionSet.Q)
+        result = compute_similarity_labeling(system)
+        # One processor class; one variable class per dimension (edges of
+        # dimension i are exactly the dim-i-named ones).
+        assert len(result.labeling.labels) == 1 + 6
+
+    def test_quotient_compression(self):
+        system = System(torus_grid(6, 6), None, InstructionSet.Q)
+        q = quotient_system(system)
+        assert q.processor_class_count == 1
+        assert q.variable_class_count == 2
+        assert sum(s for _l, s, _st in q.pclasses) == 36
+
+
+class TestLargeDecisions:
+    def test_selection_decision_on_big_marked_ring(self):
+        system = System(ring(300), {"p0": 1}, InstructionSet.Q)
+        assert decide_selection(system).possible
+
+    def test_selection_decision_on_big_anonymous_ring(self):
+        system = System(ring(300), None, InstructionSet.Q)
+        assert not decide_selection(system).possible

@@ -1,0 +1,160 @@
+"""Unit tests for topology builders."""
+
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.topologies import (
+    alternating_ring,
+    complete_bipartite,
+    path,
+    random_connected_network,
+    random_network,
+    ring,
+    star,
+    torus_grid,
+)
+
+
+class TestRing:
+    def test_sizes(self):
+        net = ring(5)
+        assert len(net.processors) == 5
+        assert len(net.variables) == 5
+
+    def test_each_variable_has_left_and_right_user(self):
+        net = ring(4)
+        for v in net.variables:
+            names = sorted(n for _p, n in net.neighbors_of_variable(v))
+            assert names == ["left", "right"]
+
+    def test_ring_of_one_self_loops(self):
+        net = ring(1)
+        assert net.n_nbr("p0", "left") == net.n_nbr("p0", "right")
+
+    def test_invalid_size(self):
+        with pytest.raises(NetworkError):
+            ring(0)
+
+
+class TestAlternatingRing:
+    def test_forks_have_uniform_names(self):
+        net = alternating_ring(6)
+        for v in net.variables:
+            names = {n for _p, n in net.neighbors_of_variable(v)}
+            assert len(names) == 1  # both users agree on the fork's name
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(NetworkError):
+            alternating_ring(5)
+
+    def test_half_left_half_right(self):
+        net = alternating_ring(6)
+        left = [v for v in net.variables
+                if {n for _p, n in net.neighbors_of_variable(v)} == {"left"}]
+        assert len(left) == 3
+
+
+class TestStarAndPath:
+    def test_star_shares_hub(self):
+        net = star(4)
+        assert len(net.variables) == 1
+        assert net.degree("hub_var") == 4
+
+    def test_path_boundary_variables(self):
+        net = path(3)
+        assert "v_left_end" in net.variables
+        assert net.degree("v_left_end") == 1
+        assert net.degree("v0") == 2
+
+    def test_path_of_one(self):
+        net = path(1)
+        assert len(net.variables) == 2  # both boundaries
+
+
+class TestCompleteBipartite:
+    def test_shape(self):
+        net = complete_bipartite(3, 2)
+        assert len(net.processors) == 3
+        assert len(net.variables) == 2
+        assert net.degree("v0") == 3
+
+    def test_connected(self):
+        assert complete_bipartite(2, 2).is_connected
+
+
+class TestTorusGrid:
+    def test_counts(self):
+        net = torus_grid(2, 3)
+        assert len(net.processors) == 6
+        assert len(net.variables) == 12  # horizontal + vertical per cell
+
+    def test_connected(self):
+        assert torus_grid(2, 2).is_connected
+
+
+class TestRandom:
+    def test_deterministic_by_seed(self):
+        assert random_network(4, 3, seed=7) == random_network(4, 3, seed=7)
+        assert random_network(4, 3, seed=7) != random_network(4, 3, seed=8)
+
+    def test_connected_builder(self):
+        net = random_connected_network(5, 4, seed=1)
+        assert net.is_connected
+
+
+class TestHypercube:
+    def test_counts(self):
+        from repro.topologies import hypercube
+
+        net = hypercube(3)
+        assert len(net.processors) == 8
+        assert len(net.variables) == 12
+
+    def test_fully_symmetric_and_unsolvable(self):
+        from repro.core import InstructionSet, System, decide_selection, similarity_labeling
+        from repro.topologies import hypercube
+
+        system = System(hypercube(3), None, InstructionSet.Q)
+        theta = similarity_labeling(system)
+        assert len({theta[p] for p in system.processors}) == 1
+        assert not decide_selection(system).possible
+
+    def test_marked_cube_solvable(self):
+        from repro.core import InstructionSet, System, decide_selection
+        from repro.topologies import hypercube
+
+        system = System(hypercube(2), {"p00": 1}, InstructionSet.Q)
+        assert decide_selection(system).possible
+
+    def test_invalid_dimension(self):
+        import pytest as _pytest
+
+        from repro.exceptions import NetworkError
+        from repro.topologies import hypercube
+
+        with _pytest.raises(NetworkError):
+            hypercube(0)
+
+
+class TestBinaryTree:
+    def test_counts(self):
+        from repro.topologies import binary_tree
+
+        net = binary_tree(3)
+        assert len(net.processors) == 7
+
+    def test_all_positions_distinguishable(self):
+        from repro.core import InstructionSet, System, similarity_labeling
+        from repro.topologies import binary_tree
+
+        system = System(binary_tree(3), None, InstructionSet.Q)
+        theta = similarity_labeling(system)
+        # Root unique; left/right children of one node differ (their up
+        # variables are private names...); in fact all 7 are split by the
+        # boundary structure.
+        assert theta.class_size(theta["n0"]) == 1
+
+    def test_connected(self):
+        from repro.topologies import binary_tree
+
+        assert binary_tree(3).is_connected

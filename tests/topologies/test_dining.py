@@ -1,0 +1,31 @@
+"""Unit tests for dining-table helpers."""
+
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.topologies import adjacent_pairs, dining_system, forks, philosophers
+
+
+class TestDiningSystem:
+    def test_philosophers_and_forks(self):
+        system = dining_system(5)
+        assert len(philosophers(system)) == 5
+        assert len(forks(system)) == 5
+
+    def test_adjacent_pairs_form_a_cycle(self):
+        system = dining_system(5)
+        pairs = adjacent_pairs(system)
+        assert len(pairs) == 5
+        degree = {}
+        for a, b in pairs:
+            degree[a] = degree.get(a, 0) + 1
+            degree[b] = degree.get(b, 0) + 1
+        assert all(d == 2 for d in degree.values())
+
+    def test_too_small_table_rejected(self):
+        with pytest.raises(NetworkError):
+            dining_system(1)
+
+    def test_alternating_requires_even(self):
+        with pytest.raises(NetworkError):
+            dining_system(5, alternating=True)

@@ -1,0 +1,67 @@
+"""The figure systems behave exactly as the paper narrates."""
+
+from repro.core import (
+    EnvironmentModel,
+    InstructionSet,
+    decide_selection,
+    similarity_labeling,
+)
+from repro.topologies import (
+    figure1_system,
+    figure2_system,
+    figure3_system,
+    figure4_system,
+    figure5_system,
+)
+
+
+class TestFigure1:
+    def test_p_q_similar_in_q(self, fig1_q):
+        theta = similarity_labeling(fig1_q)
+        assert theta["p"] == theta["q"]
+
+    def test_no_selection_in_q_or_s(self):
+        for iset in (InstructionSet.Q, InstructionSet.S):
+            assert not decide_selection(figure1_system(iset)).possible
+
+    def test_selection_in_l(self, fig1_l):
+        assert decide_selection(fig1_l).possible
+
+
+class TestFigure2:
+    def test_two_processor_classes(self, fig2_q):
+        theta = similarity_labeling(fig2_q)
+        assert theta["p1"] == theta["p2"] != theta["p3"]
+
+    def test_v1_not_similar_to_v2(self, fig2_q):
+        theta = similarity_labeling(fig2_q)
+        assert theta["v1"] != theta["v2"]
+
+    def test_v3_has_three_neighbors(self, fig2_q):
+        assert fig2_q.network.degree("v3") == 3
+
+
+class TestFigure3:
+    def test_all_processors_dissimilar(self, fig3_s):
+        theta = similarity_labeling(fig3_s, model=EnvironmentModel.SET)
+        assert len({theta[p] for p in fig3_s.processors}) == 3
+
+    def test_p_does_not_see_v2(self, fig3_s):
+        assert fig3_s.n_nbr("p", "a") == "v1"
+        assert fig3_s.n_nbr("q", "a") == fig3_s.n_nbr("z", "a") == "v2"
+
+
+class TestFigures45:
+    def test_figure4_is_five_philosophers(self):
+        assert len(figure4_system().processors) == 5
+
+    def test_figure5_is_six_alternating(self):
+        system = figure5_system()
+        assert len(system.processors) == 6
+        for v in system.variables:
+            names = {n for _p, n in system.network.neighbors_of_variable(v)}
+            assert len(names) == 1
+
+    def test_both_are_distributed(self):
+        assert figure4_system().network.is_distributed
+        assert figure5_system().network.is_distributed
