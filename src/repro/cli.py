@@ -7,7 +7,10 @@ Gives the library's main analyses a shell-friendly surface:
 * ``figures`` -- the Figure 1-5 summary table;
 * ``hierarchy`` -- the model-power decision table with witnesses;
 * ``dining N`` -- run the dining-philosopher programs on an N-table;
-* ``elect`` -- leader election demos (SELECT / Itai-Rodeh).
+* ``elect`` -- leader election demos (SELECT / Itai-Rodeh);
+* ``batch`` -- bulk similarity analysis of a single-mark family through
+  the fingerprint cache / process pool driver;
+* ``bench`` -- the refinement microbenchmarks (``BENCH_refinement.json``).
 """
 
 from __future__ import annotations
@@ -199,6 +202,64 @@ def cmd_elect(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    from .core import single_mark_family
+    from .perf import batch_similarity
+
+    try:
+        net = _TOPOLOGIES[args.topology](args.size)
+    except KeyError:
+        raise SystemExit(
+            f"unknown topology {args.topology!r}; pick from {sorted(_TOPOLOGIES)}"
+        )
+    iset, sched = _MODELS[args.model]
+    procs = list(net.processors)[: args.members] if args.members else None
+    family = single_mark_family(
+        net, processors=procs, instruction_set=iset, schedule_class=sched
+    )
+    report = batch_similarity(
+        family.members, engine=args.engine, workers=args.workers
+    )
+    counts = sorted({r.stats.classes for r in report.results})
+    print(
+        f"batch: {args.topology}({args.size}) single-mark family, "
+        f"{len(family)} member(s), model {args.model}, engine {args.engine}"
+    )
+    print(
+        f"  workers {report.workers}, distinct systems {report.distinct}, "
+        f"cache hits/misses {report.cache_hits}/{report.cache_misses}"
+    )
+    print(f"  similarity class counts across members: {counts}")
+    print(f"  elapsed: {report.elapsed:.3f}s")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .perf.microbench import format_microbench, run_microbench
+
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(","))
+    except ValueError:
+        raise SystemExit(f"--sizes must be comma-separated integers, got {args.sizes!r}")
+    try:
+        doc = run_microbench(
+            sizes=sizes,
+            topologies=tuple(args.topologies.split(",")),
+            repeats=args.repeats,
+            batch_n=args.batch_n,
+            family_size=args.family_size,
+            workers=args.workers,
+            measure_baseline=not args.skip_baseline,
+            output=args.output,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(format_microbench(doc))
+    if args.output:
+        print(f"written: {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -254,6 +315,40 @@ def build_parser() -> argparse.ArgumentParser:
     elect.add_argument("--id-space", type=int, default=2)
     elect.add_argument("--seed", type=int, default=0)
     elect.set_defaults(func=cmd_elect)
+
+    batch = sub.add_parser(
+        "batch", help="bulk similarity analysis of a single-mark family"
+    )
+    batch.add_argument("topology", choices=sorted(_TOPOLOGIES))
+    batch.add_argument("size", type=int)
+    batch.add_argument("--model", choices=sorted(_MODELS), default="Q")
+    batch.add_argument(
+        "--engine", choices=["literal", "signatures", "worklist"], default="worklist"
+    )
+    batch.add_argument(
+        "--members", type=int, default=None,
+        help="only mark the first N processors (default: all)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (0 = serial; default: min(4, cores))",
+    )
+    batch.set_defaults(func=cmd_batch)
+
+    bench = sub.add_parser("bench", help="refinement microbenchmarks")
+    bench.add_argument("--sizes", default="100,1000,10000",
+                       help="comma-separated processor counts")
+    bench.add_argument("--topologies", default="ring,grid,random")
+    bench.add_argument("--repeats", type=int, default=1)
+    bench.add_argument("--batch-n", type=int, default=None,
+                       help="ring size for the batch comparison (default: max size)")
+    bench.add_argument("--family-size", type=int, default=4)
+    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--skip-baseline", action="store_true",
+                       help="skip the slow serial-uncached baseline")
+    bench.add_argument("--output", default="BENCH_refinement.json",
+                       help='JSON artifact path ("" to skip writing)')
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

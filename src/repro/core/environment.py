@@ -27,9 +27,11 @@ import enum
 from collections import Counter
 from typing import Hashable
 
+from typing import Optional
+
 from .labeling import Labeling
 from .names import NodeId
-from .network import Network
+from .network import IncidenceCache, Network
 from .system import InstructionSet, System
 
 
@@ -53,11 +55,19 @@ class EnvironmentModel(enum.Enum):
 
 
 def processor_signature(
-    system: System, processor: NodeId, labeling: Labeling
+    system: System,
+    processor: NodeId,
+    labeling: Labeling,
+    incidence: Optional[IncidenceCache] = None,
 ) -> Hashable:
-    """Condition (2) digest: the labels of the processor's named neighbors."""
-    net = system.network
-    return tuple(labeling[net.n_nbr(processor, name)] for name in net.names)
+    """Condition (2) digest: the labels of the processor's named neighbors.
+
+    ``incidence`` supplies the precomputed neighbor rows; by default the
+    network's shared :attr:`~repro.core.network.Network.incidence` cache is
+    used (pass ``network.build_incidence()`` to bypass it).
+    """
+    inc = incidence if incidence is not None else system.network.incidence
+    return tuple(labeling[v] for v in inc.proc_neighbors[processor])
 
 
 def variable_signature(
@@ -65,12 +75,13 @@ def variable_signature(
     variable: NodeId,
     labeling: Labeling,
     model: EnvironmentModel = EnvironmentModel.MULTISET,
+    incidence: Optional[IncidenceCache] = None,
 ) -> Hashable:
     """Condition (3) digest for a variable, per environment model."""
-    net = system.network
+    inc = incidence if incidence is not None else system.network.incidence
     per_name = []
-    for name in net.names:
-        labels = [labeling[p] for p in net.n_neighbors_of_variable(variable, name)]
+    for procs in inc.var_name_neighbors[variable]:
+        labels = [labeling[p] for p in procs]
         if model is EnvironmentModel.MULTISET:
             counts = Counter(labels)
             per_name.append(tuple(sorted(counts.items(), key=lambda kv: repr(kv[0]))))
@@ -85,6 +96,7 @@ def environment_signature(
     labeling: Labeling,
     model: EnvironmentModel = EnvironmentModel.MULTISET,
     include_state: bool = True,
+    incidence: Optional[IncidenceCache] = None,
 ) -> Hashable:
     """The full environment digest of ``node`` under ``labeling``.
 
@@ -99,8 +111,8 @@ def environment_signature(
     net = system.network
     state_part = system.state0(node) if include_state else None
     if net.is_processor(node):
-        return ("P", state_part, processor_signature(system, node, labeling))
-    return ("V", state_part, variable_signature(system, node, labeling, model))
+        return ("P", state_part, processor_signature(system, node, labeling, incidence))
+    return ("V", state_part, variable_signature(system, node, labeling, model, incidence))
 
 
 def same_environment(

@@ -176,6 +176,39 @@ def elite_by_theorem9_greedy(
     return frozenset(elite)
 
 
+def single_mark_family(
+    network,
+    processors: Optional[Sequence[NodeId]] = None,
+    mark_state: Hashable = 1,
+    instruction_set: InstructionSet = InstructionSet.Q,
+    schedule_class=None,
+) -> Family:
+    """The homogeneous family of single-processor markings of a network.
+
+    One member per processor in ``processors`` (default: all of them),
+    with that processor's initial state set to ``mark_state`` and every
+    other node blank.  All members share the *same* ``network`` object, so
+    batch analyses (:func:`repro.perf.batch_similarity`) reuse one
+    incidence cache across the whole family; this is also the standard
+    workload of the refinement microbenchmarks ("the n-ring family").
+    """
+    from .system import ScheduleClass
+
+    if schedule_class is None:
+        schedule_class = ScheduleClass.FAIR
+    chosen = tuple(processors) if processors is not None else network.processors
+    if not chosen:
+        raise FamilyError("a single-mark family needs at least one processor")
+    unknown = [p for p in chosen if p not in set(network.processors)]
+    if unknown:
+        raise FamilyError(f"not processors of this network: {unknown!r}")
+    members = [
+        System(network, {p: mark_state}, instruction_set, schedule_class)
+        for p in chosen
+    ]
+    return Family(members)
+
+
 # ----------------------------------------------------------------------
 # The relabel family H of an L system
 # ----------------------------------------------------------------------

@@ -27,6 +27,103 @@ def _sorted_nodes(nodes: Iterable[NodeId]) -> Tuple[NodeId, ...]:
     return tuple(sorted(nodes, key=lambda x: (str(type(x)), repr(x))))
 
 
+class IncidenceCache:
+    """Immutable precomputed incidence index of a :class:`Network`.
+
+    Similarity queries walk the same edges over and over: every refinement
+    round needs each processor's named neighbor row and each variable's
+    per-name neighbor lists.  This cache derives them once and exposes two
+    synchronized views:
+
+    * a *node-id* view (``proc_neighbors``, ``var_name_neighbors``,
+      ``degrees``) for signature code that works with labelings keyed by
+      node ids;
+    * an *integer* view (``proc_rows``, ``var_rows``) where processors get
+      ids ``0..|P|-1`` and variables ``|P|..|P|+|V|-1``, for the worklist
+      engine's hot loops (list indexing instead of dict lookups, int sets
+      instead of node-id sets).
+
+    Obtain the shared per-network instance via :attr:`Network.incidence`
+    (computed once, cached on the network) or a fresh throwaway one via
+    :meth:`Network.build_incidence` (the "uncached" path used by tests to
+    cross-check the cache bit-for-bit).
+    """
+
+    __slots__ = (
+        "names",
+        "processors",
+        "variables",
+        "node_index",
+        "proc_rows",
+        "var_rows",
+        "proc_neighbors",
+        "var_name_neighbors",
+        "degrees",
+    )
+
+    def __init__(self, network: "Network") -> None:
+        self.names: Tuple[Name, ...] = network.names
+        self.processors: Tuple[NodeId, ...] = network.processors
+        self.variables: Tuple[NodeId, ...] = network.variables
+        n_procs = len(self.processors)
+        self.node_index: Dict[NodeId, int] = {
+            p: i for i, p in enumerate(self.processors)
+        }
+        for j, v in enumerate(self.variables):
+            self.node_index[v] = n_procs + j
+
+        # Processor rows: the n-neighbor of each processor per name, in
+        # NAMES order (the paper's n-nbr function, tabulated).
+        self.proc_neighbors: Dict[NodeId, Tuple[NodeId, ...]] = {
+            p: tuple(network.n_nbr(p, name) for name in self.names)
+            for p in self.processors
+        }
+        self.proc_rows: List[Tuple[int, ...]] = [
+            tuple(self.node_index[v] for v in self.proc_neighbors[p])
+            for p in self.processors
+        ]
+
+        # Variable rows: per name, the processors that are n-neighbors of
+        # the variable under that name (sorted for determinism).
+        acc: Dict[NodeId, List[List[NodeId]]] = {
+            v: [[] for _ in self.names] for v in self.variables
+        }
+        for p in self.processors:
+            row = self.proc_neighbors[p]
+            for name_pos, v in enumerate(row):
+                acc[v][name_pos].append(p)
+        self.var_name_neighbors: Dict[NodeId, Tuple[Tuple[NodeId, ...], ...]] = {
+            v: tuple(tuple(sorted(procs, key=repr)) for procs in per_name)
+            for v, per_name in acc.items()
+        }
+        self.var_rows: List[Tuple[Tuple[int, ...], ...]] = [
+            tuple(
+                tuple(self.node_index[p] for p in procs)
+                for procs in self.var_name_neighbors[v]
+            )
+            for v in self.variables
+        ]
+        self.degrees: Dict[NodeId, int] = {
+            v: sum(len(procs) for procs in per_name)
+            for v, per_name in self.var_name_neighbors.items()
+        }
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.processors)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.processors) + len(self.variables)
+
+    def node_of(self, index: int) -> NodeId:
+        """Inverse of ``node_index``."""
+        n_procs = len(self.processors)
+        if index < n_procs:
+            return self.processors[index]
+        return self.variables[index - n_procs]
+
+
 class Network:
     """A bipartite processor/variable network with named edges.
 
@@ -165,11 +262,39 @@ class Network:
 
     def n_neighbors_of_variable(self, variable: NodeId, name: Name) -> Tuple[NodeId, ...]:
         """Processors that are n-neighbors of ``variable`` under ``name``."""
-        return tuple(p for p, n in self.neighbors_of_variable(variable) if n == name)
+        per_name = self.incidence.var_name_neighbors.get(variable)
+        if per_name is None:
+            raise NetworkError(f"unknown variable {variable!r}")
+        try:
+            return per_name[self._name_positions[name]]
+        except KeyError:
+            raise NetworkError(f"{name!r} not in NAMES") from None
+
+    @cached_property
+    def _name_positions(self) -> Dict[Name, int]:
+        return {name: pos for pos, name in enumerate(self._names)}
 
     def degree(self, variable: NodeId) -> int:
         """Number of edges incident to ``variable``."""
         return len(self.neighbors_of_variable(variable))
+
+    @cached_property
+    def incidence(self) -> IncidenceCache:
+        """The shared incidence index of this network (built on first use).
+
+        Networks are immutable, so one cache serves every consumer; the
+        refinement engines, environment signatures and quotients all read
+        adjacency from here instead of re-deriving edges.
+        """
+        return IncidenceCache(self)
+
+    def build_incidence(self) -> IncidenceCache:
+        """A *fresh* incidence index, bypassing :attr:`incidence`.
+
+        The "uncached" reference path: tests compare results computed
+        through a throwaway index against the shared cached one.
+        """
+        return IncidenceCache(self)
 
     @cached_property
     def edge_count(self) -> int:

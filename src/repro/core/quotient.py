@@ -100,6 +100,9 @@ def quotient_system(
     pclasses = classes_of(net.processors)
     vclasses = classes_of(net.variables)
 
+    # Read class-level edges off the shared incidence cache: per variable
+    # representative, the per-name neighbor lists are already grouped.
+    incidence = net.incidence
     edge_counts: Dict[Tuple[Hashable, Name, Hashable], int] = {}
     counted_vars: set = set()
     for v in net.variables:
@@ -107,9 +110,10 @@ def quotient_system(
         if beta in counted_vars:
             continue  # environment-respecting: any representative works
         counted_vars.add(beta)
-        for proc, name in net.neighbors_of_variable(v):
-            key = (theta[proc], name, beta)
-            edge_counts[key] = edge_counts.get(key, 0) + 1
+        for name, procs in zip(incidence.names, incidence.var_name_neighbors[v]):
+            for proc in procs:
+                key = (theta[proc], name, beta)
+                edge_counts[key] = edge_counts.get(key, 0) + 1
     edges = tuple(
         QuotientEdge(plabel, name, vlabel, count)
         for (plabel, name, vlabel), count in sorted(

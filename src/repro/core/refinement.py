@@ -19,13 +19,32 @@ refinement, and this module offers three interchangeable engines:
 
 All three return the same partition (tests enforce this); the public entry
 point :func:`compute_similarity_labeling` picks the worklist engine.
+
+Fast path
+---------
+
+Every engine accepts ``use_incidence_cache`` (default True).  The cached
+path reads adjacency from the network's shared
+:class:`~repro.core.network.IncidenceCache` and runs entirely on interned
+small integers: node ids become array indices, labels become consecutive
+ints, and block membership tests are int-set lookups.  Splitting only ever
+touches nodes *incident to the popped block*, never the untouched
+remainder of a neighboring block, which is what turns the worklist engine
+from quadratic-in-practice into the near-linear behavior Theorem 5
+promises.
+
+``use_incidence_cache=False`` selects the reference path: the original
+straightforward implementations that re-derive neighbor lists through the
+:class:`~repro.core.network.Network` accessors on every use.  It exists as
+an executable baseline -- tests assert the two paths agree bit-for-bit and
+the microbenchmarks (:mod:`repro.perf.microbench`) measure the gap.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Set
 
 from .environment import EnvironmentModel, environment_signature
 from .labeling import Labeling
@@ -85,6 +104,26 @@ def _finalize(system: System, labeling: Labeling) -> Labeling:
     )
 
 
+def _interned_initial_labels(system: System, include_state: bool) -> List[int]:
+    """Initial labels as consecutive ints over the incidence node order.
+
+    Processors come first (indices ``0..|P|-1``) then variables, matching
+    :class:`~repro.core.network.IncidenceCache` numbering.  Label codes are
+    assigned by sorted repr of the ``(kind, state)`` keys so the initial
+    partition is identical to :func:`_initial_labeling`'s.
+    """
+    inc = system.network.incidence
+    keys: List[Hashable] = []
+    for node in inc.processors:
+        keys.append(("P", system.state0(node) if include_state else None))
+    for node in inc.variables:
+        keys.append(("V", system.state0(node) if include_state else None))
+    code: Dict[Hashable, int] = {}
+    for key in sorted(set(keys), key=repr):
+        code[key] = len(code)
+    return [code[k] for k in keys]
+
+
 # ----------------------------------------------------------------------
 # engine 1: the paper's Algorithm 1, literally
 # ----------------------------------------------------------------------
@@ -94,13 +133,14 @@ def algorithm1_literal(
     system: System,
     model: EnvironmentModel = EnvironmentModel.MULTISET,
     include_state: bool = True,
+    use_incidence_cache: bool = True,
 ) -> RefinementResult:
     """The paper's Algorithm 1 as written.
 
     ``Phi := trivial subsimilarity labeling;``
     ``do`` some x, y share a label but have different environments ``->``
     pick a new label; give it to every y in x's class whose environment
-    differs from x's ``od``.
+    differs from x's ``od``
 
     The loop invariant is that ``Phi`` stays a subsimilarity labeling
     (similar nodes are never separated, because nodes with different
@@ -109,6 +149,11 @@ def algorithm1_literal(
     a supersimilarity labeling (Theorem 4) -- hence the similarity
     labeling.
     """
+    incidence = (
+        system.network.incidence
+        if use_incidence_cache
+        else system.network.build_incidence()
+    )
     assignment: Dict[NodeId, Hashable] = {
         n: l for n, l in _initial_labeling(system, include_state).items()
     }
@@ -119,7 +164,9 @@ def algorithm1_literal(
         rounds += 1
         labeling = Labeling(assignment)
         sig = {
-            node: environment_signature(system, node, labeling, model, include_state)
+            node: environment_signature(
+                system, node, labeling, model, include_state, incidence
+            )
             for node in system.nodes
         }
         split_performed = False
@@ -150,6 +197,7 @@ def algorithm1_signatures(
     system: System,
     model: EnvironmentModel = EnvironmentModel.MULTISET,
     include_state: bool = True,
+    use_incidence_cache: bool = True,
 ) -> RefinementResult:
     """Global-round refinement: relabel all nodes by (label, signature).
 
@@ -157,6 +205,73 @@ def algorithm1_signatures(
     monotonically refined, so the number of classes is strictly increasing
     until the fixpoint; at most ``|P| + |V|`` rounds.
     """
+    if use_incidence_cache:
+        return _signatures_interned(system, model, include_state)
+    return _signatures_reference(system, model, include_state)
+
+
+def _signatures_interned(
+    system: System, model: EnvironmentModel, include_state: bool
+) -> RefinementResult:
+    """Cached fast path: interned int labels over incidence arrays.
+
+    Per round, a processor's key is its label plus the label row of its
+    named neighbors; a variable's key is its label plus per-name label
+    counts (MULTISET) or label sets (SET).  Keys are interned to
+    consecutive ints so the next round compares small ints only.
+    """
+    inc = system.network.incidence
+    n_procs = inc.n_processors
+    n_nodes = inc.n_nodes
+    proc_rows = inc.proc_rows
+    var_rows = inc.var_rows
+    multiset = model is EnvironmentModel.MULTISET
+
+    labels = _interned_initial_labels(system, include_state)
+    n_classes = len(set(labels))
+    rounds = 0
+    splits = 0
+    while True:
+        rounds += 1
+        code: Dict[Hashable, int] = {}
+        new_labels: List[int] = [0] * n_nodes
+        for i in range(n_procs):
+            # Processor and variable keys cannot collide: the embedded old
+            # label already separates the two kinds.
+            key = (labels[i], tuple(labels[j] for j in proc_rows[i]))
+            c = code.get(key)
+            if c is None:
+                c = code[key] = len(code)
+            new_labels[i] = c
+        for i in range(n_procs, n_nodes):
+            per_name: List[Hashable] = []
+            for procs in var_rows[i - n_procs]:
+                got = sorted(labels[p] for p in procs)
+                if multiset:
+                    per_name.append(tuple(got))
+                else:
+                    per_name.append(tuple(sorted(set(got))))
+            key = (labels[i], tuple(per_name))
+            c = code.get(key)
+            if c is None:
+                c = code[key] = len(code)
+            new_labels[i] = c
+        new_classes = len(code)
+        if new_classes == n_classes:
+            break
+        splits += new_classes - n_classes
+        n_classes = new_classes
+        labels = new_labels
+    assignment = {inc.node_of(i): labels[i] for i in range(n_nodes)}
+    final = _finalize(system, Labeling(assignment))
+    return RefinementResult(final, RefinementStats(rounds, splits, len(final.labels)))
+
+
+def _signatures_reference(
+    system: System, model: EnvironmentModel, include_state: bool
+) -> RefinementResult:
+    """Reference path: nested-tuple signatures via the Network accessors."""
+    incidence = system.network.build_incidence()
     labeling = _initial_labeling(system, include_state)
     rounds = 0
     splits = 0
@@ -166,7 +281,9 @@ def algorithm1_signatures(
         for node in system.nodes:
             combined[node] = (
                 labeling[node],
-                environment_signature(system, node, labeling, model, include_state),
+                environment_signature(
+                    system, node, labeling, model, include_state, incidence
+                ),
             )
         # Intern the combined signatures as small integers for speed.
         intern: Dict[Hashable, int] = {}
@@ -193,7 +310,7 @@ def algorithm1_signatures(
 
 
 class _Partition:
-    """Mutable block partition with split support."""
+    """Mutable block partition with split support (reference path)."""
 
     def __init__(self, nodes: List[NodeId], initial: Dict[NodeId, Hashable]) -> None:
         by_key: Dict[Hashable, List[NodeId]] = defaultdict(list)
@@ -231,6 +348,7 @@ def algorithm1_worklist(
     system: System,
     model: EnvironmentModel = EnvironmentModel.MULTISET,
     include_state: bool = True,
+    use_incidence_cache: bool = True,
 ) -> RefinementResult:
     """Worklist refinement in the style of [H71] / Paige-Tarjan.
 
@@ -243,11 +361,185 @@ def algorithm1_worklist(
     presence for the SET model).  All but the largest fragment of every
     split are enqueued, which yields the O(n log n) behavior of Theorem 5.
 
+    The cached path additionally never scans block members that have no
+    edge into ``W``: untouched members stay in place as the split
+    remainder, so a pop costs O(edges incident to W), not O(size of the
+    touched blocks).  The reference path re-groups whole blocks, which is
+    quadratic on e.g. a fully-refining marked ring.
+
     A final stabilization check (one signature round) guards against the
     subtle incompleteness of pure smaller-half counting splits; in
     practice it never fires, and tests assert agreement with the other
     engines.
     """
+    if use_incidence_cache:
+        return _worklist_interned(system, model, include_state)
+    return _worklist_reference(system, model, include_state)
+
+
+def _worklist_interned(
+    system: System, model: EnvironmentModel, include_state: bool
+) -> RefinementResult:
+    """Cached fast path: int-indexed blocks over incidence arrays."""
+    inc = system.network.incidence
+    n_procs = inc.n_processors
+    n_nodes = inc.n_nodes
+    proc_rows = inc.proc_rows
+    var_rows = inc.var_rows
+    n_names = len(inc.names)
+    multiset = model is EnvironmentModel.MULTISET
+
+    init = _interned_initial_labels(system, include_state)
+    by_label: Dict[int, Set[int]] = defaultdict(set)
+    for i, label in enumerate(init):
+        by_label[label].add(i)
+    blocks: List[Set[int]] = [by_label[label] for label in sorted(by_label)]
+    block_of: List[int] = [0] * n_nodes
+    for idx, members in enumerate(blocks):
+        for i in members:
+            block_of[i] = idx
+
+    worklist = deque(range(len(blocks)))
+    queued = set(worklist)
+    rounds = 0
+    splits = 0
+
+    def enqueue(idx: int) -> None:
+        if idx not in queued:
+            worklist.append(idx)
+            queued.add(idx)
+
+    def split_by(touched: Dict[int, Hashable], can_skip_largest: bool) -> None:
+        """Re-split the blocks of the touched nodes by their keys.
+
+        Nodes of a block that are *not* in ``touched`` implicitly share
+        the "no edges into W" key and stay in place as the remainder, so
+        the cost is O(len(touched)), independent of block sizes.
+
+        When ``can_skip_largest`` holds, the largest resulting fragment is
+        *not* enqueued unless the split block was already pending: a
+        future splitter's effect on neighbors is determined by the old
+        block plus all-but-one of its fragments (counts are additive, and
+        a name maps into exactly one fragment), which is the smaller-half
+        discipline behind Theorem 5's O(n log n) bound.  Presence-based
+        (SET-model) keys of processor fragments are not recoverable that
+        way, so those splits enqueue every fragment.
+        """
+        nonlocal splits
+        by_block: Dict[int, Dict[Hashable, List[int]]] = {}
+        for node, key in touched.items():
+            by_block.setdefault(block_of[node], {}).setdefault(key, []).append(node)
+        for b_idx, groups in by_block.items():
+            block = blocks[b_idx]
+            touched_count = sum(len(g) for g in groups.values())
+            if len(groups) == 1 and touched_count == len(block):
+                continue  # every member touched identically: stable
+            was_queued = b_idx in queued
+            fragments = sorted(
+                groups.items(), key=lambda kv: (-len(kv[1]), repr(kv[0]))
+            )
+            if touched_count == len(block):
+                # No untouched remainder: the largest fragment keeps the
+                # old index.
+                blocks[b_idx] = set(fragments[0][1])
+                rest = fragments[1:]
+            else:
+                # The untouched remainder keeps the old index; every
+                # touched group moves out.
+                for group in groups.values():
+                    block.difference_update(group)
+                rest = fragments
+            new_indices: List[int] = []
+            for _key, members in rest:
+                new_idx = len(blocks)
+                blocks.append(set(members))
+                for node in members:
+                    block_of[node] = new_idx
+                new_indices.append(new_idx)
+                splits += 1
+            parts = [(b_idx, len(blocks[b_idx]))] + [
+                (idx, len(blocks[idx])) for idx in new_indices
+            ]
+            if can_skip_largest and not was_queued:
+                parts.sort(key=lambda iv: -iv[1])
+                parts = parts[1:]
+            for idx, _size in parts:
+                enqueue(idx)
+
+    while worklist:
+        w_idx = worklist.popleft()
+        queued.discard(w_idx)
+        rounds += 1
+        w_members = blocks[w_idx]
+        if not w_members:
+            continue
+        w_is_variable = next(iter(w_members)) >= n_procs
+
+        if w_is_variable:
+            # Key processors by the bitmask of their names mapping into W.
+            # A name maps into exactly one fragment of a split variable
+            # block, so the largest fragment may be skipped under MULTISET
+            # -- but the resulting *processor* fragments act as SET-model
+            # splitters of variables, where presence w.r.t. the skipped
+            # fragment is not recoverable; be conservative there.
+            proc_mask: Dict[int, int] = {}
+            for v in w_members:
+                rows = var_rows[v - n_procs]
+                for pos in range(n_names):
+                    bit = 1 << pos
+                    for p in rows[pos]:
+                        proc_mask[p] = proc_mask.get(p, 0) | bit
+            split_by(proc_mask, can_skip_largest=multiset)
+        else:
+            # Key variables by per-name counts (MULTISET) or presence
+            # (SET) of neighbors inside W.  Variable fragments split
+            # processors by exclusive name membership, which is always
+            # recoverable from all-but-one fragment.
+            var_counts: Dict[int, List[int]] = {}
+            for p in w_members:
+                row = proc_rows[p]
+                for pos in range(n_names):
+                    v = row[pos]
+                    counts = var_counts.get(v)
+                    if counts is None:
+                        counts = var_counts[v] = [0] * n_names
+                    counts[pos] += 1
+            if multiset:
+                keys = {v: tuple(c) for v, c in var_counts.items()}
+            else:
+                keys = {v: tuple(x > 0 for x in c) for v, c in var_counts.items()}
+            split_by(keys, can_skip_largest=True)
+
+    # Safety net: confirm stability with one interned signature pass;
+    # finish with the signature engine from scratch if anything still
+    # splits (never observed; agreement tests would catch it).
+    seen_keys: set = set()
+    for i in range(n_procs):
+        seen_keys.add((block_of[i], tuple(block_of[j] for j in proc_rows[i])))
+    for i in range(n_procs, n_nodes):
+        per_name = []
+        for procs in var_rows[i - n_procs]:
+            got = sorted(block_of[p] for p in procs)
+            per_name.append(tuple(got) if multiset else tuple(sorted(set(got))))
+        seen_keys.add((block_of[i], tuple(per_name)))
+    if len(seen_keys) != len(blocks):  # pragma: no cover
+        refined = _signatures_interned(system, model, include_state)
+        return RefinementResult(
+            refined.labeling,
+            RefinementStats(rounds + refined.stats.rounds,
+                            splits + refined.stats.splits,
+                            refined.stats.classes),
+        )
+
+    assignment = {inc.node_of(i): block_of[i] for i in range(n_nodes)}
+    final = _finalize(system, Labeling(assignment))
+    return RefinementResult(final, RefinementStats(rounds, splits, len(final.labels)))
+
+
+def _worklist_reference(
+    system: System, model: EnvironmentModel, include_state: bool
+) -> RefinementResult:
+    """Reference path: node-id blocks, whole-block regrouping per pop."""
     net = system.network
     nodes = list(system.nodes)
     init = {n: l for n, l in _initial_labeling(system, include_state).items()}
@@ -255,7 +547,6 @@ def algorithm1_worklist(
 
     rounds = 0
     splits = 0
-    from collections import deque
 
     worklist = deque(range(len(part.blocks)))
     queued = set(worklist)
@@ -330,15 +621,18 @@ def algorithm1_worklist(
 
     # Safety net: confirm stability with one signature pass; finish with the
     # signature engine from this partition if anything still splits.
+    incidence = net.build_incidence()
     sig_round = {
         node: (
             labeling[node],
-            environment_signature(system, node, labeling, model, include_state),
+            environment_signature(
+                system, node, labeling, model, include_state, incidence
+            ),
         )
         for node in nodes
     }
     if len(set(sig_round.values())) != len(labeling.labels):  # pragma: no cover
-        refined = algorithm1_signatures(system, model, include_state)
+        refined = _signatures_reference(system, model, include_state)
         return RefinementResult(
             refined.labeling,
             RefinementStats(rounds + refined.stats.rounds,
@@ -366,6 +660,7 @@ def compute_similarity_labeling(
     model: Optional[EnvironmentModel] = None,
     include_state: bool = True,
     engine: str = "worklist",
+    use_incidence_cache: bool = True,
 ) -> RefinementResult:
     """Compute the similarity labeling ``Theta`` of ``system``.
 
@@ -380,6 +675,10 @@ def compute_similarity_labeling(
             (Algorithm 3's structural first phase).
         engine: ``"worklist"`` (default), ``"signatures"`` or
             ``"literal"``.
+        use_incidence_cache: read adjacency from the network's shared
+            incidence cache (fast interned path); ``False`` selects the
+            reference path that re-derives edges through the Network
+            accessors.
     """
     if model is None:
         model = EnvironmentModel.for_instruction_set(system.instruction_set)
@@ -387,4 +686,4 @@ def compute_similarity_labeling(
         fn = _ENGINES[engine]
     except KeyError:
         raise ValueError(f"unknown engine {engine!r}; pick from {sorted(_ENGINES)}")
-    return fn(system, model, include_state)
+    return fn(system, model, include_state, use_incidence_cache)

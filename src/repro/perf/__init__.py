@@ -1,0 +1,35 @@
+"""Performance layer: batch similarity analysis and microbenchmarks.
+
+The core engines (:mod:`repro.core.refinement`) answer one similarity
+query at a time.  Production workloads ask many related queries -- every
+member of a family, every size of a topology sweep, every candidate
+configuration of an experiment -- and this package drives those in bulk:
+
+* :mod:`repro.perf.batch` -- :func:`batch_similarity` fans a family of
+  systems across a ``concurrent.futures`` process pool with a keyed
+  result cache (system fingerprint -> :class:`RefinementResult`), so
+  duplicate members are solved once and independent members in parallel.
+* :mod:`repro.perf.microbench` -- the refinement microbenchmark harness:
+  times all three engines across ring/grid/random topologies and records
+  the numbers in ``BENCH_refinement.json`` so every PR leaves a perf
+  trajectory behind.
+
+Both are exposed on the CLI: ``python -m repro batch ...`` and
+``python -m repro bench ...``.
+"""
+
+from .batch import (
+    BatchReport,
+    SimilarityCache,
+    batch_similarity,
+    system_fingerprint,
+)
+from .microbench import run_microbench
+
+__all__ = [
+    "BatchReport",
+    "SimilarityCache",
+    "batch_similarity",
+    "run_microbench",
+    "system_fingerprint",
+]

@@ -1,0 +1,222 @@
+"""Refinement microbenchmarks: the perf trajectory of Algorithm 1.
+
+Times the three refinement engines on the standard topology sweep
+(ring / torus grid / seeded-random) at growing sizes, runs the batch
+driver against the serial *uncached* reference path on a marked-ring
+family, and writes everything to ``BENCH_refinement.json`` so future PRs
+can compare against today's numbers.
+
+Engines are gated by size -- the literal engine is worst-case cubic and
+the reference (uncached) paths are quadratic-in-practice on fully
+refining inputs -- so oversized cells are recorded as ``null`` rather
+than silently dropped.
+
+CLI: ``python -m repro bench --sizes 100,1000 --output BENCH_refinement.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.families import single_mark_family
+from ..core.refinement import compute_similarity_labeling
+from ..core.system import InstructionSet, System
+from ..topologies.builders import random_connected_network, ring, torus_grid
+from .batch import batch_similarity
+
+# Largest processor count each engine is asked to handle; beyond it the
+# cell is recorded as null.  The reference paths re-derive adjacency on
+# every use and are kept on a tighter leash.
+_ENGINE_GATE: Dict[str, Optional[int]] = {
+    "literal": 100,
+    "signatures": 1000,
+    "worklist": None,
+}
+_REFERENCE_GATE: Dict[str, Optional[int]] = {
+    "literal": 100,
+    "signatures": 1000,
+    "worklist": 1000,
+}
+
+
+def _marked_ring(n: int) -> System:
+    return System(ring(n), {"p0": 1}, InstructionSet.Q)
+
+
+def _marked_grid(n: int) -> System:
+    rows = max(1, int(math.sqrt(n)))
+    cols = max(1, n // rows)
+    return System(torus_grid(rows, cols), {"p0_0": 1}, InstructionSet.Q)
+
+
+def _marked_random(n: int) -> System:
+    net = random_connected_network(n, max(2, n // 2), names=("a", "b"), seed=42)
+    return System(net, {"p0": 1}, InstructionSet.Q)
+
+
+_TOPOLOGIES: Dict[str, Callable[[int], System]] = {
+    "ring": _marked_ring,
+    "grid": _marked_grid,
+    "random": _marked_random,
+}
+
+
+def _time_once(fn: Callable[[], object], repeats: int) -> float:
+    best = math.inf
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_microbench(
+    sizes: Sequence[int] = (100, 1000, 10000),
+    topologies: Sequence[str] = ("ring", "grid", "random"),
+    engines: Sequence[str] = ("literal", "signatures", "worklist"),
+    repeats: int = 1,
+    batch_n: Optional[int] = None,
+    family_size: int = 4,
+    workers: int = 4,
+    measure_baseline: bool = True,
+    output: Optional[str] = "BENCH_refinement.json",
+) -> dict:
+    """Run the refinement microbenchmarks and (optionally) write JSON.
+
+    Args:
+        sizes: processor counts for the engine sweep.
+        topologies: subset of ``ring`` / ``grid`` / ``random``.
+        engines: subset of the three engine names.
+        repeats: timing repeats per cell (minimum is reported).
+        batch_n: ring size for the batch-driver comparison (defaults to
+            the largest entry of ``sizes``).
+        family_size: members in the marked-ring family for the batch run.
+        workers: process-pool size for the batch driver.
+        measure_baseline: also time the serial *uncached* reference path
+            on the same family (the pre-optimization cost model; slow on
+            big sizes -- disable for smoke runs if needed).
+        output: path for the JSON artifact, or None to skip writing.
+
+    Returns:
+        The results document (also written to ``output``).
+    """
+    doc: dict = {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "engine_times": [],
+        "batch": None,
+    }
+
+    for topo in topologies:
+        try:
+            builder = _TOPOLOGIES[topo]
+        except KeyError:
+            raise ValueError(
+                f"unknown topology {topo!r}; pick from {sorted(_TOPOLOGIES)}"
+            )
+        for n in sizes:
+            system = builder(n)
+            for engine in engines:
+                gate = _ENGINE_GATE.get(engine)
+                ref_gate = _REFERENCE_GATE.get(engine)
+                row: dict = {
+                    "topology": topo,
+                    "n": n,
+                    "engine": engine,
+                    "cached_s": None,
+                    "reference_s": None,
+                    "classes": None,
+                }
+                if gate is None or n <= gate:
+                    result = compute_similarity_labeling(system, engine=engine)
+                    row["classes"] = result.stats.classes
+                    row["cached_s"] = _time_once(
+                        lambda: compute_similarity_labeling(system, engine=engine),
+                        repeats,
+                    )
+                if ref_gate is None or n <= ref_gate:
+                    row["reference_s"] = _time_once(
+                        lambda: compute_similarity_labeling(
+                            system, engine=engine, use_incidence_cache=False
+                        ),
+                        repeats,
+                    )
+                doc["engine_times"].append(row)
+
+    batch_size = batch_n if batch_n is not None else max(sizes)
+    net = ring(batch_size)
+    members = single_mark_family(
+        net, processors=[f"p{i}" for i in range(min(family_size, batch_size))]
+    ).members
+
+    serial_uncached_s = None
+    if measure_baseline:
+        t0 = time.perf_counter()
+        for member in members:
+            compute_similarity_labeling(
+                member, engine="worklist", use_incidence_cache=False
+            )
+        serial_uncached_s = time.perf_counter() - t0
+
+    report = batch_similarity(members, engine="worklist", workers=workers)
+    doc["batch"] = {
+        "topology": "ring",
+        "n": batch_size,
+        "family_size": len(members),
+        "workers": report.workers,
+        "requested_workers": workers,
+        "serial_uncached_s": serial_uncached_s,
+        "batch_cached_s": report.elapsed,
+        "speedup": (
+            round(serial_uncached_s / report.elapsed, 2)
+            if serial_uncached_s is not None and report.elapsed > 0
+            else None
+        ),
+        "cache_hits": report.cache_hits,
+        "cache_misses": report.cache_misses,
+        "distinct": report.distinct,
+    }
+
+    if output:
+        with open(output, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+    return doc
+
+
+def format_microbench(doc: dict) -> str:
+    """A terse human-readable rendering of :func:`run_microbench` output."""
+    lines: List[str] = []
+    lines.append(
+        f"refinement microbench (python {doc['meta']['python']}, "
+        f"{doc['meta']['cpu_count']} cpu)"
+    )
+    lines.append(f"{'topology':<10}{'n':>7}  {'engine':<12}{'cached':>10}{'reference':>11}")
+    for row in doc["engine_times"]:
+        cached = f"{row['cached_s']:.4f}s" if row["cached_s"] is not None else "-"
+        ref = f"{row['reference_s']:.4f}s" if row["reference_s"] is not None else "-"
+        lines.append(
+            f"{row['topology']:<10}{row['n']:>7}  {row['engine']:<12}{cached:>10}{ref:>11}"
+        )
+    batch = doc.get("batch")
+    if batch:
+        base = (
+            f"{batch['serial_uncached_s']:.2f}s"
+            if batch["serial_uncached_s"] is not None
+            else "skipped"
+        )
+        speed = f"{batch['speedup']}x" if batch.get("speedup") else "n/a"
+        lines.append(
+            f"batch: ring({batch['n']}) x{batch['family_size']} members, "
+            f"{batch['requested_workers']} workers -> {batch['batch_cached_s']:.2f}s "
+            f"(serial uncached {base}, speedup {speed})"
+        )
+    return "\n".join(lines)

@@ -47,10 +47,15 @@ class CrashScheduler(Scheduler):
         self.base = base
         self.crash_at: Dict[NodeId, int] = dict(crash_at)
         self._procs = tuple(processors)
-        survivors = [p for p in self._procs if p not in self.crash_at or self.crash_at[p] > 0]
-        if not set(self._procs) - set(self.crash_at):
-            # Everyone eventually crashes; ensure somebody remains to run.
-            raise ScheduleError("at least one processor must survive")
+        survivors = [
+            p for p in self._procs
+            if p not in self.crash_at or self.crash_at[p] > 0
+        ]
+        if not survivors:
+            # Nobody is alive even at step 0; there is no schedule at all.
+            # (Everybody *eventually* crashing is fine for a finite run --
+            # the crash steps may lie beyond the horizon.)
+            raise ScheduleError("at least one processor must survive step 0")
         self._fallback = 0
 
     def _alive(self, processor: NodeId, step_index: int) -> bool:
@@ -62,6 +67,10 @@ class CrashScheduler(Scheduler):
         if self._alive(choice, step_index):
             return choice
         survivors = [p for p in self._procs if self._alive(p, step_index)]
+        if not survivors:
+            raise ScheduleError(
+                f"every processor has crashed by step {step_index}"
+            )
         pick = survivors[self._fallback % len(survivors)]
         self._fallback += 1
         return pick
@@ -77,7 +86,9 @@ class CrashRunReport:
 
     Attributes:
         steps: steps executed.
-        crashed: the processors that crashed, with their crash steps.
+        crashed: the crashes that actually happened within the run, with
+            their crash steps; configured crashes at or beyond ``steps``
+            never manifested and are not reported.
         done: per-processor flags from the caller's predicate.
         selected: processors whose local state is selected at the end.
     """
@@ -100,9 +111,10 @@ def run_with_crash(
     scheduler = CrashScheduler(base_scheduler, crash_at, system.processors)
     executor = Executor(system, program, scheduler)
     executor.run(steps)
+    manifested = [(p, t) for p, t in crash_at.items() if t < steps]
     return CrashRunReport(
         steps=steps,
-        crashed=tuple(sorted(crash_at.items(), key=lambda kv: repr(kv[0]))),
+        crashed=tuple(sorted(manifested, key=lambda kv: repr(kv[0]))),
         done={p: done_predicate(executor.local[p]) for p in system.processors},
         selected=executor.selected_processors(),
     )

@@ -99,10 +99,15 @@ class RandomFairScheduler(Scheduler):
 class KBoundedFairScheduler(Scheduler):
     """Random schedule that is provably k-bounded fair.
 
-    Keeps a deadline per processor; when a deadline would expire the
-    overdue processor is forced, otherwise the choice is uniform.  With
-    ``k >= 2 * n`` the forcing is rare and the schedule looks adversarially
-    random while every window of ``k`` steps contains every processor.
+    Keeps a *deadline* per processor -- the last step by which it must run
+    again.  A processor whose deadline has arrived is forced (earliest
+    deadline first), otherwise the choice is uniform.  Initial deadlines
+    are staggered (``k - n``, ``k - n + 1``, ..., ``k - 1``), and a newly
+    assigned deadline ``step + k`` exceeds every outstanding one, so
+    deadlines stay pairwise distinct and at most one processor is ever due
+    per step: forcing it is always enough to keep every window of ``k``
+    steps containing every processor.  With ``k >= 2 * n`` the forcing is
+    rare and the schedule looks adversarially random.
     """
 
     def __init__(self, processors: Sequence[NodeId], k: Optional[int] = None, seed: int = 0) -> None:
@@ -118,17 +123,18 @@ class KBoundedFairScheduler(Scheduler):
 
     def reset(self) -> None:
         self._rng = random.Random(self._seed)
-        self._last_run: Dict[NodeId, int] = {p: -1 for p in self._procs}
+        n = len(self._procs)
+        self._deadline: Dict[NodeId, int] = {
+            p: self._k - n + i for i, p in enumerate(self._procs)
+        }
 
     def next_processor(self, step_index: int, view) -> NodeId:
-        overdue = [
-            p for p in self._procs if step_index - self._last_run[p] >= self._k - 1
-        ]
-        if overdue:
-            choice = min(overdue, key=lambda p: (self._last_run[p], repr(p)))
+        due = [p for p in self._procs if self._deadline[p] <= step_index]
+        if due:
+            choice = min(due, key=lambda p: (self._deadline[p], repr(p)))
         else:
             choice = self._rng.choice(self._procs)
-        self._last_run[choice] = step_index
+        self._deadline[choice] = step_index + self._k
         return choice
 
     @property

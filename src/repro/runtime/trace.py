@@ -92,13 +92,21 @@ def states_equal_infinitely_often(
     ``nodes`` the same paper-level state.  Because the cycle repeats
     forever, one hit inside it means infinitely many hits in the infinite
     execution.
+
+    The factory is invoked twice (cycle detection, then the probe
+    re-run), and both runs must see the *same* schedule.  Schedulers are
+    stateful, and a factory commonly closes over one scheduler instance
+    shared by both executors -- so each run starts by resetting its
+    scheduler to the initial scheduling state.
     """
     executor = executor_factory()
+    executor.scheduler.reset()
     stride = stride or len(executor.system.processors)
 
     # Re-run and inspect node states at each sample inside the cycle.
     info = run_until_cycle(executor, stride=stride, max_samples=max_samples)
     probe = executor_factory()
+    probe.scheduler.reset()
     hits = []
     for sample in range(info.prefix_length + info.cycle_length):
         if sample >= info.prefix_length:

@@ -72,6 +72,58 @@ class TestNeighborhoods:
         assert net.n_neighbors_of_variable("u", "b") == ()
 
 
+class TestIncidenceCache:
+    def test_cached_and_fresh_agree(self):
+        net = simple_net()
+        cached = net.incidence
+        fresh = net.build_incidence()
+        assert cached is not fresh
+        assert cached.node_index == fresh.node_index
+        assert cached.proc_rows == fresh.proc_rows
+        assert cached.var_rows == fresh.var_rows
+        assert cached.proc_neighbors == fresh.proc_neighbors
+        assert cached.var_name_neighbors == fresh.var_name_neighbors
+
+    def test_incidence_is_memoized(self):
+        net = simple_net()
+        assert net.incidence is net.incidence
+
+    def test_node_indexing_roundtrip(self):
+        net = simple_net()
+        inc = net.incidence
+        assert inc.n_processors == 2
+        assert inc.n_nodes == 4
+        for node, idx in inc.node_index.items():
+            assert inc.node_of(idx) == node
+        # Processors occupy 0..P-1, variables P..P+V-1.
+        assert sorted(inc.node_index[p] for p in net.processors) == [0, 1]
+        assert sorted(inc.node_index[v] for v in net.variables) == [2, 3]
+
+    def test_rows_match_network_edges(self):
+        net = simple_net()
+        inc = net.incidence
+        for p in net.processors:
+            assert inc.proc_neighbors[p] == tuple(
+                net.n_nbr(p, name) for name in inc.names
+            )
+        for v in net.variables:
+            for name, procs in zip(inc.names, inc.var_name_neighbors[v]):
+                assert procs == net.n_neighbors_of_variable(v, name)
+
+    def test_degrees(self):
+        net = simple_net()
+        inc = net.incidence
+        assert inc.degrees["v"] == 3
+        assert inc.degrees["u"] == 1
+
+    def test_n_neighbors_of_variable_errors(self):
+        net = simple_net()
+        with pytest.raises(NetworkError):
+            net.n_neighbors_of_variable("nope", "a")
+        with pytest.raises(NetworkError):
+            net.n_neighbors_of_variable("v", "zzz")
+
+
 class TestStructure:
     def test_connected(self):
         assert simple_net().is_connected

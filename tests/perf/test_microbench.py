@@ -1,0 +1,70 @@
+"""Smoke tests for the refinement microbenchmark harness."""
+
+import json
+
+import pytest
+
+from repro.perf.microbench import format_microbench, run_microbench
+
+
+class TestRunMicrobench:
+    def test_smoke_document_shape(self, tmp_path):
+        out = tmp_path / "BENCH_refinement.json"
+        doc = run_microbench(
+            sizes=(12,),
+            topologies=("ring",),
+            batch_n=12,
+            family_size=2,
+            workers=0,
+            output=str(out),
+        )
+        assert out.exists()
+        assert json.loads(out.read_text()) == doc
+        assert {r["engine"] for r in doc["engine_times"]} == {
+            "literal", "signatures", "worklist"
+        }
+        for row in doc["engine_times"]:
+            assert row["cached_s"] > 0
+            assert row["reference_s"] > 0
+            assert row["classes"] == 24  # marked ring: every node unique
+        batch = doc["batch"]
+        assert batch["family_size"] == 2
+        assert batch["serial_uncached_s"] > 0
+        assert batch["batch_cached_s"] > 0
+        assert batch["speedup"] is not None
+
+    def test_gates_record_null_not_crash(self):
+        # 150 > the literal gate (100): the literal cells must be null.
+        doc = run_microbench(
+            sizes=(150,),
+            topologies=("ring",),
+            engines=("literal", "worklist"),
+            batch_n=12,
+            family_size=1,
+            workers=0,
+            measure_baseline=False,
+            output=None,
+        )
+        by_engine = {r["engine"]: r for r in doc["engine_times"]}
+        assert by_engine["literal"]["cached_s"] is None
+        assert by_engine["worklist"]["cached_s"] > 0
+        assert doc["batch"]["serial_uncached_s"] is None
+        assert doc["batch"]["speedup"] is None
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            run_microbench(sizes=(5,), topologies=("moebius",), output=None)
+
+    def test_format_renders(self):
+        doc = run_microbench(
+            sizes=(10,),
+            topologies=("ring",),
+            engines=("worklist",),
+            batch_n=10,
+            family_size=1,
+            workers=0,
+            output=None,
+        )
+        text = format_microbench(doc)
+        assert "worklist" in text
+        assert "batch: ring(10)" in text

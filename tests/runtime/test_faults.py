@@ -34,6 +34,26 @@ class TestCrashScheduler:
         with pytest.raises(ScheduleError):
             CrashScheduler(RoundRobinScheduler(procs), {"a": 0, "b": 0}, procs)
 
+    def test_everyone_crashing_later_accepted(self):
+        """Regression: a crash step for every processor used to be rejected
+        outright, even when the crashes lie beyond any finite horizon the
+        caller will run.  Only nobody-alive-at-step-0 is degenerate."""
+        procs = ("a", "b")
+        sched = CrashScheduler(
+            RoundRobinScheduler(procs), {"a": 5, "b": 1_000}, procs
+        )
+        picks = [sched.next_processor(i, None) for i in range(20)]
+        assert "a" not in picks[5:]
+        assert "b" in picks[5:]
+
+    def test_all_crashed_mid_run_raises(self):
+        procs = ("a", "b")
+        sched = CrashScheduler(RoundRobinScheduler(procs), {"a": 2, "b": 3}, procs)
+        for i in range(3):
+            sched.next_processor(i, None)
+        with pytest.raises(ScheduleError, match="every processor has crashed"):
+            sched.next_processor(3, None)
+
 
 class TestAlgorithm2UnderCrashes:
     def _setup(self):
@@ -103,3 +123,17 @@ class TestIdleUnderCrash:
         )
         assert report.crashed == (("p1", 2),)
         assert report.selected == ()
+
+    def test_crashes_beyond_horizon_not_reported(self):
+        """Regression: ``run_with_crash`` used to echo the whole crash
+        configuration; a crash scheduled after ``steps`` never happened
+        during the run and must not appear in the report."""
+        system = figure2_system()
+        report = run_with_crash(
+            system,
+            IdleProgram(),
+            RoundRobinScheduler(system.processors),
+            crash_at={"p1": 2, "p2": 500},
+            steps=100,
+        )
+        assert report.crashed == (("p1", 2),)

@@ -56,6 +56,29 @@ class TestKBounded:
         sched.reset()
         assert take(sched, 20) == first
 
+    @pytest.mark.parametrize("n", [4, 5, 6, 8])
+    @pytest.mark.parametrize("slack", [0, 1, 2])
+    def test_k_close_to_n_property(self, n, slack):
+        """Regression: with several processors overdue at once the old
+        scheduler forced only one per step, so for k close to n a window
+        of k steps could miss a processor entirely.  Staggered initial
+        deadlines keep at most one processor due per step, which forcing
+        earliest-deadline-first always satisfies."""
+        procs = tuple(f"p{i}" for i in range(n))
+        k = n + slack
+        for seed in range(5):
+            sched = KBoundedFairScheduler(procs, k=k, seed=seed)
+            prefix = take(sched, 40 * n)
+            assert is_k_bounded_prefix(prefix, procs, k), (n, k, seed)
+
+    def test_k_equals_n_is_fully_forced(self):
+        # With k == n every step is forced, so each window of n
+        # consecutive steps is a permutation of the processors.
+        sched = KBoundedFairScheduler(PROCS, k=3, seed=0)
+        prefix = take(sched, 30)
+        for start in range(len(prefix) - 2):
+            assert set(prefix[start : start + 3]) == set(PROCS)
+
 
 class TestRandomFair:
     def test_seeded_reproducible(self):

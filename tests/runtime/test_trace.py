@@ -8,6 +8,7 @@ from repro.runtime import (
     ClassRoundRobinScheduler,
     Executor,
     IdleProgram,
+    RandomFairScheduler,
     RandomProgramQ,
     RoundRobinScheduler,
     lockstep_holds,
@@ -51,6 +52,46 @@ class TestInfinitelyOften:
             system, RandomProgramQ(system.names, seed=1), RoundRobinScheduler(system.processors)
         )
         assert not states_equal_infinitely_often(factory, ["p0", "p1"])
+
+    @pytest.mark.parametrize(
+        "system_args, nodes, seed, expected",
+        [
+            ((3, None), ["p0", "p2"], 0, True),
+            ((2, {"p0": 1}), ["p0", "p1"], 1, False),
+        ],
+    )
+    def test_shared_scheduler_factory_matches_fresh(
+        self, system_args, nodes, seed, expected
+    ):
+        """Regression: the probe re-run must replay the SAME schedule.
+
+        A factory commonly closes over one seeded scheduler instance; the
+        first run advances its RNG, so the probe used to replay a
+        *different* schedule than the recorded cycle and the verdict
+        flipped (both directions, depending on the seed).  Both runs now
+        reset the scheduler first.
+        """
+        n, marks = system_args
+        system = System(ring(n), marks, InstructionSet.Q)
+
+        def fresh():
+            return Executor(
+                system,
+                RandomProgramQ(system.names, seed=seed),
+                RandomFairScheduler(system.processors, seed=seed),
+            )
+
+        shared_scheduler = RandomFairScheduler(system.processors, seed=seed)
+
+        def shared():
+            return Executor(
+                system, RandomProgramQ(system.names, seed=seed), shared_scheduler
+            )
+
+        assert states_equal_infinitely_often(fresh, nodes) is expected
+        assert states_equal_infinitely_often(shared, nodes) is expected
+        # And the shared-scheduler verdict is stable across repeated calls.
+        assert states_equal_infinitely_often(shared, nodes) is expected
 
 
 class TestLockstep:

@@ -86,6 +86,61 @@ class TestReport:
         assert "renaming possible" in out
 
 
+class TestBatch:
+    def test_batch_ring(self, capsys):
+        assert main(["batch", "ring", "10", "--workers", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "10 member(s)" in out
+        assert "distinct systems 10" in out
+        # Marked ring: every node unique, same count for every member.
+        assert "[20]" in out
+
+    def test_batch_member_limit(self, capsys):
+        assert main(["batch", "ring", "10", "--members", "3", "--workers", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "3 member(s)" in out
+
+
+class TestBench:
+    def test_bench_smoke(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_refinement.json"
+        assert main([
+            "bench",
+            "--sizes", "10",
+            "--topologies", "ring",
+            "--batch-n", "10",
+            "--family-size", "1",
+            "--workers", "0",
+            "--output", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "worklist" in out
+        assert out_file.exists()
+
+    def test_bench_bad_sizes_rejected(self):
+        with pytest.raises(SystemExit, match="comma-separated integers"):
+            main(["bench", "--sizes", "abc", "--output", ""])
+
+    def test_bench_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit, match="unknown topology"):
+            main(["bench", "--sizes", "10", "--topologies", "moebius",
+                  "--output", ""])
+
+    def test_bench_no_output(self, capsys):
+        assert main([
+            "bench",
+            "--sizes", "10",
+            "--topologies", "ring",
+            "--batch-n", "10",
+            "--family-size", "1",
+            "--workers", "0",
+            "--skip-baseline",
+            "--output", "",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "written:" not in out
+
+
 class TestExplain:
     def test_explain_command(self, capsys):
         assert main(["explain", "path", "4", "p0", "p3"]) == 0
