@@ -19,6 +19,7 @@ from .dp_deterministic import (
     DiningRunReport,
     DPState,
     LeftFirstDiningProgram,
+    MultiLockDiningProgram,
     run_dining,
 )
 
@@ -32,6 +33,7 @@ __all__ = [
     "HygienicDiningProgram",
     "HygienicReport",
     "LeftFirstDiningProgram",
+    "MultiLockDiningProgram",
     "TO_LEFT_USER",
     "TO_RIGHT_USER",
     "hygienic_ring",

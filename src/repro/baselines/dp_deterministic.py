@@ -26,7 +26,7 @@ from typing import Tuple
 
 from ..core.names import NodeId
 from ..core.system import System
-from ..runtime.actions import Action, Internal, Lock, Unlock
+from ..runtime.actions import Action, Internal, Lock, MultiLock, Unlock
 from ..runtime.executor import Executor
 from ..runtime.program import LocalState, Program
 from ..runtime.scheduler import Scheduler
@@ -34,6 +34,7 @@ from ..runtime.scheduler import Scheduler
 THINK = "think"
 WAIT_LEFT = "wait-left"
 WAIT_RIGHT = "wait-right"
+WAIT_BOTH = "wait-both"
 EAT = "eat"
 RELEASE_RIGHT = "release-right"
 RELEASE_LEFT = "release-left"
@@ -112,6 +113,60 @@ class LeftFirstDiningProgram(Program):
     @staticmethod
     def meals(state: DPState) -> int:
         return state.meals if isinstance(state, DPState) else 0
+
+
+class MultiLockDiningProgram(Program):
+    """Think / multi-lock both forks indivisibly / eat / release.
+
+    The Section-6 extended-locking (L2) answer to DP: acquisition is
+    all-or-nothing, so hold-and-wait — the ingredient of Figure 4's
+    deadlock — is impossible, and even the uniformly oriented ring makes
+    progress.  Also the canonical :class:`MultiLock` workload for the
+    replay-determinism suite: every meal exercises one multi-lock
+    acquisition and two unlocks.
+    """
+
+    def __init__(self, think_steps: int = 1, eat_steps: int = 1, meal_cap: int = 1000) -> None:
+        self.think_steps = max(1, think_steps)
+        self.eat_steps = max(1, eat_steps)
+        self.meal_cap = meal_cap
+
+    def initial_state(self, state0) -> LocalState:
+        return DPState(stage=THINK, counter=0)
+
+    def next_action(self, state: DPState) -> Action:
+        if state.stage == THINK:
+            return Internal("think")
+        if state.stage == WAIT_BOTH:
+            return MultiLock(("left", "right"))
+        if state.stage == EAT:
+            return Internal("eat")
+        if state.stage == RELEASE_RIGHT:
+            return Unlock("right")
+        return Unlock("left")
+
+    def transition(self, state: DPState, action: Action, result) -> LocalState:
+        if state.stage == THINK:
+            nxt = state.counter + 1
+            if nxt >= self.think_steps:
+                return DPState(WAIT_BOTH, 0, state.meals)
+            return DPState(THINK, nxt, state.meals)
+        if state.stage == WAIT_BOTH:
+            if result:
+                return DPState(EAT, 0, state.meals)
+            return state  # spin; nothing is held, so no deadlock
+        if state.stage == EAT:
+            nxt = state.counter + 1
+            if nxt >= self.eat_steps:
+                meals = min(state.meals + 1, self.meal_cap)
+                return DPState(RELEASE_RIGHT, 0, meals)
+            return DPState(EAT, nxt, state.meals)
+        if state.stage == RELEASE_RIGHT:
+            return DPState(RELEASE_LEFT, 0, state.meals)
+        return DPState(THINK, 0, state.meals)
+
+    is_eating = staticmethod(LeftFirstDiningProgram.is_eating)
+    meals = staticmethod(LeftFirstDiningProgram.meals)
 
 
 @dataclass(frozen=True)

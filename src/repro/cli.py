@@ -10,7 +10,10 @@ Gives the library's main analyses a shell-friendly surface:
 * ``elect`` -- leader election demos (SELECT / Itai-Rodeh);
 * ``batch`` -- bulk similarity analysis of a single-mark family through
   the fingerprint cache / process pool driver;
-* ``bench`` -- the refinement microbenchmarks (``BENCH_refinement.json``).
+* ``bench`` -- the refinement microbenchmarks (``BENCH_refinement.json``);
+* ``trace`` -- record a run as a replayable JSONL trace;
+* ``replay`` -- re-run a recorded trace and verify bit-for-bit agreement;
+* ``report trace --file RUN.jsonl`` -- census/timeline report of a trace.
 """
 
 from __future__ import annotations
@@ -158,6 +161,13 @@ def cmd_dining(args) -> int:
 
 
 def cmd_report(args) -> int:
+    if args.topology == "trace":
+        from .obs import load_trace, trace_report
+
+        if not args.file:
+            raise SystemExit("repro report trace requires --file RUN.jsonl")
+        print(trace_report(load_trace(args.file)))
+        return 0
     from .analysis import full_report
 
     system = _build_system(args)
@@ -260,6 +270,59 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _parse_crashes(specs) -> Dict[str, int]:
+    crash_at: Dict[str, int] = {}
+    for item in specs or []:
+        try:
+            proc, _, step = item.partition("=")
+            crash_at[proc] = int(step)
+        except ValueError:
+            raise SystemExit(f"--crash wants PROC=STEP (e.g. phil2=40), got {item!r}")
+    return crash_at
+
+
+def cmd_trace(args) -> int:
+    from .obs import ScenarioError, record_scenario
+
+    spec = {
+        "topology": args.topology,
+        "size": args.size,
+        "alternating": args.alternating,
+        "model": args.model,
+        "marks": args.mark or [],
+        "program": args.program,
+        "program_seed": args.program_seed,
+        "scheduler": args.scheduler,
+        "sched_seed": args.sched_seed,
+        "crash_at": _parse_crashes(args.crash),
+    }
+    if args.k is not None:
+        spec["k"] = args.k
+    try:
+        summary = record_scenario(
+            spec, args.steps, args.output, sample_every=args.sample_every
+        )
+    except ScenarioError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"recorded {summary['steps']} steps ({summary['samples']} samples, "
+        f"every {summary['sample_every']}) to {summary['path']}"
+    )
+    print(f"final digest: {summary['final_digest']}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from .obs import TraceError, replay_trace
+
+    try:
+        report = replay_trace(args.trace, mode=args.mode)
+    except (TraceError, OSError) as exc:
+        raise SystemExit(str(exc))
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -286,9 +349,10 @@ def build_parser() -> argparse.ArgumentParser:
     hierarchy.set_defaults(func=cmd_hierarchy)
 
     report = sub.add_parser("report", help="full dossier: every analysis at once")
-    report.add_argument("topology", choices=sorted(_TOPOLOGIES) + ["file"])
+    report.add_argument("topology", choices=sorted(_TOPOLOGIES) + ["file", "trace"],
+                        help='a topology, "file" (system JSON), or "trace" (run JSONL)')
     report.add_argument("size", type=int, nargs="?", default=0)
-    report.add_argument("--file", help="load the system from a JSON file")
+    report.add_argument("--file", help="load the system (or trace) from a file")
     report.add_argument("--model", choices=sorted(_MODELS), default="Q")
     report.add_argument("--mark", action="append", metavar="NODE")
     report.set_defaults(func=cmd_report)
@@ -349,6 +413,47 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default="BENCH_refinement.json",
                        help='JSON artifact path ("" to skip writing)')
     bench.set_defaults(func=cmd_bench)
+
+    trace = sub.add_parser(
+        "trace", help="record a run as a replayable JSONL trace"
+    )
+    trace.add_argument("topology", choices=sorted(_TOPOLOGIES) + ["dining"])
+    trace.add_argument("size", type=int)
+    trace.add_argument("--steps", type=int, default=200)
+    trace.add_argument("--output", "-o", default="run.jsonl")
+    trace.add_argument("--model", choices=["S", "Q", "L", "L2"], default="Q")
+    trace.add_argument(
+        "--program", choices=["random", "idle", "left-first", "both-forks"],
+        default="random",
+    )
+    trace.add_argument("--program-seed", type=int, default=0)
+    trace.add_argument(
+        "--scheduler", choices=["round-robin", "random", "k-bounded"],
+        default="round-robin",
+    )
+    trace.add_argument("--sched-seed", type=int, default=0)
+    trace.add_argument("--k", type=int, default=None,
+                       help="fairness bound for the k-bounded scheduler")
+    trace.add_argument("--mark", action="append", metavar="NODE")
+    trace.add_argument("--alternating", action="store_true",
+                       help="alternating fork naming (dining only)")
+    trace.add_argument(
+        "--crash", action="append", metavar="PROC=STEP",
+        help="crash PROC at STEP (repeatable)",
+    )
+    trace.add_argument("--sample-every", type=int, default=None,
+                       help="config-digest sampling stride (default: #processors)")
+    trace.set_defaults(func=cmd_trace)
+
+    replay = sub.add_parser(
+        "replay", help="re-run a recorded trace, verifying determinism"
+    )
+    replay.add_argument("trace", help="path to a JSONL trace file")
+    replay.add_argument(
+        "--mode", choices=["schedule", "scheduler"], default="schedule",
+        help="drive by recorded schedule, or rebuild the seeded scheduler",
+    )
+    replay.set_defaults(func=cmd_replay)
 
     return parser
 

@@ -42,10 +42,12 @@ the microbenchmarks (:mod:`repro.perf.microbench`) measure the gap.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict, deque
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set
 
+from ..obs.events import RefinementCompleted, RefinementRound
 from .environment import EnvironmentModel, environment_signature
 from .labeling import Labeling
 from .names import NodeId
@@ -79,6 +81,21 @@ class RefinementResult:
 # ----------------------------------------------------------------------
 # shared helpers
 # ----------------------------------------------------------------------
+
+
+def _emit_completion(sink, engine: str, result: "RefinementResult", start: float) -> None:
+    """Publish a :class:`RefinementCompleted` event when observed."""
+    if sink is None:
+        return
+    sink.on_event(
+        RefinementCompleted(
+            engine=engine,
+            rounds=result.stats.rounds,
+            splits=result.stats.splits,
+            classes=result.stats.classes,
+            elapsed=time.perf_counter() - start,
+        )
+    )
 
 
 def _initial_labeling(system: System, include_state: bool) -> Labeling:
@@ -134,6 +151,7 @@ def algorithm1_literal(
     model: EnvironmentModel = EnvironmentModel.MULTISET,
     include_state: bool = True,
     use_incidence_cache: bool = True,
+    sink=None,
 ) -> RefinementResult:
     """The paper's Algorithm 1 as written.
 
@@ -149,6 +167,7 @@ def algorithm1_literal(
     a supersimilarity labeling (Theorem 4) -- hence the similarity
     labeling.
     """
+    start = time.perf_counter()
     incidence = (
         system.network.incidence
         if use_incidence_cache
@@ -162,6 +181,10 @@ def algorithm1_literal(
     fresh = 0
     while True:
         rounds += 1
+        if sink is not None:
+            sink.on_event(
+                RefinementRound("literal", rounds, len(set(assignment.values())))
+            )
         labeling = Labeling(assignment)
         sig = {
             node: environment_signature(
@@ -185,7 +208,9 @@ def algorithm1_literal(
         if not split_performed:
             break
     final = _finalize(system, Labeling(assignment))
-    return RefinementResult(final, RefinementStats(rounds, splits, len(final.labels)))
+    result = RefinementResult(final, RefinementStats(rounds, splits, len(final.labels)))
+    _emit_completion(sink, "literal", result, start)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -198,6 +223,7 @@ def algorithm1_signatures(
     model: EnvironmentModel = EnvironmentModel.MULTISET,
     include_state: bool = True,
     use_incidence_cache: bool = True,
+    sink=None,
 ) -> RefinementResult:
     """Global-round refinement: relabel all nodes by (label, signature).
 
@@ -205,13 +231,17 @@ def algorithm1_signatures(
     monotonically refined, so the number of classes is strictly increasing
     until the fixpoint; at most ``|P| + |V|`` rounds.
     """
+    start = time.perf_counter()
     if use_incidence_cache:
-        return _signatures_interned(system, model, include_state)
-    return _signatures_reference(system, model, include_state)
+        result = _signatures_interned(system, model, include_state, sink)
+    else:
+        result = _signatures_reference(system, model, include_state, sink)
+    _emit_completion(sink, "signatures", result, start)
+    return result
 
 
 def _signatures_interned(
-    system: System, model: EnvironmentModel, include_state: bool
+    system: System, model: EnvironmentModel, include_state: bool, sink=None
 ) -> RefinementResult:
     """Cached fast path: interned int labels over incidence arrays.
 
@@ -257,6 +287,8 @@ def _signatures_interned(
                 c = code[key] = len(code)
             new_labels[i] = c
         new_classes = len(code)
+        if sink is not None:
+            sink.on_event(RefinementRound("signatures", rounds, new_classes))
         if new_classes == n_classes:
             break
         splits += new_classes - n_classes
@@ -268,7 +300,7 @@ def _signatures_interned(
 
 
 def _signatures_reference(
-    system: System, model: EnvironmentModel, include_state: bool
+    system: System, model: EnvironmentModel, include_state: bool, sink=None
 ) -> RefinementResult:
     """Reference path: nested-tuple signatures via the Network accessors."""
     incidence = system.network.build_incidence()
@@ -296,6 +328,8 @@ def _signatures_reference(
         new_labeling = Labeling(new_assignment)
         new_classes = len(new_labeling.labels)
         old_classes = len(labeling.labels)
+        if sink is not None:
+            sink.on_event(RefinementRound("signatures", rounds, new_classes))
         if new_classes == old_classes:
             break
         splits += new_classes - old_classes
@@ -349,6 +383,7 @@ def algorithm1_worklist(
     model: EnvironmentModel = EnvironmentModel.MULTISET,
     include_state: bool = True,
     use_incidence_cache: bool = True,
+    sink=None,
 ) -> RefinementResult:
     """Worklist refinement in the style of [H71] / Paige-Tarjan.
 
@@ -371,10 +406,17 @@ def algorithm1_worklist(
     subtle incompleteness of pure smaller-half counting splits; in
     practice it never fires, and tests assert agreement with the other
     engines.
+
+    The worklist engines report only a completion event (a worklist pop
+    is too fine-grained to be a useful "round").
     """
+    start = time.perf_counter()
     if use_incidence_cache:
-        return _worklist_interned(system, model, include_state)
-    return _worklist_reference(system, model, include_state)
+        result = _worklist_interned(system, model, include_state)
+    else:
+        result = _worklist_reference(system, model, include_state)
+    _emit_completion(sink, "worklist", result, start)
+    return result
 
 
 def _worklist_interned(
@@ -661,6 +703,7 @@ def compute_similarity_labeling(
     include_state: bool = True,
     engine: str = "worklist",
     use_incidence_cache: bool = True,
+    sink=None,
 ) -> RefinementResult:
     """Compute the similarity labeling ``Theta`` of ``system``.
 
@@ -679,6 +722,8 @@ def compute_similarity_labeling(
             incidence cache (fast interned path); ``False`` selects the
             reference path that re-derives edges through the Network
             accessors.
+        sink: optional event sink (:mod:`repro.obs`) receiving
+            refinement-round and completion events.
     """
     if model is None:
         model = EnvironmentModel.for_instruction_set(system.instruction_set)
@@ -686,4 +731,4 @@ def compute_similarity_labeling(
         fn = _ENGINES[engine]
     except KeyError:
         raise ValueError(f"unknown engine {engine!r}; pick from {sorted(_ENGINES)}")
-    return fn(system, model, include_state, use_incidence_cache)
+    return fn(system, model, include_state, use_incidence_cache, sink=sink)

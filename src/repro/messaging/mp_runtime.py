@@ -18,6 +18,7 @@ from typing import Deque, Dict, Hashable, List, Tuple
 
 from ..core.names import NodeId, State
 from ..exceptions import ExecutionError
+from ..obs.events import EventHub, MessageDelivered
 from .mp_system import Channel, MPSystem
 
 
@@ -57,11 +58,18 @@ class MPExecutorStats:
 class MPExecutor:
     """Run an :class:`MPProgram` on an :class:`MPSystem`."""
 
-    def __init__(self, mp: MPSystem, program: MPProgram, seed: int = 0) -> None:
+    def __init__(
+        self, mp: MPSystem, program: MPProgram, seed: int = 0, sink=None
+    ) -> None:
         self.mp = mp
         self.program = program
         self.rng = random.Random(seed)
         self.stats = MPExecutorStats()
+        #: structured-event hub (:mod:`repro.obs`); one
+        #: :class:`~repro.obs.events.MessageDelivered` per delivery.
+        self.events = EventHub()
+        if sink is not None:
+            self.events.attach(sink)
         self.local: Dict[NodeId, Hashable] = {}
         self.queues: Dict[Channel, Deque[Hashable]] = {c: deque() for c in mp.channels}
         self._out_index: Dict[Tuple[NodeId, str], Channel] = {
@@ -99,6 +107,16 @@ class MPExecutor:
         )
         self.local[channel.receiver] = state
         self._send_all(channel.receiver, sends)
+        if self.events.active:
+            self.events.emit(
+                MessageDelivered(
+                    index=self.stats.deliveries,
+                    sender=channel.sender,
+                    receiver=channel.receiver,
+                    port=channel.port,
+                    payload=payload,
+                )
+            )
         self.stats.deliveries += 1
         return True
 

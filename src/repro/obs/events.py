@@ -1,0 +1,225 @@
+"""Typed structured events — the vocabulary of the observability layer.
+
+Every interesting runtime occurrence is one immutable event object:
+
+* :class:`StepExecuted` — the executor performed one atomic step;
+* :class:`CrashManifested` — a configured crash took effect in a
+  :class:`~repro.runtime.faults.CrashScheduler`;
+* :class:`MessageDelivered` — the message-passing simulator delivered
+  one message;
+* :class:`RefinementRound` / :class:`RefinementCompleted` — progress of
+  a partition-refinement engine;
+* :class:`ConfigSampled` — a digest of the whole-system configuration,
+  taken at a sampled step boundary (the anchor of deterministic replay).
+
+Events carry *live* payloads (the actual :class:`StepRecord`, the actual
+payload object); :meth:`Event.to_json` flattens them to JSON scalars for
+the JSONL sink, using ``repr`` for arbitrary hashables — reprs of the
+tuples/dataclasses used as local states are deterministic across
+interpreter runs, which is what makes the serialized stream comparable
+under different ``PYTHONHASHSEED`` values.
+
+This module deliberately imports nothing from the rest of the package,
+so any layer (runtime, messaging, core.refinement) can emit events
+without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class of all structured events."""
+
+    kind: ClassVar[str] = "event"
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-scalar dict for line-oriented serialization."""
+        return {"kind": self.kind}
+
+
+@dataclass(frozen=True)
+class StepExecuted(Event):
+    """One executed step of the shared-variable executor.
+
+    ``record`` is the live :class:`~repro.runtime.executor.StepRecord`
+    (action and result are real objects, not reprs).  A record with
+    ``noop=True`` is a scheduled slot wasted on an already-halted
+    processor: no instruction ran and no state changed.
+    """
+
+    kind: ClassVar[str] = "step"
+
+    record: Any
+
+    def to_json(self) -> Dict[str, Any]:
+        r = self.record
+        return {
+            "kind": self.kind,
+            "i": r.index,
+            "p": str(r.processor),
+            "a": type(r.action).__name__,
+            "action": repr(r.action),
+            "r": repr(r.result),
+            "noop": bool(r.noop),
+        }
+
+
+@dataclass(frozen=True)
+class CrashManifested(Event):
+    """A configured crash took effect.
+
+    Attributes:
+        processor: who crashed.
+        crash_step: the configured crash step.
+        observed_step: the step index at which the scheduler first had to
+            route around the crashed processor.
+    """
+
+    kind: ClassVar[str] = "crash"
+
+    processor: Any
+    crash_step: int
+    observed_step: int
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "p": str(self.processor),
+            "crash_step": self.crash_step,
+            "observed_step": self.observed_step,
+        }
+
+
+@dataclass(frozen=True)
+class MessageDelivered(Event):
+    """One delivery step of the message-passing simulator."""
+
+    kind: ClassVar[str] = "delivery"
+
+    index: int
+    sender: Any
+    receiver: Any
+    port: str
+    payload: Any
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "i": self.index,
+            "from": str(self.sender),
+            "to": str(self.receiver),
+            "port": str(self.port),
+            "payload": repr(self.payload),
+        }
+
+
+@dataclass(frozen=True)
+class RefinementRound(Event):
+    """One global round of a refinement engine (literal/signature style)."""
+
+    kind: ClassVar[str] = "refinement-round"
+
+    engine: str
+    round_index: int
+    classes: int
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "engine": self.engine,
+            "round": self.round_index,
+            "classes": self.classes,
+        }
+
+
+@dataclass(frozen=True)
+class RefinementCompleted(Event):
+    """A refinement engine reached its fixpoint."""
+
+    kind: ClassVar[str] = "refinement"
+
+    engine: str
+    rounds: int
+    splits: int
+    classes: int
+    elapsed: float
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "engine": self.engine,
+            "rounds": self.rounds,
+            "splits": self.splits,
+            "classes": self.classes,
+            "elapsed": self.elapsed,
+        }
+
+
+@dataclass(frozen=True)
+class ConfigSampled(Event):
+    """A configuration digest at a sampled step boundary.
+
+    Attributes:
+        step: how many steps had executed when the sample was taken.
+        digest: stable digest of the whole configuration.
+        node_digests: per-node state digests (``str(node) -> digest``),
+            the evidence replay uses to point at the first divergent node.
+    """
+
+    kind: ClassVar[str] = "config"
+
+    step: int
+    digest: str
+    node_digests: Mapping[str, str]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "step": self.step,
+            "digest": self.digest,
+            "nodes": dict(self.node_digests),
+        }
+
+
+class EventHub:
+    """A tiny synchronous dispatcher: attach sinks, emit events.
+
+    The executor (and friends) hold one hub each; emission is guarded by
+    :attr:`active` so an un-observed run pays a single attribute check
+    per step.
+    """
+
+    __slots__ = ("_sinks",)
+
+    def __init__(self) -> None:
+        self._sinks: List[Any] = []
+
+    @property
+    def active(self) -> bool:
+        return bool(self._sinks)
+
+    @property
+    def sinks(self) -> tuple:
+        return tuple(self._sinks)
+
+    def attach(self, sink) -> Any:
+        """Attach ``sink`` (anything with ``on_event``); returns it."""
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink) -> None:
+        self._sinks.remove(sink)
+
+    def emit(self, event: Event) -> None:
+        for sink in self._sinks:
+            sink.on_event(event)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()

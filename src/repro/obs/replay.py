@@ -1,0 +1,206 @@
+"""Deterministic replay: re-run a recorded trace and verify agreement.
+
+:func:`replay_trace` rebuilds the run from the trace header's scenario
+spec and re-executes it, checking, at every step, that the replay
+scheduled the same processor, issued the same action, and observed the
+same result as the recording — and, at every sampled boundary, that the
+whole-configuration digest matches.  On a digest mismatch it diffs the
+per-node digests and names the first divergent node, which is the
+debugging handle: *which* state went wrong, not just *that* something
+did.
+
+Two modes:
+
+* ``"schedule"`` (default) — drive the replay with a
+  :class:`~repro.runtime.scheduler.ReplayScheduler` over the recorded
+  schedule.  This replays faithfully even if the original scheduler was
+  randomized or crash-wrapped: crashes in this codebase are purely
+  schedule-level (a crashed processor simply stops appearing), so the
+  recorded schedule already embeds their effect.
+* ``"scheduler"`` — rebuild the original seeded scheduler stack
+  (including the :class:`~repro.runtime.faults.CrashScheduler` wrapper)
+  and let *it* choose.  This additionally verifies that the scheduler
+  itself is deterministic: any drift shows up as a schedule divergence.
+
+Either way, agreement at every sampled digest plus agreement on every
+step document means the replayed execution is the recorded execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from ..runtime.executor import Executor
+from ..runtime.scheduler import ReplayScheduler
+from .events import StepExecuted
+from .scenarios import build_scenario
+from .trace_io import Trace, TraceError, config_digest, load_trace, node_digests
+
+_REPLAY_MODES = ("schedule", "scheduler")
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where the replay disagreed with the recording.
+
+    Attributes:
+        step: the step index (for config divergences, the sampled step).
+        reason: one of ``"schedule"``, ``"action"``, ``"result"``,
+            ``"noop"``, ``"config"``, ``"end"``.
+        expected: what the trace recorded.
+        actual: what the replay produced.
+        node: for config divergences, the first node (in system order)
+            whose state digest differs; None otherwise.
+        node_expected: recorded digest of that node's state.
+        node_actual: replayed digest of that node's state.
+    """
+
+    step: int
+    reason: str
+    expected: Any
+    actual: Any
+    node: Optional[str] = None
+    node_expected: Optional[str] = None
+    node_actual: Optional[str] = None
+
+    def describe(self) -> str:
+        msg = (
+            f"step {self.step}: {self.reason} divergence — "
+            f"recorded {self.expected!r}, replayed {self.actual!r}"
+        )
+        if self.node is not None:
+            msg += (
+                f"; first divergent node {self.node} "
+                f"({self.node_expected} -> {self.node_actual})"
+            )
+        return msg
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of a replay run."""
+
+    ok: bool
+    mode: str
+    steps_replayed: int
+    samples_checked: int
+    divergence: Optional[Divergence] = None
+    final_digest: Optional[str] = None
+    scenario: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"replay ok ({self.mode} mode): {self.steps_replayed} steps, "
+                f"{self.samples_checked} samples agree, "
+                f"final digest {self.final_digest}"
+            )
+        assert self.divergence is not None
+        return f"replay FAILED ({self.mode} mode): {self.divergence.describe()}"
+
+
+class _LastStep:
+    """A one-slot sink capturing the most recent step event."""
+
+    def __init__(self) -> None:
+        self.doc: Optional[Dict[str, Any]] = None
+
+    def on_event(self, event) -> None:
+        if isinstance(event, StepExecuted):
+            self.doc = event.to_json()
+
+
+def _first_node_diff(executor, recorded_nodes: Dict[str, str]):
+    """The first node (in system order) whose replayed digest differs."""
+    actual = node_digests(executor)
+    for node in executor.system.nodes:
+        key = str(node)
+        if recorded_nodes.get(key) != actual.get(key):
+            return key, recorded_nodes.get(key), actual.get(key)
+    return None, None, None
+
+
+def _step_divergence(i: int, rec: Dict[str, Any], got: Dict[str, Any]):
+    for reason, key in (
+        ("schedule", "p"),
+        ("action", "action"),
+        ("result", "r"),
+        ("noop", "noop"),
+    ):
+        if rec.get(key) != got.get(key):
+            return Divergence(i, reason, rec.get(key), got.get(key))
+    return None
+
+
+def replay_trace(
+    trace: Union[Trace, str],
+    mode: str = "schedule",
+) -> ReplayReport:
+    """Replay ``trace`` (a :class:`Trace` or a file path) and verify it."""
+    if isinstance(trace, str):
+        trace = load_trace(trace)
+    if mode not in _REPLAY_MODES:
+        raise TraceError(f"unknown replay mode {mode!r}; pick from {_REPLAY_MODES}")
+    if not trace.scenario:
+        raise TraceError("trace header carries no scenario spec; cannot rebuild")
+
+    bundle = build_scenario(trace.scenario)
+    by_str = {str(p): p for p in bundle.system.processors}
+    if mode == "schedule":
+        try:
+            prefix = [by_str[p] for p in trace.schedule()]
+        except KeyError as exc:
+            raise TraceError(f"recorded schedule names unknown processor {exc}") from None
+        scheduler = ReplayScheduler(prefix)
+    else:
+        scheduler = bundle.scheduler
+
+    last = _LastStep()
+    executor = Executor(bundle.system, bundle.program, scheduler, sink=last)
+    samples = trace.samples_by_step()
+    report = ReplayReport(
+        ok=True,
+        mode=mode,
+        steps_replayed=0,
+        samples_checked=0,
+        scenario=dict(trace.scenario),
+    )
+
+    def check_sample(step: int) -> Optional[Divergence]:
+        doc = samples.get(step)
+        if doc is None:
+            return None
+        report.samples_checked += 1
+        digest = config_digest(executor)
+        if digest == doc.get("digest"):
+            return None
+        node, exp, act = _first_node_diff(executor, doc.get("nodes", {}))
+        return Divergence(
+            step, "config", doc.get("digest"), digest,
+            node=node, node_expected=exp, node_actual=act,
+        )
+
+    divergence = check_sample(0)
+    if divergence is None:
+        for i, rec in enumerate(trace.steps):
+            executor.step()
+            report.steps_replayed += 1
+            divergence = _step_divergence(i, rec, last.doc or {})
+            if divergence is None:
+                divergence = check_sample(executor.step_count)
+            if divergence is not None:
+                break
+
+    if divergence is None and trace.end is not None:
+        digest = config_digest(executor)
+        if digest != trace.end.get("digest"):
+            divergence = Divergence(
+                executor.step_count, "end", trace.end.get("digest"), digest
+            )
+
+    report.final_digest = config_digest(executor)
+    if divergence is not None:
+        report.ok = False
+        report.divergence = divergence
+    return report

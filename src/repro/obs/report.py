@@ -1,0 +1,128 @@
+"""Human-readable views of recorded traces.
+
+These mirror the live-run tools (:func:`repro.runtime.recording.census`,
+:func:`~repro.runtime.recording.render_timeline`) but operate on a
+parsed :class:`~repro.obs.trace_io.Trace` — no re-execution needed, so
+they work on any trace file, including one recorded on another machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..runtime.recording import StepCensus
+from .trace_io import Trace
+
+#: one display letter per action kind (timeline lanes)
+_ACTION_LETTERS: Dict[str, str] = {
+    "Internal": "i",
+    "Read": "r",
+    "Write": "w",
+    "Peek": "p",
+    "Post": "s",
+    "Lock": "L",
+    "Unlock": "u",
+    "MultiLock": "M",
+    "Halt": "H",
+}
+
+
+def trace_census(trace: Trace) -> StepCensus:
+    """A :class:`~repro.runtime.recording.StepCensus` over a trace.
+
+    Processor keys are the recorded ``str(processor)`` ids.  As with the
+    live census, no-op slots count toward ``steps`` and ``noop_steps``
+    but not toward the per-processor / per-action aggregates.
+    """
+    per_proc: Dict[str, int] = {}
+    per_action: Dict[str, int] = {}
+    total = 0
+    noops = 0
+    for doc in trace.steps:
+        total += 1
+        if doc.get("noop"):
+            noops += 1
+            continue
+        per_proc[doc["p"]] = per_proc.get(doc["p"], 0) + 1
+        per_action[doc["a"]] = per_action.get(doc["a"], 0) + 1
+    return StepCensus(
+        steps=total,
+        per_processor=per_proc,
+        per_action_type=per_action,
+        noop_steps=noops,
+    )
+
+
+def trace_timeline(trace: Trace, width: Optional[int] = None) -> str:
+    """One lane per processor; one action-kind letter per own step.
+
+    Real steps render as the action's letter (``L`` lock, ``u`` unlock,
+    ``M`` multi-lock, ``r``/``w`` read/write, ``p``/``s`` peek/post,
+    ``i`` internal, ``H`` halt); wasted no-op slots render as ``.``.
+    A trace with no steps renders as the empty string.
+    """
+    lanes: Dict[str, list] = {}
+    order = []
+    for doc in trace.steps:
+        p = doc["p"]
+        if p not in lanes:
+            lanes[p] = []
+            order.append(p)
+        if doc.get("noop"):
+            lanes[p].append(".")
+        else:
+            lanes[p].append(_ACTION_LETTERS.get(doc["a"], "?"))
+    if not lanes:
+        return ""
+    name_width = max(len(p) for p in order)
+    lines = []
+    for p in sorted(order):
+        chars = "".join(lanes[p])
+        if width is not None:
+            chars = chars[:width]
+        lines.append(f"{p.ljust(name_width)}  {chars}")
+    return "\n".join(lines)
+
+
+def trace_report(trace: Trace, width: Optional[int] = 72) -> str:
+    """A multi-section text report for a trace file."""
+    sc = trace.scenario
+    census = trace_census(trace)
+    lines = []
+    lines.append("trace report")
+    lines.append("=" * 40)
+    if sc:
+        bits = [f"topology={sc.get('topology')}", f"size={sc.get('size')}"]
+        if sc.get("topology") != "dining":
+            bits.append(f"model={sc.get('model')}")
+        bits.append(f"program={sc.get('program')}")
+        bits.append(f"scheduler={sc.get('scheduler')}")
+        lines.append("scenario: " + " ".join(bits))
+    lines.append(
+        f"steps: {census.steps} ({census.noop_steps} no-op), "
+        f"samples: {len(trace.samples)}"
+    )
+    if trace.end is not None:
+        lines.append(f"final digest: {trace.end.get('digest')}")
+    if trace.crashes:
+        crashed = ", ".join(
+            f"{doc['p']}@{doc['crash_step']}" for doc in trace.crashes
+        )
+        lines.append(f"crashes: {crashed}")
+    if census.per_action_type:
+        actions = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(census.per_action_type.items())
+        )
+        lines.append(f"actions: {actions}")
+    if census.per_processor:
+        lines.append("")
+        lines.append("per-processor steps:")
+        for p in sorted(census.per_processor):
+            lines.append(f"  {p}: {census.per_processor[p]}")
+    timeline = trace_timeline(trace, width=width)
+    if timeline:
+        lines.append("")
+        lines.append("timeline (letters = action kinds, . = no-op slot):")
+        lines.extend("  " + lane for lane in timeline.splitlines())
+    return "\n".join(lines)

@@ -1,0 +1,255 @@
+"""Named, JSON-serializable run scenarios for tracing and replay.
+
+Deterministic replay needs to *rebuild* a run, not merely re-read it:
+the system, the program, and the scheduler must all be reconstructible
+from data that fits in a trace header.  A **scenario spec** is that
+data — a plain JSON dict naming a topology builder, a program, a
+scheduler, and their seeds::
+
+    {"topology": "ring", "size": 6, "model": "Q",
+     "program": "random", "program_seed": 3,
+     "scheduler": "random", "sched_seed": 1,
+     "marks": ["p0"], "crash_at": {"p2": 40}}
+
+:func:`build_scenario` turns a spec into live objects;
+:func:`record_scenario` runs it and streams the trace to JSONL.  The
+spec is normalized (defaults filled in) before being written to the
+header, so a recorded trace is self-contained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..baselines.dp_deterministic import (
+    LeftFirstDiningProgram,
+    MultiLockDiningProgram,
+)
+from ..core.system import InstructionSet, ScheduleClass, System
+from ..exceptions import ReproError
+from ..io import system_to_dict
+from ..runtime.executor import Executor
+from ..runtime.faults import CrashScheduler
+from ..runtime.program import (
+    IdleProgram,
+    Program,
+    RandomProgramL,
+    RandomProgramQ,
+    RandomProgramS,
+)
+from ..runtime.scheduler import (
+    KBoundedFairScheduler,
+    RandomFairScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from ..topologies import (
+    alternating_ring,
+    complete_bipartite,
+    dining_system,
+    path,
+    ring,
+    star,
+    torus_grid,
+)
+from .trace_io import TraceWriter
+
+
+class ScenarioError(ReproError):
+    """The scenario spec is malformed or names unknown components."""
+
+
+_TOPOLOGIES = {
+    "ring": lambda n: ring(n),
+    "alternating-ring": lambda n: alternating_ring(n),
+    "path": lambda n: path(n),
+    "star": lambda n: star(n),
+    "complete": lambda n: complete_bipartite(n, 2),
+    "grid": lambda n: torus_grid(n, n),
+}
+
+_MODELS = {
+    "S": InstructionSet.S,
+    "Q": InstructionSet.Q,
+    "L": InstructionSet.L,
+    "L2": InstructionSet.L2,
+}
+
+_RANDOM_PROGRAMS = {
+    InstructionSet.S: RandomProgramS,
+    InstructionSet.Q: RandomProgramQ,
+    InstructionSet.L: RandomProgramL,
+    InstructionSet.L2: RandomProgramL,  # L programs are legal under L2
+}
+
+_DEFAULTS = {
+    "topology": "ring",
+    "size": 5,
+    "alternating": False,
+    "model": "Q",
+    "marks": [],
+    "program": "random",
+    "program_seed": 0,
+    "scheduler": "round-robin",
+    "sched_seed": 0,
+    "k": None,
+    "crash_at": {},
+}
+
+
+@dataclass
+class ScenarioBundle:
+    """A scenario spec made live."""
+
+    spec: Dict[str, Any]
+    system: System
+    program: Program
+    scheduler: Scheduler
+    base_scheduler: Scheduler
+    crash_at: Dict[Any, int]
+
+
+def normalize_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Fill defaults; reject unknown keys (typos must not pass silently)."""
+    unknown = set(spec) - set(_DEFAULTS)
+    if unknown:
+        raise ScenarioError(
+            f"unknown scenario keys {sorted(unknown)}; "
+            f"valid keys are {sorted(_DEFAULTS)}"
+        )
+    doc = dict(_DEFAULTS)
+    doc.update(spec)
+    doc["marks"] = list(doc["marks"])
+    doc["crash_at"] = {str(p): int(t) for p, t in dict(doc["crash_at"]).items()}
+    return doc
+
+
+def _build_system(doc: Dict[str, Any]) -> System:
+    topology = doc["topology"]
+    size = int(doc["size"])
+    if topology == "dining":
+        # lock-based dining programs dictate their instruction set
+        if doc["program"] == "both-forks":
+            iset = InstructionSet.L2
+        elif doc["program"] == "left-first":
+            iset = InstructionSet.L
+        else:
+            iset = _MODELS.get(doc["model"], InstructionSet.L)
+        return dining_system(size, alternating=bool(doc["alternating"]), instruction_set=iset)
+    try:
+        net = _TOPOLOGIES[topology](size)
+    except KeyError:
+        raise ScenarioError(
+            f"unknown topology {topology!r}; pick from "
+            f"{sorted(_TOPOLOGIES) + ['dining']}"
+        ) from None
+    try:
+        iset = _MODELS[doc["model"]]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown model {doc['model']!r}; pick from {sorted(_MODELS)}"
+        ) from None
+    state = {mark: 1 for mark in doc["marks"]}
+    return System(net, state, iset, ScheduleClass.FAIR)
+
+
+def _build_program(doc: Dict[str, Any], system: System) -> Program:
+    name = doc["program"]
+    seed = int(doc["program_seed"])
+    if name == "random":
+        return _RANDOM_PROGRAMS[system.instruction_set](system.names, seed=seed)
+    if name == "idle":
+        return IdleProgram()
+    if name == "left-first":
+        return LeftFirstDiningProgram()
+    if name == "both-forks":
+        return MultiLockDiningProgram()
+    raise ScenarioError(
+        f"unknown program {name!r}; pick from "
+        f"['random', 'idle', 'left-first', 'both-forks']"
+    )
+
+
+def _build_base_scheduler(doc: Dict[str, Any], system: System) -> Scheduler:
+    name = doc["scheduler"]
+    procs = system.processors
+    if name == "round-robin":
+        return RoundRobinScheduler(procs)
+    if name == "random":
+        return RandomFairScheduler(procs, seed=int(doc["sched_seed"]))
+    if name == "k-bounded":
+        k = doc["k"]
+        return KBoundedFairScheduler(
+            procs, k=None if k is None else int(k), seed=int(doc["sched_seed"])
+        )
+    raise ScenarioError(
+        f"unknown scheduler {name!r}; pick from "
+        f"['round-robin', 'random', 'k-bounded']"
+    )
+
+
+def build_scenario(spec: Dict[str, Any], sink=None) -> ScenarioBundle:
+    """Build (system, program, scheduler) from a scenario spec.
+
+    ``sink`` is attached to the :class:`CrashScheduler` (when crashes are
+    configured) so crash manifestations reach the trace.
+    """
+    doc = normalize_spec(spec)
+    system = _build_system(doc)
+    program = _build_program(doc, system)
+    base = _build_base_scheduler(doc, system)
+    by_str = {str(p): p for p in system.processors}
+    try:
+        crash_at = {by_str[p]: t for p, t in doc["crash_at"].items()}
+    except KeyError as exc:
+        raise ScenarioError(f"crash_at names unknown processor {exc}") from None
+    scheduler: Scheduler = base
+    if crash_at:
+        scheduler = CrashScheduler(base, crash_at, system.processors, sink=sink)
+    return ScenarioBundle(
+        spec=doc,
+        system=system,
+        program=program,
+        scheduler=scheduler,
+        base_scheduler=base,
+        crash_at=crash_at,
+    )
+
+
+def record_scenario(
+    spec: Dict[str, Any],
+    steps: int,
+    path: str,
+    sample_every: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run a scenario for ``steps`` steps, streaming the trace to ``path``.
+
+    Returns a summary dict: steps, samples, final digest, output path.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        writer = TraceWriter(handle)
+        bundle = build_scenario(spec, sink=writer)
+        doc = bundle.spec
+        if sample_every is None:
+            sample_every = max(1, len(bundle.system.processors))
+        executor = Executor(
+            bundle.system, bundle.program, bundle.scheduler, sink=writer
+        )
+        writer.write_header(doc, system_to_dict(bundle.system), steps, sample_every)
+        writer.sample(executor)
+        samples = 1
+        for i in range(steps):
+            executor.step()
+            if (i + 1) % sample_every == 0:
+                writer.sample(executor)
+                samples += 1
+        digest = writer.write_end(executor)
+    return {
+        "path": path,
+        "steps": steps,
+        "samples": samples,
+        "sample_every": sample_every,
+        "final_digest": digest,
+        "lines": writer.lines_written,
+    }

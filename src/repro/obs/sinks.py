@@ -1,0 +1,155 @@
+"""Pluggable event sinks: ring buffer, JSONL writer, metrics collector.
+
+A sink is anything with ``on_event(event)`` (and optionally ``close()``).
+The three provided here cover the common observation modes:
+
+* :class:`RingBufferSink` — keep the last N events in memory, for tests
+  and interactive inspection;
+* :class:`JsonlSink` — append one JSON object per event to a file-like
+  stream (the trace writer in :mod:`repro.obs.trace_io` builds on it);
+* :class:`MetricsSink` — no event retention at all, just counters and
+  timers: steps per action type and per processor, deliveries, crashes,
+  refinement stats.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from typing import Any, Deque, Dict, IO, Optional, Tuple
+
+from .events import (
+    ConfigSampled,
+    CrashManifested,
+    Event,
+    MessageDelivered,
+    RefinementCompleted,
+    StepExecuted,
+)
+
+
+class EventSink:
+    """Base class for sinks (subclassing is optional, duck-typing works)."""
+
+    def on_event(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further events are undefined behavior."""
+
+
+class RingBufferSink(EventSink):
+    """Keep the most recent ``capacity`` events (all of them if None)."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._buffer: Deque[Event] = deque(maxlen=capacity)
+
+    def on_event(self, event: Event) -> None:
+        self._buffer.append(event)
+
+    def events(self, kind: Optional[str] = None) -> Tuple[Event, ...]:
+        """The buffered events, optionally filtered by ``kind``."""
+        if kind is None:
+            return tuple(self._buffer)
+        return tuple(e for e in self._buffer if e.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+class JsonlSink(EventSink):
+    """Write every event as one JSON line to a text stream.
+
+    The sink does not own the stream unless ``owns`` is set (then
+    ``close`` closes it).  Keys are sorted so equal event streams give
+    byte-identical files — the property the hash-seed determinism tests
+    rely on.
+    """
+
+    def __init__(self, stream: IO[str], owns: bool = False) -> None:
+        self._stream = stream
+        self._owns = owns
+        self.lines_written = 0
+
+    def write_doc(self, doc: Dict[str, Any]) -> None:
+        """Write an arbitrary JSON document line (headers, footers)."""
+        self._stream.write(json.dumps(doc, sort_keys=True))
+        self._stream.write("\n")
+        self.lines_written += 1
+
+    def on_event(self, event: Event) -> None:
+        self.write_doc(event.to_json())
+
+    def close(self) -> None:
+        if self._owns:
+            self._stream.close()
+
+
+class MetricsSink(EventSink):
+    """Counters and timers over the event stream; retains no events.
+
+    Attributes:
+        steps: executed steps (includes no-op steps).
+        noop_steps: scheduled slots wasted on halted processors.
+        steps_by_action: Counter of action type names (real steps only).
+        steps_by_processor: Counter of ``str(processor)`` (real steps only).
+        deliveries: message deliveries seen.
+        crashes: crash manifestations, as ``(processor, crash_step)``.
+        samples: configuration samples seen.
+        refinements: completed refinement runs ``(engine, rounds, splits,
+            classes)``.
+        timers: accumulated seconds by name (refinement engines report
+            under ``refinement:<engine>``).
+    """
+
+    def __init__(self) -> None:
+        self.steps = 0
+        self.noop_steps = 0
+        self.steps_by_action: Counter = Counter()
+        self.steps_by_processor: Counter = Counter()
+        self.deliveries = 0
+        self.crashes: list = []
+        self.samples = 0
+        self.refinements: list = []
+        self.timers: Dict[str, float] = {}
+
+    def add_timing(self, name: str, seconds: float) -> None:
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, StepExecuted):
+            self.steps += 1
+            record = event.record
+            if record.noop:
+                self.noop_steps += 1
+            else:
+                self.steps_by_action[type(record.action).__name__] += 1
+                self.steps_by_processor[str(record.processor)] += 1
+        elif isinstance(event, MessageDelivered):
+            self.deliveries += 1
+        elif isinstance(event, CrashManifested):
+            self.crashes.append((event.processor, event.crash_step))
+        elif isinstance(event, ConfigSampled):
+            self.samples += 1
+        elif isinstance(event, RefinementCompleted):
+            self.refinements.append(
+                (event.engine, event.rounds, event.splits, event.classes)
+            )
+            self.add_timing(f"refinement:{event.engine}", event.elapsed)
+
+    def summary(self) -> Dict[str, Any]:
+        """A JSON-ready digest of everything counted so far."""
+        return {
+            "steps": self.steps,
+            "noop_steps": self.noop_steps,
+            "steps_by_action": dict(self.steps_by_action),
+            "steps_by_processor": dict(self.steps_by_processor),
+            "deliveries": self.deliveries,
+            "crashes": [(str(p), t) for p, t in self.crashes],
+            "samples": self.samples,
+            "refinements": list(self.refinements),
+            "timers": dict(self.timers),
+        }

@@ -18,6 +18,7 @@ from typing import Dict, Hashable, Tuple
 from ..core.names import NodeId
 from ..core.system import InstructionSet, System
 from ..exceptions import ExecutionError
+from ..obs.events import EventHub, StepExecuted
 from .actions import (
     Action,
     Halt,
@@ -44,12 +45,20 @@ _ALLOWED = {
 
 @dataclass(frozen=True)
 class StepRecord:
-    """One executed step: who did what and what came back."""
+    """One executed step: who did what and what came back.
+
+    ``noop`` marks a scheduled slot wasted on an already-halted
+    processor: no instruction executed and no state changed.  The
+    fairness bookkeeping still counts the slot (halted processors waste
+    their steps, exactly as in the paper's model), but aggregations —
+    census, timelines — must not mistake it for a real ``Halt`` action.
+    """
 
     index: int
     processor: NodeId
     action: Action
     result: Hashable
+    noop: bool = False
 
 
 Configuration = Tuple[Tuple[Hashable, ...], Tuple[Hashable, ...]]
@@ -64,12 +73,18 @@ class Executor:
         program: Program,
         scheduler: Scheduler,
         strict: bool = True,
+        sink=None,
     ) -> None:
         self.system = system
         self.program = program
         self.scheduler = scheduler
         self.strict = strict
         self.step_count = 0
+        #: structured-event hub (:mod:`repro.obs`); emission is skipped
+        #: entirely while no sink is attached.
+        self.events = EventHub()
+        if sink is not None:
+            self.events.attach(sink)
         self.local: Dict[NodeId, LocalState] = {
             p: program.initial_state(system.state0(p)) for p in system.processors
         }
@@ -106,13 +121,31 @@ class Executor:
             self._variable_for(processor, action.name).unlock(processor, self.strict)
             return None
         if isinstance(action, MultiLock):
-            variables = [self._variable_for(processor, n) for n in action.names]
-            distinct = {v.node for v in variables}
-            targets = [self.vars[node] for node in distinct]
-            if any(v.locked for v in targets):
-                return False
+            # Distinct target variables in a deterministic order: several
+            # names may resolve to one variable, and acquisition must not
+            # depend on set-iteration (hash) order or traces would vary
+            # across interpreter runs.
+            distinct = {self.system.n_nbr(processor, n) for n in action.names}
+            targets = [self.vars[node] for node in sorted(distinct, key=repr)]
+            self_held = [
+                v for v in targets if v.locked and v.lock_owner == processor
+            ]
+            if self_held and self.strict:
+                held_names = [v.node for v in self_held]
+                raise ExecutionError(
+                    f"processor {processor!r} multi-locking variables it "
+                    f"already holds: {held_names!r}"
+                )
+            if any(v.locked and v.lock_owner != processor for v in targets):
+                return False  # someone else holds one: acquire nothing
             for v in targets:
-                v.try_lock(processor)
+                if v.locked:
+                    continue  # self-held (non-strict): re-entrant success
+                if not v.try_lock(processor):  # pragma: no cover - invariant
+                    raise ExecutionError(
+                        f"multi-lock acquisition of {v.node!r} failed "
+                        f"despite the lock appearing free"
+                    )
             return True
         if isinstance(action, Peek):
             return self._variable_for(processor, action.name).peek()
@@ -139,8 +172,9 @@ class Executor:
         if processor not in self.local:
             raise ExecutionError(f"scheduler picked unknown processor {processor!r}")
         if self.halted[processor]:
-            record = StepRecord(self.step_count, processor, Halt(), None)
+            record = StepRecord(self.step_count, processor, Halt(), None, noop=True)
             self.step_count += 1
+            self._after_step(record)
             return record
         state = self.local[processor]
         action = self.program.next_action(state)
@@ -152,7 +186,13 @@ class Executor:
             self.local[processor] = self.program.transition(state, action, result)
         record = StepRecord(self.step_count, processor, action, result)
         self.step_count += 1
+        self._after_step(record)
         return record
+
+    def _after_step(self, record: StepRecord) -> None:
+        """Post-step hook: publish the record to the event hub."""
+        if self.events.active:
+            self.events.emit(StepExecuted(record))
 
     def run(self, steps: int) -> None:
         """Execute ``steps`` scheduled steps."""
@@ -165,7 +205,9 @@ class Executor:
         Local states are immutable (shared); variable runtime objects are
         re-created from their mutable fields.  The program is shared
         (pure); the scheduler is shared too -- use :meth:`step_as` on
-        clones, since stateful schedulers are not forked.
+        clones, since stateful schedulers are not forked.  The clone gets
+        a fresh, empty event hub (observation sinks are not forked);
+        subclasses fork their own bookkeeping via :meth:`_clone_extras`.
         """
         twin = object.__new__(type(self))
         twin.system = self.system
@@ -185,12 +227,18 @@ class Executor:
                 fresh.locked = variable.locked
                 fresh.lock_owner = variable.lock_owner
             twin.vars[node] = fresh
-        # Subclass bookkeeping (RecordingExecutor): fork the logs too.
-        if hasattr(self, "records"):
-            twin.records = list(self.records)
-        if hasattr(self, "histories"):
-            twin.histories = {k: list(v) for k, v in self.histories.items()}
+        twin.events = EventHub()
+        self._clone_extras(twin)
         return twin
+
+    def _clone_extras(self, twin: "Executor") -> None:
+        """Subclass hook: copy extra bookkeeping onto a fresh clone.
+
+        Called at the end of :meth:`clone` with the base state already
+        copied.  Subclasses that keep per-run state (recorders, PRNGs)
+        override this instead of relying on ``clone`` knowing their
+        attributes.
+        """
 
     # ------------------------------------------------------------------
     # observation

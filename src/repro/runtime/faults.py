@@ -24,6 +24,7 @@ from typing import Dict, Iterable, Mapping, Tuple
 from ..core.names import NodeId
 from ..core.system import System
 from ..exceptions import ScheduleError
+from ..obs.events import CrashManifested
 from .executor import Executor
 from .program import Program
 from .scheduler import Scheduler
@@ -41,9 +42,20 @@ class CrashScheduler(Scheduler):
     When ``base`` picks a crashed processor the wrapper re-rolls by
     advancing a private round-robin over the survivors, so the returned
     schedule stays well-formed.
+
+    With a ``sink`` attached (anything with ``on_event``), the scheduler
+    emits one :class:`~repro.obs.events.CrashManifested` event per
+    crashed processor, at the first scheduling decision made at or after
+    its crash step.
     """
 
-    def __init__(self, base: Scheduler, crash_at: Mapping[NodeId, int], processors: Iterable[NodeId]) -> None:
+    def __init__(
+        self,
+        base: Scheduler,
+        crash_at: Mapping[NodeId, int],
+        processors: Iterable[NodeId],
+        sink=None,
+    ) -> None:
         self.base = base
         self.crash_at: Dict[NodeId, int] = dict(crash_at)
         self._procs = tuple(processors)
@@ -57,12 +69,23 @@ class CrashScheduler(Scheduler):
             # the crash steps may lie beyond the horizon.)
             raise ScheduleError("at least one processor must survive step 0")
         self._fallback = 0
+        self._sink = sink
+        self._manifested: set = set()
 
     def _alive(self, processor: NodeId, step_index: int) -> bool:
         limit = self.crash_at.get(processor)
         return limit is None or step_index < limit
 
+    def _note_crashes(self, step_index: int) -> None:
+        for p in self._procs:
+            limit = self.crash_at.get(p)
+            if limit is not None and step_index >= limit and p not in self._manifested:
+                self._manifested.add(p)
+                self._sink.on_event(CrashManifested(p, limit, step_index))
+
     def next_processor(self, step_index: int, view) -> NodeId:
+        if self._sink is not None:
+            self._note_crashes(step_index)
         choice = self.base.next_processor(step_index, view)
         if self._alive(choice, step_index):
             return choice
@@ -78,6 +101,7 @@ class CrashScheduler(Scheduler):
     def reset(self) -> None:
         self.base.reset()
         self._fallback = 0
+        self._manifested.clear()
 
 
 @dataclass(frozen=True)
@@ -106,10 +130,15 @@ def run_with_crash(
     crash_at: Mapping[NodeId, int],
     steps: int,
     done_predicate=lambda state: False,
+    sink=None,
 ) -> CrashRunReport:
-    """Run ``program`` under ``base_scheduler`` with crashes injected."""
-    scheduler = CrashScheduler(base_scheduler, crash_at, system.processors)
-    executor = Executor(system, program, scheduler)
+    """Run ``program`` under ``base_scheduler`` with crashes injected.
+
+    ``sink`` (optional) observes the run: step events from the executor
+    plus crash-manifestation events from the scheduler.
+    """
+    scheduler = CrashScheduler(base_scheduler, crash_at, system.processors, sink=sink)
+    executor = Executor(system, program, scheduler, sink=sink)
     executor.run(steps)
     manifested = [(p, t) for p, t in crash_at.items() if t < steps]
     return CrashRunReport(

@@ -12,18 +12,52 @@ dining philosophers::
 one column per own-step, letters chosen by a caller-supplied classifier
 of local states.  The examples use it to show DP's deadlock freezing
 every lane and DP''s meals interleaving.
+
+Recording is implemented on the structured-event stream of
+:mod:`repro.obs`: the executor publishes a
+:class:`~repro.obs.events.StepExecuted` event per step, and the recorder
+is simply a sink attached to the executor's hub.  Additional sinks (a
+JSONL trace writer, a metrics collector) can observe the same run by
+passing ``sink=`` or attaching to ``executor.events``.
+
+No-op steps — scheduled slots wasted on already-halted processors — are
+kept in ``records`` (the schedule is the schedule) but excluded from
+state histories, timelines, and per-action/per-processor census counts:
+they execute no instruction, so counting them as ``Halt`` actions would
+inflate the aggregates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.names import NodeId
 from ..core.system import System
+from ..obs.events import Event, StepExecuted
 from .executor import Executor, StepRecord
 from .program import LocalState, Program
 from .scheduler import Scheduler
+
+
+class _Recorder:
+    """The sink behind :class:`RecordingExecutor`'s bookkeeping."""
+
+    __slots__ = ("_executor",)
+
+    def __init__(self, executor: "RecordingExecutor") -> None:
+        self._executor = executor
+
+    def on_event(self, event: Event) -> None:
+        if not isinstance(event, StepExecuted):
+            return
+        executor = self._executor
+        record = event.record
+        executor.records.append(record)
+        if not record.noop:
+            executor.histories[record.processor].append(
+                executor.local[record.processor]
+            )
 
 
 class RecordingExecutor(Executor):
@@ -35,19 +69,20 @@ class RecordingExecutor(Executor):
         program: Program,
         scheduler: Scheduler,
         strict: bool = True,
+        sink=None,
     ) -> None:
-        super().__init__(system, program, scheduler, strict)
+        super().__init__(system, program, scheduler, strict, sink=sink)
         self.records: List[StepRecord] = []
         #: per-processor local-state history, sampled after each own step
         self.histories: Dict[NodeId, List[LocalState]] = {
             p: [self.local[p]] for p in system.processors
         }
+        self.events.attach(_Recorder(self))
 
-    def step(self) -> StepRecord:
-        record = super().step()
-        self.records.append(record)
-        self.histories[record.processor].append(self.local[record.processor])
-        return record
+    def _clone_extras(self, twin: Executor) -> None:
+        twin.records = list(self.records)
+        twin.histories = {k: list(v) for k, v in self.histories.items()}
+        twin.events.attach(_Recorder(twin))
 
     def schedule_so_far(self) -> Tuple[NodeId, ...]:
         return tuple(r.processor for r in self.records)
@@ -64,7 +99,11 @@ def render_timeline(
         executor: a recorded run.
         classify: maps a local state to a single display character.
         width: truncate each lane to this many characters.
+
+    A system with no processors renders as the empty string.
     """
+    if not executor.system.processors:
+        return ""
     lanes = []
     name_width = max(len(str(p)) for p in executor.system.processors)
     for p in executor.system.processors:
@@ -93,23 +132,41 @@ def render_activity(
 
 @dataclass(frozen=True)
 class StepCensus:
-    """Aggregate statistics of a recorded run."""
+    """Aggregate statistics of a recorded run.
+
+    ``steps`` counts every scheduled slot; ``per_processor`` and
+    ``per_action_type`` count only *real* steps (an instruction actually
+    executed), with wasted slots reported separately as ``noop_steps``.
+    """
 
     steps: int
     per_processor: Dict[NodeId, int]
     per_action_type: Dict[str, int]
+    noop_steps: int = 0
 
 
-def census(executor: RecordingExecutor) -> StepCensus:
-    """Count steps per processor and per action type."""
+def census_records(records: Iterable[StepRecord]) -> StepCensus:
+    """Count steps per processor and per action type over raw records."""
     per_proc: Dict[NodeId, int] = {}
     per_action: Dict[str, int] = {}
-    for record in executor.records:
+    total = 0
+    noops = 0
+    for record in records:
+        total += 1
+        if record.noop:
+            noops += 1
+            continue
         per_proc[record.processor] = per_proc.get(record.processor, 0) + 1
         kind = type(record.action).__name__
         per_action[kind] = per_action.get(kind, 0) + 1
     return StepCensus(
-        steps=len(executor.records),
+        steps=total,
         per_processor=per_proc,
         per_action_type=per_action,
+        noop_steps=noops,
     )
+
+
+def census(executor: RecordingExecutor) -> StepCensus:
+    """Count steps per processor and per action type."""
+    return census_records(executor.records)

@@ -129,12 +129,23 @@ def lockstep_holds(
     *empirical validation* of a supersimilarity labeling: run any program
     under the class round-robin schedule and watch the classes stay in
     lockstep at every round.
+
+    ``rounds`` rounds are executed and all ``rounds + 1`` surrounding
+    boundaries are checked — including the one *after* the final
+    ``run(stride)``, so a divergence introduced in the last round is
+    caught rather than silently passing.
     """
     stride = stride or len(executor.system.processors)
-    for _ in range(rounds):
+
+    def classes_uniform() -> bool:
         for cls in classes:
             states = {executor.node_state(n) for n in cls}
             if len(states) > 1:
                 return False
+        return True
+
+    for _ in range(rounds):
+        if not classes_uniform():
+            return False
         executor.run(stride)
-    return True
+    return classes_uniform()

@@ -1,0 +1,83 @@
+"""Tests for the trace / replay / report-trace CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def record(tmp_path, *extra):
+    out = str(tmp_path / "run.jsonl")
+    args = ["trace", "dining", "5", "--program", "both-forks",
+            "--scheduler", "k-bounded", "--sched-seed", "3",
+            "--steps", "60", "-o", out, *extra]
+    assert main(args) == 0
+    return out
+
+
+class TestTrace:
+    def test_records_file(self, tmp_path, capsys):
+        out = record(tmp_path)
+        text = capsys.readouterr().out
+        assert "recorded 60 steps" in text
+        assert "final digest" in text
+        first = json.loads(open(out).readline())
+        assert first["kind"] == "header"
+
+    def test_crash_option(self, tmp_path):
+        out = record(tmp_path, "--crash", "phil2=15")
+        kinds = [json.loads(l)["kind"] for l in open(out)]
+        assert "crash" in kinds
+
+    def test_bad_crash_spec_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="PROC=STEP"):
+            record(tmp_path, "--crash", "phil2")
+
+    def test_bad_scenario_rejected(self, tmp_path):
+        out = str(tmp_path / "run.jsonl")
+        with pytest.raises(SystemExit, match="unknown processor"):
+            main(["trace", "ring", "4", "--crash", "nope=3", "-o", out])
+
+
+class TestReplay:
+    def test_round_trip_ok(self, tmp_path, capsys):
+        out = record(tmp_path, "--crash", "phil2=15")
+        capsys.readouterr()
+        assert main(["replay", out]) == 0
+        assert "replay ok" in capsys.readouterr().out
+        assert main(["replay", out, "--mode", "scheduler"]) == 0
+
+    def test_divergence_exits_nonzero(self, tmp_path, capsys):
+        out = record(tmp_path)
+        capsys.readouterr()
+        lines = []
+        for raw in open(out):
+            doc = json.loads(raw)
+            if doc["kind"] == "end":
+                doc["digest"] = "f" * 16
+            lines.append(json.dumps(doc, sort_keys=True))
+        bad = str(tmp_path / "bad.jsonl")
+        open(bad, "w").write("\n".join(lines) + "\n")
+        assert main(["replay", bad]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_missing_file_is_systemexit(self):
+        with pytest.raises(SystemExit):
+            main(["replay", "/nonexistent/trace.jsonl"])
+
+
+class TestReportTrace:
+    def test_report_trace(self, tmp_path, capsys):
+        out = record(tmp_path, "--crash", "phil2=15")
+        capsys.readouterr()
+        assert main(["report", "trace", "--file", out]) == 0
+        text = capsys.readouterr().out
+        assert "trace report" in text
+        assert "crashes: phil2@15" in text
+        assert "MultiLock" in text
+        assert "timeline" in text
+
+    def test_report_trace_requires_file(self):
+        with pytest.raises(SystemExit, match="--file"):
+            main(["report", "trace"])

@@ -1,0 +1,104 @@
+"""Hash-seed determinism: traces must be byte-identical across
+``PYTHONHASHSEED`` values.
+
+This is the structural guard against set-iteration-order bugs (the old
+``MultiLock`` acquired locks in set order, so its traces varied with the
+interpreter's hash randomization).  Each scenario is recorded in two
+subprocesses with different hash seeds; the resulting JSONL files must
+be equal byte for byte.  One scenario deliberately hammers ``MultiLock``
+(dining, both-forks) — before the fix this exact comparison diverged.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+RECORD_SNIPPET = """
+import json, sys
+from repro.obs import record_scenario
+spec = json.loads(sys.argv[1])
+record_scenario(spec, steps=int(sys.argv[2]), path=sys.argv[3])
+"""
+
+MP_SNIPPET = """
+import io, sys
+from repro.messaging import MPExecutor, unidirectional_ring
+from repro.obs import JsonlSink
+from tests.obs.test_hashseed import TOKEN_PROGRAM
+buf = io.StringIO()
+mp = unidirectional_ring(6, states={0: 1})
+ex = MPExecutor(mp, TOKEN_PROGRAM(), seed=5, sink=JsonlSink(buf))
+ex.run_to_quiescence()
+with open(sys.argv[1], "w") as h:
+    h.write(buf.getvalue())
+"""
+
+
+def TOKEN_PROGRAM():
+    from repro.messaging import MPProgram
+
+    class TokenPasser(MPProgram):
+        def on_start(self, state0, out_ports=()):
+            if state0 == 1:
+                return ("sent", 0), [("next", "token")]
+            return ("idle", 0), []
+
+        def on_message(self, state, port, payload):
+            kind, hops = state
+            if kind == "sent":
+                return ("done", hops), []
+            return ("fwd", hops + 1), [("next", payload)]
+
+    return TokenPasser()
+
+
+def run_under_hashseed(snippet, seed, args):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(seed)
+    env["PYTHONPATH"] = SRC + os.pathsep + os.path.join(SRC, "..")
+    subprocess.run(
+        [sys.executable, "-c", snippet, *args],
+        env=env, check=True, capture_output=True, text=True,
+        cwd=os.path.join(SRC, ".."),
+    )
+
+
+SCENARIOS = {
+    "multilock-L2": {
+        "topology": "dining", "size": 5, "program": "both-forks",
+        "scheduler": "k-bounded", "sched_seed": 9,
+    },
+    "crashed-random": {
+        "topology": "ring", "size": 5, "model": "L",
+        "program": "random", "program_seed": 2,
+        "scheduler": "random", "sched_seed": 4,
+        "crash_at": {"p3": 25},
+    },
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_trace_bytes_identical_across_hash_seeds(tmp_path, name):
+    spec = json.dumps(SCENARIOS[name])
+    out0 = str(tmp_path / "seed0.jsonl")
+    out1 = str(tmp_path / "seed1.jsonl")
+    run_under_hashseed(RECORD_SNIPPET, 0, [spec, "70", out0])
+    run_under_hashseed(RECORD_SNIPPET, 1, [spec, "70", out1])
+    with open(out0, "rb") as a, open(out1, "rb") as b:
+        assert a.read() == b.read()
+
+
+def test_mp_event_stream_identical_across_hash_seeds(tmp_path):
+    out0 = str(tmp_path / "mp0.jsonl")
+    out1 = str(tmp_path / "mp1.jsonl")
+    run_under_hashseed(MP_SNIPPET, 0, [out0])
+    run_under_hashseed(MP_SNIPPET, 1, [out1])
+    with open(out0, "rb") as a, open(out1, "rb") as b:
+        data = a.read()
+        assert data == b.read()
+    assert data  # the run actually delivered something

@@ -1,0 +1,105 @@
+"""Events actually flow from every instrumented layer.
+
+One test per emitter: the shared-variable executor, the crash scheduler,
+the message-passing executor, and the three refinement engines.
+"""
+
+from repro.core import InstructionSet, System
+from repro.core.refinement import (
+    algorithm1_literal,
+    algorithm1_signatures,
+    algorithm1_worklist,
+    compute_similarity_labeling,
+)
+from repro.messaging import MPExecutor, MPProgram, unidirectional_ring
+from repro.obs import MetricsSink, RingBufferSink
+from repro.runtime import (
+    Executor,
+    IdleProgram,
+    RoundRobinScheduler,
+    run_with_crash,
+)
+from repro.topologies import dining_system, ring
+
+
+class TestExecutorEvents:
+    def test_step_events_carry_live_records(self):
+        system = dining_system(4)
+        ring_sink = RingBufferSink()
+        ex = Executor(
+            system, IdleProgram(),
+            RoundRobinScheduler(system.processors), sink=ring_sink,
+        )
+        ex.run(8)
+        steps = ring_sink.events("step")
+        assert len(steps) == 8
+        assert [e.record.index for e in steps] == list(range(8))
+        assert all(not e.record.noop for e in steps)
+
+    def test_unobserved_run_has_inactive_hub(self):
+        system = dining_system(4)
+        ex = Executor(system, IdleProgram(), RoundRobinScheduler(system.processors))
+        assert not ex.events.active
+
+
+class TestCrashEvents:
+    def test_crash_manifested_once_per_processor(self):
+        system = dining_system(4)
+        ring_sink = RingBufferSink()
+        run_with_crash(
+            system, IdleProgram(), RoundRobinScheduler(system.processors),
+            {"phil1": 5, "phil2": 9}, steps=30, sink=ring_sink,
+        )
+        crashes = ring_sink.events("crash")
+        assert [(str(e.processor), e.crash_step) for e in crashes] == [
+            ("phil1", 5), ("phil2", 9),
+        ]
+        assert all(e.observed_step >= e.crash_step for e in crashes)
+
+
+class TestMessagingEvents:
+    def test_delivery_events(self):
+        class Forward(MPProgram):
+            def on_start(self, state0, out_ports=()):
+                if state0 == 1:
+                    return "sent", [("next", "tok")]
+                return "idle", []
+
+            def on_message(self, state, port, payload):
+                if state == "sent":
+                    return "done", []
+                return "fwd", [("next", payload)]
+
+        mp = unidirectional_ring(4, states={0: 1})
+        metrics = MetricsSink()
+        ex = MPExecutor(mp, Forward(), seed=0, sink=metrics)
+        ex.run_to_quiescence()
+        assert metrics.deliveries == ex.stats.deliveries == 4
+
+
+class TestRefinementEvents:
+    def test_each_engine_reports_completion(self):
+        system = System(ring(6), {"p0": 1}, InstructionSet.Q)
+        for engine in (algorithm1_literal, algorithm1_signatures, algorithm1_worklist):
+            metrics = MetricsSink()
+            engine(system, sink=metrics)
+            assert len(metrics.refinements) == 1
+            name, rounds, splits, classes = metrics.refinements[0]
+            assert classes > 1  # the mark splits the ring
+            assert metrics.timers[f"refinement:{name}"] >= 0.0
+
+    def test_round_events_progress(self):
+        system = System(ring(8), {"p0": 1}, InstructionSet.Q)
+        ring_sink = RingBufferSink()
+        algorithm1_signatures(system, sink=ring_sink)
+        rounds = ring_sink.events("refinement-round")
+        assert rounds
+        assert [e.round_index for e in rounds] == list(
+            range(1, len(rounds) + 1)
+        )
+
+    def test_compute_similarity_labeling_forwards_sink(self):
+        system = System(ring(6), {"p0": 1}, InstructionSet.Q)
+        metrics = MetricsSink()
+        compute_similarity_labeling(system, sink=metrics)
+        assert metrics.refinements

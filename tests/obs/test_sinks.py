@@ -1,0 +1,123 @@
+"""Tests for the event vocabulary, hub, and the three sinks."""
+
+import io
+import json
+
+from repro.obs import (
+    CrashManifested,
+    EventHub,
+    JsonlSink,
+    MessageDelivered,
+    MetricsSink,
+    RefinementCompleted,
+    RingBufferSink,
+    StepExecuted,
+)
+from repro.runtime import (
+    Executor,
+    IdleProgram,
+    RoundRobinScheduler,
+)
+from repro.runtime.executor import StepRecord
+from repro.runtime.actions import Internal
+from repro.topologies import figure5_system
+
+
+def fake_record(i=0, p="p0", noop=False):
+    return StepRecord(i, p, Internal("i"), None, noop=noop)
+
+
+class TestEventHub:
+    def test_inactive_without_sinks(self):
+        hub = EventHub()
+        assert not hub.active
+
+    def test_attach_emit_detach(self):
+        hub = EventHub()
+        ring = hub.attach(RingBufferSink())
+        assert hub.active
+        hub.emit(StepExecuted(fake_record()))
+        assert len(ring) == 1
+        hub.detach(ring)
+        assert not hub.active
+
+    def test_multiple_sinks_all_observe(self):
+        hub = EventHub()
+        a, b = hub.attach(RingBufferSink()), hub.attach(RingBufferSink())
+        hub.emit(StepExecuted(fake_record()))
+        assert len(a) == len(b) == 1
+
+
+class TestRingBufferSink:
+    def test_capacity_keeps_most_recent(self):
+        ring = RingBufferSink(capacity=3)
+        for i in range(10):
+            ring.on_event(StepExecuted(fake_record(i)))
+        assert len(ring) == 3
+        assert [e.record.index for e in ring.events()] == [7, 8, 9]
+
+    def test_kind_filter(self):
+        ring = RingBufferSink()
+        ring.on_event(StepExecuted(fake_record()))
+        ring.on_event(CrashManifested("p1", 5, 6))
+        assert len(ring.events("crash")) == 1
+        assert len(ring.events("step")) == 1
+
+    def test_clear(self):
+        ring = RingBufferSink()
+        ring.on_event(StepExecuted(fake_record()))
+        ring.clear()
+        assert len(ring) == 0
+
+
+class TestJsonlSink:
+    def test_writes_sorted_key_lines(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.on_event(StepExecuted(fake_record()))
+        sink.on_event(MessageDelivered(0, "p0", "p1", "next", "tok"))
+        lines = buf.getvalue().splitlines()
+        assert sink.lines_written == 2
+        for line in lines:
+            doc = json.loads(line)
+            assert list(doc) == sorted(doc)
+        assert json.loads(lines[0])["kind"] == "step"
+        assert json.loads(lines[1])["kind"] == "delivery"
+
+    def test_owns_stream_closes_it(self):
+        buf = io.StringIO()
+        JsonlSink(buf, owns=True).close()
+        assert buf.closed
+        buf2 = io.StringIO()
+        JsonlSink(buf2).close()
+        assert not buf2.closed
+
+
+class TestMetricsSink:
+    def test_counts_live_run(self):
+        system = figure5_system()
+        metrics = MetricsSink()
+        ex = Executor(
+            system, IdleProgram(),
+            RoundRobinScheduler(system.processors), sink=metrics,
+        )
+        ex.run(30)
+        assert metrics.steps == 30
+        assert metrics.noop_steps == 0
+        assert metrics.steps_by_action == {"Internal": 30}
+        assert sum(metrics.steps_by_processor.values()) == 30
+
+    def test_noop_and_crash_and_refinement_accounting(self):
+        metrics = MetricsSink()
+        metrics.on_event(StepExecuted(fake_record(noop=True)))
+        metrics.on_event(CrashManifested("p2", 40, 41))
+        metrics.on_event(RefinementCompleted("worklist", 3, 5, 2, 0.25))
+        assert metrics.steps == 1
+        assert metrics.noop_steps == 1
+        assert metrics.steps_by_action == {}
+        assert metrics.crashes == [("p2", 40)]
+        assert metrics.refinements == [("worklist", 3, 5, 2)]
+        assert metrics.timers["refinement:worklist"] == 0.25
+        summary = metrics.summary()
+        assert summary["noop_steps"] == 1
+        assert summary["crashes"] == [("p2", 40)]

@@ -1,0 +1,49 @@
+"""Regression test: ``lockstep_holds`` must check the post-run boundary.
+
+The old loop checked boundaries 0..rounds-1 and never looked again after
+the final ``run(stride)``, so a divergence introduced during the last
+round passed undetected.
+"""
+
+from repro.core import InstructionSet, Network, System
+from repro.runtime import (
+    Executor,
+    FunctionalProgram,
+    Internal,
+    Read,
+    RoundRobinScheduler,
+)
+from repro.runtime.trace import lockstep_holds
+
+
+def diverging_pair():
+    """Two processors with identical initial states reading *different*
+    variables (p1's is marked 1, p2's is 0): their local states are
+    uniform at boundary 0 and split as soon as each takes its first step.
+    """
+    net = Network(("n",), {"p1": {"n": "v1"}, "p2": {"n": "v2"}})
+    system = System(net, {"v1": 1}, InstructionSet.S)
+    prog = FunctionalProgram(
+        initial=lambda s0: "r",
+        action=lambda st: Read("n") if st == "r" else Internal("i"),
+        step=lambda st, a, r: ("got", r) if st == "r" else st,
+    )
+    return Executor(system, prog, RoundRobinScheduler(("p1", "p2")))
+
+
+class TestFinalBoundary:
+    def test_divergence_in_last_round_is_caught(self):
+        # Boundary 0 is uniform (both "r"), so with the old 0..rounds-1
+        # sampling this run passed; the divergence only exists at the
+        # boundary *after* the single round.
+        ex = diverging_pair()
+        assert not lockstep_holds(ex, [("p1", "p2")], rounds=1, stride=2)
+
+    def test_initial_divergence_still_caught(self):
+        ex = diverging_pair()
+        ex.run(2)  # states already split before the first boundary
+        assert not lockstep_holds(ex, [("p1", "p2")], rounds=1, stride=2)
+
+    def test_uniform_classes_pass_all_boundaries(self):
+        ex = diverging_pair()
+        assert lockstep_holds(ex, [("p1",), ("p2",)], rounds=3, stride=2)

@@ -1,0 +1,138 @@
+"""Regression tests for the MultiLock acquisition-semantics fixes.
+
+The old implementation iterated targets in *set* order (hash-order
+dependent), silently returned ``False`` when the acquiring processor
+already held one of the targets, and discarded ``try_lock`` results.
+"""
+
+import pytest
+
+from repro.core import InstructionSet, Network, System
+from repro.exceptions import ExecutionError
+from repro.runtime import (
+    Executor,
+    FunctionalProgram,
+    Internal,
+    Lock,
+    MultiLock,
+    RoundRobinScheduler,
+)
+
+
+def two_var_system():
+    """One processor ``p1`` naming two variables ``v`` (a) and ``w`` (b)."""
+    net = Network(("a", "b"), {"p1": {"a": "v", "b": "w"}})
+    return System(net, None, InstructionSet.L2)
+
+
+def lock_then_multilock():
+    """Lock ``a`` first, then MultiLock both ``a`` and ``b``."""
+    return FunctionalProgram(
+        initial=lambda s0: "lock-a",
+        action=lambda st: (
+            Lock("a") if st == "lock-a"
+            else MultiLock(("a", "b")) if st == "multi"
+            else Internal("i")
+        ),
+        step=lambda st, a, r: (
+            "multi" if st == "lock-a"
+            else ("granted" if r else "denied") if st == "multi"
+            else st
+        ),
+    )
+
+
+class TestSelfHeld:
+    def test_strict_self_held_raises(self):
+        ex = Executor(
+            two_var_system(), lock_then_multilock(),
+            RoundRobinScheduler(("p1",)), strict=True,
+        )
+        ex.step()  # Lock("a") succeeds
+        with pytest.raises(ExecutionError, match="already holds"):
+            ex.step()  # MultiLock including the self-held "a"
+
+    def test_non_strict_self_held_is_reentrant_success(self):
+        ex = Executor(
+            two_var_system(), lock_then_multilock(),
+            RoundRobinScheduler(("p1",)), strict=False,
+        )
+        ex.run(2)
+        assert ex.local["p1"] == "granted"
+        # both variables end up held by p1
+        assert ex.vars["v"].lock_owner == "p1"
+        assert ex.vars["w"].lock_owner == "p1"
+
+
+class TestAllOrNothing:
+    def test_other_held_acquires_nothing(self):
+        # p1 and p2 share both variables under swapped names; p1 locks one
+        # plainly, then p2's MultiLock must fail without touching either.
+        net = Network(
+            ("a", "b"),
+            {"p1": {"a": "v", "b": "w"}, "p2": {"a": "w", "b": "v"}},
+        )
+        system = System(net, {"p1": 1}, InstructionSet.L2)
+        prog = FunctionalProgram(
+            initial=lambda s0: "start" if s0 == 1 else "multi",
+            action=lambda st: (
+                Lock("a") if st == "start" else MultiLock(("a", "b"))
+            ),
+            step=lambda st, a, r: (
+                "hold" if st == "start"
+                else ("granted" if r else "denied") if st == "multi"
+                else st
+            ),
+        )
+        ex = Executor(system, prog, RoundRobinScheduler(("p1", "p2")))
+        ex.step()  # p1 locks v
+        ex.step()  # p2 multilocks {w, v}: v is p1's -> False, w untouched
+        assert ex.local["p2"] == "denied"
+        assert ex.vars["v"].lock_owner == "p1"
+        assert not ex.vars["w"].locked
+
+    def test_duplicate_names_same_variable_ok(self):
+        # Two names resolving to one variable must not deadlock on itself.
+        net = Network(("a", "b"), {"p1": {"a": "v", "b": "v"}})
+        system = System(net, None, InstructionSet.L2)
+        prog = FunctionalProgram(
+            initial=lambda s0: "try",
+            action=lambda st: MultiLock(("a", "b")) if st == "try" else Internal("i"),
+            step=lambda st, a, r: ("granted" if r else "denied") if st == "try" else st,
+        )
+        ex = Executor(system, prog, RoundRobinScheduler(("p1",)))
+        ex.step()
+        assert ex.local["p1"] == "granted"
+        assert ex.vars["v"].lock_owner == "p1"
+
+
+class TestDeterministicOrder:
+    def test_targets_acquired_in_sorted_node_order(self):
+        # With many variables, acquisition must touch them in sorted node
+        # order regardless of set-iteration order.  Observable via the
+        # lock acquisition sequence on instrumented variables.
+        names = tuple("abcdefgh")
+        net = Network(
+            names, {"p1": {n: f"v{i}" for i, n in enumerate(names)}}
+        )
+        system = System(net, None, InstructionSet.L2)
+        prog = FunctionalProgram(
+            initial=lambda s0: "try",
+            action=lambda st: MultiLock(names) if st == "try" else Internal("i"),
+            step=lambda st, a, r: "done" if st == "try" else st,
+        )
+        ex = Executor(system, prog, RoundRobinScheduler(("p1",)))
+        order = []
+
+        class SpyVariable(type(next(iter(ex.vars.values())))):
+            __slots__ = ()
+
+            def try_lock(self, owner):
+                order.append(self.node)
+                return super().try_lock(owner)
+
+        ex.vars = {
+            node: SpyVariable(node, var.value) for node, var in ex.vars.items()
+        }
+        ex.step()
+        assert order == sorted(ex.vars, key=repr)

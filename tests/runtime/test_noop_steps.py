@@ -1,0 +1,93 @@
+"""Regression tests for synthetic-Halt (no-op) step semantics.
+
+Scheduled slots wasted on an already-halted processor used to be
+recorded as real ``Halt`` actions, inflating census per-action counts,
+history lanes and timelines.  They are now marked ``noop=True`` and
+excluded from every aggregate except the raw record list.
+"""
+
+from types import SimpleNamespace
+
+from repro.core import InstructionSet, Network, System
+from repro.runtime import (
+    FunctionalProgram,
+    Halt,
+    Internal,
+    RecordingExecutor,
+    RoundRobinScheduler,
+    census,
+    render_timeline,
+)
+
+
+def halting_system():
+    """Two processors; p1 halts immediately, p2 idles forever."""
+    net = Network(("n",), {"p1": {"n": "v"}, "p2": {"n": "v"}})
+    system = System(net, {"p1": 1}, InstructionSet.S)
+    prog = FunctionalProgram(
+        initial=lambda s0: "halt" if s0 == 1 else "idle",
+        action=lambda st: Halt() if st == "halt" else Internal("i"),
+        step=lambda st, a, r: st,
+    )
+    return system, prog
+
+
+def run_recorded(steps=10):
+    system, prog = halting_system()
+    ex = RecordingExecutor(system, prog, RoundRobinScheduler(("p1", "p2")))
+    ex.run(steps)
+    return ex
+
+
+class TestNoopSteps:
+    def test_records_keep_every_scheduled_slot(self):
+        ex = run_recorded(10)
+        assert len(ex.records) == 10
+
+    def test_noop_flag_set_only_after_halt(self):
+        ex = run_recorded(10)
+        p1_records = [r for r in ex.records if r.processor == "p1"]
+        assert p1_records[0].noop is False  # the real Halt step
+        assert all(r.noop for r in p1_records[1:])  # wasted slots
+
+    def test_census_excludes_noops(self):
+        ex = run_recorded(10)
+        c = census(ex)
+        assert c.steps == 10
+        assert c.noop_steps == 4  # p1 scheduled 5 times; 1 real Halt
+        assert c.per_action_type.get("Halt", 0) == 1
+        assert c.per_processor["p1"] == 1
+        assert c.per_processor["p2"] == 5
+        assert sum(c.per_processor.values()) + c.noop_steps == c.steps
+
+    def test_histories_exclude_noops(self):
+        ex = run_recorded(10)
+        # p1: initial state + one real (Halt) step
+        assert len(ex.histories["p1"]) == 2
+        # p2: initial state + five real steps
+        assert len(ex.histories["p2"]) == 6
+
+    def test_timeline_lanes_exclude_noops(self):
+        ex = run_recorded(10)
+        out = render_timeline(ex, lambda st: "H" if st == "halt" else ".")
+        lanes = dict(line.split() for line in out.splitlines())
+        assert lanes["p1"] == "H"
+        assert lanes["p2"] == "....."
+
+    def test_clone_preserves_recording_via_subclass_hook(self):
+        ex = run_recorded(6)
+        twin = ex.clone()
+        assert twin.records == ex.records
+        assert twin.histories == ex.histories
+        # the twin keeps recording independently
+        twin.run(2)
+        assert len(twin.records) == 8
+        assert len(ex.records) == 6
+
+
+class TestRenderTimelineEmpty:
+    def test_zero_processors_render_empty_string(self):
+        fake = SimpleNamespace(
+            system=SimpleNamespace(processors=()), histories={}
+        )
+        assert render_timeline(fake, lambda st: "x") == ""
