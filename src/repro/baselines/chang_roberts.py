@@ -17,9 +17,10 @@ and only the randomized Itai-Rodeh protocol
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from typing import Hashable, Optional, Sequence, Tuple
 
 from ..exceptions import ExecutionError
+from ..messaging.mp_faults import ChannelFaults, FaultPlan, drive_mp
 from ..messaging.mp_runtime import MPExecutor, MPProgram
 from ..messaging.mp_system import unidirectional_ring
 
@@ -76,3 +77,98 @@ def run_chang_roberts(ids: Sequence[int], seed: int = 0) -> ChangRobertsResult:
         messages=executor.stats.sends,
         deliveries=executor.stats.deliveries,
     )
+
+
+# ----------------------------------------------------------------------
+# the election under fair-lossy channels
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LossyElectionResult:
+    """Outcome of one election attempt over lossy channels.
+
+    Attributes:
+        elected: exactly one leader emerged and it holds the max id.
+        leaders: the selected processors (empty when the election died,
+            which is the expected outcome without retransmission).
+        leader_id: the winner's id, or None.
+        deliveries: messages delivered.
+        drops: messages lost by the channel policy.
+        retransmissions: stubborn resends attempted (0 when disabled).
+        quiescent: the network drained (a dead election drains; a
+            stubborn one is stopped by the leader predicate instead).
+    """
+
+    elected: bool
+    leaders: Tuple[Hashable, ...]
+    leader_id: Optional[Hashable]
+    deliveries: int
+    drops: int
+    retransmissions: int
+    quiescent: bool
+
+
+def run_chang_roberts_lossy(
+    ids: Sequence[int],
+    drop: float = 0.2,
+    seed: int = 0,
+    fault_seed: Optional[int] = None,
+    stubborn: bool = True,
+    max_deliveries: int = 200_000,
+) -> LossyElectionResult:
+    """One election attempt on a ring with fair-lossy channels.
+
+    Every channel drops each send with probability ``drop``.  With
+    ``stubborn`` retransmission the election still terminates with
+    exactly one leader (the max id: duplication is harmless because
+    forwarding and the leader test are idempotent, and stubborn resends
+    recover every loss on a fair-lossy channel).  Without it, a single
+    dropped copy of the max id silently kills the election: the network
+    drains with no leader.
+    """
+    if len(set(ids)) != len(ids):
+        raise ExecutionError("Chang-Roberts requires unique identifiers")
+    mp = unidirectional_ring(len(ids), states=dict(enumerate(ids)))
+    plan = FaultPlan(
+        default=ChannelFaults(drop=drop),
+        seed=seed if fault_seed is None else fault_seed,
+    )
+    executor = MPExecutor(mp, ChangRobertsProgram(), seed=seed, faults=plan)
+    drive_mp(
+        executor,
+        max_deliveries=max_deliveries,
+        stubborn=stubborn,
+        stop=lambda ex: bool(ex.selected()),
+    )
+    leaders = executor.selected()
+    leader_id = executor.local[leaders[0]][0] if len(leaders) == 1 else None
+    return LossyElectionResult(
+        elected=len(leaders) == 1 and leader_id == max(ids),
+        leaders=leaders,
+        leader_id=leader_id,
+        deliveries=executor.stats.deliveries,
+        drops=executor.stats.drops,
+        retransmissions=executor.stats.retransmissions,
+        quiescent=executor.idle,
+    )
+
+
+def find_failing_election_seed(
+    ids: Sequence[int],
+    drop: float = 0.2,
+    max_seed: int = 200,
+) -> Optional[Tuple[int, LossyElectionResult]]:
+    """The first seed whose unprotected lossy election elects nobody.
+
+    Scans seeds in order, running the election *without* retransmission;
+    returns ``(seed, result)`` for the first failure, or None if every
+    seed up to ``max_seed`` happened to elect (pick a larger ``drop``).
+    This is the concrete witness that loss breaks the bare algorithm --
+    the paired experiment shows stubborn retransmission repairs it.
+    """
+    for seed in range(max_seed):
+        result = run_chang_roberts_lossy(ids, drop=drop, seed=seed, stubborn=False)
+        if not result.elected:
+            return seed, result
+    return None

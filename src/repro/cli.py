@@ -11,8 +11,12 @@ Gives the library's main analyses a shell-friendly surface:
 * ``batch`` -- bulk similarity analysis of a single-mark family through
   the fingerprint cache / process pool driver;
 * ``bench`` -- the refinement microbenchmarks (``BENCH_refinement.json``);
+* ``bench-mp`` -- faulty-channel delivery throughput (``BENCH_mp_faults.json``);
 * ``trace`` -- record a run as a replayable JSONL trace;
-* ``replay`` -- re-run a recorded trace and verify bit-for-bit agreement;
+* ``trace-mp`` -- record a message-passing run (with optional channel
+  faults, crash-stops, and stubborn retransmission) as a trace;
+* ``replay`` -- re-run a recorded trace (either flavor) and verify
+  bit-for-bit agreement;
 * ``report trace --file RUN.jsonl`` -- census/timeline report of a trace.
 """
 
@@ -312,6 +316,75 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_trace_mp(args) -> int:
+    from .obs import ScenarioError, record_mp_scenario
+
+    faults = None
+    if args.drop or args.duplicate or args.delay or args.crash or args.fault_seed:
+        faults = {
+            "default": {
+                "drop": args.drop,
+                "duplicate": args.duplicate,
+                "delay": args.delay,
+                "max_delay": args.max_delay,
+            },
+            "crash_at": _parse_crashes(args.crash),
+            "seed": args.fault_seed,
+        }
+    spec = {
+        "kind": "mp",
+        "topology": args.topology,
+        "size": args.size,
+        "program": args.program,
+        "scheduler": args.scheduler,
+        "sched_seed": args.sched_seed,
+        "stubborn": args.stubborn,
+        "faults": faults,
+    }
+    if args.ids:
+        try:
+            spec["ids"] = [int(i) for i in args.ids.split(",")]
+        except ValueError:
+            raise SystemExit(f"--ids must be comma-separated integers, got {args.ids!r}")
+    try:
+        summary = record_mp_scenario(
+            spec, args.deliveries, args.output, sample_every=args.sample_every
+        )
+    except ScenarioError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"recorded {summary['deliveries']} deliveries "
+        f"({summary['drops']} dropped, {summary['duplicates']} duplicated, "
+        f"{summary['samples']} samples) to {summary['path']}"
+    )
+    if summary["crashed"]:
+        print(f"crashed: {', '.join(summary['crashed'])}")
+    if summary["selected"]:
+        print(f"selected: {', '.join(summary['selected'])}")
+    print(f"final digest: {summary['final_digest']}")
+    return 0
+
+
+def cmd_bench_mp(args) -> int:
+    from .perf.mp_bench import format_mp_bench, run_mp_bench
+
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(","))
+    except ValueError:
+        raise SystemExit(f"--sizes must be comma-separated integers, got {args.sizes!r}")
+    doc = run_mp_bench(
+        sizes=sizes,
+        deliveries=args.deliveries,
+        repeats=args.repeats,
+        seed=args.seed,
+        output=args.output,
+    )
+    print(format_mp_bench(doc))
+    if args.output:
+        print(f"written: {args.output}")
+    return 0
+
+
 def cmd_replay(args) -> int:
     from .obs import TraceError, replay_trace
 
@@ -444,6 +517,53 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--sample-every", type=int, default=None,
                        help="config-digest sampling stride (default: #processors)")
     trace.set_defaults(func=cmd_trace)
+
+    trace_mp = sub.add_parser(
+        "trace-mp", help="record a message-passing run (optionally faulty) as a trace"
+    )
+    trace_mp.add_argument("topology", choices=["ring", "bi-ring", "chain"])
+    trace_mp.add_argument("size", type=int)
+    trace_mp.add_argument("--deliveries", type=int, default=500,
+                          help="delivery budget for the run")
+    trace_mp.add_argument("--output", "-o", default="run_mp.jsonl")
+    trace_mp.add_argument(
+        "--program", choices=["flood", "chang-roberts"], default="flood"
+    )
+    trace_mp.add_argument("--ids", default=None,
+                          help="comma-separated initial values / identifiers")
+    trace_mp.add_argument("--scheduler", choices=["random", "fifo"], default="random")
+    trace_mp.add_argument("--sched-seed", type=int, default=0)
+    trace_mp.add_argument("--stubborn", action="store_true",
+                          help="retransmit last payloads when the network idles")
+    trace_mp.add_argument("--drop", type=float, default=0.0,
+                          help="per-send loss probability on every channel")
+    trace_mp.add_argument("--duplicate", type=float, default=0.0,
+                          help="per-send duplication probability")
+    trace_mp.add_argument("--delay", type=float, default=0.0,
+                          help="per-copy delay (reordering) probability")
+    trace_mp.add_argument("--max-delay", type=int, default=4,
+                          help="max delay in delivery steps")
+    trace_mp.add_argument(
+        "--crash", action="append", metavar="PROC=INDEX",
+        help="crash-stop PROC at delivery INDEX (repeatable)",
+    )
+    trace_mp.add_argument("--fault-seed", type=int, default=0)
+    trace_mp.add_argument("--sample-every", type=int, default=None,
+                          help="config-digest sampling stride (default: #processors)")
+    trace_mp.set_defaults(func=cmd_trace_mp)
+
+    bench_mp = sub.add_parser(
+        "bench-mp", help="faulty-channel delivery-throughput microbenchmark"
+    )
+    bench_mp.add_argument("--sizes", default="16,64,256",
+                          help="comma-separated ring sizes")
+    bench_mp.add_argument("--deliveries", type=int, default=20000,
+                          help="delivery budget per cell")
+    bench_mp.add_argument("--repeats", type=int, default=1)
+    bench_mp.add_argument("--seed", type=int, default=0)
+    bench_mp.add_argument("--output", default="BENCH_mp_faults.json",
+                          help='JSON artifact path ("" to skip writing)')
+    bench_mp.set_defaults(func=cmd_bench_mp)
 
     replay = sub.add_parser(
         "replay", help="re-run a recorded trace, verifying determinism"

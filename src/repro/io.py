@@ -72,6 +72,43 @@ def system_to_dict(system: System) -> Dict[str, Any]:
     }
 
 
+def mp_system_to_dict(mp) -> Dict[str, Any]:
+    """A JSON-ready description of a message-passing system.
+
+    The shape mirrors :func:`system_to_dict` in spirit: processors,
+    directed channels with their port names, and non-default initial
+    states.  Used by the MP trace header so a recorded run is
+    self-describing.
+    """
+
+    def check_scalar(value, what):
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            raise SerializationError(
+                f"{what} {value!r} is not JSON-serializable as a scalar"
+            )
+        return value
+
+    channels = [
+        {
+            "from": str(check_scalar(c.sender, "processor id")),
+            "to": str(c.receiver),
+            "port": str(c.port),
+            "out_port": str(c.out_port),
+        }
+        for c in mp.channels
+    ]
+    state = {}
+    for p in mp.processors:
+        value = mp.state0(p)
+        if value != 0:  # 0 is the documented default
+            state[str(p)] = check_scalar(value, "state")
+    return {
+        "processors": [str(p) for p in mp.processors],
+        "channels": channels,
+        "state": state,
+    }
+
+
 def system_from_dict(doc: Mapping[str, Any]) -> System:
     """Build a system from a parsed JSON document."""
     try:

@@ -1,4 +1,4 @@
-"""Message-passing models: async systems, similarity, CSP, runtime."""
+"""Message-passing models: async systems, similarity, CSP, runtime, faults."""
 
 from .csp import (
     csp_rendezvous_family,
@@ -21,7 +21,16 @@ from .mp_algorithm2 import (
     MPLabelTables,
     run_mp_labeler,
 )
-from .mp_runtime import MPExecutor, MPExecutorStats, MPProgram
+from .mp_faults import ChannelFaults, DriveReport, FaultPlan, drive_mp
+from .mp_runtime import FloodProgram, MPExecutor, MPExecutorStats, MPProgram
+from .mp_scheduler import (
+    AdversarialDeliveryScheduler,
+    DeliveryReplayError,
+    DeliveryScheduler,
+    FifoDeliveryScheduler,
+    RandomDeliveryScheduler,
+    ReplayDeliveryScheduler,
+)
 from .mp_similarity import (
     labels_learnable,
     mp_selection_possible,
@@ -36,12 +45,23 @@ from .mp_system import (
 )
 
 __all__ = [
+    "AdversarialDeliveryScheduler",
     "CSPExecutor",
     "CSPProgram",
     "Channel",
+    "ChannelFaults",
+    "DeliveryReplayError",
+    "DeliveryScheduler",
+    "DriveReport",
+    "FaultPlan",
+    "FifoDeliveryScheduler",
+    "FloodProgram",
     "PairRaceProgram",
+    "RandomDeliveryScheduler",
     "ReceiveOffer",
+    "ReplayDeliveryScheduler",
     "SendOffer",
+    "drive_mp",
     "MPExecutor",
     "MPLabelTables",
     "MPLabelerProgram",

@@ -1,0 +1,194 @@
+"""Seeded fault injection for the message-passing runtime.
+
+The Section 6 model assumes reliable channels; real networks (and the
+crash-stop literature the paper's Theorem 1 gestures at via FLP) do not.
+This module describes *what can go wrong* as plain data, composed into
+:class:`~repro.messaging.mp_runtime.MPExecutor` without touching any
+existing call site:
+
+* :class:`ChannelFaults` -- per-channel probabilities for message loss,
+  duplication, and reordering (reordering is modelled as a delay: a held
+  copy re-enters its FIFO queue a few delivery steps later, behind
+  younger messages);
+* :class:`FaultPlan` -- a whole-run manifest: a default channel policy,
+  per-channel overrides keyed by ``(str(sender), out_port)``, crash-stop
+  points on the delivery clock, and the seed for the fault coin flips;
+* :func:`drive_mp` -- the shared run loop used by recording, replay, and
+  the experiments: deliver until quiescent, optionally performing
+  *stubborn retransmission* (resend the last payload on every channel
+  whenever the network goes idle), which restores the delivery guarantee
+  over fair-lossy channels.
+
+Everything is deterministic: the same plan, seeds, and delivery schedule
+reproduce the same drops, duplicates, delays, and crashes, which is what
+lets :func:`repro.obs.replay.replay_mp_trace` verify recorded faulty
+runs byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from ..core.names import NodeId
+from ..exceptions import ExecutionError
+
+
+@dataclass(frozen=True)
+class ChannelFaults:
+    """Fault probabilities for one channel (all coins are per-send).
+
+    Attributes:
+        drop: probability a send is lost entirely (fair-lossy channel for
+            any value < 1: infinitely many sends imply infinitely many
+            arrivals).
+        duplicate: probability a surviving send is enqueued twice.
+        delay: probability a surviving copy is held back and released
+            onto its queue later -- behind messages sent after it, which
+            is how reordering arises in a FIFO-queue model.
+        max_delay: upper bound, in delivery steps, on how long a held
+            copy waits (the actual wait is uniform in ``1..max_delay``).
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    max_delay: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ExecutionError(f"{name} must be a probability, got {value!r}")
+        if self.max_delay < 1:
+            raise ExecutionError(f"max_delay must be >= 1, got {self.max_delay!r}")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "drop": self.drop,
+            "duplicate": self.duplicate,
+            "delay": self.delay,
+            "max_delay": self.max_delay,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> "ChannelFaults":
+        return cls(
+            drop=float(doc.get("drop", 0.0)),
+            duplicate=float(doc.get("duplicate", 0.0)),
+            delay=float(doc.get("delay", 0.0)),
+            max_delay=int(doc.get("max_delay", 4)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A whole-run fault manifest, JSON-serializable for scenario specs.
+
+    Attributes:
+        default: policy applied to every channel without an override
+            (``None`` means those channels are reliable).
+        per_channel: overrides keyed by ``(str(sender), out_port)`` --
+            the sender-side name of a channel, which is unambiguous by
+            the :class:`~repro.messaging.mp_system.MPSystem` invariant.
+        crash_at: crash-stop points: ``processor -> delivery index`` at
+            which the processor stops.  Its queued deliveries are
+            discarded and later sends to it vanish (crash-stop, not
+            omission: nothing ever comes back).
+        seed: seed for the fault coin flips, independent of the delivery
+            scheduler's seed so loss patterns and delivery order can be
+            varied separately.
+    """
+
+    default: Optional[ChannelFaults] = None
+    per_channel: Mapping[Tuple[str, str], ChannelFaults] = field(default_factory=dict)
+    crash_at: Mapping[NodeId, int] = field(default_factory=dict)
+    seed: int = 0
+
+    def policy_for(self, channel) -> Optional[ChannelFaults]:
+        """The policy governing ``channel`` (override, else default)."""
+        override = self.per_channel.get((str(channel.sender), channel.out_port))
+        return override if override is not None else self.default
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "default": None if self.default is None else self.default.to_json(),
+            "per_channel": [
+                [sender, out_port, faults.to_json()]
+                for (sender, out_port), faults in sorted(self.per_channel.items())
+            ],
+            "crash_at": {str(p): t for p, t in self.crash_at.items()},
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> "FaultPlan":
+        default = doc.get("default")
+        return cls(
+            default=None if default is None else ChannelFaults.from_json(default),
+            per_channel={
+                (sender, out_port): ChannelFaults.from_json(faults)
+                for sender, out_port, faults in doc.get("per_channel", [])
+            },
+            crash_at={p: int(t) for p, t in doc.get("crash_at", {}).items()},
+            seed=int(doc.get("seed", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class DriveReport:
+    """Outcome of :func:`drive_mp`.
+
+    Attributes:
+        deliveries: total deliveries performed by the executor.
+        retransmissions: stubborn resends attempted (0 without
+            ``stubborn``).
+        quiescent: the network drained (no queued or delayed messages).
+        stopped: the ``stop`` predicate fired.
+        exhausted: the delivery cap was hit before either of the above.
+    """
+
+    deliveries: int
+    retransmissions: int
+    quiescent: bool
+    stopped: bool
+    exhausted: bool
+
+
+def drive_mp(
+    executor,
+    max_deliveries: int = 100_000,
+    stubborn: bool = False,
+    max_idle_rounds: int = 25,
+    stop: Optional[Callable[[Any], bool]] = None,
+) -> DriveReport:
+    """Run ``executor`` until quiescence, a ``stop`` hit, or the cap.
+
+    With ``stubborn`` set, an idle network triggers
+    :meth:`~repro.messaging.mp_runtime.MPExecutor.retransmit` -- the
+    stubborn-link adapter: every channel resends its last payload, so
+    over fair-lossy channels (``drop < 1``) every message eventually
+    gets through.  ``max_idle_rounds`` bounds consecutive all-dropped
+    retransmission rounds so a fully lossy channel (``drop == 1``)
+    cannot loop forever.
+    """
+    idle_rounds = 0
+    stopped = False
+    while executor.stats.deliveries < max_deliveries:
+        if stop is not None and stop(executor):
+            stopped = True
+            break
+        if executor.deliver_one():
+            idle_rounds = 0
+            continue
+        if not stubborn or idle_rounds >= max_idle_rounds:
+            break
+        executor.retransmit()
+        idle_rounds += 1
+    return DriveReport(
+        deliveries=executor.stats.deliveries,
+        retransmissions=executor.stats.retransmissions,
+        quiescent=executor.idle,
+        stopped=stopped,
+        exhausted=executor.stats.deliveries >= max_deliveries and not stopped,
+    )

@@ -3,22 +3,38 @@
 Complements the shared-variable executor for the Section 6 models and the
 message-passing baselines (Chang-Roberts).  Channels are FIFO queues; one
 *step* delivers one message to its receiver (or fires a processor's
-start-up).  A scheduler (here: seeded random or FIFO over channels)
-resolves the nondeterminism; fairness means every sent message is
-eventually delivered.
+start-up).  A :class:`~repro.messaging.mp_scheduler.DeliveryScheduler`
+resolves the nondeterminism (default: seeded random, fair with
+probability 1); a :class:`~repro.messaging.mp_faults.FaultPlan` may lose,
+duplicate, or delay sends and crash-stop processors.  Both are optional
+and composed -- existing call sites run exactly as before.
+
+Determinism contract: with a fixed system, program, scheduler, and fault
+plan, a run is a pure function of the seeds.  Replaying the recorded
+delivery schedule (:class:`~repro.messaging.mp_scheduler.ReplayDeliveryScheduler`)
+with the same fault seed reproduces every drop, duplicate, delay, and
+crash, because fault coins are drawn in a fixed order per routed send.
 """
 
 from __future__ import annotations
 
+import heapq
 import random
 from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Hashable, List, Tuple
+from typing import Deque, Dict, Hashable, List, Optional, Set, Tuple
 
 from ..core.names import NodeId, State
 from ..exceptions import ExecutionError
-from ..obs.events import EventHub, MessageDelivered
+from ..obs.events import (
+    EventHub,
+    MessageDelivered,
+    MessageDropped,
+    MessageDuplicated,
+    ProcessorCrashedMP,
+)
+from .mp_scheduler import DeliveryScheduler, RandomDeliveryScheduler
 from .mp_system import Channel, MPSystem
 
 
@@ -49,37 +65,137 @@ class MPProgram(ABC):
         return False
 
 
+class FloodProgram(MPProgram):
+    """Flood the maximum initial value (anonymous max-propagation).
+
+    Local state is ``(best_value_seen, out_ports)``; any strictly larger
+    received value is adopted and re-flooded.  Terminating (values only
+    grow, bounded by the global maximum), idempotent under duplication,
+    and visibly incomplete under unrecovered loss -- which makes it the
+    scenario workhorse for the fault experiments.
+    """
+
+    def on_start(
+        self, state0: State, out_ports: Tuple[str, ...] = ()
+    ) -> Tuple[Hashable, List[Tuple[str, Hashable]]]:
+        ports = tuple(out_ports)
+        return (state0, ports), [(port, state0) for port in ports]
+
+    def on_message(
+        self, state: Hashable, port: str, payload: Hashable
+    ) -> Tuple[Hashable, List[Tuple[str, Hashable]]]:
+        value, ports = state
+        if payload > value:
+            return (payload, ports), [(p, payload) for p in ports]
+        return state, []
+
+
 @dataclass
 class MPExecutorStats:
+    """Counters for one run (reset together with the executor).
+
+    ``sends`` counts program-emitted sends; duplicated copies and
+    stubborn resends are counted separately (``duplicates``,
+    ``retransmissions``).  ``discarded`` counts messages thrown away
+    because their receiver crash-stopped.
+    """
+
     deliveries: int = 0
     sends: int = 0
+    drops: int = 0
+    duplicates: int = 0
+    delayed: int = 0
+    discarded: int = 0
+    retransmissions: int = 0
 
 
 class MPExecutor:
-    """Run an :class:`MPProgram` on an :class:`MPSystem`."""
+    """Run an :class:`MPProgram` on an :class:`MPSystem`.
+
+    Args:
+        mp: the system.
+        program: the program.
+        seed: seed for the default random delivery scheduler (ignored
+            when an explicit ``scheduler`` is given).
+        sink: optional event sink (:mod:`repro.obs`).
+        scheduler: delivery-order policy; defaults to
+            :class:`~repro.messaging.mp_scheduler.RandomDeliveryScheduler`
+            with ``seed``, which reproduces the historical behavior.
+        faults: optional :class:`~repro.messaging.mp_faults.FaultPlan`.
+
+    The executor is re-runnable: :meth:`reset` returns it to the
+    post-``on_start`` initial configuration (including scheduler and
+    fault-RNG state), so one instance can drive many runs.
+    """
 
     def __init__(
-        self, mp: MPSystem, program: MPProgram, seed: int = 0, sink=None
+        self,
+        mp: MPSystem,
+        program: MPProgram,
+        seed: int = 0,
+        sink=None,
+        scheduler: Optional[DeliveryScheduler] = None,
+        faults=None,
     ) -> None:
         self.mp = mp
         self.program = program
-        self.rng = random.Random(seed)
-        self.stats = MPExecutorStats()
+        self.scheduler: DeliveryScheduler = (
+            scheduler if scheduler is not None else RandomDeliveryScheduler(seed)
+        )
+        self.faults = faults
+        if faults is not None:
+            ghosts = set(faults.crash_at) - set(mp.processors)
+            if ghosts:
+                raise ExecutionError(
+                    f"crash_at names unknown processors "
+                    f"{sorted(str(p) for p in ghosts)}"
+                )
         #: structured-event hub (:mod:`repro.obs`); one
-        #: :class:`~repro.obs.events.MessageDelivered` per delivery.
+        #: :class:`~repro.obs.events.MessageDelivered` per delivery, plus
+        #: drop / dup / mp-crash events when a fault plan is active.
         self.events = EventHub()
         if sink is not None:
             self.events.attach(sink)
-        self.local: Dict[NodeId, Hashable] = {}
-        self.queues: Dict[Channel, Deque[Hashable]] = {c: deque() for c in mp.channels}
         self._out_index: Dict[Tuple[NodeId, str], Channel] = {
             (c.sender, c.out_port): c for c in mp.channels
         }
-        for p in mp.processors:
-            out_ports = tuple(sorted(c.out_port for c in mp.out_channels(p)))
-            state, sends = program.on_start(mp.state0(p), out_ports)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def reset(self) -> None:
+        """Return to the initial configuration and re-run ``on_start``.
+
+        Restores local states, queues, stats, the scheduler, and the
+        fault RNG, making repeated runs of one executor instance
+        byte-identical to fresh constructions.
+        """
+        self.stats = MPExecutorStats()
+        self.scheduler.reset()
+        self._fault_rng = (
+            random.Random(self.faults.seed) if self.faults is not None else None
+        )
+        self._crashed: Set[NodeId] = set()
+        self._send_seq = 0
+        # Held-back (delayed) copies: a heap of (release_index, seq,
+        # channel, payload); seq is unique, so heap order never compares
+        # channels or payloads.
+        self._delayed: List[Tuple[int, int, Channel, Hashable]] = []
+        self._last_sent: Dict[Channel, Hashable] = {}
+        self.local: Dict[NodeId, Hashable] = {}
+        self.queues: Dict[Channel, Deque[Hashable]] = {
+            c: deque() for c in self.mp.channels
+        }
+        self._seqs: Dict[Channel, Deque[int]] = {c: deque() for c in self.mp.channels}
+        for p in self.mp.processors:
+            out_ports = tuple(sorted(c.out_port for c in self.mp.out_channels(p)))
+            state, sends = self.program.on_start(self.mp.state0(p), out_ports)
             self.local[p] = state
             self._send_all(p, sends)
+
+    # ------------------------------------------------------------------
+    # sending (fault routing happens here)
 
     def _send_all(self, sender: NodeId, sends: List[Tuple[str, Hashable]]) -> None:
         for out_port, payload in sends:
@@ -89,19 +205,150 @@ class MPExecutor:
                 raise ExecutionError(
                     f"{sender!r} has no out-port {out_port!r}"
                 ) from None
-            self.queues[channel].append(payload)
             self.stats.sends += 1
+            self._last_sent[channel] = payload
+            self._route(channel, payload)
+
+    def _route(self, channel: Channel, payload: Hashable) -> None:
+        """Pass one send through the channel's fault policy (if any).
+
+        Coins are drawn in a fixed order -- drop, duplicate, then one
+        delay coin per surviving copy -- so a replayed delivery schedule
+        reproduces the exact fault pattern.
+        """
+        if channel.receiver in self._crashed:
+            self.stats.discarded += 1
+            return
+        policy = self.faults.policy_for(channel) if self.faults is not None else None
+        if policy is None:
+            self._enqueue(channel, payload)
+            return
+        rng = self._fault_rng
+        clock = self.stats.deliveries
+        if rng.random() < policy.drop:
+            self.stats.drops += 1
+            if self.events.active:
+                self.events.emit(
+                    MessageDropped(
+                        index=clock,
+                        sender=channel.sender,
+                        receiver=channel.receiver,
+                        port=channel.port,
+                        payload=payload,
+                    )
+                )
+            return
+        copies = 1
+        if rng.random() < policy.duplicate:
+            copies = 2
+            self.stats.duplicates += 1
+            if self.events.active:
+                self.events.emit(
+                    MessageDuplicated(
+                        index=clock,
+                        sender=channel.sender,
+                        receiver=channel.receiver,
+                        port=channel.port,
+                        payload=payload,
+                    )
+                )
+        for _ in range(copies):
+            if rng.random() < policy.delay:
+                release = clock + 1 + rng.randrange(policy.max_delay)
+                heapq.heappush(
+                    self._delayed, (release, self._send_seq, channel, payload)
+                )
+                self._send_seq += 1
+                self.stats.delayed += 1
+            else:
+                self._enqueue(channel, payload)
+
+    def _enqueue(self, channel: Channel, payload: Hashable) -> None:
+        self.queues[channel].append(payload)
+        self._seqs[channel].append(self._send_seq)
+        self._send_seq += 1
+
+    # ------------------------------------------------------------------
+    # fault bookkeeping on the delivery clock
+
+    def _manifest_crashes(self) -> None:
+        if self.faults is None or not self.faults.crash_at:
+            return
+        clock = self.stats.deliveries
+        for p in sorted(self.faults.crash_at, key=repr):
+            crash_index = self.faults.crash_at[p]
+            if clock < crash_index or p in self._crashed:
+                continue
+            self._crashed.add(p)
+            discarded = 0
+            for c in self.mp.in_channels(p):
+                discarded += len(self.queues[c])
+                self.queues[c].clear()
+                self._seqs[c].clear()
+            if self._delayed:
+                kept = [e for e in self._delayed if e[2].receiver != p]
+                discarded += len(self._delayed) - len(kept)
+                self._delayed = kept
+                heapq.heapify(self._delayed)
+            self.stats.discarded += discarded
+            if self.events.active:
+                self.events.emit(
+                    ProcessorCrashedMP(
+                        processor=p,
+                        crash_index=crash_index,
+                        observed_index=clock,
+                        discarded=discarded,
+                    )
+                )
+
+    def _release_due(self) -> None:
+        clock = self.stats.deliveries
+        while self._delayed and self._delayed[0][0] <= clock:
+            _, seq, channel, payload = heapq.heappop(self._delayed)
+            self.queues[channel].append(payload)
+            self._seqs[channel].append(seq)
+
+    # ------------------------------------------------------------------
+    # delivery
 
     def pending_channels(self) -> List[Channel]:
-        return [c for c, q in self.queues.items() if q]
+        return [
+            c
+            for c, q in self.queues.items()
+            if q and c.receiver not in self._crashed
+        ]
+
+    def head_seq(self, channel: Channel) -> int:
+        """Send-clock stamp of the channel's oldest queued message.
+
+        The total order FIFO delivery scheduling keys on.
+        """
+        return self._seqs[channel][0]
+
+    @property
+    def idle(self) -> bool:
+        """No queued and no delayed messages remain."""
+        return not self.pending_channels() and not self._delayed
 
     def deliver_one(self) -> bool:
-        """Deliver one randomly chosen pending message; False if idle."""
+        """Deliver one scheduled pending message; False if idle."""
+        self._manifest_crashes()
+        self._release_due()
         pending = self.pending_channels()
+        if not pending and self._delayed:
+            # Nothing deliverable now but copies are in flight: fast-
+            # forward the (delivery-step) clock to the earliest release.
+            horizon = self._delayed[0][0]
+            while self._delayed and self._delayed[0][0] <= horizon:
+                _, seq, channel, payload = heapq.heappop(self._delayed)
+                self.queues[channel].append(payload)
+                self._seqs[channel].append(seq)
+            pending = self.pending_channels()
         if not pending:
             return False
-        channel = self.rng.choice(pending)
+        channel = self.scheduler.next_channel(self.stats.deliveries, pending, self)
         payload = self.queues[channel].popleft()
+        self._seqs[channel].popleft()
         state, sends = self.program.on_message(
             self.local[channel.receiver], channel.port, payload
         )
@@ -120,14 +367,58 @@ class MPExecutor:
         self.stats.deliveries += 1
         return True
 
+    def retransmit(self) -> int:
+        """Stubbornly resend the last payload on every live channel.
+
+        The stubborn-link adapter: over fair-lossy channels, resending
+        the most recent payload until the network moves again guarantees
+        eventual delivery.  Resends pass through the fault policy like
+        any send.  Returns the number of channels retransmitted on.
+        """
+        count = 0
+        for channel in self.mp.channels:
+            if channel not in self._last_sent:
+                continue
+            if channel.sender in self._crashed or channel.receiver in self._crashed:
+                continue
+            self.stats.retransmissions += 1
+            self._route(channel, self._last_sent[channel])
+            count += 1
+        return count
+
     def run_to_quiescence(self, max_deliveries: int = 1_000_000) -> bool:
         """Deliver until no messages remain; False if the cap was hit."""
         for _ in range(max_deliveries):
             if not self.deliver_one():
                 return True
-        return not self.pending_channels()
+        return self.idle
+
+    # ------------------------------------------------------------------
+    # results and the trace-recording surface
 
     def selected(self) -> Tuple[NodeId, ...]:
         return tuple(
             p for p in self.mp.processors if self.program.is_selected(self.local[p])
         )
+
+    def crashed(self) -> Tuple[NodeId, ...]:
+        """Processors whose crash-stop fault has manifested, sorted."""
+        return tuple(sorted(self._crashed, key=repr))
+
+    # Duck-typed surface shared with the shared-variable Executor so the
+    # obs trace machinery (TraceWriter.sample / node_digests) works on
+    # either executor unchanged.
+
+    @property
+    def step_count(self) -> int:
+        return self.stats.deliveries
+
+    @property
+    def system(self) -> MPSystem:
+        return self.mp
+
+    def configuration(self) -> Tuple[Hashable, ...]:
+        return tuple(self.local[p] for p in self.mp.processors)
+
+    def node_state(self, node: NodeId) -> Hashable:
+        return self.local[node]

@@ -1,0 +1,147 @@
+"""Pluggable delivery schedulers for the message-passing runtime.
+
+The asynchronous adversary of Section 6 is, operationally, *who gets to
+pick the next delivery*.  :class:`MPExecutor` used to hard-wire a seeded
+``rng.choice`` over the pending channels; this module turns that policy
+into an abstraction mirroring :mod:`repro.runtime.scheduler`:
+
+* :class:`RandomDeliveryScheduler` -- the seeded uniform choice the
+  executor always had (fair with probability 1), now swappable;
+* :class:`FifoDeliveryScheduler` -- globally oldest message first (the
+  send clock is a total order, so this is deterministic network-FIFO);
+* :class:`AdversarialDeliveryScheduler` -- a callback over the live
+  executor, the delivery-order analogue of
+  :class:`~repro.runtime.scheduler.AdaptiveScheduler`;
+* :class:`ReplayDeliveryScheduler` -- force a recorded sequence of
+  channel picks, the engine of deterministic MP replay
+  (:func:`repro.obs.replay.replay_mp_trace`).
+
+A scheduler picks one :class:`~repro.messaging.mp_system.Channel` from
+the non-empty ``pending`` list; ``view`` is the executor (read-only
+access to local states, queues, and the send clock).  Fault injection is
+orthogonal: policies in :mod:`repro.messaging.mp_faults` decide which
+sends survive, schedulers decide the order of the survivors.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..exceptions import ScheduleError
+from .mp_system import Channel
+
+
+class DeliveryScheduler(ABC):
+    """Lazily picks the next pending channel to deliver from."""
+
+    @abstractmethod
+    def next_channel(self, index: int, pending: Sequence[Channel], view) -> Channel:
+        """Pick the channel for delivery step ``index``.
+
+        ``pending`` is the non-empty list of channels with queued
+        messages, in the system's fixed channel order; ``view`` is the
+        executor.  The returned channel must be one of ``pending``.
+        """
+
+    def reset(self) -> None:
+        """Return to the initial scheduling state (default: stateless)."""
+
+
+class RandomDeliveryScheduler(DeliveryScheduler):
+    """Seeded uniform choice over the pending channels.
+
+    This reproduces, draw for draw, the policy previously inlined in
+    :class:`~repro.messaging.mp_runtime.MPExecutor`, so existing seeds
+    keep producing the same runs.  Fair with probability 1: every queued
+    message is eventually delivered.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def next_channel(self, index: int, pending: Sequence[Channel], view) -> Channel:
+        return self._rng.choice(list(pending))
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class FifoDeliveryScheduler(DeliveryScheduler):
+    """Deliver the globally oldest queued message first.
+
+    The executor stamps every enqueued copy with a send-clock value
+    (:meth:`~repro.messaging.mp_runtime.MPExecutor.head_seq`); choosing
+    the minimal head makes the whole network one FIFO queue.  Duplicated
+    and delayed copies are stamped at enqueue time, so fault reordering
+    still shows through.
+    """
+
+    def next_channel(self, index: int, pending: Sequence[Channel], view) -> Channel:
+        return min(pending, key=view.head_seq)
+
+
+class AdversarialDeliveryScheduler(DeliveryScheduler):
+    """An adversary driven by a callback over the live executor."""
+
+    def __init__(
+        self, choose: Callable[[int, Sequence[Channel], object], Channel]
+    ) -> None:
+        self._choose = choose
+
+    def next_channel(self, index: int, pending: Sequence[Channel], view) -> Channel:
+        return self._choose(index, pending, view)
+
+
+class DeliveryReplayError(ScheduleError):
+    """A replayed delivery names a channel that is not pending.
+
+    Carries the evidence replay needs to point at the first divergent
+    delivery: the delivery index, the recorded ``(receiver, port)`` key,
+    and what actually was pending.
+    """
+
+    def __init__(self, index: int, expected: Tuple[str, str], pending) -> None:
+        self.index = index
+        self.expected = expected
+        self.pending = tuple((str(c.receiver), c.port) for c in pending)
+        super().__init__(
+            f"delivery {index}: recorded channel to {expected[0]!r} on port "
+            f"{expected[1]!r} is not pending (pending: {sorted(self.pending)})"
+        )
+
+
+class ReplayDeliveryScheduler(DeliveryScheduler):
+    """Replay an explicit finite sequence of channel picks.
+
+    ``prefix`` holds ``(str(receiver), port)`` keys -- each pair names at
+    most one channel of an :class:`~repro.messaging.mp_system.MPSystem`.
+    When the recorded channel is not pending (the run has diverged from
+    the recording), :class:`DeliveryReplayError` is raised; when the
+    prefix is exhausted, the optional fallback takes over.
+    """
+
+    def __init__(
+        self,
+        prefix: Sequence[Tuple[str, str]],
+        then: Optional[DeliveryScheduler] = None,
+    ) -> None:
+        self._prefix = tuple((str(r), str(p)) for r, p in prefix)
+        self._then = then
+
+    def next_channel(self, index: int, pending: Sequence[Channel], view) -> Channel:
+        if index < len(self._prefix):
+            receiver, port = self._prefix[index]
+            for channel in pending:
+                if str(channel.receiver) == receiver and channel.port == port:
+                    return channel
+            raise DeliveryReplayError(index, (receiver, port), pending)
+        if self._then is None:
+            raise ScheduleError("replayed delivery schedule exhausted and no fallback given")
+        return self._then.next_channel(index, pending, view)
+
+    def reset(self) -> None:
+        if self._then is not None:
+            self._then.reset()

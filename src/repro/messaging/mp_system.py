@@ -92,6 +92,12 @@ class MPSystem:
         return self._processors
 
     @property
+    def nodes(self) -> Tuple[NodeId, ...]:
+        """Alias for :attr:`processors` -- the surface the obs trace
+        machinery expects of any system it digests."""
+        return self._processors
+
+    @property
     def channels(self) -> Tuple[Channel, ...]:
         return self._channels
 

@@ -29,6 +29,9 @@ from .events import (
     Event,
     EventHub,
     MessageDelivered,
+    MessageDropped,
+    MessageDuplicated,
+    ProcessorCrashedMP,
     RefinementCompleted,
     RefinementRound,
     StepExecuted,
@@ -45,15 +48,20 @@ _LAZY = {
     "node_digests": "trace_io",
     "stable_digest": "trace_io",
     # scenarios (named, JSON-serializable run specs)
+    "MPScenarioBundle": "scenarios",
     "ScenarioBundle": "scenarios",
     "ScenarioError": "scenarios",
+    "build_mp_scenario": "scenarios",
     "build_scenario": "scenarios",
+    "record_mp_scenario": "scenarios",
     "record_scenario": "scenarios",
     # replay
     "Divergence": "replay",
     "ReplayReport": "replay",
+    "replay_mp_trace": "replay",
     "replay_trace": "replay",
     # reporting
+    "mp_trace_report": "report",
     "trace_census": "report",
     "trace_report": "report",
     "trace_timeline": "report",
@@ -67,7 +75,10 @@ __all__ = [
     "EventSink",
     "JsonlSink",
     "MessageDelivered",
+    "MessageDropped",
+    "MessageDuplicated",
     "MetricsSink",
+    "ProcessorCrashedMP",
     "RefinementCompleted",
     "RefinementRound",
     "RingBufferSink",

@@ -7,6 +7,12 @@ Every interesting runtime occurrence is one immutable event object:
   :class:`~repro.runtime.faults.CrashScheduler`;
 * :class:`MessageDelivered` — the message-passing simulator delivered
   one message;
+* :class:`MessageDropped` / :class:`MessageDuplicated` — a per-channel
+  fault policy lost or duplicated a send in the message-passing
+  simulator;
+* :class:`ProcessorCrashedMP` — a crash-stop fault took effect in the
+  message-passing simulator (pending deliveries to the processor were
+  discarded);
 * :class:`RefinementRound` / :class:`RefinementCompleted` — progress of
   a partition-refinement engine;
 * :class:`ConfigSampled` — a digest of the whole-system configuration,
@@ -114,6 +120,87 @@ class MessageDelivered(Event):
             "to": str(self.receiver),
             "port": str(self.port),
             "payload": repr(self.payload),
+        }
+
+
+@dataclass(frozen=True)
+class MessageDropped(Event):
+    """A channel fault policy lost one send.
+
+    ``index`` is the delivery-step clock at the moment of the send (the
+    number of deliveries performed so far), not a delivery index of its
+    own: drops never consume a delivery step.
+    """
+
+    kind: ClassVar[str] = "drop"
+
+    index: int
+    sender: Any
+    receiver: Any
+    port: str
+    payload: Any
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "i": self.index,
+            "from": str(self.sender),
+            "to": str(self.receiver),
+            "port": str(self.port),
+            "payload": repr(self.payload),
+        }
+
+
+@dataclass(frozen=True)
+class MessageDuplicated(Event):
+    """A channel fault policy duplicated one send (two copies enqueued)."""
+
+    kind: ClassVar[str] = "dup"
+
+    index: int
+    sender: Any
+    receiver: Any
+    port: str
+    payload: Any
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "i": self.index,
+            "from": str(self.sender),
+            "to": str(self.receiver),
+            "port": str(self.port),
+            "payload": repr(self.payload),
+        }
+
+
+@dataclass(frozen=True)
+class ProcessorCrashedMP(Event):
+    """A crash-stop fault took effect in the message-passing simulator.
+
+    Attributes:
+        processor: who crashed.
+        crash_index: the configured crash point on the delivery clock.
+        observed_index: the delivery-step count when the executor first
+            routed around the crash (>= ``crash_index``).
+        discarded: pending deliveries to the processor that were thrown
+            away when the crash manifested.
+    """
+
+    kind: ClassVar[str] = "mp-crash"
+
+    processor: Any
+    crash_index: int
+    observed_index: int
+    discarded: int = 0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "p": str(self.processor),
+            "crash_index": self.crash_index,
+            "observed_index": self.observed_index,
+            "discarded": self.discarded,
         }
 
 

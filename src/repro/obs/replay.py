@@ -31,10 +31,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
+from ..messaging.mp_scheduler import DeliveryReplayError, ReplayDeliveryScheduler
 from ..runtime.executor import Executor
 from ..runtime.scheduler import ReplayScheduler
 from .events import StepExecuted
-from .scenarios import build_scenario
+from .scenarios import build_mp_scenario, build_scenario
 from .trace_io import Trace, TraceError, config_digest, load_trace, node_digests
 
 _REPLAY_MODES = ("schedule", "scheduler")
@@ -137,13 +138,20 @@ def replay_trace(
     trace: Union[Trace, str],
     mode: str = "schedule",
 ) -> ReplayReport:
-    """Replay ``trace`` (a :class:`Trace` or a file path) and verify it."""
+    """Replay ``trace`` (a :class:`Trace` or a file path) and verify it.
+
+    Dispatches on the scenario's ``kind``: shared-variable traces replay
+    step-by-step here; message-passing traces (``"kind": "mp"``) go
+    through :func:`replay_mp_trace`.
+    """
     if isinstance(trace, str):
         trace = load_trace(trace)
     if mode not in _REPLAY_MODES:
         raise TraceError(f"unknown replay mode {mode!r}; pick from {_REPLAY_MODES}")
     if not trace.scenario:
         raise TraceError("trace header carries no scenario spec; cannot rebuild")
+    if trace.scenario.get("kind") == "mp":
+        return replay_mp_trace(trace, mode=mode)
 
     bundle = build_scenario(trace.scenario)
     by_str = {str(p): p for p in bundle.system.processors}
@@ -191,6 +199,167 @@ def replay_trace(
                 divergence = check_sample(executor.step_count)
             if divergence is not None:
                 break
+
+    if divergence is None and trace.end is not None:
+        digest = config_digest(executor)
+        if digest != trace.end.get("digest"):
+            divergence = Divergence(
+                executor.step_count, "end", trace.end.get("digest"), digest
+            )
+
+    report.final_digest = config_digest(executor)
+    if divergence is not None:
+        report.ok = False
+        report.divergence = divergence
+    return report
+
+
+# ----------------------------------------------------------------------
+# message-passing replay
+# ----------------------------------------------------------------------
+
+
+class _DocCapture:
+    """A sink collecting MP event documents (delivery / drop / dup / crash)."""
+
+    _KINDS = ("delivery", "drop", "dup", "mp-crash")
+
+    def __init__(self) -> None:
+        self.docs: List[Dict[str, Any]] = []
+
+    def on_event(self, event) -> None:
+        doc = event.to_json()
+        if doc.get("kind") in self._KINDS:
+            self.docs.append(doc)
+
+
+def _mp_doc_divergence(i: int, rec: Optional[Dict[str, Any]], got: Optional[Dict[str, Any]]):
+    """Name the first divergent MP event.
+
+    ``step`` is the delivery-clock index the event carries (falling back
+    to the stream position), so the message points at *which delivery*
+    went wrong, not just where in the file.
+    """
+    source = got if got is not None else rec
+    step = int(source.get("i", source.get("crash_index", i))) if source else i
+    reason = "delivery" if (source or {}).get("kind") == "delivery" else "fault"
+    return Divergence(step, reason, rec, got)
+
+
+def replay_mp_trace(
+    trace: Union[Trace, str],
+    mode: str = "schedule",
+) -> ReplayReport:
+    """Replay a message-passing trace and verify byte-level agreement.
+
+    The replayed run must reproduce the recording's *entire* interleaved
+    event stream — every delivery in order, and every drop, duplication,
+    and crash manifestation in between — plus every sampled
+    configuration digest.  The first disagreement is reported as a
+    :class:`Divergence` naming the delivery (or fault) where the runs
+    parted ways.
+
+    Modes mirror :func:`replay_trace`: ``"schedule"`` forces the
+    recorded delivery sequence through a
+    :class:`~repro.messaging.mp_scheduler.ReplayDeliveryScheduler`
+    (faults still come from the seeded plan, whose coins are a function
+    of the delivery schedule); ``"scheduler"`` rebuilds the seeded
+    delivery scheduler and additionally verifies it is deterministic.
+    """
+    if isinstance(trace, str):
+        trace = load_trace(trace)
+    if mode not in _REPLAY_MODES:
+        raise TraceError(f"unknown replay mode {mode!r}; pick from {_REPLAY_MODES}")
+    scenario = trace.scenario
+    if scenario.get("kind") != "mp":
+        raise TraceError("not a message-passing trace (scenario kind != 'mp')")
+
+    bundle = build_mp_scenario(scenario)
+    recorded = trace.mp_events
+    recorded_deliveries = [d for d in recorded if d["kind"] == "delivery"]
+    if mode == "schedule":
+        scheduler = ReplayDeliveryScheduler(
+            [(d["to"], d["port"]) for d in recorded_deliveries]
+        )
+    else:
+        scheduler = bundle.make_scheduler()
+
+    capture = _DocCapture()
+    executor = bundle.make_executor(sink=capture, scheduler=scheduler)
+    samples = trace.samples_by_step()
+    report = ReplayReport(
+        ok=True,
+        mode=mode,
+        steps_replayed=0,
+        samples_checked=0,
+        scenario=dict(scenario),
+    )
+
+    cursor = 0
+
+    def check_docs() -> Optional[Divergence]:
+        """Compare newly captured events against the recorded stream."""
+        nonlocal cursor
+        while cursor < len(capture.docs):
+            rec = recorded[cursor] if cursor < len(recorded) else None
+            got = capture.docs[cursor]
+            if rec != got:
+                return _mp_doc_divergence(cursor, rec, got)
+            cursor += 1
+        return None
+
+    def check_sample(step: int) -> Optional[Divergence]:
+        doc = samples.get(step)
+        if doc is None:
+            return None
+        report.samples_checked += 1
+        digest = config_digest(executor)
+        if digest == doc.get("digest"):
+            return None
+        node, exp, act = _first_node_diff(executor, doc.get("nodes", {}))
+        return Divergence(
+            step, "config", doc.get("digest"), digest,
+            node=node, node_expected=exp, node_actual=act,
+        )
+
+    # On-start sends already routed (and possibly dropped) during
+    # construction; their events must open the stream identically.
+    divergence = check_docs()
+    if divergence is None:
+        divergence = check_sample(0)
+
+    stubborn = bool(scenario.get("stubborn"))
+    idle_rounds = 0
+    while divergence is None and report.steps_replayed < len(recorded_deliveries):
+        try:
+            delivered = executor.deliver_one()
+        except DeliveryReplayError as exc:
+            rec = recorded_deliveries[report.steps_replayed]
+            divergence = Divergence(
+                exc.index, "delivery", rec,
+                {"pending": sorted(exc.pending)},
+            )
+            break
+        if delivered:
+            report.steps_replayed += 1
+            idle_rounds = 0
+            divergence = check_docs()
+            if divergence is None:
+                divergence = check_sample(executor.step_count)
+            continue
+        if stubborn and idle_rounds < 25:
+            executor.retransmit()
+            idle_rounds += 1
+            divergence = check_docs()
+            continue
+        rec = recorded_deliveries[report.steps_replayed]
+        divergence = Divergence(
+            int(rec.get("i", report.steps_replayed)), "delivery", rec, None
+        )
+
+    if divergence is None and cursor < len(recorded):
+        # the recording has events the replay never produced
+        divergence = _mp_doc_divergence(cursor, recorded[cursor], None)
 
     if divergence is None and trace.end is not None:
         digest = config_digest(executor)

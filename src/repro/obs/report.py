@@ -84,9 +84,58 @@ def trace_timeline(trace: Trace, width: Optional[int] = None) -> str:
     return "\n".join(lines)
 
 
-def trace_report(trace: Trace, width: Optional[int] = 72) -> str:
-    """A multi-section text report for a trace file."""
+def mp_trace_report(trace: Trace) -> str:
+    """A text report for a message-passing trace (deliveries + faults)."""
     sc = trace.scenario
+    events = trace.mp_events
+    deliveries = [d for d in events if d["kind"] == "delivery"]
+    drops = [d for d in events if d["kind"] == "drop"]
+    dups = [d for d in events if d["kind"] == "dup"]
+    crashes = [d for d in events if d["kind"] == "mp-crash"]
+    lines = []
+    lines.append("mp trace report")
+    lines.append("=" * 40)
+    if sc:
+        bits = [
+            f"topology={sc.get('topology')}",
+            f"size={sc.get('size')}",
+            f"program={sc.get('program')}",
+            f"scheduler={sc.get('scheduler')}",
+        ]
+        if sc.get("stubborn"):
+            bits.append("stubborn=yes")
+        if sc.get("faults"):
+            bits.append("faults=yes")
+        lines.append("scenario: " + " ".join(bits))
+    lines.append(
+        f"deliveries: {len(deliveries)}, drops: {len(drops)}, "
+        f"duplicates: {len(dups)}, samples: {len(trace.samples)}"
+    )
+    if trace.end is not None:
+        lines.append(f"final digest: {trace.end.get('digest')}")
+    if crashes:
+        crashed = ", ".join(f"{d['p']}@{d['crash_index']}" for d in crashes)
+        lines.append(f"crashed: {crashed}")
+    per_receiver: Dict[str, int] = {}
+    for d in deliveries:
+        per_receiver[d["to"]] = per_receiver.get(d["to"], 0) + 1
+    if per_receiver:
+        lines.append("")
+        lines.append("per-receiver deliveries:")
+        for p in sorted(per_receiver):
+            lines.append(f"  {p}: {per_receiver[p]}")
+    return "\n".join(lines)
+
+
+def trace_report(trace: Trace, width: Optional[int] = 72) -> str:
+    """A multi-section text report for a trace file.
+
+    Message-passing traces get their own rendering (deliveries and
+    channel faults instead of step lanes).
+    """
+    sc = trace.scenario
+    if sc.get("kind") == "mp":
+        return mp_trace_report(trace)
     census = trace_census(trace)
     lines = []
     lines.append("trace report")

@@ -15,6 +15,19 @@ scheduler, and their seeds::
 :func:`record_scenario` runs it and streams the trace to JSONL.  The
 spec is normalized (defaults filled in) before being written to the
 header, so a recorded trace is self-contained.
+
+Message-passing runs are scenarios too, marked by ``"kind": "mp"``::
+
+    {"kind": "mp", "topology": "ring", "size": 5,
+     "program": "chang-roberts", "ids": [3, 1, 4, 0, 2],
+     "scheduler": "random", "sched_seed": 1, "stubborn": true,
+     "faults": {"default": {"drop": 0.2, "duplicate": 0.1,
+                            "delay": 0.1, "max_delay": 4},
+                "crash_at": {"p2": 30}, "seed": 7}}
+
+:func:`build_mp_scenario` / :func:`record_mp_scenario` are the MP
+counterparts; :func:`repro.obs.replay.replay_trace` dispatches on the
+``kind`` field, so one CLI replays either flavor.
 """
 
 from __future__ import annotations
@@ -22,13 +35,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
+from ..baselines.chang_roberts import ChangRobertsProgram
 from ..baselines.dp_deterministic import (
     LeftFirstDiningProgram,
     MultiLockDiningProgram,
 )
 from ..core.system import InstructionSet, ScheduleClass, System
 from ..exceptions import ReproError
-from ..io import system_to_dict
+from ..io import mp_system_to_dict, system_to_dict
+from ..messaging.mp_faults import FaultPlan
+from ..messaging.mp_runtime import FloodProgram, MPExecutor, MPProgram
+from ..messaging.mp_scheduler import (
+    DeliveryScheduler,
+    FifoDeliveryScheduler,
+    RandomDeliveryScheduler,
+)
+from ..messaging.mp_system import (
+    MPSystem,
+    bidirectional_ring,
+    unidirectional_chain,
+    unidirectional_ring,
+)
 from ..runtime.executor import Executor
 from ..runtime.faults import CrashScheduler
 from ..runtime.program import (
@@ -252,4 +279,180 @@ def record_scenario(
         "sample_every": sample_every,
         "final_digest": digest,
         "lines": writer.lines_written,
+    }
+
+
+# ----------------------------------------------------------------------
+# message-passing scenarios ("kind": "mp")
+# ----------------------------------------------------------------------
+
+_MP_TOPOLOGIES = {
+    "ring": unidirectional_ring,
+    "bi-ring": bidirectional_ring,
+    "chain": unidirectional_chain,
+}
+
+_MP_DEFAULTS = {
+    "kind": "mp",
+    "topology": "ring",
+    "size": 5,
+    "program": "flood",
+    "ids": None,
+    "scheduler": "random",
+    "sched_seed": 0,
+    "stubborn": False,
+    "faults": None,
+}
+
+
+@dataclass
+class MPScenarioBundle:
+    """A message-passing scenario spec made live.
+
+    Executors are minted per run (:meth:`make_executor`) because each
+    carries mutable queues and RNGs; the bundle itself is reusable.
+    """
+
+    spec: Dict[str, Any]
+    mp: MPSystem
+    program: MPProgram
+    faults: Optional[FaultPlan]
+
+    def make_scheduler(self) -> DeliveryScheduler:
+        name = self.spec["scheduler"]
+        if name == "random":
+            return RandomDeliveryScheduler(int(self.spec["sched_seed"]))
+        if name == "fifo":
+            return FifoDeliveryScheduler()
+        raise ScenarioError(
+            f"unknown delivery scheduler {name!r}; pick from ['random', 'fifo']"
+        )
+
+    def make_executor(self, sink=None, scheduler=None) -> MPExecutor:
+        return MPExecutor(
+            self.mp,
+            self.program,
+            sink=sink,
+            scheduler=scheduler if scheduler is not None else self.make_scheduler(),
+            faults=self.faults,
+        )
+
+
+def normalize_mp_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Fill defaults; reject unknown keys (typos must not pass silently)."""
+    unknown = set(spec) - set(_MP_DEFAULTS)
+    if unknown:
+        raise ScenarioError(
+            f"unknown mp scenario keys {sorted(unknown)}; "
+            f"valid keys are {sorted(_MP_DEFAULTS)}"
+        )
+    doc = dict(_MP_DEFAULTS)
+    doc.update(spec)
+    if doc["kind"] != "mp":
+        raise ScenarioError(f'mp scenario kind must be "mp", got {doc["kind"]!r}')
+    size = int(doc["size"])
+    if doc["ids"] is None:
+        doc["ids"] = list(range(size))
+    doc["ids"] = [int(i) for i in doc["ids"]]
+    if len(doc["ids"]) != size:
+        raise ScenarioError(
+            f"ids must have one entry per processor: got {len(doc['ids'])} "
+            f"for size {size}"
+        )
+    doc["stubborn"] = bool(doc["stubborn"])
+    if doc["faults"] is not None:
+        # round-trip through FaultPlan so the header carries a complete,
+        # defaulted manifest (and malformed docs fail here, not mid-run)
+        doc["faults"] = FaultPlan.from_json(doc["faults"]).to_json()
+    return doc
+
+
+def build_mp_scenario(spec: Dict[str, Any]) -> MPScenarioBundle:
+    """Build (system, program, fault plan) from an MP scenario spec."""
+    doc = normalize_mp_spec(spec)
+    try:
+        builder = _MP_TOPOLOGIES[doc["topology"]]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown mp topology {doc['topology']!r}; "
+            f"pick from {sorted(_MP_TOPOLOGIES)}"
+        ) from None
+    mp = builder(int(doc["size"]), states=dict(enumerate(doc["ids"])))
+    name = doc["program"]
+    if name == "flood":
+        program: MPProgram = FloodProgram()
+    elif name == "chang-roberts":
+        if doc["topology"] != "ring":
+            raise ScenarioError(
+                "chang-roberts needs the unidirectional ring topology"
+            )
+        if len(set(doc["ids"])) != len(doc["ids"]):
+            raise ScenarioError("chang-roberts requires unique ids")
+        program = ChangRobertsProgram()
+    else:
+        raise ScenarioError(
+            f"unknown mp program {name!r}; pick from ['flood', 'chang-roberts']"
+        )
+    faults = None if doc["faults"] is None else FaultPlan.from_json(doc["faults"])
+    if faults is not None:
+        ghosts = set(faults.crash_at) - {str(p) for p in mp.processors}
+        if ghosts:
+            raise ScenarioError(
+                f"faults.crash_at names unknown processors {sorted(ghosts)}"
+            )
+    bundle = MPScenarioBundle(spec=doc, mp=mp, program=program, faults=faults)
+    bundle.make_scheduler()  # validate the scheduler name eagerly
+    return bundle
+
+
+def record_mp_scenario(
+    spec: Dict[str, Any],
+    deliveries: int,
+    path: str,
+    sample_every: Optional[int] = None,
+    max_idle_rounds: int = 25,
+) -> Dict[str, Any]:
+    """Run an MP scenario for up to ``deliveries`` deliveries; trace it.
+
+    The header is written *before* the executor exists because on-start
+    sends already route through the fault plan — their drop/dup events
+    belong in the stream.  With ``stubborn`` in the spec, an idle network
+    retransmits (bounded by ``max_idle_rounds``) exactly as
+    :func:`repro.messaging.mp_faults.drive_mp` would, so replay can
+    reproduce the retransmission points from the spec alone.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        writer = TraceWriter(handle)
+        bundle = build_mp_scenario(spec)
+        doc = bundle.spec
+        if sample_every is None:
+            sample_every = max(1, len(bundle.mp.processors))
+        writer.write_header(doc, mp_system_to_dict(bundle.mp), deliveries, sample_every)
+        executor = bundle.make_executor(sink=writer)
+        writer.sample(executor)
+        samples = 1
+        idle_rounds = 0
+        while executor.stats.deliveries < deliveries:
+            if executor.deliver_one():
+                idle_rounds = 0
+                if executor.stats.deliveries % sample_every == 0:
+                    writer.sample(executor)
+                    samples += 1
+                continue
+            if not doc["stubborn"] or idle_rounds >= max_idle_rounds:
+                break
+            executor.retransmit()
+            idle_rounds += 1
+        digest = writer.write_end(executor)
+    return {
+        "path": path,
+        "deliveries": executor.stats.deliveries,
+        "samples": samples,
+        "sample_every": sample_every,
+        "final_digest": digest,
+        "lines": writer.lines_written,
+        "selected": [str(p) for p in executor.selected()],
+        "drops": executor.stats.drops,
+        "duplicates": executor.stats.duplicates,
+        "crashed": [str(p) for p in executor.crashed()],
     }

@@ -23,6 +23,9 @@ from .events import (
     CrashManifested,
     Event,
     MessageDelivered,
+    MessageDropped,
+    MessageDuplicated,
+    ProcessorCrashedMP,
     RefinementCompleted,
     StepExecuted,
 )
@@ -97,6 +100,10 @@ class MetricsSink(EventSink):
         steps_by_action: Counter of action type names (real steps only).
         steps_by_processor: Counter of ``str(processor)`` (real steps only).
         deliveries: message deliveries seen.
+        drops: message-passing sends lost by a channel fault policy.
+        duplicates: message-passing sends duplicated by a fault policy.
+        mp_crashes: crash-stop manifestations in the message-passing
+            simulator, as ``(processor, crash_index)``.
         crashes: crash manifestations, as ``(processor, crash_step)``.
         samples: configuration samples seen.
         refinements: completed refinement runs ``(engine, rounds, splits,
@@ -111,6 +118,9 @@ class MetricsSink(EventSink):
         self.steps_by_action: Counter = Counter()
         self.steps_by_processor: Counter = Counter()
         self.deliveries = 0
+        self.drops = 0
+        self.duplicates = 0
+        self.mp_crashes: list = []
         self.crashes: list = []
         self.samples = 0
         self.refinements: list = []
@@ -130,6 +140,12 @@ class MetricsSink(EventSink):
                 self.steps_by_processor[str(record.processor)] += 1
         elif isinstance(event, MessageDelivered):
             self.deliveries += 1
+        elif isinstance(event, MessageDropped):
+            self.drops += 1
+        elif isinstance(event, MessageDuplicated):
+            self.duplicates += 1
+        elif isinstance(event, ProcessorCrashedMP):
+            self.mp_crashes.append((event.processor, event.crash_index))
         elif isinstance(event, CrashManifested):
             self.crashes.append((event.processor, event.crash_step))
         elif isinstance(event, ConfigSampled):
@@ -148,6 +164,9 @@ class MetricsSink(EventSink):
             "steps_by_action": dict(self.steps_by_action),
             "steps_by_processor": dict(self.steps_by_processor),
             "deliveries": self.deliveries,
+            "drops": self.drops,
+            "duplicates": self.duplicates,
+            "mp_crashes": [(str(p), t) for p, t in self.mp_crashes],
             "crashes": [(str(p), t) for p, t in self.crashes],
             "samples": self.samples,
             "refinements": list(self.refinements),

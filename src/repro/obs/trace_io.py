@@ -137,6 +137,24 @@ class Trace:
         """The recorded schedule as ``str(processor)`` ids."""
         return [doc["p"] for doc in self.steps]
 
+    #: event kinds emitted by the message-passing executor, in-stream
+    _MP_KINDS = ("delivery", "drop", "dup", "mp-crash")
+
+    @property
+    def mp_events(self) -> List[Dict[str, Any]]:
+        """Message-passing events (deliveries and faults), in order.
+
+        The interleaved order is significant: fault events caused by the
+        sends of delivery *i* appear before the ``delivery`` document
+        for *i*, and replay compares the whole stream positionally.
+        """
+        return [d for d in self.extras if d.get("kind") in self._MP_KINDS]
+
+    @property
+    def deliveries(self) -> List[Dict[str, Any]]:
+        """Just the ``delivery`` documents, in delivery order."""
+        return [d for d in self.extras if d.get("kind") == "delivery"]
+
     def samples_by_step(self) -> Dict[int, Dict[str, Any]]:
         return {int(doc["step"]): doc for doc in self.samples}
 

@@ -13,9 +13,11 @@ configuration of an experiment -- and this package drives those in bulk:
   times all three engines across ring/grid/random topologies and records
   the numbers in ``BENCH_refinement.json`` so every PR leaves a perf
   trajectory behind.
+* :mod:`repro.perf.mp_bench` -- faulty-channel delivery throughput for
+  the message-passing runtime (``BENCH_mp_faults.json``).
 
-Both are exposed on the CLI: ``python -m repro batch ...`` and
-``python -m repro bench ...``.
+All are exposed on the CLI: ``python -m repro batch ...``,
+``python -m repro bench ...``, and ``python -m repro bench-mp ...``.
 """
 
 from .batch import (
@@ -25,11 +27,13 @@ from .batch import (
     system_fingerprint,
 )
 from .microbench import run_microbench
+from .mp_bench import run_mp_bench
 
 __all__ = [
     "BatchReport",
     "SimilarityCache",
     "batch_similarity",
     "run_microbench",
+    "run_mp_bench",
     "system_fingerprint",
 ]

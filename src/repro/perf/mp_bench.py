@@ -1,0 +1,137 @@
+"""Message-passing delivery-throughput microbenchmark.
+
+Measures what the fault-injection layer costs: deliveries per second on
+a flood workload over a unidirectional ring, for a ladder of channel
+configurations --
+
+* ``reliable`` -- no fault plan at all (the zero-overhead baseline, one
+  dict lookup away from the pre-faults executor);
+* ``faulty-passthrough`` -- a fault plan whose probabilities are all 0
+  (pays the coin flips, loses nothing);
+* ``lossy`` / ``lossy-dup-delay`` -- realistic fault mixes, where
+  retransmission-free flood throughput includes the wasted routing work
+  of dropped and delayed copies.
+
+Results land in ``BENCH_mp_faults.json`` (same meta shape as
+``BENCH_refinement.json``) so future PRs can compare against today's
+numbers.  CLI: ``python -m repro bench-mp --sizes 16,64 --deliveries
+20000``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..messaging.mp_faults import ChannelFaults, FaultPlan
+from ..messaging.mp_runtime import FloodProgram, MPExecutor
+from ..messaging.mp_system import unidirectional_ring
+
+#: name -> fault-plan factory (None = run without a plan entirely)
+_CONFIGS: Dict[str, Optional[ChannelFaults]] = {
+    "reliable": None,
+    "faulty-passthrough": ChannelFaults(),
+    "lossy": ChannelFaults(drop=0.1),
+    "lossy-dup-delay": ChannelFaults(drop=0.1, duplicate=0.1, delay=0.1, max_delay=4),
+}
+
+
+def _spread_states(n: int) -> Dict[int, int]:
+    """Initial values with the max far from p0 so flood keeps working."""
+    return {i: (i * 7919) % (3 * n) for i in range(n)}
+
+
+def run_mp_bench(
+    sizes: Sequence[int] = (16, 64, 256),
+    deliveries: int = 20_000,
+    repeats: int = 1,
+    seed: int = 0,
+    output: Optional[str] = "BENCH_mp_faults.json",
+) -> dict:
+    """Time faulty-channel delivery throughput; optionally write JSON.
+
+    Each cell runs a :class:`FloodProgram` ring with stubborn
+    retransmission until ``deliveries`` deliveries (retransmitting keeps
+    a lossy network busy, so every cell does comparable delivery work).
+    The best of ``repeats`` timings is reported.
+    """
+    doc: dict = {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "deliveries": deliveries,
+        "rows": [],
+    }
+    for n in sizes:
+        mp = unidirectional_ring(n, states=_spread_states(n))
+        for name, faults in _CONFIGS.items():
+            plan = (
+                None
+                if faults is None
+                else FaultPlan(default=faults, seed=seed)
+            )
+            executor = MPExecutor(mp, FloodProgram(), seed=seed, faults=plan)
+            best = None
+            stats = None
+            for _ in range(max(1, repeats)):
+                executor.reset()
+                t0 = time.perf_counter()
+                idle_rounds = 0
+                while executor.stats.deliveries < deliveries:
+                    if executor.deliver_one():
+                        idle_rounds = 0
+                        continue
+                    if idle_rounds >= 25:
+                        break
+                    executor.retransmit()
+                    idle_rounds += 1
+                elapsed = time.perf_counter() - t0
+                if best is None or elapsed < best:
+                    best = elapsed
+                    stats = executor.stats
+            doc["rows"].append(
+                {
+                    "n": n,
+                    "config": name,
+                    "elapsed_s": best,
+                    "deliveries": stats.deliveries,
+                    "throughput_per_s": (
+                        round(stats.deliveries / best) if best and best > 0 else None
+                    ),
+                    "drops": stats.drops,
+                    "duplicates": stats.duplicates,
+                    "delayed": stats.delayed,
+                    "retransmissions": stats.retransmissions,
+                }
+            )
+    if output:
+        with open(output, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+    return doc
+
+
+def format_mp_bench(doc: dict) -> str:
+    """A terse human-readable rendering of :func:`run_mp_bench` output."""
+    lines: List[str] = []
+    lines.append(
+        f"mp fault-delivery microbench (python {doc['meta']['python']}, "
+        f"{doc['meta']['cpu_count']} cpu, target {doc['deliveries']} deliveries)"
+    )
+    lines.append(
+        f"{'n':>6}  {'config':<20}{'elapsed':>10}{'deliv/s':>10}"
+        f"{'drops':>8}{'dups':>7}{'delayed':>9}"
+    )
+    for row in doc["rows"]:
+        elapsed = f"{row['elapsed_s']:.4f}s" if row["elapsed_s"] is not None else "-"
+        thr = row["throughput_per_s"] or "-"
+        lines.append(
+            f"{row['n']:>6}  {row['config']:<20}{elapsed:>10}{thr:>10}"
+            f"{row['drops']:>8}{row['duplicates']:>7}{row['delayed']:>9}"
+        )
+    return "\n".join(lines)

@@ -59,6 +59,15 @@ class CrashScheduler(Scheduler):
         self.base = base
         self.crash_at: Dict[NodeId, int] = dict(crash_at)
         self._procs = tuple(processors)
+        ghosts = set(self.crash_at) - set(self._procs)
+        if ghosts:
+            # A crash plan naming a processor the system does not have is a
+            # configuration error, not a silent no-op: accepting it would
+            # let run_with_crash report ghost processors as crashed.
+            raise ScheduleError(
+                f"crash_at names unknown processors "
+                f"{sorted(str(p) for p in ghosts)}"
+            )
         survivors = [
             p for p in self._procs
             if p not in self.crash_at or self.crash_at[p] > 0
@@ -102,6 +111,9 @@ class CrashScheduler(Scheduler):
         self.base.reset()
         self._fallback = 0
         self._manifested.clear()
+
+    def rebase(self, origin: int) -> None:
+        self.base.rebase(origin)
 
 
 @dataclass(frozen=True)

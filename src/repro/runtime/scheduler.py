@@ -39,6 +39,18 @@ class Scheduler(ABC):
     def reset(self) -> None:
         """Return to the initial scheduling state (default: stateless)."""
 
+    def rebase(self, origin: int) -> None:
+        """Adopt ``origin`` as the first step index this scheduler will see.
+
+        Composite schedulers (:class:`ReplayScheduler`) call this when they
+        hand control over mid-run: the inner scheduler keeps receiving the
+        *true* executor step index (so adaptive choices and deadline
+        comparisons agree with what ``view`` shows), but positional internal
+        state -- round-robin cursors, staggered deadlines, nested replay
+        prefixes -- is re-anchored at ``origin``.  Stateless and adaptive
+        schedulers have nothing to re-anchor (default: no-op).
+        """
+
 
 class RoundRobinScheduler(Scheduler):
     """p0 p1 ... pn-1 p0 p1 ... -- the canonical n-bounded fair schedule."""
@@ -47,9 +59,16 @@ class RoundRobinScheduler(Scheduler):
         if not processors:
             raise ScheduleError("round robin needs at least one processor")
         self._order: Tuple[NodeId, ...] = tuple(processors)
+        self._origin = 0
 
     def next_processor(self, step_index: int, view) -> NodeId:
-        return self._order[step_index % len(self._order)]
+        return self._order[(step_index - self._origin) % len(self._order)]
+
+    def reset(self) -> None:
+        self._origin = 0
+
+    def rebase(self, origin: int) -> None:
+        self._origin = origin
 
 
 class ClassRoundRobinScheduler(Scheduler):
@@ -70,9 +89,16 @@ class ClassRoundRobinScheduler(Scheduler):
         for label in sorted(classes, key=repr):
             order.extend(sorted(classes[label], key=repr))
         self._order = tuple(order)
+        self._origin = 0
 
     def next_processor(self, step_index: int, view) -> NodeId:
-        return self._order[step_index % len(self._order)]
+        return self._order[(step_index - self._origin) % len(self._order)]
+
+    def reset(self) -> None:
+        self._origin = 0
+
+    def rebase(self, origin: int) -> None:
+        self._origin = origin
 
 
 class RandomFairScheduler(Scheduler):
@@ -123,9 +149,20 @@ class KBoundedFairScheduler(Scheduler):
 
     def reset(self) -> None:
         self._rng = random.Random(self._seed)
+        self._origin = 0
+        self._restagger()
+
+    def rebase(self, origin: int) -> None:
+        # Late start (e.g. as a ReplayScheduler fallback): the staggered
+        # initial deadlines are re-anchored at ``origin`` so the first k
+        # steps after the handoff are not one forced all-hands burst.
+        self._origin = origin
+        self._restagger()
+
+    def _restagger(self) -> None:
         n = len(self._procs)
         self._deadline: Dict[NodeId, int] = {
-            p: self._k - n + i for i, p in enumerate(self._procs)
+            p: self._origin + self._k - n + i for i, p in enumerate(self._procs)
         }
 
     def next_processor(self, step_index: int, view) -> NodeId:
@@ -143,22 +180,44 @@ class KBoundedFairScheduler(Scheduler):
 
 
 class ReplayScheduler(Scheduler):
-    """Replay an explicit finite schedule, then follow a fallback."""
+    """Replay an explicit finite schedule, then follow a fallback.
+
+    The fallback always receives the **true** executor step index -- the
+    same clock the executor and its ``view`` run on -- so adaptive or
+    deadline-based fallbacks (:class:`AdaptiveScheduler`,
+    :class:`KBoundedFairScheduler`) observe a consistent world.  Position
+    sensitivity is handled by :meth:`Scheduler.rebase` instead: at the
+    handoff the fallback's internal origin is re-anchored at the end of
+    the prefix (round-robin cursors restart their rotation there,
+    k-bounded deadlines are re-staggered from there).
+    """
 
     def __init__(self, prefix: Sequence[NodeId], then: Optional[Scheduler] = None) -> None:
         self._prefix = tuple(prefix)
         self._then = then
+        self._origin = 0
+        self._handed_off = False
 
     def next_processor(self, step_index: int, view) -> NodeId:
-        if step_index < len(self._prefix):
-            return self._prefix[step_index]
+        local = step_index - self._origin
+        if local < len(self._prefix):
+            return self._prefix[local]
         if self._then is None:
             raise ScheduleError("replay schedule exhausted and no fallback given")
-        return self._then.next_processor(step_index - len(self._prefix), view)
+        if not self._handed_off:
+            self._then.rebase(self._origin + len(self._prefix))
+            self._handed_off = True
+        return self._then.next_processor(step_index, view)
 
     def reset(self) -> None:
+        self._origin = 0
+        self._handed_off = False
         if self._then is not None:
             self._then.reset()
+
+    def rebase(self, origin: int) -> None:
+        self._origin = origin
+        self._handed_off = False
 
 
 class StarvationScheduler(Scheduler):
@@ -174,9 +233,16 @@ class StarvationScheduler(Scheduler):
         if not self._active:
             raise ScheduleError("cannot starve every processor")
         self._starved = starved
+        self._origin = 0
 
     def next_processor(self, step_index: int, view) -> NodeId:
-        return self._active[step_index % len(self._active)]
+        return self._active[(step_index - self._origin) % len(self._active)]
+
+    def reset(self) -> None:
+        self._origin = 0
+
+    def rebase(self, origin: int) -> None:
+        self._origin = origin
 
     @property
     def starved(self) -> frozenset:

@@ -1,0 +1,69 @@
+"""Chang-Roberts under fair-lossy channels: the retransmission dichotomy.
+
+With stubborn retransmission the election is loss-proof: every one of
+100 consecutive seeds elects exactly one leader (the max id).  Without
+it, a concrete pinned seed witnesses the failure mode — the max id's
+message is dropped once, the network drains, nobody leads.
+"""
+
+import pytest
+
+from repro.baselines.chang_roberts import (
+    find_failing_election_seed,
+    run_chang_roberts_lossy,
+)
+
+IDS = [7, 2, 9, 4, 1, 8, 3]
+
+
+class TestStubbornElection:
+    def test_elects_exactly_one_leader_on_100_consecutive_seeds(self):
+        for seed in range(100):
+            result = run_chang_roberts_lossy(IDS, drop=0.2, seed=seed, stubborn=True)
+            assert result.elected, (seed, result)
+            assert len(result.leaders) == 1
+            assert result.leader_id == max(IDS)
+
+    def test_retransmissions_actually_happen_under_loss(self):
+        # aggregate over seeds: loss recovery must be exercised, not lucky
+        total = sum(
+            run_chang_roberts_lossy(IDS, drop=0.2, seed=s).retransmissions
+            for s in range(10)
+        )
+        assert total > 0
+
+
+class TestUnprotectedElection:
+    # The pinned witness seed: found once by find_failing_election_seed
+    # and frozen here so the failure is reproducible forever.
+    FAILING_SEED = 2
+
+    def test_find_failing_seed_pins_a_witness(self):
+        hit = find_failing_election_seed(IDS, drop=0.2)
+        assert hit is not None
+        seed, result = hit
+        assert seed == self.FAILING_SEED
+        assert not result.elected
+
+    def test_pinned_seed_fails_deterministically(self):
+        result = run_chang_roberts_lossy(
+            IDS, drop=0.2, seed=self.FAILING_SEED, stubborn=False
+        )
+        assert not result.elected
+        assert result.leaders == ()  # the election died, nobody leads
+        assert result.quiescent  # ... because the network drained
+        assert result.drops > 0
+
+    def test_same_seed_with_retransmission_succeeds(self):
+        """The exact run that fails bare succeeds stubborn: the witness
+        isolates retransmission as the difference."""
+        result = run_chang_roberts_lossy(
+            IDS, drop=0.2, seed=self.FAILING_SEED, stubborn=True
+        )
+        assert result.elected
+
+    def test_duplicate_ids_rejected(self):
+        from repro.exceptions import ExecutionError
+
+        with pytest.raises(ExecutionError, match="unique"):
+            run_chang_roberts_lossy([1, 1, 2], stubborn=False)

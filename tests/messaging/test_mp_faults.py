@@ -1,0 +1,190 @@
+"""Tests for channel fault injection and crash-stop processors."""
+
+import pytest
+
+from repro.exceptions import ExecutionError
+from repro.messaging import (
+    ChannelFaults,
+    FaultPlan,
+    FloodProgram,
+    MPExecutor,
+    drive_mp,
+    unidirectional_ring,
+)
+from repro.obs import MetricsSink
+
+
+def _states(values):
+    return {i: v for i, v in enumerate(values)}
+
+
+class TestChannelFaults:
+    def test_probabilities_validated(self):
+        with pytest.raises(ExecutionError, match="probability"):
+            ChannelFaults(drop=1.5)
+        with pytest.raises(ExecutionError, match="max_delay"):
+            ChannelFaults(delay=0.5, max_delay=0)
+
+    def test_json_round_trip(self):
+        faults = ChannelFaults(drop=0.25, duplicate=0.5, delay=0.1, max_delay=7)
+        assert ChannelFaults.from_json(faults.to_json()) == faults
+
+
+class TestFaultPlan:
+    def test_per_channel_overrides_default(self):
+        plan = FaultPlan(
+            default=ChannelFaults(drop=0.5),
+            per_channel={("p0", "next"): ChannelFaults(drop=0.0)},
+        )
+        mp = unidirectional_ring(3)
+        by_sender = {str(c.sender): c for c in mp.channels}
+        assert plan.policy_for(by_sender["p0"]).drop == 0.0
+        assert plan.policy_for(by_sender["p1"]).drop == 0.5
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            default=ChannelFaults(drop=0.2),
+            per_channel={("p1", "next"): ChannelFaults(duplicate=0.9)},
+            crash_at={"p2": 14},
+            seed=42,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_ghost_crash_processor_rejected_by_executor(self):
+        mp = unidirectional_ring(3)
+        plan = FaultPlan(crash_at={"nope": 5})
+        with pytest.raises(ExecutionError, match="unknown processors"):
+            MPExecutor(mp, FloodProgram(), faults=plan)
+
+
+class TestLossDupDelay:
+    def test_pure_loss_is_counted_and_observed(self):
+        mp = unidirectional_ring(6, states=_states(range(6)))
+        plan = FaultPlan(default=ChannelFaults(drop=0.4), seed=2)
+        metrics = MetricsSink()
+        ex = MPExecutor(mp, FloodProgram(), seed=0, faults=plan, sink=metrics)
+        assert ex.run_to_quiescence()
+        assert ex.stats.drops > 0
+        assert metrics.drops == ex.stats.drops
+        assert metrics.deliveries == ex.stats.deliveries
+
+    def test_drop_one_means_everything_is_lost(self):
+        mp = unidirectional_ring(4, states=_states([1, 0, 0, 0]))
+        plan = FaultPlan(default=ChannelFaults(drop=1.0), seed=0)
+        ex = MPExecutor(mp, FloodProgram(), faults=plan)
+        assert ex.run_to_quiescence()
+        assert ex.stats.deliveries == 0
+        assert ex.stats.drops == ex.stats.sends
+
+    def test_duplication_is_harmless_for_idempotent_flood(self):
+        mp = unidirectional_ring(5, states=_states([3, 0, 4, 1, 2]))
+        plan = FaultPlan(default=ChannelFaults(duplicate=0.7), seed=5)
+        ex = MPExecutor(mp, FloodProgram(), faults=plan)
+        assert ex.run_to_quiescence()
+        assert ex.stats.duplicates > 0
+        assert all(ex.local[p][0] == 4 for p in mp.processors)
+
+    def test_delay_reorders_but_loses_nothing(self):
+        mp = unidirectional_ring(5, states=_states([4, 3, 2, 1, 0]))
+        plan = FaultPlan(default=ChannelFaults(delay=0.6, max_delay=5), seed=7)
+        ex = MPExecutor(mp, FloodProgram(), faults=plan)
+        assert ex.run_to_quiescence()
+        assert ex.stats.delayed > 0
+        # delayed copies are released, never dropped: flood still completes
+        assert all(ex.local[p][0] == 4 for p in mp.processors)
+
+    def test_fault_pattern_reproducible_per_seed(self):
+        mp = unidirectional_ring(6, states=_states(range(6)))
+
+        def run(seed):
+            plan = FaultPlan(
+                default=ChannelFaults(drop=0.3, duplicate=0.3, delay=0.3), seed=seed
+            )
+            ex = MPExecutor(mp, FloodProgram(), seed=1, faults=plan)
+            ex.run_to_quiescence()
+            s = ex.stats
+            return (s.deliveries, s.drops, s.duplicates, s.delayed, dict(ex.local))
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+
+class TestCrashStop:
+    def test_crashed_processor_stops_and_discards(self):
+        mp = unidirectional_ring(4, states=_states([5, 0, 0, 0]))
+        plan = FaultPlan(crash_at={"p2": 0})
+        metrics = MetricsSink()
+        ex = MPExecutor(mp, FloodProgram(), seed=0, faults=plan, sink=metrics)
+        assert ex.run_to_quiescence()
+        assert ex.crashed() == ("p2",)
+        # p2 never processed anything: its state is untouched since start
+        assert ex.local["p2"][0] == 0
+        # the flood dies at the crash: p3 (downstream of p2) never learns 5
+        assert ex.local["p3"][0] == 3 or ex.local["p3"][0] == 0
+        assert metrics.mp_crashes == [("p2", 0)]
+        assert ex.stats.discarded > 0
+
+    def test_sends_to_crashed_processor_vanish(self):
+        mp = unidirectional_ring(3, states=_states([9, 0, 0]))
+        plan = FaultPlan(crash_at={"p1": 0})
+        to_p1 = 0
+
+        class Sink:
+            def on_event(self, event):
+                nonlocal to_p1
+                doc = event.to_json()
+                if doc.get("kind") == "delivery" and doc["to"] == "p1":
+                    to_p1 += 1
+
+        ex = MPExecutor(mp, FloodProgram(), faults=plan, sink=Sink())
+        assert ex.run_to_quiescence()
+        assert to_p1 == 0  # p0's 9 was discarded, nothing else arrives
+        assert ex.local["p1"][0] == 0
+        assert ex.stats.discarded > 0
+
+    def test_crash_on_the_delivery_clock(self):
+        mp = unidirectional_ring(5, states=_states(range(5)))
+        plan = FaultPlan(crash_at={"p3": 4})
+        ex = MPExecutor(mp, FloodProgram(), seed=6, faults=plan)
+        delivered_to_p3 = 0
+
+        class Sink:
+            def on_event(self, event):
+                nonlocal delivered_to_p3
+                doc = event.to_json()
+                if doc.get("kind") == "delivery" and doc["to"] == "p3":
+                    delivered_to_p3 += 1
+                    assert doc["i"] < 4  # never after the crash point
+
+        ex.events.attach(Sink())
+        assert ex.run_to_quiescence()
+        assert "p3" in ex.crashed()
+
+
+class TestStubbornRetransmission:
+    def test_retransmission_recovers_from_loss(self):
+        mp = unidirectional_ring(6, states=_states([0, 5, 1, 4, 2, 3]))
+        plan = FaultPlan(default=ChannelFaults(drop=0.4), seed=3)
+        ex = MPExecutor(mp, FloodProgram(), seed=0, faults=plan)
+        report = drive_mp(ex, stubborn=True)
+        assert report.retransmissions > 0
+        assert all(ex.local[p][0] == 5 for p in mp.processors)
+
+    def test_without_retransmission_the_flood_can_die(self):
+        mp = unidirectional_ring(6, states=_states([0, 5, 1, 4, 2, 3]))
+        plan = FaultPlan(default=ChannelFaults(drop=0.4), seed=3)
+        ex = MPExecutor(mp, FloodProgram(), seed=0, faults=plan)
+        report = drive_mp(ex, stubborn=False)
+        assert report.quiescent
+        assert not all(ex.local[p][0] == 5 for p in mp.processors)
+
+    def test_fully_lossy_channel_terminates(self):
+        """drop=1.0 + stubborn retransmission must not loop forever: the
+        idle-round guard caps consecutive all-dropped rounds."""
+        mp = unidirectional_ring(3, states=_states([1, 0, 0]))
+        plan = FaultPlan(default=ChannelFaults(drop=1.0), seed=0)
+        ex = MPExecutor(mp, FloodProgram(), faults=plan)
+        report = drive_mp(ex, stubborn=True, max_idle_rounds=10)
+        assert report.deliveries == 0
+        assert report.retransmissions > 0
+        assert report.quiescent

@@ -3,7 +3,15 @@
 import pytest
 
 from repro.exceptions import ExecutionError
-from repro.messaging import MPExecutor, MPProgram, unidirectional_ring
+from repro.messaging import (
+    ChannelFaults,
+    FaultPlan,
+    FloodProgram,
+    MPExecutor,
+    MPProgram,
+    bidirectional_ring,
+    unidirectional_ring,
+)
 
 
 class TokenPasser(MPProgram):
@@ -48,3 +56,54 @@ class TestExecutor:
         a.run_to_quiescence()
         b.run_to_quiescence()
         assert a.local == b.local
+
+
+class TestReset:
+    """Regression: the executor used to do its on-start sends in
+    ``__init__`` with no way back, so one instance could only ever run
+    once -- a second ``run_to_quiescence`` silently did nothing."""
+
+    def test_reset_restores_initial_sends_and_state(self):
+        mp = unidirectional_ring(4, states={0: 1})
+        ex = MPExecutor(mp, TokenPasser(), seed=0)
+        ex.run_to_quiescence()
+        first_local = dict(ex.local)
+        first_deliveries = ex.stats.deliveries
+        assert first_deliveries > 0
+        ex.reset()
+        assert ex.stats.deliveries == 0
+        assert ex.pending_channels()  # on-start sends are queued again
+        ex.run_to_quiescence()
+        assert ex.local == first_local
+        assert ex.stats.deliveries == first_deliveries
+
+    def test_reset_matches_fresh_construction(self):
+        mp = unidirectional_ring(5, states={0: 1})
+        reused = MPExecutor(mp, TokenPasser(), seed=3)
+        reused.run_to_quiescence()
+        reused.reset()
+        reused.run_to_quiescence()
+        fresh = MPExecutor(mp, TokenPasser(), seed=3)
+        fresh.run_to_quiescence()
+        assert reused.local == fresh.local
+        assert reused.stats == fresh.stats
+
+    def test_reset_restores_fault_rng(self):
+        mp = unidirectional_ring(5, states={i: i for i in range(5)})
+        plan = FaultPlan(
+            default=ChannelFaults(drop=0.3, duplicate=0.2, delay=0.2), seed=9
+        )
+        ex = MPExecutor(mp, FloodProgram(), seed=1, faults=plan)
+        ex.run_to_quiescence()
+        first = (dict(ex.local), ex.stats.drops, ex.stats.duplicates)
+        ex.reset()
+        ex.run_to_quiescence()
+        assert (dict(ex.local), ex.stats.drops, ex.stats.duplicates) == first
+
+
+class TestFloodProgram:
+    def test_everyone_learns_the_max_on_reliable_channels(self):
+        mp = bidirectional_ring(5, states={i: v for i, v in enumerate([2, 9, 4, 1, 7])})
+        ex = MPExecutor(mp, FloodProgram(), seed=0)
+        assert ex.run_to_quiescence()
+        assert all(ex.local[p][0] == 9 for p in mp.processors)

@@ -1,0 +1,51 @@
+"""Smoke tests for the MP fault-delivery microbenchmark."""
+
+import json
+
+from repro.perf.mp_bench import _CONFIGS, format_mp_bench, run_mp_bench
+
+
+class TestRunMPBench:
+    def test_smoke_document_shape(self, tmp_path):
+        out = tmp_path / "BENCH_mp_faults.json"
+        doc = run_mp_bench(
+            sizes=(8,), deliveries=400, repeats=1, output=str(out)
+        )
+        assert out.exists()
+        assert json.loads(out.read_text()) == doc
+        assert set(doc["meta"]) == {"timestamp", "python", "cpu_count"}
+        assert len(doc["rows"]) == len(_CONFIGS)
+        by_config = {r["config"]: r for r in doc["rows"]}
+        assert set(by_config) == set(_CONFIGS)
+        for row in doc["rows"]:
+            assert row["n"] == 8
+            assert row["elapsed_s"] > 0
+            assert row["deliveries"] > 0
+            assert row["throughput_per_s"] > 0
+
+    def test_fault_free_configs_lose_nothing(self):
+        doc = run_mp_bench(sizes=(6,), deliveries=200, output=None)
+        by_config = {r["config"]: r for r in doc["rows"]}
+        for name in ("reliable", "faulty-passthrough"):
+            row = by_config[name]
+            assert row["drops"] == 0
+            assert row["duplicates"] == 0
+            assert row["delayed"] == 0
+
+    def test_lossy_configs_exercise_the_fault_path(self):
+        doc = run_mp_bench(sizes=(8,), deliveries=400, output=None)
+        by_config = {r["config"]: r for r in doc["rows"]}
+        assert by_config["lossy"]["drops"] > 0
+        assert by_config["lossy-dup-delay"]["duplicates"] > 0
+        assert by_config["lossy-dup-delay"]["delayed"] > 0
+
+    def test_no_output_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        run_mp_bench(sizes=(4,), deliveries=50, output=None)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_format_renders(self):
+        doc = run_mp_bench(sizes=(4,), deliveries=50, output=None)
+        text = format_mp_bench(doc)
+        assert "mp fault-delivery microbench" in text
+        assert "lossy-dup-delay" in text

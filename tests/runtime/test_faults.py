@@ -54,6 +54,22 @@ class TestCrashScheduler:
         with pytest.raises(ScheduleError, match="every processor has crashed"):
             sched.next_processor(3, None)
 
+    def test_ghost_processor_in_crash_at_rejected(self):
+        """Regression: a crash plan naming a processor the system does not
+        have used to be accepted silently -- the ghost never matched a
+        scheduled processor, so the intended crash simply didn't happen
+        and ``run_with_crash`` reported it as having crashed anyway."""
+        procs = ("a", "b", "c")
+        with pytest.raises(ScheduleError, match="unknown processors.*'z'"):
+            CrashScheduler(RoundRobinScheduler(procs), {"z": 5}, procs)
+
+    def test_ghost_and_real_mixed_rejected(self):
+        procs = ("a", "b")
+        with pytest.raises(ScheduleError, match="unknown processors"):
+            CrashScheduler(
+                RoundRobinScheduler(procs), {"a": 3, "ghost": 1}, procs
+            )
+
 
 class TestAlgorithm2UnderCrashes:
     def _setup(self):

@@ -102,6 +102,45 @@ class TestReplay:
         with pytest.raises(ScheduleError):
             sched.next_processor(1, None)
 
+    def test_fallback_sees_true_step_indices(self):
+        """Regression: the fallback used to be handed a shifted clock
+        (``step_index - len(prefix)``), so any scheduler keying decisions
+        on the absolute step index -- deadlines, adaptive policies --
+        worked off a lie.  The true index is now passed through; the
+        fallback re-anchors its positional state via ``rebase``."""
+        from repro.runtime.scheduler import Scheduler
+
+        class IndexRecorder(Scheduler):
+            def __init__(self):
+                self.seen = []
+
+            def next_processor(self, step_index, view):
+                self.seen.append(step_index)
+                return "a"
+
+        recorder = IndexRecorder()
+        sched = ReplayScheduler(["b", "c"], recorder)
+        take(sched, 5)
+        assert recorder.seen == [2, 3, 4]
+
+    def test_kbounded_fallback_stays_bounded_after_prefix(self):
+        """With the true clock + rebase, a k-bounded fallback's staggered
+        deadlines anchor at the handoff point, so its guarantee holds on
+        the suffix it actually controls."""
+        from repro.runtime import is_k_bounded_prefix
+
+        k = 4
+        fallback = KBoundedFairScheduler(PROCS, k=k, seed=7)
+        sched = ReplayScheduler(["a", "a", "a"], fallback)
+        picks = take(sched, 3 + 20 * k)
+        assert is_k_bounded_prefix(picks[3:], PROCS, k)
+
+    def test_reset_replays_prefix_and_fallback(self):
+        sched = ReplayScheduler(["c"], RoundRobinScheduler(PROCS))
+        first = take(sched, 6)
+        sched.reset()
+        assert take(sched, 6) == first
+
 
 class TestStarvation:
     def test_starved_never_runs(self):

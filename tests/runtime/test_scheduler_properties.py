@@ -1,0 +1,123 @@
+"""Property tests: k-bounded fairness survives composition.
+
+:class:`KBoundedFairScheduler` promises that every window of ``k``
+consecutive steps contains every processor.  These properties check the
+promise holds not just for the bare scheduler but through the two
+compositions the runtime actually uses:
+
+* wrapped in a :class:`CrashScheduler` — the wrapper substitutes crashed
+  picks with survivor picks but never removes a survivor pick, so every
+  k-window must still contain every *survivor*;
+* as a :class:`ReplayScheduler` fallback — the handoff rebases the
+  staggered deadlines, so the post-prefix suffix must be k-bounded on
+  its own (this was exactly the satellite-2 bug surface: a fallback fed
+  local indices had its deadline clock skewed by the prefix length).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.faults import CrashScheduler
+from repro.runtime.scheduler import (
+    KBoundedFairScheduler,
+    ReplayScheduler,
+    is_k_bounded_prefix,
+)
+from tests.strategies import scheduler_arenas
+
+
+def take(scheduler, length, start=0):
+    return [scheduler.next_processor(i, None) for i in range(start, start + length)]
+
+
+class TestBareKBounded:
+    @given(scheduler_arenas(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60)
+    def test_every_window_contains_every_processor(self, arena, windows):
+        procs, k, seed = arena
+        sched = KBoundedFairScheduler(procs, k=k, seed=seed)
+        prefix = take(sched, windows * k)
+        assert is_k_bounded_prefix(prefix, procs, k)
+
+    @given(scheduler_arenas())
+    @settings(max_examples=30)
+    def test_reset_reproduces_the_schedule(self, arena):
+        procs, k, seed = arena
+        sched = KBoundedFairScheduler(procs, k=k, seed=seed)
+        first = take(sched, 3 * k)
+        sched.reset()
+        assert take(sched, 3 * k) == first
+
+
+class TestCrashWrapped:
+    @given(scheduler_arenas(min_processors=2), st.data())
+    @settings(max_examples=60)
+    def test_survivor_set_stays_k_bounded(self, arena, data):
+        procs, k, seed = arena
+        crashed = data.draw(
+            st.sets(
+                st.sampled_from(procs),
+                min_size=1,
+                max_size=len(procs) - 1,
+            ),
+            label="crashed",
+        )
+        length = 4 * k
+        crash_at = {
+            p: data.draw(
+                st.integers(min_value=0, max_value=length // 2), label=f"crash {p}"
+            )
+            for p in sorted(crashed)
+        }
+        sched = CrashScheduler(
+            KBoundedFairScheduler(procs, k=k, seed=seed), crash_at, procs
+        )
+        prefix = take(sched, length)
+        survivors = [p for p in procs if p not in crashed]
+        # survivor picks pass through the wrapper untouched, so the whole
+        # run (not just the post-crash suffix) is k-bounded over survivors
+        assert is_k_bounded_prefix(prefix, survivors, k)
+        # and no crashed processor appears at or after its crash step
+        for i, pick in enumerate(prefix):
+            assert crash_at.get(pick, length + 1) > i
+
+
+class TestReplayFallback:
+    @given(scheduler_arenas(), st.data())
+    @settings(max_examples=60)
+    def test_post_prefix_suffix_is_k_bounded(self, arena, data):
+        procs, k, seed = arena
+        prefix = data.draw(
+            st.lists(st.sampled_from(procs), min_size=0, max_size=2 * k),
+            label="prefix",
+        )
+        sched = ReplayScheduler(
+            prefix, then=KBoundedFairScheduler(procs, k=k, seed=seed)
+        )
+        picks = take(sched, len(prefix) + 3 * k)
+        assert picks[: len(prefix)] == prefix
+        assert is_k_bounded_prefix(picks[len(prefix) :], procs, k)
+
+    @given(scheduler_arenas(min_processors=2), st.data())
+    @settings(max_examples=40)
+    def test_crash_wrapped_fallback_composes(self, arena, data):
+        """The full stack the obs replay layer builds: replay prefix over
+        a crash-wrapped k-bounded scheduler, survivors k-bounded after
+        both the handoff and every crash."""
+        procs, k, seed = arena
+        crashed = data.draw(
+            st.sets(st.sampled_from(procs), min_size=1, max_size=len(procs) - 1),
+            label="crashed",
+        )
+        survivors = [p for p in procs if p not in crashed]
+        prefix = data.draw(
+            st.lists(st.sampled_from(survivors), min_size=0, max_size=k),
+            label="prefix",
+        )
+        crash_at = {p: 0 for p in sorted(crashed)}
+        inner = CrashScheduler(
+            KBoundedFairScheduler(procs, k=k, seed=seed), crash_at, procs
+        )
+        sched = ReplayScheduler(prefix, then=inner)
+        picks = take(sched, len(prefix) + 3 * k)
+        assert is_k_bounded_prefix(picks[len(prefix) :], survivors, k)

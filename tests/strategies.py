@@ -53,3 +53,18 @@ def connected_systems(draw, **kwargs):
     system = draw(systems(**kwargs))
     assume(system.network.is_connected)
     return system
+
+
+@st.composite
+def scheduler_arenas(draw, min_processors=1, max_processors=6):
+    """A (processors, k, seed) triple for scheduler property tests.
+
+    ``k`` ranges from the legal minimum (the processor count) up to 3x,
+    covering both the tightly-forced regime (k == n: round-robin-like)
+    and the mostly-random one.
+    """
+    n = draw(st.integers(min_value=min_processors, max_value=max_processors))
+    processors = [f"p{i}" for i in range(n)]
+    k = draw(st.integers(min_value=n, max_value=3 * n))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return processors, k, seed
