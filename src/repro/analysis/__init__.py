@@ -17,14 +17,26 @@ from .candidates import (
 from .flp import Refutation, crash_as_schedule, refute_selection
 from .reporting import format_table, print_table, yesno
 from .system_report import SystemReport, full_report
+from .witness_engine import (
+    DecisionCache,
+    SweepResult,
+    SweepSpec,
+    WitnessRecord,
+    run_sweep,
+    shard_plan,
+)
 from .witness_search import Witness, enumerate_networks, find_witnesses, smallest_witness
 
 __all__ = [
+    "DecisionCache",
     "LockContentionAdversary",
     "Refutation",
     "StallLearningAdversary",
+    "SweepResult",
+    "SweepSpec",
     "SystemReport",
     "Witness",
+    "WitnessRecord",
     "candidate_zoo",
     "crash_as_schedule",
     "enumerate_networks",
@@ -36,6 +48,8 @@ __all__ = [
     "print_table",
     "pec_uncertainty",
     "refute_selection",
+    "run_sweep",
+    "shard_plan",
     "smallest_witness",
     "tournament",
     "select_immediately",

@@ -1,0 +1,710 @@
+"""Sharded, cache-backed separation-witness sweep engine.
+
+:func:`repro.analysis.witness_search.find_witnesses` regenerates the
+paper's hierarchy separations by exhausting small systems.  The search
+space grows as ``variables ** (processors * names)`` and every candidate
+pays a selection decision under two models, so the serial loop tops out
+around three processors.  This module turns the sweep into a production
+job with the same observable behavior:
+
+* **Sharding** -- the enumeration space is partitioned by
+  *slot-assignment prefix*: each shard fixes the variable choices of the
+  first one or two ``(processor, name)`` slots and exhausts the rest.
+  Shards are independent, so they fan out across a
+  ``ProcessPoolExecutor`` following the :mod:`repro.perf.batch` pattern
+  (plain-data payloads across the pickle boundary, caches rebuilt per
+  worker, results merged in the parent).
+* **Decision caching** -- ``decide_selection`` is an isomorphism
+  invariant, so one decision settles an entire iso class.  The
+  :class:`DecisionCache` buckets candidates by canonical form and
+  confirms membership with the exact :func:`are_isomorphic` matcher
+  before reusing a decision; hits and misses are counted per lookup.
+  The parent re-seeds worker payloads between dispatch waves, so the
+  cache is shared across shards.
+* **Sharded dedup** -- the single unbounded ``seen`` dict of the serial
+  loop is replaced by a hash-partitioned :class:`DedupIndex` whose
+  partitions are dropped with their shard, plus a final cross-shard
+  dedup pass over the (few) surviving witnesses.
+* **Checkpointed streaming** -- each finished shard appends one JSONL
+  line (records + decisions + counters) to an optional checkpoint file;
+  an interrupted sweep resumes without re-deciding finished shards.
+* **Deterministic output** -- shard results are merged in shard-plan
+  order (a sorted merge on the shard index), which reproduces the serial
+  enumeration order exactly: a sharded sweep returns the *identical*
+  witness list as the serial one, on any worker count and under any
+  ``PYTHONHASHSEED``.
+
+Progress is observable: pass an :class:`~repro.obs.events.EventHub` and
+the engine emits :class:`~repro.obs.events.WitnessSearchProgress` per
+completed shard and :class:`~repro.obs.events.WitnessFound` per witness
+in the final (deterministic) order.
+
+CLI: ``python -m repro witness Q L --workers 4 --checkpoint sweep.jsonl``
+and ``python -m repro bench-witness`` (``BENCH_witness.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.hierarchy import MODEL_AXIS
+from ..core.network import Network
+from ..core.quotient import are_isomorphic, canonical_form
+from ..core.selection import decide_selection
+from ..core.system import InstructionSet, ScheduleClass, System
+from ..exceptions import WitnessSearchError
+
+_MODEL_BY_NAME = {label: (iset, sched) for label, iset, sched in MODEL_AXIS}
+
+#: A shard key: ``(n_processors, n_names, assignment_prefix)``.
+ShardKey = Tuple[int, int, Tuple[int, ...]]
+
+
+# ----------------------------------------------------------------------
+# plain-data candidate descriptions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WitnessRecord:
+    """A plain-data description of one enumerated candidate.
+
+    Everything the sweep needs to rebuild the candidate deterministically
+    (in any process, under any hash seed): the block dimensions, the
+    slot-assignment tuple (variable index per ``(processor, name)`` slot
+    in processor-major order) and the optionally marked node.  Records
+    cross the pickle boundary and the JSONL checkpoint; systems are
+    rebuilt from them on demand.
+    """
+
+    n_processors: int
+    n_names: int
+    assignment: Tuple[int, ...]
+    mark: Optional[str] = None
+
+    def network(self) -> Network:
+        procs = [f"p{i}" for i in range(self.n_processors)]
+        names = [f"n{i}" for i in range(self.n_names)]
+        slots = [(p, n) for p in procs for n in names]
+        edges: Dict[str, Dict[str, str]] = {p: {} for p in procs}
+        for (p, n), v in zip(slots, self.assignment):
+            edges[p][n] = f"v{v}"
+        return Network(names, edges)
+
+    def system(self, iset: InstructionSet, sched: ScheduleClass) -> System:
+        state = {self.mark: 1} if self.mark is not None else {}
+        return System(self.network(), state, iset, sched)
+
+    def to_json(self) -> dict:
+        return {
+            "p": self.n_processors,
+            "n": self.n_names,
+            "a": list(self.assignment),
+            "mark": self.mark,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "WitnessRecord":
+        return cls(
+            n_processors=doc["p"],
+            n_names=doc["n"],
+            assignment=tuple(doc["a"]),
+            mark=doc["mark"],
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The full specification of one witness sweep.
+
+    ``limit=None`` exhausts the bounded space; an integer stops the
+    (merged, deduplicated) witness list at that many entries, matching
+    the serial searcher's ``limit`` semantics exactly.
+    """
+
+    weaker: str
+    stronger: str
+    max_processors: int = 3
+    max_names: int = 2
+    max_variables: int = 3
+    allow_marks: bool = False
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for label in (self.weaker, self.stronger):
+            if label not in _MODEL_BY_NAME:
+                raise WitnessSearchError(
+                    f"unknown model label {label!r}; pick from "
+                    f"{sorted(_MODEL_BY_NAME)}"
+                )
+
+    @property
+    def weak_model(self) -> Tuple[InstructionSet, ScheduleClass]:
+        return _MODEL_BY_NAME[self.weaker]
+
+    @property
+    def strong_model(self) -> Tuple[InstructionSet, ScheduleClass]:
+        return _MODEL_BY_NAME[self.stronger]
+
+    def to_json(self) -> dict:
+        return {
+            "weaker": self.weaker,
+            "stronger": self.stronger,
+            "max_processors": self.max_processors,
+            "max_names": self.max_names,
+            "max_variables": self.max_variables,
+            "allow_marks": self.allow_marks,
+            "limit": self.limit,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "SweepSpec":
+        return cls(**doc)
+
+
+# ----------------------------------------------------------------------
+# decision cache and dedup index
+# ----------------------------------------------------------------------
+
+
+class _CacheEntry:
+    """One isomorphism class: a representative record plus its decisions."""
+
+    __slots__ = ("record", "decisions", "_system")
+
+    def __init__(self, record: WitnessRecord, decisions: Optional[Dict[str, bool]] = None) -> None:
+        self.record = record
+        self.decisions: Dict[str, bool] = dict(decisions or {})
+        self._system: Optional[System] = None
+
+    def probe(self, iset: InstructionSet, sched: ScheduleClass) -> System:
+        # Rebuild when the requested model differs from the cached one:
+        # a cache shared across model pairs would otherwise hand a
+        # stale-model system to the isomorphism matcher.
+        if (
+            self._system is None
+            or self._system.instruction_set is not iset
+            or self._system.schedule_class is not sched
+        ):
+            self._system = self.record.system(iset, sched)
+        return self._system
+
+
+class DecisionCache:
+    """Memoized ``decide_selection`` outcomes per (canonical form, model).
+
+    The selection decision is invariant under system isomorphism, so one
+    entry settles a whole iso class.  Canonical forms are invariant but
+    not *complete* (quotient-identical non-isomorphic systems exist), so
+    a form keys a bucket of iso classes and the exact
+    :func:`are_isomorphic` matcher confirms membership before a decision
+    is reused.  ``hits``/``misses`` count decision lookups (one per
+    candidate per model), the cache-effectiveness numbers recorded in
+    ``BENCH_witness.json``.
+
+    Entries are plain data (record + ``{model label: possible}``), so the
+    cache snapshots losslessly across the pickle boundary and into JSONL
+    checkpoints.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[str, List[_CacheEntry]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def entry_for(
+        self,
+        form_repr: str,
+        record: WitnessRecord,
+        probe: System,
+        iset: InstructionSet,
+        sched: ScheduleClass,
+    ) -> _CacheEntry:
+        """The iso-class entry of ``probe``, created if novel."""
+        bucket = self._buckets.setdefault(form_repr, [])
+        for entry in bucket:
+            if entry.record == record or are_isomorphic(
+                probe, entry.probe(iset, sched)
+            ):
+                return entry
+        entry = _CacheEntry(record)
+        entry._system = probe
+        bucket.append(entry)
+        return entry
+
+    def decide(self, entry: _CacheEntry, label: str) -> bool:
+        """The selection decision for ``entry`` under model ``label``."""
+        cached = entry.decisions.get(label)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        iset, sched = _MODEL_BY_NAME[label]
+        possible = decide_selection(entry.record.system(iset, sched)).possible
+        entry.decisions[label] = possible
+        return possible
+
+    # -- snapshots (cross-process / checkpoint representation) ---------
+
+    def snapshot(self) -> List[Tuple[str, dict, Dict[str, bool]]]:
+        return [
+            (form, entry.record.to_json(), dict(entry.decisions))
+            for form, bucket in sorted(self._buckets.items())
+            for entry in bucket
+            if entry.decisions
+        ]
+
+    def merge(self, snapshot: Sequence[Tuple[str, dict, Dict[str, bool]]]) -> None:
+        """Fold a snapshot in.  Entries are matched by exact record
+        equality (cheap); a same-class different-representative entry
+        just coexists in the bucket and still iso-matches on lookup."""
+        for form, record_doc, decisions in snapshot:
+            record = WitnessRecord.from_json(record_doc)
+            bucket = self._buckets.setdefault(form, [])
+            for entry in bucket:
+                if entry.record == record:
+                    for label, possible in decisions.items():
+                        entry.decisions.setdefault(label, possible)
+                    break
+            else:
+                bucket.append(_CacheEntry(record, decisions))
+
+
+class DedupIndex:
+    """Hash-partitioned isomorphism dedup for one shard's lifetime.
+
+    Buckets candidates by canonical form into ``partitions`` separate
+    dicts (the partition is chosen by a hash-seed-independent CRC of the
+    form, so layouts agree across processes) and settles form collisions
+    with the exact matcher.  Each shard owns one index and drops it when
+    the shard completes, bounding resident dedup state by the shard --
+    not the sweep -- size; the engine's merge pass dedups the surviving
+    witnesses across shards.
+    """
+
+    def __init__(self, partitions: int = 16) -> None:
+        self._parts: List[Dict[str, List[System]]] = [
+            {} for _ in range(max(1, partitions))
+        ]
+
+    def seen_before(self, form_repr: str, probe: System) -> bool:
+        """True if an isomorphic candidate was indexed earlier; indexes
+        ``probe`` otherwise."""
+        part = self._parts[zlib.crc32(form_repr.encode()) % len(self._parts)]
+        bucket = part.setdefault(form_repr, [])
+        if any(are_isomorphic(probe, prior) for prior in bucket):
+            return True
+        bucket.append(probe)
+        return False
+
+    def __len__(self) -> int:
+        return sum(len(b) for part in self._parts for b in part.values())
+
+
+# ----------------------------------------------------------------------
+# shard plan and per-shard sweep
+# ----------------------------------------------------------------------
+
+
+def _prefix_len(slots: int) -> int:
+    """Assignment-prefix length fixed per shard: enough slots to split a
+    big block across workers, zero for blocks too small to shard."""
+    if slots <= 1:
+        return 0
+    if slots <= 3:
+        return 1
+    return 2
+
+
+def shard_plan(spec: SweepSpec) -> List[ShardKey]:
+    """The deterministic shard list, in serial enumeration order.
+
+    Shards are ordered exactly like the serial loops (processors
+    ascending, names ascending, prefixes lexicographic), so concatenating
+    shard outputs in plan order reproduces the serial candidate order.
+    The plan depends only on the spec -- never on the worker count -- so
+    checkpoints written by any run resume under any other.
+    """
+    plan: List[ShardKey] = []
+    for n_procs in range(1, spec.max_processors + 1):
+        for n_names in range(1, spec.max_names + 1):
+            k = _prefix_len(n_procs * n_names)
+            for prefix in product(range(spec.max_variables), repeat=k):
+                plan.append((n_procs, n_names, prefix))
+    return plan
+
+
+def _iter_shard_records(spec: SweepSpec, shard: ShardKey) -> Iterator[WitnessRecord]:
+    """All candidate records of one shard, in serial enumeration order."""
+    n_procs, n_names, prefix = shard
+    slots = n_procs * n_names
+    for rest in product(range(spec.max_variables), repeat=slots - len(prefix)):
+        assignment = tuple(prefix) + rest
+        used = sorted(set(assignment))
+        if used != list(range(len(used))):
+            continue  # not a dense variable prefix; isomorphic duplicate
+        marks: List[Optional[str]] = [None]
+        if spec.allow_marks:
+            marks += [f"p{i}" for i in range(n_procs)]
+            marks += [f"v{j}" for j in range(len(used))]
+        for mark in marks:
+            yield WitnessRecord(n_procs, n_names, assignment, mark)
+
+
+@dataclass
+class ShardStats:
+    """Counters of one shard run (summed into :class:`SweepResult`)."""
+
+    enumerated: int = 0
+    novel: int = 0
+    dedup_skips: int = 0
+    witnesses: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def to_json(self) -> dict:
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "ShardStats":
+        return cls(**doc)
+
+
+def _sweep_shard(
+    spec: SweepSpec, shard: ShardKey, cache: DecisionCache
+) -> Tuple[List[WitnessRecord], ShardStats]:
+    """Exhaust one shard: dedup, decide (through the cache), collect hits."""
+    w_iset, w_sched = spec.weak_model
+    stats = ShardStats()
+    hits_before, misses_before = cache.hits, cache.misses
+    dedup = DedupIndex()
+    found: List[WitnessRecord] = []
+    for record in _iter_shard_records(spec, shard):
+        stats.enumerated += 1
+        probe = record.system(w_iset, w_sched)
+        form = repr(canonical_form(probe))
+        if dedup.seen_before(form, probe):
+            stats.dedup_skips += 1
+            continue
+        stats.novel += 1
+        entry = cache.entry_for(form, record, probe, w_iset, w_sched)
+        if cache.decide(entry, spec.weaker):
+            continue  # the weaker model already solves it
+        if cache.decide(entry, spec.stronger):
+            found.append(record)
+    stats.witnesses = len(found)
+    stats.cache_hits = cache.hits - hits_before
+    stats.cache_misses = cache.misses - misses_before
+    return found, stats
+
+
+def _run_shard_payload(payload) -> tuple:
+    """Worker entry point (module-level so it pickles)."""
+    spec_doc, shard, cache_snapshot = payload
+    spec = SweepSpec.from_json(spec_doc)
+    cache = DecisionCache()
+    cache.merge(cache_snapshot)
+    found, stats = _sweep_shard(spec, (shard[0], shard[1], tuple(shard[2])), cache)
+    return (
+        shard,
+        [r.to_json() for r in found],
+        stats.to_json(),
+        cache.snapshot(),
+    )
+
+
+# ----------------------------------------------------------------------
+# checkpoints
+# ----------------------------------------------------------------------
+
+
+def _shard_doc(shard: ShardKey) -> list:
+    return [shard[0], shard[1], list(shard[2])]
+
+
+def _shard_from_doc(doc) -> ShardKey:
+    return (doc[0], doc[1], tuple(doc[2]))
+
+
+def _load_checkpoint(
+    path: str, spec: SweepSpec
+) -> Dict[ShardKey, Tuple[List[WitnessRecord], ShardStats, list]]:
+    """Completed shards recorded in ``path`` (empty if the file is new)."""
+    completed: Dict[ShardKey, Tuple[List[WitnessRecord], ShardStats, list]] = {}
+    if not os.path.exists(path):
+        return completed
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise WitnessSearchError(
+                    f"checkpoint {path}:{line_no} is not valid JSON: {exc}"
+                ) from None
+            if doc.get("kind") == "witness-sweep":
+                if doc["spec"] != spec.to_json():
+                    raise WitnessSearchError(
+                        f"checkpoint {path} records a different sweep spec "
+                        f"({doc['spec']!r}); delete it or change the spec"
+                    )
+            elif doc.get("kind") == "shard":
+                completed[_shard_from_doc(doc["shard"])] = (
+                    [WitnessRecord.from_json(r) for r in doc["records"]],
+                    ShardStats.from_json(doc["counters"]),
+                    [tuple(e) for e in doc.get("cache", [])],
+                )
+    return completed
+
+
+class _CheckpointWriter:
+    """Appends shard-completion lines to the checkpoint JSONL file."""
+
+    def __init__(self, path: str, spec: SweepSpec, fresh: bool) -> None:
+        self._fh = open(path, "a")
+        if fresh:
+            self._write({"kind": "witness-sweep", "spec": spec.to_json()})
+
+    def _write(self, doc: dict) -> None:
+        self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def shard_done(
+        self,
+        shard: ShardKey,
+        records: List[WitnessRecord],
+        stats: ShardStats,
+        cache_delta: list,
+    ) -> None:
+        self._write(
+            {
+                "kind": "shard",
+                "shard": _shard_doc(shard),
+                "records": [r.to_json() for r in records],
+                "counters": stats.to_json(),
+                "cache": [list(e) for e in cache_delta],
+            }
+        )
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :func:`run_sweep` call.
+
+    ``witnesses`` is the deterministic merged list (serial order);
+    ``records`` are their plain-data descriptions, and the counters
+    aggregate every executed shard (resumed shards contribute their
+    checkpointed counters).
+    """
+
+    witnesses: List["Witness"]
+    records: List[WitnessRecord]
+    stats: ShardStats
+    shards: int
+    resumed_shards: int
+    workers: int
+    elapsed: float
+    cache: DecisionCache = field(repr=False, default_factory=DecisionCache)
+
+
+def _merge_results(
+    spec: SweepSpec,
+    per_shard: List[List[WitnessRecord]],
+) -> List[WitnessRecord]:
+    """Sorted merge of shard outputs: concatenate in shard-plan order and
+    drop cross-shard isomorphic duplicates, keeping first occurrences --
+    exactly the serial searcher's global-dedup semantics."""
+    w_iset, w_sched = spec.weak_model
+    kept: List[WitnessRecord] = []
+    kept_probes: Dict[str, List[System]] = {}
+    for records in per_shard:
+        for record in records:
+            probe = record.system(w_iset, w_sched)
+            form = repr(canonical_form(probe))
+            bucket = kept_probes.setdefault(form, [])
+            if any(are_isomorphic(probe, prior) for prior in bucket):
+                continue
+            bucket.append(probe)
+            kept.append(record)
+            if spec.limit is not None and len(kept) >= spec.limit:
+                return kept
+    return kept
+
+
+def _emit_progress(hub, shard: ShardKey, stats: ShardStats, resumed: bool) -> None:
+    if hub is None or not hub.active:
+        return
+    from ..obs.events import WitnessSearchProgress
+
+    hub.emit(
+        WitnessSearchProgress(
+            shard=f"{shard[0]}x{shard[1]}:{','.join(map(str, shard[2])) or '-'}",
+            enumerated=stats.enumerated,
+            novel=stats.novel,
+            witnesses=stats.witnesses,
+            cache_hits=stats.cache_hits,
+            cache_misses=stats.cache_misses,
+            resumed=resumed,
+        )
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: Optional[int] = None,
+    cache: Optional[DecisionCache] = None,
+    checkpoint: Optional[str] = None,
+    hub=None,
+) -> SweepResult:
+    """Run a witness sweep, sharded and cached.
+
+    Args:
+        spec: the sweep specification (models, bounds, marks, limit).
+        workers: process-pool size.  ``None`` picks ``min(4, cpu_count)``
+            but stays serial on a single-core host; ``0`` or ``1`` forces
+            the serial in-process path.  The witness list is identical on
+            every worker count.
+        cache: an optional :class:`DecisionCache` to consult and fill;
+            keep one alive across calls (e.g. sweeping several model
+            pairs over the same bounds) to reuse decisions.
+        checkpoint: optional JSONL path.  Completed shards are appended
+            as they finish; if the file already exists (for the same
+            spec) those shards are not re-run.
+        hub: optional :class:`~repro.obs.events.EventHub` for
+            ``WitnessSearchProgress`` / ``WitnessFound`` events.
+
+    Returns:
+        A :class:`SweepResult` whose ``witnesses`` match the serial
+        searcher's output exactly (same systems, same order).
+    """
+    from .witness_search import Witness
+
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+    if workers <= 1:
+        workers = 0
+    cache = cache if cache is not None else DecisionCache()
+
+    t0 = time.perf_counter()
+    plan = shard_plan(spec)
+    completed: Dict[ShardKey, Tuple[List[WitnessRecord], ShardStats, list]] = {}
+    writer: Optional[_CheckpointWriter] = None
+    if checkpoint:
+        completed = _load_checkpoint(checkpoint, spec)
+        for _records, _stats, cache_delta in completed.values():
+            cache.merge(cache_delta)
+        writer = _CheckpointWriter(checkpoint, spec, fresh=not completed)
+
+    total = ShardStats()
+    per_shard: Dict[ShardKey, List[WitnessRecord]] = {}
+    resumed = 0
+
+    def account(shard: ShardKey, records: List[WitnessRecord], stats: ShardStats) -> None:
+        per_shard[shard] = records
+        for key, value in stats.to_json().items():
+            setattr(total, key, getattr(total, key) + value)
+
+    plan_set = set(plan)
+    for shard, (records, stats, _delta) in completed.items():
+        if shard in plan_set:
+            resumed += 1
+            account(shard, records, stats)
+            _emit_progress(hub, shard, stats, resumed=True)
+
+    todo = [shard for shard in plan if shard not in per_shard]
+    try:
+        if workers == 0 or len(todo) <= 1:
+            workers = 0
+            for shard in todo:
+                found, stats = _sweep_shard(spec, shard, cache)
+                account(shard, found, stats)
+                if writer:
+                    writer.shard_done(shard, found, stats, cache.snapshot())
+                _emit_progress(hub, shard, stats, resumed=False)
+                if spec.limit is not None:
+                    merged_so_far = _merge_results(
+                        spec, [per_shard[s] for s in plan if s in per_shard]
+                    )
+                    if len(merged_so_far) >= spec.limit:
+                        break
+        else:
+            # Dispatch in waves so later shards see the decisions of
+            # earlier ones (the cross-shard cache share); one pool serves
+            # all waves.
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                pending = list(todo)
+                while pending:
+                    wave, pending = pending[: workers * 2], pending[workers * 2:]
+                    snapshot = cache.snapshot()
+                    futures = {
+                        pool.submit(
+                            _run_shard_payload,
+                            (spec.to_json(), _shard_doc(shard), snapshot),
+                        ): shard
+                        for shard in wave
+                    }
+                    not_done = set(futures)
+                    while not_done:
+                        done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            shard = futures[future]
+                            _doc, record_docs, stats_doc, delta = future.result()
+                            records = [WitnessRecord.from_json(r) for r in record_docs]
+                            stats = ShardStats.from_json(stats_doc)
+                            cache.merge(delta)
+                            account(shard, records, stats)
+                            if writer:
+                                writer.shard_done(shard, records, stats, delta)
+                            _emit_progress(hub, shard, stats, resumed=False)
+    finally:
+        if writer:
+            writer.close()
+
+    merged = _merge_results(spec, [per_shard[s] for s in plan if s in per_shard])
+    s_iset, s_sched = spec.strong_model
+    witnesses = [
+        Witness(record.system(s_iset, s_sched), spec.weaker, spec.stronger)
+        for record in merged
+    ]
+    if hub is not None and hub.active:
+        from ..obs.events import WitnessFound
+
+        for index, witness in enumerate(witnesses):
+            hub.emit(
+                WitnessFound(
+                    index=index,
+                    weaker=spec.weaker,
+                    stronger=spec.stronger,
+                    description=witness.describe(),
+                )
+            )
+    return SweepResult(
+        witnesses=witnesses,
+        records=merged,
+        stats=total,
+        shards=len(plan),
+        resumed_shards=resumed,
+        workers=workers,
+        elapsed=time.perf_counter() - t0,
+        cache=cache,
+    )

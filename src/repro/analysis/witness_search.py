@@ -8,9 +8,15 @@ there a 2-processor system separating X from Y at all?").
 Enumeration: all networks with ``n_processors`` processors, ``n_names``
 names and at most ``n_variables`` variables (every function
 processors x names -> variables), optionally with one marked initial
-state, deduplicated up to isomorphism via canonical forms.  For each
-system the selection decision is computed under both models; systems
-where the weaker model fails and the stronger succeeds are yielded.
+state on any single node -- processor *or* variable -- deduplicated up
+to isomorphism via canonical forms.  For each system the selection
+decision is computed under both models; systems where the weaker model
+fails and the stronger succeeds are yielded.
+
+The sweep itself is executed by :mod:`repro.analysis.witness_engine`
+(sharded enumeration, cross-shard decision caching, JSONL checkpoints);
+:func:`find_witnesses` is the thin serial-facing wrapper and returns
+exactly what the engine returns on any worker count.
 """
 
 from __future__ import annotations
@@ -19,13 +25,8 @@ from dataclasses import dataclass
 from itertools import product
 from typing import Dict, Iterator, List, Optional
 
-from ..core.hierarchy import MODEL_AXIS
 from ..core.network import Network
-from ..core.quotient import canonical_form
-from ..core.selection import decide_selection
 from ..core.system import System
-
-_MODEL_BY_NAME = {label: (iset, sched) for label, iset, sched in MODEL_AXIS}
 
 
 def enumerate_networks(
@@ -84,47 +85,30 @@ def find_witnesses(
 ) -> List[Witness]:
     """Search small systems where ``weaker`` fails and ``stronger`` works.
 
+    A thin wrapper over :func:`repro.analysis.witness_engine.run_sweep`
+    in serial mode; the sharded engine returns the identical list.
+
     Args:
         weaker/stronger: model labels from
             :data:`repro.core.hierarchy.MODEL_AXIS` (e.g. ``"Q"``, ``"L"``).
         max_*: enumeration bounds (cost grows as
             ``variables ** (processors * names)``).
-        allow_marks: also try marking one processor's initial state.
+        allow_marks: also try marking one node's initial state (each
+            processor and each variable in turn).
         limit: stop after this many witnesses.
     """
-    from ..core.quotient import are_isomorphic
+    from .witness_engine import SweepSpec, run_sweep
 
-    w_iset, w_sched = _MODEL_BY_NAME[weaker]
-    s_iset, s_sched = _MODEL_BY_NAME[stronger]
-    # Dedup up to exact isomorphism: canonical forms bucket the
-    # candidates (they are isomorphism-invariant but not complete --
-    # quotient-identical non-isomorphic systems exist), the matcher
-    # settles collisions.
-    seen: Dict[object, List[System]] = {}
-    out: List[Witness] = []
-    for n_procs in range(1, max_processors + 1):
-        for n_names in range(1, max_names + 1):
-            for net in enumerate_networks(n_procs, n_names, max_variables):
-                markings: List[Optional[str]] = [None]
-                if allow_marks:
-                    markings += list(net.processors)
-                for mark in markings:
-                    state = {mark: 1} if mark is not None else {}
-                    probe = System(net, state, w_iset, w_sched)
-                    form = canonical_form(probe)
-                    bucket = seen.setdefault(form, [])
-                    if any(are_isomorphic(probe, prior) for prior in bucket):
-                        continue
-                    bucket.append(probe)
-                    weak_decision = decide_selection(probe)
-                    if weak_decision.possible:
-                        continue
-                    strong = System(net, state, s_iset, s_sched)
-                    if decide_selection(strong).possible:
-                        out.append(Witness(strong, weaker, stronger))
-                        if len(out) >= limit:
-                            return out
-    return out
+    spec = SweepSpec(
+        weaker=weaker,
+        stronger=stronger,
+        max_processors=max_processors,
+        max_names=max_names,
+        max_variables=max_variables,
+        allow_marks=allow_marks,
+        limit=limit,
+    )
+    return run_sweep(spec, workers=0).witnesses
 
 
 def smallest_witness(

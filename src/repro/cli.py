@@ -12,6 +12,10 @@ Gives the library's main analyses a shell-friendly surface:
   the fingerprint cache / process pool driver;
 * ``bench`` -- the refinement microbenchmarks (``BENCH_refinement.json``);
 * ``bench-mp`` -- faulty-channel delivery throughput (``BENCH_mp_faults.json``);
+* ``witness`` -- the sharded separation-witness sweep (checkpointable,
+  resumable, deterministic output on any worker count);
+* ``bench-witness`` -- serial vs sharded vs cached sweep timings
+  (``BENCH_witness.json``);
 * ``trace`` -- record a run as a replayable JSONL trace;
 * ``trace-mp`` -- record a message-passing run (with optional channel
   faults, crash-stops, and stubborn retransmission) as a trace;
@@ -385,6 +389,109 @@ def cmd_bench_mp(args) -> int:
     return 0
 
 
+#: CLI model shorthands accepted on top of the MODEL_AXIS labels.
+_WITNESS_ALIASES = {"S": "fair-S", "BFS": "bounded-fair-S"}
+
+
+def _witness_label(label: str) -> str:
+    return _WITNESS_ALIASES.get(label, label)
+
+
+def cmd_witness(args) -> int:
+    from .analysis.witness_engine import SweepSpec, run_sweep
+    from .exceptions import WitnessSearchError
+
+    try:
+        spec = SweepSpec(
+            weaker=_witness_label(args.weaker),
+            stronger=_witness_label(args.stronger),
+            max_processors=args.max_processors,
+            max_names=args.max_names,
+            max_variables=args.max_variables,
+            allow_marks=args.allow_marks,
+            limit=args.limit,
+        )
+    except WitnessSearchError as exc:
+        raise SystemExit(str(exc))
+
+    hub = None
+    if args.events:
+        from .obs import EventHub, JsonlSink
+
+        hub = EventHub()
+        hub.attach(JsonlSink(open(args.events, "w"), owns=True))
+    try:
+        result = run_sweep(
+            spec, workers=args.workers, checkpoint=args.checkpoint, hub=hub
+        )
+    except WitnessSearchError as exc:
+        raise SystemExit(str(exc))
+    finally:
+        if hub is not None:
+            hub.close()
+
+    print(
+        f"witness sweep {spec.weaker} < {spec.stronger}: "
+        f"{len(result.witnesses)} witness(es) in {result.elapsed:.2f}s "
+        f"({result.shards} shards, {result.resumed_shards} resumed, "
+        f"workers {result.workers or 'serial'})"
+    )
+    print(
+        f"  enumerated {result.stats.enumerated}, novel {result.stats.novel}, "
+        f"cache hits/misses {result.stats.cache_hits}/{result.stats.cache_misses}"
+    )
+    for i, witness in enumerate(result.witnesses):
+        print(f"  [{i}] {witness.describe()}")
+    if args.output:
+        import json
+
+        doc = {
+            "spec": spec.to_json(),
+            "witnesses": [
+                {"record": record.to_json(), "description": witness.describe()}
+                for record, witness in zip(result.records, result.witnesses)
+            ],
+        }
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"written: {args.output}")
+    return 0
+
+
+def cmd_bench_witness(args) -> int:
+    from .exceptions import WitnessSearchError
+    from .perf.witness_bench import format_witness_bench, run_witness_bench
+
+    pairs = None
+    if args.pairs:
+        pairs = []
+        for item in args.pairs.split(","):
+            weaker, sep, stronger = item.partition("<")
+            if not sep:
+                raise SystemExit(
+                    f"--pairs wants comma-separated WEAKER<STRONGER entries "
+                    f"(e.g. Q<L,BFS<Q), got {item!r}"
+                )
+            pairs.append((_witness_label(weaker), _witness_label(stronger)))
+    try:
+        doc = run_witness_bench(
+            **({"pairs": pairs} if pairs is not None else {}),
+            max_processors=args.max_processors,
+            max_names=args.max_names,
+            max_variables=args.max_variables,
+            allow_marks=args.allow_marks,
+            workers=args.workers,
+            output=args.output or None,
+        )
+    except WitnessSearchError as exc:
+        raise SystemExit(str(exc))
+    print(format_witness_bench(doc))
+    if args.output:
+        print(f"written: {args.output}")
+    return 0
+
+
 def cmd_replay(args) -> int:
     from .obs import TraceError, replay_trace
 
@@ -564,6 +671,50 @@ def build_parser() -> argparse.ArgumentParser:
     bench_mp.add_argument("--output", default="BENCH_mp_faults.json",
                           help='JSON artifact path ("" to skip writing)')
     bench_mp.set_defaults(func=cmd_bench_mp)
+
+    witness = sub.add_parser(
+        "witness", help="sharded separation-witness sweep between two models"
+    )
+    witness.add_argument(
+        "weaker", metavar="WEAKER",
+        help="weaker model label (fair-S, bounded-fair-S, Q, L, L2; "
+             "S and BFS are accepted shorthands)",
+    )
+    witness.add_argument("stronger", metavar="STRONGER", help="stronger model label")
+    witness.add_argument("--max-processors", type=int, default=3)
+    witness.add_argument("--max-names", type=int, default=2)
+    witness.add_argument("--max-variables", type=int, default=3)
+    witness.add_argument("--allow-marks", action="store_true",
+                         help="also mark one node (processor or variable) at a time")
+    witness.add_argument("--limit", type=int, default=None,
+                         help="stop after this many witnesses (default: exhaust)")
+    witness.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (0 = serial; default: min(4, cores))",
+    )
+    witness.add_argument("--checkpoint", metavar="PATH",
+                         help="JSONL checkpoint; an existing file resumes the sweep")
+    witness.add_argument("--events", metavar="PATH",
+                         help="write per-shard progress / witness events as JSONL")
+    witness.add_argument("--output", "-o", metavar="PATH",
+                         help="write the witness list as JSON")
+    witness.set_defaults(func=cmd_witness)
+
+    bench_witness = sub.add_parser(
+        "bench-witness", help="witness-sweep microbenchmark: serial vs sharded vs cached"
+    )
+    bench_witness.add_argument(
+        "--pairs", default=None,
+        help="comma-separated WEAKER<STRONGER pairs (default: all adjacent pairs)",
+    )
+    bench_witness.add_argument("--max-processors", type=int, default=3)
+    bench_witness.add_argument("--max-names", type=int, default=2)
+    bench_witness.add_argument("--max-variables", type=int, default=3)
+    bench_witness.add_argument("--allow-marks", action="store_true")
+    bench_witness.add_argument("--workers", type=int, default=4)
+    bench_witness.add_argument("--output", default="BENCH_witness.json",
+                               help='JSON artifact path ("" to skip writing)')
+    bench_witness.set_defaults(func=cmd_bench_witness)
 
     replay = sub.add_parser(
         "replay", help="re-run a recorded trace, verifying determinism"

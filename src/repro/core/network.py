@@ -136,7 +136,9 @@ class Network:
             the processor/variable split when identifiers would otherwise
             be ambiguous).
         variables: optional explicit variable set; must be a superset of
-            all edge targets.
+            all edge targets.  Declaring variables without edges is
+            allowed, including the degenerate processor-free network
+            (no processors, explicitly declared variables only).
 
     Raises:
         NetworkError: if the specification is malformed (missing names,
@@ -154,12 +156,15 @@ class Network:
         if not self._names:
             raise NetworkError("NAMES must be non-empty")
         self._processors: Tuple[NodeId, ...] = _sorted_nodes(edges.keys())
-        if not self._processors:
-            raise NetworkError("a network needs at least one processor")
+        seen_vars = set(variables)
+        if not self._processors and not seen_vars:
+            raise NetworkError(
+                "a network needs at least one processor (or, for the "
+                "degenerate processor-free case, explicitly declared variables)"
+            )
 
         name_set = frozenset(self._names)
         n_nbr: Dict[Tuple[NodeId, Name], NodeId] = {}
-        seen_vars = set(variables)
         for proc, nbrs in edges.items():
             given = frozenset(nbrs.keys())
             if given != name_set:

@@ -20,6 +20,7 @@ the quotient of a large symmetric system instead of the system itself.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
 
@@ -143,11 +144,18 @@ def similarity_structures_equal(a: System, b: System) -> bool:
     theta = compute_similarity_labeling(union).labeling
     # Class-for-class pairing: every union class must contain nodes of
     # both systems in proportional counts (sizes may differ; structure
-    # classes must coincide).
+    # classes must coincide).  Proportionality means every class holds
+    # the two systems in the same ratio as their total node counts --
+    # e.g. an anonymous 4-ring and an anonymous 8-ring share one
+    # processor class (4 vs 8 members) and one variable class (4 vs 8),
+    # both in the global 1:2 ratio.  A one-sided class (b_count == 0 or
+    # a_count == 0) always fails, since both totals are positive.
+    a_total = len(a.nodes)
+    b_total = len(b.nodes)
     for block in theta.blocks:
         a_count = sum(1 for tag, _node in block if tag == "A")
         b_count = len(block) - a_count
-        if a_count != b_count:
+        if a_count * b_total != b_count * a_total:
             return False
     return True
 
@@ -219,29 +227,96 @@ def canonical_form(system: System) -> Hashable:
     return (class_multiset, edge_multiset)
 
 
+def _component_systems(system: System) -> list:
+    """The connected components with processors, as standalone systems.
+
+    Components that are a single isolated variable are dropped (they are
+    matched by state multisets in :func:`are_isomorphic`).
+    """
+    net = system.network
+    out = []
+    for component in net.connected_components:
+        procs = [p for p in component if net.is_processor(p)]
+        if not procs:
+            continue
+        sub = net.induced_subnetwork(procs)
+        out.append(
+            System(
+                sub,
+                {n: system.state0(n) for n in sub.nodes},
+                system.instruction_set,
+                system.schedule_class,
+            )
+        )
+    return out
+
+
 def are_isomorphic(a: System, b: System) -> bool:
     """Exact isomorphism of systems (structure, names, initial states).
 
     Decided with the automorphism matcher on the disjoint union: ``a`` and
     ``b`` are isomorphic iff the union has an automorphism swapping the
     two sides, which we find by pinning one processor of ``a`` to each
-    candidate processor of ``b``.
+    candidate processor of ``b``.  The side-swap check covers both node
+    kinds: every processor *and* every edge-connected variable of ``a``
+    must land on the ``b`` side.  Isolated variables (declared without
+    edges) are matched separately by their initial-state multisets, since
+    any state-preserving bijection between them extends an automorphism.
+
+    Disconnected systems are matched component-by-component: pinning one
+    processor only forces its own component across the union, so a
+    non-swapping automorphism (other components mapped to themselves)
+    would defeat the side-swap check and report a false negative.
+    Components decompose the question soundly because any isomorphism
+    restricts to a bijection between components.
     """
     if set(a.names) != set(b.names):
         return False
     if len(a.processors) != len(b.processors) or len(a.variables) != len(b.variables):
         return False
+    if not a.processors:
+        # Processor-free systems have no edges at all, so any
+        # state-preserving bijection on variables is an isomorphism.
+        return Counter(a.state0(v) for v in a.variables) == Counter(
+            b.state0(v) for v in b.variables
+        )
     if canonical_form(a) != canonical_form(b):
         return False
+    # Isolated variables never appear in the edge-forced part of an
+    # automorphism; they pair up iff their state multisets agree.
+    isolated_a = [v for v in a.variables if not a.network.neighbors_of_variable(v)]
+    isolated_b = [v for v in b.variables if not b.network.neighbors_of_variable(v)]
+    if Counter(a.state0(v) for v in isolated_a) != Counter(
+        b.state0(v) for v in isolated_b
+    ):
+        return False
+    components_a = _component_systems(a)
+    if len(components_a) > 1:
+        # Greedy multiset matching is exact here: isomorphism is an
+        # equivalence, so any component pairing that works locally
+        # extends to a global one.
+        remaining = _component_systems(b)
+        if len(components_a) != len(remaining):
+            return False
+        for comp_a in components_a:
+            for i, comp_b in enumerate(remaining):
+                if are_isomorphic(comp_a, comp_b):
+                    del remaining[i]
+                    break
+            else:
+                return False
+        return True
+    connected_a = [v for v in a.variables if a.network.neighbors_of_variable(v)]
     union = a.disjoint_union(b, tags=("A", "B"))
     anchor = ("A", a.processors[0])
     for candidate in b.processors:
         auto = find_automorphism(union, {anchor: ("B", candidate)})
         if auto is None:
             continue
-        # The automorphism must swap the sides wholesale.
-        if all(
-            auto[("A", p)][0] == "B" for p in a.processors
+        # The automorphism must swap the sides wholesale -- processors
+        # and connected variables alike.
+        if all(auto[("A", p)][0] == "B" for p in a.processors) and all(
+            auto[("A", v)][0] == "B" for v in connected_a
         ):
             return True
     return False

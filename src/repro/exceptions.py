@@ -55,3 +55,8 @@ class SelectionError(ReproError):
 class FamilyError(ReproError):
     """A family of systems is malformed (mismatched NAMES, instruction
     sets, or topologies where homogeneity is required)."""
+
+
+class WitnessSearchError(ReproError):
+    """The witness-sweep engine was misconfigured (unknown model labels,
+    or a checkpoint recorded for a different sweep specification)."""

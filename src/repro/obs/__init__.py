@@ -35,6 +35,8 @@ from .events import (
     RefinementCompleted,
     RefinementRound,
     StepExecuted,
+    WitnessFound,
+    WitnessSearchProgress,
 )
 from .sinks import EventSink, JsonlSink, MetricsSink, RingBufferSink
 
@@ -83,6 +85,8 @@ __all__ = [
     "RefinementRound",
     "RingBufferSink",
     "StepExecuted",
+    "WitnessFound",
+    "WitnessSearchProgress",
 ] + sorted(_LAZY)
 
 

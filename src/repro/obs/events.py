@@ -16,7 +16,10 @@ Every interesting runtime occurrence is one immutable event object:
 * :class:`RefinementRound` / :class:`RefinementCompleted` — progress of
   a partition-refinement engine;
 * :class:`ConfigSampled` — a digest of the whole-system configuration,
-  taken at a sampled step boundary (the anchor of deterministic replay).
+  taken at a sampled step boundary (the anchor of deterministic replay);
+* :class:`WitnessSearchProgress` / :class:`WitnessFound` — shard
+  completions and final (deterministically ordered) witnesses of the
+  separation-witness sweep engine.
 
 Events carry *live* payloads (the actual :class:`StepRecord`, the actual
 payload object); :meth:`Event.to_json` flattens them to JSON scalars for
@@ -269,6 +272,69 @@ class ConfigSampled(Event):
             "step": self.step,
             "digest": self.digest,
             "nodes": dict(self.node_digests),
+        }
+
+
+@dataclass(frozen=True)
+class WitnessSearchProgress(Event):
+    """One shard of a separation-witness sweep completed.
+
+    Attributes:
+        shard: compact shard key, ``"<procs>x<names>:<prefix>"``.
+        enumerated: candidates enumerated in the shard.
+        novel: candidates that survived the shard's isomorphism dedup.
+        witnesses: separation witnesses the shard collected.
+        cache_hits / cache_misses: decision-cache traffic of the shard.
+        resumed: True when the shard was loaded from a checkpoint rather
+            than executed.
+    """
+
+    kind: ClassVar[str] = "witness-shard"
+
+    shard: str
+    enumerated: int
+    novel: int
+    witnesses: int
+    cache_hits: int
+    cache_misses: int
+    resumed: bool = False
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "shard": self.shard,
+            "enumerated": self.enumerated,
+            "novel": self.novel,
+            "witnesses": self.witnesses,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "resumed": self.resumed,
+        }
+
+
+@dataclass(frozen=True)
+class WitnessFound(Event):
+    """One separation witness of the merged (deterministic) sweep output.
+
+    Emitted after the sorted merge, so ``index`` is the witness's
+    position in the final list -- identical across worker counts and
+    ``PYTHONHASHSEED`` values.
+    """
+
+    kind: ClassVar[str] = "witness"
+
+    index: int
+    weaker: str
+    stronger: str
+    description: str
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "i": self.index,
+            "weaker": self.weaker,
+            "stronger": self.stronger,
+            "description": self.description,
         }
 
 

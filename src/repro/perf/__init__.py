@@ -14,10 +14,13 @@ configuration of an experiment -- and this package drives those in bulk:
   the numbers in ``BENCH_refinement.json`` so every PR leaves a perf
   trajectory behind.
 * :mod:`repro.perf.mp_bench` -- faulty-channel delivery throughput for
-  the message-passing runtime (``BENCH_mp_faults.json``).
+  the message-passing runtime (``BENCH_mp_faults.json``);
+* :mod:`repro.perf.witness_bench` -- serial vs sharded vs cached timing
+  of the separation-witness sweep engine (``BENCH_witness.json``).
 
 All are exposed on the CLI: ``python -m repro batch ...``,
-``python -m repro bench ...``, and ``python -m repro bench-mp ...``.
+``python -m repro bench ...``, ``python -m repro bench-mp ...``, and
+``python -m repro bench-witness ...``.
 """
 
 from .batch import (
@@ -28,12 +31,15 @@ from .batch import (
 )
 from .microbench import run_microbench
 from .mp_bench import run_mp_bench
+from .witness_bench import format_witness_bench, run_witness_bench
 
 __all__ = [
     "BatchReport",
     "SimilarityCache",
     "batch_similarity",
+    "format_witness_bench",
     "run_microbench",
     "run_mp_bench",
+    "run_witness_bench",
     "system_fingerprint",
 ]

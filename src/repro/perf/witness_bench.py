@@ -1,0 +1,182 @@
+"""Witness-sweep microbenchmark: serial vs sharded vs cached.
+
+Times :func:`repro.analysis.witness_engine.run_sweep` over the standard
+small-system bounds for every adjacent model pair of the hierarchy,
+three ways per pair:
+
+* **serial** -- one process, fresh :class:`DecisionCache` (the cost the
+  original ``find_witnesses`` loop paid);
+* **sharded** -- the process-pool path at the requested worker count,
+  fresh cache (on a multi-core host this is where the wall-clock win
+  lives; on a single core the engine stays serial and the row records
+  that honestly);
+* **cached** -- serial again but re-using the warm cache of the first
+  run, so every ``decide_selection`` call is a hit (the steady-state
+  cost of re-sweeping, e.g. after widening bounds or on resume).
+
+Each row also asserts *agreement*: the sharded witness list must be
+identical (same systems, same order) to the serial one.  Everything is
+written to ``BENCH_witness.json`` so future PRs can compare.
+
+CLI: ``python -m repro bench-witness --workers 4 --output BENCH_witness.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis.witness_engine import DecisionCache, SweepSpec, run_sweep
+from ..core.hierarchy import POWER_ORDER
+
+#: Adjacent (weaker, stronger) pairs of the paper's power order.
+ADJACENT_PAIRS: Tuple[Tuple[str, str], ...] = tuple(
+    (POWER_ORDER[i], POWER_ORDER[i + 1]) for i in range(len(POWER_ORDER) - 1)
+)
+
+
+def _hit_rate(hits: int, misses: int) -> Optional[float]:
+    total = hits + misses
+    return round(hits / total, 4) if total else None
+
+
+def run_witness_bench(
+    pairs: Sequence[Tuple[str, str]] = ADJACENT_PAIRS,
+    max_processors: int = 3,
+    max_names: int = 2,
+    max_variables: int = 3,
+    allow_marks: bool = False,
+    workers: int = 4,
+    output: Optional[str] = "BENCH_witness.json",
+) -> dict:
+    """Run the witness-sweep benchmark and (optionally) write JSON.
+
+    Args:
+        pairs: (weaker, stronger) model-label pairs to sweep; defaults to
+            every adjacent pair of :data:`POWER_ORDER`.
+        max_processors/max_names/max_variables: enumeration bounds.
+        allow_marks: also enumerate single-node markings.
+        workers: requested pool size for the sharded run (the row records
+            the *effective* count, which is 0 on a single-core host).
+        output: path for the JSON artifact, or None to skip writing.
+
+    Returns:
+        The results document (also written to ``output``).
+    """
+    doc: dict = {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "bounds": {
+                "max_processors": max_processors,
+                "max_names": max_names,
+                "max_variables": max_variables,
+                "allow_marks": allow_marks,
+            },
+            "requested_workers": workers,
+        },
+        "pairs": [],
+        "all_agree": True,
+    }
+
+    for weaker, stronger in pairs:
+        spec = SweepSpec(
+            weaker=weaker,
+            stronger=stronger,
+            max_processors=max_processors,
+            max_names=max_names,
+            max_variables=max_variables,
+            allow_marks=allow_marks,
+        )
+
+        serial = run_sweep(spec, workers=0)
+        sharded = run_sweep(spec, workers=workers)
+        warm = DecisionCache()
+        warm.merge(serial.cache.snapshot())
+        cached = run_sweep(spec, workers=0, cache=warm)
+
+        serial_list = [w.describe() for w in serial.witnesses]
+        agree = (
+            serial_list == [w.describe() for w in sharded.witnesses]
+            and serial_list == [w.describe() for w in cached.witnesses]
+        )
+        doc["all_agree"] = doc["all_agree"] and agree
+        doc["pairs"].append(
+            {
+                "weaker": weaker,
+                "stronger": stronger,
+                "witnesses": len(serial.witnesses),
+                "shards": serial.shards,
+                "serial_s": round(serial.elapsed, 4),
+                "sharded_s": round(sharded.elapsed, 4),
+                "sharded_workers": sharded.workers,
+                "cached_s": round(cached.elapsed, 4),
+                "speedup_sharded": (
+                    round(serial.elapsed / sharded.elapsed, 2)
+                    if sharded.elapsed > 0
+                    else None
+                ),
+                "speedup_cached": (
+                    round(serial.elapsed / cached.elapsed, 2)
+                    if cached.elapsed > 0
+                    else None
+                ),
+                "serial_cache": {
+                    "hits": serial.stats.cache_hits,
+                    "misses": serial.stats.cache_misses,
+                    "hit_rate": _hit_rate(
+                        serial.stats.cache_hits, serial.stats.cache_misses
+                    ),
+                },
+                "cached_cache": {
+                    "hits": cached.stats.cache_hits,
+                    "misses": cached.stats.cache_misses,
+                    "hit_rate": _hit_rate(
+                        cached.stats.cache_hits, cached.stats.cache_misses
+                    ),
+                },
+                "agreement": agree,
+            }
+        )
+
+    if output:
+        with open(output, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+    return doc
+
+
+def format_witness_bench(doc: dict) -> str:
+    """A terse human-readable rendering of :func:`run_witness_bench` output."""
+    meta = doc["meta"]
+    bounds = meta["bounds"]
+    lines: List[str] = []
+    lines.append(
+        f"witness-sweep bench (python {meta['python']}, {meta['cpu_count']} cpu, "
+        f"bounds {bounds['max_processors']}p/{bounds['max_names']}n/"
+        f"{bounds['max_variables']}v"
+        f"{', marks' if bounds['allow_marks'] else ''})"
+    )
+    lines.append(
+        f"{'pair':<24}{'wit':>5}{'serial':>10}{'sharded':>10}{'cached':>10}"
+        f"{'hit%':>7}  agree"
+    )
+    for row in doc["pairs"]:
+        hit_rate = row["cached_cache"]["hit_rate"]
+        hit = f"{hit_rate * 100:.0f}%" if hit_rate is not None else "-"
+        lines.append(
+            f"{row['weaker'] + '<' + row['stronger']:<24}{row['witnesses']:>5}"
+            f"{row['serial_s']:>9.2f}s{row['sharded_s']:>9.2f}s"
+            f"{row['cached_s']:>9.2f}s{hit:>7}  {'yes' if row['agreement'] else 'NO'}"
+        )
+    lines.append(
+        "sharded run used "
+        f"{doc['pairs'][0]['sharded_workers'] if doc['pairs'] else 0} workers "
+        f"(requested {meta['requested_workers']}); "
+        f"all lists agree: {'yes' if doc['all_agree'] else 'NO'}"
+    )
+    return "\n".join(lines)

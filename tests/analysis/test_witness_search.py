@@ -65,3 +65,51 @@ class TestSearch:
         w = smallest_witness("Q", "L")
         text = w.describe()
         assert "p0" in text and "->" in text
+
+
+class TestVariableMarks:
+    def test_variable_marked_witness_reachable(self):
+        """Regression: ``allow_marks`` used to mark only processors, so a
+        witness that needs a marked *variable* was unreachable.  Within
+        2 processors / 1 name / 1 variable the marked-variable two-ring
+        is a Q<L witness that only exists with variable marks."""
+        found = find_witnesses(
+            "Q",
+            "L",
+            max_processors=2,
+            max_names=1,
+            max_variables=1,
+            allow_marks=True,
+            limit=10,
+        )
+        marked_vars = [
+            w
+            for w in found
+            if any(
+                w.system.state0(v) != 0 for v in w.system.network.variables
+            )
+        ]
+        assert marked_vars
+        assert "marks=['v0']" in marked_vars[0].describe()
+
+    def test_both_node_kinds_enumerated_as_marks(self):
+        from repro.analysis.witness_engine import (
+            SweepSpec,
+            _iter_shard_records,
+            shard_plan,
+        )
+
+        spec = SweepSpec(
+            "Q",
+            "L",
+            max_processors=2,
+            max_names=1,
+            max_variables=2,
+            allow_marks=True,
+        )
+        marks = {
+            record.mark
+            for shard in shard_plan(spec)
+            for record in _iter_shard_records(spec, shard)
+        }
+        assert {None, "p0", "p1", "v0"} <= marks

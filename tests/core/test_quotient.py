@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import (
     InstructionSet,
+    Network,
     System,
     are_isomorphic,
     canonical_form,
@@ -57,6 +58,27 @@ class TestSimilarityStructure:
         b = System(net_b, None, InstructionSet.Q)
         assert similarity_structures_equal(a, b)
 
+    def test_rings_of_different_sizes_share_structure(self):
+        """Same similarity structure at different scale: an anonymous
+        4-ring and 8-ring both quotient to one processor class and one
+        variable class.  Regression: the old check demanded *equal*
+        per-class member counts (4 vs 8) instead of proportional ones,
+        so any same-structure different-size pair came back unequal."""
+        a = System(ring(4), None, InstructionSet.Q)
+        b = System(ring(8), None, InstructionSet.Q)
+        assert similarity_structures_equal(a, b)
+        assert similarity_structures_equal(b, a)
+
+    def test_marked_rings_of_different_sizes_differ(self):
+        """Marking breaks the scaling: distance-from-mark classes differ
+        in number between a 4-ring and an 8-ring."""
+        a = System(ring(4), {"p0": 1}, InstructionSet.Q)
+        b = System(ring(8), {"p0": 1}, InstructionSet.Q)
+        assert not similarity_structures_equal(a, b)
+
+    def test_figures_still_distinguished(self):
+        assert not similarity_structures_equal(figure1_system(), figure2_system())
+
 
 class TestIsomorphism:
     def test_renamed_ring_isomorphic(self):
@@ -88,3 +110,96 @@ class TestIsomorphism:
         a = dining_system(6).with_instruction_set(InstructionSet.Q)
         b = dining_system(6, alternating=True).with_instruction_set(InstructionSet.Q)
         assert not are_isomorphic(a, b)
+
+
+class TestDisconnectedIsomorphism:
+    """Regression: the union-automorphism matcher pins one processor,
+    which only forces that processor's *component* to swap sides; on a
+    disconnected system the other components could map to themselves and
+    the side-swap check reported a false negative."""
+
+    def _sys(self, edges, state=None):
+        return System(Network(["n"], edges), state, InstructionSet.Q)
+
+    def test_two_component_systems_isomorphic(self):
+        a = self._sys({"p0": {"n": "v0"}, "p1": {"n": "v1"}})
+        b = self._sys({"q0": {"n": "w0"}, "q1": {"n": "w1"}})
+        assert are_isomorphic(a, b)
+
+    def test_mark_on_either_component_matches(self):
+        a = self._sys({"p0": {"n": "v0"}, "p1": {"n": "v1"}}, {"p0": 1})
+        b = self._sys({"q0": {"n": "w0"}, "q1": {"n": "w1"}}, {"q1": 1})
+        assert are_isomorphic(a, b)
+
+    def test_component_structure_distinguished(self):
+        split = self._sys({"p0": {"n": "v0"}, "p1": {"n": "v1"}})
+        shared = self._sys({"p0": {"n": "v0"}, "p1": {"n": "v0"}})
+        assert not are_isomorphic(split, shared)
+
+    def test_component_multiset_distinguished(self):
+        # two 2-processor components vs a 3+1 split: same processor and
+        # variable counts, different component multisets
+        a = self._sys(
+            {"p0": {"n": "v0"}, "p1": {"n": "v0"},
+             "p2": {"n": "v1"}, "p3": {"n": "v1"}}
+        )
+        b = self._sys(
+            {"p0": {"n": "v0"}, "p1": {"n": "v0"},
+             "p2": {"n": "v0"}, "p3": {"n": "v1"}}
+        )
+        assert not are_isomorphic(a, b)
+
+    def test_permuted_components_match(self):
+        # same component multiset listed in a different order
+        a = self._sys(
+            {"p0": {"n": "v0"}, "p1": {"n": "v0"}, "p2": {"n": "v1"}}
+        )
+        b = self._sys(
+            {"p0": {"n": "v1"}, "p1": {"n": "v0"}, "p2": {"n": "v1"}}
+        )
+        assert are_isomorphic(a, b)
+
+
+class TestProcessorFreeIsomorphism:
+    """Regression: ``are_isomorphic`` indexed ``a.processors[0]`` and so
+    crashed with IndexError on processor-free systems (declared
+    variables, no edges)."""
+
+    def _system(self, variables, state=None):
+        net = Network(["n"], {}, variables=variables)
+        return System(net, state, InstructionSet.Q)
+
+    def test_renamed_processor_free_systems_isomorphic(self):
+        a = self._system(["x", "y"])
+        b = self._system(["u", "w"])
+        assert are_isomorphic(a, b)
+
+    def test_state_multisets_decide(self):
+        unmarked = self._system(["x", "y"])
+        marked = self._system(["x", "y"], {"x": 1})
+        other_marked = self._system(["u", "w"], {"w": 1})
+        assert not are_isomorphic(unmarked, marked)
+        assert are_isomorphic(marked, other_marked)
+
+    def test_variable_count_mismatch(self):
+        assert not are_isomorphic(self._system(["x", "y"]), self._system(["x"]))
+
+
+class TestIsolatedVariableIsomorphism:
+    """Variables declared without edges are invisible to the edge-driven
+    automorphism matcher; their initial states must still be compared."""
+
+    def _system(self, isolated, state=None):
+        net = Network(["n"], {"p0": {"n": "v0"}}, variables=["v0", isolated])
+        return System(net, state, InstructionSet.Q)
+
+    def test_renamed_isolated_variable_isomorphic(self):
+        assert are_isomorphic(self._system("z"), self._system("t"))
+
+    def test_marked_isolated_variable_matches_marked(self):
+        a = self._system("z", {"z": 1})
+        b = self._system("t", {"t": 1})
+        assert are_isomorphic(a, b)
+
+    def test_marked_isolated_variable_differs_from_unmarked(self):
+        assert not are_isomorphic(self._system("z", {"z": 1}), self._system("t"))

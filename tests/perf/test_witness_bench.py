@@ -1,0 +1,57 @@
+"""Smoke tests for the witness-sweep benchmark harness."""
+
+import json
+
+from repro.core.hierarchy import POWER_ORDER
+from repro.perf.witness_bench import (
+    ADJACENT_PAIRS,
+    format_witness_bench,
+    run_witness_bench,
+)
+
+
+class TestRunWitnessBench:
+    def test_smoke_document_shape(self, tmp_path):
+        out = tmp_path / "BENCH_witness.json"
+        doc = run_witness_bench(
+            pairs=[("Q", "L")],
+            max_processors=2,
+            max_names=1,
+            max_variables=2,
+            workers=0,
+            output=str(out),
+        )
+        assert out.exists()
+        assert json.loads(out.read_text()) == doc
+        assert doc["all_agree"] is True
+        (row,) = doc["pairs"]
+        assert row["weaker"] == "Q" and row["stronger"] == "L"
+        assert row["witnesses"] >= 1
+        assert row["serial_s"] > 0
+        assert row["sharded_s"] > 0
+        assert row["cached_s"] > 0
+        assert row["agreement"] is True
+        assert row["serial_cache"]["misses"] > 0
+        # The warm re-run must answer every decision from the cache.
+        assert row["cached_cache"]["misses"] == 0
+        assert row["cached_cache"]["hit_rate"] == 1.0
+
+    def test_adjacent_pairs_cover_power_order(self):
+        assert len(ADJACENT_PAIRS) == len(POWER_ORDER) - 1
+        assert all(
+            (weaker, stronger) == (POWER_ORDER[i], POWER_ORDER[i + 1])
+            for i, (weaker, stronger) in enumerate(ADJACENT_PAIRS)
+        )
+
+    def test_format_renders(self):
+        doc = run_witness_bench(
+            pairs=[("Q", "L")],
+            max_processors=2,
+            max_names=1,
+            max_variables=1,
+            workers=0,
+            output=None,
+        )
+        text = format_witness_bench(doc)
+        assert "Q<L" in text
+        assert "all lists agree: yes" in text

@@ -141,6 +141,69 @@ class TestBench:
         assert "written:" not in out
 
 
+class TestWitness:
+    def test_sweep_with_checkpoint_events_output(self, tmp_path, capsys):
+        out = tmp_path / "witnesses.json"
+        ck = tmp_path / "sweep.jsonl"
+        ev = tmp_path / "events.jsonl"
+        assert main([
+            "witness", "Q", "L",
+            "--max-processors", "2",
+            "--workers", "0",
+            "--checkpoint", str(ck),
+            "--events", str(ev),
+            "--output", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "witness sweep Q < L" in text
+        assert "0 resumed" in text
+        assert out.exists() and ck.exists() and ev.exists()
+        doc = __import__("json").loads(out.read_text())
+        assert doc["spec"]["weaker"] == "Q"
+        assert doc["witnesses"]
+        # A second run over the same checkpoint resumes every shard.
+        assert main([
+            "witness", "Q", "L",
+            "--max-processors", "2",
+            "--workers", "0",
+            "--checkpoint", str(ck),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "16 shards, 16 resumed" in text
+
+    def test_alias_labels_accepted(self, capsys):
+        assert main([
+            "witness", "BFS", "Q",
+            "--max-processors", "2", "--max-names", "1",
+            "--workers", "0", "--limit", "1",
+        ]) == 0
+        assert "bounded-fair-S < Q" in capsys.readouterr().out
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(SystemExit, match="unknown model label"):
+            main(["witness", "Q", "nope", "--workers", "0"])
+
+
+class TestBenchWitness:
+    def test_bench_witness_smoke(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_witness.json"
+        assert main([
+            "bench-witness",
+            "--pairs", "Q<L",
+            "--max-processors", "2", "--max-names", "1",
+            "--workers", "0",
+            "--output", str(out_file),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "witness-sweep bench" in text
+        assert "all lists agree: yes" in text
+        assert out_file.exists()
+
+    def test_bad_pairs_rejected(self):
+        with pytest.raises(SystemExit, match="WEAKER<STRONGER"):
+            main(["bench-witness", "--pairs", "QL", "--output", ""])
+
+
 class TestExplain:
     def test_explain_command(self, capsys):
         assert main(["explain", "path", "4", "p0", "p3"]) == 0
