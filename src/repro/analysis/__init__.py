@@ -14,6 +14,15 @@ from .candidates import (
     tournament,
     wait_then_claim,
 )
+from .explore import (
+    ExploreResult,
+    ExploreSpec,
+    ExploreStats,
+    Violation,
+    run_explore,
+    verify_counterexample,
+    write_counterexample,
+)
 from .flp import Refutation, crash_as_schedule, refute_selection
 from .reporting import format_table, print_table, yesno
 from .system_report import SystemReport, full_report
@@ -29,12 +38,16 @@ from .witness_search import Witness, enumerate_networks, find_witnesses, smalles
 
 __all__ = [
     "DecisionCache",
+    "ExploreResult",
+    "ExploreSpec",
+    "ExploreStats",
     "LockContentionAdversary",
     "Refutation",
     "StallLearningAdversary",
     "SweepResult",
     "SweepSpec",
     "SystemReport",
+    "Violation",
     "Witness",
     "WitnessRecord",
     "candidate_zoo",
@@ -48,12 +61,15 @@ __all__ = [
     "print_table",
     "pec_uncertainty",
     "refute_selection",
+    "run_explore",
     "run_sweep",
     "shard_plan",
     "smallest_witness",
     "tournament",
     "select_immediately",
     "sticky_beacon",
+    "verify_counterexample",
     "wait_then_claim",
+    "write_counterexample",
     "yesno",
 ]

@@ -1,0 +1,1278 @@
+"""Symmetry-reduced bounded exhaustive exploration of schedule space.
+
+The runtime's schedulers pick *one* schedule per run; Theorem-style
+claims quantify over *all* of them.  This module closes that gap with a
+bounded model checker over the tree of scheduler choices: starting from
+the initial configuration it enumerates, at every step, every eligible
+processor (optionally restricted to prefixes of k-bounded schedules),
+deduplicates visited configurations, checks invariants, and reports
+either a *certificate* ("no violation is reachable within ``max_depth``
+steps") or a *counterexample schedule* that replays byte-for-byte
+through :class:`~repro.runtime.scheduler.ReplayScheduler` and the
+:mod:`repro.obs` trace/replay loop.
+
+**Symmetry reduction.**  The paper's programs are anonymous and
+deterministic, so every automorphism ``σ`` of the system graph commutes
+with the step relation: if ``c`` steps to ``c'`` under processor ``p``,
+then ``σ·c`` steps to ``σ·c'`` under ``σ(p)``.  Configurations in one
+orbit therefore have isomorphic futures, and the explorer deduplicates
+by the Θ-orbit canonical form (:class:`~repro.core.orbits
+.OrbitCanonicalizer`), typically visiting a small fraction of the
+unreduced space on symmetric families (rings, dining philosophers) while
+returning the *identical verdict* — the built-in invariants (deadlock,
+livelock, mutual exclusion, Θ-class lockstep) are all preserved by
+automorphisms.  ``symmetry=False`` falls back to exact configurations.
+
+**Determinism and sharding.**  BFS enqueues children in system processor
+order, so discovery order is globally sorted by ``(depth, prefix)`` and
+the first violation found is the lexicographically least counterexample.
+Large frontiers shard by schedule prefix: a serial *trunk* explores to
+``split_depth``, the distinct frontier states become shard roots, and
+shards fan out across a ``ProcessPoolExecutor`` (the
+:mod:`repro.perf.batch` pattern: plain-data payloads, results merged in
+plan order).  A sharded run reports the same verdict and — after the
+bounded canonicalization re-search — the same counterexample as the
+serial one, on any worker count and under any ``PYTHONHASHSEED``.
+Finished shards stream to a JSONL checkpoint and are not re-run on
+resume.
+
+CLI: ``python -m repro explore --topology dining --size 5 ...`` and
+``python -m repro bench-explore`` (``BENCH_explore.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.names import NodeId
+from ..core.orbits import OrbitCanonicalizer
+from ..core.similarity import processor_similarity_classes
+from ..exceptions import ExploreError
+from ..io import system_to_dict
+from ..obs.scenarios import ScenarioBundle, build_scenario, normalize_spec
+from ..obs.trace_io import TraceWriter, stable_digest
+from ..runtime.executor import Executor
+from ..runtime.scheduler import ReplayScheduler
+
+_STRATEGIES = ("bfs", "dfs")
+_FAIRNESS = ("none", "fair", "k-bounded")
+
+
+# ----------------------------------------------------------------------
+# invariant / probe / progress registries
+# ----------------------------------------------------------------------
+#
+# Registries are keyed by name so specifications stay plain data (JSON
+# checkpoints, pickle payloads).  Each entry is a factory
+# ``(spec, bundle) -> check`` where ``check(executor, counts)`` returns a
+# human-readable detail string on a hit and None otherwise.  Every
+# registered check must be preserved by system automorphisms, or
+# symmetry reduction would be unsound for it; live callables that cannot
+# promise this can still be passed to :func:`run_explore` as
+# ``extra_invariants`` / ``extra_probes`` (serial runs only).
+
+
+def _eating_predicate(bundle: ScenarioBundle) -> Callable[[Any], bool]:
+    is_eating = getattr(bundle.program, "is_eating", None)
+    if is_eating is None:
+        raise ExploreError(
+            f"program {type(bundle.program).__name__} has no is_eating "
+            "predicate; 'exclusion'/'eating' need a dining program"
+        )
+    return is_eating
+
+
+def _exclusion_invariant(spec: "ExploreSpec", bundle: ScenarioBundle):
+    """No two processors sharing a variable may eat simultaneously."""
+    from ..topologies.dining import adjacent_pairs
+
+    is_eating = _eating_predicate(bundle)
+    pairs = adjacent_pairs(bundle.system)
+
+    def check(executor: Executor, counts) -> Optional[str]:
+        for a, b in pairs:
+            if is_eating(executor.local[a]) and is_eating(executor.local[b]):
+                return f"{a} and {b} eat simultaneously while sharing a fork"
+        return None
+
+    return check
+
+
+def _lockstep_invariant(spec: "ExploreSpec", bundle: ScenarioBundle):
+    """Θ-classes must be state-uniform whenever all step counts agree.
+
+    Theorem 4 promises lockstep for *class* round robins -- the members
+    of each Θ-class run back to back.  Under ``fairness="k-bounded"``
+    with ``k`` equal to the processor count every window of ``k`` steps
+    is a permutation round, so every balanced point (all step counts
+    equal) is a round boundary; when the whole system is ONE Θ-class,
+    every permutation round is a class round robin in some member order
+    and the invariant can never legitimately fire.  With several
+    classes, a permutation round that wedges a dissimilar processor
+    *between* two class members can split their observations of shared
+    variables, so a violation there marks the boundary of the theorem,
+    not a bug (see ``test_permutation_rounds_can_split_interleaved_
+    classes``).  Under looser fairness even round boundaries are lost
+    (``p0 p0 p1 p1`` is balanced but its first "round" runs ``p0``
+    twice) -- pair this invariant with the k-bounded restriction.
+    """
+    classes = [
+        tuple(sorted(cls, key=repr))
+        for cls in processor_similarity_classes(bundle.system)
+    ]
+    classes = [cls for cls in classes if len(cls) > 1]
+
+    def check(executor: Executor, counts) -> Optional[str]:
+        if counts is None or len(set(counts)) != 1:
+            return None
+        for cls in classes:
+            states = {executor.local[p] for p in cls}
+            if len(states) > 1:
+                members = ", ".join(str(p) for p in cls)
+                return (
+                    f"Θ-class {{{members}}} holds {len(states)} distinct "
+                    f"states after {counts[0]} balanced steps each"
+                )
+        return None
+
+    check.needs_counts = True
+    return check
+
+
+def _uniform_probe(spec: "ExploreSpec", bundle: ScenarioBundle):
+    """Hit when every processor holds one shared local state."""
+    procs = bundle.system.processors
+
+    def probe(executor: Executor, counts) -> Optional[str]:
+        states = {executor.local[p] for p in procs}
+        if len(states) == 1:
+            return f"all processors share state {next(iter(states))!r}"
+        return None
+
+    return probe
+
+
+def _selected_probe(spec: "ExploreSpec", bundle: ScenarioBundle):
+    """Hit when some processor's state satisfies ``is_selected``."""
+
+    def probe(executor: Executor, counts) -> Optional[str]:
+        chosen = executor.selected_processors()
+        if chosen:
+            return "selected: " + ", ".join(str(p) for p in chosen)
+        return None
+
+    return probe
+
+
+def _eating_progress(spec: "ExploreSpec", bundle: ScenarioBundle):
+    is_eating = _eating_predicate(bundle)
+    procs = bundle.system.processors
+
+    def progress(executor: Executor) -> bool:
+        return any(is_eating(executor.local[p]) for p in procs)
+
+    return progress
+
+
+def _selected_progress(spec: "ExploreSpec", bundle: ScenarioBundle):
+    def progress(executor: Executor) -> bool:
+        return bool(executor.selected_processors())
+
+    return progress
+
+
+INVARIANTS: Dict[str, Callable] = {
+    "exclusion": _exclusion_invariant,
+    "lockstep": _lockstep_invariant,
+}
+
+PROBES: Dict[str, Callable] = {
+    "uniform": _uniform_probe,
+    "selected": _selected_probe,
+}
+
+PROGRESS: Dict[str, Callable] = {
+    "eating": _eating_progress,
+    "selected": _selected_progress,
+}
+
+
+# ----------------------------------------------------------------------
+# specification and result types
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A counterexample: what failed, and the schedule prefix reaching it.
+
+    ``schedule`` is the sequence of ``str(processor)`` choices from the
+    initial configuration; replaying it through
+    :class:`~repro.runtime.scheduler.ReplayScheduler` reproduces the
+    violating configuration exactly.
+    """
+
+    kind: str  # "deadlock" | "livelock" | "invariant"
+    invariant: str
+    depth: int
+    schedule: Tuple[str, ...]
+    detail: str
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "invariant": self.invariant,
+            "depth": self.depth,
+            "schedule": list(self.schedule),
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "Violation":
+        return cls(
+            kind=doc["kind"],
+            invariant=doc["invariant"],
+            depth=int(doc["depth"]),
+            schedule=tuple(doc["schedule"]),
+            detail=doc["detail"],
+        )
+
+
+@dataclass(frozen=True)
+class ExploreSpec:
+    """The full specification of one bounded exploration.
+
+    Attributes:
+        scenario: a shared-variable scenario spec
+            (:func:`repro.obs.scenarios.normalize_spec` vocabulary); the
+            scheduler entry only matters for the fallback of replayed
+            counterexamples — exploration enumerates choices itself.
+        max_depth: schedule prefixes up to this length are explored.
+        strategy: ``"bfs"`` (canonical counterexamples, sharding) or
+            ``"dfs"`` (needed for livelock detection).
+        fairness: ``"none"``, ``"fair"`` or ``"k-bounded"``.  Every
+            finite prefix extends to a fair schedule, so ``"fair"``
+            prunes nothing over a bounded horizon (it is accepted for
+            explicitness); ``"k-bounded"`` restricts enumeration to
+            prefixes of k-bounded schedules, where *every* processor —
+            halted ones take no-op slots — must appear in every window
+            of ``k`` consecutive choices.
+        k: the window for ``"k-bounded"`` fairness.
+        symmetry: deduplicate by Θ-orbit canonical form instead of exact
+            configuration.
+        invariants: names from :data:`INVARIANTS` checked at every
+            visited configuration.
+        probes: names from :data:`PROBES`; hits are recorded (up to
+            ``probe_limit``) without stopping the search.
+        check_deadlock: report a configuration as deadlocked when no
+            processor can run, or when every eligible step leaves the
+            configuration unchanged (circular wait).  Note that a system
+            whose processors all *halt* normally is reported as a
+            deadlock too — the detail string distinguishes the cases.
+        check_livelock: detect cycles without progress (DFS only; needs
+            ``progress``).  Sound but not complete: visited-state
+            pruning can hide cycles, so absence of a report is not a
+            livelock-freedom certificate.
+        progress: name from :data:`PROGRESS` defining what "progress"
+            means for livelock detection.
+        restrict: explore exactly one schedule (a tuple of
+            ``str(processor)`` choices) instead of branching — the
+            degenerate mode used to cross-check single-run analyses and
+            to verify counterexamples.  Deduplication is disabled, since
+            a position in a fixed schedule determines its future.
+        split_depth: serial trunk depth before sharding; ``0`` disables
+            sharding.  Forced to 0 for DFS, livelock and restricted
+            runs.
+        probe_limit: cap on recorded probe hits.
+        symmetry_limit: cap on enumerated automorphisms (truncation
+            weakens deduplication, never correctness).
+    """
+
+    scenario: Dict[str, Any]
+    max_depth: int
+    strategy: str = "bfs"
+    fairness: str = "none"
+    k: Optional[int] = None
+    symmetry: bool = True
+    invariants: Tuple[str, ...] = ()
+    probes: Tuple[str, ...] = ()
+    check_deadlock: bool = True
+    check_livelock: bool = False
+    progress: Optional[str] = None
+    restrict: Optional[Tuple[str, ...]] = None
+    split_depth: int = 2
+    probe_limit: int = 32
+    symmetry_limit: int = 2000
+
+    def __post_init__(self) -> None:
+        doc = normalize_spec(dict(self.scenario))
+        if doc["crash_at"]:
+            raise ExploreError(
+                "exploration does not model crashes; drop crash_at from "
+                "the scenario (a crashed processor is just one the "
+                "explored schedules stop choosing)"
+            )
+        object.__setattr__(self, "scenario", doc)
+        if self.strategy not in _STRATEGIES:
+            raise ExploreError(
+                f"unknown strategy {self.strategy!r}; pick from {_STRATEGIES}"
+            )
+        if self.fairness not in _FAIRNESS:
+            raise ExploreError(
+                f"unknown fairness {self.fairness!r}; pick from {_FAIRNESS}"
+            )
+        if self.fairness == "k-bounded":
+            if self.k is None or int(self.k) < 1:
+                raise ExploreError("k-bounded fairness needs k >= 1")
+            object.__setattr__(self, "k", int(self.k))
+        elif self.k is not None:
+            raise ExploreError("k is only meaningful with fairness='k-bounded'")
+        if self.max_depth < 0:
+            raise ExploreError("max_depth must be >= 0")
+        if self.split_depth < 0:
+            raise ExploreError("split_depth must be >= 0")
+        if self.probe_limit < 0:
+            raise ExploreError("probe_limit must be >= 0")
+        object.__setattr__(self, "invariants", tuple(self.invariants))
+        object.__setattr__(self, "probes", tuple(self.probes))
+        for name in self.invariants:
+            if name not in INVARIANTS:
+                raise ExploreError(
+                    f"unknown invariant {name!r}; pick from {sorted(INVARIANTS)}"
+                )
+        for name in self.probes:
+            if name not in PROBES:
+                raise ExploreError(
+                    f"unknown probe {name!r}; pick from {sorted(PROBES)}"
+                )
+        if self.progress is not None and self.progress not in PROGRESS:
+            raise ExploreError(
+                f"unknown progress predicate {self.progress!r}; "
+                f"pick from {sorted(PROGRESS)}"
+            )
+        if self.check_livelock:
+            if self.strategy != "dfs":
+                raise ExploreError("check_livelock needs strategy='dfs'")
+            if self.progress is None:
+                raise ExploreError(
+                    "check_livelock needs a progress predicate "
+                    f"(pick from {sorted(PROGRESS)})"
+                )
+            if self.restrict is not None:
+                raise ExploreError("check_livelock cannot combine with restrict")
+        if self.restrict is not None:
+            object.__setattr__(
+                self, "restrict", tuple(str(p) for p in self.restrict)
+            )
+
+    def to_json(self) -> dict:
+        return {
+            "scenario": dict(self.scenario),
+            "max_depth": self.max_depth,
+            "strategy": self.strategy,
+            "fairness": self.fairness,
+            "k": self.k,
+            "symmetry": self.symmetry,
+            "invariants": list(self.invariants),
+            "probes": list(self.probes),
+            "check_deadlock": self.check_deadlock,
+            "check_livelock": self.check_livelock,
+            "progress": self.progress,
+            "restrict": None if self.restrict is None else list(self.restrict),
+            "split_depth": self.split_depth,
+            "probe_limit": self.probe_limit,
+            "symmetry_limit": self.symmetry_limit,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "ExploreSpec":
+        doc = dict(doc)
+        for key in ("invariants", "probes"):
+            doc[key] = tuple(doc.get(key, ()))
+        restrict = doc.get("restrict")
+        doc["restrict"] = None if restrict is None else tuple(restrict)
+        return cls(**doc)
+
+
+@dataclass
+class ExploreStats:
+    """Counters of one exploration (summed across trunk and shards)."""
+
+    visited: int = 0
+    expanded: int = 0
+    transitions: int = 0
+
+    def to_json(self) -> dict:
+        return dict(self.__dict__)
+
+    def merge(self, doc: dict) -> None:
+        for key, value in doc.items():
+            setattr(self, key, getattr(self, key) + value)
+
+
+@dataclass
+class ExploreResult:
+    """Outcome of one :func:`run_explore` call.
+
+    ``violation is None`` means the bounded space is *certified*: no
+    deadlock / livelock / invariant violation is reachable within
+    ``spec.max_depth`` schedule steps (under the spec's fairness
+    restriction).  ``unique_states`` counts distinct visited state
+    digests — orbit representatives when symmetry reduction is on.
+    """
+
+    spec: ExploreSpec
+    violation: Optional[Violation]
+    unique_states: int
+    stats: ExploreStats
+    probe_hits: List[dict]
+    shards: int
+    resumed_shards: int
+    workers: int
+    elapsed: float
+    group_size: int
+    truncated: bool = False
+
+    @property
+    def verdict(self) -> str:
+        return "certified" if self.violation is None else "violation"
+
+    @property
+    def certified_depth(self) -> Optional[int]:
+        return self.spec.max_depth if self.violation is None else None
+
+    def report_doc(self) -> dict:
+        """A deterministic JSON document: identical across worker counts
+        and ``PYTHONHASHSEED`` values (no timings, no pool geometry)."""
+        return {
+            "kind": "explore-report",
+            "spec": self.spec.to_json(),
+            "verdict": self.verdict,
+            "violation": None if self.violation is None else self.violation.to_json(),
+            "unique_states": self.unique_states,
+            "stats": self.stats.to_json(),
+            "probe_hits": self.probe_hits,
+            "shards": self.shards,
+            "group_size": self.group_size,
+        }
+
+    def describe(self) -> str:
+        if self.violation is not None:
+            v = self.violation
+            what = {
+                "deadlock": "deadlock",
+                "livelock": "livelock",
+                "invariant": f"invariant {v.invariant!r} violated",
+            }[v.kind]
+            return (
+                f"{what} at depth {v.depth} via "
+                f"[{', '.join(v.schedule)}]: {v.detail}"
+            )
+        return (
+            f"certified: no violation within {self.spec.max_depth} steps "
+            f"({self.unique_states} distinct states, "
+            f"automorphism group size {self.group_size})"
+        )
+
+
+# ----------------------------------------------------------------------
+# the walker
+# ----------------------------------------------------------------------
+
+
+class _Checks:
+    """Instantiated checks of one exploration, bound to one bundle."""
+
+    def __init__(
+        self,
+        spec: ExploreSpec,
+        bundle: ScenarioBundle,
+        extra_invariants: Sequence[Callable] = (),
+        extra_probes: Sequence[Callable] = (),
+    ) -> None:
+        self.invariants: List[Tuple[str, Callable]] = [
+            (name, INVARIANTS[name](spec, bundle)) for name in spec.invariants
+        ]
+        for fn in extra_invariants:
+            self.invariants.append((getattr(fn, "__name__", "extra"), fn))
+        self.probes: List[Tuple[str, Callable]] = [
+            (name, PROBES[name](spec, bundle)) for name in spec.probes
+        ]
+        for fn in extra_probes:
+            self.probes.append((getattr(fn, "__name__", "extra"), fn))
+        self.progress: Optional[Callable] = (
+            PROGRESS[spec.progress](spec, bundle)
+            if spec.progress is not None
+            else None
+        )
+        self.needs_counts = any(
+            getattr(fn, "needs_counts", False) for _name, fn in self.invariants
+        )
+
+
+class _Node:
+    """One node of the choice tree."""
+
+    __slots__ = ("executor", "depth", "schedule", "ages", "counts", "key",
+                 "children", "progress")
+
+    def __init__(self, executor, depth, schedule, ages, counts) -> None:
+        self.executor = executor
+        self.depth = depth
+        self.schedule = schedule  # tuple of NodeId choices from the root
+        self.ages = ages          # per-processor steps since last scheduled
+        self.counts = counts      # per-processor executed (non-noop) steps
+        self.key = None
+        self.children: Optional[List["_Node"]] = None
+        self.progress = False
+
+
+class _Walker:
+    """BFS/DFS over the choice tree of one shard."""
+
+    def __init__(
+        self,
+        spec: ExploreSpec,
+        bundle: ScenarioBundle,
+        canon: Optional[OrbitCanonicalizer],
+        checks: _Checks,
+    ) -> None:
+        self.spec = spec
+        self.bundle = bundle
+        self.canon = canon
+        self.checks = checks
+        self.procs: Tuple[NodeId, ...] = tuple(bundle.system.processors)
+        self.by_str = {str(p): p for p in self.procs}
+        self.index = {p: i for i, p in enumerate(self.procs)}
+        self.track_ages = spec.fairness == "k-bounded"
+        self.track_counts = checks.needs_counts
+        self.stats = ExploreStats()
+        self.digests: Set[str] = set()
+        self.probe_hits: List[dict] = []
+        self.violation: Optional[Violation] = None
+
+    # -- node construction ---------------------------------------------
+
+    def _root_node(self, prefix: Sequence[str]) -> _Node:
+        executor = Executor(
+            self.bundle.system, self.bundle.program, self.bundle.base_scheduler
+        )
+        n = len(self.procs)
+        node = _Node(
+            executor,
+            0,
+            (),
+            (1,) * n if self.track_ages else None,
+            (0,) * n if self.track_counts else None,
+        )
+        node.key = self._key(node)
+        for p_str in prefix:
+            try:
+                proc = self.by_str[p_str]
+            except KeyError:
+                raise ExploreError(
+                    f"schedule prefix names unknown processor {p_str!r}"
+                ) from None
+            node = self._child(node, proc, node.executor.successor(proc))
+        return node
+
+    def _child(self, node: _Node, proc: NodeId, twin: Executor) -> _Node:
+        i = self.index[proc]
+        ages = node.ages
+        if ages is not None:
+            ages = tuple(1 if j == i else a + 1 for j, a in enumerate(ages))
+        counts = node.counts
+        if counts is not None and not node.executor.halted[proc]:
+            counts = tuple(c + 1 if j == i else c for j, c in enumerate(counts))
+        child = _Node(twin, node.depth + 1, node.schedule + (proc,), ages, counts)
+        child.key = self._key(child)
+        return child
+
+    def _key(self, node: _Node):
+        proc_part, var_part = node.executor.exploration_state()
+        vectors: List[Tuple] = []
+        if node.ages is not None:
+            vectors.append(node.ages)
+        if node.counts is not None:
+            vectors.append(node.counts)
+        if self.canon is not None:
+            core = self.canon.canonical(proc_part, var_part, tuple(vectors))
+        else:
+            core = (proc_part, var_part, tuple(vectors))
+        if self.spec.k is not None:
+            # States inside an incomplete first window are not mergeable
+            # with window-active ones: the schedule-position phase is
+            # part of a state's future under the k-bounded restriction.
+            return (core, min(node.depth, self.spec.k - 1))
+        return core
+
+    # -- choice enumeration --------------------------------------------
+
+    def _choices(self, node: _Node) -> Tuple[NodeId, ...]:
+        spec = self.spec
+        if spec.restrict is not None:
+            if node.depth < len(spec.restrict):
+                return (self.by_str[spec.restrict[node.depth]],)
+            return ()
+        if self.track_ages:
+            # An age of k means the processor must be scheduled *now* or
+            # some window of k choices misses it.  Valid prefixes keep
+            # every age <= k, so at most one processor can be overdue
+            # per parent (ages are pairwise distinct among the overdue
+            # candidates' increments); two overdue means a dead branch.
+            k = spec.k
+            overdue = [p for p, a in zip(self.procs, node.ages) if a >= k]
+            if not overdue:
+                return self.procs
+            if len(overdue) == 1:
+                return (overdue[0],)
+            return ()
+        return node.executor.eligible_processors()
+
+    # -- visiting ------------------------------------------------------
+
+    def _visit(self, node: _Node) -> Optional[Violation]:
+        """Check a newly discovered node and materialize its children.
+
+        All checks happen at *discovery* time, so BFS reports the
+        ``(depth, prefix)``-least violation and deadlock is detected at
+        ``max_depth`` leaves too (successors are computed, not enqueued).
+        """
+        spec = self.spec
+        checks = self.checks
+        executor = node.executor
+        self.stats.visited += 1
+        self.digests.add(stable_digest(node.key))
+        schedule = tuple(str(p) for p in node.schedule)
+        if checks.progress is not None:
+            node.progress = checks.progress(executor)
+        for name, fn in checks.probes:
+            if len(self.probe_hits) >= spec.probe_limit:
+                break
+            detail = fn(executor, node.counts)
+            if detail:
+                self.probe_hits.append(
+                    {
+                        "probe": name,
+                        "depth": node.depth,
+                        "schedule": list(schedule),
+                        "detail": detail,
+                    }
+                )
+        for name, fn in checks.invariants:
+            detail = fn(executor, node.counts)
+            if detail:
+                node.children = []
+                return Violation("invariant", name, node.depth, schedule, detail)
+
+        runnable = executor.eligible_processors()
+        if spec.check_deadlock and not runnable:
+            node.children = []
+            return Violation(
+                "deadlock", "", node.depth, schedule,
+                "every processor has halted; no step is possible",
+            )
+        choices = self._choices(node) if node.depth < spec.max_depth else ()
+        to_expand = set(choices)
+        if spec.check_deadlock:
+            to_expand.update(runnable)
+        successors: Dict[NodeId, Executor] = {}
+        if to_expand:
+            self.stats.expanded += 1
+            for proc in self.procs:
+                if proc in to_expand:
+                    successors[proc] = executor.successor(proc)
+                    self.stats.transitions += 1
+        if spec.check_deadlock and runnable:
+            before = executor.exploration_state()
+            if all(
+                successors[p].exploration_state() == before for p in runnable
+            ):
+                node.children = []
+                return Violation(
+                    "deadlock", "", node.depth, schedule,
+                    "no eligible step changes the configuration "
+                    f"(circular wait among {len(runnable)} processors)",
+                )
+        node.children = [
+            self._child(node, proc, successors[proc]) for proc in choices
+        ]
+        return None
+
+    # -- traversals ----------------------------------------------------
+
+    def run_bfs(
+        self, prefix: Sequence[str], collect_at: Optional[int] = None
+    ) -> List[Tuple[str, ...]]:
+        """BFS from ``prefix``.  With ``collect_at`` set, children at that
+        depth are not visited; their (deduplicated, discovery-ordered)
+        schedule prefixes are returned as the shard plan."""
+        spec = self.spec
+        dedup = spec.restrict is None
+        root = self._root_node(prefix)
+        visited = {root.key} if dedup else None
+        frontier: List[Tuple[str, ...]] = []
+        queue = deque([root])
+        while queue:
+            node = queue.popleft()
+            violation = self._visit(node)
+            if violation is not None:
+                self.violation = violation
+                return frontier
+            children = node.children or []
+            node.children = None
+            node.executor = None  # free: children carry their own clones
+            for child in children:
+                if dedup:
+                    if child.key in visited:
+                        continue
+                    visited.add(child.key)
+                if collect_at is not None and child.depth >= collect_at:
+                    frontier.append(tuple(str(p) for p in child.schedule))
+                    continue
+                queue.append(child)
+        return frontier
+
+    def run_dfs(self, prefix: Sequence[str]) -> None:
+        """DFS from ``prefix``; detects no-progress cycles when asked.
+
+        A state is re-expanded when reached at a strictly smaller depth
+        than before (more remaining budget), so bounded-depth coverage
+        matches BFS.  A child closing a cycle back onto the current path
+        with no progress flag anywhere in the looped segment is a
+        livelock lasso.
+        """
+        spec = self.spec
+        dedup = spec.restrict is None
+        livelock = spec.check_livelock
+        root = self._root_node(prefix)
+        visited: Dict[Any, int] = {root.key: root.depth} if dedup else None
+        violation = self._visit(root)
+        if violation is not None:
+            self.violation = violation
+            return
+        path: List[_Node] = [root]
+        on_path: Dict[Any, int] = {root.key: 0}
+        stack: List[Tuple[_Node, Iterator[_Node]]] = [
+            (root, iter(root.children or []))
+        ]
+        while stack:
+            node, children = stack[-1]
+            child = next(children, None)
+            if child is None:
+                stack.pop()
+                if livelock:
+                    popped = path.pop()
+                    on_path.pop(popped.key, None)
+                continue
+            if livelock and child.key in on_path:
+                start = on_path[child.key]
+                segment = path[start:]
+                if not any(n.progress for n in segment):
+                    self.violation = Violation(
+                        "livelock", "",
+                        child.depth,
+                        tuple(str(p) for p in child.schedule),
+                        f"schedule loops back to the state at depth "
+                        f"{segment[0].depth} (cycle length "
+                        f"{child.depth - segment[0].depth}) with no progress",
+                    )
+                    return
+                continue
+            if dedup:
+                prev = visited.get(child.key)
+                if prev is not None and prev <= child.depth:
+                    continue
+                visited[child.key] = child.depth
+            violation = self._visit(child)
+            if violation is not None:
+                self.violation = violation
+                return
+            if child.children:
+                if livelock:
+                    on_path[child.key] = len(path)
+                    path.append(child)
+                stack.append((child, iter(child.children)))
+
+
+# ----------------------------------------------------------------------
+# shards, checkpoints, worker payloads
+# ----------------------------------------------------------------------
+
+
+def _explore_shard(
+    spec: ExploreSpec,
+    bundle: ScenarioBundle,
+    canon: Optional[OrbitCanonicalizer],
+    checks: _Checks,
+    prefix: Tuple[str, ...],
+) -> dict:
+    """Exhaust one shard (a subtree rooted at a schedule prefix)."""
+    walker = _Walker(spec, bundle, canon, checks)
+    if spec.strategy == "dfs":
+        walker.run_dfs(prefix)
+    else:
+        walker.run_bfs(prefix)
+    return {
+        "violation": None if walker.violation is None else walker.violation.to_json(),
+        "digests": sorted(walker.digests),
+        "probes": walker.probe_hits,
+        "stats": walker.stats.to_json(),
+    }
+
+
+def _run_shard_payload(payload) -> tuple:
+    """Worker entry point (module-level so it pickles)."""
+    spec_doc, prefix = payload
+    spec = ExploreSpec.from_json(spec_doc)
+    bundle = build_scenario(spec.scenario)
+    canon = (
+        OrbitCanonicalizer(bundle.system, limit=spec.symmetry_limit)
+        if spec.symmetry
+        else None
+    )
+    checks = _Checks(spec, bundle)
+    return (list(prefix), _explore_shard(spec, bundle, canon, checks, tuple(prefix)))
+
+
+def _load_checkpoint(path: str, spec: ExploreSpec) -> Dict[Tuple[str, ...], dict]:
+    """Completed shards recorded in ``path`` (empty if the file is new)."""
+    completed: Dict[Tuple[str, ...], dict] = {}
+    if not os.path.exists(path):
+        return completed
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ExploreError(
+                    f"checkpoint {path}:{line_no} is not valid JSON: {exc}"
+                ) from None
+            if doc.get("kind") == "explore-checkpoint":
+                if doc["spec"] != spec.to_json():
+                    raise ExploreError(
+                        f"checkpoint {path} records a different exploration "
+                        f"spec; delete it or change the spec"
+                    )
+            elif doc.get("kind") == "shard":
+                completed[tuple(doc["shard"])] = doc["result"]
+    return completed
+
+
+class _CheckpointWriter:
+    """Appends shard-completion lines to the checkpoint JSONL file."""
+
+    def __init__(self, path: str, spec: ExploreSpec, fresh: bool) -> None:
+        self._fh = open(path, "a")
+        if fresh:
+            self._write({"kind": "explore-checkpoint", "spec": spec.to_json()})
+
+    def _write(self, doc: dict) -> None:
+        self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def shard_done(self, prefix: Tuple[str, ...], result: dict) -> None:
+        self._write({"kind": "shard", "shard": list(prefix), "result": result})
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def _emit_progress(hub, shard: str, doc: dict, resumed: bool) -> None:
+    if hub is None or not hub.active:
+        return
+    from ..obs.events import ExplorationProgress
+
+    stats = doc["stats"]
+    hub.emit(
+        ExplorationProgress(
+            shard=shard,
+            visited=stats["visited"],
+            expanded=stats["expanded"],
+            transitions=stats["transitions"],
+            violation=doc["violation"] is not None,
+            resumed=resumed,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+
+def _canonical_violation(
+    spec: ExploreSpec,
+    violation: Violation,
+    extra_invariants: Sequence[Callable],
+) -> Violation:
+    """Normalize a found violation to the global ``(depth, prefix)``-least
+    one via a bounded unreduced BFS re-search.
+
+    Symmetry reduction, DFS order, and shard-local dedup can each make
+    the *first found* violation depend on traversal mode; the bounded
+    re-search (depth capped at the found violation's depth, so it always
+    terminates and always finds something at least as shallow) makes the
+    reported counterexample mode-independent.
+    """
+    base = replace(
+        spec,
+        symmetry=False,
+        strategy="bfs",
+        max_depth=violation.depth,
+        check_livelock=False,
+        progress=None,
+        probes=(),
+        split_depth=0,
+    )
+    result = run_explore(base, workers=0, extra_invariants=extra_invariants)
+    return result.violation if result.violation is not None else violation
+
+
+def run_explore(
+    spec: ExploreSpec,
+    workers: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    hub=None,
+    extra_invariants: Sequence[Callable] = (),
+    extra_probes: Sequence[Callable] = (),
+) -> ExploreResult:
+    """Explore the bounded schedule space of a scenario.
+
+    Args:
+        spec: the exploration specification.
+        workers: process-pool size.  ``None`` picks ``min(4, cpu_count)``;
+            ``0``/``1`` forces the serial in-process path.  Verdict and
+            counterexample are identical on every worker count.
+        checkpoint: optional JSONL path; completed shards are appended as
+            they finish and are not re-run on resume (same spec only).
+        hub: optional :class:`~repro.obs.events.EventHub` receiving
+            ``ExplorationProgress`` per shard and ``InvariantViolated``
+            for the merged verdict.
+        extra_invariants / extra_probes: live ``(executor, counts) ->
+            Optional[str]`` callables checked alongside the registered
+            names.  They cannot cross the process-pool pickle boundary,
+            so they force the serial path; an invariant may opt into
+            per-processor step counts with a truthy ``needs_counts``
+            attribute.
+
+    Returns:
+        An :class:`ExploreResult`; its :meth:`~ExploreResult.report_doc`
+        is byte-stable across worker counts and hash seeds.
+    """
+    t0 = time.perf_counter()
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+    if workers <= 1:
+        workers = 0
+    if (extra_invariants or extra_probes) and workers:
+        raise ExploreError(
+            "extra invariants/probes are live callables and cannot cross "
+            "the process-pool boundary; run with workers<=1"
+        )
+
+    bundle = build_scenario(spec.scenario)
+    n = len(bundle.system.processors)
+    if spec.k is not None and spec.k < n:
+        raise ExploreError(
+            f"k={spec.k} is smaller than the {n} processors: every window "
+            "of k choices must contain all of them, so no k-bounded "
+            "schedule exists"
+        )
+    canon = (
+        OrbitCanonicalizer(bundle.system, limit=spec.symmetry_limit)
+        if spec.symmetry
+        else None
+    )
+    checks = _Checks(spec, bundle, extra_invariants, extra_probes)
+
+    # Sharding splits BFS subtrees; DFS order, livelock cycles and
+    # restricted single-schedule walks are whole-tree properties.
+    if spec.restrict is not None or spec.check_livelock or spec.strategy == "dfs":
+        split = 0
+    else:
+        split = min(spec.split_depth, spec.max_depth)
+
+    trunk = _Walker(spec, bundle, canon, checks)
+    if split == 0:
+        plan: List[Tuple[str, ...]] = [()]
+        trunk_doc: Optional[dict] = None
+    else:
+        frontier = trunk.run_bfs((), collect_at=split)
+        plan = [tuple(p) for p in frontier]
+        trunk_doc = {
+            "violation": None if trunk.violation is None else trunk.violation.to_json(),
+            "stats": trunk.stats.to_json(),
+        }
+        _emit_progress(hub, "trunk", {**trunk_doc, "violation": trunk_doc["violation"]}, resumed=False)
+        if trunk.violation is not None:
+            plan = []  # the trunk's violation is at a smaller depth than
+            #            any shard could reach; shards are pointless
+
+    completed: Dict[Tuple[str, ...], dict] = {}
+    writer: Optional[_CheckpointWriter] = None
+    if checkpoint:
+        completed = _load_checkpoint(checkpoint, spec)
+        writer = _CheckpointWriter(checkpoint, spec, fresh=not completed)
+
+    results: Dict[Tuple[str, ...], dict] = {}
+    resumed = 0
+
+    def shard_label(prefix: Tuple[str, ...]) -> str:
+        return ",".join(prefix) or "root"
+
+    for prefix in plan:
+        if prefix in completed:
+            results[prefix] = completed[prefix]
+            resumed += 1
+            _emit_progress(hub, shard_label(prefix), completed[prefix], resumed=True)
+
+    todo = [prefix for prefix in plan if prefix not in results]
+    try:
+        if workers == 0 or len(todo) <= 1:
+            workers = 0
+            for prefix in todo:
+                doc = _explore_shard(spec, bundle, canon, checks, prefix)
+                results[prefix] = doc
+                if writer:
+                    writer.shard_done(prefix, doc)
+                _emit_progress(hub, shard_label(prefix), doc, resumed=False)
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(
+                        _run_shard_payload, (spec.to_json(), list(prefix))
+                    ): prefix
+                    for prefix in todo
+                }
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        prefix = futures[future]
+                        _prefix_doc, doc = future.result()
+                        results[prefix] = doc
+                        if writer:
+                            writer.shard_done(prefix, doc)
+                        _emit_progress(hub, shard_label(prefix), doc, resumed=False)
+    finally:
+        if writer:
+            writer.close()
+
+    # Merge in plan order.  A shard's reported violation is the
+    # (depth, prefix)-least of its subtree, shards partition the depth-
+    # ``split`` frontier in global BFS order, and trunk violations are
+    # strictly shallower than any shard's — so the first shard attaining
+    # the minimal depth carries the globally least counterexample.
+    stats = ExploreStats()
+    digests: Set[str] = set(trunk.digests)
+    hits: List[dict] = list(trunk.probe_hits)
+    violation = trunk.violation
+    if trunk_doc is not None:
+        stats.merge(trunk_doc["stats"])
+    for prefix in plan:
+        doc = results.get(prefix)
+        if doc is None:
+            continue
+        stats.merge(doc["stats"])
+        digests.update(doc["digests"])
+        hits.extend(doc["probes"])
+        v = doc["violation"]
+        if v is not None and (violation is None or v["depth"] < violation.depth):
+            violation = Violation.from_json(v)
+
+    seen_hits: Set[str] = set()
+    unique_hits: List[dict] = []
+    for hit in sorted(
+        hits, key=lambda h: (h["depth"], h["schedule"], h["probe"])
+    ):
+        fingerprint = json.dumps(hit, sort_keys=True)
+        if fingerprint in seen_hits:
+            continue
+        seen_hits.add(fingerprint)
+        unique_hits.append(hit)
+    unique_hits = unique_hits[: spec.probe_limit]
+
+    if (
+        violation is not None
+        and spec.restrict is None
+        and violation.kind != "livelock"
+        and (spec.symmetry or spec.strategy == "dfs" or split > 0)
+    ):
+        violation = _canonical_violation(spec, violation, extra_invariants)
+
+    if violation is not None and hub is not None and hub.active:
+        from ..obs.events import InvariantViolated
+
+        hub.emit(
+            InvariantViolated(
+                violation_kind=violation.kind,
+                invariant=violation.invariant,
+                depth=violation.depth,
+                schedule=",".join(violation.schedule),
+                detail=violation.detail,
+            )
+        )
+
+    return ExploreResult(
+        spec=spec,
+        violation=violation,
+        unique_states=len(digests),
+        stats=stats,
+        probe_hits=unique_hits,
+        shards=len(plan),
+        resumed_shards=resumed,
+        workers=workers,
+        elapsed=time.perf_counter() - t0,
+        group_size=canon.group_size if canon is not None else 1,
+        truncated=canon.truncated if canon is not None else False,
+    )
+
+
+# ----------------------------------------------------------------------
+# counterexample traces
+# ----------------------------------------------------------------------
+
+
+def write_counterexample(
+    result: ExploreResult, path: str, sample_every: Optional[int] = None
+) -> Dict[str, Any]:
+    """Replay the counterexample schedule into a ``"kind": "explore"``
+    trace file that the obs replay loop can verify byte-for-byte.
+
+    The header carries the scenario (under ``"run"``), the exploration
+    spec, and the violation document, so
+    :func:`repro.obs.replay.replay_trace` can both re-execute the
+    schedule *and* re-establish that the final configuration violates
+    what the explorer said it violates.
+    """
+    if result.violation is None:
+        raise ExploreError(
+            "no violation to write: the exploration certified the bounded space"
+        )
+    violation = result.violation
+    spec = result.spec
+    with open(path, "w", encoding="utf-8") as handle:
+        writer = TraceWriter(handle)
+        bundle = build_scenario(spec.scenario)
+        by_str = {str(p): p for p in bundle.system.processors}
+        try:
+            prefix = [by_str[p] for p in violation.schedule]
+        except KeyError as exc:
+            raise ExploreError(
+                f"counterexample schedule names unknown processor {exc}"
+            ) from None
+        executor = Executor(
+            bundle.system, bundle.program, ReplayScheduler(prefix), sink=writer
+        )
+        if sample_every is None:
+            sample_every = max(1, len(bundle.system.processors))
+        header = {
+            "kind": "explore",
+            "run": dict(spec.scenario),
+            "explore": spec.to_json(),
+            "violation": violation.to_json(),
+        }
+        writer.write_header(
+            header, system_to_dict(bundle.system), len(prefix), sample_every
+        )
+        writer.sample(executor)
+        samples = 1
+        for i in range(len(prefix)):
+            executor.step()
+            if (i + 1) % sample_every == 0:
+                writer.sample(executor)
+                samples += 1
+        digest = writer.write_end(executor)
+    return {
+        "path": path,
+        "steps": len(prefix),
+        "samples": samples,
+        "sample_every": sample_every,
+        "final_digest": digest,
+        "lines": writer.lines_written,
+    }
+
+
+def _verify_livelock(spec: ExploreSpec, violation: Violation) -> Optional[str]:
+    """Re-walk a livelock lasso and confirm the loop and its stagnation."""
+    bundle = build_scenario(spec.scenario)
+    canon = (
+        OrbitCanonicalizer(bundle.system, limit=spec.symmetry_limit)
+        if spec.symmetry
+        else None
+    )
+    checks = _Checks(spec, bundle)
+    walker = _Walker(spec, bundle, canon, checks)
+    node = walker._root_node(())
+    keys = [node.key]
+    flags = [checks.progress(node.executor) if checks.progress else False]
+    for p_str in violation.schedule:
+        proc = walker.by_str.get(p_str)
+        if proc is None:
+            return f"schedule names unknown processor {p_str!r}"
+        node = walker._child(node, proc, node.executor.successor(proc))
+        keys.append(node.key)
+        flags.append(checks.progress(node.executor) if checks.progress else False)
+    start = keys.index(keys[-1])
+    if start == len(keys) - 1:
+        return "the schedule closes no cycle: its final state is new"
+    if any(flags[start:-1]):
+        return "the looped segment makes progress; not a livelock"
+    return None
+
+
+def verify_counterexample(header: Dict[str, Any]) -> Optional[str]:
+    """Independently re-establish a recorded counterexample.
+
+    ``header`` is the scenario document of a ``"kind": "explore"`` trace
+    (carrying ``explore`` and ``violation`` entries).  Deadlocks and
+    invariant violations are re-checked by a restricted exploration that
+    walks exactly the recorded schedule; livelocks by re-walking the
+    lasso.  Returns None on success, or a human-readable mismatch.
+    """
+    try:
+        spec = ExploreSpec.from_json(header["explore"])
+        violation = Violation.from_json(header["violation"])
+    except (KeyError, TypeError) as exc:
+        return f"malformed explore header: {exc}"
+    if violation.kind == "livelock":
+        return _verify_livelock(spec, violation)
+    check = replace(
+        spec,
+        restrict=violation.schedule,
+        max_depth=violation.depth,
+        symmetry=False,
+        strategy="bfs",
+        check_livelock=False,
+        progress=None,
+        probes=(),
+        split_depth=0,
+    )
+    result = run_explore(check, workers=0)
+    got = result.violation
+    if got is None:
+        return (
+            f"replaying the schedule found no violation within depth "
+            f"{violation.depth}"
+        )
+    if (got.kind, got.invariant, got.depth, got.schedule) != (
+        violation.kind,
+        violation.invariant,
+        violation.depth,
+        violation.schedule,
+    ):
+        return (
+            f"replayed violation disagrees with the recorded one: "
+            f"{got.to_json()!r} != {violation.to_json()!r}"
+        )
+    return None

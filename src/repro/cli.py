@@ -16,6 +16,11 @@ Gives the library's main analyses a shell-friendly surface:
   resumable, deterministic output on any worker count);
 * ``bench-witness`` -- serial vs sharded vs cached sweep timings
   (``BENCH_witness.json``);
+* ``explore`` -- bounded exhaustive schedule exploration with Θ-orbit
+  symmetry reduction: deadlock/livelock/invariant checking with
+  replayable counterexample traces;
+* ``bench-explore`` -- unreduced vs Θ-reduced vs sharded exploration
+  timings (``BENCH_explore.json``);
 * ``trace`` -- record a run as a replayable JSONL trace;
 * ``trace-mp`` -- record a message-passing run (with optional channel
   faults, crash-stops, and stubborn retransmission) as a trace;
@@ -492,6 +497,95 @@ def cmd_bench_witness(args) -> int:
     return 0
 
 
+def cmd_explore(args) -> int:
+    from .analysis.explore import ExploreSpec, run_explore, write_counterexample
+    from .exceptions import ExploreError
+    from .obs import ScenarioError
+
+    scenario = {
+        "topology": args.topology,
+        "size": args.size,
+        "alternating": args.alternating,
+        "model": args.model,
+        "marks": args.mark or [],
+        "program": args.program,
+        "program_seed": args.program_seed,
+        "scheduler": args.scheduler,
+        "sched_seed": args.sched_seed,
+    }
+    if args.sched_k is not None:
+        scenario["k"] = args.sched_k
+    try:
+        spec = ExploreSpec(
+            scenario=scenario,
+            max_depth=args.max_depth,
+            strategy=args.strategy,
+            fairness=args.fairness,
+            k=args.k,
+            symmetry=not args.no_symmetry,
+            invariants=tuple(args.invariant or []),
+            probes=tuple(args.probe or []),
+            check_deadlock=not args.no_deadlock,
+            check_livelock=args.livelock,
+            progress=args.progress,
+            split_depth=args.split_depth,
+        )
+    except (ExploreError, ScenarioError) as exc:
+        raise SystemExit(str(exc))
+
+    hub = None
+    if args.events:
+        from .obs import EventHub, JsonlSink
+
+        hub = EventHub()
+        hub.attach(JsonlSink(open(args.events, "w"), owns=True))
+    try:
+        result = run_explore(
+            spec, workers=args.workers, checkpoint=args.checkpoint, hub=hub
+        )
+    except (ExploreError, ScenarioError) as exc:
+        raise SystemExit(str(exc))
+    finally:
+        if hub is not None:
+            hub.close()
+
+    print(result.describe())
+    if args.output:
+        import json
+
+        with open(args.output, "w") as fh:
+            json.dump(result.report_doc(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"written: {args.output}")
+    if args.counterexample:
+        if result.violation is None:
+            print("no violation; counterexample trace not written")
+        else:
+            summary = write_counterexample(result, args.counterexample)
+            print(
+                f"counterexample: {summary['steps']} step(s) to {summary['path']} "
+                f"(replay with: python -m repro replay {summary['path']})"
+            )
+    return 1 if result.violation is not None else 0
+
+
+def cmd_bench_explore(args) -> int:
+    from .exceptions import ExploreError
+    from .perf.explore_bench import format_explore_bench, run_explore_bench
+
+    try:
+        doc = run_explore_bench(
+            workers=args.workers,
+            output=args.output or None,
+        )
+    except ExploreError as exc:
+        raise SystemExit(str(exc))
+    print(format_explore_bench(doc))
+    if args.output:
+        print(f"written: {args.output}")
+    return 0 if doc["all_agree"] else 1
+
+
 def cmd_replay(args) -> int:
     from .obs import TraceError, replay_trace
 
@@ -715,6 +809,88 @@ def build_parser() -> argparse.ArgumentParser:
     bench_witness.add_argument("--output", default="BENCH_witness.json",
                                help='JSON artifact path ("" to skip writing)')
     bench_witness.set_defaults(func=cmd_bench_witness)
+
+    explore = sub.add_parser(
+        "explore",
+        help="bounded exhaustive schedule exploration (symmetry-reduced)",
+    )
+    explore.add_argument(
+        "topology",
+        choices=sorted(_TOPOLOGIES) + ["dining", "figure1", "figure2", "figure3"],
+    )
+    explore.add_argument("size", type=int)
+    explore.add_argument("--max-depth", type=int, default=10,
+                         help="explore all schedules of at most this length")
+    explore.add_argument("--strategy", choices=["bfs", "dfs"], default="bfs")
+    explore.add_argument(
+        "--fairness", choices=["none", "fair", "k-bounded"], default="none",
+        help="restrict enumeration to prefixes of this schedule class",
+    )
+    explore.add_argument("--k", type=int, default=None,
+                         help="bound for --fairness k-bounded")
+    explore.add_argument("--no-symmetry", action="store_true",
+                         help="deduplicate exact configurations (no Θ-orbit quotient)")
+    explore.add_argument(
+        "--invariant", action="append", metavar="NAME",
+        help="check this named invariant at every state (repeatable; "
+             "exclusion, lockstep)",
+    )
+    explore.add_argument(
+        "--probe", action="append", metavar="NAME",
+        help="record states matching this named probe (repeatable; "
+             "uniform, selected)",
+    )
+    explore.add_argument("--no-deadlock", action="store_true",
+                         help="skip the built-in deadlock check")
+    explore.add_argument("--livelock", action="store_true",
+                         help="detect livelock cycles (DFS only, needs --progress)")
+    explore.add_argument(
+        "--progress", choices=["eating", "selected"], default=None,
+        help="progress criterion for the livelock check",
+    )
+    explore.add_argument("--split-depth", type=int, default=2,
+                         help="BFS depth at which the frontier is sharded")
+    explore.add_argument("--model", choices=["S", "Q", "L", "L2"], default="Q")
+    explore.add_argument(
+        "--program", choices=["random", "idle", "left-first", "both-forks"],
+        default="random",
+    )
+    explore.add_argument("--program-seed", type=int, default=0)
+    explore.add_argument("--mark", action="append", metavar="NODE")
+    explore.add_argument("--alternating", action="store_true",
+                         help="alternating fork naming (dining only)")
+    explore.add_argument(
+        "--scheduler", choices=["round-robin", "random", "k-bounded"],
+        default="round-robin",
+        help="base scheduler recorded in counterexample traces",
+    )
+    explore.add_argument("--sched-seed", type=int, default=0)
+    explore.add_argument("--sched-k", type=int, default=None,
+                         help="fairness bound for the k-bounded base scheduler")
+    explore.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (0 = serial; default: min(4, cores))",
+    )
+    explore.add_argument("--checkpoint", metavar="PATH",
+                         help="JSONL checkpoint; an existing file resumes the run")
+    explore.add_argument("--events", metavar="PATH",
+                         help="write per-shard progress / violation events as JSONL")
+    explore.add_argument("--output", "-o", metavar="PATH",
+                         help="write the deterministic exploration report as JSON")
+    explore.add_argument(
+        "--counterexample", metavar="PATH",
+        help="write the violating schedule as a replayable JSONL trace",
+    )
+    explore.set_defaults(func=cmd_explore)
+
+    bench_explore = sub.add_parser(
+        "bench-explore",
+        help="schedule-explorer microbenchmark: unreduced vs Θ-reduced vs sharded",
+    )
+    bench_explore.add_argument("--workers", type=int, default=4)
+    bench_explore.add_argument("--output", default="BENCH_explore.json",
+                               help='JSON artifact path ("" to skip writing)')
+    bench_explore.set_defaults(func=cmd_bench_explore)
 
     replay = sub.add_parser(
         "replay", help="re-run a recorded trace, verifying determinism"

@@ -1,0 +1,121 @@
+"""Θ-orbit canonicalization of execution states (symmetry reduction).
+
+The similarity labeling Θ is an isomorphism invariant: every automorphism
+of the system graph permutes nodes *within* Θ classes.  Because the
+paper's programs are anonymous and deterministic, an automorphism ``σ``
+also commutes with the step relation -- if configuration ``c`` steps to
+``c'`` when processor ``p`` runs, then ``σ·c`` steps to ``σ·c'`` when
+``σ(p)`` runs.  Two configurations in the same orbit therefore have
+isomorphic futures, and a state-space search may identify them: this is
+classic symmetry reduction (Clarke/Emerson/Jha; Ip/Dill), with Θ playing
+its usual role of bounding the candidate permutations.
+
+:class:`OrbitCanonicalizer` enumerates the automorphism group once per
+system (optionally truncated -- soundness does not depend on closure,
+only dedup strength does: every permutation applied maps reachable states
+to reachable states, so ``canonical(x) == canonical(y)`` always means
+``x`` and ``y`` are in the same orbit) and canonicalizes a state by
+taking the lexicographically least image under the enumerated
+permutations, comparing by ``repr`` so heterogeneous state values are
+ordered deterministically.
+
+States are the executor's *exploration states*
+(:meth:`repro.runtime.executor.Executor.exploration_state`): processor
+entries positional in ``system.processors`` order, variable entries
+positional in ``system.variables`` order, with embedded processor
+references (lock owners, subvalue posters) encoded as processor indices.
+A permutation acts by permuting both node axes and renaming the embedded
+indices through the inverse processor map.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .automorphism import iter_automorphisms
+from .system import System
+
+#: A processor-indexed vector riding along with the execution state
+#: (fairness deadline ages, per-processor step counts, ...); permuted on
+#: the processor axis exactly like the local-state part.
+ProcVector = Tuple[object, ...]
+
+
+class OrbitCanonicalizer:
+    """Canonicalize exploration states under the automorphism group.
+
+    Args:
+        system: the system whose automorphisms are enumerated.
+        limit: cap on the number of enumerated automorphisms (the group
+            can be large); truncation weakens deduplication but never
+            merges states from different orbits.
+    """
+
+    def __init__(self, system: System, limit: Optional[int] = 2000) -> None:
+        self.system = system
+        procs = tuple(system.processors)
+        variables = tuple(system.variables)
+        pindex = {p: i for i, p in enumerate(procs)}
+        vindex = {v: i for i, v in enumerate(variables)}
+        # Per permutation: where each output slot reads from, plus the
+        # inverse processor rename for embedded owner/poster indices.
+        self._perms: List[Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]] = []
+        count = 0
+        for sigma in iter_automorphisms(system, limit=limit):
+            psrc = tuple(pindex[sigma[p]] for p in procs)
+            vsrc = tuple(vindex[sigma[v]] for v in variables)
+            inverse = {sigma[p]: p for p in procs}
+            prename = tuple(pindex[inverse[p]] for p in procs)
+            self._perms.append((psrc, vsrc, prename))
+            count += 1
+        self.group_size = count
+        self.truncated = limit is not None and count >= limit
+
+    def _apply(
+        self,
+        perm: Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]],
+        proc_part: Tuple[object, ...],
+        var_part: Tuple[object, ...],
+        vectors: Tuple[ProcVector, ...],
+    ) -> Tuple[object, ...]:
+        psrc, vsrc, prename = perm
+        new_procs = tuple(proc_part[i] for i in psrc)
+        new_vars: List[object] = []
+        for j in vsrc:
+            entry = var_part[j]
+            if entry[0] == "plain":
+                _kind, value, locked, owner = entry
+                new_vars.append(
+                    ("plain", value, locked, prename[owner] if owner >= 0 else -1)
+                )
+            else:  # ("subvalue", base, ((proc_index, value), ...))
+                _kind, base, items = entry
+                new_vars.append(
+                    (
+                        "subvalue",
+                        base,
+                        tuple(sorted((prename[i], val) for i, val in items)),
+                    )
+                )
+        new_vectors = tuple(tuple(vec[i] for i in psrc) for vec in vectors)
+        return (new_procs, tuple(new_vars), new_vectors)
+
+    def canonical(
+        self,
+        proc_part: Tuple[object, ...],
+        var_part: Tuple[object, ...],
+        vectors: Sequence[ProcVector] = (),
+    ) -> Tuple[object, ...]:
+        """The lexicographically least orbit member (by ``repr``)."""
+        vectors = tuple(vectors)
+        best = None
+        best_repr = None
+        for perm in self._perms:
+            candidate = self._apply(perm, proc_part, var_part, vectors)
+            candidate_repr = repr(candidate)
+            if best_repr is None or candidate_repr < best_repr:
+                best = candidate
+                best_repr = candidate_repr
+        if best is None:  # no automorphism enumerated (cannot happen: identity)
+            return (proc_part, var_part, vectors)
+        return best

@@ -60,3 +60,9 @@ class FamilyError(ReproError):
 class WitnessSearchError(ReproError):
     """The witness-sweep engine was misconfigured (unknown model labels,
     or a checkpoint recorded for a different sweep specification)."""
+
+
+class ExploreError(ReproError):
+    """The schedule-space explorer was misconfigured (bad specification,
+    unknown invariant or probe names, or a checkpoint recorded for a
+    different exploration)."""

@@ -28,6 +28,8 @@ from .events import (
     CrashManifested,
     Event,
     EventHub,
+    ExplorationProgress,
+    InvariantViolated,
     MessageDelivered,
     MessageDropped,
     MessageDuplicated,
@@ -60,6 +62,7 @@ _LAZY = {
     # replay
     "Divergence": "replay",
     "ReplayReport": "replay",
+    "replay_explore_trace": "replay",
     "replay_mp_trace": "replay",
     "replay_trace": "replay",
     # reporting
@@ -75,6 +78,8 @@ __all__ = [
     "Event",
     "EventHub",
     "EventSink",
+    "ExplorationProgress",
+    "InvariantViolated",
     "JsonlSink",
     "MessageDelivered",
     "MessageDropped",

@@ -338,6 +338,78 @@ class WitnessFound(Event):
         }
 
 
+@dataclass(frozen=True)
+class ExplorationProgress(Event):
+    """One shard of a bounded schedule-space exploration completed.
+
+    Attributes:
+        shard: the shard's root schedule prefix, joined with ``,`` (the
+            trunk shard is ``""``).
+        visited: states the shard checked (discovered and verified).
+        expanded: states whose successor set was enumerated.
+        transitions: successor executions performed.
+        violation: True when the shard found an invariant violation,
+            deadlock or livelock.
+        resumed: True when the shard was loaded from a checkpoint rather
+            than executed.
+    """
+
+    kind: ClassVar[str] = "explore-shard"
+
+    shard: str
+    visited: int
+    expanded: int
+    transitions: int
+    violation: bool = False
+    resumed: bool = False
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "shard": self.shard,
+            "visited": self.visited,
+            "expanded": self.expanded,
+            "transitions": self.transitions,
+            "violation": self.violation,
+            "resumed": self.resumed,
+        }
+
+
+@dataclass(frozen=True)
+class InvariantViolated(Event):
+    """The merged (deterministic) verdict of an exploration that failed.
+
+    Emitted after the plan-order merge, so the reported counterexample is
+    identical across worker counts and ``PYTHONHASHSEED`` values.
+
+    Attributes:
+        violation_kind: ``"deadlock"``, ``"livelock"`` or ``"invariant"``.
+        invariant: the violated invariant's registry name (empty for the
+            built-in deadlock/livelock checks).
+        depth: length of the counterexample schedule prefix.
+        schedule: the counterexample prefix, joined with ``,``.
+        detail: human-readable description of the violated condition.
+    """
+
+    kind: ClassVar[str] = "invariant-violated"
+
+    violation_kind: str
+    invariant: str
+    depth: int
+    schedule: str
+    detail: str
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "violation": self.violation_kind,
+            "invariant": self.invariant,
+            "depth": self.depth,
+            "schedule": self.schedule,
+            "detail": self.detail,
+        }
+
+
 class EventHub:
     """A tiny synchronous dispatcher: attach sinks, emit events.
 

@@ -24,6 +24,14 @@ Two modes:
 
 Either way, agreement at every sampled digest plus agreement on every
 step document means the replayed execution is the recorded execution.
+
+Counterexample traces written by the schedule-space explorer
+(``"kind": "explore"``, see :mod:`repro.analysis.explore`) replay
+through :func:`replay_explore_trace`: the recorded schedule is an
+explicit choice sequence, so only ``"schedule"`` mode applies, and the
+replay additionally re-establishes — via
+:func:`repro.analysis.explore.verify_counterexample` — that the final
+configuration really violates what the explorer claimed.
 """
 
 from __future__ import annotations
@@ -152,6 +160,8 @@ def replay_trace(
         raise TraceError("trace header carries no scenario spec; cannot rebuild")
     if trace.scenario.get("kind") == "mp":
         return replay_mp_trace(trace, mode=mode)
+    if trace.scenario.get("kind") == "explore":
+        return replay_explore_trace(trace, mode=mode)
 
     bundle = build_scenario(trace.scenario)
     by_str = {str(p): p for p in bundle.system.processors}
@@ -163,7 +173,11 @@ def replay_trace(
         scheduler = ReplayScheduler(prefix)
     else:
         scheduler = bundle.scheduler
+    return _replay_sv_steps(trace, bundle, scheduler, mode)
 
+
+def _replay_sv_steps(trace: Trace, bundle, scheduler, mode: str) -> ReplayReport:
+    """Shared-variable step replay core: re-execute and verify."""
     last = _LastStep()
     executor = Executor(bundle.system, bundle.program, scheduler, sink=last)
     samples = trace.samples_by_step()
@@ -211,6 +225,65 @@ def replay_trace(
     if divergence is not None:
         report.ok = False
         report.divergence = divergence
+    return report
+
+
+# ----------------------------------------------------------------------
+# explorer-counterexample replay
+# ----------------------------------------------------------------------
+
+
+def replay_explore_trace(
+    trace: Union[Trace, str],
+    mode: str = "schedule",
+) -> ReplayReport:
+    """Replay an explorer counterexample trace and re-verify its claim.
+
+    The trace's scenario document (``"kind": "explore"``) wraps the
+    underlying run spec (``"run"``), the exploration spec, and the
+    violation.  The recorded schedule is an explicit choice sequence —
+    there is no original scheduler to rebuild — so only ``"schedule"``
+    mode is meaningful and ``"scheduler"`` mode is rejected.
+
+    Beyond the usual byte-level step/digest agreement, the replay calls
+    :func:`repro.analysis.explore.verify_counterexample` to re-establish
+    independently that the schedule really produces the recorded
+    deadlock / livelock / invariant violation; a mismatch is reported as
+    a ``"violation"`` divergence at the violation's depth.
+    """
+    if isinstance(trace, str):
+        trace = load_trace(trace)
+    if mode != "schedule":
+        raise TraceError(
+            "explore counterexamples embed an explicit schedule; only "
+            "'schedule' replay mode applies"
+        )
+    header = trace.scenario
+    run_spec = header.get("run")
+    if not isinstance(run_spec, dict):
+        raise TraceError("explore trace header carries no 'run' scenario spec")
+
+    bundle = build_scenario(run_spec)
+    by_str = {str(p): p for p in bundle.system.processors}
+    try:
+        prefix = [by_str[p] for p in trace.schedule()]
+    except KeyError as exc:
+        raise TraceError(f"recorded schedule names unknown processor {exc}") from None
+    report = _replay_sv_steps(trace, bundle, ReplayScheduler(prefix), mode)
+    report.scenario = dict(header)
+    if report.ok:
+        from ..analysis.explore import verify_counterexample
+
+        mismatch = verify_counterexample(header)
+        if mismatch is not None:
+            violation = header.get("violation") or {}
+            report.ok = False
+            report.divergence = Divergence(
+                step=int(violation.get("depth", len(prefix))),
+                reason="violation",
+                expected=violation,
+                actual=mismatch,
+            )
     return report
 
 

@@ -75,6 +75,9 @@ from ..topologies import (
     alternating_ring,
     complete_bipartite,
     dining_system,
+    figure1_network,
+    figure2_network,
+    figure3_network,
     path,
     ring,
     star,
@@ -94,6 +97,11 @@ _TOPOLOGIES = {
     "star": lambda n: star(n),
     "complete": lambda n: complete_bipartite(n, 2),
     "grid": lambda n: torus_grid(n, n),
+    # The paper's fixed example systems; ``size`` is ignored.  Figure 3's
+    # distinguished processor is expressed as usual via ``marks: ["z"]``.
+    "figure1": lambda n: figure1_network(),
+    "figure2": lambda n: figure2_network(),
+    "figure3": lambda n: figure3_network(),
 }
 
 _MODELS = {

@@ -16,11 +16,14 @@ configuration of an experiment -- and this package drives those in bulk:
 * :mod:`repro.perf.mp_bench` -- faulty-channel delivery throughput for
   the message-passing runtime (``BENCH_mp_faults.json``);
 * :mod:`repro.perf.witness_bench` -- serial vs sharded vs cached timing
-  of the separation-witness sweep engine (``BENCH_witness.json``).
+  of the separation-witness sweep engine (``BENCH_witness.json``);
+* :mod:`repro.perf.explore_bench` -- unreduced vs Θ-reduced vs sharded
+  timing of the bounded schedule explorer (``BENCH_explore.json``).
 
 All are exposed on the CLI: ``python -m repro batch ...``,
-``python -m repro bench ...``, ``python -m repro bench-mp ...``, and
-``python -m repro bench-witness ...``.
+``python -m repro bench ...``, ``python -m repro bench-mp ...``,
+``python -m repro bench-witness ...``, and
+``python -m repro bench-explore ...``.
 """
 
 from .batch import (
@@ -29,6 +32,7 @@ from .batch import (
     batch_similarity,
     system_fingerprint,
 )
+from .explore_bench import format_explore_bench, run_explore_bench
 from .microbench import run_microbench
 from .mp_bench import run_mp_bench
 from .witness_bench import format_witness_bench, run_witness_bench
@@ -37,7 +41,9 @@ __all__ = [
     "BatchReport",
     "SimilarityCache",
     "batch_similarity",
+    "format_explore_bench",
     "format_witness_bench",
+    "run_explore_bench",
     "run_microbench",
     "run_mp_bench",
     "run_witness_bench",

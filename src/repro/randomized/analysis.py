@@ -63,6 +63,15 @@ def ir_expected_phases(candidates: int, id_space: int) -> float:
         return 0.0
     dist = dict(_survivor_distribution(candidates, id_space))
     self_loop = dist.get(candidates, 0.0)
+    if self_loop >= 1.0:
+        # id_space == 1 with >= 2 candidates: every phase is an all-way
+        # tie, the election never terminates, and the recurrence would
+        # divide by zero.
+        raise ValueError(
+            f"Itai-Rodeh never elects with id_space={id_space} and "
+            f"{candidates} candidates: every draw ties, the expected "
+            "number of phases is infinite"
+        )
     rest = 1.0
     for k, p in dist.items():
         if 2 <= k < candidates:
@@ -83,6 +92,12 @@ def ir_expected_messages(n: int, id_space: int) -> float:
             return 0.0
         dist = dict(_survivor_distribution(c, id_space))
         self_loop = dist.get(c, 0.0)
+        if self_loop >= 1.0:
+            raise ValueError(
+                f"Itai-Rodeh never elects with id_space={id_space} and "
+                f"{c} candidates: every draw ties, the expected message "
+                "count is infinite"
+            )
         rest = float(c)
         for k, p in dist.items():
             if 2 <= k < c:

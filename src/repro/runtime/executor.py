@@ -255,6 +255,62 @@ class Executor:
         var_part = tuple(self.vars[v].snapshot() for v in self.system.variables)
         return (proc_part, var_part)
 
+    def eligible_processors(self) -> Tuple[NodeId, ...]:
+        """Processors that can still execute a real instruction.
+
+        The paper's scheduler may select any processor at any step, but a
+        halted processor only wastes the slot; for state-space exploration
+        the *eligible* set is what matters (no eligible processor means
+        the run is over).  System order, so enumeration is deterministic.
+        """
+        return tuple(p for p in self.system.processors if not self.halted[p])
+
+    def exploration_state(self) -> Configuration:
+        """An exact state snapshot for state-space search.
+
+        :meth:`configuration` abstracts on purpose -- lock *ownership* and
+        Q subvalue *attribution* are invisible to paper-level observers --
+        but both determine future behavior (strict unlock and multi-lock
+        checks consult the owner; a poster overwrites its own subvalue).
+        This snapshot keeps them, encoding processors by their position in
+        ``system.processors`` so that permuting similar processors acts on
+        the snapshot by index permutation.  Halted flags ride along with
+        the local states for the same reason.
+        """
+        index = {p: i for i, p in enumerate(self.system.processors)}
+        proc_part = tuple(
+            (self.local[p], self.halted[p]) for p in self.system.processors
+        )
+        var_part = []
+        for v in self.system.variables:
+            variable = self.vars[v]
+            if isinstance(variable, SubvalueVariable):
+                entries = tuple(
+                    sorted((index[p], val) for p, val in variable.subvalues.items())
+                )
+                var_part.append(("subvalue", variable.base, entries))
+            else:
+                owner = variable.lock_owner
+                var_part.append(
+                    (
+                        "plain",
+                        variable.value,
+                        variable.locked,
+                        index[owner] if owner in index else -1,
+                    )
+                )
+        return (proc_part, tuple(var_part))
+
+    def successor(self, processor: NodeId) -> "Executor":
+        """The executor one ``step_as(processor)`` later, as a fresh clone.
+
+        The receiver is untouched; successive calls enumerate the
+        successor configurations of the current state.
+        """
+        twin = self.clone()
+        twin.step_as(processor)
+        return twin
+
     def node_state(self, node: NodeId) -> Hashable:
         """The paper-level ``state(x)``: local state for processors, value
         snapshot for variables."""

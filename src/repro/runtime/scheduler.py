@@ -51,6 +51,19 @@ class Scheduler(ABC):
         schedulers have nothing to re-anchor (default: no-op).
         """
 
+    @property
+    def periodic(self) -> bool:
+        """Is the choice a pure function of ``step_index`` with a period?
+
+        Cycle detection (:func:`repro.runtime.trace.run_until_cycle`)
+        relies on this: a repeated *configuration* implies a repeating
+        *execution* only when the scheduler carries no hidden state beyond
+        the step index modulo its period.  Deadline- or RNG-driven
+        schedulers must answer False (the default) so that cycle detection
+        refuses to produce bogus lassos for them.
+        """
+        return False
+
 
 class RoundRobinScheduler(Scheduler):
     """p0 p1 ... pn-1 p0 p1 ... -- the canonical n-bounded fair schedule."""
@@ -70,6 +83,10 @@ class RoundRobinScheduler(Scheduler):
     def rebase(self, origin: int) -> None:
         self._origin = origin
 
+    @property
+    def periodic(self) -> bool:
+        return True
+
 
 class ClassRoundRobinScheduler(Scheduler):
     """The schedule from the proof of Theorem 4.
@@ -82,6 +99,8 @@ class ClassRoundRobinScheduler(Scheduler):
     """
 
     def __init__(self, processors: Sequence[NodeId], labeling: Labeling) -> None:
+        if not processors:
+            raise ScheduleError("class round robin needs at least one processor")
         classes: Dict[object, List[NodeId]] = {}
         for p in processors:
             classes.setdefault(labeling[p], []).append(p)
@@ -99,6 +118,10 @@ class ClassRoundRobinScheduler(Scheduler):
 
     def rebase(self, origin: int) -> None:
         self._origin = origin
+
+    @property
+    def periodic(self) -> bool:
+        return True
 
 
 class RandomFairScheduler(Scheduler):
@@ -219,6 +242,13 @@ class ReplayScheduler(Scheduler):
         self._origin = origin
         self._handed_off = False
 
+    @property
+    def periodic(self) -> bool:
+        # The prefix is positional, hence periodic in the degenerate
+        # sense; an infinite run is periodic iff the fallback is.  With no
+        # fallback the schedule is not even infinite, so: not periodic.
+        return self._then is not None and self._then.periodic
+
 
 class StarvationScheduler(Scheduler):
     """A *general* schedule: the given processors never run.
@@ -243,6 +273,10 @@ class StarvationScheduler(Scheduler):
 
     def rebase(self, origin: int) -> None:
         self._origin = origin
+
+    @property
+    def periodic(self) -> bool:
+        return True
 
     @property
     def starved(self) -> frozenset:

@@ -46,15 +46,31 @@ def run_until_cycle(
     executor: Executor,
     stride: Optional[int] = None,
     max_samples: int = 100_000,
+    assume_periodic: bool = False,
 ) -> CycleInfo:
     """Run ``executor`` until a sampled configuration repeats.
 
     Samples the configuration every ``stride`` steps (default: one round,
     i.e. the number of processors) starting with the initial
-    configuration.  Works only with schedulers whose behavior is periodic
-    in the step index (round-robin style); an adaptive scheduler may never
-    cycle, in which case ``max_samples`` aborts the search.
+    configuration.  Sound only for schedulers whose behavior is periodic
+    in the step index (round-robin style): a repeated configuration then
+    implies the whole execution repeats.  Stateful schedulers
+    (deadline-driven, seeded-random, adaptive) carry hidden state outside
+    the configuration, so a repeated configuration does *not* pin down the
+    future and the returned lasso could diverge from the real run; unless
+    ``assume_periodic`` is set, a scheduler whose
+    :attr:`~repro.runtime.scheduler.Scheduler.periodic` property is False
+    is rejected with :class:`ExecutionError` instead of silently returning
+    a wrong answer.
     """
+    if not (assume_periodic or executor.scheduler.periodic):
+        raise ExecutionError(
+            "run_until_cycle needs a periodic scheduler: "
+            f"{type(executor.scheduler).__name__} keeps scheduling state "
+            "outside the configuration, so a repeated configuration does "
+            "not imply a repeating execution (pass assume_periodic=True "
+            "to override)"
+        )
     if stride is None:
         stride = len(executor.system.processors)
     seen: Dict[Configuration, int] = {}
@@ -83,6 +99,7 @@ def states_equal_infinitely_often(
     nodes: Sequence[NodeId],
     stride: Optional[int] = None,
     max_samples: int = 100_000,
+    assume_periodic: bool = False,
 ) -> bool:
     """Do all of ``nodes`` share one state at some sampled time, infinitely
     often?
@@ -104,7 +121,12 @@ def states_equal_infinitely_often(
     stride = stride or len(executor.system.processors)
 
     # Re-run and inspect node states at each sample inside the cycle.
-    info = run_until_cycle(executor, stride=stride, max_samples=max_samples)
+    info = run_until_cycle(
+        executor,
+        stride=stride,
+        max_samples=max_samples,
+        assume_periodic=assume_periodic,
+    )
     probe = executor_factory()
     probe.scheduler.reset()
     hits = []

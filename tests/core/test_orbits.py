@@ -1,0 +1,94 @@
+"""Θ-orbit canonicalization of exploration states."""
+
+import pytest
+
+from repro.core import InstructionSet, System
+from repro.core.orbits import OrbitCanonicalizer
+from repro.runtime import Executor, RandomProgramQ, RoundRobinScheduler
+from repro.topologies import dining_system, ring
+
+
+def ring4():
+    return System(ring(4), None, InstructionSet.Q)
+
+
+def state_after(system, proc):
+    ex = Executor(
+        system,
+        RandomProgramQ(system.names, seed=0),
+        RoundRobinScheduler(system.processors),
+    )
+    return ex.successor(proc).exploration_state()
+
+
+class TestGroupEnumeration:
+    def test_unmarked_ring_rotations(self):
+        canon = OrbitCanonicalizer(ring4())
+        assert canon.group_size == 4
+        assert not canon.truncated
+
+    def test_marked_ring_is_rigid(self):
+        system = System(ring(4), {"p0": 1}, InstructionSet.Q)
+        assert OrbitCanonicalizer(system).group_size == 1
+
+    def test_dining_tables(self):
+        assert OrbitCanonicalizer(dining_system(5)).group_size == 5
+        assert (
+            OrbitCanonicalizer(dining_system(6, alternating=True)).group_size
+            == 6
+        )
+
+    def test_truncation_is_flagged(self):
+        canon = OrbitCanonicalizer(ring4(), limit=2)
+        assert canon.group_size == 2
+        assert canon.truncated
+
+
+class TestCanonicalForm:
+    def test_symmetric_steps_share_a_canonical_form(self):
+        # p0 and p1 are automorphic on the unmarked ring, so stepping
+        # either one must land in the same orbit.
+        system = ring4()
+        canon = OrbitCanonicalizer(system)
+        a = state_after(system, "p0")
+        b = state_after(system, "p1")
+        assert a != b
+        assert canon.canonical(*a) == canon.canonical(*b)
+
+    def test_canonical_is_orbit_invariant_choice(self):
+        # Canonicalizing twice (or canonicalizing a canonical form)
+        # changes nothing: the least orbit member is a fixed point.
+        system = ring4()
+        canon = OrbitCanonicalizer(system)
+        a = state_after(system, "p0")
+        proc, var, vec = canon.canonical(*a)
+        assert canon.canonical(proc, var, vec) == (proc, var, vec)
+
+    def test_identity_truncation_degrades_to_exact_dedup(self):
+        # Soundness under truncation: with only the identity enumerated,
+        # equal canonical forms are exactly equal raw states — distinct
+        # orbit members stop merging but never merge wrongly.
+        system = ring4()
+        canon = OrbitCanonicalizer(system, limit=1)
+        a = state_after(system, "p0")
+        b = state_after(system, "p1")
+        assert canon.canonical(*a) != canon.canonical(*b)
+        assert canon.canonical(*a) == (a[0], a[1], ())
+
+    def test_vectors_permute_with_the_processor_axis(self):
+        # A processor-indexed vector (e.g. fairness ages) riding along
+        # must be permuted consistently: symmetric states with the
+        # symmetric vector still merge, asymmetric vectors keep them
+        # apart.
+        system = ring4()
+        canon = OrbitCanonicalizer(system)
+        a = state_after(system, "p0")
+        b = state_after(system, "p1")
+        ages_a = (1, 2, 2, 2)  # p0 just ran
+        ages_b = (2, 1, 2, 2)  # p1 just ran — the rotated image
+        assert canon.canonical(a[0], a[1], (ages_a,)) == canon.canonical(
+            b[0], b[1], (ages_b,)
+        )
+        assert canon.canonical(a[0], a[1], (ages_a,)) != canon.canonical(
+            b[0], b[1], (ages_a,)
+        )

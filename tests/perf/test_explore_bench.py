@@ -1,0 +1,72 @@
+"""Smoke tests for the schedule-explorer benchmark harness."""
+
+import json
+
+from repro.analysis.explore import ExploreSpec
+from repro.perf.explore_bench import (
+    default_cases,
+    format_explore_bench,
+    run_explore_bench,
+)
+
+#: A CI-sized case set: one violation, one certification.
+TINY_CASES = (
+    (
+        "dp4-deadlock",
+        ExploreSpec(
+            scenario={"topology": "dining", "size": 4, "program": "left-first"},
+            max_depth=8,
+            invariants=("exclusion",),
+        ),
+    ),
+    (
+        "ring3-lockstep",
+        ExploreSpec(
+            scenario={"topology": "ring", "size": 3, "model": "Q",
+                      "program": "random"},
+            max_depth=6,
+            fairness="k-bounded",
+            k=3,
+            invariants=("lockstep",),
+            check_deadlock=False,
+        ),
+    ),
+)
+
+
+class TestRunExploreBench:
+    def test_smoke_document_shape(self, tmp_path):
+        out = tmp_path / "BENCH_explore.json"
+        doc = run_explore_bench(cases=TINY_CASES, workers=0, output=str(out))
+        assert out.exists()
+        assert json.loads(out.read_text()) == doc
+        assert doc["all_agree"] is True
+        deadlock, lockstep = doc["cases"]
+        assert deadlock["case"] == "dp4-deadlock"
+        assert deadlock["verdict"] == "violation"
+        assert deadlock["violation"]["kind"] == "deadlock"
+        assert deadlock["violation"]["depth"] == 8
+        # symmetry reduction must actually reduce on the uniform table
+        assert deadlock["states_reduced"] < deadlock["states_unreduced"]
+        assert deadlock["group_size"] == 4
+        assert lockstep["verdict"] == "certified"
+        assert lockstep["violation"] is None
+        for row in doc["cases"]:
+            assert row["agreement"] is True
+            assert row["unreduced_s"] >= 0
+            assert row["reduced_s"] >= 0
+            assert row["sharded_s"] >= 0
+
+    def test_default_cases_are_the_headline_experiments(self):
+        names = [name for name, _spec in default_cases()]
+        assert names == ["dp-deadlock", "dp-prime-certified", "ring-lockstep"]
+        specs = dict(default_cases())
+        assert specs["dp-deadlock"].scenario["topology"] == "dining"
+        assert specs["dp-prime-certified"].scenario["alternating"] is True
+        assert specs["ring-lockstep"].fairness == "k-bounded"
+
+    def test_format_renders(self):
+        doc = run_explore_bench(cases=TINY_CASES[:1], workers=0, output=None)
+        text = format_explore_bench(doc)
+        assert "dp4-deadlock" in text
+        assert "all verdicts agree: yes" in text

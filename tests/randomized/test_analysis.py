@@ -45,6 +45,27 @@ class TestExpectedPhases:
         assert measured == pytest.approx(analytic, rel=0.15)
 
 
+class TestDegenerateIdSpace:
+    """Regression: ``id_space=1`` with two or more candidates used to die
+    with ZeroDivisionError inside the phase recurrence (every phase is an
+    all-way tie, so the self-loop probability is 1 and the expectation is
+    infinite).  Both analytics now explain that instead."""
+
+    def test_expected_phases_rejects_unwinnable_election(self):
+        with pytest.raises(ValueError, match="never elects"):
+            ir_expected_phases(2, 1)
+        with pytest.raises(ValueError, match="never elects"):
+            ir_expected_phases(5, 1)
+
+    def test_expected_messages_rejects_unwinnable_election(self):
+        with pytest.raises(ValueError, match="never elects"):
+            ir_expected_messages(3, 1)
+
+    def test_single_candidate_still_fine(self):
+        # One candidate wins by default regardless of the id space.
+        assert ir_expected_phases(1, 1) == 0.0
+
+
 class TestLehmannRabin:
     def test_trap_probability_vanishes(self):
         assert lr_all_same_direction_probability(5) == pytest.approx(1 / 16)

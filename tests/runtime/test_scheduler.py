@@ -32,6 +32,13 @@ class TestRoundRobin:
 
 
 class TestClassRoundRobin:
+    def test_empty_rejected(self):
+        """Regression: an empty processor list used to build a scheduler
+        whose first ``next_processor`` call died with ZeroDivisionError
+        (``step_index %% 0``); the constructor now refuses it up front."""
+        with pytest.raises(ScheduleError):
+            ClassRoundRobinScheduler([], Labeling({"a": 1}))
+
     def test_classes_run_back_to_back(self):
         lab = Labeling({"a": 1, "b": 2, "c": 1})
         sched = ClassRoundRobinScheduler(PROCS, lab)
@@ -161,3 +168,29 @@ class TestPrefixValidation:
         assert is_k_bounded_prefix(["a", "b", "c", "a", "b", "c"], PROCS, 3)
         assert not is_k_bounded_prefix(["a", "a", "a", "b", "c"], PROCS, 3)
         assert not is_k_bounded_prefix(["a"], PROCS, 2)  # k < |P|
+
+
+class TestPeriodicProperty:
+    """``Scheduler.periodic`` gates cycle detection (see run_until_cycle).
+
+    Regression: stateful schedulers used to be fed to cycle detection
+    as if positional, silently producing bogus lassos.  The property is
+    the contract that stops that: positional schedulers answer True,
+    schedulers with hidden state answer False.
+    """
+
+    def test_positional_schedulers_are_periodic(self):
+        lab = Labeling({"a": 1, "b": 2, "c": 1})
+        assert RoundRobinScheduler(PROCS).periodic
+        assert ClassRoundRobinScheduler(PROCS, lab).periodic
+        assert StarvationScheduler(PROCS, starved=["b"]).periodic
+
+    def test_stateful_schedulers_are_not(self):
+        assert not RandomFairScheduler(PROCS, seed=0).periodic
+        assert not KBoundedFairScheduler(PROCS, k=3, seed=0).periodic
+
+    def test_replay_periodic_iff_fallback_is(self):
+        assert ReplayScheduler(["a"], RoundRobinScheduler(PROCS)).periodic
+        assert not ReplayScheduler(["a"], RandomFairScheduler(PROCS, seed=0)).periodic
+        # a bare prefix is a finite schedule: nothing periodic about it
+        assert not ReplayScheduler(["a", "b"]).periodic

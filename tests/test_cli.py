@@ -204,6 +204,56 @@ class TestBenchWitness:
             main(["bench-witness", "--pairs", "QL", "--output", ""])
 
 
+class TestExplore:
+    def test_dining_deadlock_end_to_end(self, tmp_path, capsys):
+        report = tmp_path / "explore.json"
+        trace = tmp_path / "ce.jsonl"
+        # a violation exits 1, like replay on divergence
+        assert main([
+            "explore", "dining", "4",
+            "--program", "left-first",
+            "--max-depth", "8",
+            "--invariant", "exclusion",
+            "--workers", "0",
+            "--output", str(report),
+            "--counterexample", str(trace),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "deadlock at depth 8" in out
+        assert report.exists() and trace.exists()
+        import json
+
+        doc = json.loads(report.read_text())
+        assert doc["verdict"] == "violation"
+        assert doc["violation"]["kind"] == "deadlock"
+        # and the counterexample replays through the standard loop
+        assert main(["replay", str(trace)]) == 0
+        assert "replay ok" in capsys.readouterr().out
+
+    def test_certified_exits_zero(self, capsys):
+        assert main([
+            "explore", "dining", "4",
+            "--alternating",
+            "--program", "left-first",
+            "--max-depth", "6",
+            "--workers", "0",
+        ]) == 0
+        assert "certified" in capsys.readouterr().out
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(SystemExit, match="k-bounded"):
+            main(["explore", "ring", "3", "--k", "3", "--workers", "0"])
+
+
+class TestBenchExplore:
+    def test_parser_wiring(self):
+        args = build_parser().parse_args(
+            ["bench-explore", "--workers", "0", "--output", ""]
+        )
+        assert args.func.__name__ == "cmd_bench_explore"
+        assert args.workers == 0
+
+
 class TestExplain:
     def test_explain_command(self, capsys):
         assert main(["explain", "path", "4", "p0", "p3"]) == 0
