@@ -16,25 +16,38 @@ deterministic, so every automorphism ``σ`` of the system graph commutes
 with the step relation: if ``c`` steps to ``c'`` under processor ``p``,
 then ``σ·c`` steps to ``σ·c'`` under ``σ(p)``.  Configurations in one
 orbit therefore have isomorphic futures, and the explorer deduplicates
-by the Θ-orbit canonical form (:class:`~repro.core.orbits
-.OrbitCanonicalizer`), typically visiting a small fraction of the
+by an exact Θ-orbit canonical *byte key*
+(:class:`~repro.core.orbits.StabilizerChainCanonicalizer` over the
+:mod:`repro.core.encoding` layer — a Schreier–Sims minimal-image search,
+no enumeration cap), typically visiting a small fraction of the
 unreduced space on symmetric families (rings, dining philosophers) while
 returning the *identical verdict* — the built-in invariants (deadlock,
 livelock, mutual exclusion, Θ-class lockstep) are all preserved by
-automorphisms.  ``symmetry=False`` falls back to exact configurations.
+automorphisms.  ``symmetry=False`` falls back to exact configurations
+(the encoder's identity key).
 
 **Determinism and sharding.**  BFS enqueues children in system processor
 order, so discovery order is globally sorted by ``(depth, prefix)`` and
 the first violation found is the lexicographically least counterexample.
-Large frontiers shard by schedule prefix: a serial *trunk* explores to
-``split_depth``, the distinct frontier states become shard roots, and
-shards fan out across a ``ProcessPoolExecutor`` (the
-:mod:`repro.perf.batch` pattern: plain-data payloads, results merged in
-plan order).  A sharded run reports the same verdict and — after the
-bounded canonicalization re-search — the same counterexample as the
-serial one, on any worker count and under any ``PYTHONHASHSEED``.
-Finished shards stream to a JSONL checkpoint and are not re-run on
-resume.
+Parallel runs are *level-synchronous*: a serial trunk explores to
+``split_depth``, then each deeper BFS level fans its frontier out across
+a ``ProcessPoolExecutor`` in fixed-size chunks.  Workers build their
+scenario/canonicalizer context **once** (pool initializer, not per
+task), the level's frontier is published through one
+:class:`~multiprocessing.managers.SharedMemoryManager` block that every
+worker attaches instead of receiving pickled payloads, and workers
+reconstruct states by replaying schedule prefixes against a shared-path
+cache (consecutive frontier entries share all but their last steps).
+The parent merges chunk results in frontier order and owns the visited
+set, so every state is expanded by exactly one worker exactly once —
+parallel total work equals serial total work, unlike subtree sharding
+whose overlapping shard subtrees multiply it.  Chunking is independent
+of the worker count and the serial path walks the identical
+trunk/level/chunk structure, so a sharded run reports the same verdict,
+states and — after the bounded canonicalization re-search — the same
+counterexample as the serial one, on any worker count and under any
+``PYTHONHASHSEED``.  Finished levels stream to a JSONL checkpoint and
+are not re-run on resume.
 
 CLI: ``python -m repro explore --topology dining --size 5 ...`` and
 ``python -m repro bench-explore`` (``BENCH_explore.json``).
@@ -44,24 +57,38 @@ from __future__ import annotations
 
 import json
 import os
+import struct
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
+from hashlib import blake2b
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..core.encoding import StateEncoder
 from ..core.names import NodeId
-from ..core.orbits import OrbitCanonicalizer
+from ..core.orbits import StabilizerChainCanonicalizer
 from ..core.similarity import processor_similarity_classes
 from ..exceptions import ExploreError
 from ..io import system_to_dict
 from ..obs.scenarios import ScenarioBundle, build_scenario, normalize_spec
-from ..obs.trace_io import TraceWriter, stable_digest
+from ..obs.trace_io import TraceWriter
 from ..runtime.executor import Executor
 from ..runtime.scheduler import ReplayScheduler
 
 _STRATEGIES = ("bfs", "dfs")
 _FAIRNESS = ("none", "fair", "k-bounded")
+
+#: Window-phase suffix for k-bounded keys (see :meth:`_Walker._key`).
+_PHASE = struct.Struct(">I")
+
+_DIGEST_SIZE = 16
+
+
+def _digest(key: bytes) -> bytes:
+    """A 128-bit stable digest of a state key: what visited sets, shard
+    skip tables and reports store instead of the full key."""
+    return blake2b(key, digest_size=_DIGEST_SIZE).digest()
 
 
 # ----------------------------------------------------------------------
@@ -290,8 +317,9 @@ class ExploreSpec:
             sharding.  Forced to 0 for DFS, livelock and restricted
             runs.
         probe_limit: cap on recorded probe hits.
-        symmetry_limit: cap on enumerated automorphisms (truncation
-            weakens deduplication, never correctness).
+        symmetry_limit: retained for spec/checkpoint compatibility; the
+            stabilizer-chain canonicalizer is exact without enumerating
+            the group, so no cap is applied any more.
     """
 
     scenario: Dict[str, Any]
@@ -424,7 +452,10 @@ class ExploreResult:
     deadlock / livelock / invariant violation is reachable within
     ``spec.max_depth`` schedule steps (under the spec's fairness
     restriction).  ``unique_states`` counts distinct visited state
-    digests — orbit representatives when symmetry reduction is on.
+    digests — orbit representatives when symmetry reduction is on;
+    ``state_digests`` is the sorted list itself (canonical encoded-state
+    digests, identical across worker counts and hash seeds — the CI
+    determinism artifact behind ``explore --states-output``).
     """
 
     spec: ExploreSpec
@@ -438,6 +469,7 @@ class ExploreResult:
     elapsed: float
     group_size: int
     truncated: bool = False
+    state_digests: Tuple[str, ...] = ()
 
     @property
     def verdict(self) -> str:
@@ -516,11 +548,27 @@ class _Checks:
         )
 
 
+class _KeyMaker:
+    """State → byte key for one system: canonical under symmetry
+    reduction, identity encoding otherwise.  Built once per process and
+    shared by trunk and shard walkers."""
+
+    def __init__(self, system, symmetry: bool) -> None:
+        self.encoder = StateEncoder(system)
+        self.canon: Optional[StabilizerChainCanonicalizer] = (
+            StabilizerChainCanonicalizer(system, encoder=self.encoder)
+            if symmetry
+            else None
+        )
+        self.group_size = self.canon.group_size if self.canon is not None else 1
+        self.truncated = False  # the chain is exact; nothing to truncate
+
+
 class _Node:
     """One node of the choice tree."""
 
     __slots__ = ("executor", "depth", "schedule", "ages", "counts", "key",
-                 "children", "progress")
+                 "digest", "children", "progress")
 
     def __init__(self, executor, depth, schedule, ages, counts) -> None:
         self.executor = executor
@@ -528,24 +576,25 @@ class _Node:
         self.schedule = schedule  # tuple of NodeId choices from the root
         self.ages = ages          # per-processor steps since last scheduled
         self.counts = counts      # per-processor executed (non-noop) steps
-        self.key = None
+        self.key = None           # canonical byte key
+        self.digest = None        # 16-byte digest of the key
         self.children: Optional[List["_Node"]] = None
         self.progress = False
 
 
 class _Walker:
-    """BFS/DFS over the choice tree of one shard."""
+    """BFS/DFS over the choice tree of one shard (or one level chunk)."""
 
     def __init__(
         self,
         spec: ExploreSpec,
         bundle: ScenarioBundle,
-        canon: Optional[OrbitCanonicalizer],
+        keys: _KeyMaker,
         checks: _Checks,
     ) -> None:
         self.spec = spec
         self.bundle = bundle
-        self.canon = canon
+        self.keys = keys
         self.checks = checks
         self.procs: Tuple[NodeId, ...] = tuple(bundle.system.processors)
         self.by_str = {str(p): p for p in self.procs}
@@ -553,25 +602,30 @@ class _Walker:
         self.track_ages = spec.fairness == "k-bounded"
         self.track_counts = checks.needs_counts
         self.stats = ExploreStats()
-        self.digests: Set[str] = set()
+        self.digests: Set[bytes] = set()
+        self.seen_digests: Set[bytes] = set()  # dedup set incl. frontier
         self.probe_hits: List[dict] = []
         self.violation: Optional[Violation] = None
 
     # -- node construction ---------------------------------------------
 
-    def _root_node(self, prefix: Sequence[str]) -> _Node:
+    def _root_light(self) -> _Node:
         executor = Executor(
             self.bundle.system, self.bundle.program, self.bundle.base_scheduler
         )
         n = len(self.procs)
-        node = _Node(
+        return _Node(
             executor,
             0,
             (),
             (1,) * n if self.track_ages else None,
             (0,) * n if self.track_counts else None,
         )
+
+    def _root_node(self, prefix: Sequence[str]) -> _Node:
+        node = self._root_light()
         node.key = self._key(node)
+        node.digest = _digest(node.key)
         for p_str in prefix:
             try:
                 proc = self.by_str[p_str]
@@ -582,7 +636,9 @@ class _Walker:
             node = self._child(node, proc, node.executor.successor(proc))
         return node
 
-    def _child(self, node: _Node, proc: NodeId, twin: Executor) -> _Node:
+    def _step_light(self, node: _Node, proc: NodeId, twin: Executor) -> _Node:
+        """The successor node *without* its canonical key — replaying a
+        schedule prefix only needs the endpoint's key."""
         i = self.index[proc]
         ages = node.ages
         if ages is not None:
@@ -590,27 +646,34 @@ class _Walker:
         counts = node.counts
         if counts is not None and not node.executor.halted[proc]:
             counts = tuple(c + 1 if j == i else c for j, c in enumerate(counts))
-        child = _Node(twin, node.depth + 1, node.schedule + (proc,), ages, counts)
+        return _Node(twin, node.depth + 1, node.schedule + (proc,), ages, counts)
+
+    def _child(self, node: _Node, proc: NodeId, twin: Executor) -> _Node:
+        child = self._step_light(node, proc, twin)
         child.key = self._key(child)
+        child.digest = _digest(child.key)
         return child
 
-    def _key(self, node: _Node):
+    def _key(self, node: _Node) -> bytes:
         proc_part, var_part = node.executor.exploration_state()
         vectors: List[Tuple] = []
         if node.ages is not None:
             vectors.append(node.ages)
         if node.counts is not None:
             vectors.append(node.counts)
-        if self.canon is not None:
-            core = self.canon.canonical(proc_part, var_part, tuple(vectors))
+        canon = self.keys.canon
+        if canon is not None:
+            key = canon.canonical_key(proc_part, var_part, tuple(vectors))
         else:
-            core = (proc_part, var_part, tuple(vectors))
+            key = self.keys.encoder.identity_key(
+                proc_part, var_part, tuple(vectors)
+            )
         if self.spec.k is not None:
             # States inside an incomplete first window are not mergeable
             # with window-active ones: the schedule-position phase is
             # part of a state's future under the k-bounded restriction.
-            return (core, min(node.depth, self.spec.k - 1))
-        return core
+            return key + _PHASE.pack(min(node.depth, self.spec.k - 1))
+        return key
 
     # -- choice enumeration --------------------------------------------
 
@@ -648,7 +711,7 @@ class _Walker:
         checks = self.checks
         executor = node.executor
         self.stats.visited += 1
-        self.digests.add(stable_digest(node.key))
+        self.digests.add(node.digest)
         schedule = tuple(str(p) for p in node.schedule)
         if checks.progress is not None:
             node.progress = checks.progress(executor)
@@ -709,15 +772,16 @@ class _Walker:
 
     def run_bfs(
         self, prefix: Sequence[str], collect_at: Optional[int] = None
-    ) -> List[Tuple[str, ...]]:
+    ) -> List[Tuple[Tuple[str, ...], bytes]]:
         """BFS from ``prefix``.  With ``collect_at`` set, children at that
         depth are not visited; their (deduplicated, discovery-ordered)
-        schedule prefixes are returned as the shard plan."""
+        ``(schedule, digest)`` pairs are returned as the first parallel
+        frontier."""
         spec = self.spec
         dedup = spec.restrict is None
         root = self._root_node(prefix)
-        visited = {root.key} if dedup else None
-        frontier: List[Tuple[str, ...]] = []
+        visited = {root.digest} if dedup else None
+        frontier: List[Tuple[Tuple[str, ...], bytes]] = []
         queue = deque([root])
         while queue:
             node = queue.popleft()
@@ -730,13 +794,17 @@ class _Walker:
             node.executor = None  # free: children carry their own clones
             for child in children:
                 if dedup:
-                    if child.key in visited:
+                    if child.digest in visited:
                         continue
-                    visited.add(child.key)
+                    visited.add(child.digest)
                 if collect_at is not None and child.depth >= collect_at:
-                    frontier.append(tuple(str(p) for p in child.schedule))
+                    frontier.append(
+                        (tuple(str(p) for p in child.schedule), child.digest)
+                    )
                     continue
                 queue.append(child)
+        if dedup:
+            self.seen_digests = visited
         return frontier
 
     def run_dfs(self, prefix: Sequence[str]) -> None:
@@ -752,13 +820,13 @@ class _Walker:
         dedup = spec.restrict is None
         livelock = spec.check_livelock
         root = self._root_node(prefix)
-        visited: Dict[Any, int] = {root.key: root.depth} if dedup else None
+        visited: Dict[bytes, int] = {root.digest: root.depth} if dedup else None
         violation = self._visit(root)
         if violation is not None:
             self.violation = violation
             return
         path: List[_Node] = [root]
-        on_path: Dict[Any, int] = {root.key: 0}
+        on_path: Dict[bytes, int] = {root.digest: 0}
         stack: List[Tuple[_Node, Iterator[_Node]]] = [
             (root, iter(root.children or []))
         ]
@@ -769,10 +837,10 @@ class _Walker:
                 stack.pop()
                 if livelock:
                     popped = path.pop()
-                    on_path.pop(popped.key, None)
+                    on_path.pop(popped.digest, None)
                 continue
-            if livelock and child.key in on_path:
-                start = on_path[child.key]
+            if livelock and child.digest in on_path:
+                start = on_path[child.digest]
                 segment = path[start:]
                 if not any(n.progress for n in segment):
                     self.violation = Violation(
@@ -786,66 +854,177 @@ class _Walker:
                     return
                 continue
             if dedup:
-                prev = visited.get(child.key)
+                prev = visited.get(child.digest)
                 if prev is not None and prev <= child.depth:
                     continue
-                visited[child.key] = child.depth
+                visited[child.digest] = child.depth
             violation = self._visit(child)
             if violation is not None:
                 self.violation = violation
                 return
             if child.children:
                 if livelock:
-                    on_path[child.key] = len(path)
+                    on_path[child.digest] = len(path)
                     path.append(child)
                 stack.append((child, iter(child.children)))
 
+    # -- level-synchronous expansion -----------------------------------
+
+    def expand_chunk(self, entries: Sequence[Sequence]) -> dict:
+        """Visit one chunk of a BFS level's frontier.
+
+        Each entry is ``[schedule, digest-hex]``; the state is rebuilt by
+        replaying the schedule from the root.  Consecutive frontier
+        entries are in BFS discovery order and share long common
+        prefixes, so a path cache (``path[d]`` = the replayed node after
+        ``d`` steps) turns replay into "pop the divergent suffix, step
+        the new one".  The digest comes from the parent (it was computed
+        when this state was discovered as a child), so no canonical key
+        is recomputed for the frontier state itself — only its children
+        get fresh keys.
+
+        Returns per-state results (violation + ``(choice, digest)`` child
+        pairs) plus this chunk's probe hits and stats; stops at the first
+        violating state, mirroring what a serial walk would visit.
+        """
+        states: List[dict] = []
+        path: List[_Node] = []
+        for sched, dhex in entries:
+            prefix = tuple(sched)
+            common = 0
+            limit = min(len(prefix), len(path) - 1) if path else 0
+            while (
+                common < limit
+                and str(path[common + 1].schedule[common]) == prefix[common]
+            ):
+                common += 1
+            if not path:
+                path = [self._root_light()]
+            del path[common + 1:]
+            node = path[common]
+            for p_str in prefix[common:]:
+                try:
+                    proc = self.by_str[p_str]
+                except KeyError:
+                    raise ExploreError(
+                        f"frontier schedule names unknown processor {p_str!r}"
+                    ) from None
+                node = self._step_light(
+                    node, proc, node.executor.successor(proc)
+                )
+                path.append(node)
+            node.digest = bytes.fromhex(dhex)
+            violation = self._visit(node)
+            children = node.children or []
+            node.children = None
+            states.append(
+                {
+                    "violation": None
+                    if violation is None
+                    else violation.to_json(),
+                    "children": [
+                        [str(c.schedule[-1]), c.digest.hex()] for c in children
+                    ],
+                }
+            )
+            if violation is not None:
+                break
+        return {
+            "states": states,
+            "probes": self.probe_hits,
+            "stats": self.stats.to_json(),
+        }
+
 
 # ----------------------------------------------------------------------
-# shards, checkpoints, worker payloads
+# shards, levels, checkpoints, worker payloads
 # ----------------------------------------------------------------------
+
+#: Frontier states handed to one worker task.  Fixed — independent of
+#: the worker count — so the chunk structure (and with it probe caps and
+#: per-chunk stats) is identical on every pool geometry.
+_CHUNK = 32
+
+
+def _chunk_spans(count: int) -> List[Tuple[int, int]]:
+    return [(i, min(i + _CHUNK, count)) for i in range(0, count, _CHUNK)]
 
 
 def _explore_shard(
     spec: ExploreSpec,
     bundle: ScenarioBundle,
-    canon: Optional[OrbitCanonicalizer],
+    keys: _KeyMaker,
     checks: _Checks,
     prefix: Tuple[str, ...],
 ) -> dict:
-    """Exhaust one shard (a subtree rooted at a schedule prefix)."""
-    walker = _Walker(spec, bundle, canon, checks)
+    """Exhaust one whole subtree serially (the ``split == 0`` path:
+    DFS, livelock, restricted walks, and unsplit BFS)."""
+    walker = _Walker(spec, bundle, keys, checks)
     if spec.strategy == "dfs":
         walker.run_dfs(prefix)
     else:
         walker.run_bfs(prefix)
     return {
         "violation": None if walker.violation is None else walker.violation.to_json(),
-        "digests": sorted(walker.digests),
+        "digests": sorted(d.hex() for d in walker.digests),
         "probes": walker.probe_hits,
         "stats": walker.stats.to_json(),
     }
 
 
-def _run_shard_payload(payload) -> tuple:
-    """Worker entry point (module-level so it pickles)."""
-    spec_doc, prefix = payload
+#: Per-worker context: built once by :func:`_pool_init`, reused by every
+#: level chunk the worker picks up (the scenario bundle and the
+#: stabilizer chain are the expensive parts — rebuilding them per task
+#: would dominate the task itself).
+_WORKER: Dict[str, Any] = {}
+
+
+def _pool_init(spec_doc: dict) -> None:
+    """Pool-worker initializer: build the shared per-process context."""
     spec = ExploreSpec.from_json(spec_doc)
     bundle = build_scenario(spec.scenario)
-    canon = (
-        OrbitCanonicalizer(bundle.system, limit=spec.symmetry_limit)
-        if spec.symmetry
-        else None
-    )
+    keys = _KeyMaker(bundle.system, spec.symmetry)
     checks = _Checks(spec, bundle)
-    return (list(prefix), _explore_shard(spec, bundle, canon, checks, tuple(prefix)))
+    _WORKER.update(
+        spec=spec, bundle=bundle, keys=keys, checks=checks, frontier={}
+    )
 
 
-def _load_checkpoint(path: str, spec: ExploreSpec) -> Dict[Tuple[str, ...], dict]:
-    """Completed shards recorded in ``path`` (empty if the file is new)."""
-    completed: Dict[Tuple[str, ...], dict] = {}
+def _run_level_chunk(shm_name: str, nbytes: int, start: int, end: int) -> dict:
+    """Worker entry point for one frontier chunk.
+
+    The level's whole frontier travels once per worker through a shared
+    memory block (attached and JSON-decoded on first touch, cached under
+    its block name for the level's remaining chunks); the pickled task
+    payload is just ``(block, span)``.
+    """
+    w = _WORKER
+    cache = w["frontier"]
+    entries = cache.get(shm_name)
+    if entries is None:
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(name=shm_name)
+        try:
+            blob = bytes(block.buf[:nbytes])
+        finally:
+            block.close()
+        cache.clear()  # previous levels' frontiers are dead
+        entries = json.loads(blob.decode("utf-8"))
+        cache[shm_name] = entries
+    walker = _Walker(w["spec"], w["bundle"], w["keys"], w["checks"])
+    return walker.expand_chunk(entries[start:end])
+
+
+def _load_checkpoint(
+    path: str, spec: ExploreSpec
+) -> Tuple[Dict[Tuple[str, ...], dict], Dict[int, dict]]:
+    """Completed work recorded in ``path``: whole-subtree shards (keyed
+    by schedule prefix) and finished BFS levels (keyed by depth)."""
+    shards: Dict[Tuple[str, ...], dict] = {}
+    levels: Dict[int, dict] = {}
     if not os.path.exists(path):
-        return completed
+        return shards, levels
     with open(path) as fh:
         for line_no, line in enumerate(fh, 1):
             line = line.strip()
@@ -864,12 +1043,14 @@ def _load_checkpoint(path: str, spec: ExploreSpec) -> Dict[Tuple[str, ...], dict
                         f"spec; delete it or change the spec"
                     )
             elif doc.get("kind") == "shard":
-                completed[tuple(doc["shard"])] = doc["result"]
-    return completed
+                shards[tuple(doc["shard"])] = doc["result"]
+            elif doc.get("kind") == "level":
+                levels[int(doc["depth"])] = doc["result"]
+    return shards, levels
 
 
 class _CheckpointWriter:
-    """Appends shard-completion lines to the checkpoint JSONL file."""
+    """Appends completion lines to the checkpoint JSONL file."""
 
     def __init__(self, path: str, spec: ExploreSpec, fresh: bool) -> None:
         self._fh = open(path, "a")
@@ -882,6 +1063,9 @@ class _CheckpointWriter:
 
     def shard_done(self, prefix: Tuple[str, ...], result: dict) -> None:
         self._write({"kind": "shard", "shard": list(prefix), "result": result})
+
+    def level_done(self, depth: int, result: dict) -> None:
+        self._write({"kind": "level", "depth": depth, "result": result})
 
     def close(self) -> None:
         self._fh.close()
@@ -988,107 +1172,203 @@ def run_explore(
             "of k choices must contain all of them, so no k-bounded "
             "schedule exists"
         )
-    canon = (
-        OrbitCanonicalizer(bundle.system, limit=spec.symmetry_limit)
-        if spec.symmetry
-        else None
-    )
+    keys = _KeyMaker(bundle.system, spec.symmetry)
     checks = _Checks(spec, bundle, extra_invariants, extra_probes)
 
-    # Sharding splits BFS subtrees; DFS order, livelock cycles and
-    # restricted single-schedule walks are whole-tree properties.
+    # Level-synchronous fan-out needs BFS; DFS order, livelock cycles
+    # and restricted single-schedule walks are whole-tree properties.
     if spec.restrict is not None or spec.check_livelock or spec.strategy == "dfs":
         split = 0
     else:
         split = min(spec.split_depth, spec.max_depth)
 
-    trunk = _Walker(spec, bundle, canon, checks)
-    if split == 0:
-        plan: List[Tuple[str, ...]] = [()]
-        trunk_doc: Optional[dict] = None
-    else:
-        frontier = trunk.run_bfs((), collect_at=split)
-        plan = [tuple(p) for p in frontier]
-        trunk_doc = {
-            "violation": None if trunk.violation is None else trunk.violation.to_json(),
-            "stats": trunk.stats.to_json(),
-        }
-        _emit_progress(hub, "trunk", {**trunk_doc, "violation": trunk_doc["violation"]}, resumed=False)
-        if trunk.violation is not None:
-            plan = []  # the trunk's violation is at a smaller depth than
-            #            any shard could reach; shards are pointless
-
-    completed: Dict[Tuple[str, ...], dict] = {}
+    completed_shards: Dict[Tuple[str, ...], dict] = {}
+    completed_levels: Dict[int, dict] = {}
     writer: Optional[_CheckpointWriter] = None
     if checkpoint:
-        completed = _load_checkpoint(checkpoint, spec)
-        writer = _CheckpointWriter(checkpoint, spec, fresh=not completed)
+        completed_shards, completed_levels = _load_checkpoint(checkpoint, spec)
+        writer = _CheckpointWriter(
+            checkpoint, spec, fresh=not (completed_shards or completed_levels)
+        )
 
-    results: Dict[Tuple[str, ...], dict] = {}
+    stats = ExploreStats()
+    digests: Set[str] = set()
+    hits: List[dict] = []
+    violation: Optional[Violation] = None
     resumed = 0
+    shards = 0
 
-    def shard_label(prefix: Tuple[str, ...]) -> str:
-        return ",".join(prefix) or "root"
-
-    for prefix in plan:
-        if prefix in completed:
-            results[prefix] = completed[prefix]
-            resumed += 1
-            _emit_progress(hub, shard_label(prefix), completed[prefix], resumed=True)
-
-    todo = [prefix for prefix in plan if prefix not in results]
     try:
-        if workers == 0 or len(todo) <= 1:
+        if split == 0:
             workers = 0
-            for prefix in todo:
-                doc = _explore_shard(spec, bundle, canon, checks, prefix)
-                results[prefix] = doc
+            shards = 1
+            if () in completed_shards:
+                doc = completed_shards[()]
+                resumed = 1
+                _emit_progress(hub, "root", doc, resumed=True)
+            else:
+                doc = _explore_shard(spec, bundle, keys, checks, ())
                 if writer:
-                    writer.shard_done(prefix, doc)
-                _emit_progress(hub, shard_label(prefix), doc, resumed=False)
+                    writer.shard_done((), doc)
+                _emit_progress(hub, "root", doc, resumed=False)
+            stats.merge(doc["stats"])
+            digests.update(doc["digests"])
+            hits.extend(doc["probes"])
+            if doc["violation"] is not None:
+                violation = Violation.from_json(doc["violation"])
         else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(
-                        _run_shard_payload, (spec.to_json(), list(prefix))
-                    ): prefix
-                    for prefix in todo
-                }
-                not_done = set(futures)
-                while not_done:
-                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        prefix = futures[future]
-                        _prefix_doc, doc = future.result()
-                        results[prefix] = doc
+            # Serial trunk to the split depth; its violation (if any) is
+            # strictly shallower than anything a level could report.
+            trunk = _Walker(spec, bundle, keys, checks)
+            frontier = trunk.run_bfs((), collect_at=split)
+            stats.merge(trunk.stats.to_json())
+            digests.update(d.hex() for d in trunk.digests)
+            hits.extend(trunk.probe_hits)
+            _emit_progress(
+                hub,
+                "trunk",
+                {
+                    "violation": None
+                    if trunk.violation is None
+                    else trunk.violation.to_json(),
+                    "stats": trunk.stats.to_json(),
+                },
+                resumed=False,
+            )
+            if trunk.violation is not None:
+                violation = trunk.violation
+                frontier = []
+            shards = len(frontier)
+            # The parent owns deduplication: every digest ever admitted
+            # to a frontier lands here, so each state is expanded by
+            # exactly one chunk exactly once — parallel total work
+            # equals serial total work.
+            visited: Set[bytes] = set(trunk.seen_digests)
+
+            smm = None
+            pool = None
+            if workers and frontier and not all(
+                split + i in completed_levels
+                for i in range(spec.max_depth - split + 1)
+            ):
+                from multiprocessing.managers import SharedMemoryManager
+
+                smm = SharedMemoryManager()
+                smm.start()
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_pool_init,
+                    initargs=(spec.to_json(),),
+                )
+            else:
+                workers = 0
+            try:
+                depth = split
+                while frontier and violation is None:
+                    if depth in completed_levels:
+                        doc = completed_levels[depth]
+                        resumed += 1
+                        _emit_progress(hub, f"depth-{depth}", doc, resumed=True)
+                    else:
+                        chunks = _chunk_spans(len(frontier))
+                        frontier_doc = [
+                            [list(sched), digest.hex()]
+                            for sched, digest in frontier
+                        ]
+                        if pool is None:
+                            chunk_docs = []
+                            for s, e in chunks:
+                                walker = _Walker(spec, bundle, keys, checks)
+                                cdoc = walker.expand_chunk(frontier_doc[s:e])
+                                chunk_docs.append(cdoc)
+                                if any(
+                                    x["violation"] is not None
+                                    for x in cdoc["states"]
+                                ):
+                                    break
+                        else:
+                            # Publish the frontier once per level; tasks
+                            # carry only (block, span).
+                            blob = json.dumps(frontier_doc).encode("utf-8")
+                            block = smm.SharedMemory(size=len(blob))
+                            block.buf[: len(blob)] = blob
+                            chunk_docs = [
+                                f.result()
+                                for f in [
+                                    pool.submit(
+                                        _run_level_chunk,
+                                        block.name,
+                                        len(blob),
+                                        s,
+                                        e,
+                                    )
+                                    for s, e in chunks
+                                ]
+                            ]
+                        # Merge chunks in frontier order; the first
+                        # violation is the (depth, prefix)-least of the
+                        # level, and later chunks are discarded exactly
+                        # as a serial walk would never have run them.
+                        lstats = ExploreStats()
+                        lprobes: List[dict] = []
+                        lviolation: Optional[dict] = None
+                        expanded: List[str] = []
+                        children: List[Tuple[Tuple[str, ...], str]] = []
+                        for (s, _e), cdoc in zip(chunks, chunk_docs):
+                            lstats.merge(cdoc["stats"])
+                            lprobes.extend(cdoc["probes"])
+                            for offset, sdoc in enumerate(cdoc["states"]):
+                                sched, digest = frontier[s + offset]
+                                expanded.append(digest.hex())
+                                if sdoc["violation"] is not None:
+                                    lviolation = sdoc["violation"]
+                                    break
+                                for p_str, chex in sdoc["children"]:
+                                    children.append((sched + (p_str,), chex))
+                            if lviolation is not None:
+                                break
+                        nxt: List[List] = []
+                        if lviolation is None:
+                            for sched, chex in children:
+                                child_digest = bytes.fromhex(chex)
+                                if child_digest in visited:
+                                    continue
+                                visited.add(child_digest)
+                                nxt.append([list(sched), chex])
+                        doc = {
+                            "stats": lstats.to_json(),
+                            "probes": lprobes,
+                            "violation": lviolation,
+                            "expanded": expanded,
+                            "frontier": nxt,
+                        }
                         if writer:
-                            writer.shard_done(prefix, doc)
-                        _emit_progress(hub, shard_label(prefix), doc, resumed=False)
+                            writer.level_done(depth, doc)
+                        _emit_progress(
+                            hub, f"depth-{depth}", doc, resumed=False
+                        )
+                    stats.merge(doc["stats"])
+                    digests.update(doc["expanded"])
+                    hits.extend(doc["probes"])
+                    if doc["violation"] is not None:
+                        violation = Violation.from_json(doc["violation"])
+                        break
+                    frontier = [
+                        (tuple(sched), bytes.fromhex(dhex))
+                        for sched, dhex in doc["frontier"]
+                    ]
+                    # No-op on a fresh level (dedup already updated it);
+                    # rebuilds the set when replaying checkpointed ones.
+                    visited.update(d for _, d in frontier)
+                    depth += 1
+            finally:
+                if pool is not None:
+                    pool.shutdown()
+                if smm is not None:
+                    smm.shutdown()
     finally:
         if writer:
             writer.close()
-
-    # Merge in plan order.  A shard's reported violation is the
-    # (depth, prefix)-least of its subtree, shards partition the depth-
-    # ``split`` frontier in global BFS order, and trunk violations are
-    # strictly shallower than any shard's — so the first shard attaining
-    # the minimal depth carries the globally least counterexample.
-    stats = ExploreStats()
-    digests: Set[str] = set(trunk.digests)
-    hits: List[dict] = list(trunk.probe_hits)
-    violation = trunk.violation
-    if trunk_doc is not None:
-        stats.merge(trunk_doc["stats"])
-    for prefix in plan:
-        doc = results.get(prefix)
-        if doc is None:
-            continue
-        stats.merge(doc["stats"])
-        digests.update(doc["digests"])
-        hits.extend(doc["probes"])
-        v = doc["violation"]
-        if v is not None and (violation is None or v["depth"] < violation.depth):
-            violation = Violation.from_json(v)
 
     seen_hits: Set[str] = set()
     unique_hits: List[dict] = []
@@ -1129,12 +1409,13 @@ def run_explore(
         unique_states=len(digests),
         stats=stats,
         probe_hits=unique_hits,
-        shards=len(plan),
+        shards=shards,
         resumed_shards=resumed,
         workers=workers,
         elapsed=time.perf_counter() - t0,
-        group_size=canon.group_size if canon is not None else 1,
-        truncated=canon.truncated if canon is not None else False,
+        group_size=keys.group_size,
+        truncated=keys.truncated,
+        state_digests=tuple(sorted(digests)),
     )
 
 
@@ -1206,13 +1487,9 @@ def write_counterexample(
 def _verify_livelock(spec: ExploreSpec, violation: Violation) -> Optional[str]:
     """Re-walk a livelock lasso and confirm the loop and its stagnation."""
     bundle = build_scenario(spec.scenario)
-    canon = (
-        OrbitCanonicalizer(bundle.system, limit=spec.symmetry_limit)
-        if spec.symmetry
-        else None
-    )
+    keys = _KeyMaker(bundle.system, spec.symmetry)
     checks = _Checks(spec, bundle)
-    walker = _Walker(spec, bundle, canon, checks)
+    walker = _Walker(spec, bundle, keys, checks)
     node = walker._root_node(())
     keys = [node.key]
     flags = [checks.progress(node.executor) if checks.progress else False]

@@ -10,17 +10,22 @@ job with the same observable behavior:
 * **Sharding** -- the enumeration space is partitioned by
   *slot-assignment prefix*: each shard fixes the variable choices of the
   first one or two ``(processor, name)`` slots and exhausts the rest.
-  Shards are independent, so they fan out across a
-  ``ProcessPoolExecutor`` following the :mod:`repro.perf.batch` pattern
-  (plain-data payloads across the pickle boundary, caches rebuilt per
-  worker, results merged in the parent).
+  Shards are independent, so they all fan out across a
+  ``ProcessPoolExecutor`` at once (plain-data payloads across the pickle
+  boundary — a task is just the shard key — with results merged in the
+  parent).
 * **Decision caching** -- ``decide_selection`` is an isomorphism
   invariant, so one decision settles an entire iso class.  The
-  :class:`DecisionCache` buckets candidates by canonical form and
-  confirms membership with the exact :func:`are_isomorphic` matcher
-  before reusing a decision; hits and misses are counted per lookup.
-  The parent re-seeds worker payloads between dispatch waves, so the
-  cache is shared across shards.
+  :class:`DecisionCache` buckets candidates by canonical form —
+  byte-encoded via :func:`repro.core.encoding.encode_value`, so keys are
+  compact, hash-seed independent and never depend on ``repr``
+  formatting — and confirms membership with the exact
+  :func:`are_isomorphic` matcher before reusing a decision; hits and
+  misses are counted per lookup.  Pool workers build their cache *once*
+  (a pool initializer seeds it from one shared-memory snapshot of the
+  parent's cache) and keep it across every shard they pick up; each
+  finished shard returns only its journal of *new* decisions, which the
+  parent folds in and checkpoints — no per-wave snapshot/merge barriers.
 * **Sharded dedup** -- the single unbounded ``seen`` dict of the serial
   loop is replaced by a hash-partitioned :class:`DedupIndex` whose
   partitions are dropped with their shard, plus a final cross-shard
@@ -54,6 +59,7 @@ from dataclasses import dataclass, field
 from itertools import product
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..core.encoding import encode_value
 from ..core.hierarchy import MODEL_AXIS
 from ..core.network import Network
 from ..core.quotient import are_isomorphic, canonical_form
@@ -174,12 +180,42 @@ class SweepSpec:
 # ----------------------------------------------------------------------
 
 
+def _candidate_form(probe: System) -> bytes:
+    """The byte-encoded canonical form of a candidate: the cache/dedup
+    key.  Encoded bytes are hash-seed independent and compare by content,
+    not by how ``repr`` spells the nested form tuple."""
+    return encode_value(canonical_form(probe))
+
+
+def _form_to_wire(form) -> str:
+    """Checkpoint/JSON representation of a form key (hex for bytes)."""
+    return form.hex() if isinstance(form, bytes) else str(form)
+
+
+def _form_from_wire(wire: str):
+    """Inverse of :func:`_form_to_wire`, tolerating pre-encoding
+    checkpoints: a legacy ``repr``-string form (never valid hex — it
+    starts with ``'('``) is kept verbatim as its own bucket key.  Such
+    entries simply never match new lookups, costing a cache miss, not
+    correctness."""
+    try:
+        return bytes.fromhex(wire)
+    except ValueError:
+        return wire
+
+
 class _CacheEntry:
     """One isomorphism class: a representative record plus its decisions."""
 
-    __slots__ = ("record", "decisions", "_system")
+    __slots__ = ("form", "record", "decisions", "_system")
 
-    def __init__(self, record: WitnessRecord, decisions: Optional[Dict[str, bool]] = None) -> None:
+    def __init__(
+        self,
+        form,
+        record: WitnessRecord,
+        decisions: Optional[Dict[str, bool]] = None,
+    ) -> None:
+        self.form = form
         self.record = record
         self.decisions: Dict[str, bool] = dict(decisions or {})
         self._system: Optional[System] = None
@@ -201,21 +237,26 @@ class DecisionCache:
     """Memoized ``decide_selection`` outcomes per (canonical form, model).
 
     The selection decision is invariant under system isomorphism, so one
-    entry settles a whole iso class.  Canonical forms are invariant but
-    not *complete* (quotient-identical non-isomorphic systems exist), so
-    a form keys a bucket of iso classes and the exact
-    :func:`are_isomorphic` matcher confirms membership before a decision
-    is reused.  ``hits``/``misses`` count decision lookups (one per
-    candidate per model), the cache-effectiveness numbers recorded in
-    ``BENCH_witness.json``.
+    entry settles a whole iso class.  Canonical forms (byte-encoded; see
+    :func:`_candidate_form`) are invariant but not *complete*
+    (quotient-identical non-isomorphic systems exist), so a form keys a
+    bucket of iso classes and the exact :func:`are_isomorphic` matcher
+    confirms membership before a decision is reused.  ``hits``/
+    ``misses`` count decision lookups (one per candidate per model), the
+    cache-effectiveness numbers recorded in ``BENCH_witness.json``.
 
-    Entries are plain data (record + ``{model label: possible}``), so the
-    cache snapshots losslessly across the pickle boundary and into JSONL
-    checkpoints.
+    Entries are plain data (record + ``{model label: possible}``), so
+    the cache snapshots losslessly across the pickle boundary and into
+    JSONL checkpoints.  Every *newly computed* decision is also appended
+    to a journal; :meth:`drain_journal` hands the delta since the last
+    drain to whoever needs to replicate it (the parent merging worker
+    results, the checkpoint writer) without re-serializing the whole
+    cache.
     """
 
     def __init__(self) -> None:
-        self._buckets: Dict[str, List[_CacheEntry]] = {}
+        self._buckets: Dict[object, List[_CacheEntry]] = {}
+        self._journal: List[Tuple[object, WitnessRecord, str, bool]] = []
         self.hits = 0
         self.misses = 0
 
@@ -224,20 +265,20 @@ class DecisionCache:
 
     def entry_for(
         self,
-        form_repr: str,
+        form: bytes,
         record: WitnessRecord,
         probe: System,
         iset: InstructionSet,
         sched: ScheduleClass,
     ) -> _CacheEntry:
         """The iso-class entry of ``probe``, created if novel."""
-        bucket = self._buckets.setdefault(form_repr, [])
+        bucket = self._buckets.setdefault(form, [])
         for entry in bucket:
             if entry.record == record or are_isomorphic(
                 probe, entry.probe(iset, sched)
             ):
                 return entry
-        entry = _CacheEntry(record)
+        entry = _CacheEntry(form, record)
         entry._system = probe
         bucket.append(entry)
         return entry
@@ -252,23 +293,43 @@ class DecisionCache:
         iset, sched = _MODEL_BY_NAME[label]
         possible = decide_selection(entry.record.system(iset, sched)).possible
         entry.decisions[label] = possible
+        self._journal.append((entry.form, entry.record, label, possible))
         return possible
 
-    # -- snapshots (cross-process / checkpoint representation) ---------
+    # -- snapshots and journals (cross-process / checkpoint form) ------
 
     def snapshot(self) -> List[Tuple[str, dict, Dict[str, bool]]]:
+        """Every decided entry, in wire form, sorted for determinism."""
+        return sorted(
+            (
+                (_form_to_wire(form), entry.record.to_json(), dict(entry.decisions))
+                for form, bucket in self._buckets.items()
+                for entry in bucket
+                if entry.decisions
+            ),
+            key=lambda item: (item[0], json.dumps(item[1], sort_keys=True)),
+        )
+
+    def drain_journal(self) -> List[Tuple[str, dict, Dict[str, bool]]]:
+        """Decisions computed since the last drain, in wire form (one
+        entry per (form, record), labels folded together)."""
+        delta: Dict[Tuple[str, WitnessRecord], Dict[str, bool]] = {}
+        for form, record, label, possible in self._journal:
+            delta.setdefault((_form_to_wire(form), record), {})[label] = possible
+        self._journal.clear()
         return [
-            (form, entry.record.to_json(), dict(entry.decisions))
-            for form, bucket in sorted(self._buckets.items())
-            for entry in bucket
-            if entry.decisions
+            (wire, record.to_json(), decisions)
+            for (wire, record), decisions in delta.items()
         ]
 
     def merge(self, snapshot: Sequence[Tuple[str, dict, Dict[str, bool]]]) -> None:
-        """Fold a snapshot in.  Entries are matched by exact record
-        equality (cheap); a same-class different-representative entry
-        just coexists in the bucket and still iso-matches on lookup."""
-        for form, record_doc, decisions in snapshot:
+        """Fold a snapshot or journal delta in (no journal entries are
+        produced: replicated decisions are not news to replicate again).
+        Entries are matched by exact record equality (cheap); a
+        same-class different-representative entry just coexists in the
+        bucket and still iso-matches on lookup."""
+        for wire, record_doc, decisions in snapshot:
+            form = _form_from_wire(wire)
             record = WitnessRecord.from_json(record_doc)
             bucket = self._buckets.setdefault(form, [])
             for entry in bucket:
@@ -277,31 +338,31 @@ class DecisionCache:
                         entry.decisions.setdefault(label, possible)
                     break
             else:
-                bucket.append(_CacheEntry(record, decisions))
+                bucket.append(_CacheEntry(form, record, decisions))
 
 
 class DedupIndex:
     """Hash-partitioned isomorphism dedup for one shard's lifetime.
 
-    Buckets candidates by canonical form into ``partitions`` separate
-    dicts (the partition is chosen by a hash-seed-independent CRC of the
-    form, so layouts agree across processes) and settles form collisions
-    with the exact matcher.  Each shard owns one index and drops it when
-    the shard completes, bounding resident dedup state by the shard --
-    not the sweep -- size; the engine's merge pass dedups the surviving
-    witnesses across shards.
+    Buckets candidates by byte-encoded canonical form into ``partitions``
+    separate dicts (the partition is a CRC of the form bytes — already
+    hash-seed independent, so layouts agree across processes) and settles
+    form collisions with the exact matcher.  Each shard owns one index
+    and drops it when the shard completes, bounding resident dedup state
+    by the shard -- not the sweep -- size; the engine's merge pass dedups
+    the surviving witnesses across shards.
     """
 
     def __init__(self, partitions: int = 16) -> None:
-        self._parts: List[Dict[str, List[System]]] = [
+        self._parts: List[Dict[bytes, List[System]]] = [
             {} for _ in range(max(1, partitions))
         ]
 
-    def seen_before(self, form_repr: str, probe: System) -> bool:
+    def seen_before(self, form: bytes, probe: System) -> bool:
         """True if an isomorphic candidate was indexed earlier; indexes
         ``probe`` otherwise."""
-        part = self._parts[zlib.crc32(form_repr.encode()) % len(self._parts)]
-        bucket = part.setdefault(form_repr, [])
+        part = self._parts[zlib.crc32(form) % len(self._parts)]
+        bucket = part.setdefault(form, [])
         if any(are_isomorphic(probe, prior) for prior in bucket):
             return True
         bucket.append(probe)
@@ -392,7 +453,7 @@ def _sweep_shard(
     for record in _iter_shard_records(spec, shard):
         stats.enumerated += 1
         probe = record.system(w_iset, w_sched)
-        form = repr(canonical_form(probe))
+        form = _candidate_form(probe)
         if dedup.seen_before(form, probe):
             stats.dedup_skips += 1
             continue
@@ -408,18 +469,44 @@ def _sweep_shard(
     return found, stats
 
 
-def _run_shard_payload(payload) -> tuple:
-    """Worker entry point (module-level so it pickles)."""
-    spec_doc, shard, cache_snapshot = payload
+#: Per-worker context: the spec plus one persistent :class:`DecisionCache`
+#: built by :func:`_pool_init` and kept warm across every shard this
+#: worker picks up — later shards reuse earlier shards' decisions without
+#: any per-task snapshot/merge traffic.
+_WORKER: Dict[str, object] = {}
+
+
+def _pool_init(spec_doc: dict, shm_name: Optional[str], nbytes: int) -> None:
+    """Pool-worker initializer: build the spec once and seed the
+    persistent cache from the parent's snapshot, published through one
+    shared-memory block instead of pickled per task."""
     spec = SweepSpec.from_json(spec_doc)
     cache = DecisionCache()
-    cache.merge(cache_snapshot)
-    found, stats = _sweep_shard(spec, (shard[0], shard[1], tuple(shard[2])), cache)
+    if shm_name is not None and nbytes:
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(name=shm_name)
+        try:
+            blob = bytes(block.buf[:nbytes])
+        finally:
+            block.close()
+        cache.merge(json.loads(blob.decode("utf-8")))
+    _WORKER.update(spec=spec, cache=cache)
+
+
+def _run_shard_task(shard_doc) -> tuple:
+    """Worker entry point (module-level so it pickles); the payload is
+    just the shard key, and the result carries only the journal of
+    decisions this shard newly computed."""
+    spec: SweepSpec = _WORKER["spec"]
+    cache: DecisionCache = _WORKER["cache"]
+    cache.drain_journal()  # discard leftovers of an aborted earlier task
+    found, stats = _sweep_shard(spec, _shard_from_doc(shard_doc), cache)
     return (
-        shard,
+        shard_doc,
         [r.to_json() for r in found],
         stats.to_json(),
-        cache.snapshot(),
+        cache.drain_journal(),
     )
 
 
@@ -536,11 +623,11 @@ def _merge_results(
     exactly the serial searcher's global-dedup semantics."""
     w_iset, w_sched = spec.weak_model
     kept: List[WitnessRecord] = []
-    kept_probes: Dict[str, List[System]] = {}
+    kept_probes: Dict[bytes, List[System]] = {}
     for records in per_shard:
         for record in records:
             probe = record.system(w_iset, w_sched)
-            form = repr(canonical_form(probe))
+            form = _candidate_form(probe)
             bucket = kept_probes.setdefault(form, [])
             if any(are_isomorphic(probe, prior) for prior in bucket):
                 continue
@@ -635,11 +722,12 @@ def run_sweep(
     try:
         if workers == 0 or len(todo) <= 1:
             workers = 0
+            cache.drain_journal()  # only journal what *this* sweep decides
             for shard in todo:
                 found, stats = _sweep_shard(spec, shard, cache)
                 account(shard, found, stats)
                 if writer:
-                    writer.shard_done(shard, found, stats, cache.snapshot())
+                    writer.shard_done(shard, found, stats, cache.drain_journal())
                 _emit_progress(hub, shard, stats, resumed=False)
                 if spec.limit is not None:
                     merged_so_far = _merge_results(
@@ -648,20 +736,28 @@ def run_sweep(
                     if len(merged_so_far) >= spec.limit:
                         break
         else:
-            # Dispatch in waves so later shards see the decisions of
-            # earlier ones (the cross-shard cache share); one pool serves
-            # all waves.
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                pending = list(todo)
-                while pending:
-                    wave, pending = pending[: workers * 2], pending[workers * 2:]
-                    snapshot = cache.snapshot()
+            # Submit every shard at once: workers keep one persistent
+            # cache each (seeded from the parent's via shared memory),
+            # so there is no wave barrier to re-synchronize snapshots at
+            # — the parent just folds each shard's decision journal in
+            # as it completes.
+            from multiprocessing.managers import SharedMemoryManager
+
+            with SharedMemoryManager() as smm:
+                seed = json.dumps(cache.snapshot()).encode("utf-8")
+                shm_name: Optional[str] = None
+                if seed and seed != b"[]":
+                    block = smm.SharedMemory(size=len(seed))
+                    block.buf[: len(seed)] = seed
+                    shm_name = block.name
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_pool_init,
+                    initargs=(spec.to_json(), shm_name, len(seed)),
+                ) as pool:
                     futures = {
-                        pool.submit(
-                            _run_shard_payload,
-                            (spec.to_json(), _shard_doc(shard), snapshot),
-                        ): shard
-                        for shard in wave
+                        pool.submit(_run_shard_task, _shard_doc(shard)): shard
+                        for shard in todo
                     }
                     not_done = set(futures)
                     while not_done:

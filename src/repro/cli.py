@@ -557,6 +557,14 @@ def cmd_explore(args) -> int:
             json.dump(result.report_doc(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"written: {args.output}")
+    if args.states_output:
+        with open(args.states_output, "w") as fh:
+            for digest in result.state_digests:
+                fh.write(digest + "\n")
+        print(
+            f"states: {len(result.state_digests)} digest(s) "
+            f"to {args.states_output}"
+        )
     if args.counterexample:
         if result.violation is None:
             print("no violation; counterexample trace not written")
@@ -877,6 +885,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write per-shard progress / violation events as JSONL")
     explore.add_argument("--output", "-o", metavar="PATH",
                          help="write the deterministic exploration report as JSON")
+    explore.add_argument(
+        "--states-output", metavar="PATH",
+        help="write sorted canonical state digests, one hex digest per "
+             "line (identical across worker counts and hash seeds)",
+    )
     explore.add_argument(
         "--counterexample", metavar="PATH",
         help="write the violating schedule as a replayable JSONL trace",

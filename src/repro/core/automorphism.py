@@ -22,7 +22,9 @@ because it doubles as a substrate exercised by the Theorem 10/11 tests.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from itertools import permutations
+from math import factorial
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from .labeling import Labeling
@@ -171,18 +173,15 @@ def iter_automorphisms(
                 return
 
 
-def find_automorphism(
-    system: System,
-    partial: Optional[Mapping[NodeId, NodeId]] = None,
-    ignore_state: bool = False,
+def _find_in_context(
+    ctx: _MatcherContext, partial: Optional[Mapping[NodeId, NodeId]]
 ) -> Optional[Dict[NodeId, NodeId]]:
-    """Find one automorphism extending ``partial`` (processor images only),
-    or None if no such automorphism exists.
+    """The body of :func:`find_automorphism` over a prebuilt context.
 
-    The common query is ``partial={x: y}``: *is there an automorphism
-    mapping x to y?* -- the paper's definition of x and y being symmetric.
+    Splitting this out lets callers that issue many extension queries on
+    one system (notably :func:`stabilizer_chain`) pay the similarity
+    refinement once instead of per query.
     """
-    ctx = _MatcherContext(system, ignore_state)
     partial = dict(partial or {})
     for node, image in partial.items():
         if ctx.net.is_processor(node) != ctx.net.is_processor(image):
@@ -194,6 +193,10 @@ def find_automorphism(
     # constraints into a post-check.
     proc_partial = {n: i for n, i in partial.items() if ctx.net.is_processor(n)}
     var_partial = {n: i for n, i in partial.items() if not ctx.net.is_processor(n)}
+    if len(set(proc_partial.values())) != len(proc_partial):
+        # Non-injective prefix: _search skips the used-image check for
+        # prefixed candidates, so reject here.
+        return None
     mapping: Dict[NodeId, NodeId] = dict(proc_partial)
     used_procs = set(proc_partial.values())
     used_vars: set = set()
@@ -203,6 +206,117 @@ def find_automorphism(
             for full in _isolated_extensions(ctx, base, emit_all=False):
                 return full
     return None
+
+
+def find_automorphism(
+    system: System,
+    partial: Optional[Mapping[NodeId, NodeId]] = None,
+    ignore_state: bool = False,
+) -> Optional[Dict[NodeId, NodeId]]:
+    """Find one automorphism extending ``partial`` (processor images only),
+    or None if no such automorphism exists.
+
+    The common query is ``partial={x: y}``: *is there an automorphism
+    mapping x to y?* -- the paper's definition of x and y being symmetric.
+    """
+    return _find_in_context(_MatcherContext(system, ignore_state), partial)
+
+
+@dataclass(frozen=True)
+class ChainLevel:
+    """One level of a stabilizer chain: the orbit of base point
+    ``point_index`` (a ``system.processors`` position) under the
+    stabilizer of all earlier base points, with one coset representative
+    per orbit member.
+
+    Transversal elements are stored as index arrays over both node axes:
+    ``parr[j]`` is the processor index of ``sigma(processors[j])`` and
+    ``varr[j]`` the variable index of ``sigma(variables[j])``, so
+    composition is array gather and never touches node ids again.
+    """
+
+    point_index: int
+    orbit: Tuple[int, ...]
+    transversal: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]] = field(hash=False)
+
+
+@dataclass(frozen=True)
+class StabilizerChain:
+    """A Schreier–Sims-style stabilizer chain of the automorphism group.
+
+    Base points are the processors in ``system.processors`` order -- the
+    same order canonicalization minimizes state slots in, so a greedy
+    minimal-image search walks the chain front to back.  Fixing every
+    processor forces every edge-attached variable (named edges pin their
+    images), so the chain exhausts that factor of the group; variables
+    with no processor neighbors permute freely within similarity classes
+    and are recorded separately in ``isolated_classes`` (as tuples of
+    ``system.variables`` positions).  ``order`` is the exact group order:
+    the product of orbit sizes times the factorials of isolated-class
+    sizes -- no enumeration, no truncation cap.
+    """
+
+    levels: Tuple[ChainLevel, ...]
+    isolated_classes: Tuple[Tuple[int, ...], ...]
+    order: int
+    n_procs: int
+    n_vars: int
+
+
+def stabilizer_chain(system: System, ignore_state: bool = False) -> StabilizerChain:
+    """Build the stabilizer chain of ``system``'s automorphism group.
+
+    Cost is polynomial: per base point, one backtracking search per
+    candidate image (bounded by the similarity-class size), all sharing
+    one refinement context -- against the factorial worst case of
+    enumerating the group element by element.
+    """
+    ctx = _MatcherContext(system, ignore_state)
+    procs = tuple(system.processors)
+    variables = tuple(system.variables)
+    pindex = {p: i for i, p in enumerate(procs)}
+    vindex = {v: i for i, v in enumerate(variables)}
+    identity = (tuple(range(len(procs))), tuple(range(len(variables))))
+
+    levels: List[ChainLevel] = []
+    fixed: Dict[NodeId, NodeId] = {}
+    order = 1
+    for i, p in enumerate(procs):
+        transversal = {i: identity}
+        for q in ctx.candidates[p]:
+            if q == p or q in fixed:
+                continue
+            partial = dict(fixed)
+            partial[p] = q
+            auto = _find_in_context(ctx, partial)
+            if auto is None:
+                continue
+            parr = tuple(pindex[auto[pp]] for pp in procs)
+            varr = tuple(vindex[auto[vv]] for vv in variables)
+            transversal[pindex[q]] = (parr, varr)
+        levels.append(
+            ChainLevel(i, tuple(sorted(transversal)), transversal)
+        )
+        order *= len(transversal)
+        fixed[p] = p
+
+    classes: Dict[object, List[int]] = {}
+    for v in ctx.isolated_variables:
+        classes.setdefault(ctx.invariant[v], []).append(vindex[v])
+    isolated = tuple(
+        tuple(sorted(members))
+        for _label, members in sorted(classes.items(), key=lambda kv: repr(kv[0]))
+    )
+    for members in isolated:
+        order *= factorial(len(members))
+
+    return StabilizerChain(
+        levels=tuple(levels),
+        isolated_classes=isolated,
+        order=order,
+        n_procs=len(procs),
+        n_vars=len(variables),
+    )
 
 
 def are_symmetric(system: System, x: NodeId, y: NodeId, ignore_state: bool = False) -> bool:
@@ -283,18 +397,27 @@ def permutation_order(perm: Mapping[NodeId, NodeId]) -> int:
 
 
 def restriction_is_single_cycle(perm: Mapping[NodeId, NodeId], nodes: Iterable[NodeId]) -> bool:
-    """Does ``perm`` act on ``nodes`` as one cycle covering all of them?"""
+    """Does ``perm`` act on ``nodes`` as one cycle covering all of them?
+
+    Nodes outside the permutation's domain cannot lie on any cycle of it,
+    so their presence makes the answer False (rather than a KeyError --
+    callers probe orbits against permutations over arbitrary node sets).
+    """
     nodes = set(nodes)
     if not nodes:
         return False
     start = next(iter(nodes))
     count = 1
-    node = perm[start]
+    node = perm.get(start)
+    if node is None:
+        return False
     while node != start:
         if node not in nodes:
             return False
         count += 1
-        node = perm[node]
+        node = perm.get(node)
+        if node is None:
+            return False
         if count > len(nodes):
             return False
     return count == len(nodes)

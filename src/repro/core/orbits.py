@@ -10,14 +10,25 @@ isomorphic futures, and a state-space search may identify them: this is
 classic symmetry reduction (Clarke/Emerson/Jha; Ip/Dill), with Θ playing
 its usual role of bounding the candidate permutations.
 
-:class:`OrbitCanonicalizer` enumerates the automorphism group once per
-system (optionally truncated -- soundness does not depend on closure,
-only dedup strength does: every permutation applied maps reachable states
-to reachable states, so ``canonical(x) == canonical(y)`` always means
-``x`` and ``y`` are in the same orbit) and canonicalizes a state by
-taking the lexicographically least image under the enumerated
-permutations, comparing by ``repr`` so heterogeneous state values are
-ordered deterministically.
+Two canonicalizers live here:
+
+* :class:`OrbitCanonicalizer` enumerates the automorphism group once per
+  system (optionally truncated -- soundness does not depend on closure,
+  only dedup strength does: every permutation applied maps reachable
+  states to reachable states, so ``canonical(x) == canonical(y)`` always
+  means ``x`` and ``y`` are in the same orbit) and canonicalizes a state
+  by taking the least image under the enumerated permutations, comparing
+  encoded byte forms (:mod:`repro.core.encoding`) so heterogeneous state
+  values are ordered totally and type-stably.  It is the reference
+  implementation: transparent, but linear in |Aut| per state.
+* :class:`StabilizerChainCanonicalizer` walks a Schreier–Sims stabilizer
+  chain (:func:`repro.core.automorphism.stabilizer_chain`) instead of an
+  enumeration: a greedy minimal-image search fixes one processor slot at
+  a time, keeping only the candidate cosets that minimize the rendered
+  slot and deduplicating candidates whose full rendered images coincide.
+  Exact for the whole group -- no truncation cap, polynomial per state
+  even for star topologies whose groups are factorial -- and its output
+  is the flat canonical *byte key* the engines hash, share and compare.
 
 States are the executor's *exploration states*
 (:meth:`repro.runtime.executor.Executor.exploration_state`): processor
@@ -30,9 +41,10 @@ indices through the inverse processor map.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from .automorphism import iter_automorphisms
+from .automorphism import StabilizerChain, iter_automorphisms, stabilizer_chain
+from .encoding import StateEncoder, encode_value
 from .system import System
 
 #: A processor-indexed vector riding along with the execution state
@@ -61,7 +73,15 @@ class OrbitCanonicalizer:
         # inverse processor rename for embedded owner/poster indices.
         self._perms: List[Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]] = []
         count = 0
-        for sigma in iter_automorphisms(system, limit=limit):
+        truncated = False
+        # Enumerate one element past the cap: a group of exactly `limit`
+        # elements is complete, not truncated — only an extra element
+        # proves the enumeration was cut short.
+        peek = None if limit is None else limit + 1
+        for sigma in iter_automorphisms(system, limit=peek):
+            if limit is not None and count == limit:
+                truncated = True
+                break
             psrc = tuple(pindex[sigma[p]] for p in procs)
             vsrc = tuple(vindex[sigma[v]] for v in variables)
             inverse = {sigma[p]: p for p in procs}
@@ -69,7 +89,7 @@ class OrbitCanonicalizer:
             self._perms.append((psrc, vsrc, prename))
             count += 1
         self.group_size = count
-        self.truncated = limit is not None and count >= limit
+        self.truncated = truncated
 
     def _apply(
         self,
@@ -106,16 +126,141 @@ class OrbitCanonicalizer:
         var_part: Tuple[object, ...],
         vectors: Sequence[ProcVector] = (),
     ) -> Tuple[object, ...]:
-        """The lexicographically least orbit member (by ``repr``)."""
+        """The least orbit member, compared by canonical byte encoding.
+
+        The old ``repr``-string comparison ordered numeric values as text
+        (``"10" < "2"``) and tied the canonical choice to repr
+        formatting; :func:`repro.core.encoding.encode_value` is total,
+        type-stable, and numeric for machine-size ints.
+        """
         vectors = tuple(vectors)
         best = None
-        best_repr = None
+        best_key = None
         for perm in self._perms:
             candidate = self._apply(perm, proc_part, var_part, vectors)
-            candidate_repr = repr(candidate)
-            if best_repr is None or candidate_repr < best_repr:
+            candidate_key = encode_value(candidate)
+            if best_key is None or candidate_key < best_key:
                 best = candidate
-                best_repr = candidate_repr
+                best_key = candidate_key
         if best is None:  # no automorphism enumerated (cannot happen: identity)
             return (proc_part, var_part, vectors)
         return best
+
+
+class StabilizerChainCanonicalizer:
+    """Exact canonical byte keys via a Schreier–Sims stabilizer chain.
+
+    ``canonical_key`` returns the minimum, over the whole automorphism
+    group, of the flat byte rendering of the permuted state — without
+    ever enumerating the group.  The search walks the chain's base
+    points (processors, in slot order): at each level every frontier
+    candidate is extended by every coset representative of the level's
+    transversal, only extensions minimizing that output slot survive,
+    and survivors whose *complete* rendered images coincide are merged
+    (if two prefix permutations render the whole state identically, all
+    their extensions do too, so keeping one loses nothing — this is what
+    keeps uniform states on factorial star groups polynomial).
+
+    Isolated variables (no processor neighbors) permute freely within
+    similarity classes; rendering sorts those slots within each class,
+    which is the exact minimum over that symmetric factor.
+
+    The key is deterministic across processes and ``PYTHONHASHSEED``
+    values, and key equality is exactly orbit equivalence — the same
+    relation :class:`OrbitCanonicalizer` induces without a cap.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        encoder: Optional[StateEncoder] = None,
+        chain: Optional[StabilizerChain] = None,
+    ) -> None:
+        self.system = system
+        self.encoder = encoder if encoder is not None else StateEncoder(system)
+        self.chain = chain if chain is not None else stabilizer_chain(system)
+        self.group_size = self.chain.order
+        self.truncated = False  # exact by construction
+        self._identity = (
+            tuple(range(self.chain.n_procs)),
+            tuple(range(self.chain.n_vars)),
+        )
+
+    def _render(
+        self,
+        parr: Tuple[int, ...],
+        varr: Tuple[int, ...],
+        pslots: Tuple[bytes, ...],
+        ventries: Tuple[tuple, ...],
+    ) -> bytes:
+        """The flat byte key of the state permuted by ``(parr, varr)``."""
+        inv = [0] * len(parr)
+        for outpos, img in enumerate(parr):
+            inv[img] = outpos
+        slots = [pslots[img] for img in parr]
+        render_var = self.encoder.render_var
+        pos = inv.__getitem__
+        var_slots = [render_var(ventries[img], pos) for img in varr]
+        for members in self.chain.isolated_classes:
+            # Transversal elements are the identity on isolated
+            # variables, so output slot j of an isolated variable is j
+            # itself: minimizing over the free Sym(class) factor is
+            # sorting the rendered slots within the class.
+            rendered = sorted(var_slots[j] for j in members)
+            for j, blob in zip(members, rendered):
+                var_slots[j] = blob
+        slots.extend(var_slots)
+        return self.encoder.join_slots(slots)
+
+    def canonical_key(
+        self,
+        proc_part: Tuple[object, ...],
+        var_part: Tuple[object, ...],
+        vectors: Sequence[ProcVector] = (),
+    ) -> bytes:
+        """The least encoded orbit member (exact minimal image)."""
+        pslots = self.encoder.proc_slots(proc_part, tuple(vectors))
+        ventries = self.encoder.var_entries(var_part)
+        frontier = [self._identity]
+        for level in self.chain.levels:
+            if len(level.transversal) == 1 and len(frontier) == 1:
+                continue
+            i = level.point_index
+            best_slot = None
+            extensions: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+            for gp, gv in frontier:
+                for up, uv in level.transversal.values():
+                    comp = (
+                        tuple(gp[x] for x in up),
+                        tuple(gv[x] for x in uv),
+                    )
+                    blob = pslots[comp[0][i]]
+                    # Slots are length-prefixed in the final key, so the
+                    # induced per-slot order is (length, bytes).
+                    slot = (len(blob), blob)
+                    if best_slot is None or slot < best_slot:
+                        best_slot = slot
+                        extensions = [comp]
+                    elif slot == best_slot:
+                        extensions.append(comp)
+            if len(extensions) > 1:
+                merged: Dict[bytes, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+                for comp in extensions:
+                    image = self._render(comp[0], comp[1], pslots, ventries)
+                    if image not in merged:
+                        merged[image] = comp
+                frontier = list(merged.values())
+            else:
+                frontier = extensions
+        return min(
+            self._render(gp, gv, pslots, ventries) for gp, gv in frontier
+        )
+
+    def identity_key(
+        self,
+        proc_part: Tuple[object, ...],
+        var_part: Tuple[object, ...],
+        vectors: Sequence[ProcVector] = (),
+    ) -> bytes:
+        """The key of the state as-is (no symmetry reduction)."""
+        return self.encoder.identity_key(proc_part, var_part, tuple(vectors))

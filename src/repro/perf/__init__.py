@@ -33,6 +33,7 @@ from .batch import (
     system_fingerprint,
 )
 from .explore_bench import format_explore_bench, run_explore_bench
+from .meta import bench_meta
 from .microbench import run_microbench
 from .mp_bench import run_mp_bench
 from .witness_bench import format_witness_bench, run_witness_bench
@@ -41,6 +42,7 @@ __all__ = [
     "BatchReport",
     "SimilarityCache",
     "batch_similarity",
+    "bench_meta",
     "format_explore_bench",
     "format_witness_bench",
     "run_explore_bench",

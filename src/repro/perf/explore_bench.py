@@ -32,13 +32,11 @@ CLI: ``python -m repro bench-explore --workers 4 --output BENCH_explore.json``.
 from __future__ import annotations
 
 import json
-import os
-import platform
-import time
 from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.explore import ExploreSpec, run_explore
+from .meta import bench_meta
 
 #: The benchmark cases: (name, spec).  Depths are sized so the serial
 #: unreduced run stays in CI-friendly territory (a few seconds).
@@ -53,7 +51,7 @@ def default_cases() -> Tuple[Tuple[str, ExploreSpec], ...]:
         ),
         (
             "dp-prime-certified",
-            ExploreSpec(scenario=dpp, max_depth=10, invariants=("exclusion",)),
+            ExploreSpec(scenario=dpp, max_depth=12, invariants=("exclusion",)),
         ),
         (
             "ring-lockstep",
@@ -92,12 +90,7 @@ def run_explore_bench(
     if cases is None:
         cases = default_cases()
     doc: Dict[str, Any] = {
-        "meta": {
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "requested_workers": workers,
-        },
+        "meta": bench_meta(requested_workers=workers),
         "cases": [],
         "all_agree": True,
     }
@@ -135,6 +128,11 @@ def run_explore_bench(
                 "unreduced_s": round(unreduced.elapsed, 4),
                 "reduced_s": round(reduced.elapsed, 4),
                 "sharded_s": round(sharded.elapsed, 4),
+                "speedup_sharded": (
+                    round(reduced.elapsed / sharded.elapsed, 2)
+                    if sharded.elapsed
+                    else None
+                ),
                 "sharded_workers": sharded.workers,
                 "shards": sharded.shards,
                 "agreement": agree,
@@ -171,7 +169,8 @@ def format_explore_bench(doc: dict) -> str:
     lines.append(
         "sharded runs used "
         f"{doc['cases'][0]['sharded_workers'] if doc['cases'] else 0} workers "
-        f"(requested {meta['requested_workers']}); "
+        f"(requested {meta['requested_workers']}"
+        f"{', DEGRADED: more workers than cpus' if meta.get('degraded') else ''}); "
         f"all verdicts agree: {'yes' if doc['all_agree'] else 'NO'}"
     )
     return "\n".join(lines)

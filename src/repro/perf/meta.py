@@ -1,0 +1,38 @@
+"""Shared benchmark metadata: one honest header for every BENCH file.
+
+Every benchmark artifact opens with the same ``meta`` block so files are
+comparable across PRs and across hosts.  The one non-obvious field is
+``degraded``: ``True`` whenever the benchmark *requested* more pool
+workers than the host has CPUs.  On such a host every "parallel" number
+is really measuring process overhead plus time-sliced serial work, so
+speedup claims from a degraded file must not be compared against floors
+measured on adequately-sized hosts — CI and review tooling check the
+flag instead of guessing from ``cpu_count``.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from typing import Optional
+
+
+def bench_meta(requested_workers: Optional[int] = None) -> dict:
+    """The standard ``meta`` block of a benchmark document.
+
+    Args:
+        requested_workers: the pool size the benchmark was asked to use,
+            or None for purely serial benchmarks (no ``degraded`` verdict
+            is recorded for those).
+    """
+    cpus = os.cpu_count() or 1
+    meta = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "cpu_count": cpus,
+    }
+    if requested_workers is not None:
+        meta["requested_workers"] = requested_workers
+        meta["degraded"] = requested_workers > cpus
+    return meta

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 import json
 import math
-import os
-import platform
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -28,6 +26,7 @@ from ..core.refinement import compute_similarity_labeling
 from ..core.system import InstructionSet, System
 from ..topologies.builders import random_connected_network, ring, torus_grid
 from .batch import batch_similarity
+from .meta import bench_meta
 
 # Largest processor count each engine is asked to handle; beyond it the
 # cell is recorded as null.  The reference paths re-derive adjacency on
@@ -106,11 +105,7 @@ def run_microbench(
         The results document (also written to ``output``).
     """
     doc: dict = {
-        "meta": {
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-        },
+        "meta": bench_meta(requested_workers=workers),
         "engine_times": [],
         "batch": None,
     }

@@ -21,14 +21,13 @@ numbers.  CLI: ``python -m repro bench-mp --sizes 16,64 --deliveries
 from __future__ import annotations
 
 import json
-import os
-import platform
 import time
 from typing import Dict, List, Optional, Sequence
 
 from ..messaging.mp_faults import ChannelFaults, FaultPlan
 from ..messaging.mp_runtime import FloodProgram, MPExecutor
 from ..messaging.mp_system import unidirectional_ring
+from .meta import bench_meta
 
 #: name -> fault-plan factory (None = run without a plan entirely)
 _CONFIGS: Dict[str, Optional[ChannelFaults]] = {
@@ -59,11 +58,7 @@ def run_mp_bench(
     The best of ``repeats`` timings is reported.
     """
     doc: dict = {
-        "meta": {
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-        },
+        "meta": bench_meta(),
         "deliveries": deliveries,
         "rows": [],
     }

@@ -24,13 +24,11 @@ CLI: ``python -m repro bench-witness --workers 4 --output BENCH_witness.json``.
 from __future__ import annotations
 
 import json
-import os
-import platform
-import time
 from typing import List, Optional, Sequence, Tuple
 
 from ..analysis.witness_engine import DecisionCache, SweepSpec, run_sweep
 from ..core.hierarchy import POWER_ORDER
+from .meta import bench_meta
 
 #: Adjacent (weaker, stronger) pairs of the paper's power order.
 ADJACENT_PAIRS: Tuple[Tuple[str, str], ...] = tuple(
@@ -66,19 +64,15 @@ def run_witness_bench(
     Returns:
         The results document (also written to ``output``).
     """
+    meta = bench_meta(requested_workers=workers)
+    meta["bounds"] = {
+        "max_processors": max_processors,
+        "max_names": max_names,
+        "max_variables": max_variables,
+        "allow_marks": allow_marks,
+    }
     doc: dict = {
-        "meta": {
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "bounds": {
-                "max_processors": max_processors,
-                "max_names": max_names,
-                "max_variables": max_variables,
-                "allow_marks": allow_marks,
-            },
-            "requested_workers": workers,
-        },
+        "meta": meta,
         "pairs": [],
         "all_agree": True,
     }
@@ -176,7 +170,8 @@ def format_witness_bench(doc: dict) -> str:
     lines.append(
         "sharded run used "
         f"{doc['pairs'][0]['sharded_workers'] if doc['pairs'] else 0} workers "
-        f"(requested {meta['requested_workers']}); "
+        f"(requested {meta['requested_workers']}"
+        f"{', DEGRADED: more workers than cpus' if meta.get('degraded') else ''}); "
         f"all lists agree: {'yes' if doc['all_agree'] else 'NO'}"
     )
     return "\n".join(lines)

@@ -11,6 +11,9 @@ traces must replay through the standard obs loop.
 """
 
 import json
+import os
+import subprocess
+import sys
 from dataclasses import replace
 
 import pytest
@@ -216,6 +219,45 @@ class TestShardingDeterminism:
         with pytest.raises(ExploreError):
             run_explore(dp4_spec(max_depth=8, split_depth=2), workers=0,
                         checkpoint=path)
+
+
+class TestHashSeedDeterminism:
+    # Serial and sharded reports — including the sorted canonical state
+    # digests — must be byte-identical across PYTHONHASHSEED values:
+    # canonical keys are encoded bytes, never repr/hash-order artifacts.
+    SNIPPET = (
+        "import json\n"
+        "from repro.analysis.explore import ExploreSpec, run_explore\n"
+        "spec = ExploreSpec(scenario={'topology': 'dining', 'size': 4,"
+        " 'program': 'left-first'}, max_depth=6,"
+        " invariants=('exclusion',), split_depth=2)\n"
+        "serial = run_explore(spec, workers=0)\n"
+        "sharded = run_explore(spec, workers=2)\n"
+        "assert serial.report_doc() == sharded.report_doc()\n"
+        "print(json.dumps(sharded.report_doc(), sort_keys=True))\n"
+        "print(json.dumps(list(sharded.state_digests)))\n"
+    )
+
+    def _run(self, seed):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = str(seed)
+        env["PYTHONPATH"] = os.path.join(
+            os.path.dirname(__file__), "..", "..", "src"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", self.SNIPPET],
+            env=env,
+            check=True,
+            capture_output=True,
+            text=True,
+        )
+        return proc.stdout
+
+    def test_sharded_equals_serial_across_hash_seeds(self):
+        out0 = self._run(0)
+        out42 = self._run(42)
+        assert out0 == out42
+        assert '"verdict"' in out0
 
 
 class TestCounterexampleTraces:

@@ -12,6 +12,7 @@ from repro.core.automorphism import (
     orbit_labeling,
     permutation_order,
     restriction_is_single_cycle,
+    stabilizer_chain,
 )
 from repro.topologies import dining_system, figure2_network, ring, star
 
@@ -87,8 +88,54 @@ class TestPermutationHelpers:
         assert restriction_is_single_cycle(perm, ["a", "b"])
         assert not restriction_is_single_cycle(perm, ["a", "b", "c"])
 
+    def test_restriction_tolerates_nodes_outside_the_domain(self):
+        # Regression: probing an orbit against a permutation that does
+        # not mention every node used to raise KeyError mid-walk.  A
+        # node outside the domain cannot lie on a cycle, so the answer
+        # is False — whether the foreign node is the start point or is
+        # reached part-way through the walk.
+        perm = {"a": "b", "b": "a"}
+        assert not restriction_is_single_cycle(perm, ["a", "b", "zz"])
+        assert not restriction_is_single_cycle(perm, ["zz"])
+        bigger = {"a": "b", "b": "c"}  # c missing from the domain
+        assert not restriction_is_single_cycle(bigger, ["a", "b", "c"])
+
     def test_transitive_generator_on_prime_ring(self):
         system = dining_system(5).with_instruction_set(InstructionSet.Q)
         sigma = find_transitive_generator(system, system.processors)
         assert sigma is not None
         assert permutation_order(sigma) == 5
+
+
+class TestStabilizerChain:
+    def test_order_matches_enumeration(self):
+        for system in (
+            ring_sys(5),
+            ring_sys(4, {"p0": 1}),
+            System(figure2_network(), None, InstructionSet.Q),
+            dining_system(6, alternating=True),
+        ):
+            chain = stabilizer_chain(system)
+            assert chain.order == len(list(iter_automorphisms(system)))
+
+    def test_star_order_is_factorial_without_enumeration(self):
+        # The star's 5! = 120 elements are counted from orbit sizes, not
+        # listed; enumeration would need 120 yields to agree.
+        system = System(star(5), None, InstructionSet.Q)
+        chain = stabilizer_chain(system)
+        assert chain.order == 120
+        assert chain.order == len(list(iter_automorphisms(system)))
+
+    def test_transversals_are_valid_coset_maps(self):
+        # Every transversal entry at level i must fix the base points of
+        # all earlier levels and send level i's base point to its key.
+        system = ring_sys(6)
+        chain = stabilizer_chain(system)
+        seen_points = []
+        for level in chain.levels:
+            i = level.point_index
+            for target, (parr, _varr) in level.transversal.items():
+                assert parr[i] == target
+                for j in seen_points:
+                    assert parr[j] == j
+            seen_points.append(i)

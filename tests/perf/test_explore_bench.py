@@ -56,6 +56,10 @@ class TestRunExploreBench:
             assert row["unreduced_s"] >= 0
             assert row["reduced_s"] >= 0
             assert row["sharded_s"] >= 0
+            assert "speedup_sharded" in row
+        # workers=0 never oversubscribes, so the run is not degraded
+        assert doc["meta"]["requested_workers"] == 0
+        assert doc["meta"]["degraded"] is False
 
     def test_default_cases_are_the_headline_experiments(self):
         names = [name for name, _spec in default_cases()]

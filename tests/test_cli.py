@@ -240,6 +240,21 @@ class TestExplore:
         ]) == 0
         assert "certified" in capsys.readouterr().out
 
+    def test_states_output_writes_sorted_digests(self, tmp_path, capsys):
+        states = tmp_path / "states.txt"
+        assert main([
+            "explore", "dining", "4",
+            "--alternating",
+            "--program", "left-first",
+            "--max-depth", "6",
+            "--workers", "0",
+            "--states-output", str(states),
+        ]) == 0
+        assert "states:" in capsys.readouterr().out
+        lines = states.read_text().splitlines()
+        assert lines and lines == sorted(lines)
+        assert all(bytes.fromhex(line) for line in lines)
+
     def test_bad_spec_rejected(self):
         with pytest.raises(SystemExit, match="k-bounded"):
             main(["explore", "ring", "3", "--k", "3", "--workers", "0"])
