@@ -551,7 +551,18 @@ class _Checks:
 class _KeyMaker:
     """State → byte key for one system: canonical under symmetry
     reduction, identity encoding otherwise.  Built once per process and
-    shared by trunk and shard walkers."""
+    shared by trunk and shard walkers.
+
+    Under symmetry reduction the canonical key of a state is memoized by
+    its *identity* key: the identity encoding determines the state
+    exactly, so it determines the canonical image, and a memo hit skips
+    the whole minimal-image search.  The memo is sound by construction
+    and can be pre-seeded from a persistent store (``orbits`` namespace,
+    keyed by the system fingerprint) so canonicalization work done by any
+    earlier run — another process, another CLI invocation, the serving
+    layer — is never repeated.  Freshly computed pairs are kept in
+    ``fresh`` for the caller to persist.
+    """
 
     def __init__(self, system, symmetry: bool) -> None:
         self.encoder = StateEncoder(system)
@@ -562,6 +573,34 @@ class _KeyMaker:
         )
         self.group_size = self.canon.group_size if self.canon is not None else 1
         self.truncated = False  # the chain is exact; nothing to truncate
+        self.memo: Dict[bytes, bytes] = {}
+        self.fresh: Dict[bytes, bytes] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    def key(self, proc_part, var_part, vectors: Tuple) -> bytes:
+        """The (canonical or identity) byte key of one state."""
+        if self.canon is None:
+            return self.encoder.identity_key(proc_part, var_part, vectors)
+        ident = self.encoder.identity_key(proc_part, var_part, vectors)
+        cached = self.memo.get(ident)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
+        key = self.canon.canonical_key(proc_part, var_part, vectors)
+        self.memo[ident] = key
+        self.fresh[ident] = key
+        return key
+
+    def seed_memo(self, pairs: Dict[bytes, bytes]) -> None:
+        """Pre-load identity→canonical pairs (does not mark them fresh)."""
+        self.memo.update(pairs)
+
+    def drain_fresh(self) -> Dict[bytes, bytes]:
+        """Pairs computed since the last drain (for persistence)."""
+        fresh, self.fresh = self.fresh, {}
+        return fresh
 
 
 class _Node:
@@ -661,13 +700,7 @@ class _Walker:
             vectors.append(node.ages)
         if node.counts is not None:
             vectors.append(node.counts)
-        canon = self.keys.canon
-        if canon is not None:
-            key = canon.canonical_key(proc_part, var_part, tuple(vectors))
-        else:
-            key = self.keys.encoder.identity_key(
-                proc_part, var_part, tuple(vectors)
-            )
+        key = self.keys.key(proc_part, var_part, tuple(vectors))
         if self.spec.k is not None:
             # States inside an incomplete first window are not mergeable
             # with window-active ones: the schedule-position phase is
@@ -1016,6 +1049,11 @@ def _run_level_chunk(shm_name: str, nbytes: int, start: int, end: int) -> dict:
     return walker.expand_chunk(entries[start:end])
 
 
+def _json_normalize(doc):
+    """A document as JSON round-trips it (tuples to lists, keys to str)."""
+    return json.loads(json.dumps(doc, sort_keys=True))
+
+
 def _load_checkpoint(
     path: str, spec: ExploreSpec
 ) -> Tuple[Dict[Tuple[str, ...], dict], Dict[int, dict]]:
@@ -1037,7 +1075,11 @@ def _load_checkpoint(
                     f"checkpoint {path}:{line_no} is not valid JSON: {exc}"
                 ) from None
             if doc.get("kind") == "explore-checkpoint":
-                if doc["spec"] != spec.to_json():
+                # Compare in JSON-normalized space: tuple-valued spec
+                # fields (scenario marks, restrict walks) survive as
+                # tuples in memory but round-trip to lists on disk, and a
+                # raw dict compare would falsely reject a valid resume.
+                if _json_normalize(doc["spec"]) != _json_normalize(spec.to_json()):
                     raise ExploreError(
                         f"checkpoint {path} records a different exploration "
                         f"spec; delete it or change the spec"
@@ -1094,6 +1136,55 @@ def _emit_progress(hub, shard: str, doc: dict, resumed: bool) -> None:
 # ----------------------------------------------------------------------
 
 
+def _merge_orbit_docs(existing: dict, new: dict) -> dict:
+    """Store-level merge of two orbit-memo maps (plain union: both sides
+    map identity keys to *the* canonical key, so agreement is free)."""
+    merged = dict(existing.get("map", {}))
+    merged.update(new.get("map", {}))
+    return {"map": merged}
+
+
+def _orbit_store_key(system) -> bytes:
+    """The ``orbits``-namespace store key of one system: its content
+    fingerprint (hash-seed independent, equal for equal systems)."""
+    from ..perf.batch import system_fingerprint
+
+    return bytes.fromhex(system_fingerprint(system))
+
+
+def _load_orbit_memo(store, system, keys: _KeyMaker) -> int:
+    """Seed ``keys`` from the persisted orbit memo; pairs loaded."""
+    from ..store import NS_ORBITS
+
+    store.register_merge(NS_ORBITS, _merge_orbit_docs)
+    doc = store.get(NS_ORBITS, _orbit_store_key(system))
+    if doc is None:
+        return 0
+    pairs = {
+        bytes.fromhex(ident): bytes.fromhex(canon)
+        for ident, canon in doc.get("map", {}).items()
+    }
+    keys.seed_memo(pairs)
+    return len(pairs)
+
+
+def _save_orbit_memo(store, system, keys: _KeyMaker) -> int:
+    """Persist freshly computed identity→canonical pairs; pairs saved."""
+    from ..store import NS_ORBITS
+
+    fresh = keys.drain_fresh()
+    if not fresh:
+        return 0
+    store.register_merge(NS_ORBITS, _merge_orbit_docs)
+    store.put(
+        NS_ORBITS,
+        _orbit_store_key(system),
+        {"map": {ident.hex(): canon.hex() for ident, canon in fresh.items()}},
+    )
+    store.flush()
+    return len(fresh)
+
+
 def _canonical_violation(
     spec: ExploreSpec,
     violation: Violation,
@@ -1129,6 +1220,7 @@ def run_explore(
     hub=None,
     extra_invariants: Sequence[Callable] = (),
     extra_probes: Sequence[Callable] = (),
+    store=None,
 ) -> ExploreResult:
     """Explore the bounded schedule space of a scenario.
 
@@ -1148,6 +1240,16 @@ def run_explore(
             so they force the serial path; an invariant may opt into
             per-processor step counts with a truthy ``needs_counts``
             attribute.
+        store: optional persistent store — a
+            :class:`~repro.store.ContentStore` or a directory path.  The
+            parent's canonicalization memo is pre-seeded from the
+            ``orbits`` namespace (keyed by the system fingerprint) and
+            freshly computed identity→canonical pairs are persisted back,
+            so repeated explorations of the same system skip the
+            minimal-image searches entirely.  Pool workers keep their own
+            in-process memos and do not consult the store (the parent's
+            trunk plus merge already carries the bulk of repeat traffic);
+            the verdict never depends on the store.
 
     Returns:
         An :class:`ExploreResult`; its :meth:`~ExploreResult.report_doc`
@@ -1174,6 +1276,13 @@ def run_explore(
         )
     keys = _KeyMaker(bundle.system, spec.symmetry)
     checks = _Checks(spec, bundle, extra_invariants, extra_probes)
+    if store is not None:
+        if isinstance(store, str):
+            from ..store import ContentStore
+
+            store = ContentStore(store)
+        if spec.symmetry:
+            _load_orbit_memo(store, bundle.system, keys)
 
     # Level-synchronous fan-out needs BFS; DFS order, livelock cycles
     # and restricted single-schedule walks are whole-tree properties.
@@ -1369,6 +1478,8 @@ def run_explore(
     finally:
         if writer:
             writer.close()
+        if store is not None and spec.symmetry:
+            _save_orbit_memo(store, bundle.system, keys)
 
     seen_hits: Set[str] = set()
     unique_hits: List[dict] = []

@@ -188,16 +188,36 @@ def _candidate_form(probe: System) -> bytes:
 
 
 def _form_to_wire(form) -> str:
-    """Checkpoint/JSON representation of a form key (hex for bytes)."""
-    return form.hex() if isinstance(form, bytes) else str(form)
+    """Checkpoint/JSON representation of a form key.
+
+    Byte keys are tagged explicitly (``"b:" + hex``) so the inverse
+    never has to guess: an untagged wire string is, by construction, a
+    legacy key from an older checkpoint.
+    """
+    return "b:" + form.hex() if isinstance(form, bytes) else str(form)
 
 
 def _form_from_wire(wire: str):
-    """Inverse of :func:`_form_to_wire`, tolerating pre-encoding
-    checkpoints: a legacy ``repr``-string form (never valid hex — it
-    starts with ``'('``) is kept verbatim as its own bucket key.  Such
-    entries simply never match new lookups, costing a cache miss, not
-    correctness."""
+    """Inverse of :func:`_form_to_wire`, tolerating both legacy shapes.
+
+    * ``"b:<hex>"`` — the current tagged encoding of a byte key.
+    * bare even-length hex — checkpoints from the first byte-encoded
+      release, which wrote ``form.hex()`` untagged; decoded to bytes.
+    * anything else — a pre-encoding ``repr``-string form, kept verbatim
+      as its own bucket key.  Such entries never match new lookups,
+      costing a cache miss, not correctness.
+
+    The explicit tag is what makes this safe: without it, a repr-string
+    key that *happened* to be even-length hex would be silently decoded
+    into a bogus byte bucket and could never round-trip.
+    """
+    if wire.startswith("b:"):
+        try:
+            return bytes.fromhex(wire[2:])
+        except ValueError:
+            raise WitnessSearchError(
+                f"malformed byte-form key {wire!r} (not hex after 'b:')"
+            ) from None
     try:
         return bytes.fromhex(wire)
     except ValueError:
@@ -252,16 +272,91 @@ class DecisionCache:
     drain to whoever needs to replicate it (the parent merging worker
     results, the checkpoint writer) without re-serializing the whole
     cache.
+
+    Attaching a :class:`~repro.store.ContentStore` makes the cache
+    *load-through/write-behind*: the first lookup of a canonical form
+    consults the store's ``decisions`` namespace and folds any persisted
+    bucket in (so a decision computed by any earlier process — another
+    CLI run, a pool worker, the serving layer — counts as a hit, never a
+    recompute), and every freshly computed decision is staged back to
+    the store, flushed in batches.  ``store_hits``/``store_misses``
+    count those first-touch bucket loads.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store=None) -> None:
         self._buckets: Dict[object, List[_CacheEntry]] = {}
         self._journal: List[Tuple[object, WitnessRecord, str, bool]] = []
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
+        self.store_misses = 0
+        self._store = None
+        self._store_seen: set = set()
+        if store is not None:
+            self.attach_store(store)
+
+    def attach_store(self, store) -> None:
+        """Back this cache with a persistent :class:`ContentStore`."""
+        from ..store import NS_DECISIONS
+
+        store.register_merge(NS_DECISIONS, _merge_decision_docs)
+        self._store = store
 
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._buckets.values())
+
+    # -- store backing -------------------------------------------------
+
+    def _bucket_doc(self, form: bytes) -> dict:
+        """The persistent document of one form bucket (decided entries)."""
+        return {
+            "entries": sorted(
+                (
+                    [entry.record.to_json(), dict(entry.decisions)]
+                    for entry in self._buckets.get(form, ())
+                    if entry.decisions
+                ),
+                key=lambda item: json.dumps(item[0], sort_keys=True),
+            )
+        }
+
+    def _load_through(self, form) -> None:
+        """First-touch load of a form's persisted bucket, if any."""
+        if (
+            self._store is None
+            or not isinstance(form, bytes)
+            or form in self._store_seen
+        ):
+            return
+        self._store_seen.add(form)
+        from ..store import NS_DECISIONS
+
+        doc = self._store.get(NS_DECISIONS, form)
+        if doc is None:
+            self.store_misses += 1
+            return
+        self.store_hits += 1
+        wire = _form_to_wire(form)
+        self.merge(
+            [
+                (wire, record_doc, decisions)
+                for record_doc, decisions in doc.get("entries", ())
+            ]
+        )
+
+    def _write_behind(self, form) -> None:
+        if self._store is None or not isinstance(form, bytes):
+            return
+        from ..store import NS_DECISIONS
+
+        self._store.put(NS_DECISIONS, form, self._bucket_doc(form))
+
+    def flush_store(self) -> None:
+        """Flush staged write-behind entries to disk (no-op storeless)."""
+        if self._store is not None:
+            self._store.flush()
+
+    # -- lookups -------------------------------------------------------
 
     def entry_for(
         self,
@@ -272,6 +367,7 @@ class DecisionCache:
         sched: ScheduleClass,
     ) -> _CacheEntry:
         """The iso-class entry of ``probe``, created if novel."""
+        self._load_through(form)
         bucket = self._buckets.setdefault(form, [])
         for entry in bucket:
             if entry.record == record or are_isomorphic(
@@ -294,6 +390,7 @@ class DecisionCache:
         possible = decide_selection(entry.record.system(iset, sched)).possible
         entry.decisions[label] = possible
         self._journal.append((entry.form, entry.record, label, possible))
+        self._write_behind(entry.form)
         return possible
 
     # -- snapshots and journals (cross-process / checkpoint form) ------
@@ -339,6 +436,26 @@ class DecisionCache:
                     break
             else:
                 bucket.append(_CacheEntry(form, record, decisions))
+
+
+def _merge_decision_docs(existing: dict, new: dict) -> dict:
+    """Store-level merge of two persisted form buckets (union of entries,
+    union of each entry's decisions) — concurrent writers extend, never
+    clobber, one another."""
+    merged: Dict[str, Tuple[dict, Dict[str, bool]]] = {}
+    for doc in (existing, new):
+        for record_doc, decisions in doc.get("entries", ()):
+            key = json.dumps(record_doc, sort_keys=True)
+            if key in merged:
+                merged[key][1].update(decisions)
+            else:
+                merged[key] = (record_doc, dict(decisions))
+    return {
+        "entries": [
+            [record_doc, decisions]
+            for _key, (record_doc, decisions) in sorted(merged.items())
+        ]
+    }
 
 
 class DedupIndex:
@@ -432,6 +549,8 @@ class ShardStats:
     witnesses: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
 
     def to_json(self) -> dict:
         return dict(self.__dict__)
@@ -448,6 +567,7 @@ def _sweep_shard(
     w_iset, w_sched = spec.weak_model
     stats = ShardStats()
     hits_before, misses_before = cache.hits, cache.misses
+    shits_before, smisses_before = cache.store_hits, cache.store_misses
     dedup = DedupIndex()
     found: List[WitnessRecord] = []
     for record in _iter_shard_records(spec, shard):
@@ -466,6 +586,8 @@ def _sweep_shard(
     stats.witnesses = len(found)
     stats.cache_hits = cache.hits - hits_before
     stats.cache_misses = cache.misses - misses_before
+    stats.store_hits = cache.store_hits - shits_before
+    stats.store_misses = cache.store_misses - smisses_before
     return found, stats
 
 
@@ -476,12 +598,23 @@ def _sweep_shard(
 _WORKER: Dict[str, object] = {}
 
 
-def _pool_init(spec_doc: dict, shm_name: Optional[str], nbytes: int) -> None:
+def _pool_init(
+    spec_doc: dict,
+    shm_name: Optional[str],
+    nbytes: int,
+    store_root: Optional[str] = None,
+) -> None:
     """Pool-worker initializer: build the spec once and seed the
     persistent cache from the parent's snapshot, published through one
-    shared-memory block instead of pickled per task."""
+    shared-memory block instead of pickled per task.  With a store root,
+    each worker opens its own handle on the shared on-disk store, so
+    decisions persisted by any earlier run load through."""
     spec = SweepSpec.from_json(spec_doc)
     cache = DecisionCache()
+    if store_root is not None:
+        from ..store import ContentStore
+
+        cache.attach_store(ContentStore(store_root))
     if shm_name is not None and nbytes:
         from multiprocessing import shared_memory
 
@@ -502,6 +635,7 @@ def _run_shard_task(shard_doc) -> tuple:
     cache: DecisionCache = _WORKER["cache"]
     cache.drain_journal()  # discard leftovers of an aborted earlier task
     found, stats = _sweep_shard(spec, _shard_from_doc(shard_doc), cache)
+    cache.flush_store()  # new decisions become visible to other workers
     return (
         shard_doc,
         [r.to_json() for r in found],
@@ -513,6 +647,11 @@ def _run_shard_task(shard_doc) -> tuple:
 # ----------------------------------------------------------------------
 # checkpoints
 # ----------------------------------------------------------------------
+
+
+def _json_normalize(doc):
+    """A document as JSON round-trips it (tuples to lists, keys to str)."""
+    return json.loads(json.dumps(doc, sort_keys=True))
 
 
 def _shard_doc(shard: ShardKey) -> list:
@@ -542,7 +681,12 @@ def _load_checkpoint(
                     f"checkpoint {path}:{line_no} is not valid JSON: {exc}"
                 ) from None
             if doc.get("kind") == "witness-sweep":
-                if doc["spec"] != spec.to_json():
+                # Normalize both sides through a JSON round-trip before
+                # comparing: the on-disk spec is pure JSON (tuples became
+                # lists), while the in-memory ``to_json()`` may still
+                # carry tuple-valued fields — comparing raw dicts would
+                # falsely reject a valid resume.
+                if _json_normalize(doc["spec"]) != _json_normalize(spec.to_json()):
                     raise WitnessSearchError(
                         f"checkpoint {path} records a different sweep spec "
                         f"({doc['spec']!r}); delete it or change the spec"
@@ -662,6 +806,7 @@ def run_sweep(
     cache: Optional[DecisionCache] = None,
     checkpoint: Optional[str] = None,
     hub=None,
+    store=None,
 ) -> SweepResult:
     """Run a witness sweep, sharded and cached.
 
@@ -679,6 +824,11 @@ def run_sweep(
             spec) those shards are not re-run.
         hub: optional :class:`~repro.obs.events.EventHub` for
             ``WitnessSearchProgress`` / ``WitnessFound`` events.
+        store: optional persistent decision store — a
+            :class:`~repro.store.ContentStore` or a directory path.  The
+            cache loads decisions through it and writes new ones behind,
+            so sweeps share work across processes and runs; pool workers
+            open their own handles on the same directory.
 
     Returns:
         A :class:`SweepResult` whose ``witnesses`` match the serial
@@ -691,6 +841,14 @@ def run_sweep(
     if workers <= 1:
         workers = 0
     cache = cache if cache is not None else DecisionCache()
+    store_root: Optional[str] = None
+    if store is not None:
+        if isinstance(store, str):
+            from ..store import ContentStore
+
+            store = ContentStore(store)
+        store_root = store.root
+        cache.attach_store(store)
 
     t0 = time.perf_counter()
     plan = shard_plan(spec)
@@ -753,7 +911,7 @@ def run_sweep(
                 with ProcessPoolExecutor(
                     max_workers=workers,
                     initializer=_pool_init,
-                    initargs=(spec.to_json(), shm_name, len(seed)),
+                    initargs=(spec.to_json(), shm_name, len(seed), store_root),
                 ) as pool:
                     futures = {
                         pool.submit(_run_shard_task, _shard_doc(shard)): shard
@@ -775,6 +933,7 @@ def run_sweep(
     finally:
         if writer:
             writer.close()
+        cache.flush_store()
 
     merged = _merge_results(spec, [per_shard[s] for s in plan if s in per_shard])
     s_iset, s_sched = spec.strong_model

@@ -21,6 +21,10 @@ Gives the library's main analyses a shell-friendly surface:
   replayable counterexample traces;
 * ``bench-explore`` -- unreduced vs Θ-reduced vs sharded exploration
   timings (``BENCH_explore.json``);
+* ``serve`` -- the long-lived analysis service: HTTP and/or stdio front
+  ends over the coalescing, store-backed engine core;
+* ``bench-serve`` -- cold vs warm-store serving benchmark under a
+  seeded concurrent mixed workload (``BENCH_serve.json``);
 * ``trace`` -- record a run as a replayable JSONL trace;
 * ``trace-mp`` -- record a message-passing run (with optional channel
   faults, crash-stops, and stubborn retransmission) as a trace;
@@ -74,6 +78,24 @@ _MODELS = {
     "L": (InstructionSet.L, ScheduleClass.FAIR),
     "L2": (InstructionSet.L2, ScheduleClass.FAIR),
 }
+
+
+def _positive_workers(text: str) -> int:
+    """argparse type for every ``--workers`` flag: an integer >= 1.
+
+    The engines speak "0 = serial" internally, but on the command line a
+    worker count of zero (or less) is always a typo'd request for no
+    work at all — reject it up front instead of silently running serial.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 1 (1 = serial), got {value}"
+        )
+    return value
 
 
 def _build_system(args) -> System:
@@ -594,6 +616,72 @@ def cmd_bench_explore(args) -> int:
     return 0 if doc["all_agree"] else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve.http import serve_forever
+    from .serve.service import AnalysisService
+
+    if args.http is None and not args.stdio:
+        raise SystemExit("serve needs a front end: --http PORT and/or --stdio")
+    workers = args.workers if args.workers is not None else 1
+    service = AnalysisService(
+        store_dir=args.store,
+        engine_workers=0 if workers <= 1 else workers,
+        batch_window=args.batch_window,
+    )
+
+    def ready(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    try:
+        asyncio.run(
+            serve_forever(
+                service,
+                http_port=args.http,
+                host=args.host,
+                stdio=args.stdio,
+                ready=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_bench_serve(args) -> int:
+    from .perf.serve_bench import format_serve_bench, run_serve_bench
+
+    store_dir = args.store
+    cleanup = None
+    if store_dir is None:
+        import tempfile
+
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-serve-bench-")
+        store_dir = cleanup.name
+    try:
+        doc = run_serve_bench(
+            store_dir=store_dir,
+            requests=args.requests,
+            seed=args.seed,
+            workers=args.workers,
+            batch_window=args.batch_window,
+            output=args.output or None,
+            determinism_output=args.determinism_output,
+        )
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    print(format_serve_bench(doc))
+    if args.output:
+        print(f"written: {args.output}")
+    if args.determinism_output:
+        print(f"determinism: {args.determinism_output}")
+    det = doc["determinism"]
+    ok = det["cold_warm_agree"] and det["warm_witness_cache_misses"] == 0
+    return 0 if ok else 1
+
+
 def cmd_replay(args) -> int:
     from .obs import TraceError, replay_trace
 
@@ -676,8 +764,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="only mark the first N processors (default: all)",
     )
     batch.add_argument(
-        "--workers", type=int, default=None,
-        help="process-pool size (0 = serial; default: min(4, cores))",
+        "--workers", type=_positive_workers, default=None,
+        help="process-pool size (1 = serial; default: min(4, cores))",
     )
     batch.set_defaults(func=cmd_batch)
 
@@ -689,7 +777,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--batch-n", type=int, default=None,
                        help="ring size for the batch comparison (default: max size)")
     bench.add_argument("--family-size", type=int, default=4)
-    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--workers", type=_positive_workers, default=4)
     bench.add_argument("--skip-baseline", action="store_true",
                        help="skip the slow serial-uncached baseline")
     bench.add_argument("--output", default="BENCH_refinement.json",
@@ -791,8 +879,8 @@ def build_parser() -> argparse.ArgumentParser:
     witness.add_argument("--limit", type=int, default=None,
                          help="stop after this many witnesses (default: exhaust)")
     witness.add_argument(
-        "--workers", type=int, default=None,
-        help="process-pool size (0 = serial; default: min(4, cores))",
+        "--workers", type=_positive_workers, default=None,
+        help="process-pool size (1 = serial; default: min(4, cores))",
     )
     witness.add_argument("--checkpoint", metavar="PATH",
                          help="JSONL checkpoint; an existing file resumes the sweep")
@@ -813,7 +901,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_witness.add_argument("--max-names", type=int, default=2)
     bench_witness.add_argument("--max-variables", type=int, default=3)
     bench_witness.add_argument("--allow-marks", action="store_true")
-    bench_witness.add_argument("--workers", type=int, default=4)
+    bench_witness.add_argument("--workers", type=_positive_workers, default=4)
     bench_witness.add_argument("--output", default="BENCH_witness.json",
                                help='JSON artifact path ("" to skip writing)')
     bench_witness.set_defaults(func=cmd_bench_witness)
@@ -876,8 +964,8 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--sched-k", type=int, default=None,
                          help="fairness bound for the k-bounded base scheduler")
     explore.add_argument(
-        "--workers", type=int, default=None,
-        help="process-pool size (0 = serial; default: min(4, cores))",
+        "--workers", type=_positive_workers, default=None,
+        help="process-pool size (1 = serial; default: min(4, cores))",
     )
     explore.add_argument("--checkpoint", metavar="PATH",
                          help="JSONL checkpoint; an existing file resumes the run")
@@ -900,10 +988,51 @@ def build_parser() -> argparse.ArgumentParser:
         "bench-explore",
         help="schedule-explorer microbenchmark: unreduced vs Θ-reduced vs sharded",
     )
-    bench_explore.add_argument("--workers", type=int, default=4)
+    bench_explore.add_argument("--workers", type=_positive_workers, default=4)
     bench_explore.add_argument("--output", default="BENCH_explore.json",
                                help='JSON artifact path ("" to skip writing)')
     bench_explore.set_defaults(func=cmd_bench_explore)
+
+    serve = sub.add_parser(
+        "serve", help="long-lived analysis service (HTTP and/or stdio)"
+    )
+    serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                       help="serve HTTP on this port (0 = ephemeral)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="HTTP bind address (default: 127.0.0.1)")
+    serve.add_argument("--stdio", action="store_true",
+                       help="serve JSON lines on stdin/stdout (EOF stops)")
+    serve.add_argument("--store", metavar="DIR", default=None,
+                       help="content-addressed decision store directory "
+                            "(omit to run memory-only)")
+    serve.add_argument(
+        "--workers", type=_positive_workers, default=None,
+        help="engine process-pool size per job (1 = serial, the default)",
+    )
+    serve.add_argument("--batch-window", type=float, default=0.01,
+                       help="request-coalescing window in seconds")
+    serve.set_defaults(func=cmd_serve)
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="serving benchmark: cold vs warm store under concurrent load",
+    )
+    bench_serve.add_argument("--store", metavar="DIR", default=None,
+                             help="store directory (default: fresh temp dir)")
+    bench_serve.add_argument("--requests", type=int, default=24,
+                             help="workload length per phase")
+    bench_serve.add_argument("--seed", type=int, default=7,
+                             help="workload RNG seed")
+    bench_serve.add_argument("--workers", type=_positive_workers, default=1)
+    bench_serve.add_argument("--batch-window", type=float, default=0.005)
+    bench_serve.add_argument("--output", default="BENCH_serve.json",
+                             help='JSON artifact path ("" to skip writing)')
+    bench_serve.add_argument(
+        "--determinism-output", metavar="PATH", default=None,
+        help="also write the hash-seed-comparable section standalone "
+             "(what CI compares byte-for-byte)",
+    )
+    bench_serve.set_defaults(func=cmd_bench_serve)
 
     replay = sub.add_parser(
         "replay", help="re-run a recorded trace, verifying determinism"

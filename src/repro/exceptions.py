@@ -66,3 +66,8 @@ class ExploreError(ReproError):
     """The schedule-space explorer was misconfigured (bad specification,
     unknown invariant or probe names, or a checkpoint recorded for a
     different exploration)."""
+
+
+class ServeError(ReproError):
+    """The analysis service received a malformed request or was
+    misconfigured (unknown op, bad spec payload, bad front-end state)."""

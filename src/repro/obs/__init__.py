@@ -36,6 +36,7 @@ from .events import (
     ProcessorCrashedMP,
     RefinementCompleted,
     RefinementRound,
+    ServeWave,
     StepExecuted,
     WitnessFound,
     WitnessSearchProgress,
@@ -48,6 +49,8 @@ _LAZY = {
     "TraceError": "trace_io",
     "TraceWriter": "trace_io",
     "config_digest": "trace_io",
+    "digest_matches": "trace_io",
+    "legacy_digest": "trace_io",
     "load_trace": "trace_io",
     "node_digests": "trace_io",
     "stable_digest": "trace_io",
@@ -89,6 +92,7 @@ __all__ = [
     "RefinementCompleted",
     "RefinementRound",
     "RingBufferSink",
+    "ServeWave",
     "StepExecuted",
     "WitnessFound",
     "WitnessSearchProgress",

@@ -410,6 +410,35 @@ class InvariantViolated(Event):
         }
 
 
+@dataclass(frozen=True)
+class ServeWave(Event):
+    """One coalesced wave of the analysis service completed.
+
+    Attributes:
+        op: the operation kind (``"similarity"``, ``"witness"``,
+            ``"explore"``).
+        requests: requests coalesced into the wave.
+        jobs: distinct jobs actually executed (identical requests share).
+        elapsed_ms: wall-clock time of the wave, in milliseconds.
+    """
+
+    kind: ClassVar[str] = "serve-wave"
+
+    op: str
+    requests: int
+    jobs: int
+    elapsed_ms: float
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "op": self.op,
+            "requests": self.requests,
+            "jobs": self.jobs,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+        }
+
+
 class EventHub:
     """A tiny synchronous dispatcher: attach sinks, emit events.
 

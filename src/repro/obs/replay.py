@@ -44,7 +44,14 @@ from ..runtime.executor import Executor
 from ..runtime.scheduler import ReplayScheduler
 from .events import StepExecuted
 from .scenarios import build_mp_scenario, build_scenario
-from .trace_io import Trace, TraceError, config_digest, load_trace, node_digests
+from .trace_io import (
+    Trace,
+    TraceError,
+    config_digest,
+    digest_matches,
+    load_trace,
+    node_digests,
+)
 
 _REPLAY_MODES = ("schedule", "scheduler")
 
@@ -121,11 +128,12 @@ class _LastStep:
 
 
 def _first_node_diff(executor, recorded_nodes: Dict[str, str]):
-    """The first node (in system order) whose replayed digest differs."""
+    """The first node (in system order) whose replayed state no longer
+    matches its recorded digest (current or legacy scheme)."""
     actual = node_digests(executor)
     for node in executor.system.nodes:
         key = str(node)
-        if recorded_nodes.get(key) != actual.get(key):
+        if not digest_matches(recorded_nodes.get(key), executor.node_state(node)):
             return key, recorded_nodes.get(key), actual.get(key)
     return None, None, None
 
@@ -194,12 +202,11 @@ def _replay_sv_steps(trace: Trace, bundle, scheduler, mode: str) -> ReplayReport
         if doc is None:
             return None
         report.samples_checked += 1
-        digest = config_digest(executor)
-        if digest == doc.get("digest"):
+        if digest_matches(doc.get("digest"), executor.configuration()):
             return None
         node, exp, act = _first_node_diff(executor, doc.get("nodes", {}))
         return Divergence(
-            step, "config", doc.get("digest"), digest,
+            step, "config", doc.get("digest"), config_digest(executor),
             node=node, node_expected=exp, node_actual=act,
         )
 
@@ -215,10 +222,12 @@ def _replay_sv_steps(trace: Trace, bundle, scheduler, mode: str) -> ReplayReport
                 break
 
     if divergence is None and trace.end is not None:
-        digest = config_digest(executor)
-        if digest != trace.end.get("digest"):
+        if not digest_matches(trace.end.get("digest"), executor.configuration()):
             divergence = Divergence(
-                executor.step_count, "end", trace.end.get("digest"), digest
+                executor.step_count,
+                "end",
+                trace.end.get("digest"),
+                config_digest(executor),
             )
 
     report.final_digest = config_digest(executor)
@@ -386,12 +395,11 @@ def replay_mp_trace(
         if doc is None:
             return None
         report.samples_checked += 1
-        digest = config_digest(executor)
-        if digest == doc.get("digest"):
+        if digest_matches(doc.get("digest"), executor.configuration()):
             return None
         node, exp, act = _first_node_diff(executor, doc.get("nodes", {}))
         return Divergence(
-            step, "config", doc.get("digest"), digest,
+            step, "config", doc.get("digest"), config_digest(executor),
             node=node, node_expected=exp, node_actual=act,
         )
 
@@ -435,10 +443,12 @@ def replay_mp_trace(
         divergence = _mp_doc_divergence(cursor, recorded[cursor], None)
 
     if divergence is None and trace.end is not None:
-        digest = config_digest(executor)
-        if digest != trace.end.get("digest"):
+        if not digest_matches(trace.end.get("digest"), executor.configuration()):
             divergence = Divergence(
-                executor.step_count, "end", trace.end.get("digest"), digest
+                executor.step_count,
+                "end",
+                trace.end.get("digest"),
+                config_digest(executor),
             )
 
     report.final_digest = config_digest(executor)

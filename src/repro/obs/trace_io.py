@@ -13,12 +13,15 @@ A *trace* is a line-oriented JSON file:
   ``sample_every`` steps, starting with the initial configuration);
 * last line — an ``end`` document with the final step count and digest.
 
-Digests are SHA-256 over ``repr`` (truncated to 16 hex chars).  All
-local states and variable snapshots in this codebase are tuples,
-dataclasses, strings and ints, whose reprs do not depend on hash
-ordering — so two runs are byte-identical traces iff they really took
-the same steps through the same states, regardless of
-``PYTHONHASHSEED``.
+Digests are SHA-256 over the canonical byte encoding
+(:func:`repro.core.encoding.encode_value`), truncated to 16 hex chars —
+injective and independent of repr formatting, dict/set iteration order,
+and ``PYTHONHASHSEED`` *by construction*, not by the accident that the
+values recorded so far happened to have order-stable reprs.  Traces
+written before this change digested ``repr(value)`` instead; replay
+accepts those legacy digests too (:func:`digest_matches` compares a
+recorded digest against both encodings), so old trace files keep
+verifying.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..core.encoding import encode_value
 from ..exceptions import ReproError
 from .sinks import JsonlSink
 
@@ -39,8 +43,33 @@ class TraceError(ReproError):
 
 
 def stable_digest(value: Any) -> str:
-    """A short hex digest of ``repr(value)``, stable across interpreters."""
+    """A short hex digest of ``value``'s canonical byte encoding.
+
+    Routed through :func:`~repro.core.encoding.encode_value`, so the
+    digest is injective on the encodable value space and independent of
+    repr formatting and hash-randomized iteration order — the same
+    retirement of repr-keying that PR 6 applied to the analysis caches.
+    """
+    return hashlib.sha256(encode_value(value)).hexdigest()[:16]
+
+
+def legacy_digest(value: Any) -> str:
+    """The pre-encoding digest (SHA-256 of ``repr(value)``): what traces
+    recorded before :func:`stable_digest` moved to canonical bytes.
+    Kept only so replays of old trace files still verify."""
     return hashlib.sha256(repr(value).encode("utf-8")).hexdigest()[:16]
+
+
+def digest_matches(recorded: Optional[str], value: Any) -> bool:
+    """Does a digest recorded in a trace match ``value``?
+
+    Accepts the current encoding-based digest and, failing that, the
+    legacy repr-based one — replay of an old trace must not report
+    divergence just because the digest scheme moved on.
+    """
+    if recorded is None:
+        return False
+    return recorded == stable_digest(value) or recorded == legacy_digest(value)
 
 
 def config_digest(executor) -> str:

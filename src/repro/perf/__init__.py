@@ -18,12 +18,15 @@ configuration of an experiment -- and this package drives those in bulk:
 * :mod:`repro.perf.witness_bench` -- serial vs sharded vs cached timing
   of the separation-witness sweep engine (``BENCH_witness.json``);
 * :mod:`repro.perf.explore_bench` -- unreduced vs Θ-reduced vs sharded
-  timing of the bounded schedule explorer (``BENCH_explore.json``).
+  timing of the bounded schedule explorer (``BENCH_explore.json``);
+* :mod:`repro.perf.serve_bench` -- cold vs warm-store latency and
+  throughput of the analysis service under a seeded concurrent mixed
+  workload (``BENCH_serve.json``).
 
 All are exposed on the CLI: ``python -m repro batch ...``,
 ``python -m repro bench ...``, ``python -m repro bench-mp ...``,
-``python -m repro bench-witness ...``, and
-``python -m repro bench-explore ...``.
+``python -m repro bench-witness ...``, ``python -m repro
+bench-explore ...``, and ``python -m repro bench-serve ...``.
 """
 
 from .batch import (
@@ -36,6 +39,7 @@ from .explore_bench import format_explore_bench, run_explore_bench
 from .meta import bench_meta
 from .microbench import run_microbench
 from .mp_bench import run_mp_bench
+from .serve_bench import format_serve_bench, run_serve_bench
 from .witness_bench import format_witness_bench, run_witness_bench
 
 __all__ = [
@@ -44,10 +48,12 @@ __all__ = [
     "batch_similarity",
     "bench_meta",
     "format_explore_bench",
+    "format_serve_bench",
     "format_witness_bench",
     "run_explore_bench",
     "run_microbench",
     "run_mp_bench",
+    "run_serve_bench",
     "run_witness_bench",
     "system_fingerprint",
 ]

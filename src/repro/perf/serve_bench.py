@@ -1,0 +1,282 @@
+"""Serving benchmark: concurrent mixed load against the analysis service.
+
+``python -m repro bench-serve`` drives one :class:`~repro.serve.service
+.AnalysisService` with a seeded mixed workload (similarity scenarios,
+small witness sweeps, small symmetric explorations — duplicates
+included, so coalescing has something to merge), twice:
+
+* **cold** — a fresh store directory; every answer is computed.
+* **warm** — a *new* service process-state over the *same* store
+  directory; similarity summaries, selection decisions and orbit keys
+  all come back from disk.  The warm witness sweeps must report **zero**
+  decision-cache misses — that is the store's contract.
+
+The report (``BENCH_serve.json``) separates two kinds of data:
+
+* ``determinism`` — per-request result digests (timing and counter
+  fields stripped), the final store composition, and the warm-phase
+  miss count.  Byte-identical across ``PYTHONHASHSEED`` values and
+  across runs; CI ``cmp``'s exactly this section (written standalone
+  via ``determinism_output``).
+* ``timings`` — p50/p99 latency, throughput, store hit rate,
+  coalescing counters.  Interleaving-dependent, never compared.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import random
+import time
+from typing import List, Optional, Tuple
+
+from .meta import bench_meta
+
+#: Candidate pools for the seeded workload. Small on purpose: the bench
+#: must finish in CI seconds, and repeats are what exercise coalescing
+#: and the store.
+_SIM_TOPOLOGIES = ("ring", "star", "path", "alternating-ring")
+_SIM_SIZES = (4, 5, 6)
+_SIM_MARKS = ((), ("p0",))
+_WITNESS_SPECS = (
+    {"weaker": "Q", "stronger": "L", "max_processors": 2,
+     "max_names": 2, "max_variables": 2, "allow_marks": False, "limit": None},
+    {"weaker": "L", "stronger": "L2", "max_processors": 2,
+     "max_names": 2, "max_variables": 2, "allow_marks": False, "limit": None},
+)
+_EXPLORE_SPECS = (
+    {"scenario": {"topology": "ring", "size": 3, "model": "Q"},
+     "max_depth": 4, "symmetry": True},
+    {"scenario": {"topology": "star", "size": 3, "model": "Q"},
+     "max_depth": 3, "symmetry": True},
+)
+
+#: Result-document fields stripped before digesting: counters that vary
+#: with cache warmth or wave composition (a duplicate request answered
+#: in-wave shares one run; answered cross-wave it re-runs as a cache
+#: hit — same answer, different counters).
+_NONDETERMINISTIC_KEYS = ("stats", "cache_misses")
+
+
+def build_workload(requests: int, seed: int) -> List[dict]:
+    """The seeded request mix — pure function of ``(requests, seed)``."""
+    rng = random.Random(seed)
+    workload: List[dict] = []
+    for _ in range(requests):
+        roll = rng.random()
+        if roll < 0.55:
+            topology = rng.choice(_SIM_TOPOLOGIES)
+            size = rng.choice(_SIM_SIZES)
+            if topology == "alternating-ring" and size % 2:
+                size += 1
+            scenario = {
+                "topology": topology,
+                "size": size,
+                "marks": list(rng.choice(_SIM_MARKS)),
+            }
+            workload.append({"op": "similarity", "scenario": scenario})
+        elif roll < 0.8:
+            workload.append(
+                {"op": "witness", "spec": dict(rng.choice(_WITNESS_SPECS))}
+            )
+        else:
+            doc = rng.choice(_EXPLORE_SPECS)
+            workload.append(
+                {"op": "explore",
+                 "spec": dict(doc, scenario=dict(doc["scenario"]))}
+            )
+    return workload
+
+
+def result_digest(result: dict) -> str:
+    """A short digest of the *semantic* payload of one result document."""
+    stripped = {
+        key: value
+        for key, value in result.items()
+        if key not in _NONDETERMINISTIC_KEYS
+    }
+    canonical = json.dumps(stripped, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
+    return sorted_values[index]
+
+
+async def _run_phase(
+    store_dir: Optional[str],
+    workload: List[dict],
+    engine_workers: int,
+    batch_window: float,
+) -> Tuple[List[dict], List[float], dict]:
+    """One service lifetime over ``workload``; all requests in flight at
+    once.  Returns (results in workload order, latencies, stats doc)."""
+    from ..serve.service import AnalysisService
+
+    async with AnalysisService(
+        store_dir=store_dir,
+        engine_workers=engine_workers,
+        batch_window=batch_window,
+    ) as service:
+
+        async def timed(request: dict) -> Tuple[dict, float]:
+            t0 = time.perf_counter()
+            result = await service.submit(request)
+            return result, (time.perf_counter() - t0) * 1000.0
+
+        outcomes = await asyncio.gather(*(timed(req) for req in workload))
+        stats = service.stats_doc()
+    results = [result for result, _ in outcomes]
+    latencies = [latency for _, latency in outcomes]
+    return results, latencies, stats
+
+
+def _timing_summary(latencies: List[float], elapsed: float,
+                    stats: dict) -> dict:
+    ordered = sorted(latencies)
+    store = stats.get("store", {})
+    hit_rate = None
+    if store.get("gets"):
+        hit_rate = round(store["hits"] / store["gets"], 4)
+    return {
+        "elapsed_s": round(elapsed, 4),
+        "p50_ms": round(_percentile(ordered, 0.50), 3),
+        "p99_ms": round(_percentile(ordered, 0.99), 3),
+        "throughput_rps": (
+            round(len(latencies) / elapsed, 2) if elapsed > 0 else None
+        ),
+        "store_hit_rate": hit_rate,
+        "waves": stats["counters"]["waves"],
+        "coalesced": stats["counters"]["coalesced"],
+        "errors": stats["counters"]["errors"],
+    }
+
+
+def run_serve_bench(
+    store_dir: str,
+    requests: int = 24,
+    seed: int = 7,
+    workers: int = 1,
+    batch_window: float = 0.005,
+    output: Optional[str] = "BENCH_serve.json",
+    determinism_output: Optional[str] = None,
+) -> dict:
+    """Run the cold+warm serving benchmark over one store directory.
+
+    Args:
+        store_dir: store root shared by both phases; must start absent or
+            empty for the cold phase to really be cold.
+        requests: workload length (each phase replays the same mix).
+        seed: workload RNG seed.
+        workers: validated CLI worker count (>= 1; 1 = serial engines).
+        batch_window: service coalescing window in seconds.
+        output: full-report path, or None to skip writing.
+        determinism_output: optional path for the standalone
+            hash-seed-comparable section (what CI ``cmp``'s).
+
+    Returns:
+        The full report document.
+    """
+    workload = build_workload(requests, seed)
+    engine_workers = 0 if workers <= 1 else workers
+
+    t0 = time.perf_counter()
+    cold_results, cold_latencies, cold_stats = asyncio.run(
+        _run_phase(store_dir, workload, engine_workers, batch_window)
+    )
+    cold_elapsed = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm_results, warm_latencies, warm_stats = asyncio.run(
+        _run_phase(store_dir, workload, engine_workers, batch_window)
+    )
+    warm_elapsed = time.perf_counter() - t0
+
+    from ..store import ContentStore, NS_DECISIONS, NS_ORBITS, NS_SIMILARITY
+
+    with ContentStore(store_dir) as store:
+        composition = {
+            ns: store.count(ns)
+            for ns in (NS_DECISIONS, NS_ORBITS, NS_SIMILARITY)
+        }
+
+    cold_digests = [result_digest(result) for result in cold_results]
+    warm_digests = [result_digest(result) for result in warm_results]
+    warm_witness_misses = sum(
+        result.get("cache_misses", 0)
+        for request, result in zip(workload, warm_results)
+        if request["op"] == "witness"
+    )
+    mix = {"similarity": 0, "witness": 0, "explore": 0}
+    for request in workload:
+        mix[request["op"]] += 1
+
+    determinism = {
+        "workload": {"requests": requests, "seed": seed, "mix": mix},
+        "results": cold_digests,
+        "warm_results": warm_digests,
+        "cold_warm_agree": cold_digests == warm_digests,
+        "store": composition,
+        "warm_witness_cache_misses": warm_witness_misses,
+    }
+    doc = {
+        "meta": bench_meta(requested_workers=workers),
+        "determinism": determinism,
+        "timings": {
+            "cold": _timing_summary(cold_latencies, cold_elapsed, cold_stats),
+            "warm": _timing_summary(warm_latencies, warm_elapsed, warm_stats),
+        },
+    }
+
+    if output:
+        with open(output, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+    if determinism_output:
+        with open(determinism_output, "w") as fh:
+            json.dump(determinism, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return doc
+
+
+def format_serve_bench(doc: dict) -> str:
+    """A terse human-readable rendering of :func:`run_serve_bench` output."""
+    meta = doc["meta"]
+    det = doc["determinism"]
+    mix = det["workload"]["mix"]
+    lines: List[str] = []
+    lines.append(
+        f"serve bench (python {meta['python']}, {meta['cpu_count']} cpu, "
+        f"{det['workload']['requests']} requests: "
+        f"{mix['similarity']} similarity / {mix['witness']} witness / "
+        f"{mix['explore']} explore, seed {det['workload']['seed']})"
+    )
+    lines.append(
+        f"{'phase':<8}{'p50':>10}{'p99':>10}{'rps':>8}{'hit%':>7}"
+        f"{'waves':>7}{'coalesced':>11}"
+    )
+    for phase in ("cold", "warm"):
+        row = doc["timings"][phase]
+        hit = (
+            f"{row['store_hit_rate'] * 100:.0f}%"
+            if row["store_hit_rate"] is not None
+            else "-"
+        )
+        lines.append(
+            f"{phase:<8}{row['p50_ms']:>8.1f}ms{row['p99_ms']:>8.1f}ms"
+            f"{row['throughput_rps']:>8.1f}{hit:>7}"
+            f"{row['waves']:>7}{row['coalesced']:>11}"
+        )
+    store = det["store"]
+    lines.append(
+        f"store: {store['decisions']} decisions, {store['similarity']} "
+        f"similarity summaries, {store['orbits']} orbit maps; "
+        f"warm witness cache misses: {det['warm_witness_cache_misses']} "
+        f"(must be 0); cold/warm answers agree: "
+        f"{'yes' if det['cold_warm_agree'] else 'NO'}"
+    )
+    return "\n".join(lines)

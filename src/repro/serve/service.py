@@ -1,0 +1,453 @@
+"""The analysis service: request coalescing over store-backed engines.
+
+:class:`AnalysisService` is the front-end-agnostic core of
+``python -m repro serve``.  Requests are plain JSON documents in the
+registry vocabulary the CLI already speaks::
+
+    {"op": "similarity", "scenario": {"topology": "ring", "size": 6,
+                                      "marks": ["p0"]}}
+    {"op": "witness",    "spec": {"weaker": "Q", "stronger": "L",
+                                  "max_processors": 2, ...}}
+    {"op": "explore",    "spec": {"scenario": {...}, "max_depth": 6, ...}}
+    {"op": "stats"}
+
+Three mechanisms stack:
+
+* **Coalescing** -- requests queue per op kind; a wave loop drains the
+  queue after a short batch window and executes the wave at once.
+  Similarity waves become one :func:`~repro.perf.batch.batch_similarity`
+  call over every distinct system in the wave; witness/explore waves
+  dedup identical specs so concurrent equal requests share one run.
+* **Store backing** -- one :class:`~repro.store.ContentStore` (optional
+  but recommended) persists selection decisions (through the shared
+  :class:`~repro.analysis.witness_engine.DecisionCache`), similarity
+  summaries (keyed by system fingerprint + engine), and orbit canonical
+  keys, so answers computed for any request — or any earlier process —
+  are reused, not recomputed.
+* **Event streaming** -- a request may subscribe to obs events
+  (``WitnessSearchProgress``, ``ExplorationProgress``, ...); the wave
+  runs in a worker thread and forwards each event back onto the event
+  loop as it is emitted, so front ends can stream progress while the
+  job runs.  Completed waves additionally emit a
+  :class:`~repro.obs.events.ServeWave` summary on the service hub.
+
+Engine work runs on a single worker thread: the engines themselves
+multi-process when asked (``engine_workers``), and one thread serializes
+access to the shared caches without locking them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.encoding import encode_value
+from ..exceptions import ReproError, ServeError
+from ..obs.events import EventHub, ServeWave
+
+#: Operations the service understands. ``stats`` is answered inline;
+#: the rest are coalesced into waves.
+OPS = ("similarity", "witness", "explore", "stats")
+
+
+class _EventForwarder:
+    """An obs sink bridging a worker thread back onto the event loop."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop,
+                 callbacks: List[Callable[[dict], None]]) -> None:
+        self._loop = loop
+        self._callbacks = callbacks
+
+    def on_event(self, event) -> None:
+        doc = event.to_json()
+        for callback in self._callbacks:
+            self._loop.call_soon_threadsafe(callback, doc)
+
+
+class _Pending:
+    """One enqueued request: its payload, future, and event subscriber."""
+
+    __slots__ = ("request", "key", "future", "on_event")
+
+    def __init__(self, request: dict, future: "asyncio.Future",
+                 on_event: Optional[Callable[[dict], None]]) -> None:
+        self.request = request
+        self.key = json.dumps(request, sort_keys=True)
+        self.future = future
+        self.on_event = on_event
+
+
+class AnalysisService:
+    """Coalescing, store-backed front end over the analysis engines.
+
+    Args:
+        store_dir: directory of the persistent content store; None runs
+            memory-only (coalescing still works, nothing survives the
+            process).
+        engine_workers: process-pool size handed to the witness/explore
+            engines per job (0 = serial in-process, the safe default for
+            a service that is itself concurrent).
+        batch_window: seconds a wave loop waits after the first request
+            before draining the queue — the coalescing knob.
+    """
+
+    def __init__(
+        self,
+        store_dir: Optional[str] = None,
+        engine_workers: int = 0,
+        batch_window: float = 0.01,
+    ) -> None:
+        from ..analysis.witness_engine import DecisionCache
+        from ..perf.batch import SimilarityCache
+
+        self.store = None
+        if store_dir is not None:
+            from ..store import ContentStore
+
+            self.store = ContentStore(store_dir)
+        self.engine_workers = int(engine_workers)
+        self.batch_window = float(batch_window)
+        self.decisions = DecisionCache()
+        if self.store is not None:
+            self.decisions.attach_store(self.store)
+        self.similarity_results = SimilarityCache()
+        self._summaries: Dict[str, dict] = {}
+        self.hub = EventHub()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "waves": 0,
+            "jobs": 0,
+            "coalesced": 0,
+            "errors": 0,
+            "similarity_summary_hits": 0,
+        }
+        self._queues: Dict[str, "asyncio.Queue[_Pending]"] = {}
+        self._loops: List["asyncio.Task"] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the wave loops; idempotent."""
+        if self._started:
+            return
+        self._started = True
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        for op in ("similarity", "witness", "explore"):
+            self._queues[op] = asyncio.Queue()
+            self._loops.append(asyncio.ensure_future(self._wave_loop(op)))
+
+    async def stop(self) -> None:
+        """Cancel the wave loops, flush the store, shut the pool down."""
+        if not self._started:
+            return
+        self._started = False
+        for task in self._loops:
+            task.cancel()
+        for task in self._loops:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._loops.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self.flush()
+
+    def flush(self) -> None:
+        """Flush every staged store write (no-op without a store)."""
+        if self.store is not None:
+            self.store.flush()
+
+    async def __aenter__(self) -> "AnalysisService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- the public entry point ----------------------------------------
+
+    async def submit(
+        self,
+        request: dict,
+        on_event: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """Answer one request document.
+
+        Returns the result document; service-level failures come back as
+        ``{"error": ...}`` rather than raising, so one bad request never
+        takes a front end down.  ``on_event`` (if given) receives obs
+        event documents on the event loop while the job runs.
+        """
+        self.counters["requests"] += 1
+        if not isinstance(request, dict):
+            self.counters["errors"] += 1
+            return {"error": "request must be a JSON object"}
+        op = request.get("op")
+        if op == "stats":
+            return self.stats_doc()
+        if op not in OPS:
+            self.counters["errors"] += 1
+            return {"error": f"unknown op {op!r}; pick from {list(OPS)}"}
+        if not self._started:
+            await self.start()
+        future: "asyncio.Future" = asyncio.get_event_loop().create_future()
+        await self._queues[op].put(_Pending(request, future, on_event))
+        return await future
+
+    # -- coalescing ----------------------------------------------------
+
+    async def _wave_loop(self, op: str) -> None:
+        queue = self._queues[op]
+        while True:
+            batch = [await queue.get()]
+            if self.batch_window > 0:
+                await asyncio.sleep(self.batch_window)
+            while not queue.empty():
+                batch.append(queue.get_nowait())
+            try:
+                await self._run_wave(op, batch)
+            except asyncio.CancelledError:
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.cancel()
+                raise
+            except BaseException as exc:  # wave must never die silently
+                self.counters["errors"] += 1
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_result({"error": str(exc)})
+
+    async def _run_wave(self, op: str, batch: List[_Pending]) -> None:
+        loop = asyncio.get_event_loop()
+        t0 = time.perf_counter()
+        groups: Dict[str, List[_Pending]] = {}
+        for pending in batch:
+            groups.setdefault(pending.key, []).append(pending)
+        self.counters["waves"] += 1
+        self.counters["jobs"] += len(groups)
+        self.counters["coalesced"] += len(batch) - len(groups)
+
+        if op == "similarity":
+            results = await loop.run_in_executor(
+                self._pool, self._similarity_wave,
+                [group[0].request for group in groups.values()],
+            )
+            for group, result in zip(groups.values(), results):
+                for pending in group:
+                    pending.future.set_result(dict(result))
+        else:
+            for group in groups.values():
+                callbacks = [p.on_event for p in group if p.on_event]
+                hub: Optional[EventHub] = None
+                if callbacks:
+                    hub = EventHub()
+                    hub.attach(_EventForwarder(loop, callbacks))
+                result = await loop.run_in_executor(
+                    self._pool, self._execute_one, op, group[0].request, hub
+                )
+                for pending in group:
+                    pending.future.set_result(dict(result))
+        self.flush()
+        if self.hub.active:
+            self.hub.emit(
+                ServeWave(
+                    op=op,
+                    requests=len(batch),
+                    jobs=len(groups),
+                    elapsed_ms=(time.perf_counter() - t0) * 1000.0,
+                )
+            )
+
+    # -- job execution (worker thread) ---------------------------------
+
+    def _similarity_wave(self, requests: List[dict]) -> List[dict]:
+        """One wave of similarity requests: summaries for the whole list.
+
+        Every request resolves against the summary memo (and through the
+        store) first; the remainder is one :func:`batch_similarity` call
+        over the distinct unsolved systems, which dedups by fingerprint
+        and reuses the service's result cache.
+        """
+        out: List[dict] = []
+        prepared: List[tuple] = []
+        for req in requests:
+            try:
+                prepared.append(self._prepare_similarity(req))
+            except ReproError as exc:
+                # One malformed scenario fails its own request, never
+                # its wave-mates.
+                self.counters["errors"] += 1
+                prepared.append((None, None, {"error": str(exc)}))
+        todo = [
+            (i, system, engine)
+            for i, (system, engine, summary) in enumerate(prepared)
+            if summary is None
+        ]
+        if todo:
+            from ..perf.batch import batch_similarity
+
+            engines: Dict[str, list] = {}
+            for i, system, engine in todo:
+                engines.setdefault(engine, []).append((i, system))
+            for engine, items in engines.items():
+                report = batch_similarity(
+                    [system for _i, system in items],
+                    engine=engine,
+                    workers=self.engine_workers,
+                    cache=self.similarity_results,
+                )
+                for (i, system), result in zip(items, report.results):
+                    summary = self._summarize_similarity(
+                        system, engine, result
+                    )
+                    prepared[i] = (system, engine, summary)
+        for system, engine, summary in prepared:
+            doc = dict(summary)
+            if system is not None:
+                doc["op"] = "similarity"
+            out.append(doc)
+        return out
+
+    def _prepare_similarity(self, request: dict):
+        """Build the system; answer from the summary memo/store if known."""
+        from ..obs.scenarios import build_scenario
+        from ..perf.batch import system_fingerprint
+
+        scenario = request.get("scenario")
+        if not isinstance(scenario, dict):
+            raise ServeError("similarity request needs a 'scenario' object")
+        engine = str(request.get("engine", "worklist"))
+        system = build_scenario(scenario).system
+        fingerprint = system_fingerprint(system)
+        memo_key = f"{fingerprint}:{engine}"
+        summary = self._summaries.get(memo_key)
+        if summary is None and self.store is not None:
+            from ..store import NS_SIMILARITY
+
+            summary = self.store.get(
+                NS_SIMILARITY, encode_value((fingerprint, engine))
+            )
+            if summary is not None:
+                self._summaries[memo_key] = summary
+        if summary is not None:
+            self.counters["similarity_summary_hits"] += 1
+        return system, engine, summary
+
+    def _summarize_similarity(self, system, engine: str, result) -> dict:
+        """Summarize one refinement result; memoize and persist it."""
+        from ..perf.batch import system_fingerprint
+
+        blocks: Dict[Any, List[str]] = {}
+        for proc in system.processors:
+            blocks.setdefault(result.labeling[proc], []).append(str(proc))
+        fingerprint = system_fingerprint(system)
+        summary = {
+            "fingerprint": fingerprint,
+            "engine": engine,
+            "classes": sorted(sorted(block) for block in blocks.values()),
+            "stats": {
+                "rounds": result.stats.rounds,
+                "splits": result.stats.splits,
+                "classes": result.stats.classes,
+            },
+        }
+        self._summaries[f"{fingerprint}:{engine}"] = summary
+        if self.store is not None:
+            from ..store import NS_SIMILARITY
+
+            self.store.put(
+                NS_SIMILARITY, encode_value((fingerprint, engine)), summary
+            )
+        return summary
+
+    def _execute_one(self, op: str, request: dict,
+                     hub: Optional[EventHub]) -> dict:
+        try:
+            if op == "witness":
+                return self._witness_job(request, hub)
+            return self._explore_job(request, hub)
+        except ReproError as exc:
+            self.counters["errors"] += 1
+            return {"error": str(exc)}
+
+    def _witness_job(self, request: dict, hub: Optional[EventHub]) -> dict:
+        from ..analysis.witness_engine import SweepSpec, run_sweep
+
+        spec_doc = request.get("spec")
+        if not isinstance(spec_doc, dict):
+            raise ServeError("witness request needs a 'spec' object")
+        spec = SweepSpec.from_json(spec_doc)
+        misses_before = self.decisions.misses
+        result = run_sweep(
+            spec,
+            workers=request.get("workers", self.engine_workers),
+            cache=self.decisions,
+            hub=hub,
+            store=self.store,
+        )
+        return {
+            "op": "witness",
+            "spec": spec.to_json(),
+            "witnesses": [w.describe() for w in result.witnesses],
+            "count": len(result.witnesses),
+            "stats": result.stats.to_json(),
+            "cache_misses": self.decisions.misses - misses_before,
+        }
+
+    def _explore_job(self, request: dict, hub: Optional[EventHub]) -> dict:
+        from ..analysis.explore import ExploreSpec, run_explore
+
+        spec_doc = request.get("spec")
+        if not isinstance(spec_doc, dict):
+            raise ServeError("explore request needs a 'spec' object")
+        spec = ExploreSpec.from_json(spec_doc)
+        result = run_explore(
+            spec,
+            workers=request.get("workers", self.engine_workers),
+            hub=hub,
+            store=self.store,
+        )
+        return {
+            "op": "explore",
+            "verdict": "violation" if result.violation else "certified",
+            "violation": (
+                None if result.violation is None else result.violation.to_json()
+            ),
+            "unique_states": result.unique_states,
+            "stats": result.stats.to_json(),
+            "group_size": result.group_size,
+        }
+
+    # -- introspection -------------------------------------------------
+
+    def stats_doc(self) -> dict:
+        """The service's counter/stores snapshot (the ``stats`` op)."""
+        doc: Dict[str, Any] = {
+            "op": "stats",
+            "counters": dict(self.counters),
+            "decision_cache": {
+                "entries": len(self.decisions),
+                "hits": self.decisions.hits,
+                "misses": self.decisions.misses,
+                "store_hits": self.decisions.store_hits,
+                "store_misses": self.decisions.store_misses,
+            },
+            "similarity_cache": {
+                "entries": len(self.similarity_results),
+                "hits": self.similarity_results.hits,
+                "misses": self.similarity_results.misses,
+                "summaries": len(self._summaries),
+            },
+        }
+        if self.store is not None:
+            doc["store"] = dict(self.store.stats.to_json(), root=self.store.root)
+        return doc

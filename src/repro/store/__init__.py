@@ -1,0 +1,24 @@
+"""Persistent content-addressed decision store (:mod:`repro.store`).
+
+One shared disk directory behind every in-memory cache: selection
+decisions, similarity labelings, and orbit canonical keys computed by
+any process become available to every other process — CLI runs, pool
+workers, the :mod:`repro.serve` front end, and CI — keyed by canonical
+byte encodings so addresses are hash-seed and interpreter independent.
+"""
+
+from .content import ContentStore, StoreError, StoreStats
+
+#: Store namespaces used across the codebase (one place, no typos).
+NS_DECISIONS = "decisions"
+NS_SIMILARITY = "similarity"
+NS_ORBITS = "orbits"
+
+__all__ = [
+    "ContentStore",
+    "StoreError",
+    "StoreStats",
+    "NS_DECISIONS",
+    "NS_SIMILARITY",
+    "NS_ORBITS",
+]

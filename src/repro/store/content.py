@@ -1,0 +1,262 @@
+"""Content-addressed on-disk store: the persistent layer behind every cache.
+
+The analysis engines memoize aggressively in memory — selection
+decisions per canonical form (:class:`~repro.analysis.witness_engine
+.DecisionCache`), similarity labelings per system fingerprint
+(:class:`~repro.perf.batch.SimilarityCache`), and orbit canonical keys
+per exploration state — but every process starts cold.  The
+:class:`ContentStore` makes those memos durable and *shared*: one
+directory holds every ``(namespace, key bytes) -> JSON document``
+mapping ever computed, addressable from any process (CLI runs, pool
+workers, the serving layer, CI) at the cost of one small file read.
+
+Design points:
+
+* **Content addressing** -- an entry's path is derived from the SHA-256
+  of its key bytes (``root/<namespace>/<aa>/<digest>.json``), so two
+  processes that compute the same key — under any ``PYTHONHASHSEED``,
+  on any host — address the same file.  Keys are expected to be
+  canonical byte encodings (:func:`repro.core.encoding.encode_value`),
+  which makes the addressing scheme independent of repr formatting and
+  dict iteration order by construction.
+* **Write-behind** -- :meth:`put` stages entries in memory;
+  :meth:`flush` (called automatically every ``flush_every`` puts, by
+  :meth:`close`, and by the context manager) performs the disk writes.
+  Engines call ``put`` on their hot path without paying per-entry I/O.
+* **Merge on flush** -- a namespace may register a merge function
+  (``merge(existing_value, new_value) -> value``); flushing an entry
+  whose file already exists folds the two documents together instead of
+  blindly overwriting, so concurrent writers grow a shared entry (e.g.
+  the decision list of one canonical-form bucket) instead of clobbering
+  each other.  A lost race costs a recompute later, never correctness.
+* **Atomicity** -- every write lands via temp-file + :func:`os.replace`
+  in the same directory, so readers only ever observe complete files.
+* **Quarantine, not crashes** -- a corrupt or truncated entry (invalid
+  JSON, wrong shape, key echo mismatch) is moved aside into
+  ``root/quarantine/`` and reported as a miss; one bad file never takes
+  down a sweep, a server, or CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from ..exceptions import ReproError
+
+
+class StoreError(ReproError):
+    """The store root is unusable (not a directory, not writable)."""
+
+
+@dataclass
+class StoreStats:
+    """Counters of one :class:`ContentStore` handle (not cross-process)."""
+
+    gets: int = 0
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    writes: int = 0
+    merges: int = 0
+    quarantined: int = 0
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        return self.hits / self.gets if self.gets else None
+
+    def to_json(self) -> dict:
+        doc = dict(self.__dict__)
+        rate = self.hit_rate
+        doc["hit_rate"] = round(rate, 4) if rate is not None else None
+        return doc
+
+
+class ContentStore:
+    """A content-addressed ``(namespace, key bytes) -> dict`` disk store.
+
+    Values are JSON documents (dicts of JSON scalars/containers); keys
+    are arbitrary ``bytes`` — canonically-encoded forms, fingerprints,
+    state keys.  One store directory is safely shared by any number of
+    concurrent readers and writers; see the module docstring for the
+    guarantees.
+    """
+
+    def __init__(self, root: str, flush_every: int = 128) -> None:
+        self.root = os.path.abspath(root)
+        self.flush_every = max(1, int(flush_every))
+        self.stats = StoreStats()
+        self._pending: Dict[Tuple[str, str], Tuple[bytes, dict]] = {}
+        self._mergers: Dict[str, Callable[[dict, dict], dict]] = {}
+        try:
+            os.makedirs(self.root, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(f"cannot create store root {self.root}: {exc}") from None
+        if not os.path.isdir(self.root):
+            raise StoreError(f"store root {self.root} is not a directory")
+
+    # -- addressing ----------------------------------------------------
+
+    @staticmethod
+    def address(key: bytes) -> str:
+        """The content address (hex digest) of a key."""
+        return sha256(key).hexdigest()
+
+    def _path(self, namespace: str, digest: str) -> str:
+        return os.path.join(self.root, namespace, digest[:2], digest + ".json")
+
+    # -- merge registration --------------------------------------------
+
+    def register_merge(
+        self, namespace: str, merge: Callable[[dict, dict], dict]
+    ) -> None:
+        """Fold-together function for concurrent writes in ``namespace``."""
+        self._mergers[namespace] = merge
+
+    # -- read path -----------------------------------------------------
+
+    def get(self, namespace: str, key: bytes) -> Optional[dict]:
+        """The stored value for ``key``, or None (miss or quarantined)."""
+        digest = self.address(key)
+        self.stats.gets += 1
+        staged = self._pending.get((namespace, digest))
+        if staged is not None:
+            self.stats.hits += 1
+            return staged[1]
+        value = self._read(namespace, digest, key)
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return value
+
+    def _read(self, namespace: str, digest: str, key: bytes) -> Optional[dict]:
+        path = self._path(namespace, digest)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            self._quarantine(namespace, digest, path)
+            return None
+        # The key echo catches truncated rewrites and foreign files that
+        # happen to parse: a mismatched echo is corruption, not a value.
+        if (
+            not isinstance(doc, dict)
+            or doc.get("key") != key.hex()
+            or "value" not in doc
+            or not isinstance(doc["value"], dict)
+        ):
+            self._quarantine(namespace, digest, path)
+            return None
+        return doc["value"]
+
+    def _quarantine(self, namespace: str, digest: str, path: str) -> None:
+        """Move a corrupt entry aside; never raise from the read path."""
+        pen = os.path.join(self.root, "quarantine")
+        try:
+            os.makedirs(pen, exist_ok=True)
+            os.replace(path, os.path.join(pen, f"{namespace}-{digest}.corrupt"))
+        except OSError:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        self.stats.quarantined += 1
+
+    # -- write path ----------------------------------------------------
+
+    def put(self, namespace: str, key: bytes, value: dict) -> None:
+        """Stage ``value`` for ``key`` (write-behind; see :meth:`flush`)."""
+        self.stats.puts += 1
+        self._pending[(namespace, self.address(key))] = (key, dict(value))
+        if len(self._pending) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> int:
+        """Write every staged entry to disk; returns entries written."""
+        written = 0
+        pending, self._pending = self._pending, {}
+        for (namespace, digest), (key, value) in sorted(pending.items()):
+            merge = self._mergers.get(namespace)
+            if merge is not None:
+                existing = self._read(namespace, digest, key)
+                if existing is not None:
+                    value = merge(existing, value)
+                    self.stats.merges += 1
+            self._write(namespace, digest, key, value)
+            written += 1
+        return written
+
+    def _write(self, namespace: str, digest: str, key: bytes, value: dict) -> None:
+        path = self._path(namespace, digest)
+        folder = os.path.dirname(path)
+        os.makedirs(folder, exist_ok=True)
+        doc = {"key": key.hex(), "namespace": namespace, "value": value}
+        fd, tmp = tempfile.mkstemp(prefix=digest + ".", suffix=".tmp", dir=folder)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    # -- inspection ----------------------------------------------------
+
+    def entries(self, namespace: str) -> Iterator[Tuple[bytes, dict]]:
+        """Every durable ``(key, value)`` of a namespace, address order.
+
+        Walks the disk (staged-but-unflushed entries are not included);
+        corrupt files are quarantined and skipped, like on :meth:`get`.
+        """
+        base = os.path.join(self.root, namespace)
+        if not os.path.isdir(base):
+            return
+        for shard in sorted(os.listdir(base)):
+            folder = os.path.join(base, shard)
+            if not os.path.isdir(folder):
+                continue
+            for name in sorted(os.listdir(folder)):
+                if not name.endswith(".json"):
+                    continue
+                digest = name[: -len(".json")]
+                path = os.path.join(folder, name)
+                try:
+                    with open(path, "r", encoding="utf-8") as fh:
+                        doc = json.load(fh)
+                    key = bytes.fromhex(doc["key"])
+                except (json.JSONDecodeError, UnicodeDecodeError, OSError,
+                        KeyError, TypeError, ValueError):
+                    self._quarantine(namespace, digest, path)
+                    continue
+                if self.address(key) != digest or not isinstance(
+                    doc.get("value"), dict
+                ):
+                    self._quarantine(namespace, digest, path)
+                    continue
+                yield key, doc["value"]
+
+    def count(self, namespace: str) -> int:
+        """Number of durable entries in a namespace."""
+        return sum(1 for _ in self.entries(namespace))
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        self.flush()
+
+    def __enter__(self) -> "ContentStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

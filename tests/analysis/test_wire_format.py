@@ -1,0 +1,73 @@
+"""Form-key wire format: the ``"b:"`` tag and both legacy shapes.
+
+Cache snapshots and checkpoints serialize byte form-keys as strings.
+The untagged format was ambiguous: a *legacy* repr-string key that
+happened to be even-length hex (``"abcd"``, ``"00"``, ...) was silently
+decoded into a bogus bytes bucket.  The tagged format (``"b:" + hex``)
+removes the guesswork; the decoder still accepts both legacy shapes.
+"""
+
+import pytest
+
+from repro.analysis.witness_engine import (
+    DecisionCache,
+    _form_from_wire,
+    _form_to_wire,
+)
+from repro.exceptions import WitnessSearchError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "form", [b"", b"\x00", b"any bytes at all", bytes(range(256))]
+    )
+    def test_bytes_round_trip_through_the_tag(self, form):
+        wire = _form_to_wire(form)
+        assert wire.startswith("b:")
+        assert _form_from_wire(wire) == form
+
+    def test_malformed_tagged_key_is_an_error(self):
+        with pytest.raises(WitnessSearchError, match="not hex"):
+            _form_from_wire("b:zz-not-hex")
+        with pytest.raises(WitnessSearchError):
+            _form_from_wire("b:abc")  # odd length
+
+
+class TestLegacyShapes:
+    def test_bare_even_hex_is_a_first_release_byte_key(self):
+        # Untagged even-length hex: what the first byte-encoded release
+        # wrote (form.hex() with no tag). Decoded back to bytes.
+        assert _form_from_wire(b"\x01\x02".hex()) == b"\x01\x02"
+
+    def test_non_hex_string_kept_verbatim(self):
+        legacy = "(('p', 2), ('n', 1))"
+        assert _form_from_wire(legacy) == legacy
+
+    def test_hex_looking_repr_key_survives_a_round_trip(self):
+        """Regression: pre-encoding repr keys that happen to be hex.
+
+        Through the old untagged writer this key came back as
+        ``b'\\xab\\xcd'`` — a different bucket; with the tag the *writer*
+        disambiguates, so new snapshots round-trip every key exactly.
+        """
+        hexish = "abcd"  # a legacy str key that is also even-length hex
+        assert _form_to_wire(hexish) == "abcd"          # strings untagged
+        assert _form_to_wire(b"\xab\xcd") == "b:abcd"   # bytes tagged
+        assert _form_from_wire("b:abcd") == b"\xab\xcd"
+
+
+class TestSnapshotUsesTaggedKeys:
+    def test_cache_snapshot_round_trips_byte_forms(self):
+        from repro.analysis.witness_engine import SweepSpec, run_sweep
+
+        spec = SweepSpec(weaker="Q", stronger="L", max_processors=2,
+                         max_names=1, max_variables=2)
+        result = run_sweep(spec, workers=1)
+        snapshot = result.cache.snapshot()
+        assert snapshot
+        for wire, _record, _decisions in snapshot:
+            assert wire.startswith("b:")
+        clone = DecisionCache()
+        clone.merge(snapshot)
+        assert len(clone) == len(result.cache)
+        assert clone.snapshot() == snapshot

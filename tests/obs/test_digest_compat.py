@@ -1,0 +1,94 @@
+"""Trace-digest regressions: encoding-based digests, legacy acceptance.
+
+``stable_digest`` used to hash ``repr(value)``, which leaks dict/set
+iteration order and repr formatting into recorded traces.  It now hashes
+the canonical byte encoding; replay accepts *both* schemes so trace
+files recorded before the change keep verifying.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.encoding import encode_value
+from repro.obs import (
+    digest_matches,
+    legacy_digest,
+    load_trace,
+    record_scenario,
+    replay_trace,
+    stable_digest,
+)
+from repro.obs import trace_io
+
+RING = {
+    "topology": "ring", "size": 4, "model": "Q",
+    "program": "random", "program_seed": 3,
+    "scheduler": "random", "sched_seed": 11,
+}
+
+
+class TestStableDigest:
+    def test_hashes_canonical_encoding_not_repr(self):
+        value = {"b": 2, "a": (1, 2)}
+        assert stable_digest(value) == hashlib.sha256(
+            encode_value(value)
+        ).hexdigest()[:16]
+        assert stable_digest(value) != legacy_digest(value)
+
+    def test_dict_insertion_order_invariant(self):
+        # repr() distinguishes insertion orders; the encoding must not.
+        ab = dict([("a", 1), ("b", 2)])
+        ba = dict([("b", 2), ("a", 1)])
+        assert repr(ab) != repr(ba)
+        assert stable_digest(ab) == stable_digest(ba)
+        assert legacy_digest(ab) != legacy_digest(ba)
+
+
+class TestDigestMatches:
+    @pytest.mark.parametrize("value", [0, "x", (1, "y"), {"a": [1]}, None])
+    def test_accepts_both_schemes(self, value):
+        assert digest_matches(stable_digest(value), value)
+        assert digest_matches(legacy_digest(value), value)
+
+    def test_rejects_wrong_value_and_missing_digest(self):
+        assert not digest_matches(stable_digest("x"), "y")
+        assert not digest_matches(legacy_digest("x"), "y")
+        assert not digest_matches(None, "x")
+
+
+class TestLegacyTraceReplay:
+    def test_legacy_trace_still_verifies(self, tmp_path, monkeypatch):
+        """Regression: a trace recorded under the repr-digest scheme must
+        replay cleanly through the new matcher."""
+        path = str(tmp_path / "legacy.jsonl")
+        with monkeypatch.context() as patch:
+            # Recording resolves digests through the trace_io module
+            # globals, so this produces a genuine pre-change trace file.
+            patch.setattr(trace_io, "stable_digest", trace_io.legacy_digest)
+            record_scenario(RING, steps=40, path=path)
+
+        # Prove the file really carries legacy digests: the same run
+        # recorded unpatched ends on a different digest (the schemes
+        # agree only by a 2^-64 collision).
+        fresh = str(tmp_path / "fresh.jsonl")
+        record_scenario(RING, steps=40, path=fresh)
+        assert load_trace(path).end["digest"] != load_trace(fresh).end["digest"]
+
+        report = replay_trace(path)
+        assert report.ok, report.describe()
+
+    def test_new_trace_replays_and_tampering_still_detected(self, tmp_path):
+        path = str(tmp_path / "fresh.jsonl")
+        record_scenario(RING, steps=40, path=path)
+        assert replay_trace(path).ok
+
+        # Corrupt the end digest: neither scheme may accept it.
+        lines = open(path).read().splitlines()
+        lines[-1] = lines[-1].replace(
+            load_trace(path).end["digest"], "0" * 16
+        )
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        report = replay_trace(path)
+        assert not report.ok

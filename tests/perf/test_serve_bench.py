@@ -1,0 +1,64 @@
+"""Smoke and determinism tests for the serving benchmark."""
+
+import json
+
+from repro.perf.serve_bench import (
+    build_workload,
+    format_serve_bench,
+    result_digest,
+    run_serve_bench,
+)
+
+
+class TestWorkload:
+    def test_seeded_and_reproducible(self):
+        assert build_workload(16, 7) == build_workload(16, 7)
+        assert build_workload(16, 7) != build_workload(16, 8)
+
+    def test_every_request_is_well_formed(self):
+        for request in build_workload(40, 3):
+            assert request["op"] in ("similarity", "witness", "explore")
+            if request["op"] == "similarity":
+                scenario = request["scenario"]
+                if scenario["topology"] == "alternating-ring":
+                    assert scenario["size"] % 2 == 0
+
+
+class TestResultDigest:
+    def test_strips_interleaving_dependent_counters(self):
+        a = {"op": "witness", "count": 2, "stats": {"cache_hits": 5},
+             "cache_misses": 9}
+        b = {"op": "witness", "count": 2, "stats": {"cache_hits": 0},
+             "cache_misses": 0}
+        assert result_digest(a) == result_digest(b)
+        assert result_digest(a) != result_digest(dict(a, count=3))
+
+
+class TestRunServeBench:
+    def test_smoke_and_acceptance(self, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        det_out = tmp_path / "det.json"
+        doc = run_serve_bench(
+            store_dir=str(tmp_path / "store"),
+            requests=8,
+            seed=7,
+            output=str(out),
+            determinism_output=str(det_out),
+        )
+        assert json.loads(out.read_text()) == doc
+
+        det = doc["determinism"]
+        # The tentpole acceptance criteria, as data:
+        assert det["warm_witness_cache_misses"] == 0
+        assert det["cold_warm_agree"] is True
+        assert len(det["results"]) == 8
+        assert det["store"]["decisions"] >= 0
+        assert sum(det["workload"]["mix"].values()) == 8
+        # Timings present but segregated from the comparable section.
+        for phase in ("cold", "warm"):
+            row = doc["timings"][phase]
+            assert row["p50_ms"] >= 0 and row["p99_ms"] >= row["p50_ms"]
+        assert json.loads(det_out.read_text()) == det
+
+        text = format_serve_bench(doc)
+        assert "cold" in text and "warm" in text and "must be 0" in text

@@ -1,0 +1,195 @@
+"""Tests for the hand-rolled HTTP and stdio front ends."""
+
+import asyncio
+import json
+
+from repro.serve import AnalysisService
+from repro.serve.http import HttpFrontend, handle_stdio_lines
+
+RING = {"topology": "ring", "size": 4, "marks": []}
+WITNESS = {
+    "weaker": "Q", "stronger": "L", "max_processors": 2,
+    "max_names": 2, "max_variables": 2, "allow_marks": False, "limit": None,
+}
+
+
+async def _http_roundtrip(port, method, path, body=None):
+    """One HTTP/1.1 exchange; returns (status, headers, body bytes)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: localhost\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"\r\n"
+        ).encode()
+        + payload
+    )
+    await writer.drain()
+    raw = await reader.read()  # Connection: close delimits the response
+    writer.close()
+    await writer.wait_closed()
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    lines = head.decode().split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, rest
+
+
+def _with_frontend(test):
+    """Run ``test(port)`` against a live front end on an ephemeral port."""
+
+    async def go():
+        service = AnalysisService(batch_window=0)
+        frontend = HttpFrontend(service, port=0)
+        try:
+            _, port = await frontend.start()
+            return await test(port)
+        finally:
+            await frontend.stop()
+            await service.stop()
+
+    return asyncio.run(go())
+
+
+class TestHttpRoutes:
+    def test_health(self):
+        async def t(port):
+            return await _http_roundtrip(port, "GET", "/v1/health")
+
+        status, headers, body = _with_frontend(t)
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert json.loads(body) == {"ok": True}
+
+    def test_stats(self):
+        async def t(port):
+            return await _http_roundtrip(port, "GET", "/v1/stats")
+
+        status, _, body = _with_frontend(t)
+        assert status == 200
+        assert json.loads(body)["op"] == "stats"
+
+    def test_analyze_similarity(self):
+        async def t(port):
+            return await _http_roundtrip(
+                port, "POST", "/v1/analyze",
+                {"op": "similarity", "scenario": RING},
+            )
+
+        status, _, body = _with_frontend(t)
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["op"] == "similarity"
+        assert doc["classes"] == [["p0", "p1", "p2", "p3"]]
+
+    def test_unknown_route_404(self):
+        async def t(port):
+            return await _http_roundtrip(port, "GET", "/nope")
+
+        status, _, body = _with_frontend(t)
+        assert status == 404
+        assert "no route" in json.loads(body)["error"]
+
+    def test_bad_body_400(self):
+        async def t(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            payload = b"this is not json"
+            writer.write(
+                b"POST /v1/analyze HTTP/1.1\r\n"
+                b"Content-Length: %d\r\n\r\n" % len(payload) + payload
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return raw
+
+        raw = _with_frontend(lambda port: t(port))
+        assert b"400" in raw.split(b"\r\n", 1)[0]
+
+    def test_bad_op_is_400_with_error_doc(self):
+        async def t(port):
+            return await _http_roundtrip(
+                port, "POST", "/v1/analyze", {"op": "frobnicate"}
+            )
+
+        status, _, body = _with_frontend(t)
+        assert status == 400
+        assert "unknown op" in json.loads(body)["error"]
+
+    def test_streaming_ndjson(self):
+        async def t(port):
+            return await _http_roundtrip(
+                port, "POST", "/v1/analyze?stream=1",
+                {"op": "witness", "spec": WITNESS},
+            )
+
+        status, headers, body = _with_frontend(t)
+        assert status == 200
+        assert headers["content-type"] == "application/x-ndjson"
+        docs = [json.loads(line) for line in body.splitlines() if line]
+        assert docs[-1]["kind"] == "result"
+        assert docs[-1]["op"] == "witness"
+        event_kinds = {d["event"]["kind"] for d in docs if d["kind"] == "event"}
+        assert event_kinds & {"witness-shard", "witness"}
+
+
+class _LineFeed:
+    """An async line source for handle_stdio_lines."""
+
+    def __init__(self, lines):
+        self._lines = list(lines)
+
+    async def readline(self):
+        if not self._lines:
+            return b""
+        return (self._lines.pop(0) + "\n").encode()
+
+
+class TestStdio:
+    def _run(self, lines):
+        out = []
+
+        async def go():
+            service = AnalysisService(batch_window=0)
+            try:
+                await handle_stdio_lines(service, _LineFeed(lines), out.append)
+            finally:
+                await service.stop()
+
+        asyncio.run(go())
+        return [json.loads(line) for line in out]
+
+    def test_request_response_with_ids(self):
+        docs = self._run([
+            json.dumps({"id": 1, "request": {"op": "similarity",
+                                             "scenario": RING}}),
+            json.dumps({"id": 2, "request": {"op": "stats"}}),
+        ])
+        by_id = {doc["id"]: doc for doc in docs if doc["kind"] == "result"}
+        assert by_id[1]["result"]["op"] == "similarity"
+        assert by_id[2]["result"]["op"] == "stats"
+
+    def test_streamed_request_gets_event_lines(self):
+        docs = self._run([
+            json.dumps({"id": 9, "stream": True,
+                        "request": {"op": "witness", "spec": WITNESS}}),
+        ])
+        kinds = [doc["kind"] for doc in docs]
+        assert "event" in kinds and kinds[-1] == "result"
+        assert all(doc["id"] == 9 for doc in docs)
+
+    def test_garbage_line_reports_error_and_continues(self):
+        docs = self._run([
+            "{ not json",
+            json.dumps({"id": 3, "request": {"op": "stats"}}),
+        ])
+        errors = [d for d in docs if "error" in d.get("result", {})]
+        oks = [d for d in docs if d.get("id") == 3]
+        assert errors and "not JSON" in errors[0]["result"]["error"]
+        assert oks and oks[0]["result"]["op"] == "stats"

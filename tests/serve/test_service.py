@@ -1,0 +1,230 @@
+"""Tests for the coalescing, store-backed analysis service."""
+
+import asyncio
+
+from repro.serve import AnalysisService
+
+RING = {"topology": "ring", "size": 5, "marks": []}
+MARKED_RING = {"topology": "ring", "size": 5, "marks": ["p0"]}
+WITNESS = {
+    "weaker": "Q", "stronger": "L", "max_processors": 2,
+    "max_names": 2, "max_variables": 2, "allow_marks": False, "limit": None,
+}
+EXPLORE = {
+    "scenario": {"topology": "ring", "size": 3, "model": "Q"},
+    "max_depth": 3, "symmetry": True,
+}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestOps:
+    def test_similarity_request(self):
+        async def go():
+            async with AnalysisService(batch_window=0) as service:
+                return await service.submit(
+                    {"op": "similarity", "scenario": RING}
+                )
+
+        result = run(go())
+        assert result["op"] == "similarity"
+        assert result["classes"] == [["p0", "p1", "p2", "p3", "p4"]]
+        assert result["stats"]["classes"] >= 1
+
+    def test_marked_ring_splits_classes(self):
+        async def go():
+            async with AnalysisService(batch_window=0) as service:
+                return await service.submit(
+                    {"op": "similarity", "scenario": MARKED_RING}
+                )
+
+        result = run(go())
+        assert len(result["classes"]) > 1
+
+    def test_witness_request(self):
+        async def go():
+            async with AnalysisService(batch_window=0) as service:
+                return await service.submit({"op": "witness", "spec": WITNESS})
+
+        result = run(go())
+        assert result["op"] == "witness"
+        assert result["count"] == len(result["witnesses"]) >= 1
+        assert result["cache_misses"] > 0  # cold service really computed
+
+    def test_explore_request(self):
+        async def go():
+            async with AnalysisService(batch_window=0) as service:
+                return await service.submit({"op": "explore", "spec": EXPLORE})
+
+        result = run(go())
+        assert result["op"] == "explore"
+        assert result["verdict"] in ("certified", "violation")
+        assert result["unique_states"] > 0
+
+    def test_stats_op(self):
+        async def go():
+            async with AnalysisService(batch_window=0) as service:
+                await service.submit({"op": "similarity", "scenario": RING})
+                return await service.submit({"op": "stats"})
+
+        doc = run(go())
+        assert doc["op"] == "stats"
+        assert doc["counters"]["requests"] == 2
+        assert doc["counters"]["waves"] >= 1
+        assert "store" not in doc  # memory-only service
+
+
+class TestErrors:
+    def test_unknown_op(self):
+        async def go():
+            async with AnalysisService(batch_window=0) as service:
+                return await service.submit({"op": "frobnicate"})
+
+        assert "unknown op" in run(go())["error"]
+
+    def test_non_dict_request(self):
+        async def go():
+            async with AnalysisService(batch_window=0) as service:
+                return await service.submit(["not", "a", "dict"])
+
+        assert "JSON object" in run(go())["error"]
+
+    def test_bad_scenario_fails_only_its_own_request(self):
+        """A malformed wave-mate must not poison concurrent requests."""
+
+        async def go():
+            async with AnalysisService(batch_window=0.05) as service:
+                return await asyncio.gather(
+                    service.submit({"op": "similarity", "scenario": RING}),
+                    service.submit(
+                        {"op": "similarity",
+                         "scenario": {"topology": "alternating-ring",
+                                      "size": 5}}
+                    ),
+                )
+
+        good, bad = run(go())
+        assert good["classes"] == [["p0", "p1", "p2", "p3", "p4"]]
+        assert "error" in bad
+
+    def test_witness_without_spec(self):
+        async def go():
+            async with AnalysisService(batch_window=0) as service:
+                return await service.submit({"op": "witness"})
+
+        assert "spec" in run(go())["error"]
+
+
+class TestCoalescing:
+    def test_identical_requests_share_one_job(self):
+        async def go():
+            async with AnalysisService(batch_window=0.05) as service:
+                results = await asyncio.gather(
+                    *(service.submit({"op": "similarity", "scenario": RING})
+                      for _ in range(4))
+                )
+                return results, service.stats_doc()
+
+        results, stats = run(go())
+        assert all(r == results[0] for r in results)
+        assert stats["counters"]["coalesced"] >= 1
+        assert stats["counters"]["jobs"] < stats["counters"]["requests"]
+
+    def test_mixed_ops_all_answered(self):
+        async def go():
+            async with AnalysisService(batch_window=0.02) as service:
+                return await asyncio.gather(
+                    service.submit({"op": "similarity", "scenario": RING}),
+                    service.submit({"op": "witness", "spec": WITNESS}),
+                    service.submit({"op": "explore", "spec": EXPLORE}),
+                )
+
+        sim, wit, exp = run(go())
+        assert sim["op"] == "similarity"
+        assert wit["op"] == "witness"
+        assert exp["op"] == "explore"
+
+
+class TestStoreBacking:
+    def test_warm_service_replays_witness_with_zero_misses(self, tmp_path):
+        """The tentpole acceptance: a second service over the same store
+        answers a previously-served sweep from disk alone."""
+        root = str(tmp_path / "store")
+
+        async def serve_once():
+            async with AnalysisService(store_dir=root, batch_window=0) as svc:
+                return await svc.submit({"op": "witness", "spec": WITNESS})
+
+        cold = run(serve_once())
+        assert cold["cache_misses"] > 0
+        warm = run(serve_once())
+        assert warm["cache_misses"] == 0
+        assert warm["witnesses"] == cold["witnesses"]
+
+    def test_similarity_summary_served_from_store(self, tmp_path):
+        root = str(tmp_path / "store")
+
+        async def serve_once():
+            async with AnalysisService(store_dir=root, batch_window=0) as svc:
+                result = await svc.submit(
+                    {"op": "similarity", "scenario": MARKED_RING}
+                )
+                return result, svc.stats_doc()
+
+        cold, cold_stats = run(serve_once())
+        assert cold_stats["counters"]["similarity_summary_hits"] == 0
+        warm, warm_stats = run(serve_once())
+        assert warm_stats["counters"]["similarity_summary_hits"] == 1
+        assert warm_stats["similarity_cache"]["misses"] == 0  # never computed
+        assert warm["classes"] == cold["classes"]
+
+    def test_explore_orbit_memo_round_trips(self, tmp_path):
+        root = str(tmp_path / "store")
+
+        async def serve_once():
+            async with AnalysisService(store_dir=root, batch_window=0) as svc:
+                return await svc.submit({"op": "explore", "spec": EXPLORE})
+
+        cold = run(serve_once())
+        warm = run(serve_once())
+        assert warm["verdict"] == cold["verdict"]
+        assert warm["unique_states"] == cold["unique_states"]
+        from repro.store import ContentStore, NS_ORBITS
+
+        with ContentStore(root) as store:
+            assert store.count(NS_ORBITS) == 1
+
+
+class TestEventStreaming:
+    def test_witness_events_stream_while_job_runs(self):
+        events = []
+
+        async def go():
+            async with AnalysisService(batch_window=0) as service:
+                return await service.submit(
+                    {"op": "witness", "spec": WITNESS},
+                    on_event=events.append,
+                )
+
+        result = run(go())
+        assert result["op"] == "witness"
+        kinds = {doc.get("kind") for doc in events}
+        assert kinds & {"witness-shard", "witness"}
+
+    def test_unsubscribed_peer_sees_no_events(self):
+        """Only the subscriber's callback fires, even in a shared wave."""
+        mine, theirs = [], []
+
+        async def go():
+            async with AnalysisService(batch_window=0.05) as service:
+                await asyncio.gather(
+                    service.submit({"op": "explore", "spec": EXPLORE},
+                                   on_event=mine.append),
+                    service.submit({"op": "explore",
+                                    "spec": dict(EXPLORE, max_depth=2)}),
+                )
+
+        run(go())
+        assert theirs == []

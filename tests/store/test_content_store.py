@@ -1,0 +1,182 @@
+"""Unit and cross-process tests for the content-addressed store."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.store import ContentStore, NS_DECISIONS
+
+
+class TestRoundTrip:
+    def test_put_get_before_and_after_flush(self, tmp_path):
+        with ContentStore(str(tmp_path / "s")) as store:
+            key = b"some canonical form"
+            assert store.get("ns", key) is None
+            store.put("ns", key, {"answer": 42})
+            # Staged writes are visible to the writer immediately.
+            assert store.get("ns", key) == {"answer": 42}
+            store.flush()
+            assert store.get("ns", key) == {"answer": 42}
+        # And to a completely fresh handle after close.
+        with ContentStore(str(tmp_path / "s")) as store:
+            assert store.get("ns", key) == {"answer": 42}
+            assert store.stats.hits == 1
+
+    def test_address_is_content_only(self, tmp_path):
+        with ContentStore(str(tmp_path / "s")) as store:
+            a = store.address(b"form-1")
+            assert a == store.address(b"form-1")
+            assert a != store.address(b"form-2")
+            assert len(a) == 64 and bytes.fromhex(a)
+
+    def test_entries_and_count(self, tmp_path):
+        with ContentStore(str(tmp_path / "s")) as store:
+            for i in range(5):
+                store.put("ns", b"key-%d" % i, {"i": i})
+        with ContentStore(str(tmp_path / "s")) as store:
+            assert store.count("ns") == 5
+            assert store.count("other") == 0
+            seen = {key: value["i"] for key, value in store.entries("ns")}
+            assert seen == {b"key-%d" % i: i for i in range(5)}
+
+    def test_auto_flush_threshold(self, tmp_path):
+        with ContentStore(str(tmp_path / "s"), flush_every=2) as store:
+            store.put("ns", b"a", {"v": 1})
+            store.put("ns", b"b", {"v": 2})  # trips the auto-flush
+            assert store.stats.writes == 2
+
+
+class TestMerge:
+    def test_merge_on_flush_unions_concurrent_values(self, tmp_path):
+        root = str(tmp_path / "s")
+
+        def union(existing, new):
+            return {"members": sorted(set(existing["members"]) | set(new["members"]))}
+
+        a = ContentStore(root)
+        b = ContentStore(root)
+        a.register_merge("ns", union)
+        b.register_merge("ns", union)
+        a.put("ns", b"k", {"members": ["x"]})
+        b.put("ns", b"k", {"members": ["y"]})
+        a.flush()
+        b.flush()  # reads a's value back and merges rather than clobbering
+        a.close()
+        b.close()
+        with ContentStore(root) as fresh:
+            assert fresh.get("ns", b"k") == {"members": ["x", "y"]}
+            assert fresh.stats.hits == 1
+
+
+class TestQuarantine:
+    def _entry_path(self, store, ns, key):
+        digest = store.address(key)
+        return os.path.join(store.root, ns, digest[:2], digest + ".json")
+
+    def _quarantine_files(self, store):
+        qdir = os.path.join(store.root, "quarantine")
+        return os.listdir(qdir) if os.path.isdir(qdir) else []
+
+    @pytest.mark.parametrize(
+        "damage",
+        [b"{ this is not json", b"", b'{"key": "00", "namespace": "ns", "value"'],
+        ids=["corrupt-json", "empty", "truncated"],
+    )
+    def test_damaged_entry_is_quarantined_not_fatal(self, tmp_path, damage):
+        root = str(tmp_path / "s")
+        with ContentStore(root) as store:
+            store.put("ns", b"k", {"v": 1})
+        with ContentStore(root) as store:
+            path = self._entry_path(store, "ns", b"k")
+            with open(path, "wb") as fh:
+                fh.write(damage)
+            assert store.get("ns", b"k") is None  # a miss, not an exception
+            assert store.stats.quarantined == 1
+            assert not os.path.exists(path)
+            assert self._quarantine_files(store)
+
+    def test_key_echo_mismatch_is_quarantined(self, tmp_path):
+        root = str(tmp_path / "s")
+        with ContentStore(root) as store:
+            store.put("ns", b"k", {"v": 1})
+        with ContentStore(root) as store:
+            path = self._entry_path(store, "ns", b"k")
+            doc = json.load(open(path))
+            doc["key"] = b"other".hex()  # content no longer matches address
+            with open(path, "w") as fh:
+                json.dump(doc, fh)
+            assert store.get("ns", b"k") is None
+            assert store.stats.quarantined == 1
+
+    def test_recompute_after_quarantine_repairs_the_entry(self, tmp_path):
+        root = str(tmp_path / "s")
+        with ContentStore(root) as store:
+            store.put("ns", b"k", {"v": 1})
+        with ContentStore(root) as store:
+            with open(self._entry_path(store, "ns", b"k"), "w") as fh:
+                fh.write("garbage")
+            assert store.get("ns", b"k") is None
+            store.put("ns", b"k", {"v": 2})
+        with ContentStore(root) as store:
+            assert store.get("ns", b"k") == {"v": 2}
+
+
+_WRITER = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.analysis.witness_engine import DecisionCache, SweepSpec, run_sweep
+spec = SweepSpec(weaker="Q", stronger="L", max_processors=2,
+                 max_names=2, max_variables=2)
+result = run_sweep(spec, workers=1, store={root!r})
+print(len(result.witnesses), result.stats.cache_misses)
+"""
+
+_READER = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.analysis.witness_engine import DecisionCache, SweepSpec, run_sweep
+spec = SweepSpec(weaker="Q", stronger="L", max_processors=2,
+                 max_names=2, max_variables=2)
+result = run_sweep(spec, workers=1, store={root!r})
+print(len(result.witnesses), result.stats.cache_misses)
+"""
+
+
+class TestCrossProcess:
+    def test_two_processes_share_one_store(self, tmp_path):
+        """A sweep in process B reuses every decision process A stored."""
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        src = os.path.abspath(src)
+        root = str(tmp_path / "shared")
+
+        first = subprocess.run(
+            [sys.executable, "-c", _WRITER.format(src=src, root=root)],
+            capture_output=True, text=True, check=True,
+        )
+        witnesses_a, misses_a = map(int, first.stdout.split())
+        assert misses_a > 0  # cold: really computed something
+
+        second = subprocess.run(
+            [sys.executable, "-c", _READER.format(src=src, root=root)],
+            capture_output=True, text=True, check=True,
+        )
+        witnesses_b, misses_b = map(int, second.stdout.split())
+        assert witnesses_b == witnesses_a
+        assert misses_b == 0  # warm replay: every decision came from disk
+
+    def test_basic_value_crosses_processes(self, tmp_path):
+        root = str(tmp_path / "shared")
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        )
+        script = (
+            "import sys; sys.path.insert(0, {src!r});"
+            "from repro.store import ContentStore;"
+            "s = ContentStore({root!r}); s.put('ns', b'k', dict(v=7)); s.close()"
+        ).format(src=src, root=root)
+        subprocess.run([sys.executable, "-c", script], check=True)
+        with ContentStore(root) as store:
+            assert store.get("ns", b"k") == {"v": 7}

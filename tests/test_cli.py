@@ -88,7 +88,7 @@ class TestReport:
 
 class TestBatch:
     def test_batch_ring(self, capsys):
-        assert main(["batch", "ring", "10", "--workers", "0"]) == 0
+        assert main(["batch", "ring", "10", "--workers", "1"]) == 0
         out = capsys.readouterr().out
         assert "10 member(s)" in out
         assert "distinct systems 10" in out
@@ -96,7 +96,7 @@ class TestBatch:
         assert "[20]" in out
 
     def test_batch_member_limit(self, capsys):
-        assert main(["batch", "ring", "10", "--members", "3", "--workers", "0"]) == 0
+        assert main(["batch", "ring", "10", "--members", "3", "--workers", "1"]) == 0
         out = capsys.readouterr().out
         assert "3 member(s)" in out
 
@@ -110,7 +110,7 @@ class TestBench:
             "--topologies", "ring",
             "--batch-n", "10",
             "--family-size", "1",
-            "--workers", "0",
+            "--workers", "1",
             "--output", str(out_file),
         ]) == 0
         out = capsys.readouterr().out
@@ -133,7 +133,7 @@ class TestBench:
             "--topologies", "ring",
             "--batch-n", "10",
             "--family-size", "1",
-            "--workers", "0",
+            "--workers", "1",
             "--skip-baseline",
             "--output", "",
         ]) == 0
@@ -149,7 +149,7 @@ class TestWitness:
         assert main([
             "witness", "Q", "L",
             "--max-processors", "2",
-            "--workers", "0",
+            "--workers", "1",
             "--checkpoint", str(ck),
             "--events", str(ev),
             "--output", str(out),
@@ -165,7 +165,7 @@ class TestWitness:
         assert main([
             "witness", "Q", "L",
             "--max-processors", "2",
-            "--workers", "0",
+            "--workers", "1",
             "--checkpoint", str(ck),
         ]) == 0
         text = capsys.readouterr().out
@@ -175,13 +175,13 @@ class TestWitness:
         assert main([
             "witness", "BFS", "Q",
             "--max-processors", "2", "--max-names", "1",
-            "--workers", "0", "--limit", "1",
+            "--workers", "1", "--limit", "1",
         ]) == 0
         assert "bounded-fair-S < Q" in capsys.readouterr().out
 
     def test_unknown_label_rejected(self):
         with pytest.raises(SystemExit, match="unknown model label"):
-            main(["witness", "Q", "nope", "--workers", "0"])
+            main(["witness", "Q", "nope", "--workers", "1"])
 
 
 class TestBenchWitness:
@@ -191,7 +191,7 @@ class TestBenchWitness:
             "bench-witness",
             "--pairs", "Q<L",
             "--max-processors", "2", "--max-names", "1",
-            "--workers", "0",
+            "--workers", "1",
             "--output", str(out_file),
         ]) == 0
         text = capsys.readouterr().out
@@ -214,7 +214,7 @@ class TestExplore:
             "--program", "left-first",
             "--max-depth", "8",
             "--invariant", "exclusion",
-            "--workers", "0",
+            "--workers", "1",
             "--output", str(report),
             "--counterexample", str(trace),
         ]) == 1
@@ -236,7 +236,7 @@ class TestExplore:
             "--alternating",
             "--program", "left-first",
             "--max-depth", "6",
-            "--workers", "0",
+            "--workers", "1",
         ]) == 0
         assert "certified" in capsys.readouterr().out
 
@@ -247,7 +247,7 @@ class TestExplore:
             "--alternating",
             "--program", "left-first",
             "--max-depth", "6",
-            "--workers", "0",
+            "--workers", "1",
             "--states-output", str(states),
         ]) == 0
         assert "states:" in capsys.readouterr().out
@@ -257,16 +257,16 @@ class TestExplore:
 
     def test_bad_spec_rejected(self):
         with pytest.raises(SystemExit, match="k-bounded"):
-            main(["explore", "ring", "3", "--k", "3", "--workers", "0"])
+            main(["explore", "ring", "3", "--k", "3", "--workers", "1"])
 
 
 class TestBenchExplore:
     def test_parser_wiring(self):
         args = build_parser().parse_args(
-            ["bench-explore", "--workers", "0", "--output", ""]
+            ["bench-explore", "--workers", "1", "--output", ""]
         )
         assert args.func.__name__ == "cmd_bench_explore"
-        assert args.workers == 0
+        assert args.workers == 1
 
 
 class TestExplain:
@@ -279,3 +279,60 @@ class TestExplain:
         assert main(["explain", "ring", "4", "p0", "p2"]) == 0
         out = capsys.readouterr().out
         assert "similar" in out
+
+
+class TestWorkersValidation:
+    """Every --workers flag rejects 0 and negatives with a clean
+    argparse error (exit code 2), everywhere."""
+
+    SUBCOMMANDS = [
+        ["batch", "ring", "6"],
+        ["bench"],
+        ["witness", "Q", "L"],
+        ["bench-witness"],
+        ["explore", "ring", "3"],
+        ["bench-explore"],
+        ["serve"],
+        ["bench-serve"],
+    ]
+
+    @pytest.mark.parametrize("argv", SUBCOMMANDS,
+                             ids=[c[0] for c in SUBCOMMANDS])
+    @pytest.mark.parametrize("bad", ["0", "-1"])
+    def test_zero_and_negative_rejected(self, argv, bad, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(argv + ["--workers", bad])
+        assert exc.value.code == 2
+        assert ">= 1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", SUBCOMMANDS,
+                             ids=[c[0] for c in SUBCOMMANDS])
+    def test_non_integer_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(argv + ["--workers", "many"])
+        assert exc.value.code == 2
+
+    def test_one_means_serial_and_is_accepted(self):
+        args = build_parser().parse_args(["witness", "Q", "L",
+                                          "--workers", "1"])
+        assert args.workers == 1
+
+
+class TestServeParsers:
+    def test_serve_requires_a_front_end(self):
+        with pytest.raises(SystemExit, match="front end"):
+            main(["serve"])
+
+    def test_serve_wiring(self):
+        args = build_parser().parse_args(
+            ["serve", "--http", "0", "--store", "/tmp/s", "--workers", "2"]
+        )
+        assert args.func.__name__ == "cmd_serve"
+        assert args.http == 0 and args.store == "/tmp/s" and args.workers == 2
+
+    def test_bench_serve_wiring(self):
+        args = build_parser().parse_args(
+            ["bench-serve", "--requests", "8", "--seed", "3", "--output", ""]
+        )
+        assert args.func.__name__ == "cmd_bench_serve"
+        assert args.requests == 8 and args.seed == 3
