@@ -302,6 +302,12 @@ class DecisionCache:
         store.register_merge(NS_DECISIONS, _merge_decision_docs)
         self._store = store
 
+    def detach_store(self) -> None:
+        """Drop the store handle (degraded mode): lookups and new
+        decisions stay memory-only; un-flushed write-behind entries are
+        abandoned with it.  Safe to call storeless; idempotent."""
+        self._store = None
+
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._buckets.values())
 

@@ -25,6 +25,8 @@ Gives the library's main analyses a shell-friendly surface:
   ends over the coalescing, store-backed engine core;
 * ``bench-serve`` -- cold vs warm-store serving benchmark under a
   seeded concurrent mixed workload (``BENCH_serve.json``);
+* ``store-gc`` -- decision-store garbage collector: usage report,
+  LRU eviction under a byte cap, compaction, health check;
 * ``trace`` -- record a run as a replayable JSONL trace;
 * ``trace-mp`` -- record a message-passing run (with optional channel
   faults, crash-stops, and stubborn retransmission) as a trace;
@@ -629,6 +631,8 @@ def cmd_serve(args) -> int:
         store_dir=args.store,
         engine_workers=0 if workers <= 1 else workers,
         batch_window=args.batch_window,
+        default_deadline=args.deadline,
+        store_max_bytes=args.store_max_bytes,
     )
 
     def ready(line: str) -> None:
@@ -678,8 +682,47 @@ def cmd_bench_serve(args) -> int:
     if args.determinism_output:
         print(f"determinism: {args.determinism_output}")
     det = doc["determinism"]
-    ok = det["cold_warm_agree"] and det["warm_witness_cache_misses"] == 0
+    ok = (
+        det["cold_warm_agree"]
+        and det["warm_witness_cache_misses"] == 0
+        and all(det.get("hardening", {}).values())
+        and all(det.get("gc", {}).values())
+    )
     return 0 if ok else 1
+
+
+def cmd_store_gc(args) -> int:
+    import json as json_module
+
+    from .store import StoreError
+    from .store.gc import GCReport, check, collect
+
+    try:
+        if args.check:
+            doc = check(args.dir)
+            print(json_module.dumps(doc, indent=2, sort_keys=True))
+            if args.output:
+                with open(args.output, "w", encoding="utf-8") as handle:
+                    json_module.dump(doc, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+                print(f"written: {args.output}")
+            if not doc["ok"]:
+                print("store-gc: check failed: store has fresh quarantined "
+                      "entries", file=sys.stderr)
+            return 0 if doc["ok"] else 1
+        report = collect(args.dir, max_bytes=args.max_bytes,
+                         dry_run=args.dry_run)
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+    assert isinstance(report, GCReport)
+    print(report.describe())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json_module.dump(report.to_json(), handle, indent=2,
+                             sort_keys=True)
+            handle.write("\n")
+        print(f"written: {args.output}")
+    return 0 if report.under_cap else 1
 
 
 def cmd_replay(args) -> int:
@@ -1009,6 +1052,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=_positive_workers, default=None,
         help="engine process-pool size per job (1 = serial, the default)",
     )
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-request deadline; exceeding it "
+                            "returns {'error': 'deadline'} (default: none)")
+    serve.add_argument("--store-max-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="store size cap; flush evicts least-recently-"
+                            "used entries past it (default: unbounded)")
     serve.add_argument("--batch-window", type=float, default=0.01,
                        help="request-coalescing window in seconds")
     serve.set_defaults(func=cmd_serve)
@@ -1033,6 +1084,25 @@ def build_parser() -> argparse.ArgumentParser:
              "(what CI compares byte-for-byte)",
     )
     bench_serve.set_defaults(func=cmd_bench_serve)
+
+    store_gc = sub.add_parser(
+        "store-gc",
+        help="decision-store garbage collector: usage, eviction, compaction",
+    )
+    store_gc.add_argument("dir", help="content-addressed store directory")
+    store_gc.add_argument("--max-bytes", type=int, default=None,
+                          metavar="BYTES",
+                          help="evict least-recently-used entries until the "
+                               "store fits (default: compact only)")
+    store_gc.add_argument("--check", action="store_true",
+                          help="report per-namespace usage and health; exit 1 "
+                               "if compaction quarantined anything")
+    store_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be evicted without "
+                               "touching the store")
+    store_gc.add_argument("--output", default=None, metavar="FILE",
+                          help="also write the JSON report to FILE")
+    store_gc.set_defaults(func=cmd_store_gc)
 
     replay = sub.add_parser(
         "replay", help="re-run a recorded trace, verifying determinism"

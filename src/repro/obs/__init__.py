@@ -36,8 +36,10 @@ from .events import (
     ProcessorCrashedMP,
     RefinementCompleted,
     RefinementRound,
+    ServeDegraded,
     ServeWave,
     StepExecuted,
+    StoreEvicted,
     WitnessFound,
     WitnessSearchProgress,
 )
@@ -92,8 +94,10 @@ __all__ = [
     "RefinementCompleted",
     "RefinementRound",
     "RingBufferSink",
+    "ServeDegraded",
     "ServeWave",
     "StepExecuted",
+    "StoreEvicted",
     "WitnessFound",
     "WitnessSearchProgress",
 ] + sorted(_LAZY)

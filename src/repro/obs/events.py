@@ -439,6 +439,53 @@ class ServeWave(Event):
         }
 
 
+@dataclass(frozen=True)
+class StoreEvicted(Event):
+    """The store garbage collector evicted entries from one namespace.
+
+    Attributes:
+        namespace: the namespace that lost entries.
+        evicted: entries removed from it by this GC pass.
+        freed_bytes: bytes the namespace shrank by.
+        remaining_entries / remaining_bytes: what survives on disk.
+    """
+
+    kind: ClassVar[str] = "store-evicted"
+
+    namespace: str
+    evicted: int
+    freed_bytes: int
+    remaining_entries: int
+    remaining_bytes: int
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "namespace": self.namespace,
+            "evicted": self.evicted,
+            "freed_bytes": self.freed_bytes,
+            "remaining_entries": self.remaining_entries,
+            "remaining_bytes": self.remaining_bytes,
+        }
+
+
+@dataclass(frozen=True)
+class ServeDegraded(Event):
+    """The analysis service detached an unwritable store at runtime.
+
+    From this point the service answers from memory only; reads and
+    writes to the store stop, and ``/v1/stats`` reports
+    ``"store": "degraded"``.
+    """
+
+    kind: ClassVar[str] = "serve-degraded"
+
+    reason: str
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "reason": self.reason}
+
+
 class EventHub:
     """A tiny synchronous dispatcher: attach sinks, emit events.
 

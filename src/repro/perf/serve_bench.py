@@ -20,6 +20,20 @@ The report (``BENCH_serve.json``) separates two kinds of data:
   via ``determinism_output``).
 * ``timings`` — p50/p99 latency, throughput, store hit rate,
   coalescing counters.  Interleaving-dependent, never compared.
+
+After the two phases, two hardening probes run against the same store
+(their deterministic *booleans* join the ``determinism`` section; the
+detail lives in ``hardening``/``gc``):
+
+* **deadline** — two explore requests share one wave; the one carrying
+  a microscopic deadline must come back ``{"error": "deadline"}`` while
+  its wave-mate still gets a real answer.
+* **degraded** — a service whose store writes are sabotaged (injected
+  ``ENOSPC``) must detach the store, answer the failing request anyway,
+  report ``"store": "degraded"``, and keep serving memory-only.
+* **gc** — the populated store is collected down to half its size; the
+  pass must land under the cap with nothing quarantined, and a
+  subsequent integrity check must pass.
 """
 
 from __future__ import annotations
@@ -156,6 +170,100 @@ def _timing_summary(latencies: List[float], elapsed: float,
     }
 
 
+async def _deadline_probe(store_dir: str, engine_workers: int) -> dict:
+    """Two explore requests share a wave; one carries a tiny deadline.
+
+    The tight request must get the deadline error; its wave-mate must be
+    answered normally — a timeout abandons one wait, never the wave.
+    """
+    from ..serve.service import AnalysisService
+
+    async with AnalysisService(
+        store_dir=store_dir,
+        engine_workers=engine_workers,
+        batch_window=0.05,  # wide window: both requests join one wave
+    ) as service:
+        tight_request = dict(
+            _EXPLORE_SPECS[0],
+            scenario=dict(_EXPLORE_SPECS[0]["scenario"]),
+        )
+        mate_request = dict(
+            _EXPLORE_SPECS[1],
+            scenario=dict(_EXPLORE_SPECS[1]["scenario"]),
+        )
+        tight, mate = await asyncio.gather(
+            service.submit(
+                {"op": "explore", "spec": tight_request, "deadline": 0.002}
+            ),
+            service.submit({"op": "explore", "spec": mate_request}),
+        )
+        counters = dict(service.counters)
+    return {
+        "error_returned": tight.get("error") == "deadline",
+        "wavemate_ok": "error" not in mate,
+        "tight_result": tight,
+        "deadline_errors_counted": counters["deadline_errors"],
+    }
+
+
+async def _degraded_probe(store_dir: str, engine_workers: int) -> dict:
+    """Sabotage store writes (injected ENOSPC); the service must detach
+    the store, answer the failing request, report degraded, and keep
+    serving memory-only."""
+    import errno
+
+    from ..serve.service import AnalysisService
+
+    async with AnalysisService(
+        store_dir=store_dir, engine_workers=engine_workers,
+        batch_window=0.005,
+    ) as service:
+
+        def refuse_write(*_args, **_kwargs):
+            raise OSError(errno.ENOSPC, "No space left on device (injected)")
+
+        service.store._write = refuse_write
+        # A scenario outside the workload pools, so the answer must be
+        # computed (and its store write must fail).
+        first = await service.submit({
+            "op": "similarity",
+            "scenario": {"topology": "ring", "size": 7, "marks": []},
+        })
+        stats_after_failure = service.stats_doc()
+        second = await service.submit({
+            "op": "similarity",
+            "scenario": {"topology": "star", "size": 7, "marks": []},
+        })
+    return {
+        "first_ok": "error" not in first,
+        "status_degraded": stats_after_failure.get("store") == "degraded",
+        "served_after_detach": "error" not in second,
+        "reason": stats_after_failure.get("store_degraded_reason"),
+    }
+
+
+def _gc_probe(store_dir: str) -> dict:
+    """Collect the populated store down to half its size, then verify:
+    under cap, nothing quarantined, every survivor still readable."""
+    from ..store import gc as store_gc
+
+    before = store_gc.usage(store_dir)
+    total = sum(u.bytes for u in before.values())
+    cap = max(1, total // 2)
+    report = store_gc.collect(store_dir, max_bytes=cap)
+    health = store_gc.check(store_dir)
+    return {
+        "cap_bytes": cap,
+        "report": report.to_json(),
+        "check": health,
+        "under_cap": report.under_cap,
+        "quarantined_zero": (
+            report.quarantined == 0 and health["quarantined_now"] == 0
+        ),
+        "evicted_some": report.evicted_entries > 0,
+    }
+
+
 def run_serve_bench(
     store_dir: str,
     requests: int = 24,
@@ -215,6 +323,12 @@ def run_serve_bench(
     for request in workload:
         mix[request["op"]] += 1
 
+    # Hardening probes run after the composition snapshot, so the
+    # cmp'd store composition above reflects the workload alone.
+    deadline_probe = asyncio.run(_deadline_probe(store_dir, engine_workers))
+    degraded_probe = asyncio.run(_degraded_probe(store_dir, engine_workers))
+    gc_probe = _gc_probe(store_dir)
+
     determinism = {
         "workload": {"requests": requests, "seed": seed, "mix": mix},
         "results": cold_digests,
@@ -222,6 +336,22 @@ def run_serve_bench(
         "cold_warm_agree": cold_digests == warm_digests,
         "store": composition,
         "warm_witness_cache_misses": warm_witness_misses,
+        # Booleans only: the probes' full reports carry store paths and
+        # timings, which differ per run — these must not.
+        "hardening": {
+            "deadline_error_returned": deadline_probe["error_returned"],
+            "deadline_wavemate_ok": deadline_probe["wavemate_ok"],
+            "degraded_answered": degraded_probe["first_ok"],
+            "degraded_status_reported": degraded_probe["status_degraded"],
+            "degraded_served_after_detach": (
+                degraded_probe["served_after_detach"]
+            ),
+        },
+        "gc": {
+            "under_cap": gc_probe["under_cap"],
+            "quarantined_zero": gc_probe["quarantined_zero"],
+            "evicted_some": gc_probe["evicted_some"],
+        },
     }
     doc = {
         "meta": bench_meta(requested_workers=workers),
@@ -230,6 +360,11 @@ def run_serve_bench(
             "cold": _timing_summary(cold_latencies, cold_elapsed, cold_stats),
             "warm": _timing_summary(warm_latencies, warm_elapsed, warm_stats),
         },
+        "hardening": {
+            "deadline": deadline_probe,
+            "degraded": degraded_probe,
+        },
+        "gc": gc_probe,
     }
 
     if output:
@@ -279,4 +414,27 @@ def format_serve_bench(doc: dict) -> str:
         f"(must be 0); cold/warm answers agree: "
         f"{'yes' if det['cold_warm_agree'] else 'NO'}"
     )
+    hardening = det.get("hardening")
+    if hardening is not None:
+        ok = all(hardening.values())
+        lines.append(
+            f"hardening: deadline error "
+            f"{'yes' if hardening['deadline_error_returned'] else 'NO'}, "
+            f"wave-mate ok "
+            f"{'yes' if hardening['deadline_wavemate_ok'] else 'NO'}, "
+            f"degraded-mode serving "
+            f"{'yes' if hardening['degraded_served_after_detach'] else 'NO'}"
+            f" -> {'pass' if ok else 'FAIL'}"
+        )
+    gc_det = det.get("gc")
+    if gc_det is not None:
+        gc_doc = doc.get("gc", {})
+        report = gc_doc.get("report", {})
+        lines.append(
+            f"gc: {report.get('evicted_entries', '?')} evicted "
+            f"({report.get('evicted_bytes', '?')}B) under "
+            f"{gc_doc.get('cap_bytes', '?')}B cap; under-cap "
+            f"{'yes' if gc_det['under_cap'] else 'NO'}, quarantined-zero "
+            f"{'yes' if gc_det['quarantined_zero'] else 'NO'}"
+        )
     return "\n".join(lines)

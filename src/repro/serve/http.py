@@ -32,9 +32,55 @@ from .service import AnalysisService
 _MAX_HEADER_BYTES = 65536
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 
+#: Events buffered per streaming subscriber before the oldest-first
+#: pump falls behind and new events are dropped (counted, reported).
+_STREAM_QUEUE_LIMIT = 256
+
 
 def _json_bytes(doc: dict) -> bytes:
     return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _error_status(result: dict) -> str:
+    if result.get("error") == "deadline":
+        return "504 Gateway Timeout"
+    return "400 Bad Request"
+
+
+class StreamBuffer:
+    """A bounded per-subscriber event queue between service and socket.
+
+    The service's event forwarder calls :meth:`offer` on the loop; a
+    pump task dequeues and writes, awaiting the transport's ``drain()``
+    after every line so a slow client applies backpressure to the pump
+    instead of growing the write buffer without bound.  When the client
+    is slower than the event stream, the bounded queue fills and the
+    newest events are dropped (counted in :attr:`dropped`) — memory
+    stays flat, the job never blocks.
+    """
+
+    def __init__(self, limit: int = _STREAM_QUEUE_LIMIT) -> None:
+        self._queue: "asyncio.Queue" = asyncio.Queue(maxsize=max(1, limit))
+        self.dropped = 0
+
+    def offer(self, doc: dict) -> None:
+        """Enqueue one event document; full queue drops it (counted)."""
+        try:
+            self._queue.put_nowait(doc)
+        except asyncio.QueueFull:
+            self.dropped += 1
+
+    async def pump(self, write) -> None:
+        """Drain the queue through ``await write(doc)`` until closed."""
+        while True:
+            doc = await self._queue.get()
+            if doc is None:
+                return
+            await write(doc)
+
+    async def close(self) -> None:
+        """Signal end-of-stream; waits for a slot behind queued events."""
+        await self._queue.put(None)
 
 
 def _response(status: str, body: bytes,
@@ -153,7 +199,7 @@ class HttpFrontend:
         stream = "stream=1" in query.split("&")
         if not stream:
             result = await self.service.submit(request)
-            status = "400 Bad Request" if "error" in result else "200 OK"
+            status = _error_status(result) if "error" in result else "200 OK"
             writer.write(_response(status, _json_bytes(result)))
             await writer.drain()
             return
@@ -167,13 +213,31 @@ class HttpFrontend:
         )
         await writer.drain()
 
-        def forward(doc: dict) -> None:
-            if not writer.is_closing():
-                writer.write(_json_bytes({"kind": "event", "event": doc}))
+        # Events go through a bounded queue: the job is never blocked
+        # by a slow client, and the pump drains the socket between
+        # writes so a stalled reader cannot balloon the write buffer.
+        buffer = StreamBuffer()
 
-        result = await self.service.submit(request, on_event=forward)
+        async def write_event(doc: dict) -> None:
+            if writer.is_closing():
+                return
+            writer.write(_json_bytes({"kind": "event", "event": doc}))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+
+        pump = asyncio.ensure_future(buffer.pump(write_event))
+        try:
+            result = await self.service.submit(request, on_event=buffer.offer)
+        finally:
+            await buffer.close()
+            await pump
         if not writer.is_closing():
-            writer.write(_json_bytes(dict(result, kind="result")))
+            doc = dict(result, kind="result")
+            if buffer.dropped:
+                doc["dropped_events"] = buffer.dropped
+            writer.write(_json_bytes(doc))
             await writer.drain()
 
 
@@ -222,9 +286,20 @@ async def handle_stdio_lines(service: AnalysisService, reader, write_line) -> No
             ))
             continue
         # Concurrent requests coalesce into waves; answer out of order.
-        tasks.append(asyncio.ensure_future(answer(doc)))
+        tasks.append((doc.get("id"), asyncio.ensure_future(answer(doc))))
     if tasks:
-        await asyncio.gather(*tasks)
+        # One crashed request must not swallow its siblings' answers:
+        # capture exceptions and emit an error result line per failed id.
+        outcomes = await asyncio.gather(
+            *(task for _request_id, task in tasks), return_exceptions=True
+        )
+        for (request_id, _task), outcome in zip(tasks, outcomes):
+            if isinstance(outcome, BaseException):
+                write_line(json.dumps(
+                    {"id": request_id, "kind": "result",
+                     "result": {"error": f"request failed: {outcome}"}},
+                    sort_keys=True,
+                ))
 
 
 async def serve_stdio(service: AnalysisService) -> None:

@@ -34,6 +34,24 @@ Three mechanisms stack:
 Engine work runs on a single worker thread: the engines themselves
 multi-process when asked (``engine_workers``), and one thread serializes
 access to the shared caches without locking them.
+
+Three robustness mechanisms harden the service for sustained load:
+
+* **Deadlines** -- a request may carry ``"deadline"`` (seconds), and
+  the service may impose ``default_deadline``; a request whose wave has
+  not answered in time gets ``{"error": "deadline"}`` instead of a hung
+  client.  The wave itself keeps running — a timed-out request never
+  poisons its wave-mates, whose futures resolve normally.
+* **Graceful drain** -- :meth:`stop` (the default path) stops accepting
+  new requests, lets every queued wave execute to completion, flushes
+  the store, and only then shuts the worker pool down; nothing enqueued
+  before the stop is dropped.  ``stop(drain=False)`` is the hard path
+  that cancels in-flight waves.
+* **Degraded mode** -- a store that becomes unwritable at runtime
+  (read-only root, disk full) is detached instead of taking the service
+  down: the failed job is retried memory-only, a
+  :class:`~repro.obs.events.ServeDegraded` event is emitted, and
+  ``stats`` reports ``"store": "degraded"`` from then on.
 """
 
 from __future__ import annotations
@@ -46,11 +64,15 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..core.encoding import encode_value
 from ..exceptions import ReproError, ServeError
-from ..obs.events import EventHub, ServeWave
+from ..obs.events import EventHub, ServeDegraded, ServeWave
 
 #: Operations the service understands. ``stats`` is answered inline;
 #: the rest are coalesced into waves.
 OPS = ("similarity", "witness", "explore", "stats")
+
+#: Queue sentinel: a draining stop; the wave loop answers everything
+#: queued ahead of it, then exits.
+_SHUTDOWN = object()
 
 
 class _EventForwarder:
@@ -92,6 +114,13 @@ class AnalysisService:
             a service that is itself concurrent).
         batch_window: seconds a wave loop waits after the first request
             before draining the queue — the coalescing knob.
+        default_deadline: seconds a request may wait for its answer
+            before ``{"error": "deadline"}`` comes back instead; None
+            (the default) means requests wait forever unless they carry
+            their own ``"deadline"`` field.
+        store_max_bytes: byte cap handed to the store; every flush
+            evicts oldest entries back under it (see
+            :mod:`repro.store.gc`).
     """
 
     def __init__(
@@ -99,23 +128,30 @@ class AnalysisService:
         store_dir: Optional[str] = None,
         engine_workers: int = 0,
         batch_window: float = 0.01,
+        default_deadline: Optional[float] = None,
+        store_max_bytes: Optional[int] = None,
     ) -> None:
         from ..analysis.witness_engine import DecisionCache
         from ..perf.batch import SimilarityCache
 
+        self.hub = EventHub()
         self.store = None
+        self.store_degraded: Optional[str] = None  # reason, once detached
         if store_dir is not None:
             from ..store import ContentStore
 
-            self.store = ContentStore(store_dir)
+            self.store = ContentStore(store_dir, max_bytes=store_max_bytes)
+            self.store.hub = self.hub
         self.engine_workers = int(engine_workers)
         self.batch_window = float(batch_window)
+        self.default_deadline = (
+            float(default_deadline) if default_deadline is not None else None
+        )
         self.decisions = DecisionCache()
         if self.store is not None:
             self.decisions.attach_store(self.store)
         self.similarity_results = SimilarityCache()
         self._summaries: Dict[str, dict] = {}
-        self.hub = EventHub()
         self.counters: Dict[str, int] = {
             "requests": 0,
             "waves": 0,
@@ -123,11 +159,14 @@ class AnalysisService:
             "coalesced": 0,
             "errors": 0,
             "similarity_summary_hits": 0,
+            "deadline_errors": 0,
+            "rejected": 0,
         }
-        self._queues: Dict[str, "asyncio.Queue[_Pending]"] = {}
+        self._queues: Dict[str, "asyncio.Queue"] = {}
         self._loops: List["asyncio.Task"] = []
         self._pool: Optional[ThreadPoolExecutor] = None
         self._started = False
+        self._stopping = False
 
     # -- lifecycle -----------------------------------------------------
 
@@ -136,6 +175,7 @@ class AnalysisService:
         if self._started:
             return
         self._started = True
+        self._stopping = False
         self._pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve"
         )
@@ -143,28 +183,61 @@ class AnalysisService:
             self._queues[op] = asyncio.Queue()
             self._loops.append(asyncio.ensure_future(self._wave_loop(op)))
 
-    async def stop(self) -> None:
-        """Cancel the wave loops, flush the store, shut the pool down."""
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the service: drain queued waves, flush, shut down.
+
+        With ``drain`` (the default) every request enqueued before the
+        stop is answered — the wave loops execute what is queued, then
+        exit; requests arriving *during* the drain are rejected with
+        ``{"error": "service is shutting down"}``.  ``drain=False``
+        cancels the wave loops immediately (queued futures are
+        cancelled).  Either way the store is flushed before returning.
+        """
         if not self._started:
             return
         self._started = False
-        for task in self._loops:
-            task.cancel()
-        for task in self._loops:
-            try:
-                await task
-            except asyncio.CancelledError:
-                pass
-        self._loops.clear()
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        self.flush()
+        self._stopping = True
+        try:
+            if drain:
+                for queue in self._queues.values():
+                    queue.put_nowait(_SHUTDOWN)
+                await asyncio.gather(*self._loops, return_exceptions=True)
+            else:
+                for task in self._loops:
+                    task.cancel()
+                for task in self._loops:
+                    try:
+                        await task
+                    except asyncio.CancelledError:
+                        pass
+            self._loops.clear()
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            self.flush()
+        finally:
+            self._stopping = False
 
     def flush(self) -> None:
-        """Flush every staged store write (no-op without a store)."""
-        if self.store is not None:
+        """Flush staged store writes; an unwritable store degrades the
+        service (memory-only) instead of raising."""
+        if self.store is None:
+            return
+        try:
             self.store.flush()
+        except OSError as exc:
+            self._degrade(f"store flush failed: {exc}")
+
+    def _degrade(self, reason: str) -> None:
+        """Detach an unwritable store at runtime; keep serving from
+        memory.  Callable from the worker thread or the event loop."""
+        if self.store is None:
+            return
+        self.store = None
+        self.store_degraded = reason
+        self.decisions.detach_store()
+        if self.hub.active:
+            self.hub.emit(ServeDegraded(reason=reason))
 
     async def __aenter__(self) -> "AnalysisService":
         await self.start()
@@ -186,11 +259,32 @@ class AnalysisService:
         ``{"error": ...}`` rather than raising, so one bad request never
         takes a front end down.  ``on_event`` (if given) receives obs
         event documents on the event loop while the job runs.
+
+        A ``"deadline"`` field (positive seconds) bounds how long this
+        request waits for its answer; past it, ``{"error": "deadline"}``
+        comes back while the wave keeps running for its wave-mates.  The
+        field is stripped before coalescing, so requests differing only
+        in deadline still share one job.
         """
         self.counters["requests"] += 1
+        if self._stopping:
+            self.counters["rejected"] += 1
+            return {"error": "service is shutting down"}
         if not isinstance(request, dict):
             self.counters["errors"] += 1
             return {"error": "request must be a JSON object"}
+        request = dict(request)
+        deadline = request.pop("deadline", self.default_deadline)
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+                if not deadline > 0:
+                    raise ValueError
+            except (TypeError, ValueError):
+                self.counters["errors"] += 1
+                return {
+                    "error": "deadline must be a positive number of seconds"
+                }
         op = request.get("op")
         if op == "stats":
             return self.stats_doc()
@@ -201,18 +295,34 @@ class AnalysisService:
             await self.start()
         future: "asyncio.Future" = asyncio.get_event_loop().create_future()
         await self._queues[op].put(_Pending(request, future, on_event))
-        return await future
+        if deadline is None:
+            return await future
+        try:
+            # Shielded: the timeout abandons *this* wait, never the wave
+            # job — wave-mates sharing the future's batch are unharmed.
+            return await asyncio.wait_for(asyncio.shield(future), deadline)
+        except asyncio.TimeoutError:
+            self.counters["deadline_errors"] += 1
+            return {"error": "deadline", "op": op, "deadline_s": deadline}
 
     # -- coalescing ----------------------------------------------------
 
     async def _wave_loop(self, op: str) -> None:
         queue = self._queues[op]
-        while True:
-            batch = [await queue.get()]
+        stopping = False
+        while not stopping:
+            first = await queue.get()
+            if first is _SHUTDOWN:
+                break
+            batch = [first]
             if self.batch_window > 0:
                 await asyncio.sleep(self.batch_window)
             while not queue.empty():
-                batch.append(queue.get_nowait())
+                item = queue.get_nowait()
+                if item is _SHUTDOWN:
+                    stopping = True  # answer this batch, then exit
+                else:
+                    batch.append(item)
             try:
                 await self._run_wave(op, batch)
             except asyncio.CancelledError:
@@ -364,20 +474,36 @@ class AnalysisService:
         if self.store is not None:
             from ..store import NS_SIMILARITY
 
-            self.store.put(
-                NS_SIMILARITY, encode_value((fingerprint, engine)), summary
-            )
+            try:
+                self.store.put(
+                    NS_SIMILARITY, encode_value((fingerprint, engine)), summary
+                )
+            except OSError as exc:  # put auto-flushes past its threshold
+                self._degrade(f"store write failed: {exc}")
         return summary
 
     def _execute_one(self, op: str, request: dict,
                      hub: Optional[EventHub]) -> dict:
         try:
-            if op == "witness":
-                return self._witness_job(request, hub)
-            return self._explore_job(request, hub)
+            return self._run_job(op, request, hub)
         except ReproError as exc:
             self.counters["errors"] += 1
             return {"error": str(exc)}
+        except OSError as exc:
+            # The store went unwritable mid-job (read-only root, disk
+            # full): detach it and answer the request memory-only.
+            self._degrade(f"store write failed during {op} job: {exc}")
+            try:
+                return self._run_job(op, request, hub)
+            except ReproError as exc2:
+                self.counters["errors"] += 1
+                return {"error": str(exc2)}
+
+    def _run_job(self, op: str, request: dict,
+                 hub: Optional[EventHub]) -> dict:
+        if op == "witness":
+            return self._witness_job(request, hub)
+        return self._explore_job(request, hub)
 
     def _witness_job(self, request: dict, hub: Optional[EventHub]) -> dict:
         from ..analysis.witness_engine import SweepSpec, run_sweep
@@ -449,5 +575,12 @@ class AnalysisService:
             },
         }
         if self.store is not None:
-            doc["store"] = dict(self.store.stats.to_json(), root=self.store.root)
+            doc["store"] = dict(
+                self.store.stats.to_json(),
+                root=self.store.root,
+                status="ok",
+            )
+        elif self.store_degraded is not None:
+            doc["store"] = "degraded"
+            doc["store_degraded_reason"] = self.store_degraded
         return doc

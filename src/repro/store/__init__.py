@@ -8,6 +8,7 @@ byte encodings so addresses are hash-seed and interpreter independent.
 """
 
 from .content import ContentStore, StoreError, StoreStats
+from .gc import GCReport, NamespaceUsage, check, collect, enforce_cap, usage
 
 #: Store namespaces used across the codebase (one place, no typos).
 NS_DECISIONS = "decisions"
@@ -16,8 +17,14 @@ NS_ORBITS = "orbits"
 
 __all__ = [
     "ContentStore",
+    "GCReport",
+    "NamespaceUsage",
     "StoreError",
     "StoreStats",
+    "check",
+    "collect",
+    "enforce_cap",
+    "usage",
     "NS_DECISIONS",
     "NS_SIMILARITY",
     "NS_ORBITS",

@@ -39,6 +39,7 @@ Design points:
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 import tempfile
@@ -64,6 +65,7 @@ class StoreStats:
     writes: int = 0
     merges: int = 0
     quarantined: int = 0
+    evicted: int = 0
 
     @property
     def hit_rate(self) -> Optional[float]:
@@ -86,9 +88,20 @@ class ContentStore:
     guarantees.
     """
 
-    def __init__(self, root: str, flush_every: int = 128) -> None:
+    def __init__(
+        self,
+        root: str,
+        flush_every: int = 128,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.root = os.path.abspath(root)
         self.flush_every = max(1, int(flush_every))
+        self.max_bytes = int(max_bytes) if max_bytes is not None else None
+        if self.max_bytes is not None and self.max_bytes < 1:
+            raise StoreError(f"max_bytes must be >= 1, got {max_bytes}")
+        #: Optional :class:`~repro.obs.events.EventHub`; when set, the
+        #: garbage collector reports evictions as ``StoreEvicted`` events.
+        self.hub = None
         self.stats = StoreStats()
         self._pending: Dict[Tuple[str, str], Tuple[bytes, dict]] = {}
         self._mergers: Dict[str, Callable[[dict, dict], dict]] = {}
@@ -126,7 +139,10 @@ class ContentStore:
         staged = self._pending.get((namespace, digest))
         if staged is not None:
             self.stats.hits += 1
-            return staged[1]
+            # A copy, never the staged dict itself: handing out the
+            # pending entry by reference would let caller mutation
+            # silently rewrite what later flushes to disk.
+            return copy.deepcopy(staged[1])
         value = self._read(namespace, digest, key)
         if value is None:
             self.stats.misses += 1
@@ -179,18 +195,37 @@ class ContentStore:
             self.flush()
 
     def flush(self) -> int:
-        """Write every staged entry to disk; returns entries written."""
+        """Write every staged entry to disk; returns entries written.
+
+        A mid-loop write failure (disk full, root gone read-only)
+        re-stages the unwritten remainder — including the entry whose
+        write failed — before propagating, so no staged entry is ever
+        silently dropped; a later flush (or another root) can retry.
+        With :attr:`max_bytes` set, a successful flush ends by evicting
+        oldest entries until the store fits the cap again.
+        """
         written = 0
         pending, self._pending = self._pending, {}
-        for (namespace, digest), (key, value) in sorted(pending.items()):
-            merge = self._mergers.get(namespace)
-            if merge is not None:
-                existing = self._read(namespace, digest, key)
-                if existing is not None:
-                    value = merge(existing, value)
-                    self.stats.merges += 1
-            self._write(namespace, digest, key, value)
-            written += 1
+        items = sorted(pending.items())
+        try:
+            for (namespace, digest), (key, value) in items:
+                merge = self._mergers.get(namespace)
+                if merge is not None:
+                    existing = self._read(namespace, digest, key)
+                    if existing is not None:
+                        value = merge(existing, value)
+                        self.stats.merges += 1
+                self._write(namespace, digest, key, value)
+                written += 1
+        except BaseException:
+            remainder = dict(items[written:])
+            remainder.update(self._pending)  # puts staged mid-merge win
+            self._pending = remainder
+            raise
+        if self.max_bytes is not None and written:
+            from .gc import enforce_cap
+
+            enforce_cap(self)
         return written
 
     def _write(self, namespace: str, digest: str, key: bytes, value: dict) -> None:

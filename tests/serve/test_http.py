@@ -4,7 +4,7 @@ import asyncio
 import json
 
 from repro.serve import AnalysisService
-from repro.serve.http import HttpFrontend, handle_stdio_lines
+from repro.serve.http import HttpFrontend, StreamBuffer, handle_stdio_lines
 
 RING = {"topology": "ring", "size": 4, "marks": []}
 WITNESS = {
@@ -139,6 +139,60 @@ class TestHttpRoutes:
         assert event_kinds & {"witness-shard", "witness"}
 
 
+    def test_deadline_error_is_504(self):
+        async def t(port):
+            return await _http_roundtrip(
+                port, "POST", "/v1/analyze",
+                {"op": "witness", "spec": WITNESS, "deadline": 0.001},
+            )
+
+        status, _, body = _with_frontend(t)
+        assert status == 504
+        assert json.loads(body)["error"] == "deadline"
+
+
+class TestStreamBuffer:
+    def test_overflow_drops_and_counts_instead_of_blocking(self):
+        async def go():
+            buffer = StreamBuffer(limit=3)
+            for i in range(10):
+                buffer.offer({"i": i})  # never blocks, never raises
+            delivered = []
+
+            async def write(doc):
+                delivered.append(doc)
+
+            pump = asyncio.ensure_future(buffer.pump(write))
+            await buffer.close()
+            await pump
+            return delivered, buffer.dropped
+
+        delivered, dropped = asyncio.run(go())
+        assert [doc["i"] for doc in delivered] == [0, 1, 2]
+        assert dropped == 7
+
+    def test_pump_applies_backpressure_not_loss_when_keeping_up(self):
+        async def go():
+            buffer = StreamBuffer(limit=4)
+            delivered = []
+
+            async def write(doc):
+                await asyncio.sleep(0)  # a drain-like yield per event
+                delivered.append(doc)
+
+            pump = asyncio.ensure_future(buffer.pump(write))
+            for i in range(20):
+                buffer.offer({"i": i})
+                await asyncio.sleep(0.001)  # producer paced at pump speed
+            await buffer.close()
+            await pump
+            return delivered, buffer.dropped
+
+        delivered, dropped = asyncio.run(go())
+        assert dropped == 0
+        assert [doc["i"] for doc in delivered] == list(range(20))
+
+
 class _LineFeed:
     """An async line source for handle_stdio_lines."""
 
@@ -193,3 +247,34 @@ class TestStdio:
         oks = [d for d in docs if d.get("id") == 3]
         assert errors and "not JSON" in errors[0]["result"]["error"]
         assert oks and oks[0]["result"]["op"] == "stats"
+
+    def test_crashed_request_does_not_swallow_siblings(self):
+        """An exception escaping one request's task must still let the
+        sibling's answer through, and the failed id gets an error line
+        (the final gather captures exceptions per task)."""
+
+        class Exploding(AnalysisService):
+            async def submit(self, request, on_event=None):
+                if request.get("op") == "boom":
+                    raise RuntimeError("engine exploded (injected)")
+                return await super().submit(request, on_event=on_event)
+
+        out = []
+
+        async def go():
+            service = Exploding(batch_window=0.05)
+            lines = [
+                json.dumps({"id": "bad", "request": {"op": "boom"}}),
+                json.dumps({"id": "good", "request": {"op": "similarity",
+                                                      "scenario": RING}}),
+            ]
+            try:
+                await handle_stdio_lines(service, _LineFeed(lines), out.append)
+            finally:
+                await service.stop()
+
+        asyncio.run(go())
+        docs = [json.loads(line) for line in out]
+        by_id = {doc["id"]: doc for doc in docs if doc["kind"] == "result"}
+        assert by_id["good"]["result"]["op"] == "similarity"
+        assert "exploded" in by_id["bad"]["result"]["error"]

@@ -197,6 +197,228 @@ class TestStoreBacking:
             assert store.count(NS_ORBITS) == 1
 
 
+class TestDeadlines:
+    def test_deadline_exceeded_returns_error(self):
+        async def go():
+            async with AnalysisService(batch_window=0.05) as service:
+                return await service.submit(
+                    {"op": "explore", "spec": EXPLORE, "deadline": 0.001}
+                )
+
+        result = run(go())
+        assert result == {
+            "error": "deadline", "op": "explore", "deadline_s": 0.001,
+        }
+
+    def test_timed_out_request_never_poisons_wave_mates(self):
+        async def go():
+            async with AnalysisService(batch_window=0.05) as service:
+                tight, mate = await asyncio.gather(
+                    service.submit(
+                        {"op": "explore", "spec": EXPLORE, "deadline": 0.001}
+                    ),
+                    service.submit(
+                        {"op": "explore", "spec": dict(EXPLORE, max_depth=2)}
+                    ),
+                )
+                return tight, mate, service.stats_doc()
+
+        tight, mate, stats = run(go())
+        assert tight["error"] == "deadline"
+        assert mate["verdict"] in ("certified", "violation")
+        assert stats["counters"]["deadline_errors"] == 1
+
+    def test_generous_deadline_answers_normally(self):
+        async def go():
+            async with AnalysisService(batch_window=0) as service:
+                return await service.submit(
+                    {"op": "similarity", "scenario": RING, "deadline": 60}
+                )
+
+        result = run(go())
+        assert result["classes"] == [["p0", "p1", "p2", "p3", "p4"]]
+
+    def test_default_deadline_applies_without_request_field(self):
+        async def go():
+            async with AnalysisService(
+                batch_window=0.05, default_deadline=0.001
+            ) as service:
+                return await service.submit({"op": "explore", "spec": EXPLORE})
+
+        assert run(go())["error"] == "deadline"
+
+    def test_bad_deadline_rejected(self):
+        async def go():
+            async with AnalysisService(batch_window=0) as service:
+                return await asyncio.gather(
+                    service.submit({"op": "similarity", "scenario": RING,
+                                    "deadline": -1}),
+                    service.submit({"op": "similarity", "scenario": RING,
+                                    "deadline": "soon"}),
+                )
+
+        for result in run(go()):
+            assert "deadline must be a positive number" in result["error"]
+
+    def test_deadline_differing_requests_still_coalesce(self):
+        """The deadline field is stripped before keying, so requests
+        differing only in deadline share one job."""
+
+        async def go():
+            async with AnalysisService(batch_window=0.05) as service:
+                results = await asyncio.gather(
+                    service.submit({"op": "similarity", "scenario": RING,
+                                    "deadline": 30}),
+                    service.submit({"op": "similarity", "scenario": RING,
+                                    "deadline": 60}),
+                    service.submit({"op": "similarity", "scenario": RING}),
+                )
+                return results, service.stats_doc()
+
+        results, stats = run(go())
+        assert all(r == results[0] for r in results)
+        assert stats["counters"]["coalesced"] == 2
+
+
+class TestGracefulShutdown:
+    def test_drain_answers_queued_requests_and_flushes(self, tmp_path):
+        root = str(tmp_path / "store")
+
+        async def go():
+            service = AnalysisService(store_dir=root, batch_window=0.1)
+            await service.start()
+            pending = [
+                asyncio.ensure_future(
+                    service.submit({"op": "similarity", "scenario": RING})
+                ),
+                asyncio.ensure_future(
+                    service.submit({"op": "witness", "spec": WITNESS})
+                ),
+            ]
+            await asyncio.sleep(0)  # let the submits enqueue
+            await service.stop()  # drain: both must be answered
+            return await asyncio.gather(*pending)
+
+        sim, wit = run(go())
+        assert sim["op"] == "similarity"
+        assert wit["op"] == "witness"
+        # The drain flushed the store before returning.
+        from repro.store import ContentStore, NS_SIMILARITY
+
+        with ContentStore(root) as store:
+            assert store.count(NS_SIMILARITY) == 1
+
+    def test_submissions_during_drain_are_rejected(self):
+        async def go():
+            service = AnalysisService(batch_window=0.1)
+            await service.start()
+            queued = asyncio.ensure_future(
+                service.submit({"op": "similarity", "scenario": RING})
+            )
+            await asyncio.sleep(0)
+            stopper = asyncio.ensure_future(service.stop())
+            await asyncio.sleep(0)  # stop() is now draining
+            late = await service.submit(
+                {"op": "similarity", "scenario": MARKED_RING}
+            )
+            await stopper
+            return await queued, late, service.stats_doc()
+
+        answered, late, stats = run(go())
+        assert answered["op"] == "similarity"
+        assert late == {"error": "service is shutting down"}
+        assert stats["counters"]["rejected"] == 1
+
+    def test_service_restarts_after_drain(self):
+        async def go():
+            service = AnalysisService(batch_window=0)
+            await service.start()
+            await service.submit({"op": "similarity", "scenario": RING})
+            await service.stop()
+            # A fresh submit restarts the loops transparently.
+            result = await service.submit(
+                {"op": "similarity", "scenario": RING}
+            )
+            await service.stop()
+            return result
+
+        assert run(go())["op"] == "similarity"
+
+
+class TestDegradedMode:
+    @staticmethod
+    def _sabotage(service):
+        def refuse(namespace, digest, key, value):
+            raise OSError(28, "No space left on device (injected)")
+
+        service.store._write = refuse
+
+    def test_unwritable_store_degrades_but_keeps_serving(self, tmp_path):
+        from repro.obs import ServeDegraded
+
+        degraded_events = []
+
+        class Sink:
+            def on_event(self, event):
+                if isinstance(event, ServeDegraded):
+                    degraded_events.append(event)
+
+        async def go():
+            async with AnalysisService(
+                store_dir=str(tmp_path / "store"), batch_window=0
+            ) as service:
+                service.hub.attach(Sink())
+                self._sabotage(service)
+                first = await service.submit(
+                    {"op": "similarity", "scenario": RING}
+                )
+                stats = service.stats_doc()
+                second = await service.submit(
+                    {"op": "similarity", "scenario": MARKED_RING}
+                )
+                return first, stats, second
+
+        first, stats, second = run(go())
+        assert first["classes"] == [["p0", "p1", "p2", "p3", "p4"]]
+        assert stats["store"] == "degraded"
+        assert "injected" in stats["store_degraded_reason"]
+        assert len(second["classes"]) > 1  # still answering, memory-only
+        assert len(degraded_events) == 1
+
+    def test_degraded_witness_job_retries_memory_only(self, tmp_path):
+        async def go():
+            async with AnalysisService(
+                store_dir=str(tmp_path / "store"), batch_window=0,
+                # Tiny threshold: the DecisionCache's write-through put
+                # auto-flushes mid-job, failing inside the sweep.
+                store_max_bytes=None,
+            ) as service:
+                service.store.flush_every = 1
+                self._sabotage(service)
+                result = await service.submit(
+                    {"op": "witness", "spec": WITNESS}
+                )
+                return result, service.stats_doc()
+
+        result, stats = run(go())
+        assert result["op"] == "witness"
+        assert result["count"] >= 1
+        assert stats["store"] == "degraded"
+
+    def test_degraded_service_survives_its_own_stop(self, tmp_path):
+        async def go():
+            service = AnalysisService(
+                store_dir=str(tmp_path / "store"), batch_window=0
+            )
+            await service.start()
+            self._sabotage(service)
+            await service.submit({"op": "similarity", "scenario": RING})
+            await service.stop()  # the final flush must not raise
+            return service.stats_doc()
+
+        assert run(go())["store"] == "degraded"
+
+
 class TestEventStreaming:
     def test_witness_events_stream_while_job_runs(self):
         events = []

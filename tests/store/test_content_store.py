@@ -49,6 +49,80 @@ class TestRoundTrip:
             assert store.stats.writes == 2
 
 
+class TestStagedAliasing:
+    def test_mutating_a_staged_get_does_not_corrupt_the_store(self, tmp_path):
+        """A staged hit must be a copy: callers scribbling on the result
+        must not rewrite what flush() later persists."""
+        root = str(tmp_path / "s")
+        with ContentStore(root) as store:
+            store.put("ns", b"k", {"v": 1, "nested": {"tags": ["a"]}})
+            seen = store.get("ns", b"k")  # staged hit
+            seen["v"] = 999
+            seen["nested"]["tags"].append("EVIL")
+            store.flush()
+        with ContentStore(root) as fresh:
+            assert fresh.get("ns", b"k") == {"v": 1, "nested": {"tags": ["a"]}}
+
+    def test_staged_copies_are_independent_per_get(self, tmp_path):
+        with ContentStore(str(tmp_path / "s")) as store:
+            store.put("ns", b"k", {"v": []})
+            store.get("ns", b"k")["v"].append(1)
+            assert store.get("ns", b"k") == {"v": []}
+
+
+class TestFlushFailure:
+    def test_failed_flush_restages_unwritten_entries(self, tmp_path):
+        """A write failure mid-flush must not drop the unwritten tail:
+        the failing entry and everything after it stay staged, and a
+        retry (here: after healing the writer) persists all of them."""
+        root = str(tmp_path / "s")
+        store = ContentStore(root)
+        for i in range(6):
+            store.put("ns", b"key-%d" % i, {"i": i})
+
+        real_write = store._write
+        calls = {"n": 0}
+
+        def fail_after_two(namespace, digest, key, value):
+            if calls["n"] == 2:
+                raise OSError(28, "No space left on device (injected)")
+            calls["n"] += 1
+            real_write(namespace, digest, key, value)
+
+        store._write = fail_after_two
+        with pytest.raises(OSError):
+            store.flush()
+        # Two made it to disk; the other four (including the one whose
+        # write failed) are staged again — still readable, nothing lost.
+        assert len(store._pending) == 4
+        for i in range(6):
+            assert store.get("ns", b"key-%d" % i) == {"i": i}
+
+        store._write = real_write
+        assert store.flush() == 4
+        store.close()
+        with ContentStore(root) as fresh:
+            assert {k: v["i"] for k, v in fresh.entries("ns")} == {
+                b"key-%d" % i: i for i in range(6)
+            }
+
+    def test_puts_during_failed_flush_survive_the_restage(self, tmp_path):
+        """An entry staged between flush start and the failure (e.g. by
+        a re-entrant caller) must not be clobbered by the restage."""
+        store = ContentStore(str(tmp_path / "s"))
+        store.put("ns", b"a", {"v": 1})
+
+        def fail_and_stage(namespace, digest, key, value):
+            store._pending[("ns", store.address(b"b"))] = (b"b", {"v": 2})
+            raise OSError(30, "Read-only file system (injected)")
+
+        store._write = fail_and_stage
+        with pytest.raises(OSError):
+            store.flush()
+        assert store.get("ns", b"a") == {"v": 1}
+        assert store.get("ns", b"b") == {"v": 2}
+
+
 class TestMerge:
     def test_merge_on_flush_unions_concurrent_values(self, tmp_path):
         root = str(tmp_path / "s")

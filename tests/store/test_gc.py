@@ -1,0 +1,221 @@
+"""Tests for the store garbage collector: usage, eviction, compaction."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import EventHub, StoreEvicted
+from repro.store import ContentStore, StoreError
+from repro.store.gc import check, collect, enforce_cap, usage
+
+
+def _fill(root, count=10, namespace="ns", pad=40):
+    with ContentStore(root) as store:
+        for i in range(count):
+            store.put(namespace, b"key-%d" % i, {"i": i, "pad": "x" * pad})
+    return root
+
+
+def _entry_path(store, namespace, key):
+    digest = store.address(key)
+    return os.path.join(store.root, namespace, digest[:2], digest + ".json")
+
+
+def _age(store, namespace, key, mtime):
+    os.utime(_entry_path(store, namespace, key), (mtime, mtime))
+
+
+class TestUsage:
+    def test_counts_entries_and_bytes_per_namespace(self, tmp_path):
+        root = str(tmp_path / "s")
+        with ContentStore(root) as store:
+            store.put("a", b"k1", {"v": 1})
+            store.put("a", b"k2", {"v": 2})
+            store.put("b", b"k3", {"v": 3})
+        report = usage(root)
+        assert report["a"].entries == 2
+        assert report["b"].entries == 1
+        assert report["a"].bytes > 0
+        total = sum(u.bytes for u in report.values())
+        on_disk = sum(
+            os.path.getsize(os.path.join(base, name))
+            for base, _dirs, names in os.walk(root)
+            for name in names
+        )
+        assert total == on_disk
+
+    def test_empty_or_absent_root_is_empty(self, tmp_path):
+        assert usage(str(tmp_path / "nope")) == {}
+
+
+class TestEviction:
+    def test_evicts_down_to_cap_and_survivors_stay_readable(self, tmp_path):
+        root = _fill(str(tmp_path / "s"), count=20)
+        total = sum(u.bytes for u in usage(root).values())
+        cap = total // 2
+        report = collect(root, max_bytes=cap)
+        assert report.under_cap
+        assert report.total_bytes_after <= cap
+        assert report.evicted_entries > 0
+        assert report.quarantined == 0
+        # Every survivor is a complete, readable entry.
+        with ContentStore(root) as store:
+            survivors = list(store.entries("ns"))
+            assert len(survivors) == report.after["ns"].entries
+            for key, value in survivors:
+                assert value["i"] == int(key.decode().split("-")[1])
+            assert store.stats.quarantined == 0
+
+    def test_eviction_is_lru_by_mtime(self, tmp_path):
+        root = str(tmp_path / "s")
+        with ContentStore(root) as store:
+            for i in range(4):
+                store.put("ns", b"key-%d" % i, {"i": i, "pad": "x" * 40})
+            store.flush()
+            # key-2 and key-3 are old; key-0 and key-1 recently used.
+            _age(store, "ns", b"key-2", 1000.0)
+            _age(store, "ns", b"key-3", 2000.0)
+            _age(store, "ns", b"key-0", 3000.0)
+            _age(store, "ns", b"key-1", 4000.0)
+            sizes = usage(root)["ns"]
+            cap = sizes.bytes - 1  # force eviction of exactly the oldest
+        report = collect(root, max_bytes=cap)
+        assert report.evicted_entries == 1
+        with ContentStore(root) as store:
+            assert store.get("ns", b"key-2") is None  # the oldest went
+            for key in (b"key-0", b"key-1", b"key-3"):
+                assert store.get("ns", key) is not None
+
+    def test_dry_run_touches_nothing(self, tmp_path):
+        root = _fill(str(tmp_path / "s"), count=10)
+        before = usage(root)
+        cap = sum(u.bytes for u in before.values()) // 2
+        report = collect(root, max_bytes=cap, dry_run=True)
+        assert report.dry_run
+        assert report.evicted_entries > 0
+        assert report.total_bytes_after <= cap  # the projection fits...
+        after = usage(root)
+        assert {ns: (u.entries, u.bytes) for ns, u in after.items()} == {
+            ns: (u.entries, u.bytes) for ns, u in before.items()
+        }  # ...but the disk is untouched
+
+    def test_no_cap_means_compaction_only(self, tmp_path):
+        root = _fill(str(tmp_path / "s"), count=5)
+        report = collect(root)
+        assert report.evicted_entries == 0
+        assert usage(root)["ns"].entries == 5
+
+    def test_emits_store_evicted_events(self, tmp_path):
+        root = _fill(str(tmp_path / "s"), count=10)
+        cap = sum(u.bytes for u in usage(root).values()) // 2
+        hub = EventHub()
+        seen = []
+
+        class Sink:
+            def on_event(self, event):
+                seen.append(event)
+
+        hub.attach(Sink())
+        report = collect(root, max_bytes=cap, hub=hub)
+        events = [e for e in seen if isinstance(e, StoreEvicted)]
+        assert len(events) == 1
+        assert events[0].namespace == "ns"
+        assert events[0].evicted == report.evicted_entries
+        assert events[0].remaining_entries == report.after["ns"].entries
+
+
+class TestCompaction:
+    def test_sweeps_stale_tmp_files(self, tmp_path):
+        root = _fill(str(tmp_path / "s"), count=3)
+        with ContentStore(root) as store:
+            folder = os.path.dirname(_entry_path(store, "ns", b"key-0"))
+        litter = os.path.join(folder, "deadbeef.12345.tmp")
+        with open(litter, "w") as fh:
+            fh.write("half-written")
+        report = collect(root)
+        assert report.removed_tmp == 1
+        assert not os.path.exists(litter)
+
+    def test_removes_emptied_shard_dirs(self, tmp_path):
+        root = _fill(str(tmp_path / "s"), count=8)
+        report = collect(root, max_bytes=1)  # evict everything
+        assert report.evicted_entries == 8
+        assert report.removed_dirs > 0
+        assert not os.path.isdir(os.path.join(root, "ns"))
+
+    def test_quarantines_corrupt_survivors(self, tmp_path):
+        root = _fill(str(tmp_path / "s"), count=3)
+        with ContentStore(root) as store:
+            path = _entry_path(store, "ns", b"key-1")
+        with open(path, "w") as fh:
+            fh.write("{ not json")
+        report = collect(root)
+        assert report.quarantined == 1
+        assert not os.path.exists(path)
+        assert os.listdir(os.path.join(root, "quarantine"))
+        with ContentStore(root) as store:
+            assert store.get("ns", b"key-0") is not None
+            assert store.get("ns", b"key-1") is None
+
+    def test_rewrite_canonicalizes_but_preserves_mtime(self, tmp_path):
+        root = _fill(str(tmp_path / "s"), count=1)
+        with ContentStore(root) as store:
+            path = _entry_path(store, "ns", b"key-0")
+        doc = json.load(open(path))
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=2)  # valid, but not canonical
+        os.utime(path, (5000.0, 5000.0))
+        report = collect(root)
+        assert report.rewritten == 1
+        assert os.stat(path).st_mtime == 5000.0  # LRU clock undisturbed
+        with ContentStore(root) as store:
+            assert store.get("ns", b"key-0") is not None
+
+
+class TestEnforceCap:
+    def test_flush_evicts_past_the_cap(self, tmp_path):
+        root = str(tmp_path / "s")
+        with ContentStore(root, max_bytes=300) as store:
+            for i in range(12):
+                store.put("ns", b"key-%d" % i, {"i": i, "pad": "x" * 40})
+            store.flush()
+            assert store.stats.evicted > 0
+        total = sum(u.bytes for u in usage(root).values())
+        assert total <= 300
+
+    def test_under_cap_flush_is_a_no_op(self, tmp_path):
+        root = str(tmp_path / "s")
+        with ContentStore(root, max_bytes=10_000) as store:
+            store.put("ns", b"k", {"v": 1})
+            store.flush()
+            assert enforce_cap(store) is None
+            assert store.stats.evicted == 0
+
+    def test_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(StoreError):
+            ContentStore(str(tmp_path / "s"), max_bytes=0)
+
+
+class TestCheck:
+    def test_clean_store_is_ok(self, tmp_path):
+        root = _fill(str(tmp_path / "s"), count=4)
+        doc = check(root)
+        assert doc["ok"]
+        assert doc["namespaces"]["ns"]["entries"] == 4
+        assert doc["quarantined_now"] == 0
+        assert doc["quarantine_backlog"] == 0
+
+    def test_corruption_fails_the_check_and_counts_backlog(self, tmp_path):
+        root = _fill(str(tmp_path / "s"), count=4)
+        with ContentStore(root) as store:
+            path = _entry_path(store, "ns", b"key-2")
+        with open(path, "w") as fh:
+            fh.write("garbage")
+        doc = check(root)
+        assert not doc["ok"]
+        assert doc["quarantined_now"] == 1
+        # A second walk finds the pen populated but nothing new wrong.
+        again = check(root)
+        assert again["ok"]
+        assert again["quarantine_backlog"] == 1

@@ -1,0 +1,168 @@
+"""Fault-injection tests: the store under hostile filesystems.
+
+The container runs as root (chmod does not block writes), so an
+unwritable filesystem is simulated by making ``_write`` raise the
+errno a read-only or full disk would.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.store import ContentStore
+from repro.store.gc import collect, usage
+
+
+def _deny_writes(store, errno_=30, msg="Read-only file system (injected)"):
+    def refuse(namespace, digest, key, value):
+        raise OSError(errno_, msg)
+
+    store._write = refuse
+
+
+class TestReadOnlyRoot:
+    def test_reads_still_served_when_writes_fail(self, tmp_path):
+        root = str(tmp_path / "s")
+        with ContentStore(root) as store:
+            store.put("ns", b"old", {"v": 1})
+        store = ContentStore(root)
+        _deny_writes(store)
+        assert store.get("ns", b"old") == {"v": 1}  # disk reads fine
+        store.put("ns", b"new", {"v": 2})
+        assert store.get("ns", b"new") == {"v": 2}  # staged reads fine
+        with pytest.raises(OSError):
+            store.flush()
+        # The failed flush restaged everything; reads keep working.
+        assert store.get("ns", b"new") == {"v": 2}
+        assert store.get("ns", b"old") == {"v": 1}
+
+    def test_auto_flush_failure_propagates_from_put(self, tmp_path):
+        store = ContentStore(str(tmp_path / "s"), flush_every=2)
+        _deny_writes(store)
+        store.put("ns", b"a", {"v": 1})
+        with pytest.raises(OSError):
+            store.put("ns", b"b", {"v": 2})  # trips the auto-flush
+        # Both entries survived the failure, staged.
+        assert store.get("ns", b"a") == {"v": 1}
+        assert store.get("ns", b"b") == {"v": 2}
+
+
+class TestQuarantineMidIteration:
+    def test_entries_skips_corruption_without_dying(self, tmp_path):
+        root = str(tmp_path / "s")
+        with ContentStore(root) as store:
+            for i in range(6):
+                store.put("ns", b"key-%d" % i, {"i": i})
+            digest = store.address(b"key-3")
+            path = os.path.join(root, "ns", digest[:2], digest + ".json")
+        with open(path, "w") as fh:
+            fh.write("{ half a json docum")
+        with ContentStore(root) as store:
+            seen = dict(store.entries("ns"))
+            assert len(seen) == 5  # the damaged one is skipped...
+            assert b"key-3" not in seen
+            assert store.stats.quarantined == 1  # ...and quarantined
+            assert not os.path.exists(path)
+
+    def test_corruption_appearing_mid_iteration(self, tmp_path):
+        """An entry corrupted after iteration starts (by a concurrent
+        writer) is a skip, never an exception."""
+        root = str(tmp_path / "s")
+        with ContentStore(root) as store:
+            for i in range(8):
+                store.put("ns", b"key-%d" % i, {"i": i})
+            paths = [
+                os.path.join(
+                    root, "ns", store.address(b"key-%d" % i)[:2],
+                    store.address(b"key-%d" % i) + ".json",
+                )
+                for i in range(8)
+            ]
+        with ContentStore(root) as store:
+            iterator = store.entries("ns")
+            first = next(iterator)
+            assert first is not None
+            # Corrupt every entry not yet yielded.
+            for path in paths:
+                if os.path.exists(path):
+                    with open(path, "w") as fh:
+                        fh.write("garbage")
+            rest = list(iterator)
+            # The already-yielded entry may or may not be among the
+            # damaged; what matters is: no exception, valid docs only.
+            for _key, value in rest:
+                assert isinstance(value, dict)
+
+
+class TestGCConcurrentWithReader:
+    def test_reader_sees_miss_never_crash_or_partial(self, tmp_path):
+        """A reader hammering the store while GC evicts and compacts
+        must only ever see a full document or a miss."""
+        root = str(tmp_path / "s")
+        keys = [b"key-%d" % i for i in range(40)]
+        with ContentStore(root) as store:
+            for i, key in enumerate(keys):
+                store.put("ns", key, {"i": i, "pad": "x" * 30})
+
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            store = ContentStore(root)
+            try:
+                while not stop.is_set():
+                    for i, key in enumerate(keys):
+                        value = store.get("ns", key)
+                        if value is not None and value["i"] != i:
+                            failures.append((key, value))
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                failures.append(exc)
+            finally:
+                store.close()
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            total = sum(u.bytes for u in usage(root).values())
+            # Repeated passes with a shrinking cap: eviction + rewrite
+            # races the reader every time.
+            for divisor in (2, 3, 5):
+                report = collect(root, max_bytes=total // divisor)
+                assert report.quarantined == 0
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert failures == []
+
+    def test_gc_racing_gc_is_harmless(self, tmp_path):
+        """Two collectors over one root: files vanishing mid-walk are
+        skipped, and both passes land under the cap."""
+        root = str(tmp_path / "s")
+        with ContentStore(root) as store:
+            for i in range(30):
+                store.put("ns", b"key-%d" % i, {"i": i, "pad": "x" * 30})
+        total = sum(u.bytes for u in usage(root).values())
+        cap = total // 3
+        reports = [None, None]
+        errors = []
+
+        def run(slot):
+            try:
+                reports[slot] = collect(root, max_bytes=cap)
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(s,)) for s in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert errors == []
+        assert sum(u.bytes for u in usage(root).values()) <= cap
+        with ContentStore(root) as store:
+            for key, value in store.entries("ns"):
+                assert value == json.loads(json.dumps(value))  # complete
+            assert store.stats.quarantined == 0

@@ -336,3 +336,75 @@ class TestServeParsers:
         )
         assert args.func.__name__ == "cmd_bench_serve"
         assert args.requests == 8 and args.seed == 3
+
+    def test_serve_hardening_flags_wiring(self):
+        args = build_parser().parse_args(
+            ["serve", "--http", "0", "--deadline", "2.5",
+             "--store-max-bytes", "65536"]
+        )
+        assert args.deadline == 2.5
+        assert args.store_max_bytes == 65536
+        defaults = build_parser().parse_args(["serve", "--http", "0"])
+        assert defaults.deadline is None
+        assert defaults.store_max_bytes is None
+
+
+class TestStoreGC:
+    def _populate(self, tmp_path, count=12):
+        from repro.store import ContentStore
+
+        root = str(tmp_path / "store")
+        with ContentStore(root) as store:
+            for i in range(count):
+                store.put("ns", b"key-%d" % i, {"i": i, "pad": "x" * 40})
+        return root
+
+    def test_parser_wiring(self):
+        args = build_parser().parse_args(
+            ["store-gc", "/tmp/s", "--max-bytes", "1024", "--dry-run"]
+        )
+        assert args.func.__name__ == "cmd_store_gc"
+        assert args.dir == "/tmp/s"
+        assert args.max_bytes == 1024
+        assert args.dry_run and not args.check
+
+    def test_collect_end_to_end(self, tmp_path, capsys):
+        from repro.store.gc import usage
+
+        root = self._populate(tmp_path)
+        total = sum(u.bytes for u in usage(root).values())
+        cap = total // 2
+        assert main(["store-gc", root, "--max-bytes", str(cap)]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        assert sum(u.bytes for u in usage(root).values()) <= cap
+
+    def test_check_ok_then_corruption_fails(self, tmp_path, capsys):
+        import json
+        import os
+
+        root = self._populate(tmp_path, count=4)
+        assert main(["store-gc", root, "--check"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] and doc["namespaces"]["ns"]["entries"] == 4
+
+        shard = os.path.join(root, "ns", sorted(os.listdir(
+            os.path.join(root, "ns")))[0])
+        victim = os.path.join(shard, sorted(os.listdir(shard))[0])
+        with open(victim, "w") as fh:
+            fh.write("garbage")
+        assert main(["store-gc", root, "--check"]) == 1
+
+    def test_dry_run_and_output(self, tmp_path, capsys):
+        import json
+
+        from repro.store.gc import usage
+
+        root = self._populate(tmp_path)
+        before = {ns: u.entries for ns, u in usage(root).items()}
+        report_path = str(tmp_path / "report.json")
+        assert main(["store-gc", root, "--max-bytes", "1",
+                     "--dry-run", "--output", report_path]) == 0
+        assert {ns: u.entries for ns, u in usage(root).items()} == before
+        doc = json.load(open(report_path))
+        assert doc["dry_run"] and doc["evicted_entries"] == 12
