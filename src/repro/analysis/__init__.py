@@ -24,6 +24,16 @@ from .explore import (
     write_counterexample,
 )
 from .flp import Refutation, crash_as_schedule, refute_selection
+from .parametric import (
+    CutoffCertificate,
+    LabelingSchema,
+    SizeRecord,
+    StateAbstraction,
+    compute_labeling_schema,
+    detect_cutoff,
+    run_parametric,
+    verify_cutoff,
+)
 from .reporting import format_table, print_table, yesno
 from .system_report import SystemReport, full_report
 from .witness_engine import (
@@ -37,13 +47,17 @@ from .witness_engine import (
 from .witness_search import Witness, enumerate_networks, find_witnesses, smallest_witness
 
 __all__ = [
+    "CutoffCertificate",
     "DecisionCache",
     "ExploreResult",
     "ExploreSpec",
     "ExploreStats",
+    "LabelingSchema",
     "LockContentionAdversary",
     "Refutation",
+    "SizeRecord",
     "StallLearningAdversary",
+    "StateAbstraction",
     "SweepResult",
     "SweepSpec",
     "SystemReport",
@@ -51,7 +65,9 @@ __all__ = [
     "Witness",
     "WitnessRecord",
     "candidate_zoo",
+    "compute_labeling_schema",
     "crash_as_schedule",
+    "detect_cutoff",
     "enumerate_networks",
     "find_witnesses",
     "format_table",
@@ -62,7 +78,9 @@ __all__ = [
     "pec_uncertainty",
     "refute_selection",
     "run_explore",
+    "run_parametric",
     "run_sweep",
+    "verify_cutoff",
     "shard_plan",
     "smallest_witness",
     "tournament",

@@ -1530,6 +1530,41 @@ def run_explore(
     )
 
 
+def explore_with_profiles(
+    spec: ExploreSpec,
+    profiler: Callable[[Executor], Any],
+) -> Tuple[ExploreResult, List[Any]]:
+    """Serial exploration that applies ``profiler`` to every visited
+    orbit representative, returning ``(result, profiles)``.
+
+    This is the parametric layer's channel into the walker: the
+    profiler rides as an extra probe that records and never *hits*, so
+    it sees every discovered state (violation states included) without
+    touching ``probe_hits`` or the verdict.  ``spec.probes`` must be
+    empty -- a registered probe could fill ``probe_limit`` and silence
+    the collector mid-walk -- and the profile list preserves discovery
+    order (one entry per unique state under the spec's dedup).
+    """
+    if spec.probes:
+        raise ExploreError(
+            "explore_with_profiles needs spec.probes=(): a registered "
+            "probe hitting probe_limit would silence the profile collector"
+        )
+    if spec.probe_limit <= 0:
+        raise ExploreError(
+            "explore_with_profiles needs probe_limit > 0 so the collector "
+            "probe is consulted at all"
+        )
+    profiles: List[Any] = []
+
+    def _profile_collector(executor: Executor, counts) -> Optional[str]:
+        profiles.append(profiler(executor))
+        return None
+
+    result = run_explore(spec, workers=0, extra_probes=(_profile_collector,))
+    return result, profiles
+
+
 # ----------------------------------------------------------------------
 # counterexample traces
 # ----------------------------------------------------------------------

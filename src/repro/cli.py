@@ -21,6 +21,11 @@ Gives the library's main analyses a shell-friendly surface:
   replayable counterexample traces;
 * ``bench-explore`` -- unreduced vs Θ-reduced vs sharded exploration
   timings (``BENCH_explore.json``);
+* ``parametric`` -- parameterized verification over a symbolic topology
+  family: explore sizes until the abstract reachable structure
+  stabilizes, certify "for all n >= cutoff", independently re-verify;
+* ``bench-parametric`` -- the three headline cutoff detections, timed,
+  with a hash-seed-comparable report (``BENCH_parametric.json``);
 * ``serve`` -- the long-lived analysis service: HTTP and/or stdio front
   ends over the coalescing, store-backed engine core;
 * ``bench-serve`` -- cold vs warm-store serving benchmark under a
@@ -618,6 +623,97 @@ def cmd_bench_explore(args) -> int:
     return 0 if doc["all_agree"] else 1
 
 
+def cmd_parametric(args) -> int:
+    from .analysis.parametric import run_parametric
+    from .exceptions import ExploreError, FamilyError, ParametricError
+
+    try:
+        doc = run_parametric(
+            args.family,
+            args.property,
+            start=args.start,
+            max_sizes=args.max_sizes,
+            omega=args.omega,
+            structure_depth=args.structure_depth,
+            verify_extra=args.verify_extra,
+            schema=not args.no_schema,
+        )
+    except (ParametricError, ExploreError, FamilyError) as exc:
+        raise SystemExit(str(exc))
+
+    cert = doc["certificate"]
+    verify = doc["verify_cutoff"]
+    print(cert["claim"])
+    print(
+        f"  cutoff {cert['cutoff']} (period {cert['period']}, "
+        f"step {cert['step']}), structure depth {cert['structure_depth']}, "
+        f"{len(cert['records'])} size(s) explored"
+    )
+    for record in cert["records"]:
+        print(
+            f"    n={record['size']}: {record['verdict']} "
+            f"(depth {record['depth']}, {record['unique_states']} states, "
+            f"{record['profile_count']} abstract profiles) "
+            f"fp {record['fingerprint'][:12]}"
+        )
+    if verify["confirmed"]:
+        print(
+            f"  verify_cutoff: confirmed unreduced at "
+            f"{verify['extra_sizes']} size(s) above the cutoff"
+        )
+    else:
+        print(f"  verify_cutoff: FAILED -- {verify['error']}")
+    schema = doc.get("labeling_schema")
+    if schema is not None:
+        print(
+            f"  labeling schema: stabilized at n={schema['stabilized_at']} "
+            f"(checked to n={schema['checked_to']}), "
+            f"{schema['base_counts']} class(es) + {schema['slope']} per period"
+        )
+    if args.output:
+        import json
+
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"written: {args.output}")
+    return 0 if verify["confirmed"] else 1
+
+
+def cmd_bench_parametric(args) -> int:
+    from .exceptions import ExploreError, FamilyError, ParametricError
+    from .perf.parametric_bench import (
+        format_parametric_bench,
+        run_parametric_bench,
+    )
+
+    cases = None
+    if args.cases:
+        cases = []
+        for item in args.cases.split(","):
+            family, sep, prop = item.partition("/")
+            if not sep:
+                raise SystemExit(
+                    f"--cases wants comma-separated FAMILY/PROPERTY entries "
+                    f"(e.g. dp/deadlock,ring/lockstep), got {item!r}"
+                )
+            cases.append((family, prop))
+    try:
+        doc = run_parametric_bench(
+            **({"cases": cases} if cases is not None else {}),
+            output=args.output or None,
+            determinism_output=args.determinism_output,
+        )
+    except (ParametricError, ExploreError, FamilyError) as exc:
+        raise SystemExit(str(exc))
+    print(format_parametric_bench(doc))
+    if args.output:
+        print(f"written: {args.output}")
+    if args.determinism_output:
+        print(f"determinism: {args.determinism_output}")
+    return 0 if doc["all_confirmed"] else 1
+
+
 def cmd_serve(args) -> int:
     import asyncio
 
@@ -1035,6 +1131,58 @@ def build_parser() -> argparse.ArgumentParser:
     bench_explore.add_argument("--output", default="BENCH_explore.json",
                                help='JSON artifact path ("" to skip writing)')
     bench_explore.set_defaults(func=cmd_bench_explore)
+
+    parametric = sub.add_parser(
+        "parametric",
+        help="parameterized verification: detect a cutoff, verify once, "
+             "conclude for all n",
+    )
+    parametric.add_argument(
+        "--family", required=True,
+        help="symbolic topology family (ring, marked-ring, star, "
+             "marked-star, dp, dp-prime)",
+    )
+    parametric.add_argument(
+        "--property", required=True,
+        help="parameterized property (deadlock, deadlock-free, lockstep)",
+    )
+    parametric.add_argument("--start", type=int, default=None,
+                            help="first size to probe (default: family minimum)")
+    parametric.add_argument("--max-sizes", type=int, default=8,
+                            help="give up if no cutoff within this many sizes")
+    parametric.add_argument("--omega", type=int, default=2,
+                            help="counter-abstraction threshold "
+                                 "(counts >= ω collapse to 'many')")
+    parametric.add_argument("--structure-depth", type=int, default=2,
+                            help="fixed depth of the profile runs that "
+                                 "detect stabilization (must not grow with n)")
+    parametric.add_argument("--verify-extra", type=int, default=2,
+                            help="independently re-check this many sizes "
+                                 "above the cutoff, unreduced")
+    parametric.add_argument("--no-schema", action="store_true",
+                            help="skip the labeling-schema computation")
+    parametric.add_argument("--output", "-o", metavar="PATH",
+                            help="write the full cutoff report as JSON")
+    parametric.set_defaults(func=cmd_parametric)
+
+    bench_parametric = sub.add_parser(
+        "bench-parametric",
+        help="parametric-verification benchmark: three headline cutoffs, "
+             "timed and verified",
+    )
+    bench_parametric.add_argument(
+        "--cases", default=None,
+        help="comma-separated FAMILY/PROPERTY pairs "
+             "(default: dp/deadlock,dp-prime/deadlock-free,ring/lockstep)",
+    )
+    bench_parametric.add_argument("--output", default="BENCH_parametric.json",
+                                  help='JSON artifact path ("" to skip writing)')
+    bench_parametric.add_argument(
+        "--determinism-output", metavar="PATH", default=None,
+        help="also write the hash-seed-comparable section standalone "
+             "(what CI compares byte-for-byte)",
+    )
+    bench_parametric.set_defaults(func=cmd_bench_parametric)
 
     serve = sub.add_parser(
         "serve", help="long-lived analysis service (HTTP and/or stdio)"

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import dataclasses
 import struct
+from hashlib import blake2b
 from typing import Dict, Hashable, List, Sequence, Tuple
 
 from .system import System
@@ -146,6 +147,18 @@ def encode_value(value: Hashable) -> bytes:
         return _T_DATACLASS + _join([name] + fields)
     name = f"{tpe.__module__}.{tpe.__qualname__}".encode()
     return _T_OTHER + _join([name, repr(value).encode()])
+
+
+def fingerprint(value: Hashable, digest_size: int = 16) -> str:
+    """Hex digest of :func:`encode_value` -- a hash-seed-independent
+    content fingerprint.
+
+    The parametric layer compares orbit/class structures across sizes by
+    these strings; anything :func:`encode_value` accepts can be
+    fingerprinted, and equal values always produce equal hex digests
+    regardless of ``PYTHONHASHSEED`` or process boundaries.
+    """
+    return blake2b(encode_value(value), digest_size=digest_size).hexdigest()
 
 
 class ValueInterner:

@@ -45,9 +45,12 @@ class Family:
         for s in systems[1:]:
             if set(s.names) != set(first.names):
                 raise FamilyError("family members must share NAMES")
-            if s.instruction_set is not first.instruction_set:
+            # Compare by equality, not identity: parametric generators
+            # build each member independently, so equal-but-distinct
+            # instruction-set/schedule objects must be accepted.
+            if s.instruction_set != first.instruction_set:
                 raise FamilyError("family members must share the instruction set")
-            if s.schedule_class is not first.schedule_class:
+            if s.schedule_class != first.schedule_class:
                 raise FamilyError("family members must share the schedule class")
         self._systems = systems
 
@@ -199,6 +202,13 @@ def single_mark_family(
     chosen = tuple(processors) if processors is not None else network.processors
     if not chosen:
         raise FamilyError("a single-mark family needs at least one processor")
+    if len(set(chosen)) != len(chosen):
+        dupes = sorted(
+            {repr(p) for p in chosen if sum(1 for q in chosen if q == p) > 1}
+        )
+        raise FamilyError(
+            f"single-mark processors must be distinct; duplicated: {dupes}"
+        )
     unknown = [p for p in chosen if p not in set(network.processors)]
     if unknown:
         raise FamilyError(f"not processors of this network: {unknown!r}")
@@ -252,6 +262,11 @@ def relabel_family(system: System) -> Family:
     if not system.instruction_set.has_locks:
         raise FamilyError("relabel requires a locking instruction set (L or L2)")
     net = system.network
+    if not net.processors:
+        raise FamilyError(
+            "the relabel family of a processor-free network is empty; "
+            "relabel needs at least one processor"
+        )
     per_variable_orders: List[List[Tuple[Tuple[NodeId, Hashable], ...]]] = []
     variables = list(net.variables)
     for v in variables:
@@ -273,6 +288,190 @@ def relabel_family(system: System) -> Family:
         seen_states.add(key)
         members.append(member)
     return Family(members)
+
+
+# ----------------------------------------------------------------------
+# Symbolic topology families (parametric verification substrate)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopologyFamily:
+    """A symbolic topology family: one object, any size on demand.
+
+    Where :class:`Family` is a *finite tuple* of concrete systems, a
+    ``TopologyFamily`` is the *function* ``n -> system`` behind
+    statements like "every unmarked ring" or "DP-n for all n": the
+    parametric layer (:mod:`repro.analysis.parametric`) instantiates it
+    at increasing sizes until the orbit/class structure stabilizes and
+    then reasons about all larger members at once.
+
+    The description is purely declarative (a frozen record of topology
+    kind, model, marking, and admissible sizes) so family identity can
+    be fingerprinted via :func:`repro.core.encoding.encode_value` and
+    carried verbatim in JSON reports.
+
+    Attributes:
+        name: registry key (``"ring"``, ``"dp"``, ``"marked-ring"``...).
+        description: one-line human description.
+        topology: scenario topology kind: ``"ring"``, ``"star"`` or
+            ``"dining"``.
+        model: instruction set the members run.
+        min_size: smallest admissible ``n``.
+        step: admissible sizes are ``min_size, min_size+step, ...``
+            (DP' needs even tables, so its step is 2).
+        period: number of consecutive admissible sizes that may differ
+            structurally before the pattern repeats -- a marked ring
+            alternates with the parity of ``n`` (even rings have a
+            singleton antipode class), so its period is 2; fully
+            symmetric families have period 1.  Cutoff detection
+            compares size ``n`` with ``n + period * step``.
+        alternating: dining only -- alternate fork orientation (DP').
+        marked: mark the first processor (initial state 1, rest blank).
+        program: scenario program the members run under exploration.
+    """
+
+    name: str
+    description: str
+    topology: str
+    model: InstructionSet = InstructionSet.Q
+    min_size: int = 2
+    step: int = 1
+    period: int = 1
+    alternating: bool = False
+    marked: bool = False
+    program: str = "random"
+
+    def admissible(self, n: int) -> bool:
+        """Whether ``n`` is a size this family defines a member for."""
+        return n >= self.min_size and (n - self.min_size) % self.step == 0
+
+    def sizes(self, count: int, start: Optional[int] = None) -> Tuple[int, ...]:
+        """The first ``count`` admissible sizes from ``start`` upward."""
+        base = self.min_size if start is None else start
+        if not self.admissible(base):
+            raise FamilyError(
+                f"family {self.name!r} has no member of size {base}; "
+                f"sizes are {self.min_size}, {self.min_size + self.step}, ..."
+            )
+        return tuple(base + i * self.step for i in range(count))
+
+    def next_size(self, n: int) -> int:
+        """The admissible size after ``n``."""
+        return n + self.step
+
+    def network(self, n: int):
+        """The size-``n`` network (raises ``FamilyError`` off-family)."""
+        from ..exceptions import NetworkError
+        from ..topologies import dining_network, ring, star
+
+        if not self.admissible(n):
+            raise FamilyError(
+                f"family {self.name!r} has no member of size {n}; "
+                f"sizes are {self.min_size}, {self.min_size + self.step}, ..."
+            )
+        try:
+            if self.topology == "ring":
+                return ring(n)
+            if self.topology == "star":
+                return star(n)
+            if self.topology == "dining":
+                return dining_network(n, alternating=self.alternating)
+        except NetworkError as exc:
+            raise FamilyError(
+                f"family {self.name!r} cannot build size {n}: {exc}"
+            ) from exc
+        raise FamilyError(f"unknown family topology {self.topology!r}")
+
+    def instantiate(self, n: int) -> System:
+        """The size-``n`` member system."""
+        from .system import ScheduleClass
+
+        net = self.network(n)
+        state = {net.processors[0]: 1} if self.marked else None
+        return System(net, state, self.model, ScheduleClass.FAIR)
+
+    def family(self, count: int, start: Optional[int] = None) -> Family:
+        """A concrete :class:`Family` of the first ``count`` members."""
+        return Family([self.instantiate(n) for n in self.sizes(count, start)])
+
+    def scenario(self, n: int) -> Dict[str, object]:
+        """The :mod:`repro.obs.scenarios` spec of the size-``n`` member."""
+        net = self.network(n)  # validates n
+        spec: Dict[str, object] = {
+            "topology": self.topology,
+            "size": n,
+            "program": self.program,
+        }
+        if self.topology == "dining":
+            if self.alternating:
+                spec["alternating"] = True
+        else:
+            spec["model"] = self.model.value
+        if self.marked:
+            spec["marks"] = [str(net.processors[0])]
+        return spec
+
+
+#: The registry of symbolic families the parametric layer verifies.
+PARAMETRIC_FAMILIES: Dict[str, TopologyFamily] = {
+    f.name: f
+    for f in (
+        TopologyFamily(
+            name="ring",
+            description="unmarked n-ring, model Q (Theorem 4 substrate)",
+            topology="ring",
+        ),
+        TopologyFamily(
+            name="marked-ring",
+            description="n-ring with one marked processor (period 2: even "
+            "rings have a singleton antipode class)",
+            topology="ring",
+            period=2,
+            marked=True,
+            min_size=3,
+        ),
+        TopologyFamily(
+            name="star",
+            description="star with n leaves, model Q (all leaves similar)",
+            topology="star",
+        ),
+        TopologyFamily(
+            name="marked-star",
+            description="star with n leaves, one leaf marked",
+            topology="star",
+            marked=True,
+        ),
+        TopologyFamily(
+            name="dp",
+            description="uniform dining ring DP-n, left-first philosophers",
+            topology="dining",
+            model=InstructionSet.L,
+            program="left-first",
+        ),
+        TopologyFamily(
+            name="dp-prime",
+            description="alternating dining ring DP'-n (even n), "
+            "left-first philosophers",
+            topology="dining",
+            model=InstructionSet.L,
+            program="left-first",
+            alternating=True,
+            step=2,
+        ),
+    )
+}
+
+
+def parametric_family(name: str) -> TopologyFamily:
+    """Look up a symbolic family by registry name."""
+    try:
+        return PARAMETRIC_FAMILIES[name]
+    except KeyError:
+        raise FamilyError(
+            f"unknown parametric family {name!r}; pick from "
+            f"{sorted(PARAMETRIC_FAMILIES)}"
+        ) from None
 
 
 def _member_from_counts(
@@ -301,9 +500,14 @@ def relabel_family_extended(system: System) -> Family:
     order.)  The family is therefore indexed by total orders of the
     processor set -- much smaller than the free product of L's version.
     """
-    if system.instruction_set is not InstructionSet.L2:
+    if system.instruction_set != InstructionSet.L2:
         raise FamilyError("extended relabel applies to instruction set L2")
     net = system.network
+    if not net.processors:
+        raise FamilyError(
+            "the extended relabel family of a processor-free network is "
+            "empty; relabel needs at least one processor"
+        )
     members: List[System] = []
     seen_states: set = set()
     for order in permutations(net.processors):

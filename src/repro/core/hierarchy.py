@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
+from ..exceptions import WitnessRecordError
 from .names import NodeId, State
 from .network import Network
 from .selection import SelectionDecision, decide_selection
@@ -110,4 +111,201 @@ def verify_separation(
 ) -> SeparationWitness:
     """Package and check a claimed separation witness."""
     report = selection_across_models(network, state, description)
+    return SeparationWitness(weaker, stronger, report)
+
+
+# ----------------------------------------------------------------------
+# Witness schemas: separations at every size
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WitnessSchema:
+    """A separation witness as a function of ``n``.
+
+    The fixed witnesses in :mod:`repro.topologies.witnesses` separate
+    adjacent models at *one* size each; a schema names a symbolic family
+    (:data:`repro.core.families.PARAMETRIC_FAMILIES`) every member of
+    which is a witness, so the separation is a parameterized statement:
+    ``instantiate(n)`` rebuilds and re-verifies the size-``n`` witness
+    on demand.
+    """
+
+    weaker: str
+    stronger: str
+    family: str
+    description: str
+    min_size: int = 0  # 0: inherit the family's own min_size
+
+    def first_size(self) -> int:
+        from .families import parametric_family
+
+        fam = parametric_family(self.family)
+        return max(self.min_size, fam.min_size)
+
+    def instantiate(self, n: int) -> SeparationWitness:
+        """The size-``n`` witness, freshly re-verified."""
+        from .families import parametric_family
+
+        fam = parametric_family(self.family)
+        system = fam.instantiate(n)
+        return verify_separation(
+            self.weaker,
+            self.stronger,
+            system.network,
+            system.initial_state,
+            f"{self.description} (n={n})",
+        )
+
+    def holds_at(self, n: int) -> bool:
+        return self.instantiate(n).valid
+
+
+#: Schemas known to hold at every admissible size (asserted by the
+#: hypothesis suite; the parametric CLI re-verifies sampled sizes).
+#: The unmarked ring is deliberately absent: L cannot select on any
+#: unmarked ring (relabel versions stay rotation-symmetric), so stars
+#: are the all-sizes Q/L separator.
+WITNESS_SCHEMAS: Tuple[WitnessSchema, ...] = (
+    WitnessSchema(
+        weaker="Q",
+        stronger="L",
+        family="star",
+        description="n-leaf star: peeking leaves stay mutually similar "
+        "under Q, the hub lock race has one winner under L",
+    ),
+)
+
+
+def witness_schema(weaker: str, stronger: str) -> WitnessSchema:
+    """Look up the schema separating an adjacent model pair."""
+    for schema in WITNESS_SCHEMAS:
+        if schema.weaker == weaker and schema.stronger == stronger:
+            return schema
+    pairs = sorted((s.weaker, s.stronger) for s in WITNESS_SCHEMAS)
+    raise WitnessRecordError(
+        f"no witness schema separates {weaker!r} from {stronger!r}; "
+        f"known pairs: {pairs}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Witness records: store round-trip with canonical-form keys
+# ----------------------------------------------------------------------
+
+
+def _encoded_form(network: Network, state) -> bytes:
+    from .encoding import encode_value
+    from .quotient import canonical_form
+
+    system = System(network, state, InstructionSet.Q, ScheduleClass.FAIR)
+    return encode_value(canonical_form(system))
+
+
+def _legacy_form_repr(network: Network, state) -> str:
+    from .quotient import canonical_form
+
+    system = System(network, state, InstructionSet.Q, ScheduleClass.FAIR)
+    return repr(canonical_form(system))
+
+
+def _form_matches(recorded: str, network: Network, state) -> bool:
+    """Does a recorded canonical-form key match this network+state?
+
+    Three generations of keys are accepted (the same fallback ladder as
+    the witness engine's wire format): ``"b:" + hex`` tagged byte
+    encodings (current), bare even-length hex (the first byte-encoded
+    release), and legacy ``repr`` strings (anything else).
+    """
+    if recorded.startswith("b:"):
+        try:
+            key = bytes.fromhex(recorded[2:])
+        except ValueError:
+            return False
+        return key == _encoded_form(network, state)
+    if len(recorded) % 2 == 0 and recorded:
+        try:
+            key = bytes.fromhex(recorded)
+        except ValueError:
+            key = None
+        if key is not None:
+            return key == _encoded_form(network, state)
+    return recorded == _legacy_form_repr(network, state)
+
+
+def separation_witness_to_json(
+    witness: SeparationWitness,
+    network: Optional[Network] = None,
+    state: Optional[Mapping[NodeId, State]] = None,
+) -> Dict[str, object]:
+    """Serialize a witness for the content store.
+
+    With ``network`` given, the record carries a ``"b:"``-tagged
+    canonical-form key so a later reader can check the record still
+    describes the same system up to isomorphism.
+    """
+    doc: Dict[str, object] = {
+        "weaker": witness.weaker,
+        "stronger": witness.stronger,
+        "description": witness.report.description,
+        "decisions": {
+            model: witness.report.decisions[model].possible
+            for model in POWER_ORDER
+        },
+    }
+    if network is not None:
+        doc["form"] = "b:" + _encoded_form(network, state).hex()
+    return doc
+
+
+def separation_witness_from_json(
+    doc: Mapping[str, object],
+    network: Optional[Network] = None,
+    state: Optional[Mapping[NodeId, State]] = None,
+) -> SeparationWitness:
+    """Rebuild a witness record; re-verify it when the system is given.
+
+    Without a system, the recorded decisions are trusted (marked with
+    reason ``"recorded"``).  With one, selection is re-decided under
+    every model and the record's decisions *and* canonical-form key --
+    current, bare-hex, or legacy ``repr`` -- must match, else
+    :class:`repro.exceptions.WitnessRecordError`.
+    """
+    try:
+        weaker = str(doc["weaker"])
+        stronger = str(doc["stronger"])
+        recorded = {m: bool(doc["decisions"][m]) for m in POWER_ORDER}  # type: ignore[index]
+    except (KeyError, TypeError) as exc:
+        raise WitnessRecordError(
+            f"malformed separation witness record: missing {exc}"
+        ) from None
+    description = str(doc.get("description", ""))
+
+    if network is None:
+        decisions = {
+            model: SelectionDecision(
+                possible=recorded[model],
+                reason="recorded",
+                theorem="",
+            )
+            for model in POWER_ORDER
+        }
+        return SeparationWitness(
+            weaker, stronger, ModelReport(description, decisions)
+        )
+
+    form_key = doc.get("form")
+    if form_key is not None and not _form_matches(str(form_key), network, state):
+        raise WitnessRecordError(
+            "separation witness record does not describe this system: "
+            "canonical-form key mismatch"
+        )
+    report = selection_across_models(network, state, description)
+    rederived = {m: report.decisions[m].possible for m in POWER_ORDER}
+    if rederived != recorded:
+        diffs = sorted(m for m in POWER_ORDER if rederived[m] != recorded[m])
+        raise WitnessRecordError(
+            f"separation witness record disagrees with re-verification "
+            f"on models {diffs}"
+        )
     return SeparationWitness(weaker, stronger, report)

@@ -62,6 +62,18 @@ class WitnessSearchError(ReproError):
     or a checkpoint recorded for a different sweep specification)."""
 
 
+class WitnessRecordError(ReproError):
+    """A recorded separation witness fails re-verification: its stored
+    decisions or canonical-form key no longer match the system it
+    claims to describe."""
+
+
+class ParametricError(ReproError):
+    """The parametric verification layer was misconfigured (unknown
+    family or property names, bad size ranges) or failed to certify
+    (no stabilization within the size budget)."""
+
+
 class ExploreError(ReproError):
     """The schedule-space explorer was misconfigured (bad specification,
     unknown invariant or probe names, or a checkpoint recorded for a

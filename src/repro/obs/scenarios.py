@@ -41,7 +41,7 @@ from ..baselines.dp_deterministic import (
     MultiLockDiningProgram,
 )
 from ..core.system import InstructionSet, ScheduleClass, System
-from ..exceptions import ReproError
+from ..exceptions import NetworkError, ReproError, SystemError_
 from ..io import mp_system_to_dict, system_to_dict
 from ..messaging.mp_faults import FaultPlan
 from ..messaging.mp_runtime import FloodProgram, MPExecutor, MPProgram
@@ -171,14 +171,25 @@ def _build_system(doc: Dict[str, Any]) -> System:
             iset = InstructionSet.L
         else:
             iset = _MODELS.get(doc["model"], InstructionSet.L)
-        return dining_system(size, alternating=bool(doc["alternating"]), instruction_set=iset)
-    try:
-        net = _TOPOLOGIES[topology](size)
-    except KeyError:
+        try:
+            return dining_system(
+                size, alternating=bool(doc["alternating"]), instruction_set=iset
+            )
+        except NetworkError as exc:
+            raise ScenarioError(
+                f"cannot build dining table of size {size}: {exc}"
+            ) from exc
+    if topology not in _TOPOLOGIES:
         raise ScenarioError(
             f"unknown topology {topology!r}; pick from "
             f"{sorted(_TOPOLOGIES) + ['dining']}"
-        ) from None
+        )
+    try:
+        net = _TOPOLOGIES[topology](size)
+    except NetworkError as exc:
+        raise ScenarioError(
+            f"cannot build {topology!r} topology of size {size}: {exc}"
+        ) from exc
     try:
         iset = _MODELS[doc["model"]]
     except KeyError:
@@ -186,7 +197,10 @@ def _build_system(doc: Dict[str, Any]) -> System:
             f"unknown model {doc['model']!r}; pick from {sorted(_MODELS)}"
         ) from None
     state = {mark: 1 for mark in doc["marks"]}
-    return System(net, state, iset, ScheduleClass.FAIR)
+    try:
+        return System(net, state, iset, ScheduleClass.FAIR)
+    except SystemError_ as exc:
+        raise ScenarioError(f"bad scenario initial state: {exc}") from exc
 
 
 def _build_program(doc: Dict[str, Any], system: System) -> Program:

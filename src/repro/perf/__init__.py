@@ -21,12 +21,15 @@ configuration of an experiment -- and this package drives those in bulk:
   timing of the bounded schedule explorer (``BENCH_explore.json``);
 * :mod:`repro.perf.serve_bench` -- cold vs warm-store latency and
   throughput of the analysis service under a seeded concurrent mixed
-  workload (``BENCH_serve.json``).
+  workload (``BENCH_serve.json``);
+* :mod:`repro.perf.parametric_bench` -- cutoff detection end to end over
+  the three headline parameterized claims (``BENCH_parametric.json``).
 
 All are exposed on the CLI: ``python -m repro batch ...``,
 ``python -m repro bench ...``, ``python -m repro bench-mp ...``,
 ``python -m repro bench-witness ...``, ``python -m repro
-bench-explore ...``, and ``python -m repro bench-serve ...``.
+bench-explore ...``, ``python -m repro bench-serve ...``, and
+``python -m repro bench-parametric ...``.
 """
 
 from .batch import (
@@ -39,6 +42,7 @@ from .explore_bench import format_explore_bench, run_explore_bench
 from .meta import bench_meta
 from .microbench import run_microbench
 from .mp_bench import run_mp_bench
+from .parametric_bench import format_parametric_bench, run_parametric_bench
 from .serve_bench import format_serve_bench, run_serve_bench
 from .witness_bench import format_witness_bench, run_witness_bench
 
@@ -48,11 +52,13 @@ __all__ = [
     "batch_similarity",
     "bench_meta",
     "format_explore_bench",
+    "format_parametric_bench",
     "format_serve_bench",
     "format_witness_bench",
     "run_explore_bench",
     "run_microbench",
     "run_mp_bench",
+    "run_parametric_bench",
     "run_serve_bench",
     "run_witness_bench",
     "system_fingerprint",

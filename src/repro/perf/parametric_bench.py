@@ -1,0 +1,128 @@
+"""Parametric-verification benchmark: cutoff detection end to end.
+
+Times :func:`repro.analysis.parametric.run_parametric` over the paper's
+three parameterized headline claims:
+
+* **dp / deadlock** — "DP-n deadlocks" for every size: the detector must
+  find the cutoff and :func:`verify_cutoff` must re-find the
+  circular-hold deadlock unreduced at cutoff+1 and cutoff+2;
+* **dp-prime / deadlock-free** — Figure 5's orientation flip removes the
+  deadlock at *every even* size (bounded depth);
+* **ring / lockstep** — Theorem 4 on unmarked rings: Θ-classes stay
+  state-uniform at the balanced points of every k-bounded schedule.
+
+The document splits in two, following ``BENCH_serve.json``:
+
+* ``determinism`` — the full cutoff report per case (certificate,
+  verify_cutoff outcome, labeling schema).  Everything in it is a
+  function of the model alone, so CI runs the benchmark under two
+  ``PYTHONHASHSEED`` values and byte-compares this section
+  (``determinism_output`` writes it standalone for the ``cmp``);
+* ``timings`` — wall-clock per case, informational only.
+
+CLI: ``python -m repro bench-parametric --output BENCH_parametric.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.parametric import run_parametric
+from .meta import bench_meta
+
+#: The benchmark cases: (family, property) pairs, each a headline
+#: "for all n" claim.  All three detect their cutoff within the default
+#: size budget and verify unreduced in CI-friendly time.
+DEFAULT_CASES: Tuple[Tuple[str, str], ...] = (
+    ("dp", "deadlock"),
+    ("dp-prime", "deadlock-free"),
+    ("ring", "lockstep"),
+)
+
+
+def run_parametric_bench(
+    cases: Optional[Sequence[Tuple[str, str]]] = None,
+    output: Optional[str] = "BENCH_parametric.json",
+    determinism_output: Optional[str] = None,
+) -> dict:
+    """Run the parametric benchmark and (optionally) write JSON.
+
+    Args:
+        cases: ``(family, property)`` pairs; defaults to
+            :data:`DEFAULT_CASES`.
+        output: path for the JSON artifact, or None to skip writing.
+        determinism_output: optional path for the standalone
+            hash-seed-comparable section (what CI ``cmp``-s).
+
+    Returns:
+        The results document (also written to ``output``).
+    """
+    if cases is None:
+        cases = DEFAULT_CASES
+
+    determinism: Dict[str, Any] = {}
+    timings: List[Dict[str, Any]] = []
+    all_confirmed = True
+    for family, prop in cases:
+        started = time.perf_counter()
+        report = run_parametric(family, prop)
+        elapsed = time.perf_counter() - started
+        key = f"{family}/{prop}"
+        determinism[key] = report
+        confirmed = report["verify_cutoff"]["confirmed"]
+        all_confirmed = all_confirmed and confirmed
+        timings.append(
+            {
+                "case": key,
+                "cutoff": report["certificate"]["cutoff"],
+                "verdict": report["certificate"]["verdict"],
+                "confirmed": confirmed,
+                "sizes_explored": len(report["certificate"]["records"]),
+                "elapsed_s": round(elapsed, 4),
+            }
+        )
+
+    doc: Dict[str, Any] = {
+        "meta": bench_meta(),
+        "determinism": determinism,
+        "timings": timings,
+        "all_confirmed": all_confirmed,
+    }
+    if output:
+        with open(output, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if determinism_output:
+        with open(determinism_output, "w") as fh:
+            json.dump(determinism, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return doc
+
+
+def format_parametric_bench(doc: dict) -> str:
+    """A terse human-readable rendering of :func:`run_parametric_bench`."""
+    meta = doc["meta"]
+    lines: List[str] = []
+    lines.append(
+        f"parametric-verification bench (python {meta['python']}, "
+        f"{meta['cpu_count']} cpu)"
+    )
+    lines.append(
+        f"{'case':<24}{'cutoff':>7}{'verdict':>11}{'sizes':>7}"
+        f"{'elapsed':>10}  verified"
+    )
+    for row in doc["timings"]:
+        lines.append(
+            f"{row['case']:<24}{row['cutoff']:>7}{row['verdict']:>11}"
+            f"{row['sizes_explored']:>7}{row['elapsed_s']:>9.2f}s"
+            f"  {'yes' if row['confirmed'] else 'NO'}"
+        )
+    for _key, report in sorted(doc["determinism"].items()):
+        lines.append(f"  {report['certificate']['claim']}")
+    lines.append(
+        f"all certificates independently confirmed: "
+        f"{'yes' if doc['all_confirmed'] else 'NO'}"
+    )
+    return "\n".join(lines)

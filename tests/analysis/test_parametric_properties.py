@@ -1,0 +1,132 @@
+"""Property-based tests for the parametric layer.
+
+Three claims are exercised under hypothesis:
+
+1. A labeling schema instantiated at any stabilized size produces the
+   exact partition the refinement engine computes directly -- the
+   schema is a compressed function of n, not an approximation.
+2. A certified cutoff certificate's property holds concretely at
+   sampled sizes beyond the cutoff (the "verify once, conclude for all
+   n" claim checked at random witnesses, not just cutoff+1/cutoff+2).
+3. The counter abstraction is idempotent and ω-bounded on arbitrary
+   nested values.
+"""
+
+import functools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.explore import run_explore
+from repro.analysis.parametric import (
+    OMEGA_DEFAULT,
+    abstract_value,
+    compute_labeling_schema,
+    detect_cutoff,
+    eval_depth,
+    member_explore_spec,
+    property_spec,
+)
+from repro.core import parametric_family, witness_schema
+from repro.core.refinement import compute_similarity_labeling
+
+SETTINGS = settings(max_examples=15, deadline=None)
+
+
+@functools.lru_cache(maxsize=None)
+def _schema(family_name):
+    return compute_labeling_schema(family_name)
+
+
+@functools.lru_cache(maxsize=None)
+def _certificate(family_name, property_name):
+    return detect_cutoff(family_name, property_name)
+
+
+class TestSchemaMatchesEngine:
+    @SETTINGS
+    @given(
+        family_name=st.sampled_from(
+            ["ring", "marked-ring", "star", "marked-star", "dp", "dp-prime"]
+        ),
+        offset=st.integers(min_value=0, max_value=4),
+    )
+    def test_instantiated_partition_equals_direct_refinement(
+        self, family_name, offset
+    ):
+        schema = _schema(family_name)
+        fam = parametric_family(family_name)
+        n = schema.stabilized_at + offset * fam.step
+        direct = compute_similarity_labeling(fam.instantiate(n)).labeling
+        instantiated = schema.instantiate(n)
+        assert instantiated.blocks == direct.blocks
+        assert schema.predicted_classes(n) == len(direct.labels)
+
+
+class TestCertificateHoldsBeyondCutoff:
+    @SETTINGS
+    @given(
+        case=st.sampled_from([("ring", "lockstep"), ("dp", "deadlock")]),
+        extra=st.integers(min_value=1, max_value=3),
+    )
+    def test_verdict_holds_at_sampled_sizes(self, case, extra):
+        family_name, property_name = case
+        cert = _certificate(family_name, property_name)
+        n = cert.cutoff + extra * cert.step
+        fam = parametric_family(family_name)
+        spec = member_explore_spec(fam, property_spec(property_name), n)
+        result = run_explore(spec, workers=0)
+        if cert.verdict == "violation":
+            assert result.violation is not None
+            assert result.violation.kind == cert.violation_kind
+        else:
+            assert result.violation is None
+
+
+class TestWitnessSchemaHolds:
+    @SETTINGS
+    @given(n=st.integers(min_value=2, max_value=6))
+    def test_star_separation_at_any_size(self, n):
+        assert witness_schema("Q", "L").holds_at(n)
+
+
+def _values(depth=2):
+    scalars = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-50, max_value=50),
+        st.text(max_size=4),
+    )
+    return st.recursive(
+        scalars,
+        lambda children: st.one_of(
+            st.tuples(children, children),
+            st.frozensets(children, max_size=3),
+        ),
+        max_leaves=8,
+    )
+
+
+class TestAbstractValueProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(value=_values(), omega=st.integers(min_value=1, max_value=4))
+    def test_idempotent(self, value, omega):
+        once = abstract_value(value, omega)
+        assert abstract_value(once, omega) == once
+
+    @settings(max_examples=80, deadline=None)
+    @given(value=st.integers(min_value=-50, max_value=50),
+           omega=st.integers(min_value=1, max_value=4))
+    def test_ints_bounded_or_tagged(self, value, omega):
+        out = abstract_value(value, omega)
+        if isinstance(out, int):
+            assert -omega < out < omega
+        else:
+            assert out == ("ω", value >= 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=40),
+           rule=st.sampled_from(["n", "2n", "2n+2", "n+1", "6"]))
+    def test_depth_rules_positive_and_monotone(self, n, rule):
+        d = eval_depth(rule, n)
+        assert d >= 1
+        assert eval_depth(rule, n + 1) >= d

@@ -161,3 +161,146 @@ class TestExtendedRelabel:
             v for v in fam.member_labelings() if v["p1"] == v["p2"]
         ]
         assert paired  # some lock order leaves the pair symmetric
+
+
+class _QClone:
+    """Equal to InstructionSet.Q by value, but a distinct object.
+
+    Serialization layers and parametric generators can hand ``Family``
+    instruction-set objects that compare equal without being the same
+    interned instance; the membership checks must use equality.
+    """
+
+    value = "Q"
+    has_locks = False
+    is_multiset = True
+
+    def __eq__(self, other):
+        return getattr(other, "value", None) == self.value
+
+    def __hash__(self):
+        return hash(self.value)
+
+
+class TestFamilyEquality:
+    def test_equal_but_distinct_instruction_sets_accepted(self):
+        net = figure1_network()
+        m1 = System(net, None, _QClone())
+        m2 = System(net, None, _QClone())  # a second, distinct instance
+        assert m1.instruction_set is not m2.instruction_set
+        fam = Family([m1, m2])
+        assert len(fam) == 2
+
+    def test_unequal_instruction_sets_still_rejected(self):
+        net = figure1_network()
+        with pytest.raises(FamilyError, match="instruction set"):
+            Family([System(net, None, _QClone()), System(net, None, InstructionSet.L)])
+
+    def test_cross_size_parametric_members(self):
+        # Each member is built independently by the generator; the
+        # family must still assemble (the original identity comparison
+        # only worked because enum members are interned).
+        from repro.core import parametric_family
+
+        fam = parametric_family("ring").family(3)
+        assert len(fam) == 3
+        assert not fam.is_homogeneous
+
+
+class TestSingleMarkDegenerates:
+    def test_duplicate_processors_rejected(self):
+        with pytest.raises(FamilyError, match="duplicated"):
+            from repro.core import single_mark_family
+
+            single_mark_family(ring(3), processors=["p0", "p1", "p0"])
+
+    def test_unknown_processors_rejected(self):
+        from repro.core import single_mark_family
+
+        with pytest.raises(FamilyError, match="not processors"):
+            single_mark_family(ring(3), processors=["p9"])
+
+    def test_empty_processor_list_rejected(self):
+        from repro.core import single_mark_family
+
+        with pytest.raises(FamilyError, match="at least one processor"):
+            single_mark_family(ring(3), processors=[])
+
+
+class TestRelabelDegenerates:
+    def test_relabel_rejects_processor_free_network(self):
+        from repro.core import Network
+
+        net = Network(("a",), {}, variables=("v",))
+        with pytest.raises(FamilyError, match="at least one processor"):
+            relabel_family(System(net, None, InstructionSet.L))
+
+    def test_extended_relabel_rejects_processor_free_network(self):
+        from repro.core import Network
+
+        net = Network(("a",), {}, variables=("v",))
+        with pytest.raises(FamilyError, match="at least one processor"):
+            relabel_family_extended(System(net, None, InstructionSet.L2))
+
+    def test_extended_relabel_accepts_equal_l2_clone(self):
+        class _L2Clone:
+            value = "L2"
+            has_locks = True
+            is_multiset = False
+
+            def __eq__(self, other):
+                return getattr(other, "value", None) == self.value
+
+            def __hash__(self):
+                return hash(self.value)
+
+        from repro.core import Network
+
+        net = Network(("a",), {"p1": {"a": "v"}})
+        fam = relabel_family_extended(System(net, None, _L2Clone()))
+        assert len(fam) >= 1
+
+
+class TestTopologyFamilies:
+    def test_registry_names(self):
+        from repro.core import PARAMETRIC_FAMILIES
+
+        assert set(PARAMETRIC_FAMILIES) == {
+            "ring", "marked-ring", "star", "marked-star", "dp", "dp-prime",
+        }
+
+    def test_unknown_family_lists_choices(self):
+        from repro.core import parametric_family
+
+        with pytest.raises(FamilyError, match="dp-prime"):
+            parametric_family("torus")
+
+    def test_dp_prime_scenario_is_alternating(self):
+        from repro.core import parametric_family
+
+        fam = parametric_family("dp-prime")
+        assert fam.scenario(4)["alternating"] is True
+        assert fam.step == 2
+        assert fam.sizes(3) == (2, 4, 6)
+
+    def test_marked_families_mark_one_processor(self):
+        from repro.core import parametric_family
+
+        for name in ("marked-ring", "marked-star"):
+            system = parametric_family(name).instantiate(4)
+            marked = [p for p in system.processors if system.state0(p) == 1]
+            assert len(marked) == 1
+
+    def test_inadmissible_sizes_rejected(self):
+        from repro.core import parametric_family
+
+        with pytest.raises(FamilyError):
+            parametric_family("dp").instantiate(1)
+        with pytest.raises(FamilyError):
+            parametric_family("dp-prime").instantiate(5)  # odd
+
+    def test_next_size_steps(self):
+        from repro.core import parametric_family
+
+        assert parametric_family("dp-prime").next_size(4) == 6
+        assert parametric_family("ring").next_size(4) == 5

@@ -1,0 +1,53 @@
+"""Degenerate scenario specs must fail with ScenarioError, not leak
+NetworkError/SystemError tracebacks (or worse, half-written trace files)."""
+
+import pytest
+
+from repro.obs import ScenarioError, build_scenario, record_scenario
+
+
+class TestBuildScenarioDegenerates:
+    def test_dining_table_of_one_rejected(self):
+        with pytest.raises(ScenarioError, match="dining table of size 1"):
+            build_scenario({"topology": "dining", "size": 1, "program": "left-first"})
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ScenarioError, match="'ring' topology of size 0"):
+            build_scenario({"topology": "ring", "size": 0})
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ScenarioError, match="size -3"):
+            build_scenario({"topology": "star", "size": -3})
+
+    def test_unknown_mark_rejected(self):
+        with pytest.raises(ScenarioError, match="initial state"):
+            build_scenario({"topology": "ring", "size": 3, "marks": ["p9"]})
+
+    def test_unknown_topology_lists_choices(self):
+        with pytest.raises(ScenarioError, match="dining"):
+            build_scenario({"topology": "torus", "size": 3})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown scenario keys"):
+            build_scenario({"topology": "ring", "size": 3, "sized": 4})
+
+
+class TestRecordScenarioDegenerates:
+    def test_bad_size_raises_before_trace_body(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with pytest.raises(ScenarioError, match="dining table of size 0"):
+            record_scenario(
+                {"topology": "dining", "size": 0, "program": "left-first"},
+                steps=4,
+                path=str(path),
+            )
+        # the file may exist (opened before validation) but must be empty
+        assert not path.exists() or path.read_text() == ""
+
+    def test_good_spec_still_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        summary = record_scenario(
+            {"topology": "ring", "size": 3}, steps=3, path=str(path)
+        )
+        assert summary["steps"] == 3
+        assert path.exists() and path.read_text().strip()

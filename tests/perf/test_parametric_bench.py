@@ -1,0 +1,57 @@
+"""Smoke tests for the parametric (cutoff-detection) benchmark harness."""
+
+import json
+
+from repro.perf.parametric_bench import (
+    DEFAULT_CASES,
+    format_parametric_bench,
+    run_parametric_bench,
+)
+
+TINY_CASES = (("ring", "lockstep"),)
+
+
+class TestRunParametricBench:
+    def test_smoke_document_shape(self, tmp_path):
+        out = tmp_path / "BENCH_parametric.json"
+        doc = run_parametric_bench(cases=TINY_CASES, output=str(out))
+        assert out.exists()
+        assert json.loads(out.read_text()) == doc
+        assert doc["all_confirmed"] is True
+        assert set(doc) == {"meta", "determinism", "timings", "all_confirmed"}
+        (timing,) = doc["timings"]
+        assert timing["case"] == "ring/lockstep"
+        assert timing["cutoff"] == 4
+        assert timing["verdict"] == "certified"
+        assert timing["confirmed"] is True
+        assert timing["elapsed_s"] >= 0
+
+    def test_determinism_section_is_seed_comparable(self, tmp_path):
+        det = tmp_path / "param_det.json"
+        doc = run_parametric_bench(
+            cases=TINY_CASES,
+            output=str(tmp_path / "bench.json"),
+            determinism_output=str(det),
+        )
+        recorded = json.loads(det.read_text())
+        assert recorded == doc["determinism"]
+        report = recorded["ring/lockstep"]
+        assert report["certificate"]["cutoff"] == 4
+        assert report["verify_cutoff"]["confirmed"] is True
+        # no timings may leak into the seed-compared section
+        assert "timings" not in recorded
+        text = det.read_text()
+        assert "elapsed" not in text
+
+    def test_default_cases_are_the_headline_claims(self):
+        assert ("dp", "deadlock") in DEFAULT_CASES
+        assert ("dp-prime", "deadlock-free") in DEFAULT_CASES
+        assert ("ring", "lockstep") in DEFAULT_CASES
+
+    def test_format_renders_table_and_claims(self, tmp_path):
+        doc = run_parametric_bench(
+            cases=TINY_CASES, output=str(tmp_path / "bench.json")
+        )
+        text = format_parametric_bench(doc)
+        assert "ring/lockstep" in text
+        assert "for all n >= 4" in text

@@ -408,3 +408,52 @@ class TestStoreGC:
         assert {ns: u.entries for ns, u in usage(root).items()} == before
         doc = json.load(open(report_path))
         assert doc["dry_run"] and doc["evicted_entries"] == 12
+
+
+class TestParametric:
+    def test_ring_lockstep_certifies(self, capsys, tmp_path):
+        out_path = tmp_path / "param.json"
+        assert main([
+            "parametric", "--family", "ring", "--property", "lockstep",
+            "--output", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "for all n >= 4" in out
+        assert "verify_cutoff: confirmed" in out
+        assert out_path.exists()
+
+    def test_no_schema_skips_schema_block(self, capsys):
+        assert main([
+            "parametric", "--family", "ring", "--property", "lockstep",
+            "--no-schema",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "labeling schema" not in out
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["parametric", "--family", "torus", "--property", "deadlock"])
+
+    def test_unknown_property_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["parametric", "--family", "ring", "--property", "liveness"])
+
+    def test_non_uniform_property_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["parametric", "--family", "ring", "--property", "deadlock"])
+
+
+class TestBenchParametric:
+    def test_single_case(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_parametric.json"
+        assert main([
+            "bench-parametric", "--cases", "ring/lockstep",
+            "--output", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ring/lockstep" in out
+        assert out_path.exists()
+
+    def test_malformed_cases_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench-parametric", "--cases", "ring-lockstep"])
